@@ -1,0 +1,35 @@
+//! Low-level atomic substrate for the WFE suite.
+//!
+//! The Wait-Free Eras algorithm (Nikolaev & Ravindran, PPoPP 2020) assumes two
+//! hardware capabilities beyond what ordinary lock-free code needs:
+//!
+//! * **wait-free fetch-and-add** — provided natively by `x86_64` and AArch64
+//!   (≥ v8.1); Rust's [`core::sync::atomic::AtomicU64::fetch_add`] maps to it,
+//! * **WCAS** — a *wide* compare-and-swap covering two adjacent 64-bit words
+//!   (`cmpxchg16b` on `x86_64`, `casp` on AArch64). Stable Rust does not expose
+//!   a 128-bit atomic, so this crate implements one.
+//!
+//! The crate also provides the small utilities every scheme in the suite
+//! shares: [`CachePadded`] to keep per-thread records on distinct cache lines
+//! and [`Backoff`] for contended retry loops.
+//!
+//! # WCAS portability
+//!
+//! On `x86_64` the pair operations use the `cmpxchg16b` instruction through
+//! inline assembly (runtime-detected once; virtually every 64-bit x86 CPU
+//! manufactured after 2006 supports it). On other architectures, or on the
+//! exceedingly rare x86_64 CPU without `cmpxchg16b`, the implementation falls
+//! back to a striped spin-lock. The fallback is *correct* but no longer
+//! lock-free, mirroring the paper's remark that platforms without WCAS should
+//! fall back to plain Hazard Eras semantics and forfeit wait-freedom.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod backoff;
+mod pad;
+mod wcas;
+
+pub use backoff::Backoff;
+pub use pad::CachePadded;
+pub use wcas::{wcas_is_lock_free, AtomicPair, Pair};

@@ -1,0 +1,95 @@
+//! Cache-line padding.
+
+use core::fmt;
+use core::ops::{Deref, DerefMut};
+
+/// Pads and aligns a value to (at least) the size of a cache line.
+///
+/// Per-thread records that are written by their owner on every operation
+/// (reservations, counters, retire-list heads) must not share a cache line
+/// with records owned by other threads, otherwise the resulting false sharing
+/// dominates the cost of every scheme in the suite. The alignment of 128
+/// bytes covers the adjacent-line prefetcher on Intel CPUs, matching the
+/// convention used by `crossbeam-utils`.
+#[derive(Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+// Padding does not change thread-safety of the payload.
+unsafe impl<T: Send> Send for CachePadded<T> {}
+unsafe impl<T: Sync> Sync for CachePadded<T> {}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value` in cache-line padding.
+    pub const fn new(value: T) -> Self {
+        Self { value }
+    }
+
+    /// Consumes the padding wrapper, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.value
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for CachePadded<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("CachePadded").field(&self.value).finish()
+    }
+}
+
+impl<T> From<T> for CachePadded<T> {
+    fn from(value: T) -> Self {
+        Self::new(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::mem::{align_of, size_of};
+
+    #[test]
+    fn alignment_is_at_least_128() {
+        assert!(align_of::<CachePadded<u8>>() >= 128);
+        assert!(size_of::<CachePadded<u8>>() >= 128);
+        assert!(align_of::<CachePadded<[u64; 32]>>() >= 128);
+    }
+
+    #[test]
+    fn deref_roundtrip() {
+        let mut padded = CachePadded::new(7u64);
+        assert_eq!(*padded, 7);
+        *padded = 9;
+        assert_eq!(padded.into_inner(), 9);
+    }
+
+    #[test]
+    fn adjacent_elements_do_not_share_lines() {
+        let arr = [CachePadded::new(0u8), CachePadded::new(1u8)];
+        let a = &arr[0] as *const _ as usize;
+        let b = &arr[1] as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+
+    #[test]
+    fn debug_and_from() {
+        let padded: CachePadded<u32> = 3u32.into();
+        assert_eq!(format!("{padded:?}"), "CachePadded(3)");
+    }
+}

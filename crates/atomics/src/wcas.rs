@@ -1,0 +1,426 @@
+//! A double-width (128-bit) atomic built from two adjacent 64-bit words.
+//!
+//! The WFE algorithm stores two kinds of 16-byte records that must be updated
+//! with a single wide compare-and-swap (WCAS):
+//!
+//! * a *reservation*: `(era, tag)`,
+//! * a slow-path *result*: `(pointer, era-or-tag)`.
+//!
+//! Both are represented here as an [`AtomicPair`]: two adjacent `AtomicU64`s
+//! aligned to 16 bytes. The halves stay individually addressable because the
+//! fast path of the algorithm only ever touches the first word (the era),
+//! while the slow path and the helpers use WCAS on the whole pair.
+
+use core::fmt;
+use core::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+use crate::pad::CachePadded;
+
+/// A pair of 64-bit words updated together by [`AtomicPair::compare_exchange`].
+///
+/// `.0` is the *first* word (low half, e.g. an era) and `.1` the *second*
+/// (high half, e.g. a tag).
+pub type Pair = (u64, u64);
+
+/// Returns `true` when the running CPU executes WCAS with a native
+/// instruction (`cmpxchg16b`), i.e. pair operations are lock-free and the
+/// wait-freedom argument of the paper holds.
+///
+/// When this returns `false` the [`AtomicPair`] operations transparently fall
+/// back to a striped spin-lock: still linearizable, no longer lock-free.
+pub fn wcas_is_lock_free() -> bool {
+    native_wcas_available()
+}
+
+// ---------------------------------------------------------------------------
+// Runtime detection
+// ---------------------------------------------------------------------------
+
+/// Tri-state cache for the runtime `cmpxchg16b` detection: 0 = unknown,
+/// 1 = available, 2 = unavailable.
+static NATIVE_WCAS: AtomicU8 = AtomicU8::new(0);
+
+#[inline]
+fn native_wcas_available() -> bool {
+    match NATIVE_WCAS.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let avail = detect_native_wcas();
+            NATIVE_WCAS.store(if avail { 1 } else { 2 }, Ordering::Relaxed);
+            avail
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_native_wcas() -> bool {
+    std::is_x86_feature_detected!("cmpxchg16b")
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_native_wcas() -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------------
+// The AtomicPair type
+// ---------------------------------------------------------------------------
+
+/// Two adjacent `u64` words that can be compare-and-swapped as one unit.
+///
+/// All pair-wide operations behave as `SeqCst`; the single-word accessors take
+/// an explicit [`Ordering`] just like the standard atomics.
+#[repr(C, align(16))]
+pub struct AtomicPair {
+    first: AtomicU64,
+    second: AtomicU64,
+}
+
+impl AtomicPair {
+    /// Creates a pair initialised to `(first, second)`.
+    pub const fn new(first: u64, second: u64) -> Self {
+        Self {
+            first: AtomicU64::new(first),
+            second: AtomicU64::new(second),
+        }
+    }
+
+    /// Loads the first word.
+    #[inline]
+    pub fn load_first(&self, order: Ordering) -> u64 {
+        self.first.load(order)
+    }
+
+    /// Loads the second word.
+    #[inline]
+    pub fn load_second(&self, order: Ordering) -> u64 {
+        self.second.load(order)
+    }
+
+    /// Stores the first word, leaving the second untouched.
+    ///
+    /// This is the fast-path operation of Hazard Eras / WFE (publishing a new
+    /// era while the slow-path tag stays the same).
+    #[inline]
+    pub fn store_first(&self, value: u64, order: Ordering) {
+        if native_wcas_available() {
+            self.first.store(value, order);
+        } else {
+            // Under the lock-based fallback every *write* must hold the
+            // stripe lock so that a concurrent pair-wide CAS never observes a
+            // half-updated pair between its read and its write.
+            let _guard = stripe_lock(self as *const _ as usize);
+            self.first.store(value, order);
+        }
+    }
+
+    /// Stores the second word, leaving the first untouched.
+    #[inline]
+    pub fn store_second(&self, value: u64, order: Ordering) {
+        if native_wcas_available() {
+            self.second.store(value, order);
+        } else {
+            let _guard = stripe_lock(self as *const _ as usize);
+            self.second.store(value, order);
+        }
+    }
+
+    /// Atomically loads both words as one observation.
+    #[inline]
+    pub fn load(&self) -> Pair {
+        if native_wcas_available() {
+            // A compare-exchange whose expected value is an arbitrary guess
+            // returns the current contents whether it succeeds or not, which
+            // is the standard way to perform a 16-byte atomic load with
+            // `cmpxchg16b`. Using (0, 0) as both expected and new value makes
+            // a "successful" exchange write back the value that was already
+            // there.
+            unsafe { cmpxchg16b(self.as_ptr(), (0, 0), (0, 0)).0 }
+        } else {
+            let _guard = stripe_lock(self as *const _ as usize);
+            (
+                self.first.load(Ordering::Relaxed),
+                self.second.load(Ordering::Relaxed),
+            )
+        }
+    }
+
+    /// Atomically stores both words.
+    pub fn store(&self, value: Pair) {
+        if native_wcas_available() {
+            let mut current = self.load();
+            loop {
+                match self.compare_exchange(current, value) {
+                    Ok(_) => return,
+                    Err(observed) => current = observed,
+                }
+            }
+        } else {
+            let _guard = stripe_lock(self as *const _ as usize);
+            self.first.store(value.0, Ordering::Relaxed);
+            self.second.store(value.1, Ordering::Relaxed);
+        }
+    }
+
+    /// Wide compare-and-swap: if the pair equals `current`, replace it with
+    /// `new` and return `Ok(current)`; otherwise return `Err(observed)`.
+    ///
+    /// Pair-wide operations are always sequentially consistent — `lock
+    /// cmpxchg16b` is a full barrier — which is what the (SC) pseudo-code of
+    /// the paper assumes for its WCAS steps.
+    #[inline]
+    pub fn compare_exchange(&self, current: Pair, new: Pair) -> Result<Pair, Pair> {
+        if native_wcas_available() {
+            let (observed, ok) = unsafe { cmpxchg16b(self.as_ptr(), current, new) };
+            if ok {
+                Ok(observed)
+            } else {
+                Err(observed)
+            }
+        } else {
+            let _guard = stripe_lock(self as *const _ as usize);
+            let observed = (
+                self.first.load(Ordering::Relaxed),
+                self.second.load(Ordering::Relaxed),
+            );
+            if observed == current {
+                self.first.store(new.0, Ordering::Relaxed);
+                self.second.store(new.1, Ordering::Relaxed);
+                Ok(observed)
+            } else {
+                Err(observed)
+            }
+        }
+    }
+
+    #[inline]
+    fn as_ptr(&self) -> *mut Pair {
+        self as *const Self as *mut Pair
+    }
+}
+
+impl Default for AtomicPair {
+    fn default() -> Self {
+        Self::new(0, 0)
+    }
+}
+
+impl fmt::Debug for AtomicPair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (a, b) = self.load();
+        f.debug_struct("AtomicPair")
+            .field("first", &a)
+            .field("second", &b)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Native cmpxchg16b
+// ---------------------------------------------------------------------------
+
+/// Performs `lock cmpxchg16b` on `dst`.
+///
+/// Returns the previously stored pair and whether the exchange succeeded.
+///
+/// # Safety
+///
+/// `dst` must be valid for reads and writes, 16-byte aligned, and only ever
+/// accessed through atomic operations. The caller must have verified that the
+/// CPU supports `cmpxchg16b` (see [`native_wcas_available`]).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+unsafe fn cmpxchg16b(dst: *mut Pair, current: Pair, new: Pair) -> (Pair, bool) {
+    debug_assert!(dst as usize % 16 == 0, "WCAS target must be 16-byte aligned");
+    let (cur_lo, cur_hi) = current;
+    let (new_lo, new_hi) = new;
+    let prev_lo: u64;
+    let prev_hi: u64;
+    let ok: u8;
+    // `rbx` is reserved by LLVM, so the conventional pattern is to stash the
+    // low word of the new value in a scratch register, exchange it with `rbx`
+    // around the instruction, and restore `rbx` afterwards.
+    core::arch::asm!(
+        "xchg {new_lo_scratch}, rbx",
+        "lock cmpxchg16b xmmword ptr [{dst}]",
+        "sete {ok}",
+        "mov rbx, {new_lo_scratch}",
+        dst = in(reg) dst,
+        new_lo_scratch = inout(reg) new_lo => _,
+        ok = out(reg_byte) ok,
+        in("rcx") new_hi,
+        inout("rax") cur_lo => prev_lo,
+        inout("rdx") cur_hi => prev_hi,
+        options(nostack),
+    );
+    ((prev_lo, prev_hi), ok != 0)
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+unsafe fn cmpxchg16b(_dst: *mut Pair, _current: Pair, _new: Pair) -> (Pair, bool) {
+    unreachable!("native WCAS is only reported as available on x86_64")
+}
+
+// ---------------------------------------------------------------------------
+// Striped spin-lock fallback
+// ---------------------------------------------------------------------------
+
+const STRIPES: usize = 64;
+
+struct StripeLock(CachePadded<AtomicBool>);
+
+#[allow(clippy::declare_interior_mutable_const)]
+const STRIPE_INIT: StripeLock = StripeLock(CachePadded::new(AtomicBool::new(false)));
+
+static STRIPE_LOCKS: [StripeLock; STRIPES] = [STRIPE_INIT; STRIPES];
+
+struct StripeGuard {
+    lock: &'static AtomicBool,
+}
+
+impl Drop for StripeGuard {
+    fn drop(&mut self) {
+        self.lock.store(false, Ordering::Release);
+    }
+}
+
+/// Acquires the spin-lock stripe guarding the pair at `addr`.
+fn stripe_lock(addr: usize) -> StripeGuard {
+    // Pairs are 16-byte aligned, so drop the low bits before hashing to
+    // spread distinct pairs over distinct stripes.
+    let stripe = (addr >> 4) % STRIPES;
+    let lock = &STRIPE_LOCKS[stripe].0;
+    while lock
+        .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .is_err()
+    {
+        core::hint::spin_loop();
+    }
+    StripeGuard { lock }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    #[test]
+    fn native_wcas_is_available_on_x86_64() {
+        if cfg!(target_arch = "x86_64") {
+            assert!(wcas_is_lock_free());
+        }
+    }
+
+    #[test]
+    fn pair_is_16_byte_aligned() {
+        assert_eq!(core::mem::align_of::<AtomicPair>(), 16);
+        assert_eq!(core::mem::size_of::<AtomicPair>(), 16);
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let pair = AtomicPair::new(1, 2);
+        assert_eq!(pair.load(), (1, 2));
+        pair.store((3, 4));
+        assert_eq!(pair.load(), (3, 4));
+        pair.store_first(9, SeqCst);
+        assert_eq!(pair.load(), (9, 4));
+        pair.store_second(11, SeqCst);
+        assert_eq!(pair.load(), (9, 11));
+        assert_eq!(pair.load_first(SeqCst), 9);
+        assert_eq!(pair.load_second(SeqCst), 11);
+    }
+
+    #[test]
+    fn compare_exchange_success_and_failure() {
+        let pair = AtomicPair::new(10, 20);
+        assert_eq!(pair.compare_exchange((10, 20), (30, 40)), Ok((10, 20)));
+        assert_eq!(pair.load(), (30, 40));
+        // Wrong first word.
+        assert_eq!(pair.compare_exchange((31, 40), (0, 0)), Err((30, 40)));
+        // Wrong second word.
+        assert_eq!(pair.compare_exchange((30, 41), (0, 0)), Err((30, 40)));
+        assert_eq!(pair.load(), (30, 40));
+    }
+
+    #[test]
+    fn load_of_zero_pair_does_not_corrupt() {
+        // The cmpxchg16b-based load uses (0, 0) as its guess; make sure a pair
+        // that actually contains zeros stays intact and loads correctly.
+        let pair = AtomicPair::new(0, 0);
+        assert_eq!(pair.load(), (0, 0));
+        assert_eq!(pair.compare_exchange((0, 0), (5, 6)), Ok((0, 0)));
+        assert_eq!(pair.load(), (5, 6));
+    }
+
+    #[test]
+    fn debug_format_shows_both_words() {
+        let pair = AtomicPair::new(7, 8);
+        let s = format!("{pair:?}");
+        assert!(s.contains('7') && s.contains('8'));
+    }
+
+    #[test]
+    fn concurrent_paired_increments_stay_consistent() {
+        // Each successful WCAS advances both halves together; if WCAS were not
+        // atomic across the two words the halves would drift apart.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 20_000;
+        let pair = AtomicPair::new(0, 0);
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                scope.spawn(|| {
+                    let mut done = 0;
+                    while done < PER_THREAD {
+                        let cur = pair.load();
+                        assert_eq!(cur.0, cur.1, "halves must always match");
+                        if pair
+                            .compare_exchange(cur, (cur.0 + 1, cur.1 + 1))
+                            .is_ok()
+                        {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(pair.load(), (THREADS as u64 * PER_THREAD, THREADS as u64 * PER_THREAD));
+    }
+
+    #[test]
+    fn concurrent_half_store_vs_wcas() {
+        // One thread publishes eras in the first word (fast path), another
+        // repeatedly WCASes the whole pair (helper). The WCAS must only
+        // succeed when both words match, so the second word — only ever
+        // written by WCAS — must never skip values.
+        let pair = AtomicPair::new(0, 0);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let mut era = 1u64;
+                while !stop.load(SeqCst) {
+                    pair.store_first(era, SeqCst);
+                    era += 1;
+                }
+            });
+            scope.spawn(|| {
+                let mut expected_tag = 0u64;
+                for _ in 0..50_000 {
+                    let cur = pair.load();
+                    assert_eq!(cur.1, expected_tag);
+                    if pair.compare_exchange(cur, (cur.0, cur.1 + 1)).is_ok() {
+                        expected_tag += 1;
+                    }
+                }
+                stop.store(true, SeqCst);
+            });
+        });
+        assert!(pair.load().1 > 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! `cargo bench` entry point that regenerates every figure of the paper with
+//! scaled-down parameters.
+//!
+//! This is a plain harness (not Criterion): each figure is a multi-second
+//! multi-threaded sweep, so statistical resampling is neither feasible nor
+//! meaningful. The output is the same CSV the `figures` binary produces; run
+//! `cargo run -p wfe-bench --release --bin figures -- --paper` for the full
+//! paper methodology.
+
+use std::time::Duration;
+
+use wfe_bench::figures::{Figure, Scheme};
+use wfe_bench::params::BenchParams;
+use wfe_bench::runner::DataPoint;
+
+fn main() {
+    // `cargo bench` passes `--bench`; a filter argument selects figures.
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut threads = vec![1, 2, 4, 8, 16];
+    threads.retain(|&t| t <= cores);
+    let params = BenchParams {
+        threads,
+        duration: Duration::from_millis(200),
+        repeats: 1,
+        prefill: 2_000,
+        key_range: 20_000,
+        ..BenchParams::default()
+    };
+
+    eprintln!(
+        "# figures_smoke: threads={:?} duration={:?} prefill={} (use the `figures` binary with --paper for the full methodology)",
+        params.threads, params.duration, params.prefill
+    );
+    println!("figure,{}", DataPoint::CSV_HEADER);
+    for figure in Figure::ALL {
+        if !filters.is_empty() && !filters.iter().any(|f| figure.name().contains(f.as_str())) {
+            continue;
+        }
+        eprintln!("# {}: {}", figure.name(), figure.description());
+        for point in figure.run(&params, &Scheme::ALL) {
+            println!("{},{}", figure.name(), point.to_csv_row());
+        }
+    }
+}

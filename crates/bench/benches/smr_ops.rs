@@ -1,0 +1,113 @@
+//! Criterion micro-benchmarks of the raw reclamation operations.
+//!
+//! These complement the figure runs: they measure the per-call cost of the
+//! three hot operations every data structure pays for — `get_protected`
+//! (traversal), `alloc_block` + `retire` (update) — for each scheme, which is
+//! the constant-factor difference the paper attributes the HP slowdown and the
+//! small WFE-vs-HE gap to (§5, linked-list discussion).
+
+use std::ptr;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wfe_core::Wfe;
+use wfe_reclaim::{
+    Atomic, Ebr, Handle, He, Hp, Ibr2Ge, Leak, RawHandle, Reclaimer, ReclaimerConfig,
+};
+
+fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
+    let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
+    let mut handle = domain.register();
+    let node = handle.alloc(42u64);
+    let root: Atomic<u64> = Atomic::new(node);
+    c.bench_with_input(
+        BenchmarkId::new("get_protected", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                handle.begin_op();
+                let ptr = handle.protect(&root, 0, ptr::null_mut());
+                handle.end_op();
+                std::hint::black_box(ptr)
+            })
+        },
+    );
+    unsafe { wfe_reclaim::Linked::dealloc(node) };
+}
+
+fn bench_alloc_retire<R: Reclaimer>(c: &mut Criterion, name: &str) {
+    let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
+    let mut handle = domain.register();
+    c.bench_with_input(
+        BenchmarkId::new("alloc_retire", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                let node = handle.alloc(7u64);
+                unsafe { handle.retire(std::hint::black_box(node)) };
+            })
+        },
+    );
+}
+
+fn bench_protect_under_era_pressure(c: &mut Criterion) {
+    // The WFE-specific cost: get_protected while another thread keeps
+    // advancing the era clock (allocating with era_freq = 1), which is what
+    // pushes Hazard Eras into its unbounded loop and WFE onto its slow path.
+    let domain = Wfe::with_config(ReclaimerConfig {
+        era_freq: 1,
+        fast_path_attempts: 16,
+        ..ReclaimerConfig::with_max_threads(4)
+    });
+    let mut handle = domain.register();
+    let node = handle.alloc(42u64);
+    let root: Atomic<u64> = Atomic::new(node);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let bumper = {
+        let domain = Arc::clone(&domain);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut handle = domain.register();
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let ptr = handle.alloc(0u64);
+                unsafe { handle.retire(ptr) };
+            }
+        })
+    };
+    c.bench_function("get_protected/WFE-under-era-pressure", |bencher| {
+        bencher.iter(|| {
+            handle.begin_op();
+            let ptr = handle.protect(&root, 0, ptr::null_mut());
+            handle.end_op();
+            std::hint::black_box(ptr)
+        })
+    });
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    bumper.join().unwrap();
+    unsafe { wfe_reclaim::Linked::dealloc(node) };
+}
+
+fn smr_ops(c: &mut Criterion) {
+    bench_protect::<Wfe>(c, "WFE");
+    bench_protect::<He>(c, "HE");
+    bench_protect::<Hp>(c, "HP");
+    bench_protect::<Ebr>(c, "EBR");
+    bench_protect::<Ibr2Ge>(c, "2GEIBR");
+    bench_protect::<Leak>(c, "Leak");
+
+    bench_alloc_retire::<Wfe>(c, "WFE");
+    bench_alloc_retire::<He>(c, "HE");
+    bench_alloc_retire::<Hp>(c, "HP");
+    bench_alloc_retire::<Ebr>(c, "EBR");
+    bench_alloc_retire::<Ibr2Ge>(c, "2GEIBR");
+    bench_alloc_retire::<Leak>(c, "Leak");
+
+    bench_protect_under_era_pressure(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_millis(500)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = smr_ops
+}
+criterion_main!(benches);

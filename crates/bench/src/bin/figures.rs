@@ -1,0 +1,124 @@
+//! Figure runner: regenerates the series of every figure in the paper.
+//!
+//! ```text
+//! figures [FIGURE ...] [--paper | --smoke] [--threads 1,2,4] [--duration-ms 500]
+//!         [--repeats N] [--prefill N] [--schemes WFE,HE,...]
+//! ```
+//!
+//! With no figure argument every figure (and both ablations) is run. Output is
+//! CSV on stdout: `figure,structure,workload,scheme,threads,mops,avg_unreclaimed`.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use wfe_bench::figures::{Figure, Scheme};
+use wfe_bench::params::BenchParams;
+use wfe_bench::runner::DataPoint;
+
+fn print_usage() {
+    eprintln!(
+        "usage: figures [FIGURE ...] [options]\n\
+         \n\
+         figures: {}  (default: all)\n\
+         options:\n\
+           --paper           full paper methodology (10 s x 5 runs, 50k prefill, up to 120 threads)\n\
+           --smoke           tiny smoke-test parameters\n\
+           --threads LIST    comma-separated thread counts (default: powers of two up to the core count)\n\
+           --duration-ms N   run duration per point in milliseconds\n\
+           --repeats N       repetitions per point\n\
+           --prefill N       elements pre-inserted before measuring\n\
+           --schemes LIST    comma-separated subset of WFE,EBR,HE,HP,2GEIBR,Leak\n",
+        Figure::ALL
+            .iter()
+            .map(|f| f.name())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+}
+
+fn parse_args() -> Result<(Vec<Figure>, BenchParams, Vec<Scheme>), String> {
+    let mut figures = Vec::new();
+    let mut params = BenchParams::default();
+    let mut schemes: Vec<Scheme> = Scheme::ALL.to_vec();
+    let mut args = std::env::args().skip(1).peekable();
+
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--paper" => {
+                let threads = params.threads.clone();
+                params = BenchParams::paper();
+                // Keep an explicitly passed thread list if it came first.
+                if threads != BenchParams::default().threads {
+                    params.threads = threads;
+                }
+            }
+            "--smoke" => params = BenchParams::smoke(),
+            "--threads" => {
+                let value = args.next().ok_or("--threads needs a value")?;
+                params.threads = value
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if params.threads.is_empty() || params.threads.contains(&0) {
+                    return Err("--threads needs positive values".into());
+                }
+            }
+            "--duration-ms" => {
+                let value = args.next().ok_or("--duration-ms needs a value")?;
+                params.duration =
+                    Duration::from_millis(value.parse::<u64>().map_err(|e| e.to_string())?);
+            }
+            "--repeats" => {
+                let value = args.next().ok_or("--repeats needs a value")?;
+                params.repeats = value.parse::<usize>().map_err(|e| e.to_string())?;
+            }
+            "--prefill" => {
+                let value = args.next().ok_or("--prefill needs a value")?;
+                params.prefill = value.parse::<usize>().map_err(|e| e.to_string())?;
+            }
+            "--schemes" => {
+                let value = args.next().ok_or("--schemes needs a value")?;
+                schemes = value
+                    .split(',')
+                    .map(|s| Scheme::parse(s.trim()).ok_or_else(|| format!("unknown scheme {s}")))
+                    .collect::<Result<Vec<_>, _>>()?;
+            }
+            other => {
+                let figure =
+                    Figure::parse(other).ok_or_else(|| format!("unknown figure or option {other}"))?;
+                figures.push(figure);
+            }
+        }
+    }
+    if figures.is_empty() {
+        figures = Figure::ALL.to_vec();
+    }
+    Ok((figures, params, schemes))
+}
+
+fn main() -> ExitCode {
+    let (figures, params, schemes) = match parse_args() {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}\n");
+            }
+            print_usage();
+            return ExitCode::from(2);
+        }
+    };
+
+    eprintln!(
+        "# threads={:?} duration={:?} repeats={} prefill={} key_range={}",
+        params.threads, params.duration, params.repeats, params.prefill, params.key_range
+    );
+    println!("figure,{}", DataPoint::CSV_HEADER);
+    for figure in figures {
+        eprintln!("# {}: {}", figure.name(), figure.description());
+        for point in figure.run(&params, &schemes) {
+            println!("{},{}", figure.name(), point.to_csv_row());
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,400 @@
+//! One entry per figure of the paper's evaluation.
+//!
+//! | Figure | Structure | Workload | Metric(s) |
+//! |--------|-----------|----------|-----------|
+//! | 5a/5b  | Kogan-Petrank queue | 50% enq / 50% deq | Mops/s, unreclaimed |
+//! | 5c/5d  | CRTurn queue (*substituted*, see below) | 50/50 | Mops/s, unreclaimed |
+//! | 6      | Harris-Michael list | 50% insert / 50% delete | both |
+//! | 7      | Michael hash map | 50/50 | both |
+//! | 8      | Natarajan-Mittal BST | 50/50 | both |
+//! | 9      | Harris-Michael list | 90% get / 10% put | both |
+//! | 10     | Michael hash map | 90/10 | both |
+//! | 11     | Natarajan-Mittal BST | 90/10 | both |
+//!
+//! Every runner reports *both* metrics for each point, so the throughput
+//! figure and its companion unreclaimed-objects figure come from the same
+//! rows (exactly as in the paper, where each experiment produces both plots).
+//!
+//! **Substitution**: the second wait-free queue evaluated by the paper is the
+//! Ramalhete-Correia CRTurn queue. This reproduction substitutes the
+//! Michael-Scott queue for that workload (documented in `DESIGN.md` and
+//! `EXPERIMENTS.md`): the comparison of reclamation schemes on a second
+//! queue-shaped workload is preserved, while the queue itself is lock-free
+//! rather than wait-free.
+//!
+//! Two ablations beyond the paper are included: forcing the WFE slow path
+//! (`AblationSlowPath`) and sweeping the number of fast-path attempts
+//! (`AblationAttempts`).
+
+use wfe_core::Wfe;
+use wfe_ds::{KoganPetrankQueue, MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst};
+use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer};
+
+use crate::params::BenchParams;
+use crate::runner::{run_map, run_queue, DataPoint};
+use crate::workload::MapWorkload;
+
+/// The reclamation schemes compared in every figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Wait-Free Eras (this paper).
+    Wfe,
+    /// Epoch-based reclamation.
+    Ebr,
+    /// Hazard Eras.
+    He,
+    /// Hazard Pointers.
+    Hp,
+    /// Interval-based reclamation (2GEIBR).
+    Ibr,
+    /// No reclamation.
+    Leak,
+}
+
+impl Scheme {
+    /// Every scheme, in the order the paper lists them.
+    pub const ALL: [Scheme; 6] = [
+        Scheme::Wfe,
+        Scheme::Ebr,
+        Scheme::He,
+        Scheme::Hp,
+        Scheme::Ibr,
+        Scheme::Leak,
+    ];
+
+    /// Legend name used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Wfe => "WFE",
+            Scheme::Ebr => "EBR",
+            Scheme::He => "HE",
+            Scheme::Hp => "HP",
+            Scheme::Ibr => "2GEIBR",
+            Scheme::Leak => "Leak",
+        }
+    }
+
+    /// Parses a legend name.
+    pub fn parse(name: &str) -> Option<Scheme> {
+        Self::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+}
+
+/// The key-value structures of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// Harris-Michael sorted linked list.
+    List,
+    /// Michael hash map.
+    HashMap,
+    /// Natarajan-Mittal BST.
+    Bst,
+}
+
+impl MapKind {
+    fn name(self) -> &'static str {
+        match self {
+            MapKind::List => "list",
+            MapKind::HashMap => "hashmap",
+            MapKind::Bst => "bst",
+        }
+    }
+}
+
+/// The queue structures of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Kogan-Petrank wait-free queue (Figure 5a/5b).
+    KoganPetrank,
+    /// Stand-in for the CRTurn queue of Figure 5c/5d (see module docs).
+    CrTurnSubstitute,
+}
+
+impl QueueKind {
+    fn name(self) -> &'static str {
+        match self {
+            QueueKind::KoganPetrank => "kp-queue",
+            QueueKind::CrTurnSubstitute => "ms-queue(crturn-substitute)",
+        }
+    }
+}
+
+fn map_point_for<R: Reclaimer>(
+    scheme: &'static str,
+    map: MapKind,
+    workload: MapWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    match map {
+        MapKind::List => {
+            run_map::<R, MichaelList<u64, R>>(scheme, map.name(), workload, threads, params)
+        }
+        MapKind::HashMap => {
+            run_map::<R, MichaelHashMap<u64, R>>(scheme, map.name(), workload, threads, params)
+        }
+        MapKind::Bst => {
+            run_map::<R, NatarajanBst<u64, R>>(scheme, map.name(), workload, threads, params)
+        }
+    }
+}
+
+/// Measures one map data point for one scheme.
+pub fn run_map_point(
+    scheme: Scheme,
+    map: MapKind,
+    workload: MapWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    let name = scheme.name();
+    match scheme {
+        Scheme::Wfe => map_point_for::<Wfe>(name, map, workload, threads, params),
+        Scheme::Ebr => map_point_for::<Ebr>(name, map, workload, threads, params),
+        Scheme::He => map_point_for::<He>(name, map, workload, threads, params),
+        Scheme::Hp => map_point_for::<Hp>(name, map, workload, threads, params),
+        Scheme::Ibr => map_point_for::<Ibr2Ge>(name, map, workload, threads, params),
+        Scheme::Leak => map_point_for::<Leak>(name, map, workload, threads, params),
+    }
+}
+
+fn queue_point_for<R: Reclaimer>(
+    scheme: &'static str,
+    queue: QueueKind,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    match queue {
+        QueueKind::KoganPetrank => {
+            run_queue::<R, KoganPetrankQueue<u64, R>>(scheme, queue.name(), threads, params)
+        }
+        QueueKind::CrTurnSubstitute => {
+            run_queue::<R, MichaelScottQueue<u64, R>>(scheme, queue.name(), threads, params)
+        }
+    }
+}
+
+/// Measures one queue data point for one scheme.
+pub fn run_queue_point(
+    scheme: Scheme,
+    queue: QueueKind,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    let name = scheme.name();
+    match scheme {
+        Scheme::Wfe => queue_point_for::<Wfe>(name, queue, threads, params),
+        Scheme::Ebr => queue_point_for::<Ebr>(name, queue, threads, params),
+        Scheme::He => queue_point_for::<He>(name, queue, threads, params),
+        Scheme::Hp => queue_point_for::<Hp>(name, queue, threads, params),
+        Scheme::Ibr => queue_point_for::<Ibr2Ge>(name, queue, threads, params),
+        Scheme::Leak => queue_point_for::<Leak>(name, queue, threads, params),
+    }
+}
+
+/// A figure (or ablation) of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// KP queue, 50/50 (Figure 5a throughput, 5b unreclaimed).
+    Fig5ab,
+    /// Second queue workload, 50/50 (Figure 5c throughput, 5d unreclaimed).
+    Fig5cd,
+    /// Linked list, 50/50 (Figure 6).
+    Fig6,
+    /// Hash map, 50/50 (Figure 7).
+    Fig7,
+    /// BST, 50/50 (Figure 8).
+    Fig8,
+    /// Linked list, 90/10 (Figure 9).
+    Fig9,
+    /// Hash map, 90/10 (Figure 10).
+    Fig10,
+    /// BST, 90/10 (Figure 11).
+    Fig11,
+    /// Ablation: WFE with the slow path forced (1 fast-path attempt) vs the
+    /// default 16 attempts, on the hash map.
+    AblationSlowPath,
+    /// Ablation: sweep of WFE fast-path attempts {1, 4, 16, 64} on the hash map.
+    AblationAttempts,
+}
+
+impl Figure {
+    /// Every figure, in paper order, followed by the ablations.
+    pub const ALL: [Figure; 10] = [
+        Figure::Fig5ab,
+        Figure::Fig5cd,
+        Figure::Fig6,
+        Figure::Fig7,
+        Figure::Fig8,
+        Figure::Fig9,
+        Figure::Fig10,
+        Figure::Fig11,
+        Figure::AblationSlowPath,
+        Figure::AblationAttempts,
+    ];
+
+    /// CLI name of the figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            Figure::Fig5ab => "fig5ab",
+            Figure::Fig5cd => "fig5cd",
+            Figure::Fig6 => "fig6",
+            Figure::Fig7 => "fig7",
+            Figure::Fig8 => "fig8",
+            Figure::Fig9 => "fig9",
+            Figure::Fig10 => "fig10",
+            Figure::Fig11 => "fig11",
+            Figure::AblationSlowPath => "ablation-slowpath",
+            Figure::AblationAttempts => "ablation-attempts",
+        }
+    }
+
+    /// Parses a CLI name (accepts `fig5a`..`fig5d` as aliases of the combined
+    /// runs).
+    pub fn parse(name: &str) -> Option<Figure> {
+        let name = name.to_ascii_lowercase();
+        match name.as_str() {
+            "fig5a" | "fig5b" => return Some(Figure::Fig5ab),
+            "fig5c" | "fig5d" => return Some(Figure::Fig5cd),
+            _ => {}
+        }
+        Self::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Human-readable description shown in the CSV preamble.
+    pub fn description(self) -> &'static str {
+        match self {
+            Figure::Fig5ab => "Kogan-Petrank wait-free queue, 50% enqueue / 50% dequeue",
+            Figure::Fig5cd => {
+                "second queue workload (CRTurn in the paper, Michael-Scott substitute here), 50/50"
+            }
+            Figure::Fig6 => "Harris-Michael linked list, 50% insert / 50% delete",
+            Figure::Fig7 => "Michael hash map, 50% insert / 50% delete",
+            Figure::Fig8 => "Natarajan-Mittal BST, 50% insert / 50% delete",
+            Figure::Fig9 => "Harris-Michael linked list, 90% get / 10% put",
+            Figure::Fig10 => "Michael hash map, 90% get / 10% put",
+            Figure::Fig11 => "Natarajan-Mittal BST, 90% get / 10% put",
+            Figure::AblationSlowPath => "WFE slow path forced vs default, Michael hash map 50/50",
+            Figure::AblationAttempts => "WFE fast-path attempt sweep, Michael hash map 50/50",
+        }
+    }
+
+    /// Runs the figure for every scheme and thread count in `params`.
+    pub fn run(self, params: &BenchParams, schemes: &[Scheme]) -> Vec<DataPoint> {
+        let mut points = Vec::new();
+        match self {
+            Figure::Fig5ab | Figure::Fig5cd => {
+                let queue = if self == Figure::Fig5ab {
+                    QueueKind::KoganPetrank
+                } else {
+                    QueueKind::CrTurnSubstitute
+                };
+                for &threads in &params.threads {
+                    for &scheme in schemes {
+                        points.push(run_queue_point(scheme, queue, threads, params));
+                    }
+                }
+            }
+            Figure::Fig6 | Figure::Fig7 | Figure::Fig8 | Figure::Fig9 | Figure::Fig10
+            | Figure::Fig11 => {
+                let (map, workload) = match self {
+                    Figure::Fig6 => (MapKind::List, MapWorkload::WriteDominated),
+                    Figure::Fig7 => (MapKind::HashMap, MapWorkload::WriteDominated),
+                    Figure::Fig8 => (MapKind::Bst, MapWorkload::WriteDominated),
+                    Figure::Fig9 => (MapKind::List, MapWorkload::ReadMostly),
+                    Figure::Fig10 => (MapKind::HashMap, MapWorkload::ReadMostly),
+                    _ => (MapKind::Bst, MapWorkload::ReadMostly),
+                };
+                for &threads in &params.threads {
+                    for &scheme in schemes {
+                        points.push(run_map_point(scheme, map, workload, threads, params));
+                    }
+                }
+            }
+            Figure::AblationSlowPath => {
+                for &threads in &params.threads {
+                    for (label, attempts) in [("WFE", 16usize), ("WFE-forced-slow", 1)] {
+                        let mut tweaked = params.clone();
+                        tweaked.fast_path_attempts = attempts;
+                        let mut point = map_point_for::<Wfe>(
+                            label,
+                            MapKind::HashMap,
+                            MapWorkload::WriteDominated,
+                            threads,
+                            &tweaked,
+                        );
+                        point.scheme = label;
+                        points.push(point);
+                    }
+                }
+            }
+            Figure::AblationAttempts => {
+                for &threads in &params.threads {
+                    for (label, attempts) in [
+                        ("WFE-attempts-1", 1usize),
+                        ("WFE-attempts-4", 4),
+                        ("WFE-attempts-16", 16),
+                        ("WFE-attempts-64", 64),
+                    ] {
+                        let mut tweaked = params.clone();
+                        tweaked.fast_path_attempts = attempts;
+                        let mut point = map_point_for::<Wfe>(
+                            label,
+                            MapKind::HashMap,
+                            MapWorkload::WriteDominated,
+                            threads,
+                            &tweaked,
+                        );
+                        point.scheme = label;
+                        points.push(point);
+                    }
+                }
+            }
+        }
+        points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_names_roundtrip() {
+        for figure in Figure::ALL {
+            assert_eq!(Figure::parse(figure.name()), Some(figure));
+        }
+        assert_eq!(Figure::parse("fig5a"), Some(Figure::Fig5ab));
+        assert_eq!(Figure::parse("fig5d"), Some(Figure::Fig5cd));
+        assert_eq!(Figure::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn scheme_names_roundtrip() {
+        for scheme in Scheme::ALL {
+            assert_eq!(Scheme::parse(scheme.name()), Some(scheme));
+        }
+        assert_eq!(Scheme::parse("wfe"), Some(Scheme::Wfe));
+        assert_eq!(Scheme::parse("unknown"), None);
+    }
+
+    #[test]
+    fn smoke_run_of_a_map_figure_produces_all_series() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::Wfe, Scheme::He];
+        let points = Figure::Fig7.run(&params, &schemes);
+        assert_eq!(points.len(), params.threads.len() * schemes.len());
+        assert!(points.iter().all(|p| p.mops > 0.0));
+    }
+
+    #[test]
+    fn smoke_run_of_the_queue_figure_produces_all_series() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::Wfe];
+        let points = Figure::Fig5ab.run(&params, &schemes);
+        assert_eq!(points.len(), params.threads.len());
+        assert!(points.iter().all(|p| p.structure == "kp-queue"));
+    }
+}

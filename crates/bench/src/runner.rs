@@ -1,0 +1,384 @@
+//! Generic measurement loops.
+//!
+//! One data point = one (scheme, structure, workload, thread-count)
+//! combination, measured for `BenchParams::duration` and repeated
+//! `BenchParams::repeats` times. Throughput is the total number of completed
+//! operations divided by the run duration (reported in Mops/s, as in the
+//! paper); the reclamation metric is the time-average of the number of
+//! retired-but-not-yet-freed blocks, sampled every few milliseconds while the
+//! run is in flight.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use wfe_reclaim::{Reclaimer, ReclaimerConfig};
+
+use crate::params::BenchParams;
+use crate::workload::{MapOp, MapWorkload, OpGenerator};
+use wfe_ds::{ConcurrentMap, ConcurrentQueue};
+
+/// How often the sampler thread reads the unreclaimed-object counter.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Warm-up time before the measured window: a fraction of the run duration,
+/// capped so short smoke runs stay short.
+fn warmup_duration(params: &BenchParams) -> Duration {
+    (params.duration / 5).min(Duration::from_millis(200)).max(Duration::from_millis(20))
+}
+
+/// One-time process warm-up: spin every core and churn the allocator for a
+/// moment so the first measured configuration is not penalised by CPU
+/// frequency ramp-up and cold allocator arenas (with short run durations that
+/// penalty is large enough to distort the first series of a sweep).
+fn process_warm_up() {
+    static WARM: std::sync::Once = std::sync::Once::new();
+    WARM.call_once(|| {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let deadline = Instant::now() + Duration::from_millis(700);
+        // Run a real (throwaway) map workload so the allocator arenas used by
+        // worker threads are grown and faulted in before anything is measured.
+        let domain = wfe_reclaim::He::with_config(ReclaimerConfig::with_max_threads(cores.min(8)));
+        let map = wfe_ds::MichaelHashMap::<u64, wfe_reclaim::He>::with_domain(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for thread in 0..cores.min(8) {
+                let domain = Arc::clone(&domain);
+                let map = &map;
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    let mut key = thread as u64;
+                    let mut sink = 0u64;
+                    while Instant::now() < deadline {
+                        key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let k = key % 100_000;
+                        if key & 1 == 0 {
+                            map.insert(&mut handle, k, k);
+                        } else {
+                            map.remove(&mut handle, k);
+                        }
+                        sink = sink.wrapping_add(k);
+                        std::hint::black_box(&sink);
+                    }
+                });
+            }
+        });
+    });
+}
+
+/// One measured point of a figure.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Scheme name as used in the paper's legends.
+    pub scheme: &'static str,
+    /// Data-structure name.
+    pub structure: &'static str,
+    /// Workload label (`write50`, `read90`, `queue50`).
+    pub workload: &'static str,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Millions of completed operations per second.
+    pub mops: f64,
+    /// Time-averaged number of retired-but-unreclaimed blocks.
+    pub avg_unreclaimed: f64,
+}
+
+impl DataPoint {
+    /// CSV header matching [`DataPoint::to_csv_row`].
+    pub const CSV_HEADER: &'static str = "structure,workload,scheme,threads,mops,avg_unreclaimed";
+
+    /// Renders the point as one CSV row.
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.4},{:.1}",
+            self.structure, self.workload, self.scheme, self.threads, self.mops, self.avg_unreclaimed
+        )
+    }
+}
+
+fn domain_config<R: Reclaimer>(threads: usize, required_slots: usize, params: &BenchParams) -> ReclaimerConfig {
+    let _ = std::marker::PhantomData::<R>;
+    ReclaimerConfig {
+        max_threads: threads,
+        slots_per_thread: required_slots.max(2),
+        era_freq: params.era_freq,
+        cleanup_freq: params.cleanup_freq,
+        fast_path_attempts: params.fast_path_attempts,
+    }
+}
+
+/// Samples `unreclaimed` while the workers run; returns the time average.
+struct Sampler {
+    sum: f64,
+    samples: u64,
+}
+
+impl Sampler {
+    fn new() -> Self {
+        Self { sum: 0.0, samples: 0 }
+    }
+
+    fn record(&mut self, unreclaimed: u64) {
+        self.sum += unreclaimed as f64;
+        self.samples += 1;
+    }
+
+    fn average(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum / self.samples as f64
+        }
+    }
+}
+
+/// Runs the map workload once and returns (completed ops, average unreclaimed).
+fn run_map_once<R, M>(
+    threads: usize,
+    workload: MapWorkload,
+    params: &BenchParams,
+    seed: u64,
+) -> (u64, f64, Duration)
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let domain = R::with_config(domain_config::<R>(threads, M::required_slots(), params));
+    let map = M::with_domain(Arc::clone(&domain));
+
+    // Prefill with `prefill` distinct keys drawn from the key range.
+    {
+        let mut handle = domain.register();
+        let mut generator = OpGenerator::new(workload, params.key_range, seed, usize::MAX >> 1);
+        let mut inserted = 0usize;
+        while inserted < params.prefill.min(params.key_range as usize) {
+            if map.insert(&mut handle, generator.next_key(), 0) {
+                inserted += 1;
+            }
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let mut sampler = Sampler::new();
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let domain = Arc::clone(&domain);
+            let map = &map;
+            let stop = &stop;
+            let measuring = &measuring;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                let mut generator = OpGenerator::new(workload, params.key_range, seed, thread);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if !measuring.load(Ordering::Relaxed) {
+                        ops = 0;
+                    }
+                    match generator.next_op() {
+                        MapOp::Insert(key) => {
+                            map.insert(&mut handle, key, key);
+                        }
+                        MapOp::Remove(key) => {
+                            map.remove(&mut handle, key);
+                        }
+                        MapOp::Get(key) => {
+                            map.get(&mut handle, key);
+                        }
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        // Warm-up: let the workers fault in the working set and ramp the CPU
+        // before the measured window opens (the first scheme measured in a
+        // process would otherwise be penalised).
+        std::thread::sleep(warmup_duration(params));
+        measuring.store(true, Ordering::SeqCst);
+        let start = Instant::now();
+        while start.elapsed() < params.duration {
+            std::thread::sleep(SAMPLE_INTERVAL);
+            sampler.record(domain.stats().unreclaimed);
+        }
+        stop.store(true, Ordering::Relaxed);
+        elapsed = start.elapsed();
+    });
+
+    (total_ops.into_inner(), sampler.average(), elapsed)
+}
+
+/// Runs the queue workload once (50% enqueue / 50% dequeue).
+fn run_queue_once<R, Q>(threads: usize, params: &BenchParams, seed: u64) -> (u64, f64, Duration)
+where
+    R: Reclaimer,
+    Q: ConcurrentQueue<R>,
+{
+    let domain = R::with_config(domain_config::<R>(threads, Q::required_slots(), params));
+    let queue = Q::with_domain(Arc::clone(&domain));
+
+    {
+        let mut handle = domain.register();
+        let mut generator =
+            OpGenerator::new(MapWorkload::WriteDominated, params.key_range, seed, usize::MAX >> 1);
+        for _ in 0..params.prefill {
+            queue.enqueue(&mut handle, generator.next_key());
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let mut sampler = Sampler::new();
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let domain = Arc::clone(&domain);
+            let queue = &queue;
+            let stop = &stop;
+            let measuring = &measuring;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                let mut generator =
+                    OpGenerator::new(MapWorkload::WriteDominated, params.key_range, seed, thread);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if !measuring.load(Ordering::Relaxed) {
+                        ops = 0;
+                    }
+                    if generator.next_bool() {
+                        queue.enqueue(&mut handle, generator.next_key());
+                    } else {
+                        queue.dequeue(&mut handle);
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        barrier.wait();
+        // Warm-up: let the workers fault in the working set and ramp the CPU
+        // before the measured window opens (the first scheme measured in a
+        // process would otherwise be penalised).
+        std::thread::sleep(warmup_duration(params));
+        measuring.store(true, Ordering::SeqCst);
+        let start = Instant::now();
+        while start.elapsed() < params.duration {
+            std::thread::sleep(SAMPLE_INTERVAL);
+            sampler.record(domain.stats().unreclaimed);
+        }
+        stop.store(true, Ordering::Relaxed);
+        elapsed = start.elapsed();
+    });
+
+    (total_ops.into_inner(), sampler.average(), elapsed)
+}
+
+/// Measures one map data point (averaged over `params.repeats` runs).
+pub fn run_map<R, M>(
+    scheme: &'static str,
+    structure: &'static str,
+    workload: MapWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    process_warm_up();
+    let mut mops = 0.0;
+    let mut unreclaimed = 0.0;
+    for repeat in 0..params.repeats.max(1) {
+        let (ops, avg_unreclaimed, elapsed) =
+            run_map_once::<R, M>(threads, workload, params, 0xC0FFEE + repeat as u64);
+        mops += ops as f64 / elapsed.as_secs_f64() / 1e6;
+        unreclaimed += avg_unreclaimed;
+    }
+    let repeats = params.repeats.max(1) as f64;
+    DataPoint {
+        scheme,
+        structure,
+        workload: workload.label(),
+        threads,
+        mops: mops / repeats,
+        avg_unreclaimed: unreclaimed / repeats,
+    }
+}
+
+/// Measures one queue data point (averaged over `params.repeats` runs).
+pub fn run_queue<R, Q>(
+    scheme: &'static str,
+    structure: &'static str,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint
+where
+    R: Reclaimer,
+    Q: ConcurrentQueue<R>,
+{
+    process_warm_up();
+    let mut mops = 0.0;
+    let mut unreclaimed = 0.0;
+    for repeat in 0..params.repeats.max(1) {
+        let (ops, avg_unreclaimed, elapsed) =
+            run_queue_once::<R, Q>(threads, params, 0xBADC0DE + repeat as u64);
+        mops += ops as f64 / elapsed.as_secs_f64() / 1e6;
+        unreclaimed += avg_unreclaimed;
+    }
+    let repeats = params.repeats.max(1) as f64;
+    DataPoint {
+        scheme,
+        structure,
+        workload: "queue50",
+        threads,
+        mops: mops / repeats,
+        avg_unreclaimed: unreclaimed / repeats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfe_core::Wfe;
+    use wfe_ds::{MichaelHashMap, MichaelScottQueue};
+    use wfe_reclaim::He;
+
+    #[test]
+    fn map_runner_produces_sane_numbers() {
+        let params = BenchParams::smoke();
+        let point = run_map::<Wfe, MichaelHashMap<u64, Wfe>>(
+            "WFE",
+            "hashmap",
+            MapWorkload::WriteDominated,
+            2,
+            &params,
+        );
+        assert_eq!(point.threads, 2);
+        assert!(point.mops > 0.0, "some operations completed");
+        assert!(point.avg_unreclaimed >= 0.0);
+        assert!(point.to_csv_row().starts_with("hashmap,write50,WFE,2,"));
+    }
+
+    #[test]
+    fn queue_runner_produces_sane_numbers() {
+        let params = BenchParams::smoke();
+        let point = run_queue::<He, MichaelScottQueue<u64, He>>("HE", "msqueue", 2, &params);
+        assert!(point.mops > 0.0);
+        assert_eq!(point.workload, "queue50");
+    }
+}

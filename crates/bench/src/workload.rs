@@ -1,0 +1,154 @@
+//! Workload definitions (paper §5).
+//!
+//! Two map workloads are used throughout the evaluation:
+//!
+//! * **write-dominated** — 50% `insert`, 50% `delete` (Figures 5-8);
+//! * **read-mostly** — 90% `get`, 10% `put` (Figures 9-11).
+//!
+//! Queues only support `enqueue`/`dequeue`, so they always run the
+//! write-dominated mix (Figure 5). Keys are drawn uniformly from
+//! `0..key_range` using a per-thread PRNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The operation mix applied to key-value structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapWorkload {
+    /// 50% `insert`, 50% `delete`.
+    WriteDominated,
+    /// 90% `get`, 10% `put` (insert).
+    ReadMostly,
+}
+
+impl MapWorkload {
+    /// Human-readable label used in CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MapWorkload::WriteDominated => "write50",
+            MapWorkload::ReadMostly => "read90",
+        }
+    }
+}
+
+/// A single key-value operation to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// Insert `key`.
+    Insert(u64),
+    /// Remove `key`.
+    Remove(u64),
+    /// Look up `key`.
+    Get(u64),
+}
+
+/// Per-thread deterministic operation generator.
+#[derive(Debug)]
+pub struct OpGenerator {
+    rng: StdRng,
+    workload: MapWorkload,
+    key_range: u64,
+}
+
+impl OpGenerator {
+    /// Creates a generator seeded from `(seed, thread)` so runs are
+    /// reproducible yet threads do not correlate.
+    pub fn new(workload: MapWorkload, key_range: u64, seed: u64, thread: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed ^ (thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            workload,
+            key_range,
+        }
+    }
+
+    /// Draws the next operation.
+    pub fn next_op(&mut self) -> MapOp {
+        let key = self.rng.gen_range(0..self.key_range);
+        match self.workload {
+            MapWorkload::WriteDominated => {
+                if self.rng.gen_bool(0.5) {
+                    MapOp::Insert(key)
+                } else {
+                    MapOp::Remove(key)
+                }
+            }
+            MapWorkload::ReadMostly => {
+                if self.rng.gen_bool(0.9) {
+                    MapOp::Get(key)
+                } else {
+                    MapOp::Insert(key)
+                }
+            }
+        }
+    }
+
+    /// Draws a uniformly random key (used by queue workloads for values and by
+    /// the prefill phase).
+    pub fn next_key(&mut self) -> u64 {
+        self.rng.gen_range(0..self.key_range)
+    }
+
+    /// Draws a fair coin (used by queue workloads to pick enqueue/dequeue).
+    pub fn next_bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic_per_seed_and_thread() {
+        let mut a = OpGenerator::new(MapWorkload::WriteDominated, 100, 7, 0);
+        let mut b = OpGenerator::new(MapWorkload::WriteDominated, 100, 7, 0);
+        let mut c = OpGenerator::new(MapWorkload::WriteDominated, 100, 7, 1);
+        let seq_a: Vec<MapOp> = (0..100).map(|_| a.next_op()).collect();
+        let seq_b: Vec<MapOp> = (0..100).map(|_| b.next_op()).collect();
+        let seq_c: Vec<MapOp> = (0..100).map(|_| c.next_op()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn write_dominated_mix_is_roughly_balanced() {
+        let mut gen = OpGenerator::new(MapWorkload::WriteDominated, 1000, 1, 0);
+        let mut inserts = 0;
+        for _ in 0..10_000 {
+            match gen.next_op() {
+                MapOp::Insert(_) => inserts += 1,
+                MapOp::Remove(_) => {}
+                MapOp::Get(_) => panic!("no gets in the write-dominated mix"),
+            }
+        }
+        assert!((4_000..=6_000).contains(&inserts));
+    }
+
+    #[test]
+    fn read_mostly_mix_is_ninety_percent_reads() {
+        let mut gen = OpGenerator::new(MapWorkload::ReadMostly, 1000, 2, 0);
+        let mut gets = 0;
+        let mut removes = 0;
+        for _ in 0..10_000 {
+            match gen.next_op() {
+                MapOp::Get(_) => gets += 1,
+                MapOp::Insert(_) => {}
+                MapOp::Remove(_) => removes += 1,
+            }
+        }
+        assert!((8_500..=9_500).contains(&gets));
+        assert_eq!(removes, 0);
+    }
+
+    #[test]
+    fn keys_stay_in_range() {
+        let mut gen = OpGenerator::new(MapWorkload::ReadMostly, 64, 3, 0);
+        for _ in 0..1_000 {
+            assert!(gen.next_key() < 64);
+            let key = match gen.next_op() {
+                MapOp::Insert(k) | MapOp::Remove(k) | MapOp::Get(k) => k,
+            };
+            assert!(key < 64);
+        }
+    }
+}

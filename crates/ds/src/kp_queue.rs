@@ -1,0 +1,593 @@
+//! Kogan-Petrank wait-free MPMC queue (PPoPP 2011).
+//!
+//! The "KP" workload of Figures 5a/5b and the headline client of the paper:
+//! the original algorithm assumes a garbage collector, so — as the paper
+//! points out — it could never before be run with *fully* wait-free manual
+//! reclamation. Paired with WFE every operation of the queue is wait-free;
+//! paired with the other schemes it keeps their (weaker) progress guarantee,
+//! which is exactly the comparison Figure 5 makes.
+//!
+//! The algorithm uses *phase-based helping*: every operation publishes an
+//! operation descriptor ([`OpDesc`]) with a monotonically increasing phase
+//! number in a per-thread `state` slot; every operation first helps all
+//! pending operations with a smaller-or-equal phase before returning.
+//!
+//! Two adaptations versus the GC-based original, both required for manual
+//! reclamation (and used by the existing hazard-pointer ports):
+//!
+//! * descriptors are allocated through the reclamation scheme and retired by
+//!   whichever thread replaces them in the `state` array;
+//! * when a dequeue is finalised, the helper copies the dequeued **value**
+//!   into the final descriptor, so the owner never dereferences the successor
+//!   node after its operation completed (the successor may be retired by a
+//!   faster dequeuer at any time).
+
+use core::ptr;
+use core::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+
+use crate::traits::ConcurrentQueue;
+
+/// A queue node.
+pub struct Node<T> {
+    value: Option<T>,
+    next: Atomic<Node<T>>,
+    /// Thread id of the enqueuer (used by helpers to finalise its descriptor).
+    enq_tid: usize,
+    /// Thread id of the dequeuer that claimed this node's successor, or -1.
+    deq_tid: AtomicI64,
+}
+
+/// An operation descriptor published in the per-thread `state` array.
+pub struct OpDesc<T> {
+    /// Phase number of the operation (helping priority).
+    phase: u64,
+    /// Whether the operation is still in progress.
+    pending: bool,
+    /// `true` for enqueue, `false` for dequeue.
+    enqueue: bool,
+    /// Enqueue: the node to append. Dequeue: the sentinel node that was
+    /// dequeued past (null while pending / when the queue was empty).
+    node: *mut Linked<Node<T>>,
+    /// Dequeue only: the value handed to the owner by the finalising helper.
+    value: Option<T>,
+}
+
+/// Kogan-Petrank wait-free queue, parameterised by the reclamation scheme.
+pub struct KoganPetrankQueue<T, R: Reclaimer> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+    /// One descriptor slot per thread id (`max_threads` of the domain).
+    state: Box<[Atomic<OpDesc<T>>]>,
+    domain: Arc<R>,
+}
+
+unsafe impl<T: Send, R: Reclaimer> Send for KoganPetrankQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for KoganPetrankQueue<T, R> {}
+
+/// Reservation slot roles.
+const SLOT_FIRST: usize = 0; // head / tail snapshot
+const SLOT_NEXT: usize = 1; // successor node
+const SLOT_DESC: usize = 2; // descriptor being examined
+const SLOT_DESC_AUX: usize = 3; // descriptor re-checks (is_still_pending)
+
+impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
+    /// Creates an empty queue guarded by `domain`. The queue supports thread
+    /// ids up to the domain's `max_threads`.
+    pub fn new(domain: Arc<R>) -> Self {
+        let max_threads = domain.config().max_threads;
+        let mut handle = domain.register();
+        let sentinel = handle.alloc(Node {
+            value: None,
+            next: Atomic::null(),
+            enq_tid: 0,
+            deq_tid: AtomicI64::new(-1),
+        });
+        let state = (0..max_threads)
+            .map(|_| {
+                Atomic::new(handle.alloc(OpDesc {
+                    phase: 0,
+                    pending: false,
+                    enqueue: true,
+                    node: ptr::null_mut(),
+                    value: None,
+                }))
+            })
+            .collect();
+        drop(handle);
+        Self {
+            head: Atomic::new(sentinel),
+            tail: Atomic::new(sentinel),
+            state,
+            domain,
+        }
+    }
+
+    /// The reclamation domain guarding this queue.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    /// Largest phase currently published, plus one.
+    fn next_phase(&self, handle: &mut R::Handle) -> u64 {
+        let mut max = 0;
+        for slot in self.state.iter() {
+            let desc = handle.protect(slot, SLOT_DESC_AUX, ptr::null_mut());
+            let phase = unsafe { (*desc).value.phase };
+            max = max.max(phase);
+        }
+        max + 1
+    }
+
+    /// Replaces `state[tid]`'s current descriptor `old` with `new`, retiring
+    /// `old` on success and freeing `new` on failure. Returns whether the
+    /// exchange happened.
+    fn swap_desc(
+        &self,
+        handle: &mut R::Handle,
+        tid: usize,
+        old: *mut Linked<OpDesc<T>>,
+        new: *mut Linked<OpDesc<T>>,
+    ) -> bool {
+        match self.state[tid].compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire) {
+            Ok(_) => {
+                unsafe { handle.retire(old) };
+                true
+            }
+            Err(_) => {
+                unsafe { Linked::dealloc(new) };
+                false
+            }
+        }
+    }
+
+    fn is_still_pending(&self, handle: &mut R::Handle, tid: usize, phase: u64) -> bool {
+        let desc = handle.protect(&self.state[tid], SLOT_DESC_AUX, ptr::null_mut());
+        let desc = unsafe { &(*desc).value };
+        desc.pending && desc.phase <= phase
+    }
+
+    /// Helps every pending operation whose phase is at most `phase`.
+    fn help(&self, handle: &mut R::Handle, phase: u64) {
+        for tid in 0..self.state.len() {
+            let desc_ptr = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+            let (pending, desc_phase, enqueue) = {
+                let desc = unsafe { &(*desc_ptr).value };
+                (desc.pending, desc.phase, desc.enqueue)
+            };
+            if pending && desc_phase <= phase {
+                if enqueue {
+                    self.help_enq(handle, tid, phase);
+                } else {
+                    self.help_deq(handle, tid, phase);
+                }
+            }
+        }
+    }
+
+    fn help_enq(&self, handle: &mut R::Handle, tid: usize, phase: u64) {
+        while self.is_still_pending(handle, tid, phase) {
+            let last = handle.protect(&self.tail, SLOT_FIRST, ptr::null_mut());
+            let next = unsafe { (*last).value.next.load(Ordering::Acquire) };
+            if last != self.tail.load(Ordering::Acquire) {
+                continue;
+            }
+            if next.is_null() {
+                if self.is_still_pending(handle, tid, phase) {
+                    // Re-read the descriptor to fetch the node to append.
+                    let desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+                    let node = unsafe { (*desc).value.node };
+                    if node.is_null() {
+                        continue;
+                    }
+                    if unsafe { &(*last).value.next }
+                        .compare_exchange(
+                            ptr::null_mut(),
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        )
+                        .is_ok()
+                    {
+                        self.help_finish_enq(handle);
+                        return;
+                    }
+                }
+            } else {
+                self.help_finish_enq(handle);
+            }
+        }
+    }
+
+    fn help_finish_enq(&self, handle: &mut R::Handle) {
+        let last = handle.protect(&self.tail, SLOT_FIRST, ptr::null_mut());
+        let next = handle.protect(unsafe { &(*last).value.next }, SLOT_NEXT, last);
+        if next.is_null() {
+            return;
+        }
+        let enq_tid = unsafe { (*next).value.enq_tid };
+        let cur_desc = handle.protect(&self.state[enq_tid], SLOT_DESC, ptr::null_mut());
+        if last != self.tail.load(Ordering::Acquire) {
+            return;
+        }
+        let (cur_phase, cur_node, cur_pending, cur_enqueue) = {
+            let desc = unsafe { &(*cur_desc).value };
+            (desc.phase, desc.node, desc.pending, desc.enqueue)
+        };
+        if cur_pending && cur_enqueue && cur_node == next {
+            let new_desc = handle.alloc(OpDesc {
+                phase: cur_phase,
+                pending: false,
+                enqueue: true,
+                node: next,
+                value: None,
+            });
+            self.swap_desc(handle, enq_tid, cur_desc, new_desc);
+        }
+        let _ = self
+            .tail
+            .compare_exchange(last, next, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    fn help_deq(&self, handle: &mut R::Handle, tid: usize, phase: u64) {
+        while self.is_still_pending(handle, tid, phase) {
+            let first = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+            let last = self.tail.load(Ordering::Acquire);
+            let next = handle.protect(unsafe { &(*first).value.next }, SLOT_NEXT, first);
+            if first != self.head.load(Ordering::Acquire) {
+                continue;
+            }
+            if first == last {
+                if next.is_null() {
+                    // Queue looks empty: finalise with an empty result.
+                    let cur_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+                    if last != self.tail.load(Ordering::Acquire) {
+                        continue;
+                    }
+                    if self.is_still_pending(handle, tid, phase) {
+                        let cur_phase = unsafe { (*cur_desc).value.phase };
+                        let new_desc = handle.alloc(OpDesc {
+                            phase: cur_phase,
+                            pending: false,
+                            enqueue: false,
+                            node: ptr::null_mut(),
+                            value: None,
+                        });
+                        self.swap_desc(handle, tid, cur_desc, new_desc);
+                    }
+                } else {
+                    // Tail is lagging; finish the in-flight enqueue first.
+                    self.help_finish_enq(handle);
+                }
+            } else {
+                let cur_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+                let (cur_phase, cur_node, cur_pending) = {
+                    let desc = unsafe { &(*cur_desc).value };
+                    (desc.phase, desc.node, desc.pending)
+                };
+                if !(cur_pending && cur_phase <= phase) {
+                    break;
+                }
+                if first != self.head.load(Ordering::Acquire) {
+                    continue;
+                }
+                if cur_node != first {
+                    // Announce which sentinel this dequeue is working on.
+                    let new_desc = handle.alloc(OpDesc {
+                        phase: cur_phase,
+                        pending: true,
+                        enqueue: false,
+                        node: first,
+                        value: None,
+                    });
+                    if !self.swap_desc(handle, tid, cur_desc, new_desc) {
+                        continue;
+                    }
+                }
+                // Claim the sentinel for thread `tid` and finish the dequeue.
+                let _ = unsafe { &(*first).value.deq_tid }.compare_exchange(
+                    -1,
+                    tid as i64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                self.help_finish_deq(handle);
+            }
+        }
+    }
+
+    fn help_finish_deq(&self, handle: &mut R::Handle) {
+        let first = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+        let next = handle.protect(unsafe { &(*first).value.next }, SLOT_NEXT, first);
+        let deq_tid = unsafe { (*first).value.deq_tid.load(Ordering::Acquire) };
+        if deq_tid < 0 {
+            return;
+        }
+        let tid = deq_tid as usize;
+        let cur_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+        if first != self.head.load(Ordering::Acquire) {
+            return;
+        }
+        if next.is_null() {
+            return;
+        }
+        let (cur_phase, cur_node, cur_pending, cur_enqueue) = {
+            let desc = unsafe { &(*cur_desc).value };
+            (desc.phase, desc.node, desc.pending, desc.enqueue)
+        };
+        if cur_pending && !cur_enqueue && cur_node == first {
+            // Hand the dequeued value to the owner inside the descriptor so it
+            // never has to touch `next` after the operation completes.
+            let value = unsafe { (*next).value.value };
+            let new_desc = handle.alloc(OpDesc {
+                phase: cur_phase,
+                pending: false,
+                enqueue: false,
+                node: first,
+                value,
+            });
+            self.swap_desc(handle, tid, cur_desc, new_desc);
+        }
+        let _ = self
+            .head
+            .compare_exchange(first, next, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Appends `value` at the tail. Wait-free when the reclamation scheme is
+    /// wait-free.
+    pub fn enqueue(&self, handle: &mut R::Handle, value: T) {
+        handle.begin_op();
+        let tid = handle.thread_id();
+        let phase = self.next_phase(handle);
+        let node = handle.alloc(Node {
+            value: Some(value),
+            next: Atomic::null(),
+            enq_tid: tid,
+            deq_tid: AtomicI64::new(-1),
+        });
+        let desc = handle.alloc(OpDesc {
+            phase,
+            pending: true,
+            enqueue: true,
+            node,
+            value: None,
+        });
+        self.publish_own_desc(handle, tid, desc);
+        self.help(handle, phase);
+        self.help_finish_enq(handle);
+        handle.end_op();
+    }
+
+    /// Removes the element at the head, if any. Wait-free when the reclamation
+    /// scheme is wait-free.
+    pub fn dequeue(&self, handle: &mut R::Handle) -> Option<T> {
+        handle.begin_op();
+        let tid = handle.thread_id();
+        let phase = self.next_phase(handle);
+        let desc = handle.alloc(OpDesc {
+            phase,
+            pending: true,
+            enqueue: false,
+            node: ptr::null_mut(),
+            value: None,
+        });
+        self.publish_own_desc(handle, tid, desc);
+        self.help(handle, phase);
+        self.help_finish_deq(handle);
+
+        // Our operation is finalised; read the outcome from our descriptor.
+        let final_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+        let (node, value) = unsafe { ((*final_desc).value.node, (*final_desc).value.value) };
+        let result = if node.is_null() {
+            // Queue was empty.
+            None
+        } else {
+            // The old sentinel is ours to retire: helpers only ever read it.
+            unsafe { handle.retire(node) };
+            value
+        };
+        handle.end_op();
+        result
+    }
+
+    /// Installs the descriptor for this thread's own new operation, retiring
+    /// the previous one. A concurrent helper may finalise the *previous*
+    /// operation at the same time, so at most one retry is needed.
+    fn publish_own_desc(
+        &self,
+        handle: &mut R::Handle,
+        tid: usize,
+        desc: *mut Linked<OpDesc<T>>,
+    ) {
+        loop {
+            let old = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+            if self.state[tid]
+                .compare_exchange(old, desc, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                unsafe { handle.retire(old) };
+                return;
+            }
+        }
+    }
+
+    /// Returns `true` if the queue appeared empty at the moment of the call.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        unsafe { (*head).value.next.load(Ordering::Acquire).is_null() }
+    }
+}
+
+impl<T, R: Reclaimer> Drop for KoganPetrankQueue<T, R> {
+    fn drop(&mut self) {
+        // Exclusive access: free the nodes still in the queue and the final
+        // descriptor of every thread slot.
+        let mut cur = self.head.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) };
+            unsafe { Linked::dealloc(cur) };
+            cur = next;
+        }
+        for slot in self.state.iter() {
+            let desc = slot.load(Ordering::Relaxed);
+            if !desc.is_null() {
+                unsafe { Linked::dealloc(desc) };
+            }
+        }
+    }
+}
+
+impl<R: Reclaimer> ConcurrentQueue<R> for KoganPetrankQueue<u64, R> {
+    fn with_domain(domain: Arc<R>) -> Self {
+        Self::new(domain)
+    }
+
+    fn enqueue(&self, handle: &mut R::Handle, value: u64) {
+        KoganPetrankQueue::enqueue(self, handle, value)
+    }
+
+    fn dequeue(&self, handle: &mut R::Handle) -> Option<u64> {
+        KoganPetrankQueue::dequeue(self, handle)
+    }
+
+    fn required_slots() -> usize {
+        6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+    use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, ReclaimerConfig};
+
+    fn small_config(threads: usize) -> ReclaimerConfig {
+        ReclaimerConfig {
+            max_threads: threads,
+            ..ReclaimerConfig::default()
+        }
+    }
+
+    fn fifo_single_threaded<R: Reclaimer>() {
+        let domain = R::with_config(small_config(4));
+        let queue = KoganPetrankQueue::<u64, R>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        assert!(queue.is_empty());
+        assert_eq!(queue.dequeue(&mut handle), None);
+        for i in 0..200 {
+            queue.enqueue(&mut handle, i);
+        }
+        assert!(!queue.is_empty());
+        for i in 0..200 {
+            assert_eq!(queue.dequeue(&mut handle), Some(i));
+        }
+        assert_eq!(queue.dequeue(&mut handle), None);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_under_every_scheme() {
+        fifo_single_threaded::<He>();
+        fifo_single_threaded::<Ebr>();
+        fifo_single_threaded::<Hp>();
+        fifo_single_threaded::<Ibr2Ge>();
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue_preserves_order() {
+        let domain = He::with_config(small_config(2));
+        let queue = KoganPetrankQueue::<u64, He>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        let mut expected_front = 0u64;
+        let mut next_value = 0u64;
+        for round in 0..500u64 {
+            queue.enqueue(&mut handle, next_value);
+            next_value += 1;
+            if round % 3 == 0 {
+                assert_eq!(queue.dequeue(&mut handle), Some(expected_front));
+                expected_front += 1;
+            }
+        }
+        while let Some(v) = queue.dequeue(&mut handle) {
+            assert_eq!(v, expected_front);
+            expected_front += 1;
+        }
+        assert_eq!(expected_front, next_value);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_every_element() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 2_000;
+        let domain = He::with_config(small_config(THREADS + 1));
+        let queue = KoganPetrankQueue::<u64, He>::new(Arc::clone(&domain));
+        let consumed_sum = AtomicU64::new(0);
+        let consumed_count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let queue = &queue;
+                let domain = Arc::clone(&domain);
+                let consumed_sum = &consumed_sum;
+                let consumed_count = &consumed_count;
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 1..=PER_THREAD {
+                        queue.enqueue(&mut handle, t * PER_THREAD + i);
+                        if i % 2 == 0 {
+                            if let Some(v) = queue.dequeue(&mut handle) {
+                                consumed_sum.fetch_add(v, SeqCst);
+                                consumed_count.fetch_add(1, SeqCst);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        while let Some(v) = queue.dequeue(&mut handle) {
+            consumed_sum.fetch_add(v, SeqCst);
+            consumed_count.fetch_add(1, SeqCst);
+        }
+        let expected_sum: u64 = (0..THREADS as u64)
+            .flat_map(|t| (1..=PER_THREAD).map(move |i| t * PER_THREAD + i))
+            .sum();
+        assert_eq!(consumed_count.load(SeqCst), THREADS as u64 * PER_THREAD);
+        assert_eq!(consumed_sum.load(SeqCst), expected_sum);
+    }
+
+    #[test]
+    fn per_thread_fifo_order_is_respected() {
+        // Elements enqueued by the same thread must be dequeued in order.
+        const THREADS: usize = 3;
+        const PER_THREAD: u64 = 1_500;
+        let domain = He::with_config(small_config(THREADS + 1));
+        let queue = KoganPetrankQueue::<u64, He>::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let queue = &queue;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 0..PER_THREAD {
+                        queue.enqueue(&mut handle, (t << 32) | i);
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        let mut last_seen = vec![None::<u64>; THREADS];
+        while let Some(v) = queue.dequeue(&mut handle) {
+            let t = (v >> 32) as usize;
+            let seq = v & 0xFFFF_FFFF;
+            if let Some(prev) = last_seen[t] {
+                assert!(seq > prev, "thread {t} out of order: {seq} after {prev}");
+            }
+            last_seen[t] = Some(seq);
+        }
+        for (t, seen) in last_seen.iter().enumerate() {
+            assert_eq!(seen.unwrap(), PER_THREAD - 1, "thread {t} lost elements");
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Concurrent data structures generic over a memory-reclamation scheme.
+//!
+//! These are the workloads of the WFE paper's evaluation (§5), written once
+//! against the [`wfe_reclaim::Reclaimer`] API so that every structure can be
+//! paired with every scheme (WFE, HE, HP, EBR, 2GEIBR, Leak) exactly as in the
+//! paper:
+//!
+//! * [`TreiberStack`] — the lock-free stack of Figure 2 (the paper's usage
+//!   example);
+//! * [`MichaelList`] — Harris-Michael sorted linked list (Figures 6 and 9);
+//! * [`MichaelHashMap`] — Michael's hash map, one list per bucket
+//!   (Figures 7 and 10);
+//! * [`NatarajanBst`] — the Natarajan-Mittal external binary search tree
+//!   (Figures 8 and 11);
+//! * [`KoganPetrankQueue`] — the Kogan-Petrank wait-free queue (Figure 5a/5b);
+//! * [`CrTurnQueue`] — the Ramalhete-Correia CRTurn wait-free queue
+//!   (Figure 5c/5d);
+//! * [`MichaelScottQueue`] — the classic lock-free MS queue, included as an
+//!   additional baseline workload.
+//!
+//! Every operation takes an explicit `&mut R::Handle`: the per-thread
+//! reclamation handle obtained from [`wfe_reclaim::Reclaimer::register`].
+//! The [`ConcurrentMap`] and [`ConcurrentQueue`] traits give the benchmark
+//! harness a uniform key-value / queue interface, mirroring the abstract
+//! interface of the benchmark the paper reuses.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+// pub mod crturn_queue;
+pub mod hash_map;
+pub mod kp_queue;
+pub mod michael_list;
+pub mod ms_queue;
+pub mod natarajan_bst;
+pub mod traits;
+pub mod treiber_stack;
+
+// pub use crturn_queue::CrTurnQueue;
+pub use hash_map::MichaelHashMap;
+pub use kp_queue::KoganPetrankQueue;
+pub use michael_list::MichaelList;
+pub use ms_queue::MichaelScottQueue;
+pub use natarajan_bst::NatarajanBst;
+pub use traits::{ConcurrentMap, ConcurrentQueue};
+pub use treiber_stack::TreiberStack;

@@ -1,0 +1,393 @@
+//! Harris-Michael lock-free sorted linked list.
+//!
+//! The "Linked List" workload of Figures 6 and 9: a sorted singly-linked list
+//! of key-value pairs with lock-free `insert`, `remove` and `get`
+//! (Harris's logical-deletion mark combined with Michael's hazard-pointer
+//! compatible `find`). A logically deleted node has the low bit of its `next`
+//! pointer set; `find` physically unlinks such nodes as it passes them and
+//! retires them through the reclamation scheme.
+
+use core::ptr;
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use wfe_reclaim::ptr::tag;
+use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+
+use crate::traits::ConcurrentMap;
+
+/// Mark bit set on `next` when the owning node is logically deleted.
+const MARK: usize = 1;
+
+/// A node of the list.
+pub struct Node<V> {
+    key: u64,
+    value: V,
+    next: Atomic<Node<V>>,
+}
+
+/// The result of a `find`: the location of the link to `curr` (`prev_src`),
+/// the node containing that link (`prev_node`, null when the link is the list
+/// head) and the first node with `node.key >= key` (`curr`, null at the end
+/// of the list).
+struct Window<V> {
+    prev_src: *const Atomic<Node<V>>,
+    curr: *mut Linked<Node<V>>,
+    found: bool,
+}
+
+/// Harris-Michael sorted linked list, parameterised by the reclamation scheme.
+pub struct MichaelList<V, R: Reclaimer> {
+    head: Atomic<Node<V>>,
+    domain: Arc<R>,
+}
+
+unsafe impl<V: Send, R: Reclaimer> Send for MichaelList<V, R> {}
+unsafe impl<V: Send + Sync, R: Reclaimer> Sync for MichaelList<V, R> {}
+
+impl<V, R: Reclaimer> MichaelList<V, R> {
+    /// Reservation slot protecting `curr` (swapped with [`Self::SLOT_PREV`]
+    /// as the traversal advances, hand-over-hand).
+    const SLOT_CURR: usize = 0;
+    /// Reservation slot protecting `prev`.
+    const SLOT_PREV: usize = 1;
+
+    /// Creates an empty list guarded by `domain`.
+    pub fn new(domain: Arc<R>) -> Self {
+        Self {
+            head: Atomic::null(),
+            domain,
+        }
+    }
+
+    /// The reclamation domain guarding this list.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    /// Michael's `find`: positions a window `(prev, curr)` such that `curr` is
+    /// the first node with `curr.key >= key`, unlinking any logically deleted
+    /// node encountered on the way. Both window nodes are protected when the
+    /// function returns. The caller must already be inside an operation
+    /// bracket (`begin_op`).
+    fn find(&self, handle: &mut R::Handle, key: u64) -> Window<V> {
+        'retry: loop {
+            let mut prev_src: *const Atomic<Node<V>> = &self.head;
+            let mut prev_node: *mut Linked<Node<V>> = ptr::null_mut();
+            let mut slot_curr = Self::SLOT_CURR;
+            let mut slot_prev = Self::SLOT_PREV;
+            let mut curr = handle.protect(unsafe { &*prev_src }, slot_curr, prev_node);
+            loop {
+                if tag::untagged(curr).is_null() {
+                    return Window {
+                        prev_src,
+                        curr: ptr::null_mut(),
+                        found: false,
+                    };
+                }
+                if tag::tag_of(curr) != 0 {
+                    // The link we came through is marked, i.e. `prev` itself
+                    // is being deleted: restart from the head.
+                    continue 'retry;
+                }
+                let next_raw = unsafe { (*curr).value.next.load(Ordering::Acquire) };
+                if tag::tag_of(next_raw) == MARK {
+                    // `curr` is logically deleted: unlink it and retire it.
+                    let next = tag::untagged(next_raw);
+                    match unsafe { &*prev_src }.compare_exchange(
+                        curr,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            unsafe { handle.retire(curr) };
+                            curr = handle.protect(unsafe { &*prev_src }, slot_curr, prev_node);
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                let curr_key = unsafe { (*curr).value.key };
+                // Validate that `curr` is still linked after we protected it;
+                // if not, the key we just read may belong to a node that was
+                // removed and the window would be stale.
+                if unsafe { &*prev_src }.load(Ordering::Acquire) != curr {
+                    continue 'retry;
+                }
+                if curr_key >= key {
+                    return Window {
+                        prev_src,
+                        curr,
+                        found: curr_key == key,
+                    };
+                }
+                // Advance hand-over-hand: `curr` becomes the new `prev` and
+                // keeps its protection slot; the old `prev` slot is recycled
+                // for the new `curr`.
+                prev_node = curr;
+                prev_src = unsafe { &(*curr).value.next };
+                core::mem::swap(&mut slot_curr, &mut slot_prev);
+                curr = handle.protect(unsafe { &*prev_src }, slot_curr, prev_node);
+            }
+        }
+    }
+
+    /// Inserts `key → value`; returns `false` (dropping `value`) if the key
+    /// is already present.
+    pub fn insert(&self, handle: &mut R::Handle, key: u64, value: V) -> bool {
+        handle.begin_op();
+        let node = handle.alloc(Node {
+            key,
+            value,
+            next: Atomic::null(),
+        });
+        let inserted = loop {
+            let window = self.find(handle, key);
+            if window.found {
+                // Key already present: the freshly allocated node was never
+                // published, so it can be freed immediately.
+                unsafe { Linked::dealloc(node) };
+                break false;
+            }
+            unsafe { (*node).value.next.store(window.curr, Ordering::Release) };
+            if unsafe { &*window.prev_src }
+                .compare_exchange(window.curr, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                break true;
+            }
+        };
+        handle.end_op();
+        inserted
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
+        handle.begin_op();
+        let removed = loop {
+            let window = self.find(handle, key);
+            if !window.found {
+                break false;
+            }
+            let curr = window.curr;
+            let next_raw = unsafe { (*curr).value.next.load(Ordering::Acquire) };
+            if tag::tag_of(next_raw) == MARK {
+                // Another remover got here first; retry to settle who wins.
+                continue;
+            }
+            // Logical deletion: mark the next pointer of `curr`.
+            if unsafe { &(*curr).value.next }
+                .compare_exchange(
+                    next_raw,
+                    tag::with_tag(next_raw, MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            // Physical deletion: unlink it ourselves or let a later `find` do it.
+            if unsafe { &*window.prev_src }
+                .compare_exchange(
+                    curr,
+                    tag::untagged(next_raw),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                unsafe { handle.retire(curr) };
+            } else {
+                let _ = self.find(handle, key);
+            }
+            break true;
+        };
+        handle.end_op();
+        removed
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, handle: &mut R::Handle, key: u64) -> bool {
+        handle.begin_op();
+        let found = self.find(handle, key).found;
+        handle.end_op();
+        found
+    }
+}
+
+impl<V: Clone, R: Reclaimer> MichaelList<V, R> {
+    /// Looks up `key`, returning a clone of its value.
+    pub fn get(&self, handle: &mut R::Handle, key: u64) -> Option<V> {
+        handle.begin_op();
+        let window = self.find(handle, key);
+        let value = if window.found {
+            Some(unsafe { (*window.curr).value.value.clone() })
+        } else {
+            None
+        };
+        handle.end_op();
+        value
+    }
+}
+
+impl<V, R: Reclaimer> Drop for MichaelList<V, R> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the list and free every node directly.
+        let mut cur = tag::untagged(self.head.load(Ordering::Relaxed));
+        while !cur.is_null() {
+            let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) });
+            unsafe { Linked::dealloc(cur) };
+            cur = next;
+        }
+    }
+}
+
+impl<R: Reclaimer> ConcurrentMap<R> for MichaelList<u64, R> {
+    fn with_domain(domain: Arc<R>) -> Self {
+        Self::new(domain)
+    }
+
+    fn insert(&self, handle: &mut R::Handle, key: u64, value: u64) -> bool {
+        MichaelList::insert(self, handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
+        MichaelList::remove(self, handle, key)
+    }
+
+    fn get(&self, handle: &mut R::Handle, key: u64) -> Option<u64> {
+        MichaelList::get(self, handle, key)
+    }
+
+    fn required_slots() -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, ReclaimerConfig};
+
+    fn sequential_semantics<R: Reclaimer>() {
+        let domain = R::new_default();
+        let list = MichaelList::<u64, R>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+
+        assert!(list.insert(&mut handle, 5, 50));
+        assert!(list.insert(&mut handle, 1, 10));
+        assert!(list.insert(&mut handle, 3, 30));
+        assert!(!list.insert(&mut handle, 3, 31), "duplicate rejected");
+        assert_eq!(list.get(&mut handle, 3), Some(30));
+        assert_eq!(list.get(&mut handle, 2), None);
+        assert!(list.contains(&mut handle, 1));
+        assert!(list.remove(&mut handle, 3));
+        assert!(!list.remove(&mut handle, 3), "double remove rejected");
+        assert_eq!(list.get(&mut handle, 3), None);
+        assert!(list.insert(&mut handle, 3, 33), "reinsert after remove");
+        assert_eq!(list.get(&mut handle, 3), Some(33));
+    }
+
+    #[test]
+    fn sequential_semantics_under_every_scheme() {
+        sequential_semantics::<He>();
+        sequential_semantics::<Ebr>();
+        sequential_semantics::<Hp>();
+        sequential_semantics::<Ibr2Ge>();
+        sequential_semantics::<Leak>();
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xDECAF);
+        let domain = He::new_default();
+        let list = MichaelList::<u64, He>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        let mut model = BTreeSet::new();
+        for _ in 0..4_000 {
+            let key = rng.gen_range(0..64u64);
+            match rng.gen_range(0..3) {
+                0 => assert_eq!(list.insert(&mut handle, key, key * 2), model.insert(key)),
+                1 => assert_eq!(list.remove(&mut handle, key), model.remove(&key)),
+                _ => assert_eq!(
+                    list.get(&mut handle, key),
+                    model.get(&key).map(|&k| k * 2)
+                ),
+            }
+        }
+    }
+
+    fn concurrent_inserts_partition<R: Reclaimer>() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 500;
+        let domain = R::with_config(ReclaimerConfig::with_max_threads(THREADS));
+        let list = MichaelList::<u64, R>::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let list = &list;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 0..PER_THREAD {
+                        assert!(list.insert(&mut handle, t * PER_THREAD + i, i));
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        for key in 0..THREADS as u64 * PER_THREAD {
+            assert!(list.contains(&mut handle, key), "missing key {key}");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_are_all_visible() {
+        concurrent_inserts_partition::<He>();
+        concurrent_inserts_partition::<Hp>();
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_stays_consistent() {
+        // Threads fight over the same small key range; afterwards the list
+        // must contain exactly the keys that a final sweep observes, with no
+        // crashes, leaks or double frees along the way (the latter two are
+        // caught by the conformance drop counters in the reclaim crate; here
+        // we check structural sanity).
+        const THREADS: usize = 4;
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(THREADS));
+        let list = MichaelList::<u64, He>::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let list = &list;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    use rand::prelude::*;
+                    let mut rng = StdRng::seed_from_u64(t);
+                    let mut handle = domain.register();
+                    for _ in 0..5_000 {
+                        let key = rng.gen_range(0..32u64);
+                        if rng.gen_bool(0.5) {
+                            list.insert(&mut handle, key, key);
+                        } else {
+                            list.remove(&mut handle, key);
+                        }
+                    }
+                });
+            }
+        });
+        // The list must still be sorted and duplicate-free.
+        let mut handle = domain.register();
+        let mut present = Vec::new();
+        for key in 0..32u64 {
+            if list.contains(&mut handle, key) {
+                present.push(key);
+            }
+        }
+        let unique: BTreeSet<u64> = present.iter().copied().collect();
+        assert_eq!(unique.len(), present.len());
+    }
+}

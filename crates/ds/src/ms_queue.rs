@@ -1,0 +1,244 @@
+//! Michael-Scott lock-free FIFO queue.
+//!
+//! Not part of the paper's figures, but included as the canonical lock-free
+//! queue baseline: it exercises the same two-slot protection pattern
+//! (head + next) that the wait-free queues need, with far simpler logic, and
+//! it is what the CRTurn queue degenerates to when helping is never needed.
+
+use core::mem::ManuallyDrop;
+use core::ptr;
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use wfe_atomics::Backoff;
+use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+
+use crate::traits::ConcurrentQueue;
+
+/// A queue node; the value lives in the node *after* the sentinel.
+pub struct Node<T> {
+    value: Option<ManuallyDrop<T>>,
+    next: Atomic<Node<T>>,
+}
+
+/// Michael-Scott lock-free queue, parameterised by the reclamation scheme.
+pub struct MichaelScottQueue<T, R: Reclaimer> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+    domain: Arc<R>,
+}
+
+unsafe impl<T: Send, R: Reclaimer> Send for MichaelScottQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for MichaelScottQueue<T, R> {}
+
+impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
+    /// Reservation slot protecting the head (and the tail during enqueue).
+    const SLOT_HEAD: usize = 0;
+    /// Reservation slot protecting the node after the head.
+    const SLOT_NEXT: usize = 1;
+
+    /// Creates an empty queue guarded by `domain`.
+    pub fn new(domain: Arc<R>) -> Self {
+        let mut handle = domain.register();
+        let sentinel = handle.alloc(Node {
+            value: None,
+            next: Atomic::null(),
+        });
+        drop(handle);
+        Self {
+            head: Atomic::new(sentinel),
+            tail: Atomic::new(sentinel),
+            domain,
+        }
+    }
+
+    /// The reclamation domain guarding this queue.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    /// Appends `value` at the tail.
+    pub fn enqueue(&self, handle: &mut R::Handle, value: T) {
+        let node = handle.alloc(Node {
+            value: Some(ManuallyDrop::new(value)),
+            next: Atomic::null(),
+        });
+        handle.begin_op();
+        let mut backoff = Backoff::new();
+        loop {
+            let tail = handle.protect(&self.tail, Self::SLOT_HEAD, ptr::null_mut());
+            let next = unsafe { (*tail).value.next.load(Ordering::Acquire) };
+            if next.is_null() {
+                if unsafe { &(*tail).value.next }
+                    .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    // Swing the tail; failure means someone already did it.
+                    let _ = self.tail.compare_exchange(
+                        tail,
+                        node,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
+                    break;
+                }
+            } else {
+                // Help a lagging enqueuer move the tail forward.
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+            }
+            backoff.spin();
+        }
+        handle.end_op();
+    }
+
+    /// Removes the element at the head, if any.
+    pub fn dequeue(&self, handle: &mut R::Handle) -> Option<T> {
+        handle.begin_op();
+        let mut backoff = Backoff::new();
+        let result = loop {
+            let head = handle.protect(&self.head, Self::SLOT_HEAD, ptr::null_mut());
+            let tail = self.tail.load(Ordering::Acquire);
+            let next = handle.protect(unsafe { &(*head).value.next }, Self::SLOT_NEXT, head);
+            if head != self.head.load(Ordering::Acquire) {
+                backoff.spin();
+                continue;
+            }
+            if next.is_null() {
+                break None;
+            }
+            if head == tail {
+                // Tail is lagging behind; help it before touching the head.
+                let _ =
+                    self.tail
+                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                continue;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // `next` is the new sentinel; we own its value.
+                let value = unsafe { (*next).value.value.as_ref().map(|v| ptr::read(&**v)) };
+                unsafe { handle.retire(head) };
+                break value;
+            }
+            backoff.spin();
+        };
+        handle.end_op();
+        result
+    }
+
+    /// Returns `true` if the queue appeared empty at the moment of the call.
+    pub fn is_empty(&self) -> bool {
+        let head = self.head.load(Ordering::Acquire);
+        unsafe { (*head).value.next.load(Ordering::Acquire).is_null() }
+    }
+}
+
+impl<T, R: Reclaimer> Drop for MichaelScottQueue<T, R> {
+    fn drop(&mut self) {
+        // Exclusive access: free the sentinel and every queued node, dropping
+        // the values still owned by the queue.
+        let mut cur = self.head.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            unsafe {
+                let next = (*cur).value.next.load(Ordering::Relaxed);
+                if let Some(value) = (*cur).value.value.as_mut() {
+                    ManuallyDrop::drop(value);
+                }
+                Linked::dealloc(cur);
+                cur = next;
+            }
+        }
+    }
+}
+
+impl<R: Reclaimer> ConcurrentQueue<R> for MichaelScottQueue<u64, R> {
+    fn with_domain(domain: Arc<R>) -> Self {
+        Self::new(domain)
+    }
+
+    fn enqueue(&self, handle: &mut R::Handle, value: u64) {
+        MichaelScottQueue::enqueue(self, handle, value)
+    }
+
+    fn dequeue(&self, handle: &mut R::Handle) -> Option<u64> {
+        MichaelScottQueue::dequeue(self, handle)
+    }
+
+    fn required_slots() -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+    use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, ReclaimerConfig};
+
+    fn fifo_single_threaded<R: Reclaimer>() {
+        let domain = R::new_default();
+        let queue = MichaelScottQueue::<u64, R>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        assert!(queue.is_empty());
+        assert_eq!(queue.dequeue(&mut handle), None);
+        for i in 0..100 {
+            queue.enqueue(&mut handle, i);
+        }
+        for i in 0..100 {
+            assert_eq!(queue.dequeue(&mut handle), Some(i));
+        }
+        assert_eq!(queue.dequeue(&mut handle), None);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_under_every_scheme() {
+        fifo_single_threaded::<He>();
+        fifo_single_threaded::<Ebr>();
+        fifo_single_threaded::<Hp>();
+        fifo_single_threaded::<Ibr2Ge>();
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_sum() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 5_000;
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(THREADS + 1));
+        let queue = MichaelScottQueue::<u64, He>::new(Arc::clone(&domain));
+        let consumed = AtomicU64::new(0);
+        let consumed_count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let queue = &queue;
+                let domain = Arc::clone(&domain);
+                let consumed = &consumed;
+                let consumed_count = &consumed_count;
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 1..=PER_THREAD {
+                        queue.enqueue(&mut handle, t * PER_THREAD + i);
+                        if let Some(v) = queue.dequeue(&mut handle) {
+                            consumed.fetch_add(v, SeqCst);
+                            consumed_count.fetch_add(1, SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        while let Some(v) = queue.dequeue(&mut handle) {
+            consumed.fetch_add(v, SeqCst);
+            consumed_count.fetch_add(1, SeqCst);
+        }
+        let total: u64 = (0..THREADS as u64)
+            .flat_map(|t| (1..=PER_THREAD).map(move |i| t * PER_THREAD + i))
+            .sum();
+        assert_eq!(consumed_count.load(SeqCst), THREADS as u64 * PER_THREAD);
+        assert_eq!(consumed.load(SeqCst), total);
+    }
+}

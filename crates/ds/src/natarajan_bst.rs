@@ -1,0 +1,587 @@
+//! Natarajan-Mittal lock-free external binary search tree (PPoPP 2014).
+//!
+//! The "Natarajan BST" workload of Figures 8 and 11. The tree is *external*
+//! (leaf-oriented): internal nodes only route, every key lives in a leaf.
+//! Deletion marks **edges** rather than nodes: the edge to the leaf being
+//! deleted is *flagged*, the edge to its sibling is *tagged* (frozen), and the
+//! sibling is then promoted into the grandparent with a single CAS, detaching
+//! the parent and the flagged leaf.
+//!
+//! Reservation usage: `seek` protects the four window nodes it hands back
+//! (ancestor, parent, leaf and the node currently being examined)
+//! hand-over-hand while descending, using five reservation slots that rotate
+//! as the window slides down the tree. The *successor* of the seek record is
+//! only ever used as an expected CAS value, never dereferenced, so it needs no
+//! reservation.
+
+use core::ptr;
+use core::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use wfe_reclaim::ptr::tag;
+use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+
+use crate::traits::ConcurrentMap;
+
+/// Edge bit: the node below this edge is being deleted.
+const FLAG: usize = 1;
+/// Edge bit: this edge is frozen and must not be modified.
+const TAG: usize = 2;
+
+/// Sentinel key ∞₁ (greater than every user key).
+const KEY_INF1: u64 = u64::MAX - 1;
+/// Sentinel key ∞₂ (greater than ∞₁).
+const KEY_INF2: u64 = u64::MAX;
+
+/// A tree node. Internal nodes have both children non-null and `value ==
+/// None`; leaves have null children and carry the value.
+pub struct Node<V> {
+    key: u64,
+    value: Option<V>,
+    left: Atomic<Node<V>>,
+    right: Atomic<Node<V>>,
+}
+
+impl<V> Node<V> {
+    fn leaf(key: u64, value: Option<V>) -> Self {
+        Self {
+            key,
+            value,
+            left: Atomic::null(),
+            right: Atomic::null(),
+        }
+    }
+}
+
+/// The window returned by `seek`.
+struct SeekRecord<V> {
+    /// Deepest node on the path whose outgoing edge towards the key was
+    /// untagged; the promotion CAS happens on this node's child edge.
+    ancestor: *mut Linked<Node<V>>,
+    /// The child of `ancestor` on the path (expected CAS value only).
+    successor: *mut Linked<Node<V>>,
+    /// Parent of `leaf`.
+    parent: *mut Linked<Node<V>>,
+    /// The leaf the search ended at.
+    leaf: *mut Linked<Node<V>>,
+}
+
+/// Natarajan-Mittal lock-free external BST, parameterised by the reclamation
+/// scheme. User keys must be smaller than `u64::MAX - 1` (the two largest
+/// values are reserved for the sentinels).
+pub struct NatarajanBst<V, R: Reclaimer> {
+    /// Super-root with key ∞₂; its left subtree holds all data.
+    root: *mut Linked<Node<V>>,
+    domain: Arc<R>,
+}
+
+unsafe impl<V: Send, R: Reclaimer> Send for NatarajanBst<V, R> {}
+unsafe impl<V: Send + Sync, R: Reclaimer> Sync for NatarajanBst<V, R> {}
+
+impl<V, R: Reclaimer> NatarajanBst<V, R> {
+    /// Creates an empty tree guarded by `domain`.
+    pub fn new(domain: Arc<R>) -> Self {
+        let mut handle = domain.register();
+        // Sentinel structure: R(∞₂) → { S(∞₁) → { leaf(∞₁), leaf(∞₂) }, leaf(∞₂) }.
+        let leaf_inf1 = handle.alloc(Node::leaf(KEY_INF1, None));
+        let leaf_inf2a = handle.alloc(Node::leaf(KEY_INF2, None));
+        let leaf_inf2b = handle.alloc(Node::leaf(KEY_INF2, None));
+        let s = handle.alloc(Node {
+            key: KEY_INF1,
+            value: None,
+            left: Atomic::new(leaf_inf1),
+            right: Atomic::new(leaf_inf2a),
+        });
+        let root = handle.alloc(Node {
+            key: KEY_INF2,
+            value: None,
+            left: Atomic::new(s),
+            right: Atomic::new(leaf_inf2b),
+        });
+        drop(handle);
+        Self { root, domain }
+    }
+
+    /// The reclamation domain guarding this tree.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    #[inline]
+    fn child_edge(node: *mut Linked<Node<V>>, key: u64) -> *const Atomic<Node<V>> {
+        unsafe {
+            if key < (*node).value.key {
+                &(*node).value.left
+            } else {
+                &(*node).value.right
+            }
+        }
+    }
+
+    /// Descends from the root to the leaf where `key` belongs, recording the
+    /// (ancestor, successor, parent, leaf) window. All dereferenced nodes of
+    /// the returned record are protected by reservation slots 0-4.
+    fn seek(&self, handle: &mut R::Handle, key: u64) -> SeekRecord<V> {
+        let root = self.root;
+        let s_raw = unsafe { (*root).value.left.load(Ordering::Acquire) };
+        let s = tag::untagged(s_raw);
+
+        // Reservation slots for the roles that get dereferenced. They rotate
+        // as the window slides down so that a node keeps its slot while it
+        // remains part of the window.
+        let mut slot_ancestor = 0usize;
+        let mut slot_parent = 1usize;
+        let mut slot_leaf = 2usize;
+        let mut slot_current = 3usize;
+        let mut slot_spare = 4usize;
+
+        let mut ancestor = root;
+        let mut successor = s;
+        let mut parent = s;
+        // The sentinels R and S are never retired, so the two protects below
+        // are only needed for the nodes hanging off them.
+        let leaf_raw = handle.protect(
+            unsafe { &*Self::child_edge(s, key) },
+            slot_leaf,
+            s,
+        );
+        let mut leaf = tag::untagged(leaf_raw);
+        // Edge parent→leaf as last read (its TAG bit steers ancestor updates).
+        let mut parent_field = leaf_raw;
+        let mut current_raw = handle.protect(
+            unsafe { &*Self::child_edge(leaf, key) },
+            slot_current,
+            leaf,
+        );
+
+        loop {
+            let current = tag::untagged(current_raw);
+            if current.is_null() {
+                break;
+            }
+            // Slide the window down one level.
+            if tag::tag_of(parent_field) & TAG == 0 {
+                // The edge parent→leaf is untagged: parent is the new ancestor.
+                ancestor = parent;
+                successor = leaf;
+                // `ancestor` adopts `parent`'s slot; the old ancestor slot
+                // becomes the spare.
+                let freed = slot_ancestor;
+                slot_ancestor = slot_parent;
+                slot_parent = slot_leaf;
+                slot_leaf = slot_current;
+                slot_current = slot_spare;
+                slot_spare = freed;
+            } else {
+                let freed = slot_parent;
+                slot_parent = slot_leaf;
+                slot_leaf = slot_current;
+                slot_current = slot_spare;
+                slot_spare = freed;
+            }
+            parent = leaf;
+            leaf = current;
+            parent_field = current_raw;
+            current_raw = handle.protect(
+                unsafe { &*Self::child_edge(leaf, key) },
+                slot_current,
+                leaf,
+            );
+        }
+
+        SeekRecord {
+            ancestor,
+            successor,
+            parent,
+            leaf,
+        }
+    }
+
+    /// Detaches the flagged leaf under `record.parent` by promoting its
+    /// sibling into `record.ancestor`. Returns `true` when this call performed
+    /// the promotion (and retired the detached parent and leaf).
+    fn cleanup(&self, handle: &mut R::Handle, key: u64, record: &SeekRecord<V>) -> bool {
+        let ancestor = record.ancestor;
+        let parent = record.parent;
+
+        let (child_edge, sibling_edge) = unsafe {
+            if key < (*parent).value.key {
+                (&(*parent).value.left, &(*parent).value.right)
+            } else {
+                (&(*parent).value.right, &(*parent).value.left)
+            }
+        };
+        let child_val = child_edge.load(Ordering::Acquire);
+        // The flagged edge points to the leaf being deleted. If it is not the
+        // edge on our search path, we are helping a deletion of the sibling.
+        let (flagged_edge, promote_edge) = if tag::tag_of(child_val) & FLAG != 0 {
+            (child_edge, sibling_edge)
+        } else {
+            (sibling_edge, child_edge)
+        };
+
+        // Freeze the edge that will be promoted so no insert can slip below it.
+        promote_edge.fetch_or_tag(TAG, Ordering::AcqRel);
+        let promote_val = promote_edge.load(Ordering::Acquire);
+        let flagged_val = flagged_edge.load(Ordering::Acquire);
+
+        // Promote the sibling subtree into the ancestor, preserving a FLAG the
+        // sibling edge may itself carry (a pending deletion of the sibling).
+        let promoted = tag::with_tag(
+            tag::untagged(promote_val),
+            tag::tag_of(promote_val) & FLAG,
+        );
+        let ancestor_edge = unsafe { &*Self::child_edge(ancestor, key) };
+        let swapped = ancestor_edge
+            .compare_exchange(
+                record.successor,
+                promoted,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok();
+        if swapped {
+            // The parent and the flagged leaf are now unreachable.
+            unsafe {
+                handle.retire(parent);
+                handle.retire(tag::untagged(flagged_val));
+            }
+        }
+        swapped
+    }
+
+    /// Inserts `key → value`; returns `false` (dropping `value`) if the key is
+    /// already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key >= u64::MAX - 1` (reserved sentinel keys).
+    pub fn insert(&self, handle: &mut R::Handle, key: u64, value: V) -> bool {
+        assert!(key < KEY_INF1, "keys >= u64::MAX - 1 are reserved");
+        handle.begin_op();
+        let mut value = Some(value);
+        let inserted = loop {
+            let record = self.seek(handle, key);
+            let leaf = record.leaf;
+            let leaf_key = unsafe { (*leaf).value.key };
+            if leaf_key == key {
+                break false;
+            }
+            // Build the replacement subtree: a new internal node whose
+            // children are the existing leaf and a new leaf for `key`.
+            let new_leaf = handle.alloc(Node::leaf(key, value.take()));
+            let (internal_key, left, right) = if key < leaf_key {
+                (leaf_key, new_leaf, leaf)
+            } else {
+                (key, leaf, new_leaf)
+            };
+            let new_internal = handle.alloc(Node {
+                key: internal_key,
+                value: None,
+                left: Atomic::new(left),
+                right: Atomic::new(right),
+            });
+
+            let parent_edge = unsafe { &*Self::child_edge(record.parent, key) };
+            match parent_edge.compare_exchange(
+                leaf,
+                new_internal,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break true,
+                Err(observed) => {
+                    // Neither node was published; take the value back and
+                    // free them before retrying.
+                    unsafe {
+                        value = (*new_leaf).value.value.take();
+                        Linked::dealloc(new_internal);
+                        Linked::dealloc(new_leaf);
+                    }
+                    // If the edge still leads to our leaf but is flagged or
+                    // tagged, help the pending deletion along before retrying.
+                    if tag::untagged(observed) == leaf && tag::tag_of(observed) != 0 {
+                        self.cleanup(handle, key, &record);
+                    }
+                }
+            }
+        };
+        handle.end_op();
+        inserted
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
+        handle.begin_op();
+        let mut injected = false;
+        let mut target_leaf: *mut Linked<Node<V>> = ptr::null_mut();
+        let removed = loop {
+            let record = self.seek(handle, key);
+            if !injected {
+                // Injection phase: flag the edge to the leaf we want gone.
+                let leaf = record.leaf;
+                if unsafe { (*leaf).value.key } != key {
+                    break false;
+                }
+                let parent_edge = unsafe { &*Self::child_edge(record.parent, key) };
+                match parent_edge.compare_exchange(
+                    leaf,
+                    tag::with_tag(leaf, FLAG),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        injected = true;
+                        target_leaf = leaf;
+                        if self.cleanup(handle, key, &record) {
+                            break true;
+                        }
+                    }
+                    Err(observed) => {
+                        // Someone else is operating on this edge; help if it
+                        // is a deletion of the same leaf, then retry.
+                        if tag::untagged(observed) == leaf && tag::tag_of(observed) != 0 {
+                            self.cleanup(handle, key, &record);
+                        }
+                    }
+                }
+            } else {
+                // Cleanup phase: keep helping until our leaf is detached.
+                if record.leaf != target_leaf {
+                    // Another thread finished the physical removal for us.
+                    break true;
+                }
+                if self.cleanup(handle, key, &record) {
+                    break true;
+                }
+            }
+        };
+        handle.end_op();
+        removed
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, handle: &mut R::Handle, key: u64) -> bool {
+        handle.begin_op();
+        let record = self.seek(handle, key);
+        let found = unsafe { (*record.leaf).value.key } == key;
+        handle.end_op();
+        found
+    }
+}
+
+impl<V: Clone, R: Reclaimer> NatarajanBst<V, R> {
+    /// Looks up `key`, returning a clone of its value.
+    pub fn get(&self, handle: &mut R::Handle, key: u64) -> Option<V> {
+        handle.begin_op();
+        let record = self.seek(handle, key);
+        let leaf = record.leaf;
+        let value = unsafe {
+            if (*leaf).value.key == key {
+                (*leaf).value.value.clone()
+            } else {
+                None
+            }
+        };
+        handle.end_op();
+        value
+    }
+}
+
+impl<V, R: Reclaimer> Drop for NatarajanBst<V, R> {
+    fn drop(&mut self) {
+        // Exclusive access: free the whole tree iteratively.
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            let node = tag::untagged(node);
+            if node.is_null() {
+                continue;
+            }
+            unsafe {
+                stack.push((*node).value.left.load(Ordering::Relaxed));
+                stack.push((*node).value.right.load(Ordering::Relaxed));
+                Linked::dealloc(node);
+            }
+        }
+    }
+}
+
+impl<R: Reclaimer> ConcurrentMap<R> for NatarajanBst<u64, R> {
+    fn with_domain(domain: Arc<R>) -> Self {
+        Self::new(domain)
+    }
+
+    fn insert(&self, handle: &mut R::Handle, key: u64, value: u64) -> bool {
+        NatarajanBst::insert(self, handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
+        NatarajanBst::remove(self, handle, key)
+    }
+
+    fn get(&self, handle: &mut R::Handle, key: u64) -> Option<u64> {
+        NatarajanBst::get(self, handle, key)
+    }
+
+    fn required_slots() -> usize {
+        5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Reclaimer, ReclaimerConfig};
+
+    fn sequential_semantics<R: Reclaimer>() {
+        let domain = R::new_default();
+        let tree = NatarajanBst::<u64, R>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+
+        assert_eq!(tree.get(&mut handle, 10), None);
+        assert!(tree.insert(&mut handle, 10, 100));
+        assert!(tree.insert(&mut handle, 5, 50));
+        assert!(tree.insert(&mut handle, 20, 200));
+        assert!(!tree.insert(&mut handle, 10, 0), "duplicate rejected");
+        assert_eq!(tree.get(&mut handle, 5), Some(50));
+        assert_eq!(tree.get(&mut handle, 20), Some(200));
+        assert!(tree.remove(&mut handle, 10));
+        assert!(!tree.remove(&mut handle, 10), "double remove rejected");
+        assert_eq!(tree.get(&mut handle, 10), None);
+        assert!(tree.contains(&mut handle, 5));
+        assert!(tree.insert(&mut handle, 10, 101));
+        assert_eq!(tree.get(&mut handle, 10), Some(101));
+        // Empty the tree completely and refill it.
+        for key in [5, 10, 20] {
+            assert!(tree.remove(&mut handle, key));
+        }
+        for key in [5, 10, 20] {
+            assert!(!tree.contains(&mut handle, key));
+            assert!(tree.insert(&mut handle, key, key));
+        }
+    }
+
+    #[test]
+    fn sequential_semantics_under_every_scheme() {
+        sequential_semantics::<He>();
+        sequential_semantics::<Ebr>();
+        sequential_semantics::<Hp>();
+        sequential_semantics::<Ibr2Ge>();
+    }
+
+    #[test]
+    fn matches_a_sequential_model() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        let domain = He::new_default();
+        let tree = NatarajanBst::<u64, He>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for _ in 0..8_000 {
+            let key = rng.gen_range(0..256u64);
+            match rng.gen_range(0..3) {
+                0 => {
+                    let fresh = !model.contains_key(&key);
+                    assert_eq!(tree.insert(&mut handle, key, key * 3), fresh);
+                    model.entry(key).or_insert(key * 3);
+                }
+                1 => assert_eq!(tree.remove(&mut handle, key), model.remove(&key).is_some()),
+                _ => assert_eq!(tree.get(&mut handle, key), model.get(&key).copied()),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved")]
+    fn sentinel_keys_are_rejected() {
+        let domain = He::new_default();
+        let tree = NatarajanBst::<u64, He>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        tree.insert(&mut handle, u64::MAX, 0);
+    }
+
+    fn concurrent_disjoint_inserts<R: Reclaimer>() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 1_000;
+        let domain = R::with_config(ReclaimerConfig::with_max_threads(THREADS));
+        let tree = NatarajanBst::<u64, R>::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let tree = &tree;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 0..PER_THREAD {
+                        let key = i * THREADS as u64 + t; // interleaved keys
+                        assert!(tree.insert(&mut handle, key, key));
+                    }
+                    for i in 0..PER_THREAD {
+                        let key = i * THREADS as u64 + t;
+                        if i % 2 == 0 {
+                            assert!(tree.remove(&mut handle, key), "missing own key {key}");
+                        }
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        for t in 0..THREADS as u64 {
+            for i in 0..PER_THREAD {
+                let key = i * THREADS as u64 + t;
+                assert_eq!(tree.contains(&mut handle, key), i % 2 == 1);
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_and_removes() {
+        concurrent_disjoint_inserts::<He>();
+        concurrent_disjoint_inserts::<Hp>();
+    }
+
+    #[test]
+    fn concurrent_contended_workload_is_structurally_sound() {
+        const THREADS: usize = 4;
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(THREADS));
+        let tree = NatarajanBst::<u64, He>::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let tree = &tree;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    use rand::prelude::*;
+                    let mut rng = StdRng::seed_from_u64(t + 1000);
+                    let mut handle = domain.register();
+                    for _ in 0..5_000 {
+                        let key = rng.gen_range(0..64u64);
+                        match rng.gen_range(0..3) {
+                            0 => {
+                                tree.insert(&mut handle, key, key);
+                            }
+                            1 => {
+                                tree.remove(&mut handle, key);
+                            }
+                            _ => {
+                                tree.get(&mut handle, key);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        // After the dust settles a single thread must see a consistent set:
+        // repeated lookups agree with remove/insert results.
+        let mut handle = domain.register();
+        for key in 0..64u64 {
+            let present = tree.contains(&mut handle, key);
+            if present {
+                assert!(tree.remove(&mut handle, key));
+                assert!(!tree.contains(&mut handle, key));
+            } else {
+                assert!(tree.insert(&mut handle, key, key));
+                assert!(tree.contains(&mut handle, key));
+            }
+        }
+    }
+}

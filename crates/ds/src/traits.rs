@@ -1,0 +1,47 @@
+//! Uniform interfaces the benchmark harness is written against.
+//!
+//! The paper's evaluation drives every data structure through an abstract
+//! key-value interface (`insert`, `delete`, `get`, `put`) and every queue
+//! through `enqueue`/`dequeue`. These traits are that interface.
+
+use std::sync::Arc;
+
+use wfe_reclaim::Reclaimer;
+
+/// A concurrent set/map with `u64` keys and `u64` values.
+pub trait ConcurrentMap<R: Reclaimer>: Send + Sync + 'static {
+    /// Creates an instance backed by `domain`.
+    fn with_domain(domain: Arc<R>) -> Self;
+
+    /// Inserts `key → value`; returns `false` if the key was already present.
+    fn insert(&self, handle: &mut R::Handle, key: u64, value: u64) -> bool;
+
+    /// Removes `key`; returns `true` if it was present.
+    fn remove(&self, handle: &mut R::Handle, key: u64) -> bool;
+
+    /// Looks up `key`.
+    fn get(&self, handle: &mut R::Handle, key: u64) -> Option<u64>;
+
+    /// Number of reservation slots the structure needs per operation.
+    /// Domains must be configured with at least this many `slots_per_thread`.
+    fn required_slots() -> usize {
+        8
+    }
+}
+
+/// A concurrent FIFO queue with `u64` elements.
+pub trait ConcurrentQueue<R: Reclaimer>: Send + Sync + 'static {
+    /// Creates an instance backed by `domain`.
+    fn with_domain(domain: Arc<R>) -> Self;
+
+    /// Appends `value` to the tail.
+    fn enqueue(&self, handle: &mut R::Handle, value: u64);
+
+    /// Removes the head element, if any.
+    fn dequeue(&self, handle: &mut R::Handle) -> Option<u64>;
+
+    /// Number of reservation slots the structure needs per operation.
+    fn required_slots() -> usize {
+        8
+    }
+}

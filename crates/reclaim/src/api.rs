@@ -1,0 +1,242 @@
+//! The common reclamation API.
+//!
+//! The paper keeps the Hazard-Pointers-compatible interface of Hazard Eras:
+//!
+//! * `get_protected(ptr, index [, parent])` → [`RawHandle::protect_raw`] /
+//!   [`Handle::protect`]
+//! * `retire(ptr)` → [`RawHandle::retire_raw`] / [`Handle::retire`]
+//! * `clear()` → [`RawHandle::clear`]
+//! * `alloc_block(size)` → [`RawHandle::pre_alloc`] + [`Handle::alloc`]
+//!
+//! plus `begin_op`/`end_op` brackets that epoch- and interval-based schemes
+//! (EBR, 2GEIBR) need, exactly like the benchmark harness of Wen et al. that
+//! the paper's evaluation reuses. Data structures are written once against
+//! this API and instantiated with any scheme.
+
+use core::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use crate::block::{BlockHeader, Linked};
+use crate::ptr::{tag, Atomic};
+use crate::stats::SmrStats;
+
+/// Progress guarantee provided by a scheme's *reclamation operations*
+/// (the data-structure operations on top have their own guarantees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Progress {
+    /// Every reclamation operation completes in a bounded number of steps.
+    WaitFree,
+    /// At least one thread always makes progress.
+    LockFree,
+    /// Reclamation can be delayed indefinitely by stalled threads
+    /// (unbounded memory usage).
+    Blocking,
+    /// No reclamation at all (the "Leak Memory" baseline).
+    None,
+}
+
+/// Tuning knobs shared by every scheme; field names follow the paper.
+#[derive(Debug, Clone)]
+pub struct ReclaimerConfig {
+    /// Maximum number of simultaneously registered threads (`max_threads`).
+    pub max_threads: usize,
+    /// Number of reservation indices available to the application per thread
+    /// (`max_hes` for era-based schemes, hazard-pointer count for HP).
+    pub slots_per_thread: usize,
+    /// Increment the global era/epoch every `era_freq` allocations (ν in §5).
+    pub era_freq: usize,
+    /// Scan the retired list every `cleanup_freq` retirements.
+    pub cleanup_freq: usize,
+    /// Fast-path attempts before WFE switches to the slow path
+    /// (`max_attempts`; the paper uses 16). Ignored by other schemes.
+    pub fast_path_attempts: usize,
+}
+
+impl Default for ReclaimerConfig {
+    fn default() -> Self {
+        Self {
+            max_threads: 128,
+            slots_per_thread: 8,
+            era_freq: 150,
+            cleanup_freq: 30,
+            fast_path_attempts: 16,
+        }
+    }
+}
+
+impl ReclaimerConfig {
+    /// Convenience constructor used throughout the tests and benches.
+    pub fn with_max_threads(max_threads: usize) -> Self {
+        Self {
+            max_threads,
+            ..Self::default()
+        }
+    }
+}
+
+/// The type-erased, per-thread reclamation interface each scheme implements.
+///
+/// # Safety
+///
+/// Implementations must guarantee that a pointer returned by
+/// [`protect_raw`](Self::protect_raw) (with its tag bits masked by `mask`)
+/// remains valid — i.e. is not freed — until the same slot `index` is
+/// overwritten by a later `protect_raw`, or [`clear`](Self::clear) /
+/// [`end_op`](Self::end_op) is called, provided the program obeys the usual
+/// SMR contract (blocks are retired only after becoming unreachable, and only
+/// once).
+pub unsafe trait RawHandle {
+    /// Dense index of this thread in `0..max_threads`.
+    fn thread_id(&self) -> usize;
+
+    /// Number of reservation slots available to the application.
+    fn slots(&self) -> usize;
+
+    /// Marks the beginning of a data-structure operation.
+    fn begin_op(&mut self);
+
+    /// Marks the end of a data-structure operation; drops all protections.
+    fn end_op(&mut self);
+
+    /// Hazard-Eras `get_protected`: reads the pointer stored at `src` and
+    /// publishes whatever reservation the scheme needs so the pointee cannot
+    /// be freed. Returns the raw (possibly tagged) value read from `src`;
+    /// the *protected* object is `value & mask`.
+    ///
+    /// `parent` is the block containing `src` (null for data-structure roots)
+    /// — only WFE uses it, other schemes ignore it.
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        index: usize,
+        parent: *mut BlockHeader,
+        mask: usize,
+    ) -> usize;
+
+    /// Hazard-Eras `retire`: hands an unreachable block to the scheme for
+    /// eventual reclamation.
+    ///
+    /// # Safety
+    ///
+    /// `block` must have been allocated through [`Handle::alloc`] on the same
+    /// domain, must already be unreachable from the data structure (only
+    /// in-flight readers may still hold it), and must be retired exactly once.
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader);
+
+    /// Hazard-Eras `clear`: resets every reservation made by this thread.
+    fn clear(&mut self);
+
+    /// Hazard-Eras `alloc_block` bookkeeping: advances the era clock if due
+    /// and returns the era to stamp into the new block's `alloc_era`.
+    fn pre_alloc(&mut self) -> u64;
+
+    /// Forces a retired-list scan regardless of `cleanup_freq`. Used by tests
+    /// and by handle teardown; not part of the paper API.
+    fn force_cleanup(&mut self);
+}
+
+/// Typed convenience layer over [`RawHandle`]; blanket-implemented.
+pub trait Handle: RawHandle {
+    /// Allocates a reclaimable block holding `value`
+    /// (the paper's `alloc_block`).
+    fn alloc<T>(&mut self, value: T) -> *mut Linked<T> {
+        let era = self.pre_alloc();
+        Linked::alloc(value, era)
+    }
+
+    /// Protects and returns the pointer stored in `src` (the paper's
+    /// `get_protected`).
+    ///
+    /// The returned pointer keeps any tag bits found in `src`; the protected
+    /// object is the untagged pointer. `parent` must be the block that
+    /// physically contains `src`, or null when `src` is a data-structure
+    /// root; it must itself be protected by the caller (that is the API
+    /// convention §3.4 relies upon).
+    fn protect<T>(
+        &mut self,
+        src: &Atomic<T>,
+        index: usize,
+        parent: *mut Linked<T>,
+    ) -> *mut Linked<T> {
+        self.protect_raw(
+            src.as_raw_atomic(),
+            index,
+            Linked::as_header(parent),
+            tag::ptr_mask::<T>(),
+        ) as *mut Linked<T>
+    }
+
+    /// Retires an unreachable block (the paper's `retire`).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RawHandle::retire_raw`].
+    unsafe fn retire<T>(&mut self, ptr: *mut Linked<T>) {
+        debug_assert!(!ptr.is_null(), "cannot retire a null block");
+        debug_assert_eq!(tag::tag_of(ptr), 0, "cannot retire a tagged pointer");
+        self.retire_raw(Linked::as_header(ptr));
+    }
+}
+
+impl<H: RawHandle + ?Sized> Handle for H {}
+
+/// A reclamation scheme (a *domain* in SMR terminology).
+///
+/// One domain guards one or more data structures; threads participate by
+/// [`register`](Self::register)ing a handle. Handles keep the domain alive
+/// through an [`Arc`], so a domain is destroyed only after every handle and
+/// every data structure using it has been dropped — at that point any block
+/// still waiting on an orphan list is freed.
+pub trait Reclaimer: Send + Sync + Sized + 'static {
+    /// The per-thread handle type.
+    type Handle: RawHandle + Send;
+
+    /// Creates a domain with the given configuration.
+    fn with_config(config: ReclaimerConfig) -> Arc<Self>;
+
+    /// Creates a domain with [`ReclaimerConfig::default`].
+    fn new_default() -> Arc<Self> {
+        Self::with_config(ReclaimerConfig::default())
+    }
+
+    /// Registers the calling thread and returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` handles are already registered.
+    fn register(self: &Arc<Self>) -> Self::Handle;
+
+    /// Short scheme name as used in the paper's plots
+    /// (`"WFE"`, `"HE"`, `"HP"`, `"EBR"`, `"2GEIBR"`, `"Leak"`).
+    fn name() -> &'static str;
+
+    /// Progress guarantee of the reclamation operations.
+    fn progress() -> Progress;
+
+    /// Snapshot of the reclamation counters.
+    fn stats(&self) -> SmrStats;
+
+    /// The configuration this domain was created with.
+    fn config(&self) -> &ReclaimerConfig;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper_parameters() {
+        let cfg = ReclaimerConfig::default();
+        assert_eq!(cfg.era_freq, 150);
+        assert_eq!(cfg.fast_path_attempts, 16);
+        assert!(cfg.cleanup_freq >= 30);
+        assert!(cfg.slots_per_thread >= 2);
+    }
+
+    #[test]
+    fn with_max_threads_overrides_only_that_field() {
+        let cfg = ReclaimerConfig::with_max_threads(4);
+        assert_eq!(cfg.max_threads, 4);
+        assert_eq!(cfg.era_freq, ReclaimerConfig::default().era_freq);
+    }
+}

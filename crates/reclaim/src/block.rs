@@ -1,0 +1,175 @@
+//! The intrusive allocation header shared by every reclamation scheme.
+//!
+//! The paper's Figure 2 shows that each reclaimable node embeds a "hazard eras
+//! header block" as its first field. [`Linked<T>`] is that layout: a
+//! [`BlockHeader`] followed by the user payload. Schemes only ever traffic in
+//! `*mut BlockHeader`; the generic convenience methods on
+//! [`Handle`](crate::Handle) recover the typed pointer.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+/// The "infinite" era: a reservation holding this value protects nothing.
+///
+/// Matches the `∞` sentinel of the paper's pseudo-code.
+pub const ERA_INF: u64 = u64::MAX;
+
+/// The reserved invalid pointer value used by WFE's slow path.
+///
+/// The paper reserves the maximum integer value because `nullptr` is a
+/// legitimate value for hazardous references while no real allocation can ever
+/// be placed at the top of the address space (`mmap` returns this value only
+/// as `MAP_FAILED`).
+pub const INVPTR: u64 = u64::MAX;
+
+/// Reclamation header embedded at offset 0 of every reclaimable allocation.
+///
+/// * `alloc_era` — global era at allocation time (`alloc_block()`),
+/// * `retire_era` — global era at retirement time (`retire()`),
+/// * `next_retired` — intrusive link for the owner thread's retired list,
+/// * `drop_fn` — type-erased destructor installed at allocation time.
+///
+/// The era fields are ordinary atomics only because the WFE *helper* threads
+/// read `alloc_era` of a parent block concurrently with nothing but the
+/// allocation that wrote it; all other accesses are owner-only.
+#[repr(C)]
+#[derive(Debug)]
+pub struct BlockHeader {
+    /// Era at which the block was allocated.
+    pub alloc_era: AtomicU64,
+    /// Era at which the block was retired (meaningful only once retired).
+    pub retire_era: AtomicU64,
+    /// Intrusive link used by per-thread retired lists. Owner-thread only.
+    pub(crate) next_retired: *mut BlockHeader,
+    /// Type-erased destructor: frees the full `Linked<T>` allocation.
+    pub(crate) drop_fn: unsafe fn(*mut BlockHeader),
+}
+
+// The raw link is only ever touched by the thread that owns the retired list
+// (or by a helper after the owner has handed the list over), never
+// concurrently.
+unsafe impl Send for BlockHeader {}
+unsafe impl Sync for BlockHeader {}
+
+impl BlockHeader {
+    /// Reads the allocation era.
+    #[inline]
+    pub fn alloc_era(&self) -> u64 {
+        self.alloc_era.load(Ordering::Acquire)
+    }
+
+    /// Reads the retirement era.
+    #[inline]
+    pub fn retire_era(&self) -> u64 {
+        self.retire_era.load(Ordering::Acquire)
+    }
+}
+
+/// A reclaimable allocation: reclamation header followed by the user payload.
+///
+/// `#[repr(C)]` guarantees the header sits at offset 0 so a `*mut Linked<T>`
+/// can be reinterpreted as `*mut BlockHeader` and back.
+#[repr(C)]
+#[derive(Debug)]
+pub struct Linked<T> {
+    /// The reclamation header (must stay the first field).
+    pub header: BlockHeader,
+    /// The user payload (a data-structure node).
+    pub value: T,
+}
+
+impl<T> Linked<T> {
+    /// Heap-allocates a new block with the given allocation era.
+    ///
+    /// Returns an owning raw pointer; the allocation is freed either by the
+    /// reclamation scheme (after [`retire`](crate::Handle::retire)) or by
+    /// [`Linked::dealloc`].
+    pub fn alloc(value: T, alloc_era: u64) -> *mut Linked<T> {
+        let boxed = Box::new(Linked {
+            header: BlockHeader {
+                alloc_era: AtomicU64::new(alloc_era),
+                retire_era: AtomicU64::new(0),
+                next_retired: core::ptr::null_mut(),
+                drop_fn: drop_block::<T>,
+            },
+            value,
+        });
+        Box::into_raw(boxed)
+    }
+
+    /// Immediately frees a block that is *not* going through a retire path
+    /// (e.g. a node that never became reachable, or remaining nodes freed by
+    /// a data structure's `Drop`).
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have been produced by [`Linked::alloc`] for the same `T`,
+    /// must not have been freed or retired before, and no other thread may
+    /// still access it.
+    pub unsafe fn dealloc(ptr: *mut Linked<T>) {
+        drop(Box::from_raw(ptr));
+    }
+
+    /// Upcasts a typed block pointer to its header pointer.
+    #[inline]
+    pub fn as_header(ptr: *mut Linked<T>) -> *mut BlockHeader {
+        ptr.cast()
+    }
+}
+
+/// Frees a type-erased block. Installed as `drop_fn` at allocation time.
+///
+/// # Safety
+///
+/// `header` must point to the `BlockHeader` of a live `Linked<T>` allocation
+/// of the matching `T`.
+unsafe fn drop_block<T>(header: *mut BlockHeader) {
+    drop(Box::from_raw(header as *mut Linked<T>));
+}
+
+/// Frees a retired block through its type-erased destructor.
+///
+/// # Safety
+///
+/// The block must be retired, unreachable and unprotected by every thread.
+pub(crate) unsafe fn free_block(header: *mut BlockHeader) {
+    ((*header).drop_fn)(header);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use std::sync::Arc;
+
+    #[test]
+    fn header_is_at_offset_zero() {
+        let ptr = Linked::alloc(42u64, 7);
+        let header = Linked::as_header(ptr);
+        assert_eq!(header as usize, ptr as usize);
+        unsafe {
+            assert_eq!((*header).alloc_era(), 7);
+            assert_eq!((*ptr).value, 42);
+            Linked::dealloc(ptr);
+        }
+    }
+
+    #[test]
+    fn drop_fn_runs_payload_destructor() {
+        struct Canary(Arc<AtomicUsize>);
+        impl Drop for Canary {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        let ptr = Linked::alloc(Canary(drops.clone()), 0);
+        unsafe { free_block(Linked::as_header(ptr)) };
+        assert_eq!(drops.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn sentinels_are_max_values() {
+        assert_eq!(ERA_INF, u64::MAX);
+        assert_eq!(INVPTR, u64::MAX);
+    }
+}

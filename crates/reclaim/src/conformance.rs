@@ -1,0 +1,365 @@
+//! Reusable conformance scenarios for reclamation schemes.
+//!
+//! Every scheme in the suite (the baselines here and WFE in `wfe-core`) must
+//! behave identically through the [`Reclaimer`]/[`Handle`] API. The functions
+//! in this module encode the behavioural contract once, so each scheme's test
+//! module — and the integration tests — simply instantiate them. They are
+//! compiled into the library (not `#[cfg(test)]`) precisely so that dependent
+//! crates can reuse them.
+
+use core::ptr;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::api::{Handle, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::block::Linked;
+use crate::ptr::Atomic;
+
+/// A payload that counts its drops, used to prove blocks are really freed.
+pub struct DropCounter {
+    counter: Arc<AtomicUsize>,
+}
+
+impl DropCounter {
+    /// Creates a counter handle; `counter` is incremented on drop.
+    pub fn new(counter: &Arc<AtomicUsize>) -> Self {
+        Self {
+            counter: Arc::clone(counter),
+        }
+    }
+}
+
+impl Drop for DropCounter {
+    fn drop(&mut self) {
+        self.counter.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// Node of the miniature Treiber stack used by the stress scenarios.
+pub struct StackNode {
+    next: *mut Linked<StackNode>,
+    value: usize,
+    _drops: Option<DropCounter>,
+}
+
+/// A miniature Treiber stack written directly against the raw SMR API.
+///
+/// This is intentionally the same shape as Figure 2 of the paper (the usage
+/// example for Hazard Eras): `pop` protects the head with reservation index 0,
+/// unlinks it with CAS and retires it.
+pub struct MiniStack {
+    head: Atomic<StackNode>,
+}
+
+impl MiniStack {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self {
+            head: Atomic::null(),
+        }
+    }
+
+    /// Pushes `value` using `handle` for allocation.
+    pub fn push<H: RawHandle>(&self, handle: &mut H, value: usize, drops: Option<DropCounter>) {
+        let node = handle.alloc(StackNode {
+            next: ptr::null_mut(),
+            value,
+            _drops: drops,
+        });
+        loop {
+            let head = self.head.load(Ordering::Acquire);
+            unsafe { (*node).value.next = head };
+            if self
+                .head
+                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pops the top element, if any.
+    pub fn pop<H: RawHandle>(&self, handle: &mut H) -> Option<usize> {
+        handle.begin_op();
+        let result = loop {
+            let node = handle.protect(&self.head, 0, ptr::null_mut());
+            if node.is_null() {
+                break None;
+            }
+            let next = unsafe { (*node).value.next };
+            if self
+                .head
+                .compare_exchange(node, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                let value = unsafe { (*node).value.value };
+                unsafe { handle.retire(node) };
+                break Some(value);
+            }
+        };
+        handle.end_op();
+        result
+    }
+
+    /// Frees every node still in the stack (no concurrency allowed).
+    pub fn drain(&self) -> usize {
+        let mut count = 0;
+        let mut cur = self.head.load(Ordering::Acquire);
+        self.head.store(ptr::null_mut(), Ordering::Release);
+        while !cur.is_null() {
+            let next = unsafe { (*cur).value.next };
+            unsafe { Linked::dealloc(cur) };
+            cur = next;
+            count += 1;
+        }
+        count
+    }
+}
+
+impl Default for MiniStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for MiniStack {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+/// A freshly created domain hands out distinct thread ids, allocates blocks
+/// stamped with its era clock, and reclaims a retired block once nothing
+/// protects it.
+pub fn basic_lifecycle<R: Reclaimer>() {
+    let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
+    let mut h1 = domain.register();
+    let mut h2 = domain.register();
+    assert_ne!(h1.thread_id(), h2.thread_id());
+    assert!(h1.slots() >= 2);
+
+    let node = h1.alloc(123u64);
+    assert!(!node.is_null());
+    unsafe {
+        assert_eq!((*node).value, 123);
+    }
+    let stats = domain.stats();
+    assert_eq!(stats.allocated, 1);
+    assert_eq!(stats.retired, 0);
+
+    unsafe { h1.retire(node) };
+    assert_eq!(domain.stats().retired, 1);
+
+    // Give bounded schemes every chance to reclaim; Leak legitimately won't.
+    for _ in 0..4 {
+        h1.force_cleanup();
+        h2.force_cleanup();
+    }
+    let stats = domain.stats();
+    assert!(stats.freed <= stats.retired);
+    drop(h1);
+    drop(h2);
+}
+
+/// While a reservation (or operation bracket) covers a block, a cleanup by the
+/// retiring thread must not free it; dropping the protection releases it.
+///
+/// Skipped automatically for schemes that never reclaim (`Leak`).
+pub fn protection_blocks_reclamation<R: Reclaimer>() {
+    let domain = R::with_config(ReclaimerConfig {
+        cleanup_freq: 1,
+        era_freq: 1,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    let mut reader = domain.register();
+    let mut writer = domain.register();
+
+    let stack = MiniStack::new();
+    stack.push(&mut writer, 1, None);
+
+    // Reader protects the head node mid-operation and then stalls.
+    reader.begin_op();
+    let protected = reader.protect(&stack.head, 0, ptr::null_mut());
+    assert!(!protected.is_null());
+
+    // Writer pops (and thereby retires) that same node, then tries hard to
+    // reclaim it.
+    let popped = stack.pop(&mut writer);
+    assert_eq!(popped, Some(1));
+    for _ in 0..4 {
+        writer.force_cleanup();
+    }
+    assert_eq!(
+        domain.stats().unreclaimed,
+        1,
+        "a protected block must survive cleanup"
+    );
+    // The block is still readable.
+    unsafe {
+        assert_eq!((*protected).value.value, 1);
+    }
+
+    // Dropping the protection allows reclamation.
+    reader.clear();
+    reader.end_op();
+    for _ in 0..4 {
+        writer.force_cleanup();
+    }
+    assert_eq!(domain.stats().unreclaimed, 0, "unprotected block is reclaimed");
+}
+
+/// Every allocated block is eventually dropped exactly once: either reclaimed
+/// during the run, freed by the stack's `Drop`, or released when the domain
+/// is destroyed (orphans).
+pub fn all_blocks_freed_on_drop<R: Reclaimer>() {
+    const NODES: usize = 500;
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let domain = R::with_config(ReclaimerConfig::with_max_threads(2));
+        let mut handle = domain.register();
+        let stack = MiniStack::new();
+        for i in 0..NODES {
+            stack.push(&mut handle, i, Some(DropCounter::new(&drops)));
+        }
+        // Pop half of them (these go through retire), leave the rest in the
+        // stack (these are freed by MiniStack::drop).
+        for _ in 0..NODES / 2 {
+            stack.pop(&mut handle);
+        }
+        drop(stack);
+        drop(handle);
+        drop(domain);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        NODES,
+        "every node dropped exactly once"
+    );
+}
+
+/// Multi-threaded push/pop stress; checks value conservation and that no node
+/// is dropped twice or leaked (drop counter equals allocation count).
+pub fn concurrent_stack_stress<R: Reclaimer>(threads: usize, ops_per_thread: usize) {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let pushed_sum = Arc::new(AtomicUsize::new(0));
+    let popped_sum = Arc::new(AtomicUsize::new(0));
+    let allocated = Arc::new(AtomicUsize::new(0));
+    {
+        let domain = R::with_config(ReclaimerConfig {
+            cleanup_freq: 8,
+            era_freq: 4,
+            ..ReclaimerConfig::with_max_threads(threads)
+        });
+        let stack = MiniStack::new();
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let domain = Arc::clone(&domain);
+                let stack = &stack;
+                let drops = Arc::clone(&drops);
+                let pushed_sum = Arc::clone(&pushed_sum);
+                let popped_sum = Arc::clone(&popped_sum);
+                let allocated = Arc::clone(&allocated);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 0..ops_per_thread {
+                        let value = t * ops_per_thread + i + 1;
+                        if i % 2 == 0 {
+                            stack.push(&mut handle, value, Some(DropCounter::new(&drops)));
+                            pushed_sum.fetch_add(value, Ordering::Relaxed);
+                            allocated.fetch_add(1, Ordering::Relaxed);
+                        } else if let Some(v) = stack.pop(&mut handle) {
+                            popped_sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let in_stack: usize = {
+            // Count and sum what's left before dropping everything.
+            let mut sum = 0usize;
+            let mut cur = stack.head.load(Ordering::Acquire);
+            while !cur.is_null() {
+                sum += unsafe { (*cur).value.value };
+                cur = unsafe { (*cur).value.next };
+            }
+            sum
+        };
+        assert_eq!(
+            pushed_sum.load(Ordering::Relaxed),
+            popped_sum.load(Ordering::Relaxed) + in_stack,
+            "every pushed value is either popped or still in the stack"
+        );
+        drop(stack);
+        drop(domain);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        allocated.load(Ordering::SeqCst),
+        "every allocated node dropped exactly once, none leaked, none double-freed"
+    );
+}
+
+/// For schemes with bounded memory usage, the number of unreclaimed blocks
+/// after a long single-threaded churn must stay below `bound`.
+pub fn unreclaimed_is_bounded<R: Reclaimer>(bound: u64) {
+    let domain = R::with_config(ReclaimerConfig {
+        cleanup_freq: 16,
+        era_freq: 8,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    let mut handle = domain.register();
+    let stack = MiniStack::new();
+    for i in 0..20_000 {
+        stack.push(&mut handle, i, None);
+        stack.pop(&mut handle);
+    }
+    let stats = domain.stats();
+    assert!(
+        stats.unreclaimed <= bound,
+        "unreclaimed {} exceeds bound {}",
+        stats.unreclaimed,
+        bound
+    );
+    drop(stack);
+    drop(handle);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_counter_counts() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        drop(DropCounter::new(&counter));
+        drop(DropCounter::new(&counter));
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn mini_stack_is_lifo_single_threaded() {
+        let domain = crate::He::new_default();
+        let mut handle = domain.register();
+        let stack = MiniStack::new();
+        for i in 0..10 {
+            stack.push(&mut handle, i, None);
+        }
+        for i in (0..10).rev() {
+            assert_eq!(stack.pop(&mut handle), Some(i));
+        }
+        assert_eq!(stack.pop(&mut handle), None);
+    }
+
+    #[test]
+    fn drain_frees_remaining_nodes() {
+        let domain = crate::He::new_default();
+        let mut handle = domain.register();
+        let stack = MiniStack::new();
+        for i in 0..5 {
+            stack.push(&mut handle, i, None);
+        }
+        assert_eq!(stack.drain(), 5);
+        assert_eq!(stack.pop(&mut handle), None);
+    }
+}

@@ -1,0 +1,272 @@
+//! Epoch-Based Reclamation (EBR).
+//!
+//! The classic scheme descending from RCU and Fraser's epochs: a thread
+//! publishes the global epoch when it starts an operation and withdraws the
+//! reservation when it finishes; a retired block may be freed once every
+//! *active* thread's published epoch is newer than the block's retirement
+//! epoch. EBR has the lowest per-read overhead of all schemes (reads need no
+//! per-pointer work at all), but a stalled or preempted thread pins every
+//! block retired after it began its operation — memory usage is unbounded,
+//! which is why the paper classifies it as blocking and why it cannot be used
+//! under a wait-free data structure without forfeiting the guarantee.
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfe_atomics::CachePadded;
+
+use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::block::{BlockHeader, ERA_INF};
+use crate::registry::ThreadRegistry;
+use crate::retired::{OrphanList, RetiredList};
+use crate::slots::SlotArray;
+use crate::stats::{Counters, SmrStats};
+
+/// The EBR domain.
+pub struct Ebr {
+    config: ReclaimerConfig,
+    registry: ThreadRegistry,
+    counters: Counters,
+    orphans: OrphanList,
+    global_epoch: CachePadded<AtomicU64>,
+    /// One published epoch per thread; `ERA_INF` = quiescent.
+    reservations: SlotArray,
+}
+
+impl Ebr {
+    /// Current value of the global epoch clock.
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// A block can be freed when every active thread entered its current
+    /// operation *after* the block was retired.
+    fn can_delete(&self, block: *mut BlockHeader) -> bool {
+        let retire_epoch = unsafe { (*block).retire_era() };
+        for thread in 0..self.reservations.threads() {
+            let reserved = self.reservations.get(thread, 0).load(Ordering::Acquire);
+            if reserved != ERA_INF && reserved <= retire_epoch {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Reclaimer for Ebr {
+    type Handle = EbrHandle;
+
+    fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        Arc::new(Self {
+            registry: ThreadRegistry::new(config.max_threads),
+            counters: Counters::new(),
+            orphans: OrphanList::new(),
+            global_epoch: CachePadded::new(AtomicU64::new(1)),
+            reservations: SlotArray::new(config.max_threads, 1, ERA_INF),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> EbrHandle {
+        let tid = self.registry.acquire();
+        EbrHandle {
+            domain: Arc::clone(self),
+            tid,
+            retired: RetiredList::new(),
+            retire_counter: 0,
+            alloc_counter: 0,
+        }
+    }
+
+    fn name() -> &'static str {
+        "EBR"
+    }
+
+    fn progress() -> Progress {
+        Progress::Blocking
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.counters.snapshot(self.epoch())
+    }
+
+    fn config(&self) -> &ReclaimerConfig {
+        &self.config
+    }
+}
+
+impl Drop for Ebr {
+    fn drop(&mut self) {
+        unsafe {
+            self.orphans.free_all();
+        }
+    }
+}
+
+impl core::fmt::Debug for Ebr {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ebr")
+            .field("epoch", &self.epoch())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Per-thread EBR handle.
+pub struct EbrHandle {
+    domain: Arc<Ebr>,
+    tid: usize,
+    retired: RetiredList,
+    retire_counter: usize,
+    alloc_counter: usize,
+}
+
+impl EbrHandle {
+    fn cleanup(&mut self) {
+        let domain = &self.domain;
+        let freed = unsafe { self.retired.scan(|block| domain.can_delete(block)) };
+        domain.counters.on_free(freed as u64);
+    }
+}
+
+unsafe impl RawHandle for EbrHandle {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn slots(&self) -> usize {
+        // EBR protects everything read inside the operation bracket, so the
+        // per-pointer index space is irrelevant; report the configured value
+        // so data structures can use indices uniformly.
+        self.domain.config.slots_per_thread
+    }
+
+    fn begin_op(&mut self) {
+        let epoch = self.domain.epoch();
+        self.domain
+            .reservations
+            .get(self.tid, 0)
+            .store(epoch, Ordering::SeqCst);
+    }
+
+    fn end_op(&mut self) {
+        self.domain
+            .reservations
+            .get(self.tid, 0)
+            .store(ERA_INF, Ordering::Release);
+    }
+
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        _index: usize,
+        _parent: *mut BlockHeader,
+        _mask: usize,
+    ) -> usize {
+        // Protection comes from the epoch published in `begin_op`; a read is
+        // just a read.
+        src.load(Ordering::Acquire)
+    }
+
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
+        let epoch = self.domain.epoch();
+        (*block).retire_era.store(epoch, Ordering::Release);
+        self.retired.push(block);
+        self.domain.counters.on_retire();
+        self.retire_counter += 1;
+        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+            if (*block).retire_era() == self.domain.epoch() {
+                self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
+            }
+            self.cleanup();
+        }
+    }
+
+    fn clear(&mut self) {
+        // Within an operation the epoch reservation must stay put; dropping
+        // protection happens in `end_op`.
+    }
+
+    fn pre_alloc(&mut self) -> u64 {
+        self.domain.counters.on_alloc();
+        self.alloc_counter += 1;
+        if self.alloc_counter % self.domain.config.era_freq == 0 {
+            self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
+        }
+        self.domain.epoch()
+    }
+
+    fn force_cleanup(&mut self) {
+        self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
+        self.cleanup();
+    }
+}
+
+impl Drop for EbrHandle {
+    fn drop(&mut self) {
+        self.end_op();
+        self.cleanup();
+        self.domain.orphans.adopt(&mut self.retired);
+        self.domain.registry.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn naming_and_progress() {
+        assert_eq!(Ebr::name(), "EBR");
+        assert_eq!(Ebr::progress(), Progress::Blocking);
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        conformance::basic_lifecycle::<Ebr>();
+    }
+
+    #[test]
+    fn protection_blocks_reclamation() {
+        conformance::protection_blocks_reclamation::<Ebr>();
+    }
+
+    #[test]
+    fn all_blocks_freed_on_drop() {
+        conformance::all_blocks_freed_on_drop::<Ebr>();
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        conformance::concurrent_stack_stress::<Ebr>(4, 2_000);
+    }
+
+    #[test]
+    fn stalled_reader_pins_memory() {
+        // The defining weakness of EBR: a thread inside an operation bracket
+        // prevents every later retirement from being freed.
+        use crate::Handle;
+        let domain = Ebr::with_config(ReclaimerConfig {
+            cleanup_freq: 1,
+            era_freq: 1,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        let mut stalled = domain.register();
+        let mut worker = domain.register();
+        stalled.begin_op(); // ... and never ends its operation.
+        for _ in 0..100 {
+            let ptr = worker.alloc(0u64);
+            unsafe { worker.retire(ptr) };
+        }
+        worker.force_cleanup();
+        assert_eq!(
+            domain.stats().unreclaimed, 100,
+            "nothing can be freed while a reader is stalled"
+        );
+        stalled.end_op();
+        worker.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0, "everything freed once the reader leaves");
+    }
+}

@@ -1,0 +1,284 @@
+//! Hazard Eras (Figure 1 of the paper).
+//!
+//! Hazard Eras [Ramalhete & Correia, SPAA'17] merges epoch-based reclamation
+//! with Hazard Pointers: instead of publishing the *pointer* it is about to
+//! dereference, a thread publishes the current value of a global era clock in
+//! one of its reservation slots. A retired block may be freed once no
+//! published era falls inside its `[alloc_era, retire_era]` lifespan.
+//!
+//! Every operation except `get_protected()` is wait-free (given wait-free
+//! fetch-and-add); `get_protected()` is only lock-free because its loop keeps
+//! retrying while other threads advance the era clock — this is exactly the
+//! loop WFE (in the `wfe-core` crate) makes wait-free.
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfe_atomics::CachePadded;
+
+use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::block::{BlockHeader, ERA_INF};
+use crate::registry::ThreadRegistry;
+use crate::retired::{OrphanList, RetiredList};
+use crate::slots::SlotArray;
+use crate::stats::{Counters, SmrStats};
+
+/// The Hazard Eras domain.
+pub struct He {
+    config: ReclaimerConfig,
+    registry: ThreadRegistry,
+    counters: Counters,
+    orphans: OrphanList,
+    global_era: CachePadded<AtomicU64>,
+    /// `max_threads × slots_per_thread` published eras (`ERA_INF` = none).
+    reservations: SlotArray,
+}
+
+impl He {
+    /// Current value of the global era clock.
+    #[inline]
+    pub fn era(&self) -> u64 {
+        self.global_era.load(Ordering::Acquire)
+    }
+
+    #[inline]
+    fn advance_era(&self) {
+        self.global_era.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The Figure-1 `can_delete` check: a block may be freed when no published
+    /// era lies within its `[alloc_era, retire_era]` lifespan.
+    fn can_delete(&self, block: *mut BlockHeader) -> bool {
+        let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
+        for thread in 0..self.reservations.threads() {
+            for slot in 0..self.reservations.slots() {
+                let era = self.reservations.get(thread, slot).load(Ordering::Acquire);
+                if era != ERA_INF && alloc_era <= era && retire_era >= era {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+impl Reclaimer for He {
+    type Handle = HeHandle;
+
+    fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        Arc::new(Self {
+            registry: ThreadRegistry::new(config.max_threads),
+            counters: Counters::new(),
+            orphans: OrphanList::new(),
+            global_era: CachePadded::new(AtomicU64::new(1)),
+            reservations: SlotArray::new(config.max_threads, config.slots_per_thread, ERA_INF),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> HeHandle {
+        let tid = self.registry.acquire();
+        HeHandle {
+            domain: Arc::clone(self),
+            tid,
+            retired: RetiredList::new(),
+            retire_counter: 0,
+            alloc_counter: 0,
+        }
+    }
+
+    fn name() -> &'static str {
+        "HE"
+    }
+
+    fn progress() -> Progress {
+        Progress::LockFree
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.counters.snapshot(self.era())
+    }
+
+    fn config(&self) -> &ReclaimerConfig {
+        &self.config
+    }
+}
+
+impl Drop for He {
+    fn drop(&mut self) {
+        // No handle can exist any more (handles hold an Arc), so every
+        // orphaned block is unreachable and unprotected.
+        unsafe {
+            self.orphans.free_all();
+        }
+    }
+}
+
+impl core::fmt::Debug for He {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("He")
+            .field("era", &self.era())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Per-thread Hazard Eras handle.
+pub struct HeHandle {
+    domain: Arc<He>,
+    tid: usize,
+    retired: RetiredList,
+    retire_counter: usize,
+    alloc_counter: usize,
+}
+
+impl HeHandle {
+    fn cleanup(&mut self) {
+        let domain = &self.domain;
+        let freed = unsafe { self.retired.scan(|block| domain.can_delete(block)) };
+        domain.counters.on_free(freed as u64);
+    }
+}
+
+unsafe impl RawHandle for HeHandle {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn slots(&self) -> usize {
+        self.domain.config.slots_per_thread
+    }
+
+    fn begin_op(&mut self) {}
+
+    fn end_op(&mut self) {
+        self.clear();
+    }
+
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        index: usize,
+        _parent: *mut BlockHeader,
+        _mask: usize,
+    ) -> usize {
+        debug_assert!(index < self.slots());
+        let reservation = self.domain.reservations.get(self.tid, index);
+        let mut prev_era = reservation.load(Ordering::Relaxed);
+        loop {
+            let value = src.load(Ordering::Acquire);
+            let new_era = self.domain.era();
+            if prev_era == new_era {
+                return value;
+            }
+            // Publishing the era must become visible to era-advancing threads
+            // before we re-read the source pointer, hence SeqCst (the paper's
+            // pseudo-code assumes sequential consistency here).
+            reservation.store(new_era, Ordering::SeqCst);
+            prev_era = new_era;
+        }
+    }
+
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
+        let era = self.domain.era();
+        (*block).retire_era.store(era, Ordering::Release);
+        self.retired.push(block);
+        self.domain.counters.on_retire();
+        self.retire_counter += 1;
+        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+            // Figure 1, lines 27-28: only advance the clock if nothing else
+            // advanced it since this block was stamped, then scan.
+            if (*block).retire_era() == self.domain.era() {
+                self.domain.advance_era();
+            }
+            self.cleanup();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.domain
+            .reservations
+            .fill_row(self.tid, ERA_INF, Ordering::Release);
+    }
+
+    fn pre_alloc(&mut self) -> u64 {
+        self.domain.counters.on_alloc();
+        self.alloc_counter += 1;
+        if self.alloc_counter % self.domain.config.era_freq == 0 {
+            self.domain.advance_era();
+        }
+        self.domain.era()
+    }
+
+    fn force_cleanup(&mut self) {
+        self.domain.advance_era();
+        self.cleanup();
+    }
+}
+
+impl Drop for HeHandle {
+    fn drop(&mut self) {
+        self.clear();
+        self.cleanup();
+        self.domain.orphans.adopt(&mut self.retired);
+        self.registry_release();
+    }
+}
+
+impl HeHandle {
+    fn registry_release(&self) {
+        self.domain.registry.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+
+    #[test]
+    fn naming_and_progress() {
+        assert_eq!(He::name(), "HE");
+        assert_eq!(He::progress(), Progress::LockFree);
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        conformance::basic_lifecycle::<He>();
+    }
+
+    #[test]
+    fn protection_blocks_reclamation() {
+        conformance::protection_blocks_reclamation::<He>();
+    }
+
+    #[test]
+    fn all_blocks_freed_on_drop() {
+        conformance::all_blocks_freed_on_drop::<He>();
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        conformance::concurrent_stack_stress::<He>(4, 2_000);
+    }
+
+    #[test]
+    fn unreclaimed_is_bounded() {
+        conformance::unreclaimed_is_bounded::<He>(4_000);
+    }
+
+    #[test]
+    fn era_advances_with_allocations() {
+        let domain = He::with_config(ReclaimerConfig {
+            era_freq: 10,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        let mut handle = domain.register();
+        let before = domain.era();
+        for _ in 0..100 {
+            let ptr = crate::Handle::alloc(&mut handle, 0u64);
+            unsafe { crate::Linked::dealloc(ptr) };
+        }
+        assert!(domain.era() >= before + 9, "era clock advanced by era_freq steps");
+    }
+}

@@ -1,0 +1,257 @@
+//! Hazard Pointers (Michael, 2004).
+//!
+//! Each thread owns a small set of *hazard slots*; before dereferencing a
+//! shared pointer it publishes the pointer in a slot and re-reads the source
+//! to validate that the pointer is still reachable. A retired block may be
+//! freed once its address appears in no slot. Memory usage is tightly bounded
+//! (at most `max_threads × slots` blocks can be pinned), but every traversal
+//! step pays a store + fence + re-read, which is why HP is the slowest scheme
+//! in most of the paper's figures.
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfe_atomics::CachePadded;
+
+use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::block::BlockHeader;
+use crate::registry::ThreadRegistry;
+use crate::retired::{OrphanList, RetiredList};
+use crate::slots::PtrSlotArray;
+use crate::stats::{Counters, SmrStats};
+
+/// The Hazard Pointers domain.
+pub struct Hp {
+    config: ReclaimerConfig,
+    registry: ThreadRegistry,
+    counters: Counters,
+    orphans: OrphanList,
+    /// `max_threads × slots_per_thread` published addresses (0 = none).
+    hazards: PtrSlotArray,
+    /// Not used for safety — only reported in stats for uniformity.
+    op_clock: CachePadded<AtomicU64>,
+}
+
+impl Hp {
+    /// Collects the current hazard set, sorted for binary search.
+    fn hazard_snapshot(&self) -> Vec<usize> {
+        let mut hazards: Vec<usize> = self
+            .hazards
+            .iter_values(Ordering::Acquire)
+            .filter(|&p| p != 0)
+            .collect();
+        hazards.sort_unstable();
+        hazards.dedup();
+        hazards
+    }
+}
+
+impl Reclaimer for Hp {
+    type Handle = HpHandle;
+
+    fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        Arc::new(Self {
+            registry: ThreadRegistry::new(config.max_threads),
+            counters: Counters::new(),
+            orphans: OrphanList::new(),
+            hazards: PtrSlotArray::new(config.max_threads, config.slots_per_thread),
+            op_clock: CachePadded::new(AtomicU64::new(0)),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> HpHandle {
+        let tid = self.registry.acquire();
+        HpHandle {
+            domain: Arc::clone(self),
+            tid,
+            retired: RetiredList::new(),
+            retire_counter: 0,
+        }
+    }
+
+    fn name() -> &'static str {
+        "HP"
+    }
+
+    fn progress() -> Progress {
+        Progress::LockFree
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.counters.snapshot(self.op_clock.load(Ordering::Relaxed))
+    }
+
+    fn config(&self) -> &ReclaimerConfig {
+        &self.config
+    }
+}
+
+impl Drop for Hp {
+    fn drop(&mut self) {
+        unsafe {
+            self.orphans.free_all();
+        }
+    }
+}
+
+impl core::fmt::Debug for Hp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Hp").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Per-thread Hazard Pointers handle.
+pub struct HpHandle {
+    domain: Arc<Hp>,
+    tid: usize,
+    retired: RetiredList,
+    retire_counter: usize,
+}
+
+impl HpHandle {
+    fn cleanup(&mut self) {
+        let hazards = self.domain.hazard_snapshot();
+        let freed = unsafe {
+            self.retired
+                .scan(|block| hazards.binary_search(&(block as usize)).is_err())
+        };
+        self.domain.counters.on_free(freed as u64);
+    }
+}
+
+unsafe impl RawHandle for HpHandle {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn slots(&self) -> usize {
+        self.domain.config.slots_per_thread
+    }
+
+    fn begin_op(&mut self) {}
+
+    fn end_op(&mut self) {
+        self.clear();
+    }
+
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        index: usize,
+        _parent: *mut BlockHeader,
+        mask: usize,
+    ) -> usize {
+        debug_assert!(index < self.slots());
+        let slot = self.domain.hazards.get(self.tid, index);
+        let mut value = src.load(Ordering::Acquire);
+        loop {
+            // Publish the (untagged) address, then validate that the source
+            // still holds the same value: if it does, the block cannot have
+            // been retired-and-scanned before our publication became visible.
+            slot.store(value & mask, Ordering::SeqCst);
+            let again = src.load(Ordering::Acquire);
+            if again == value {
+                return value;
+            }
+            value = again;
+        }
+    }
+
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
+        (*block).retire_era.store(0, Ordering::Relaxed);
+        self.retired.push(block);
+        self.domain.counters.on_retire();
+        self.domain.op_clock.fetch_add(1, Ordering::Relaxed);
+        self.retire_counter += 1;
+        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+            self.cleanup();
+        }
+    }
+
+    fn clear(&mut self) {
+        self.domain.hazards.fill_row(self.tid, 0, Ordering::Release);
+    }
+
+    fn pre_alloc(&mut self) -> u64 {
+        self.domain.counters.on_alloc();
+        0
+    }
+
+    fn force_cleanup(&mut self) {
+        self.cleanup();
+    }
+}
+
+impl Drop for HpHandle {
+    fn drop(&mut self) {
+        self.clear();
+        self.cleanup();
+        self.domain.orphans.adopt(&mut self.retired);
+        self.domain.registry.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+    use crate::{Atomic, Handle};
+
+    #[test]
+    fn naming_and_progress() {
+        assert_eq!(Hp::name(), "HP");
+        assert_eq!(Hp::progress(), Progress::LockFree);
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        conformance::basic_lifecycle::<Hp>();
+    }
+
+    #[test]
+    fn protection_blocks_reclamation() {
+        conformance::protection_blocks_reclamation::<Hp>();
+    }
+
+    #[test]
+    fn all_blocks_freed_on_drop() {
+        conformance::all_blocks_freed_on_drop::<Hp>();
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        conformance::concurrent_stack_stress::<Hp>(4, 2_000);
+    }
+
+    #[test]
+    fn unreclaimed_is_bounded() {
+        conformance::unreclaimed_is_bounded::<Hp>(2_000);
+    }
+
+    #[test]
+    fn hazard_protects_exact_address_not_tag() {
+        // Protecting a tagged pointer must publish the *untagged* address,
+        // otherwise the scan would not recognise the block as protected.
+        let domain = Hp::with_config(ReclaimerConfig::with_max_threads(2));
+        let mut owner = domain.register();
+        let mut other = domain.register();
+
+        let node = owner.alloc(7u64);
+        let tagged = crate::ptr::tag::with_tag(node, 1);
+        let root: Atomic<u64> = Atomic::new(tagged);
+
+        let seen = other.protect(&root, 0, core::ptr::null_mut());
+        assert_eq!(seen, tagged, "raw tagged value is returned");
+
+        // Retire from the owner; the other thread's hazard must keep it alive.
+        root.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { owner.retire(node) };
+        owner.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 1, "hazard pointer pins the block");
+
+        other.clear();
+        owner.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0);
+    }
+}

@@ -1,0 +1,305 @@
+//! Interval-Based Reclamation, 2GE variant (Wen et al., PPoPP'18).
+//!
+//! 2GEIBR ("two global epochs") keeps one `[lower, upper]` era interval per
+//! thread instead of one era per protected pointer. `begin_op` seeds both
+//! bounds with the current era; every hazardous read bumps `upper` to the era
+//! observed while reading. A retired block may be freed when its
+//! `[alloc_era, retire_era]` lifespan overlaps no thread's interval.
+//!
+//! Compared with Hazard Eras, IBR needs no per-pointer index, but a single
+//! long-running operation widens its interval without bound, so a stalled
+//! thread can pin arbitrarily many blocks (the paper keeps HE as its base for
+//! exactly this reason). The paper notes WFE's helping idea applies to 2GEIBR
+//! as well; the wait-free extension in this repository targets HE.
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfe_atomics::CachePadded;
+
+use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::block::{BlockHeader, ERA_INF};
+use crate::registry::ThreadRegistry;
+use crate::retired::{OrphanList, RetiredList};
+use crate::slots::SlotArray;
+use crate::stats::{Counters, SmrStats};
+
+const LOWER: usize = 0;
+const UPPER: usize = 1;
+
+/// The 2GEIBR domain.
+pub struct Ibr2Ge {
+    config: ReclaimerConfig,
+    registry: ThreadRegistry,
+    counters: Counters,
+    orphans: OrphanList,
+    global_era: CachePadded<AtomicU64>,
+    /// `max_threads × 2`: per-thread `[lower, upper]` interval (`ERA_INF` = idle).
+    reservations: SlotArray,
+}
+
+impl Ibr2Ge {
+    /// Current value of the global era clock.
+    #[inline]
+    pub fn era(&self) -> u64 {
+        self.global_era.load(Ordering::Acquire)
+    }
+
+    /// A block may be freed when its lifespan overlaps no active interval.
+    fn can_delete(&self, block: *mut BlockHeader) -> bool {
+        let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
+        for thread in 0..self.reservations.threads() {
+            let lower = self.reservations.get(thread, LOWER).load(Ordering::Acquire);
+            if lower == ERA_INF {
+                continue;
+            }
+            let upper = self.reservations.get(thread, UPPER).load(Ordering::Acquire);
+            if alloc_era <= upper && retire_era >= lower {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Reclaimer for Ibr2Ge {
+    type Handle = IbrHandle;
+
+    fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        Arc::new(Self {
+            registry: ThreadRegistry::new(config.max_threads),
+            counters: Counters::new(),
+            orphans: OrphanList::new(),
+            global_era: CachePadded::new(AtomicU64::new(1)),
+            reservations: SlotArray::new(config.max_threads, 2, ERA_INF),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> IbrHandle {
+        let tid = self.registry.acquire();
+        IbrHandle {
+            domain: Arc::clone(self),
+            tid,
+            retired: RetiredList::new(),
+            retire_counter: 0,
+            alloc_counter: 0,
+        }
+    }
+
+    fn name() -> &'static str {
+        "2GEIBR"
+    }
+
+    fn progress() -> Progress {
+        Progress::LockFree
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.counters.snapshot(self.era())
+    }
+
+    fn config(&self) -> &ReclaimerConfig {
+        &self.config
+    }
+}
+
+impl Drop for Ibr2Ge {
+    fn drop(&mut self) {
+        unsafe {
+            self.orphans.free_all();
+        }
+    }
+}
+
+impl core::fmt::Debug for Ibr2Ge {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ibr2Ge")
+            .field("era", &self.era())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Per-thread 2GEIBR handle.
+pub struct IbrHandle {
+    domain: Arc<Ibr2Ge>,
+    tid: usize,
+    retired: RetiredList,
+    retire_counter: usize,
+    alloc_counter: usize,
+}
+
+impl IbrHandle {
+    fn cleanup(&mut self) {
+        let domain = &self.domain;
+        let freed = unsafe { self.retired.scan(|block| domain.can_delete(block)) };
+        domain.counters.on_free(freed as u64);
+    }
+}
+
+unsafe impl RawHandle for IbrHandle {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn slots(&self) -> usize {
+        self.domain.config.slots_per_thread
+    }
+
+    fn begin_op(&mut self) {
+        let era = self.domain.era();
+        let res = &self.domain.reservations;
+        // Seed the interval with the current era; `lower` is published last so
+        // a scanner never observes an active interval with a stale upper bound.
+        res.get(self.tid, UPPER).store(era, Ordering::SeqCst);
+        res.get(self.tid, LOWER).store(era, Ordering::SeqCst);
+    }
+
+    fn end_op(&mut self) {
+        let res = &self.domain.reservations;
+        res.get(self.tid, LOWER).store(ERA_INF, Ordering::Release);
+        res.get(self.tid, UPPER).store(ERA_INF, Ordering::Release);
+    }
+
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        _index: usize,
+        _parent: *mut BlockHeader,
+        _mask: usize,
+    ) -> usize {
+        let upper = self.domain.reservations.get(self.tid, UPPER);
+        let mut prev_era = upper.load(Ordering::Relaxed);
+        loop {
+            let value = src.load(Ordering::Acquire);
+            let new_era = self.domain.era();
+            if prev_era == new_era {
+                return value;
+            }
+            upper.store(new_era, Ordering::SeqCst);
+            prev_era = new_era;
+        }
+    }
+
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
+        let era = self.domain.era();
+        (*block).retire_era.store(era, Ordering::Release);
+        self.retired.push(block);
+        self.domain.counters.on_retire();
+        self.retire_counter += 1;
+        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+            if (*block).retire_era() == self.domain.era() {
+                self.domain.global_era.fetch_add(1, Ordering::AcqRel);
+            }
+            self.cleanup();
+        }
+    }
+
+    fn clear(&mut self) {
+        // Protection is interval-based; dropping it happens in `end_op`.
+    }
+
+    fn pre_alloc(&mut self) -> u64 {
+        self.domain.counters.on_alloc();
+        self.alloc_counter += 1;
+        if self.alloc_counter % self.domain.config.era_freq == 0 {
+            self.domain.global_era.fetch_add(1, Ordering::AcqRel);
+        }
+        self.domain.era()
+    }
+
+    fn force_cleanup(&mut self) {
+        self.domain.global_era.fetch_add(1, Ordering::AcqRel);
+        self.cleanup();
+    }
+}
+
+impl Drop for IbrHandle {
+    fn drop(&mut self) {
+        self.end_op();
+        self.cleanup();
+        self.domain.orphans.adopt(&mut self.retired);
+        self.domain.registry.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+    use crate::Handle;
+
+    #[test]
+    fn naming_and_progress() {
+        assert_eq!(Ibr2Ge::name(), "2GEIBR");
+        assert_eq!(Ibr2Ge::progress(), Progress::LockFree);
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        conformance::basic_lifecycle::<Ibr2Ge>();
+    }
+
+    #[test]
+    fn protection_blocks_reclamation() {
+        conformance::protection_blocks_reclamation::<Ibr2Ge>();
+    }
+
+    #[test]
+    fn all_blocks_freed_on_drop() {
+        conformance::all_blocks_freed_on_drop::<Ibr2Ge>();
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        conformance::concurrent_stack_stress::<Ibr2Ge>(4, 2_000);
+    }
+
+    #[test]
+    fn interval_only_pins_overlapping_lifespans() {
+        let domain = Ibr2Ge::with_config(ReclaimerConfig {
+            cleanup_freq: 1,
+            era_freq: 1,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        let mut reader = domain.register();
+        let mut writer = domain.register();
+
+        // Blocks allocated and retired strictly before the reader's interval
+        // begins can always be reclaimed.
+        for _ in 0..10 {
+            let ptr = writer.alloc(1u64);
+            unsafe { writer.retire(ptr) };
+        }
+        writer.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0);
+
+        // A block allocated *before* the reader's interval starts but retired
+        // *after* overlaps the interval and stays pinned.
+        let pinned = writer.alloc(2u64);
+        reader.begin_op();
+        unsafe { writer.retire(pinned) };
+        writer.force_cleanup();
+        assert_eq!(
+            domain.stats().unreclaimed,
+            1,
+            "the overlapping block is pinned"
+        );
+
+        // A block allocated *after* the interval began is invisible to the
+        // reader (it never protected it), so IBR may reclaim it right away.
+        let fresh = writer.alloc(3u64);
+        unsafe { writer.retire(fresh) };
+        writer.force_cleanup();
+        assert_eq!(
+            domain.stats().unreclaimed,
+            1,
+            "the non-overlapping block is reclaimed immediately"
+        );
+
+        reader.end_op();
+        writer.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0);
+    }
+}

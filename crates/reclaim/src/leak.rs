@@ -1,0 +1,175 @@
+//! The "Leak Memory" baseline: no reclamation at all.
+//!
+//! The paper's throughput plots include a scheme that simply never frees
+//! retired blocks. It provides an upper bound on attainable throughput
+//! (no reclamation overhead whatsoever) at the cost of unbounded memory.
+//!
+//! To keep the test suite leak-free, retired blocks are parked on the domain
+//! and freed when the domain itself is dropped; during the measured run this
+//! behaves exactly like leaking.
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::block::BlockHeader;
+use crate::registry::ThreadRegistry;
+use crate::retired::{OrphanList, RetiredList};
+use crate::stats::{Counters, SmrStats};
+
+/// The leak-memory domain.
+pub struct Leak {
+    config: ReclaimerConfig,
+    registry: ThreadRegistry,
+    counters: Counters,
+    orphans: OrphanList,
+}
+
+impl Reclaimer for Leak {
+    type Handle = LeakHandle;
+
+    fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        Arc::new(Self {
+            registry: ThreadRegistry::new(config.max_threads),
+            counters: Counters::new(),
+            orphans: OrphanList::new(),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> LeakHandle {
+        let tid = self.registry.acquire();
+        LeakHandle {
+            domain: Arc::clone(self),
+            tid,
+            retired: RetiredList::new(),
+        }
+    }
+
+    fn name() -> &'static str {
+        "Leak"
+    }
+
+    fn progress() -> Progress {
+        Progress::None
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.counters.snapshot(0)
+    }
+
+    fn config(&self) -> &ReclaimerConfig {
+        &self.config
+    }
+}
+
+impl Drop for Leak {
+    fn drop(&mut self) {
+        unsafe {
+            self.orphans.free_all();
+        }
+    }
+}
+
+impl core::fmt::Debug for Leak {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Leak").field("stats", &self.stats()).finish()
+    }
+}
+
+/// Per-thread leak-memory handle.
+pub struct LeakHandle {
+    domain: Arc<Leak>,
+    tid: usize,
+    retired: RetiredList,
+}
+
+unsafe impl RawHandle for LeakHandle {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn slots(&self) -> usize {
+        self.domain.config.slots_per_thread
+    }
+
+    fn begin_op(&mut self) {}
+
+    fn end_op(&mut self) {}
+
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        _index: usize,
+        _parent: *mut BlockHeader,
+        _mask: usize,
+    ) -> usize {
+        src.load(Ordering::Acquire)
+    }
+
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
+        self.retired.push(block);
+        self.domain.counters.on_retire();
+    }
+
+    fn clear(&mut self) {}
+
+    fn pre_alloc(&mut self) -> u64 {
+        self.domain.counters.on_alloc();
+        0
+    }
+
+    fn force_cleanup(&mut self) {
+        // Leaking means never cleaning up.
+    }
+}
+
+impl Drop for LeakHandle {
+    fn drop(&mut self) {
+        self.domain.orphans.adopt(&mut self.retired);
+        self.domain.registry.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformance;
+    use crate::Handle;
+
+    #[test]
+    fn naming_and_progress() {
+        assert_eq!(Leak::name(), "Leak");
+        assert_eq!(Leak::progress(), Progress::None);
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        conformance::basic_lifecycle::<Leak>();
+    }
+
+    #[test]
+    fn all_blocks_freed_on_drop() {
+        conformance::all_blocks_freed_on_drop::<Leak>();
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        conformance::concurrent_stack_stress::<Leak>(4, 2_000);
+    }
+
+    #[test]
+    fn nothing_is_ever_freed_while_running() {
+        let domain = Leak::with_config(ReclaimerConfig::with_max_threads(1));
+        let mut handle = domain.register();
+        for _ in 0..50 {
+            let ptr = handle.alloc(0u64);
+            unsafe { handle.retire(ptr) };
+        }
+        handle.force_cleanup();
+        let stats = domain.stats();
+        assert_eq!(stats.retired, 50);
+        assert_eq!(stats.freed, 0);
+        assert_eq!(stats.unreclaimed, 50);
+    }
+}

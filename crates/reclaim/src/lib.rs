@@ -1,0 +1,49 @@
+//! Generic safe-memory-reclamation (SMR) framework plus the baseline schemes
+//! used by the WFE paper's evaluation.
+//!
+//! The paper compares its contribution, Wait-Free Eras (implemented in the
+//! `wfe-core` crate), against five existing reclamation approaches. This crate
+//! provides:
+//!
+//! * the **common API** every scheme implements ([`Reclaimer`], [`RawHandle`],
+//!   [`Handle`]) — a Rust rendering of the Hazard-Pointers-compatible
+//!   interface the paper describes (`get_protected` / `retire` / `clear` /
+//!   `alloc_block`), matching the harness of Wen et al.'s IBR benchmark that
+//!   the evaluation reuses;
+//! * the intrusive allocation header ([`BlockHeader`], [`Linked`]) that keeps
+//!   the two era fields every era-based scheme needs;
+//! * the baseline schemes:
+//!   [`Ebr`] (epoch-based reclamation), [`Hp`] (hazard pointers),
+//!   [`He`] (hazard eras, Figure 1 of the paper), [`Ibr2Ge`] (the 2GEIBR
+//!   variant of interval-based reclamation) and [`Leak`] (no reclamation).
+//!
+//! Data structures in `wfe-ds` are generic over `R: Reclaimer`, so every
+//! workload of the evaluation can be paired with every scheme, exactly as in
+//! the paper.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod block;
+pub mod conformance;
+pub mod ebr;
+pub mod he;
+pub mod hp;
+pub mod ibr;
+pub mod leak;
+pub mod ptr;
+pub mod registry;
+pub mod retired;
+pub mod slots;
+pub mod stats;
+
+pub use api::{Handle, Progress, RawHandle, Reclaimer, ReclaimerConfig};
+pub use block::{BlockHeader, Linked, ERA_INF, INVPTR};
+pub use ebr::Ebr;
+pub use he::He;
+pub use hp::Hp;
+pub use ibr::Ibr2Ge;
+pub use leak::Leak;
+pub use ptr::Atomic;
+pub use stats::SmrStats;

@@ -1,0 +1,123 @@
+//! Thread-slot registry.
+//!
+//! Every scheme in the suite (like the paper and the IBR benchmark harness)
+//! assumes a bounded number of participating threads, `max_threads`, and gives
+//! each registered thread a dense index into the per-thread reservation
+//! arrays. The registry hands out those indices and recycles them when a
+//! thread's handle is dropped.
+
+use core::sync::atomic::{AtomicBool, Ordering};
+
+use wfe_atomics::CachePadded;
+
+/// Allocator of dense thread indices in `0..max_threads`.
+#[derive(Debug)]
+pub struct ThreadRegistry {
+    slots: Box<[CachePadded<AtomicBool>]>,
+}
+
+impl ThreadRegistry {
+    /// Creates a registry with `max_threads` slots.
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads > 0, "max_threads must be at least 1");
+        Self {
+            slots: (0..max_threads)
+                .map(|_| CachePadded::new(AtomicBool::new(false)))
+                .collect(),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Claims a free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `max_threads` handles are alive simultaneously —
+    /// the same error condition the original C++ schemes treat as a
+    /// configuration bug.
+    pub fn acquire(&self) -> usize {
+        for (idx, slot) in self.slots.iter().enumerate() {
+            if !slot.load(Ordering::Relaxed)
+                && slot
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return idx;
+            }
+        }
+        panic!(
+            "thread registry exhausted: more than {} concurrent handles; \
+             raise ReclaimerConfig::max_threads",
+            self.slots.len()
+        );
+    }
+
+    /// Returns a slot to the free pool.
+    pub fn release(&self, idx: usize) {
+        let was = self.slots[idx].swap(false, Ordering::AcqRel);
+        debug_assert!(was, "releasing a slot that was not acquired");
+    }
+
+    /// Number of currently registered threads.
+    pub fn registered(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|slot| slot.load(Ordering::Relaxed))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_recycles_slots() {
+        let reg = ThreadRegistry::new(4);
+        let a = reg.acquire();
+        let b = reg.acquire();
+        assert_ne!(a, b);
+        assert_eq!(reg.registered(), 2);
+        reg.release(a);
+        let c = reg.acquire();
+        assert_eq!(c, a, "released slot is reused");
+        reg.release(b);
+        reg.release(c);
+        assert_eq!(reg.registered(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread registry exhausted")]
+    fn exhaustion_panics() {
+        let reg = ThreadRegistry::new(2);
+        let _a = reg.acquire();
+        let _b = reg.acquire();
+        let _c = reg.acquire();
+    }
+
+    #[test]
+    fn concurrent_acquisition_yields_unique_indices() {
+        const THREADS: usize = 16;
+        let reg = Arc::new(ThreadRegistry::new(THREADS));
+        let mut joins = Vec::new();
+        for _ in 0..THREADS {
+            let reg = reg.clone();
+            joins.push(std::thread::spawn(move || reg.acquire()));
+        }
+        let ids: HashSet<usize> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+        assert_eq!(ids.len(), THREADS, "all indices distinct");
+        assert!(ids.iter().all(|&i| i < THREADS));
+    }
+
+    #[test]
+    #[should_panic(expected = "max_threads must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = ThreadRegistry::new(0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Per-thread retired lists and the global orphan list.
+//!
+//! Retired blocks wait on an intrusive, owner-thread-only list until a
+//! `cleanup()` pass proves no reservation can still reach them. When a thread
+//! handle is dropped with blocks still pending, the remainder is parked on the
+//! owning domain's *orphan list* and freed when the domain itself is dropped
+//! (at which point no reservations exist any more). This mirrors what the
+//! reference implementations do when a thread detaches.
+
+use core::ptr;
+use std::sync::Mutex;
+
+use crate::block::{free_block, BlockHeader};
+
+/// Owner-thread-only list of retired blocks, linked through
+/// [`BlockHeader::next_retired`].
+#[derive(Debug)]
+pub struct RetiredList {
+    head: *mut BlockHeader,
+    len: usize,
+}
+
+// The list is owned by exactly one thread at a time; sending it (e.g. into an
+// orphan list) transfers that ownership.
+unsafe impl Send for RetiredList {}
+
+impl RetiredList {
+    /// Creates an empty list.
+    pub const fn new() -> Self {
+        Self {
+            head: ptr::null_mut(),
+            len: 0,
+        }
+    }
+
+    /// Number of blocks currently parked on the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a retired block.
+    ///
+    /// # Safety
+    ///
+    /// `block` must be a valid, retired, unreachable block owned by the caller
+    /// and not present on any other list.
+    pub unsafe fn push(&mut self, block: *mut BlockHeader) {
+        (*block).next_retired = self.head;
+        self.head = block;
+        self.len += 1;
+    }
+
+    /// Scans the list, freeing every block for which `can_free` returns true.
+    /// Returns the number of blocks freed.
+    ///
+    /// # Safety
+    ///
+    /// `can_free(block)` must only return `true` when no thread can still hold
+    /// or acquire a reference to `block` (the scheme's safety condition).
+    pub unsafe fn scan(&mut self, mut can_free: impl FnMut(*mut BlockHeader) -> bool) -> usize {
+        let mut kept_head: *mut BlockHeader = ptr::null_mut();
+        let mut kept_len = 0usize;
+        let mut freed = 0usize;
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = (*cur).next_retired;
+            if can_free(cur) {
+                free_block(cur);
+                freed += 1;
+            } else {
+                (*cur).next_retired = kept_head;
+                kept_head = cur;
+                kept_len += 1;
+            }
+            cur = next;
+        }
+        self.head = kept_head;
+        self.len = kept_len;
+        freed
+    }
+
+    /// Unconditionally frees every block on the list. Returns the count.
+    ///
+    /// # Safety
+    ///
+    /// No thread may still hold or acquire references to any block on the
+    /// list (e.g. the owning domain is being dropped).
+    pub unsafe fn free_all(&mut self) -> usize {
+        self.scan(|_| true)
+    }
+
+    /// Moves every block from `other` onto `self`.
+    pub fn append(&mut self, other: &mut RetiredList) {
+        // Splice `other` in front of our head.
+        if other.head.is_null() {
+            return;
+        }
+        unsafe {
+            let mut tail = other.head;
+            while !(*tail).next_retired.is_null() {
+                tail = (*tail).next_retired;
+            }
+            (*tail).next_retired = self.head;
+        }
+        self.head = other.head;
+        self.len += other.len;
+        other.head = ptr::null_mut();
+        other.len = 0;
+    }
+}
+
+impl Default for RetiredList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for RetiredList {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.is_empty(),
+            "RetiredList dropped with {} blocks still pending; \
+             they must be moved to an orphan list or freed first",
+            self.len
+        );
+    }
+}
+
+/// Blocks abandoned by exited threads, freed when the domain is dropped.
+#[derive(Debug, Default)]
+pub struct OrphanList {
+    inner: Mutex<RetiredList>,
+}
+
+impl OrphanList {
+    /// Creates an empty orphan list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parks the contents of `list` on the orphan list.
+    pub fn adopt(&self, list: &mut RetiredList) {
+        if list.is_empty() {
+            return;
+        }
+        self.inner.lock().unwrap().append(list);
+    }
+
+    /// Number of orphaned blocks.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether there are no orphaned blocks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Frees every orphaned block. Returns the count.
+    ///
+    /// # Safety
+    ///
+    /// Callable only when no thread can still reach the orphaned blocks
+    /// (typically from the domain's `Drop`).
+    pub unsafe fn free_all(&self) -> usize {
+        self.inner.lock().unwrap().free_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::Linked;
+    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
+    use std::sync::Arc;
+
+    struct Canary(Arc<AtomicUsize>);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, SeqCst);
+        }
+    }
+
+    fn make(drops: &Arc<AtomicUsize>) -> *mut BlockHeader {
+        Linked::as_header(Linked::alloc(Canary(drops.clone()), 0))
+    }
+
+    #[test]
+    fn push_scan_keep_and_free() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut list = RetiredList::new();
+        let a = make(&drops);
+        let b = make(&drops);
+        let c = make(&drops);
+        unsafe {
+            list.push(a);
+            list.push(b);
+            list.push(c);
+        }
+        assert_eq!(list.len(), 3);
+        // Free only block `b`.
+        let freed = unsafe { list.scan(|blk| blk == b) };
+        assert_eq!(freed, 1);
+        assert_eq!(list.len(), 2);
+        assert_eq!(drops.load(SeqCst), 1);
+        let freed = unsafe { list.free_all() };
+        assert_eq!(freed, 2);
+        assert_eq!(drops.load(SeqCst), 3);
+        assert!(list.is_empty());
+    }
+
+    #[test]
+    fn append_moves_all_blocks() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let mut a_list = RetiredList::new();
+        let mut b_list = RetiredList::new();
+        unsafe {
+            a_list.push(make(&drops));
+            b_list.push(make(&drops));
+            b_list.push(make(&drops));
+        }
+        a_list.append(&mut b_list);
+        assert_eq!(a_list.len(), 3);
+        assert!(b_list.is_empty());
+        a_list.append(&mut b_list); // appending an empty list is a no-op
+        assert_eq!(a_list.len(), 3);
+        unsafe { a_list.free_all() };
+        assert_eq!(drops.load(SeqCst), 3);
+    }
+
+    #[test]
+    fn orphans_are_freed_on_demand() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let orphans = OrphanList::new();
+        let mut list = RetiredList::new();
+        unsafe {
+            list.push(make(&drops));
+            list.push(make(&drops));
+        }
+        orphans.adopt(&mut list);
+        assert!(list.is_empty());
+        assert_eq!(orphans.len(), 2);
+        assert_eq!(unsafe { orphans.free_all() }, 2);
+        assert!(orphans.is_empty());
+        assert_eq!(drops.load(SeqCst), 2);
+    }
+}

@@ -1,0 +1,137 @@
+//! Reclamation statistics.
+//!
+//! The paper's second metric ("average number of unreclaimed objects per
+//! operation", Figures 5b/5d and the right-hand plots of Figures 6–11)
+//! requires every scheme to expose how many retired blocks have not yet been
+//! freed. The counters here are shared by all schemes and sampled by the
+//! benchmark harness.
+
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use wfe_atomics::CachePadded;
+
+/// Shared monotonic counters maintained by every scheme.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Number of blocks allocated through `alloc_block`.
+    pub allocated: CachePadded<AtomicU64>,
+    /// Number of blocks passed to `retire`.
+    pub retired: CachePadded<AtomicU64>,
+    /// Number of retired blocks actually freed.
+    pub freed: CachePadded<AtomicU64>,
+    /// Number of slow-path cycles taken (WFE only; 0 elsewhere).
+    pub slow_path: CachePadded<AtomicU64>,
+    /// Number of `help_thread` invocations (WFE only; 0 elsewhere).
+    pub helps: CachePadded<AtomicU64>,
+}
+
+impl Counters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one `alloc_block` call.
+    #[inline]
+    pub fn on_alloc(&self) {
+        self.allocated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one `retire` call.
+    #[inline]
+    pub fn on_retire(&self) {
+        self.retired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` blocks freed by a cleanup scan.
+    #[inline]
+    pub fn on_free(&self, n: u64) {
+        if n != 0 {
+            self.freed.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Records one slow-path entry (used by `wfe-core`).
+    #[inline]
+    pub fn on_slow_path(&self) {
+        self.slow_path.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one helping attempt (used by `wfe-core`).
+    #[inline]
+    pub fn on_help(&self) {
+        self.helps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot for reporting.
+    pub fn snapshot(&self, current_era: u64) -> SmrStats {
+        let retired = self.retired.load(Ordering::Relaxed);
+        let freed = self.freed.load(Ordering::Relaxed);
+        SmrStats {
+            allocated: self.allocated.load(Ordering::Relaxed),
+            retired,
+            freed,
+            unreclaimed: retired.saturating_sub(freed),
+            slow_path: self.slow_path.load(Ordering::Relaxed),
+            helps: self.helps.load(Ordering::Relaxed),
+            era: current_era,
+        }
+    }
+}
+
+/// A point-in-time snapshot of a scheme's reclamation activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SmrStats {
+    /// Blocks allocated so far.
+    pub allocated: u64,
+    /// Blocks retired so far.
+    pub retired: u64,
+    /// Retired blocks already freed.
+    pub freed: u64,
+    /// Retired blocks still waiting to be freed (`retired - freed`).
+    pub unreclaimed: u64,
+    /// Slow-path cycles taken (WFE only).
+    pub slow_path: u64,
+    /// `help_thread` calls performed (WFE only).
+    pub helps: u64,
+    /// Current value of the global era/epoch clock (0 for schemes without one).
+    pub era: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counts() {
+        let c = Counters::new();
+        c.on_alloc();
+        c.on_alloc();
+        c.on_retire();
+        c.on_free(1);
+        c.on_slow_path();
+        c.on_help();
+        let s = c.snapshot(42);
+        assert_eq!(s.allocated, 2);
+        assert_eq!(s.retired, 1);
+        assert_eq!(s.freed, 1);
+        assert_eq!(s.unreclaimed, 0);
+        assert_eq!(s.slow_path, 1);
+        assert_eq!(s.helps, 1);
+        assert_eq!(s.era, 42);
+    }
+
+    #[test]
+    fn unreclaimed_saturates() {
+        let c = Counters::new();
+        c.on_free(3);
+        assert_eq!(c.snapshot(0).unreclaimed, 0);
+    }
+
+    #[test]
+    fn on_free_zero_is_a_noop() {
+        let c = Counters::new();
+        c.on_free(0);
+        assert_eq!(c.snapshot(0).freed, 0);
+    }
+}

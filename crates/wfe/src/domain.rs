@@ -1,0 +1,385 @@
+//! The WFE domain: global era clock, reservations, helping and the modified
+//! `cleanup()` (Figure 4, right-hand column).
+
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfe_atomics::CachePadded;
+use wfe_reclaim::api::{Progress, Reclaimer, ReclaimerConfig};
+use wfe_reclaim::block::BlockHeader;
+use wfe_reclaim::registry::ThreadRegistry;
+use wfe_reclaim::retired::OrphanList;
+use wfe_reclaim::slots::PairSlotArray;
+use wfe_reclaim::stats::{Counters, SmrStats};
+use wfe_reclaim::{ERA_INF, INVPTR};
+
+use crate::handle::WfeHandle;
+use crate::state::StateTable;
+
+/// Index (relative to a thread's reservation row) of the first internal
+/// reservation: the *parent pin* used by helpers (paper: `max_hes`).
+pub(crate) const PARENT_SLOT_OFFSET: usize = 0;
+/// Index offset of the second internal reservation: the *hand-over pin*
+/// (paper: `max_hes + 1`).
+pub(crate) const HANDOVER_SLOT_OFFSET: usize = 1;
+/// Number of internal reservation slots appended to every thread's row.
+pub(crate) const EXTRA_SLOTS: usize = 2;
+
+/// The Wait-Free Eras domain.
+///
+/// Shared state (paper, Figure 4 top):
+/// * `global_era` — the era clock,
+/// * `counter_start` / `counter_end` — how many slow-path cycles have begun /
+///   finished; their difference tells era-advancing threads whether anyone
+///   needs help, and movement of `counter_start` tells `cleanup()` that a new
+///   slow path may have started mid-scan,
+/// * `reservations` — `max_threads × (max_hes + 2)` pairs `(era, tag)`;
+///   the last two columns are internal to [`help_thread`](Self::help_thread),
+/// * `state` — `max_threads × max_hes` slow-path request records.
+pub struct Wfe {
+    pub(crate) config: ReclaimerConfig,
+    pub(crate) registry: ThreadRegistry,
+    pub(crate) counters: Counters,
+    pub(crate) orphans: OrphanList,
+    pub(crate) global_era: CachePadded<AtomicU64>,
+    pub(crate) counter_start: CachePadded<AtomicU64>,
+    pub(crate) counter_end: CachePadded<AtomicU64>,
+    pub(crate) reservations: PairSlotArray,
+    pub(crate) state: StateTable,
+}
+
+impl Wfe {
+    /// Current value of the global era clock.
+    #[inline]
+    pub fn era(&self) -> u64 {
+        self.global_era.load(Ordering::Acquire)
+    }
+
+    /// Number of application-visible reservation slots per thread (`max_hes`).
+    #[inline]
+    pub(crate) fn app_slots(&self) -> usize {
+        self.config.slots_per_thread
+    }
+
+    /// Row index of a thread's parent-pin internal reservation.
+    #[inline]
+    pub(crate) fn parent_slot(&self) -> usize {
+        self.app_slots() + PARENT_SLOT_OFFSET
+    }
+
+    /// Row index of a thread's hand-over internal reservation.
+    #[inline]
+    pub(crate) fn handover_slot(&self) -> usize {
+        self.app_slots() + HANDOVER_SLOT_OFFSET
+    }
+
+    /// `can_delete(blk, js, je)` from Figure 1/4: `true` when no reservation
+    /// in columns `js..je` covers the block's `[alloc_era, retire_era]`
+    /// lifespan.
+    pub(crate) fn can_delete(&self, block: *mut BlockHeader, js: usize, je: usize) -> bool {
+        let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
+        for thread in 0..self.reservations.threads() {
+            for slot in js..je {
+                let era = self.reservations.get(thread, slot).load_first(Ordering::Acquire);
+                if era != ERA_INF && alloc_era <= era && retire_era >= era {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The WFE `cleanup()` eligibility check for one retired block
+    /// (Figure 4, lines 55-67). The scan order — normal reservations, parent
+    /// pin, then (unless no slow path was in flight) hand-over pin followed by
+    /// a re-scan of the normal reservations — is what Lemmas 4 and 5 rely on.
+    pub(crate) fn can_free(&self, block: *mut BlockHeader) -> bool {
+        let max_hes = self.app_slots();
+        let counter_end = self.counter_end.load(Ordering::SeqCst);
+        if !self.can_delete(block, 0, max_hes)
+            || !self.can_delete(block, max_hes, max_hes + 1)
+        {
+            return false;
+        }
+        counter_end == self.counter_start.load(Ordering::SeqCst)
+            || (self.can_delete(block, max_hes + 1, max_hes + 2)
+                && self.can_delete(block, 0, max_hes))
+    }
+
+    /// `increment_era()` (Figure 4, lines 87-98): before advancing the global
+    /// era clock, help every pending slow-path request so that the pending
+    /// `get_protected()` calls cannot be starved by the very increment we are
+    /// about to perform.
+    pub(crate) fn increment_era(&self, helper_tid: usize) {
+        let counter_end = self.counter_end.load(Ordering::SeqCst);
+        let counter_start = self.counter_start.load(Ordering::SeqCst);
+        if counter_start != counter_end {
+            for thread in 0..self.state.threads() {
+                for slot in 0..self.state.slots() {
+                    if self.state.get(thread, slot).is_pending() {
+                        self.help_thread(thread, slot, helper_tid);
+                    }
+                }
+            }
+        }
+        self.global_era.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// `help_thread(i, j, tid)` (Figure 4, lines 100-134): completes thread
+    /// `i`'s pending `get_protected()` request in slot `j` on its behalf.
+    ///
+    /// The helper (`helper_tid`) pins the requester's *parent* block by
+    /// publishing its `alloc_era` in the parent-pin internal reservation, and
+    /// pins the block it reads out of the hazardous location by publishing the
+    /// era it read under in the hand-over internal reservation. Both pins are
+    /// withdrawn before returning; reclamation safety across the hand-over is
+    /// provided by the `cleanup()` scan order (Lemmas 4 and 5).
+    pub(crate) fn help_thread(&self, requester: usize, slot: usize, helper_tid: usize) {
+        self.counters.on_help();
+        let state = self.state.get(requester, slot);
+        let request = state.result.load();
+        if request.0 != INVPTR {
+            return;
+        }
+        // Pin the parent block before touching anything else (Lemma 4).
+        let parent_era = state.era.load(Ordering::Acquire);
+        let parent_pin = self.reservations.get(helper_tid, self.parent_slot());
+        parent_pin.store_first(parent_era, Ordering::SeqCst);
+
+        let location = state.pointer.load(Ordering::Acquire);
+        let tag = self.reservations.get(requester, slot).load_second(Ordering::SeqCst);
+        // If the tag moved on, the request we read belongs to an already
+        // finished slow-path cycle: the state fields may be stale, so bail out.
+        if tag == request.1 {
+            let handover_pin = self.reservations.get(helper_tid, self.handover_slot());
+            let mut prev_era = self.era();
+            // Bounded by the number of in-flight era increments (Lemma 2).
+            loop {
+                handover_pin.store_first(prev_era, Ordering::SeqCst);
+                // SAFETY: `location` is the address of an `AtomicUsize` inside
+                // the parent block (or a data-structure root). The tag matched
+                // after the parent pin was published, so by Lemma 4 the parent
+                // cannot have been reclaimed and the location is still valid.
+                let value = unsafe { (*(location as *const AtomicUsize)).load(Ordering::Acquire) };
+                let new_era = self.era();
+                if prev_era == new_era {
+                    if state
+                        .result
+                        .compare_exchange(request, (value as u64, new_era))
+                        .is_ok()
+                    {
+                        // Update the requester's reservation on its behalf;
+                        // at most two iterations (Lemma 3).
+                        loop {
+                            let old = self.reservations.get(requester, slot).load();
+                            if old.1 != tag {
+                                break;
+                            }
+                            if self
+                                .reservations
+                                .get(requester, slot)
+                                .compare_exchange(old, (new_era, tag + 1))
+                                .is_ok()
+                            {
+                                break;
+                            }
+                        }
+                    }
+                    break;
+                }
+                prev_era = new_era;
+                if state.result.load() != request {
+                    break;
+                }
+            }
+            handover_pin.store_first(ERA_INF, Ordering::SeqCst);
+        }
+        parent_pin.store_first(ERA_INF, Ordering::SeqCst);
+    }
+}
+
+impl Reclaimer for Wfe {
+    type Handle = WfeHandle;
+
+    fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        assert!(
+            config.slots_per_thread >= 1,
+            "WFE needs at least one application reservation slot"
+        );
+        assert!(
+            config.fast_path_attempts >= 1,
+            "WFE needs at least one fast-path attempt"
+        );
+        Arc::new(Self {
+            registry: ThreadRegistry::new(config.max_threads),
+            counters: Counters::new(),
+            orphans: OrphanList::new(),
+            global_era: CachePadded::new(AtomicU64::new(1)),
+            counter_start: CachePadded::new(AtomicU64::new(0)),
+            counter_end: CachePadded::new(AtomicU64::new(0)),
+            reservations: PairSlotArray::new(
+                config.max_threads,
+                config.slots_per_thread + EXTRA_SLOTS,
+                (ERA_INF, 0),
+            ),
+            state: StateTable::new(config.max_threads, config.slots_per_thread),
+            config,
+        })
+    }
+
+    fn register(self: &Arc<Self>) -> WfeHandle {
+        let tid = self.registry.acquire();
+        WfeHandle::new(Arc::clone(self), tid)
+    }
+
+    fn name() -> &'static str {
+        "WFE"
+    }
+
+    fn progress() -> Progress {
+        Progress::WaitFree
+    }
+
+    fn stats(&self) -> SmrStats {
+        self.counters.snapshot(self.era())
+    }
+
+    fn config(&self) -> &ReclaimerConfig {
+        &self.config
+    }
+}
+
+impl Drop for Wfe {
+    fn drop(&mut self) {
+        // No handles remain (they hold an Arc), so orphaned blocks are
+        // unreachable and unprotected.
+        unsafe {
+            self.orphans.free_all();
+        }
+    }
+}
+
+impl core::fmt::Debug for Wfe {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Wfe")
+            .field("era", &self.era())
+            .field("counter_start", &self.counter_start.load(Ordering::Relaxed))
+            .field("counter_end", &self.counter_end.load(Ordering::Relaxed))
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wfe_reclaim::{Atomic, Handle, Linked, RawHandle};
+
+    #[test]
+    fn reservation_row_has_two_extra_internal_slots() {
+        let domain = Wfe::with_config(ReclaimerConfig {
+            slots_per_thread: 3,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        assert_eq!(domain.reservations.slots(), 5);
+        assert_eq!(domain.parent_slot(), 3);
+        assert_eq!(domain.handover_slot(), 4);
+        assert_eq!(domain.state.slots(), 3);
+    }
+
+    #[test]
+    fn help_thread_completes_a_pending_request() {
+        // Deterministic exercise of `help_thread`: thread 0 stages a request
+        // by hand exactly as the slow path of `get_protected` would, then
+        // thread 1 runs `increment_era` and must produce the result.
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(2));
+        let mut owner = domain.register();
+        let helper = domain.register();
+
+        let node = owner.alloc(99u64);
+        let root: Atomic<u64> = Atomic::new(node);
+
+        let tid = owner.thread_id();
+        let slot = 0usize;
+        let tag = domain.reservations.get(tid, slot).load_second(Ordering::SeqCst);
+
+        // Stage the request (Figure 4, lines 31-33).
+        domain.counter_start.fetch_add(1, Ordering::SeqCst);
+        let state = domain.state.get(tid, slot);
+        state
+            .pointer
+            .store(root.as_raw_atomic() as *const _ as usize, Ordering::SeqCst);
+        state.era.store(ERA_INF, Ordering::SeqCst);
+        state.result.store((INVPTR, tag));
+        assert!(state.is_pending());
+
+        // A thread about to advance the era must first help.
+        domain.increment_era(helper.thread_id());
+
+        let produced = state.result.load();
+        assert_ne!(produced.0, INVPTR, "request was completed by the helper");
+        assert_eq!(produced.0, node as u64, "helper read the hazardous pointer");
+        let reservation = domain.reservations.get(tid, slot).load();
+        assert_eq!(reservation.0, produced.1, "reservation era set on requester's behalf");
+        assert_eq!(reservation.1, tag + 1, "tag advanced to close the cycle");
+        // Helper pins are withdrawn.
+        assert_eq!(
+            domain
+                .reservations
+                .get(helper.thread_id(), domain.parent_slot())
+                .load_first(Ordering::SeqCst),
+            ERA_INF
+        );
+        assert_eq!(
+            domain
+                .reservations
+                .get(helper.thread_id(), domain.handover_slot())
+                .load_first(Ordering::SeqCst),
+            ERA_INF
+        );
+        assert!(domain.stats().helps >= 1);
+
+        // Finish the staged cycle the way get_protected would.
+        domain.counter_end.fetch_add(1, Ordering::SeqCst);
+        unsafe { Linked::dealloc(node) };
+    }
+
+    #[test]
+    fn help_thread_ignores_stale_requests() {
+        // If the requester's tag has already moved past the tag recorded in
+        // the request, the helper must not touch anything.
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(2));
+        let owner = domain.register();
+        let helper = domain.register();
+        let tid = owner.thread_id();
+
+        let root: Atomic<u64> = Atomic::null();
+        let state = domain.state.get(tid, 0);
+        state
+            .pointer
+            .store(root.as_raw_atomic() as *const _ as usize, Ordering::SeqCst);
+        state.era.store(ERA_INF, Ordering::SeqCst);
+        // Stage a request whose tag is already out of date (reservation tag is
+        // 0, the request claims tag 5).
+        state.result.store((INVPTR, 5));
+
+        domain.help_thread(tid, 0, helper.thread_id());
+
+        assert!(state.is_pending(), "stale request left untouched");
+        assert_eq!(
+            domain.reservations.get(tid, 0).load(),
+            (ERA_INF, 0),
+            "requester's reservation untouched"
+        );
+    }
+
+    #[test]
+    fn increment_era_without_pending_requests_just_bumps_the_clock() {
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(2));
+        let handle = domain.register();
+        let before = domain.era();
+        domain.increment_era(handle.thread_id());
+        assert_eq!(domain.era(), before + 1);
+        assert_eq!(domain.stats().helps, 0);
+    }
+}

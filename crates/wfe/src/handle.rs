@@ -1,0 +1,372 @@
+//! The per-thread WFE handle: `get_protected` (fast + slow path), `retire`,
+//! `alloc_block` bookkeeping and `clear` (Figure 4, left-hand column).
+
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use wfe_reclaim::api::RawHandle;
+use wfe_reclaim::block::BlockHeader;
+use wfe_reclaim::retired::RetiredList;
+use wfe_reclaim::{ERA_INF, INVPTR};
+
+use crate::domain::Wfe;
+
+/// Per-thread Wait-Free Eras handle.
+pub struct WfeHandle {
+    domain: Arc<Wfe>,
+    tid: usize,
+    retired: RetiredList,
+    retire_counter: usize,
+    alloc_counter: usize,
+}
+
+impl WfeHandle {
+    pub(crate) fn new(domain: Arc<Wfe>, tid: usize) -> Self {
+        Self {
+            domain,
+            tid,
+            retired: RetiredList::new(),
+            retire_counter: 0,
+            alloc_counter: 0,
+        }
+    }
+
+    /// The domain this handle belongs to.
+    pub fn domain(&self) -> &Arc<Wfe> {
+        &self.domain
+    }
+
+    fn cleanup(&mut self) {
+        let domain = &self.domain;
+        let freed = unsafe { self.retired.scan(|block| domain.can_free(block)) };
+        domain.counters.on_free(freed as u64);
+    }
+
+    /// The slow path of `get_protected` (Figure 4, lines 26-53): publish a
+    /// help request and keep retrying until either this thread manages to
+    /// cancel the request after observing a stable era, or a helper delivers
+    /// the result. Bounded by the number of in-flight era increments
+    /// (Lemma 1).
+    #[cold]
+    fn protect_slow(
+        &mut self,
+        src: &AtomicUsize,
+        index: usize,
+        parent: *mut BlockHeader,
+        mut prev_era: u64,
+    ) -> usize {
+        let domain = &self.domain;
+        domain.counters.on_slow_path();
+
+        // Fetch the parent's era so helpers can pin the block that contains
+        // the hazardous location (lines 26-27).
+        let parent_alloc_era = if parent.is_null() {
+            ERA_INF
+        } else {
+            unsafe { (*parent).alloc_era() }
+        };
+
+        // Announce the request (lines 29-33). The order matters: the request
+        // only becomes visible to helpers when `result` flips to
+        // `(INVPTR, tag)`, so every other field must already be in place.
+        domain.counter_start.fetch_add(1, Ordering::SeqCst);
+        let state = domain.state.get(self.tid, index);
+        state
+            .pointer
+            .store(src as *const AtomicUsize as usize, Ordering::SeqCst);
+        state.era.store(parent_alloc_era, Ordering::SeqCst);
+        let reservation = domain.reservations.get(self.tid, index);
+        let tag = reservation.load_second(Ordering::SeqCst);
+        state.result.store((INVPTR, tag));
+
+        // Lines 34-49. Bounded by the number of threads already inside
+        // `increment_era` (each may bump the era once before noticing us).
+        let result_value;
+        let result_era;
+        loop {
+            let value = src.load(Ordering::Acquire);
+            let new_era = domain.era();
+            if prev_era == new_era
+                && state
+                    .result
+                    .compare_exchange((INVPTR, tag), (0, ERA_INF))
+                    .is_ok()
+            {
+                // Nobody helped yet and the era is stable: cancel the request
+                // and finish on our own (lines 38-41).
+                reservation.store_second(tag + 1, Ordering::SeqCst);
+                domain.counter_end.fetch_add(1, Ordering::SeqCst);
+                return value;
+            }
+            // Keep our reservation up to date while waiting. The WCAS only
+            // fails if a helper already published the final era for this
+            // cycle, in which case the loop is about to exit (lines 44-45).
+            let _ = reservation.compare_exchange((prev_era, tag), (new_era, tag));
+            prev_era = new_era;
+            let produced = state.result.load();
+            if produced.0 != INVPTR {
+                result_value = produced.0;
+                result_era = produced.1;
+                break;
+            }
+        }
+
+        // A helper produced the result: adopt the era it protected the value
+        // under and close the slow-path cycle (lines 50-53). The helper may
+        // have already written the same reservation values on our behalf.
+        reservation.store_first(result_era, Ordering::SeqCst);
+        reservation.store_second(tag + 1, Ordering::SeqCst);
+        domain.counter_end.fetch_add(1, Ordering::SeqCst);
+        result_value as usize
+    }
+}
+
+unsafe impl RawHandle for WfeHandle {
+    fn thread_id(&self) -> usize {
+        self.tid
+    }
+
+    fn slots(&self) -> usize {
+        self.domain.app_slots()
+    }
+
+    fn begin_op(&mut self) {}
+
+    fn end_op(&mut self) {
+        self.clear();
+    }
+
+    fn protect_raw(
+        &mut self,
+        src: &AtomicUsize,
+        index: usize,
+        parent: *mut BlockHeader,
+        _mask: usize,
+    ) -> usize {
+        debug_assert!(index < self.slots());
+        let domain = &self.domain;
+        let reservation = domain.reservations.get(self.tid, index);
+        let mut prev_era = reservation.load_first(Ordering::Relaxed);
+
+        // Fast path (lines 15-24): identical to Hazard Eras, but bounded.
+        let mut attempts = domain.config.fast_path_attempts;
+        while attempts > 0 {
+            attempts -= 1;
+            let value = src.load(Ordering::Acquire);
+            let new_era = domain.era();
+            if prev_era == new_era {
+                return value;
+            }
+            reservation.store_first(new_era, Ordering::SeqCst);
+            prev_era = new_era;
+        }
+
+        // The era kept moving: ask for help.
+        self.protect_slow(src, index, parent, prev_era)
+    }
+
+    unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
+        let domain = &self.domain;
+        let era = domain.era();
+        (*block).retire_era.store(era, Ordering::Release);
+        self.retired.push(block);
+        domain.counters.on_retire();
+        self.retire_counter += 1;
+        if self.retire_counter % domain.config.cleanup_freq == 0 {
+            // Figure 4, lines 80-82: advance the clock (helping first) only if
+            // it has not moved since this block was stamped, then scan.
+            if (*block).retire_era() == domain.era() {
+                domain.increment_era(self.tid);
+            }
+            self.cleanup();
+        }
+    }
+
+    fn clear(&mut self) {
+        // Only the application-visible slots are cleared; the two internal
+        // slots belong to the helping machinery. The slow-path tag (second
+        // word) must survive, so only the era word is reset.
+        for slot in 0..self.domain.app_slots() {
+            self.domain
+                .reservations
+                .get(self.tid, slot)
+                .store_first(ERA_INF, Ordering::Release);
+        }
+    }
+
+    fn pre_alloc(&mut self) -> u64 {
+        let domain = &self.domain;
+        domain.counters.on_alloc();
+        self.alloc_counter += 1;
+        if self.alloc_counter % domain.config.era_freq == 0 {
+            // Figure 4, lines 69-71: help pending readers before advancing.
+            domain.increment_era(self.tid);
+        }
+        domain.era()
+    }
+
+    fn force_cleanup(&mut self) {
+        self.domain.increment_era(self.tid);
+        self.cleanup();
+    }
+}
+
+impl Drop for WfeHandle {
+    fn drop(&mut self) {
+        self.clear();
+        self.cleanup();
+        self.domain.orphans.adopt(&mut self.retired);
+        self.domain.registry.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use core::ptr;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc as StdArc;
+    use wfe_reclaim::api::{Progress, Reclaimer, ReclaimerConfig};
+    use wfe_reclaim::conformance;
+    use wfe_reclaim::{Atomic, Handle, Linked};
+
+    #[test]
+    fn naming_and_progress() {
+        assert_eq!(Wfe::name(), "WFE");
+        assert_eq!(Wfe::progress(), Progress::WaitFree);
+    }
+
+    #[test]
+    fn basic_lifecycle() {
+        conformance::basic_lifecycle::<Wfe>();
+    }
+
+    #[test]
+    fn protection_blocks_reclamation() {
+        conformance::protection_blocks_reclamation::<Wfe>();
+    }
+
+    #[test]
+    fn all_blocks_freed_on_drop() {
+        conformance::all_blocks_freed_on_drop::<Wfe>();
+    }
+
+    #[test]
+    fn concurrent_stack_stress() {
+        conformance::concurrent_stack_stress::<Wfe>(4, 2_000);
+    }
+
+    #[test]
+    fn unreclaimed_is_bounded() {
+        conformance::unreclaimed_is_bounded::<Wfe>(4_000);
+    }
+
+    #[test]
+    fn fast_path_returns_without_touching_counters() {
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(1));
+        let mut handle = domain.register();
+        let node = handle.alloc(5u64);
+        let root: Atomic<u64> = Atomic::new(node);
+        let seen = handle.protect(&root, 0, ptr::null_mut());
+        assert_eq!(seen, node);
+        assert_eq!(domain.stats().slow_path, 0);
+        unsafe { Linked::dealloc(node) };
+    }
+
+    #[test]
+    fn slow_path_self_cancel_completes() {
+        // With a single fast-path attempt, making the era move right before
+        // the call forces the slow path; with no other thread running the
+        // requester must cancel its own request and still return the right
+        // pointer, leaving the counters balanced and the tag advanced.
+        let domain = Wfe::with_config(ReclaimerConfig {
+            fast_path_attempts: 1,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        let mut handle = domain.register();
+        let node = handle.alloc(7u64);
+        let root: Atomic<u64> = Atomic::new(node);
+
+        // First protect publishes the current era; then the era moves so the
+        // single fast-path attempt cannot observe a stable clock.
+        let _ = handle.protect(&root, 0, ptr::null_mut());
+        domain.increment_era(handle.thread_id());
+
+        let tag_before = domain.reservations.get(handle.thread_id(), 0).load_second(Ordering::SeqCst);
+        let seen = handle.protect(&root, 0, ptr::null_mut());
+        assert_eq!(seen, node);
+        let stats = domain.stats();
+        assert!(stats.slow_path >= 1, "slow path was taken");
+        assert_eq!(
+            domain.counter_start.load(Ordering::SeqCst),
+            domain.counter_end.load(Ordering::SeqCst),
+            "slow-path cycle was closed"
+        );
+        let tag_after = domain.reservations.get(handle.thread_id(), 0).load_second(Ordering::SeqCst);
+        assert_eq!(tag_after, tag_before + 1, "tag advanced after the cycle");
+        unsafe { Linked::dealloc(node) };
+    }
+
+    #[test]
+    fn forced_slow_path_stress_with_hostile_era_bumper() {
+        // The paper validates WFE by forcing the slow path to be taken all the
+        // time; here the reader gets a single fast-path attempt while another
+        // thread bumps the era as fast as it can (every allocation), so a
+        // large fraction of reads must go through the help machinery.
+        let domain = Wfe::with_config(ReclaimerConfig {
+            fast_path_attempts: 1,
+            era_freq: 1,
+            cleanup_freq: 4,
+            ..ReclaimerConfig::with_max_threads(3)
+        });
+        let stop = StdArc::new(AtomicBool::new(false));
+        let stack = conformance::MiniStack::new();
+
+        std::thread::scope(|scope| {
+            // Hostile era bumper: allocates (and immediately retires) blocks,
+            // advancing the era on every allocation.
+            {
+                let domain = StdArc::clone(&domain);
+                let stop = StdArc::clone(&stop);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    while !stop.load(Ordering::Relaxed) {
+                        let ptr = handle.alloc(0u64);
+                        unsafe { handle.retire(ptr) };
+                    }
+                });
+            }
+            // Two readers/writers hammering the stack through get_protected.
+            let workers: Vec<_> = (0..2)
+                .map(|_| {
+                    let domain = StdArc::clone(&domain);
+                    let stack = &stack;
+                    scope.spawn(move || {
+                        let mut handle = domain.register();
+                        for i in 0..20_000 {
+                            if i % 2 == 0 {
+                                stack.push(&mut handle, i, None);
+                            } else {
+                                stack.pop(&mut handle);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            // Let the workers finish under hostile era movement, then stop the
+            // bumper.
+            for worker in workers {
+                worker.join().unwrap();
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+
+        let stats = domain.stats();
+        assert!(stats.slow_path > 0, "slow path exercised under forced conditions");
+        assert_eq!(
+            domain.counter_start.load(Ordering::SeqCst),
+            domain.counter_end.load(Ordering::SeqCst),
+            "every slow-path cycle was closed"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Wait-Free Eras (WFE) — universal wait-free memory reclamation.
+//!
+//! This crate implements the contribution of *"Universal Wait-Free Memory
+//! Reclamation"* (Nikolaev & Ravindran, PPoPP 2020): a safe-memory-reclamation
+//! scheme whose **every** operation — including `get_protected()` — completes
+//! in a bounded number of steps, so wait-free data structures built on top of
+//! it keep their progress guarantee.
+//!
+//! # How it works
+//!
+//! WFE starts from Hazard Eras ([`wfe_reclaim::He`]). In Hazard Eras the only
+//! non-wait-free operation is `get_protected()`: it retries while the global
+//! era clock keeps moving underneath it, and the clock is moved by concurrent
+//! `alloc_block()` / `retire()` calls. WFE closes the loop with the
+//! fast-path-slow-path idea:
+//!
+//! * the **fast path** is plain Hazard Eras, bounded to
+//!   [`ReclaimerConfig::fast_path_attempts`](wfe_reclaim::ReclaimerConfig)
+//!   iterations (the paper uses 16);
+//! * on the **slow path** the thread publishes a help request — the address of
+//!   the pointer it is trying to read, the `alloc_era` of the *parent* block
+//!   containing that address, and a `(invptr, tag)` marker WCASed into its
+//!   per-slot `result` record — and bumps a global `counter_start`;
+//! * threads about to increment the global era (from `alloc_block()` or
+//!   `retire()`) first scan for pending requests and **help** them: they pin
+//!   the parent block and the read target with two internal reservations,
+//!   read the pointer under a stable era, and WCAS the result (and the
+//!   requester's reservation) on the requester's behalf;
+//! * a per-reservation **tag**, carried in the second word of the reservation
+//!   pair and advanced after every slow-path cycle, stops delayed helpers
+//!   from clobbering a later cycle;
+//! * the modified [`cleanup` scan order](crate::Wfe) (normal reservations,
+//!   parent pin, then — only if a slow path might be in flight — the hand-over
+//!   pin followed by a re-scan) preserves reclamation safety (Lemmas 4 and 5
+//!   of the paper).
+//!
+//! The result: `get_protected` is bounded by `fast_path_attempts` plus at most
+//! `n` slow-path iterations (Lemma 1), and `alloc_block`/`retire` are bounded
+//! because each helping pass is bounded (Lemmas 2 and 3).
+//!
+//! # Example
+//!
+//! ```
+//! use wfe_core::Wfe;
+//! use wfe_reclaim::{Atomic, Handle, Reclaimer, ReclaimerConfig};
+//!
+//! // One domain per data structure (or group of data structures).
+//! let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(8));
+//! let mut handle = domain.register();
+//!
+//! // Allocate a block through the domain so it gets an allocation era.
+//! let node = handle.alloc(42u64);
+//! let root: Atomic<u64> = Atomic::new(node);
+//!
+//! // Readers protect the pointer before dereferencing it (index 0, no parent).
+//! let ptr = handle.protect(&root, 0, core::ptr::null_mut());
+//! assert_eq!(unsafe { (*ptr).value }, 42);
+//!
+//! // After unlinking the block, retire it; WFE frees it once it is safe.
+//! root.store(core::ptr::null_mut(), core::sync::atomic::Ordering::SeqCst);
+//! use wfe_reclaim::RawHandle;
+//! handle.clear();
+//! unsafe { handle.retire(node) };
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod domain;
+mod handle;
+mod state;
+
+pub use domain::Wfe;
+pub use handle::WfeHandle;

@@ -1,0 +1,59 @@
+//! # wfe-suite
+//!
+//! A from-scratch Rust reproduction of *"Universal Wait-Free Memory
+//! Reclamation"* (Nikolaev & Ravindran, PPoPP 2020).
+//!
+//! The paper contributes **Wait-Free Eras (WFE)**: the first universal
+//! safe-memory-reclamation scheme in which *every* operation — including the
+//! pointer-protection read `get_protected()` — completes in a bounded number
+//! of steps, so wait-free data structures finally keep their progress
+//! guarantee end to end.
+//!
+//! This workspace contains everything the paper's evaluation needs, built from
+//! scratch:
+//!
+//! * [`wfe_core`] — the WFE scheme itself (fast path, slow path, helping,
+//!   tagged reservations, the modified cleanup scan);
+//! * [`wfe_reclaim`] — the common reclamation API plus the baselines the paper
+//!   compares against: EBR, Hazard Pointers, Hazard Eras, 2GEIBR and a
+//!   leak-memory baseline;
+//! * [`wfe_ds`] — the workloads: Treiber stack, Harris-Michael list, Michael
+//!   hash map, Natarajan-Mittal BST, Kogan-Petrank wait-free queue and a
+//!   Michael-Scott queue;
+//! * [`wfe_atomics`] — the 128-bit wide-CAS substrate WFE requires;
+//! * `wfe-bench` — the harness regenerating Figures 5–11.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wfe_suite::{Reclaimer, ReclaimerConfig, TreiberStack, Wfe};
+//! use std::sync::Arc;
+//!
+//! // One reclamation domain guards one (or more) data structures.
+//! let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(8));
+//! let stack = TreiberStack::<String, Wfe>::new(Arc::clone(&domain));
+//!
+//! // Each thread registers once and passes its handle to every operation.
+//! let mut handle = domain.register();
+//! stack.push(&mut handle, "hello".to_string());
+//! assert_eq!(stack.pop(&mut handle), Some("hello".to_string()));
+//! assert_eq!(stack.pop(&mut handle), None);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use wfe_atomics;
+pub use wfe_core;
+pub use wfe_ds;
+pub use wfe_reclaim;
+
+pub use wfe_core::{Wfe, WfeHandle};
+pub use wfe_ds::{
+    ConcurrentMap, ConcurrentQueue, KoganPetrankQueue, MichaelHashMap, MichaelList,
+    MichaelScottQueue, NatarajanBst, TreiberStack,
+};
+pub use wfe_reclaim::{
+    Atomic, Ebr, Handle, He, Hp, Ibr2Ge, Leak, Linked, Progress, RawHandle, Reclaimer,
+    ReclaimerConfig, SmrStats,
+};

@@ -1,0 +1,230 @@
+//! Cross-crate integration tests: every data structure under every
+//! reclamation scheme, exercised through the public `wfe-suite` API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use wfe_suite::{
+    ConcurrentMap, ConcurrentQueue, Ebr, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak, MichaelHashMap,
+    MichaelList, MichaelScottQueue, NatarajanBst, Progress, Reclaimer, ReclaimerConfig,
+    TreiberStack, Wfe,
+};
+
+/// Exercises one map type under one scheme with a small concurrent workload
+/// and then checks the final contents sequentially.
+fn exercise_map<R: Reclaimer, M: ConcurrentMap<R>>() {
+    const THREADS: usize = 4;
+    const OPS: u64 = 3_000;
+    const KEY_RANGE: u64 = 64;
+
+    let domain = R::with_config(ReclaimerConfig {
+        cleanup_freq: 8,
+        era_freq: 16,
+        ..ReclaimerConfig::with_max_threads(THREADS)
+    });
+    let map = M::with_domain(Arc::clone(&domain));
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let map = &map;
+            let domain = Arc::clone(&domain);
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                let mut x = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..OPS {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let key = x % KEY_RANGE;
+                    match x % 3 {
+                        0 => {
+                            map.insert(&mut handle, key, key + 1);
+                        }
+                        1 => {
+                            map.remove(&mut handle, key);
+                        }
+                        _ => {
+                            if let Some(v) = map.get(&mut handle, key) {
+                                assert_eq!(v, key + 1, "value integrity");
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Sequential sanity sweep: whatever survived behaves like a set.
+    let mut handle = domain.register();
+    for key in 0..KEY_RANGE {
+        let present = map.get(&mut handle, key).is_some();
+        assert_eq!(map.remove(&mut handle, key), present);
+        assert_eq!(map.get(&mut handle, key), None);
+        assert!(map.insert(&mut handle, key, key + 1));
+        assert_eq!(map.get(&mut handle, key), Some(key + 1));
+    }
+    let stats = domain.stats();
+    assert!(stats.freed <= stats.retired);
+}
+
+/// Exercises one queue type under one scheme and checks element conservation.
+fn exercise_queue<R: Reclaimer, Q: ConcurrentQueue<R>>() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 2_000;
+
+    let domain = R::with_config(ReclaimerConfig {
+        cleanup_freq: 8,
+        era_freq: 16,
+        ..ReclaimerConfig::with_max_threads(THREADS + 1)
+    });
+    let queue = Q::with_domain(Arc::clone(&domain));
+    let consumed_sum = AtomicU64::new(0);
+    let consumed_count = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let queue = &queue;
+            let domain = Arc::clone(&domain);
+            let consumed_sum = &consumed_sum;
+            let consumed_count = &consumed_count;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                for i in 1..=PER_THREAD {
+                    queue.enqueue(&mut handle, t * PER_THREAD + i);
+                    if i % 2 == 0 {
+                        if let Some(v) = queue.dequeue(&mut handle) {
+                            consumed_sum.fetch_add(v, Ordering::Relaxed);
+                            consumed_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut handle = domain.register();
+    while let Some(v) = queue.dequeue(&mut handle) {
+        consumed_sum.fetch_add(v, Ordering::Relaxed);
+        consumed_count.fetch_add(1, Ordering::Relaxed);
+    }
+    let expected: u64 = (0..THREADS as u64)
+        .flat_map(|t| (1..=PER_THREAD).map(move |i| t * PER_THREAD + i))
+        .sum();
+    assert_eq!(consumed_count.load(Ordering::Relaxed), THREADS as u64 * PER_THREAD);
+    assert_eq!(consumed_sum.load(Ordering::Relaxed), expected);
+}
+
+macro_rules! map_matrix {
+    ($($test:ident: $scheme:ty, $map:ident;)*) => {
+        $(
+            #[test]
+            fn $test() {
+                exercise_map::<$scheme, $map<u64, $scheme>>();
+            }
+        )*
+    };
+}
+
+map_matrix! {
+    list_under_wfe: Wfe, MichaelList;
+    list_under_he: He, MichaelList;
+    list_under_hp: Hp, MichaelList;
+    list_under_ebr: Ebr, MichaelList;
+    list_under_ibr: Ibr2Ge, MichaelList;
+    list_under_leak: Leak, MichaelList;
+    hashmap_under_wfe: Wfe, MichaelHashMap;
+    hashmap_under_he: He, MichaelHashMap;
+    hashmap_under_hp: Hp, MichaelHashMap;
+    hashmap_under_ebr: Ebr, MichaelHashMap;
+    hashmap_under_ibr: Ibr2Ge, MichaelHashMap;
+    hashmap_under_leak: Leak, MichaelHashMap;
+    bst_under_wfe: Wfe, NatarajanBst;
+    bst_under_he: He, NatarajanBst;
+    bst_under_hp: Hp, NatarajanBst;
+    bst_under_ebr: Ebr, NatarajanBst;
+    bst_under_ibr: Ibr2Ge, NatarajanBst;
+    bst_under_leak: Leak, NatarajanBst;
+}
+
+macro_rules! queue_matrix {
+    ($($test:ident: $scheme:ty, $queue:ident;)*) => {
+        $(
+            #[test]
+            fn $test() {
+                exercise_queue::<$scheme, $queue<u64, $scheme>>();
+            }
+        )*
+    };
+}
+
+queue_matrix! {
+    kp_queue_under_wfe: Wfe, KoganPetrankQueue;
+    kp_queue_under_he: He, KoganPetrankQueue;
+    kp_queue_under_hp: Hp, KoganPetrankQueue;
+    kp_queue_under_ebr: Ebr, KoganPetrankQueue;
+    kp_queue_under_ibr: Ibr2Ge, KoganPetrankQueue;
+    ms_queue_under_wfe: Wfe, MichaelScottQueue;
+    ms_queue_under_he: He, MichaelScottQueue;
+    ms_queue_under_hp: Hp, MichaelScottQueue;
+    ms_queue_under_ebr: Ebr, MichaelScottQueue;
+    ms_queue_under_ibr: Ibr2Ge, MichaelScottQueue;
+}
+
+#[test]
+fn progress_guarantees_are_reported_correctly() {
+    assert_eq!(Wfe::progress(), Progress::WaitFree);
+    assert_eq!(He::progress(), Progress::LockFree);
+    assert_eq!(Hp::progress(), Progress::LockFree);
+    assert_eq!(Ibr2Ge::progress(), Progress::LockFree);
+    assert_eq!(Ebr::progress(), Progress::Blocking);
+    assert_eq!(Leak::progress(), Progress::None);
+}
+
+#[test]
+fn stack_shared_between_structures_of_one_domain() {
+    // A single domain can guard multiple data structures at once.
+    let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(4));
+    let stack = TreiberStack::<u64, Wfe>::new(Arc::clone(&domain));
+    let list = MichaelList::<u64, Wfe>::new(Arc::clone(&domain));
+    let mut handle = domain.register();
+    for i in 0..100 {
+        stack.push(&mut handle, i);
+        list.insert(&mut handle, i, i);
+    }
+    for i in (0..100).rev() {
+        assert_eq!(stack.pop(&mut handle), Some(i));
+        assert!(list.remove(&mut handle, i));
+    }
+    assert!(stack.is_empty());
+}
+
+#[test]
+fn wfe_under_forced_slow_path_keeps_structures_correct() {
+    // End-to-end version of the paper's "force the slow path" validation.
+    let domain = Wfe::with_config(ReclaimerConfig {
+        fast_path_attempts: 1,
+        era_freq: 1,
+        cleanup_freq: 4,
+        ..ReclaimerConfig::with_max_threads(4)
+    });
+    let map = MichaelHashMap::<u64, Wfe>::with_buckets(Arc::clone(&domain), 64);
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let map = &map;
+            let domain = Arc::clone(&domain);
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                for i in 0..3_000u64 {
+                    let key = (t * 3_000 + i) % 256;
+                    if i % 2 == 0 {
+                        map.insert(&mut handle, key, key);
+                    } else {
+                        map.remove(&mut handle, key);
+                    }
+                }
+            });
+        }
+    });
+    let stats = domain.stats();
+    assert!(stats.freed <= stats.retired);
+    // With one fast-path attempt and constant era movement the slow path must
+    // have been taken at least once across four threads.
+    assert!(stats.slow_path > 0, "slow path exercised: {stats:?}");
+}

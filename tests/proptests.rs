@@ -1,0 +1,130 @@
+//! Property-based tests (proptest): data-structure semantics against
+//! sequential model types, and WCAS/tagging invariants.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use wfe_suite::wfe_atomics::AtomicPair;
+use wfe_suite::wfe_reclaim::ptr::tag;
+use wfe_suite::{
+    Handle, KoganPetrankQueue, Linked, MichaelHashMap, MichaelList, NatarajanBst, Reclaimer,
+    ReclaimerConfig, Wfe,
+};
+
+/// An operation applied both to the concurrent structure and to the model.
+#[derive(Debug, Clone)]
+enum MapAction {
+    Insert(u64, u64),
+    Remove(u64),
+    Get(u64),
+}
+
+fn map_action_strategy(key_range: u64) -> impl Strategy<Value = MapAction> {
+    prop_oneof![
+        (0..key_range, any::<u64>()).prop_map(|(k, v)| MapAction::Insert(k, v)),
+        (0..key_range).prop_map(MapAction::Remove),
+        (0..key_range).prop_map(MapAction::Get),
+    ]
+}
+
+/// Applies a sequence of actions to a map and to a `BTreeMap` model and checks
+/// that every return value agrees.
+fn check_map_against_model<M>(actions: &[MapAction])
+where
+    M: wfe_suite::ConcurrentMap<Wfe>,
+{
+    let domain = Wfe::with_config(ReclaimerConfig {
+        cleanup_freq: 4,
+        era_freq: 8,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    let map = M::with_domain(Arc::clone(&domain));
+    let mut handle = domain.register();
+    let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+    for action in actions {
+        match *action {
+            MapAction::Insert(key, value) => {
+                let expected = !model.contains_key(&key);
+                assert_eq!(map.insert(&mut handle, key, value), expected);
+                model.entry(key).or_insert(value);
+            }
+            MapAction::Remove(key) => {
+                assert_eq!(map.remove(&mut handle, key), model.remove(&key).is_some());
+            }
+            MapAction::Get(key) => {
+                assert_eq!(map.get(&mut handle, key), model.get(&key).copied());
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn michael_list_matches_btreemap(actions in proptest::collection::vec(map_action_strategy(32), 1..400)) {
+        check_map_against_model::<MichaelList<u64, Wfe>>(&actions);
+    }
+
+    #[test]
+    fn hash_map_matches_btreemap(actions in proptest::collection::vec(map_action_strategy(64), 1..400)) {
+        check_map_against_model::<MichaelHashMap<u64, Wfe>>(&actions);
+    }
+
+    #[test]
+    fn natarajan_bst_matches_btreemap(actions in proptest::collection::vec(map_action_strategy(64), 1..400)) {
+        check_map_against_model::<NatarajanBst<u64, Wfe>>(&actions);
+    }
+
+    #[test]
+    fn kp_queue_matches_vecdeque(ops in proptest::collection::vec(proptest::option::weighted(0.6, any::<u64>()), 1..300)) {
+        // `Some(v)` = enqueue v, `None` = dequeue.
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(2));
+        let queue = KoganPetrankQueue::<u64, Wfe>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match op {
+                Some(value) => {
+                    queue.enqueue(&mut handle, *value);
+                    model.push_back(*value);
+                }
+                None => {
+                    prop_assert_eq!(queue.dequeue(&mut handle), model.pop_front());
+                }
+            }
+        }
+        // Drain both and compare the tails.
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(queue.dequeue(&mut handle), Some(expected));
+        }
+        prop_assert_eq!(queue.dequeue(&mut handle), None);
+    }
+
+    #[test]
+    fn wcas_pair_semantics(initial in any::<(u64, u64)>(), expected in any::<(u64, u64)>(), new in any::<(u64, u64)>()) {
+        let pair = AtomicPair::new(initial.0, initial.1);
+        let result = pair.compare_exchange(expected, new);
+        if expected == initial {
+            prop_assert_eq!(result, Ok(initial));
+            prop_assert_eq!(pair.load(), new);
+        } else {
+            prop_assert_eq!(result, Err(initial));
+            prop_assert_eq!(pair.load(), initial);
+        }
+    }
+
+    #[test]
+    fn pointer_tagging_roundtrips(tag_bits in 0usize..4) {
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(1));
+        let mut handle = domain.register();
+        let node: *mut Linked<u64> = handle.alloc(7u64);
+        prop_assume!(tag_bits <= tag::low_bits::<u64>());
+        let tagged = tag::with_tag(node, tag_bits);
+        prop_assert_eq!(tag::untagged(tagged), node);
+        prop_assert_eq!(tag::tag_of(tagged), tag_bits);
+        unsafe { Linked::dealloc(node) };
+    }
+}
