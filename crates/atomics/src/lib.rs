@@ -32,4 +32,6 @@ mod wcas;
 
 pub use backoff::Backoff;
 pub use pad::CachePadded;
+#[doc(hidden)]
+pub use wcas::force_lock_fallback_for_tests;
 pub use wcas::{wcas_is_lock_free, AtomicPair, Pair};

@@ -58,9 +58,29 @@ fn detect_native_wcas() -> bool {
     std::is_x86_feature_detected!("cmpxchg16b")
 }
 
+/// On every architecture other than `x86_64` the native-WCAS inline assembly
+/// below is not compiled, so detection reports "unavailable" at compile time
+/// and all pair operations take the portable striped-lock fallback. The
+/// fallback is linearizable but not lock-free: as the crate docs explain,
+/// such targets keep WFE *correct* while forfeiting the wait-freedom bound
+/// (the paper's remark about platforms without WCAS). An AArch64 `casp` fast
+/// path would slot in here behind another `target_arch` gate.
 #[cfg(not(target_arch = "x86_64"))]
 fn detect_native_wcas() -> bool {
     false
+}
+
+/// Forces every *subsequent* pair operation onto the portable striped-lock
+/// fallback, as if the CPU had no native WCAS.
+///
+/// This is a test-only hook: mixing native and lock-based operations on the
+/// same [`AtomicPair`] is not linearizable, so this must be called before any
+/// pair is touched — in practice from a dedicated test process (see
+/// `crates/atomics/tests/lock_fallback.rs`). It is hidden from docs and must
+/// not be called from production code.
+#[doc(hidden)]
+pub fn force_lock_fallback_for_tests() {
+    NATIVE_WCAS.store(2, Ordering::Relaxed);
 }
 
 // ---------------------------------------------------------------------------
@@ -140,8 +160,8 @@ impl AtomicPair {
         } else {
             let _guard = stripe_lock(self as *const _ as usize);
             (
-                self.first.load(Ordering::Relaxed),
-                self.second.load(Ordering::Relaxed),
+                self.first.load(Ordering::SeqCst),
+                self.second.load(Ordering::SeqCst),
             )
         }
     }
@@ -158,8 +178,8 @@ impl AtomicPair {
             }
         } else {
             let _guard = stripe_lock(self as *const _ as usize);
-            self.first.store(value.0, Ordering::Relaxed);
-            self.second.store(value.1, Ordering::Relaxed);
+            self.first.store(value.0, Ordering::SeqCst);
+            self.second.store(value.1, Ordering::SeqCst);
         }
     }
 
@@ -179,14 +199,23 @@ impl AtomicPair {
                 Err(observed)
             }
         } else {
+            // The stripe lock serializes pair-wide operations against each
+            // other and against half-word *writes*, but half-word *reads*
+            // (`load_first`/`load_second` on the fast path) deliberately skip
+            // it. Those unlocked readers only get an ordering edge from the
+            // accesses themselves, so everything under the lock must be
+            // `SeqCst` to honour the pair-wide SC contract documented above —
+            // `Relaxed` would let a weakly-ordered target (the very targets
+            // that take this fallback) publish a reservation era that a
+            // concurrent unlocked scan does not observe.
             let _guard = stripe_lock(self as *const _ as usize);
             let observed = (
-                self.first.load(Ordering::Relaxed),
-                self.second.load(Ordering::Relaxed),
+                self.first.load(Ordering::SeqCst),
+                self.second.load(Ordering::SeqCst),
             );
             if observed == current {
-                self.first.store(new.0, Ordering::Relaxed);
-                self.second.store(new.1, Ordering::Relaxed);
+                self.first.store(new.0, Ordering::SeqCst);
+                self.second.store(new.1, Ordering::SeqCst);
                 Ok(observed)
             } else {
                 Err(observed)
@@ -232,7 +261,10 @@ impl fmt::Debug for AtomicPair {
 #[cfg(target_arch = "x86_64")]
 #[inline]
 unsafe fn cmpxchg16b(dst: *mut Pair, current: Pair, new: Pair) -> (Pair, bool) {
-    debug_assert!(dst as usize % 16 == 0, "WCAS target must be 16-byte aligned");
+    debug_assert!(
+        dst as usize % 16 == 0,
+        "WCAS target must be 16-byte aligned"
+    );
     let (cur_lo, cur_hi) = current;
     let (new_lo, new_hi) = new;
     let prev_lo: u64;
@@ -380,17 +412,17 @@ mod tests {
                     while done < PER_THREAD {
                         let cur = pair.load();
                         assert_eq!(cur.0, cur.1, "halves must always match");
-                        if pair
-                            .compare_exchange(cur, (cur.0 + 1, cur.1 + 1))
-                            .is_ok()
-                        {
+                        if pair.compare_exchange(cur, (cur.0 + 1, cur.1 + 1)).is_ok() {
                             done += 1;
                         }
                     }
                 });
             }
         });
-        assert_eq!(pair.load(), (THREADS as u64 * PER_THREAD, THREADS as u64 * PER_THREAD));
+        assert_eq!(
+            pair.load(),
+            (THREADS as u64 * PER_THREAD, THREADS as u64 * PER_THREAD)
+        );
     }
 
     #[test]

@@ -38,16 +38,12 @@ fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
 fn bench_alloc_retire<R: Reclaimer>(c: &mut Criterion, name: &str) {
     let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
     let mut handle = domain.register();
-    c.bench_with_input(
-        BenchmarkId::new("alloc_retire", name),
-        &(),
-        |bencher, _| {
-            bencher.iter(|| {
-                let node = handle.alloc(7u64);
-                unsafe { handle.retire(std::hint::black_box(node)) };
-            })
-        },
-    );
+    c.bench_with_input(BenchmarkId::new("alloc_retire", name), &(), |bencher, _| {
+        bencher.iter(|| {
+            let node = handle.alloc(7u64);
+            unsafe { handle.retire(std::hint::black_box(node)) };
+        })
+    });
 }
 
 fn bench_protect_under_era_pressure(c: &mut Criterion) {

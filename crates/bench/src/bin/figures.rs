@@ -85,8 +85,8 @@ fn parse_args() -> Result<(Vec<Figure>, BenchParams, Vec<Scheme>), String> {
                     .collect::<Result<Vec<_>, _>>()?;
             }
             other => {
-                let figure =
-                    Figure::parse(other).ok_or_else(|| format!("unknown figure or option {other}"))?;
+                let figure = Figure::parse(other)
+                    .ok_or_else(|| format!("unknown figure or option {other}"))?;
                 figures.push(figure);
             }
         }

@@ -297,7 +297,11 @@ impl Figure {
                     }
                 }
             }
-            Figure::Fig6 | Figure::Fig7 | Figure::Fig8 | Figure::Fig9 | Figure::Fig10
+            Figure::Fig6
+            | Figure::Fig7
+            | Figure::Fig8
+            | Figure::Fig9
+            | Figure::Fig10
             | Figure::Fig11 => {
                 let (map, workload) = match self {
                     Figure::Fig6 => (MapKind::List, MapWorkload::WriteDominated),

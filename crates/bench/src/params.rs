@@ -57,7 +57,9 @@ impl BenchParams {
     /// 1–120 (oversubscription allowed), ν = 150, fast path = 16 attempts.
     pub fn paper() -> Self {
         Self {
-            threads: vec![1, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120],
+            threads: vec![
+                1, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104, 112, 120,
+            ],
             duration: Duration::from_secs(10),
             repeats: 5,
             prefill: 50_000,

@@ -24,7 +24,9 @@ const SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
 /// Warm-up time before the measured window: a fraction of the run duration,
 /// capped so short smoke runs stay short.
 fn warmup_duration(params: &BenchParams) -> Duration {
-    (params.duration / 5).min(Duration::from_millis(200)).max(Duration::from_millis(20))
+    (params.duration / 5)
+        .min(Duration::from_millis(200))
+        .max(Duration::from_millis(20))
 }
 
 /// One-time process warm-up: spin every core and churn the allocator for a
@@ -92,12 +94,21 @@ impl DataPoint {
     pub fn to_csv_row(&self) -> String {
         format!(
             "{},{},{},{},{:.4},{:.1}",
-            self.structure, self.workload, self.scheme, self.threads, self.mops, self.avg_unreclaimed
+            self.structure,
+            self.workload,
+            self.scheme,
+            self.threads,
+            self.mops,
+            self.avg_unreclaimed
         )
     }
 }
 
-fn domain_config<R: Reclaimer>(threads: usize, required_slots: usize, params: &BenchParams) -> ReclaimerConfig {
+fn domain_config<R: Reclaimer>(
+    threads: usize,
+    required_slots: usize,
+    params: &BenchParams,
+) -> ReclaimerConfig {
     let _ = std::marker::PhantomData::<R>;
     ReclaimerConfig {
         max_threads: threads,
@@ -116,7 +127,10 @@ struct Sampler {
 
 impl Sampler {
     fn new() -> Self {
-        Self { sum: 0.0, samples: 0 }
+        Self {
+            sum: 0.0,
+            samples: 0,
+        }
     }
 
     fn record(&mut self, unreclaimed: u64) {
@@ -228,8 +242,12 @@ where
 
     {
         let mut handle = domain.register();
-        let mut generator =
-            OpGenerator::new(MapWorkload::WriteDominated, params.key_range, seed, usize::MAX >> 1);
+        let mut generator = OpGenerator::new(
+            MapWorkload::WriteDominated,
+            params.key_range,
+            seed,
+            usize::MAX >> 1,
+        );
         for _ in 0..params.prefill {
             queue.enqueue(&mut handle, generator.next_key());
         }

@@ -55,7 +55,9 @@ impl OpGenerator {
     /// reproducible yet threads do not correlate.
     pub fn new(workload: MapWorkload, key_range: u64, seed: u64, thread: usize) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed ^ (thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            rng: StdRng::seed_from_u64(
+                seed ^ (thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
             workload,
             key_range,
         }

@@ -395,12 +395,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
     /// Installs the descriptor for this thread's own new operation, retiring
     /// the previous one. A concurrent helper may finalise the *previous*
     /// operation at the same time, so at most one retry is needed.
-    fn publish_own_desc(
-        &self,
-        handle: &mut R::Handle,
-        tid: usize,
-        desc: *mut Linked<OpDesc<T>>,
-    ) {
+    fn publish_own_desc(&self, handle: &mut R::Handle, tid: usize, desc: *mut Linked<OpDesc<T>>) {
         loop {
             let old = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
             if self.state[tid]
@@ -577,7 +572,7 @@ mod tests {
             }
         });
         let mut handle = domain.register();
-        let mut last_seen = vec![None::<u64>; THREADS];
+        let mut last_seen = [None::<u64>; THREADS];
         while let Some(v) = queue.dequeue(&mut handle) {
             let t = (v >> 32) as usize;
             let seq = v & 0xFFFF_FFFF;

@@ -313,10 +313,7 @@ mod tests {
             match rng.gen_range(0..3) {
                 0 => assert_eq!(list.insert(&mut handle, key, key * 2), model.insert(key)),
                 1 => assert_eq!(list.remove(&mut handle, key), model.remove(&key)),
-                _ => assert_eq!(
-                    list.get(&mut handle, key),
-                    model.get(&key).map(|&k| k * 2)
-                ),
+                _ => assert_eq!(list.get(&mut handle, key), model.get(&key).map(|&k| k * 2)),
             }
         }
     }

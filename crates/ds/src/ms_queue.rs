@@ -74,19 +74,16 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
                     .is_ok()
                 {
                     // Swing the tail; failure means someone already did it.
-                    let _ = self.tail.compare_exchange(
-                        tail,
-                        node,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    );
+                    let _ =
+                        self.tail
+                            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
                     break;
                 }
             } else {
                 // Help a lagging enqueuer move the tail forward.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
             }
             backoff.spin();
         }
@@ -110,9 +107,9 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
             }
             if head == tail {
                 // Tail is lagging behind; help it before touching the head.
-                let _ =
-                    self.tail
-                        .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
                 continue;
             }
             if self

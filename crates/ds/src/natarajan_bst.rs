@@ -140,19 +140,12 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         let mut parent = s;
         // The sentinels R and S are never retired, so the two protects below
         // are only needed for the nodes hanging off them.
-        let leaf_raw = handle.protect(
-            unsafe { &*Self::child_edge(s, key) },
-            slot_leaf,
-            s,
-        );
+        let leaf_raw = handle.protect(unsafe { &*Self::child_edge(s, key) }, slot_leaf, s);
         let mut leaf = tag::untagged(leaf_raw);
         // Edge parent→leaf as last read (its TAG bit steers ancestor updates).
         let mut parent_field = leaf_raw;
-        let mut current_raw = handle.protect(
-            unsafe { &*Self::child_edge(leaf, key) },
-            slot_current,
-            leaf,
-        );
+        let mut current_raw =
+            handle.protect(unsafe { &*Self::child_edge(leaf, key) }, slot_current, leaf);
 
         loop {
             let current = tag::untagged(current_raw);
@@ -182,11 +175,8 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
             parent = leaf;
             leaf = current;
             parent_field = current_raw;
-            current_raw = handle.protect(
-                unsafe { &*Self::child_edge(leaf, key) },
-                slot_current,
-                leaf,
-            );
+            current_raw =
+                handle.protect(unsafe { &*Self::child_edge(leaf, key) }, slot_current, leaf);
         }
 
         SeekRecord {
@@ -227,10 +217,7 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
 
         // Promote the sibling subtree into the ancestor, preserving a FLAG the
         // sibling edge may itself carry (a pending deletion of the sibling).
-        let promoted = tag::with_tag(
-            tag::untagged(promote_val),
-            tag::tag_of(promote_val) & FLAG,
-        );
+        let promoted = tag::with_tag(tag::untagged(promote_val), tag::tag_of(promote_val) & FLAG);
         let ancestor_edge = unsafe { &*Self::child_edge(ancestor, key) };
         let swapped = ancestor_edge
             .compare_exchange(

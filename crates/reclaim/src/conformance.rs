@@ -206,7 +206,11 @@ pub fn protection_blocks_reclamation<R: Reclaimer>() {
     for _ in 0..4 {
         writer.force_cleanup();
     }
-    assert_eq!(domain.stats().unreclaimed, 0, "unprotected block is reclaimed");
+    assert_eq!(
+        domain.stats().unreclaimed,
+        0,
+        "unprotected block is reclaimed"
+    );
 }
 
 /// Every allocated block is eventually dropped exactly once: either reclaimed

@@ -262,11 +262,16 @@ mod tests {
         }
         worker.force_cleanup();
         assert_eq!(
-            domain.stats().unreclaimed, 100,
+            domain.stats().unreclaimed,
+            100,
             "nothing can be freed while a reader is stalled"
         );
         stalled.end_op();
         worker.force_cleanup();
-        assert_eq!(domain.stats().unreclaimed, 0, "everything freed once the reader leaves");
+        assert_eq!(
+            domain.stats().unreclaimed,
+            0,
+            "everything freed once the reader leaves"
+        );
     }
 }

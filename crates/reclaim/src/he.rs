@@ -279,6 +279,9 @@ mod tests {
             let ptr = crate::Handle::alloc(&mut handle, 0u64);
             unsafe { crate::Linked::dealloc(ptr) };
         }
-        assert!(domain.era() >= before + 9, "era clock advanced by era_freq steps");
+        assert!(
+            domain.era() >= before + 9,
+            "era clock advanced by era_freq steps"
+        );
     }
 }

@@ -79,7 +79,8 @@ impl Reclaimer for Hp {
     }
 
     fn stats(&self) -> SmrStats {
-        self.counters.snapshot(self.op_clock.load(Ordering::Relaxed))
+        self.counters
+            .snapshot(self.op_clock.load(Ordering::Relaxed))
     }
 
     fn config(&self) -> &ReclaimerConfig {
@@ -248,7 +249,11 @@ mod tests {
         root.store(core::ptr::null_mut(), Ordering::SeqCst);
         unsafe { owner.retire(node) };
         owner.force_cleanup();
-        assert_eq!(domain.stats().unreclaimed, 1, "hazard pointer pins the block");
+        assert_eq!(
+            domain.stats().unreclaimed,
+            1,
+            "hazard pointer pins the block"
+        );
 
         other.clear();
         owner.force_cleanup();

@@ -73,7 +73,9 @@ impl Drop for Leak {
 
 impl core::fmt::Debug for Leak {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        f.debug_struct("Leak").field("stats", &self.stats()).finish()
+        f.debug_struct("Leak")
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 

@@ -180,7 +180,10 @@ mod tests {
     #[test]
     fn tagging_roundtrip() {
         let p = Linked::alloc(3u32, 0);
-        assert!(tag::low_bits::<u32>() >= 3, "at least two tag bits available");
+        assert!(
+            tag::low_bits::<u32>() >= 3,
+            "at least two tag bits available"
+        );
         let tagged = tag::with_tag(p, 1);
         assert_eq!(tag::tag_of(tagged), 1);
         assert_eq!(tag::untagged(tagged), p);

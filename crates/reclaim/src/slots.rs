@@ -66,7 +66,8 @@ impl SlotArray {
 
     /// Iterates over every `(thread, slot)` cell value.
     pub fn iter_values<'a>(&'a self, order: Ordering) -> impl Iterator<Item = u64> + 'a {
-        (0..self.threads).flat_map(move |t| (0..self.slots).map(move |s| self.get(t, s).load(order)))
+        (0..self.threads)
+            .flat_map(move |t| (0..self.slots).map(move |s| self.get(t, s).load(order)))
     }
 }
 
@@ -117,7 +118,8 @@ impl PtrSlotArray {
 
     /// Iterates over every `(thread, slot)` cell value.
     pub fn iter_values<'a>(&'a self, order: Ordering) -> impl Iterator<Item = usize> + 'a {
-        (0..self.threads).flat_map(move |t| (0..self.slots).map(move |s| self.get(t, s).load(order)))
+        (0..self.threads)
+            .flat_map(move |t| (0..self.slots).map(move |s| self.get(t, s).load(order)))
     }
 }
 

@@ -80,7 +80,10 @@ impl Wfe {
         let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
         for thread in 0..self.reservations.threads() {
             for slot in js..je {
-                let era = self.reservations.get(thread, slot).load_first(Ordering::Acquire);
+                let era = self
+                    .reservations
+                    .get(thread, slot)
+                    .load_first(Ordering::Acquire);
                 if era != ERA_INF && alloc_era <= era && retire_era >= era {
                     return false;
                 }
@@ -96,9 +99,7 @@ impl Wfe {
     pub(crate) fn can_free(&self, block: *mut BlockHeader) -> bool {
         let max_hes = self.app_slots();
         let counter_end = self.counter_end.load(Ordering::SeqCst);
-        if !self.can_delete(block, 0, max_hes)
-            || !self.can_delete(block, max_hes, max_hes + 1)
-        {
+        if !self.can_delete(block, 0, max_hes) || !self.can_delete(block, max_hes, max_hes + 1) {
             return false;
         }
         counter_end == self.counter_start.load(Ordering::SeqCst)
@@ -147,7 +148,10 @@ impl Wfe {
         parent_pin.store_first(parent_era, Ordering::SeqCst);
 
         let location = state.pointer.load(Ordering::Acquire);
-        let tag = self.reservations.get(requester, slot).load_second(Ordering::SeqCst);
+        let tag = self
+            .reservations
+            .get(requester, slot)
+            .load_second(Ordering::SeqCst);
         // If the tag moved on, the request we read belongs to an already
         // finished slow-path cycle: the state fields may be stale, so bail out.
         if tag == request.1 {
@@ -301,7 +305,10 @@ mod tests {
 
         let tid = owner.thread_id();
         let slot = 0usize;
-        let tag = domain.reservations.get(tid, slot).load_second(Ordering::SeqCst);
+        let tag = domain
+            .reservations
+            .get(tid, slot)
+            .load_second(Ordering::SeqCst);
 
         // Stage the request (Figure 4, lines 31-33).
         domain.counter_start.fetch_add(1, Ordering::SeqCst);
@@ -320,7 +327,10 @@ mod tests {
         assert_ne!(produced.0, INVPTR, "request was completed by the helper");
         assert_eq!(produced.0, node as u64, "helper read the hazardous pointer");
         let reservation = domain.reservations.get(tid, slot).load();
-        assert_eq!(reservation.0, produced.1, "reservation era set on requester's behalf");
+        assert_eq!(
+            reservation.0, produced.1,
+            "reservation era set on requester's behalf"
+        );
         assert_eq!(reservation.1, tag + 1, "tag advanced to close the cycle");
         // Helper pins are withdrawn.
         assert_eq!(

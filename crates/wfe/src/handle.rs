@@ -292,7 +292,10 @@ mod tests {
         let _ = handle.protect(&root, 0, ptr::null_mut());
         domain.increment_era(handle.thread_id());
 
-        let tag_before = domain.reservations.get(handle.thread_id(), 0).load_second(Ordering::SeqCst);
+        let tag_before = domain
+            .reservations
+            .get(handle.thread_id(), 0)
+            .load_second(Ordering::SeqCst);
         let seen = handle.protect(&root, 0, ptr::null_mut());
         assert_eq!(seen, node);
         let stats = domain.stats();
@@ -302,7 +305,10 @@ mod tests {
             domain.counter_end.load(Ordering::SeqCst),
             "slow-path cycle was closed"
         );
-        let tag_after = domain.reservations.get(handle.thread_id(), 0).load_second(Ordering::SeqCst);
+        let tag_after = domain
+            .reservations
+            .get(handle.thread_id(), 0)
+            .load_second(Ordering::SeqCst);
         assert_eq!(tag_after, tag_before + 1, "tag advanced after the cycle");
         unsafe { Linked::dealloc(node) };
     }
@@ -362,7 +368,10 @@ mod tests {
         });
 
         let stats = domain.stats();
-        assert!(stats.slow_path > 0, "slow path exercised under forced conditions");
+        assert!(
+            stats.slow_path > 0,
+            "slow path exercised under forced conditions"
+        );
         assert_eq!(
             domain.counter_start.load(Ordering::SeqCst),
             domain.counter_end.load(Ordering::SeqCst),

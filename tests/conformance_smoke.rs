@@ -1,0 +1,62 @@
+//! Smoke test: every reclamation scheme in the suite (`Ebr`, `Hp`, `He`,
+//! `Ibr2Ge`, `Leak`, `Wfe`) driven through the shared conformance scenarios
+//! in `wfe_reclaim::conformance`, via the public `wfe-suite` facade.
+//!
+//! Each scheme also runs these scenarios in its own crate's unit tests; this
+//! file guarantees a plain `cargo test -q` at the workspace root covers all
+//! six schemes uniformly even if those per-crate tests are filtered out, and
+//! pins down that the conformance suite stays usable from *outside* the
+//! `wfe-reclaim` crate (it is deliberately compiled into the library).
+
+use wfe_suite::wfe_reclaim::conformance;
+use wfe_suite::{Ebr, He, Hp, Ibr2Ge, Leak, Wfe};
+
+/// Instantiates the conformance battery for one scheme.
+///
+/// `protection` and `bound` are opt-outs: `Leak` never reclaims, so "dropping
+/// the protection allows reclamation" and the unreclaimed-memory bound do not
+/// apply to it; `Ebr`/`Ibr2Ge` get no bound either (epoch advance is
+/// batched, so the single-threaded-churn bound is scheme-specific).
+macro_rules! conformance_smoke {
+    ($module:ident, $scheme:ty, protection: $protection:expr, bound: $bound:expr) => {
+        mod $module {
+            use super::*;
+
+            #[test]
+            fn basic_lifecycle() {
+                conformance::basic_lifecycle::<$scheme>();
+            }
+
+            #[test]
+            fn protection_blocks_reclamation() {
+                if $protection {
+                    conformance::protection_blocks_reclamation::<$scheme>();
+                }
+            }
+
+            #[test]
+            fn all_blocks_freed_on_drop() {
+                conformance::all_blocks_freed_on_drop::<$scheme>();
+            }
+
+            #[test]
+            fn concurrent_stack_stress() {
+                conformance::concurrent_stack_stress::<$scheme>(4, 1_000);
+            }
+
+            #[test]
+            fn unreclaimed_is_bounded() {
+                if let Some(bound) = $bound {
+                    conformance::unreclaimed_is_bounded::<$scheme>(bound);
+                }
+            }
+        }
+    };
+}
+
+conformance_smoke!(ebr, Ebr, protection: true, bound: None);
+conformance_smoke!(hp, Hp, protection: true, bound: Some(2_000));
+conformance_smoke!(he, He, protection: true, bound: Some(4_000));
+conformance_smoke!(ibr2ge, Ibr2Ge, protection: true, bound: None);
+conformance_smoke!(leak, Leak, protection: false, bound: None);
+conformance_smoke!(wfe, Wfe, protection: true, bound: Some(4_000));

@@ -107,7 +107,10 @@ fn exercise_queue<R: Reclaimer, Q: ConcurrentQueue<R>>() {
     let expected: u64 = (0..THREADS as u64)
         .flat_map(|t| (1..=PER_THREAD).map(move |i| t * PER_THREAD + i))
         .sum();
-    assert_eq!(consumed_count.load(Ordering::Relaxed), THREADS as u64 * PER_THREAD);
+    assert_eq!(
+        consumed_count.load(Ordering::Relaxed),
+        THREADS as u64 * PER_THREAD
+    );
     assert_eq!(consumed_sum.load(Ordering::Relaxed), expected);
 }
 

@@ -1,0 +1,229 @@
+//! Minimal offline stand-in for the
+//! [`criterion`](https://crates.io/crates/criterion) benchmark harness.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of Criterion's API that `crates/bench/benches/smr_ops.rs` uses:
+//! [`Criterion`] with its builder knobs, [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros. Timing is a plain
+//! warm-up + fixed-duration measurement loop reporting the mean ns/iter —
+//! no statistical resampling, outlier analysis or HTML reports.
+//!
+//! Swapping this shim for the real crate is a one-line change in the root
+//! `Cargo.toml` `[workspace.dependencies]` table.
+
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding a value (same contract as
+/// `criterion::black_box`).
+#[inline]
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group: a function name plus a
+/// parameter rendered into `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id displayed as `{function_name}/{parameter}`.
+    pub fn new<F: fmt::Display, P: fmt::Display>(function_name: F, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timer handed to the benchmark closure; [`iter`](Self::iter) runs the
+/// measured routine.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Total measured time and iteration count, harvested by the caller.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly: first for the warm-up period, then for the
+    /// measurement period, recording the mean cost per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warm_up_end = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_up_end {
+            black_box(routine());
+        }
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        let measurement_end = start + self.measurement_time;
+        loop {
+            // Batch iterations between clock reads so short routines are not
+            // dominated by `Instant::now` overhead.
+            for _ in 0..64 {
+                black_box(routine());
+            }
+            iters += 64;
+            if Instant::now() >= measurement_end {
+                break;
+            }
+        }
+        self.result = Some((start.elapsed(), iters));
+    }
+}
+
+/// The benchmark driver. Mirrors the builder API of `criterion::Criterion`;
+/// `sample_size` is accepted for compatibility but ignored (the shim reports
+/// a single mean instead of a sampled distribution).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target sample count (kept for API compatibility; unused).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 10, "sample size must be at least 10");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each routine runs before measurement starts.
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Sets how long each routine is measured.
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, f);
+        self
+    }
+
+    /// Benchmarks `f`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.to_string();
+        self.run_one(&name, |bencher| f(bencher, input));
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some((elapsed, iters)) if iters > 0 => {
+                let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+                println!("{name:<50} time: {ns_per_iter:>12.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes flags like `--bench`; nothing to parse here.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_as_function_slash_parameter() {
+        assert_eq!(
+            BenchmarkId::new("get_protected", "WFE").to_string(),
+            "get_protected/WFE"
+        );
+    }
+
+    #[test]
+    fn bencher_runs_routine_and_records_iters() {
+        let mut c = Criterion::default()
+            .sample_size(10)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0, "routine was never invoked");
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        c.bench_with_input(BenchmarkId::new("sum", 3usize), &3usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal offline stand-in for the
+//! [`proptest`](https://crates.io/crates/proptest) property-testing crate.
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of proptest's API that `tests/proptests.rs` uses:
+//!
+//! * the [`proptest!`] macro (with the inner `#![proptest_config(..)]`
+//!   attribute and `arg in strategy` bindings),
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`, integer
+//!   ranges, tuples, [`prop_oneof!`], [`collection::vec`],
+//!   [`option::weighted`] and [`any`](arbitrary::any),
+//! * the `prop_assert*` / [`prop_assume!`] macros,
+//! * [`ProptestConfig`](test_runner::ProptestConfig).
+//!
+//! Differences from the real crate: value generation is a fixed-seed
+//! deterministic stream (no persisted failure seeds) and failing cases are
+//! reported by plain panic without input *shrinking*. That trades debugging
+//! convenience for zero dependencies; swapping the real crate back in is a
+//! one-line change in the root `Cargo.toml`.
+
+#![deny(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// The items a test usually needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests: each `arg in strategy` binding is regenerated for
+/// every case and the body re-run `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (
+        config = $config:expr;
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::new_value(&($strategy), &mut rng);
+                    )+
+                    // The case body runs in a closure so `prop_assume!` can
+                    // skip the case with `return`. Arguments are moved in;
+                    // they are regenerated on the next iteration.
+                    let mut case_fn = move || $body;
+                    let outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(&mut case_fn),
+                    );
+                    if let Err(panic) = outcome {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed (no shrinking in the vendored shim)",
+                            case + 1,
+                            config.cases,
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Picks one of several strategies (uniformly) per generated value.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Asserts a condition inside a property-test case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property-test case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property-test case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}

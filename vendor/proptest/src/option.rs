@@ -1,0 +1,54 @@
+//! `Option` strategies, mirroring `proptest::option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`weighted`].
+pub struct OptionStrategy<S> {
+    some_probability: f64,
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.unit_f64() < self.some_probability {
+            Some(self.inner.new_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// Generates `Some` (from `inner`) with probability `some_probability`, else
+/// `None`.
+///
+/// # Panics
+///
+/// Panics if `some_probability` is not in `[0, 1]`.
+pub fn weighted<S: Strategy>(some_probability: f64, inner: S) -> OptionStrategy<S> {
+    assert!(
+        (0.0..=1.0).contains(&some_probability),
+        "probability out of range"
+    );
+    OptionStrategy {
+        some_probability,
+        inner,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_mixes_some_and_none() {
+        let mut rng = TestRng::for_test("weighted");
+        let strategy = weighted(0.6, 0u64..10);
+        let somes = (0..1_000)
+            .filter(|_| strategy.new_value(&mut rng).is_some())
+            .count();
+        assert!((450..750).contains(&somes), "somes = {somes}");
+    }
+}

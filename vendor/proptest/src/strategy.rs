@@ -1,0 +1,210 @@
+//! Value-generation strategies, mirroring `proptest::strategy`.
+
+use core::ops::Range;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value *tree* (shrinking is not
+/// implemented); a strategy simply produces a fresh value per case.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `map`.
+    fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, map }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Generating through a `&Strategy` lets macro expansions avoid moving the
+/// strategy expression.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+/// A strategy that always yields clones of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    map: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.map)(self.source.new_value(rng))
+    }
+}
+
+/// A type-erased strategy, see [`Strategy::boxed`].
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+/// Object-safe adapter behind [`BoxedStrategy`].
+trait DynStrategy<V> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.dyn_new_value(rng)
+    }
+}
+
+/// Uniform choice between several strategies; built by [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Creates a union over `arms`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one strategy");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let arm = rng.usize_below(self.arms.len());
+        self.arms[arm].new_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $via:ident),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                rng.$via(self.start, self.end)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy! {
+    u8 => range_u8,
+    u16 => range_u16,
+    u32 => range_u32,
+    u64 => range_u64,
+    usize => range_usize,
+    i8 => range_i8,
+    i16 => range_i16,
+    i32 => range_i32,
+    i64 => range_i64,
+    isize => range_isize,
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = TestRng::for_test("ranges");
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = (0usize..4).new_value(&mut rng);
+            seen[v] = true;
+            let w = (10u64..20).new_value(&mut rng);
+            assert!((10..20).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn map_and_tuple_compose() {
+        let mut rng = TestRng::for_test("map");
+        let strategy = (0u64..10, 0u64..10).prop_map(|(a, b)| a + b);
+        for _ in 0..100 {
+            assert!(strategy.new_value(&mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let mut rng = TestRng::for_test("union");
+        let union = Union::new(vec![
+            Just(1u8).boxed(),
+            Just(2u8).boxed(),
+            Just(3u8).boxed(),
+        ]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[union.new_value(&mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Test configuration and the deterministic RNG behind the shim.
+
+/// Per-test configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Returns a config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic generator feeding every strategy (SplitMix64).
+///
+/// Seeded from the test name so distinct tests explore distinct streams while
+/// every run of the same test replays the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates the generator for the named test.
+    pub fn for_test(test_name: &str) -> Self {
+        // FNV-1a over the name gives a stable per-test seed.
+        let mut seed: u64 = 0xCBF2_9CE4_8422_2325;
+        for byte in test_name.bytes() {
+            seed ^= u64::from(byte);
+            seed = seed.wrapping_mul(0x100_0000_01B3);
+        }
+        Self { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns a uniform index in `0..bound` (`bound` must be non-zero).
+    pub fn usize_below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "usize_below(0)");
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+macro_rules! impl_rng_uint_range {
+    ($($fn_name:ident => $t:ty),* $(,)?) => {$(
+        impl TestRng {
+            /// Returns a uniform value in `start..end`.
+            pub fn $fn_name(&mut self, start: $t, end: $t) -> $t {
+                let span = (end - start) as u64;
+                start + (self.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_rng_uint_range! {
+    range_u8 => u8,
+    range_u16 => u16,
+    range_u32 => u32,
+    range_u64 => u64,
+    range_usize => usize,
+}
+
+macro_rules! impl_rng_int_range {
+    ($($fn_name:ident => $t:ty),* $(,)?) => {$(
+        impl TestRng {
+            /// Returns a uniform value in `start..end`.
+            pub fn $fn_name(&mut self, start: $t, end: $t) -> $t {
+                let span = (end as i64).wrapping_sub(start as i64) as u64;
+                ((start as i64).wrapping_add((self.next_u64() % span) as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_rng_int_range! {
+    range_i8 => i8,
+    range_i16 => i16,
+    range_i32 => i32,
+    range_i64 => i64,
+    range_isize => isize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_test_name_replays_the_same_stream() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("x");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_test_names_diverge() {
+        let mut a = TestRng::for_test("x");
+        let mut b = TestRng::for_test("y");
+        assert_ne!(
+            (0..4).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..4).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn signed_ranges_handle_negative_bounds() {
+        let mut rng = TestRng::for_test("signed");
+        for _ in 0..1_000 {
+            let v = rng.range_i32(-5, 5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+}

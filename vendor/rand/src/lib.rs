@@ -1,0 +1,218 @@
+//! Minimal offline stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8 API surface).
+//!
+//! The build container has no network access, so the workspace vendors the
+//! subset of `rand` the suite actually uses: a deterministic seedable
+//! generator ([`rngs::StdRng`]), the [`Rng`]/[`SeedableRng`] traits, uniform
+//! integer ranges via [`Rng::gen_range`] and Bernoulli draws via
+//! [`Rng::gen_bool`]. The generator is SplitMix64 — statistically fine for
+//! test/bench workload generation, *not* cryptographic.
+//!
+//! Swapping this shim for the real crate is a one-line change in the root
+//! `Cargo.toml` `[workspace.dependencies]` table; no source file needs to
+//! change.
+
+#![deny(missing_docs)]
+
+use core::ops::Range;
+
+/// Core pseudo-random number source, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed. Equal seeds produce equal
+    /// streams on every platform.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing convenience methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 high bits give a uniform double in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges that can be sampled uniformly, mirroring
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end - self.start) as u64;
+                // Modulo bias is negligible for the test-sized spans used here.
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                let offset = rng.next_u64() % span;
+                ((self.start as i64).wrapping_add(offset as i64)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(i8, i16, i32, i64, isize);
+
+/// Generator types, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64).
+    ///
+    /// Unlike the real `StdRng` this is not cryptographically secure; the
+    /// suite only uses it to generate reproducible test and benchmark
+    /// workloads.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea & Flood; public domain reference).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Run the seed through the SplitMix64 finalizer before storing
+            // it, like the real `rand` does. Storing the raw seed would make
+            // "seed ^ k*GAMMA" derivations (as the bench workload generator
+            // uses) collide with the generator's own increment, handing
+            // adjacent threads the same stream shifted by one draw.
+            let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            Self {
+                state: z ^ (z >> 31),
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::{Rng, RngCore, SampleRange, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20u64);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(0..3);
+            assert!((0..3).contains(&w));
+            let s: usize = rng.gen_range(1..400usize);
+            assert!((1..400).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..8usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gamma_multiple_seeds_do_not_shift_into_each_other() {
+        // The bench workload generator derives per-thread seeds as
+        // `seed ^ (t + 1) * GAMMA` where GAMMA is SplitMix64's increment.
+        // Without seed mixing, thread t's stream would be thread t-1's
+        // stream advanced by one draw. Check the streams are unrelated.
+        const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut a = StdRng::seed_from_u64(GAMMA);
+        let mut b = StdRng::seed_from_u64(2u64.wrapping_mul(GAMMA));
+        let stream_a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let stream_b: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(stream_a, stream_b);
+        assert_ne!(stream_a[1..], stream_b[..7], "b must not be a shifted a");
+        assert_ne!(stream_b[1..], stream_a[..7], "a must not be a shifted b");
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes_and_mixes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..10_000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "heads = {heads}");
+    }
+}
