@@ -3,7 +3,7 @@
 //! | Figure | Structure | Workload | Metric(s) |
 //! |--------|-----------|----------|-----------|
 //! | 5a/5b  | Kogan-Petrank queue | 50% enq / 50% deq | Mops/s, unreclaimed |
-//! | 5c/5d  | CRTurn queue (*substituted*, see below) | 50/50 | Mops/s, unreclaimed |
+//! | 5c/5d  | CRTurn queue | 50/50 | Mops/s, unreclaimed |
 //! | 6      | Harris-Michael list | 50% insert / 50% delete | both |
 //! | 7      | Michael hash map | 50/50 | both |
 //! | 8      | Natarajan-Mittal BST | 50/50 | both |
@@ -15,19 +15,17 @@
 //! figure and its companion unreclaimed-objects figure come from the same
 //! rows (exactly as in the paper, where each experiment produces both plots).
 //!
-//! **Substitution**: the second wait-free queue evaluated by the paper is the
-//! Ramalhete-Correia CRTurn queue. This reproduction substitutes the
-//! Michael-Scott queue for that workload (documented in `DESIGN.md` and
-//! `EXPERIMENTS.md`): the comparison of reclamation schemes on a second
-//! queue-shaped workload is preserved, while the queue itself is lock-free
-//! rather than wait-free.
-//!
-//! Two ablations beyond the paper are included: forcing the WFE slow path
-//! (`AblationSlowPath`) and sweeping the number of fast-path attempts
-//! (`AblationAttempts`).
+//! Three additions beyond the paper are included: forcing the WFE slow path
+//! (`AblationSlowPath`), sweeping the number of fast-path attempts
+//! (`AblationAttempts`), and a Michael-Scott queue baseline
+//! (`QueueBaseline`) so the wait-free CRTurn queue can be compared against
+//! the classic lock-free queue in the same sweep
+//! (`figures fig5cd queue-baseline`).
 
 use wfe_core::Wfe;
-use wfe_ds::{KoganPetrankQueue, MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst};
+use wfe_ds::{
+    CrTurnQueue, KoganPetrankQueue, MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst,
+};
 use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer};
 
 use crate::params::BenchParams;
@@ -108,15 +106,18 @@ impl MapKind {
 pub enum QueueKind {
     /// Kogan-Petrank wait-free queue (Figure 5a/5b).
     KoganPetrank,
-    /// Stand-in for the CRTurn queue of Figure 5c/5d (see module docs).
-    CrTurnSubstitute,
+    /// Ramalhete-Correia CRTurn wait-free queue (Figure 5c/5d).
+    CrTurn,
+    /// Michael-Scott lock-free queue (baseline beyond the paper).
+    MsQueue,
 }
 
 impl QueueKind {
     fn name(self) -> &'static str {
         match self {
             QueueKind::KoganPetrank => "kp-queue",
-            QueueKind::CrTurnSubstitute => "ms-queue(crturn-substitute)",
+            QueueKind::CrTurn => "crturn",
+            QueueKind::MsQueue => "msqueue",
         }
     }
 }
@@ -170,7 +171,10 @@ fn queue_point_for<R: Reclaimer>(
         QueueKind::KoganPetrank => {
             run_queue::<R, KoganPetrankQueue<u64, R>>(scheme, queue.name(), threads, params)
         }
-        QueueKind::CrTurnSubstitute => {
+        QueueKind::CrTurn => {
+            run_queue::<R, CrTurnQueue<u64, R>>(scheme, queue.name(), threads, params)
+        }
+        QueueKind::MsQueue => {
             run_queue::<R, MichaelScottQueue<u64, R>>(scheme, queue.name(), threads, params)
         }
     }
@@ -199,7 +203,7 @@ pub fn run_queue_point(
 pub enum Figure {
     /// KP queue, 50/50 (Figure 5a throughput, 5b unreclaimed).
     Fig5ab,
-    /// Second queue workload, 50/50 (Figure 5c throughput, 5d unreclaimed).
+    /// CRTurn queue, 50/50 (Figure 5c throughput, 5d unreclaimed).
     Fig5cd,
     /// Linked list, 50/50 (Figure 6).
     Fig6,
@@ -218,11 +222,15 @@ pub enum Figure {
     AblationSlowPath,
     /// Ablation: sweep of WFE fast-path attempts {1, 4, 16, 64} on the hash map.
     AblationAttempts,
+    /// Beyond the paper: Michael-Scott lock-free queue, 50/50, as a baseline
+    /// for the wait-free queues in the same sweep.
+    QueueBaseline,
 }
 
 impl Figure {
-    /// Every figure, in paper order, followed by the ablations.
-    pub const ALL: [Figure; 10] = [
+    /// Every figure, in paper order, followed by the ablations and the
+    /// extra queue baseline.
+    pub const ALL: [Figure; 11] = [
         Figure::Fig5ab,
         Figure::Fig5cd,
         Figure::Fig6,
@@ -233,6 +241,7 @@ impl Figure {
         Figure::Fig11,
         Figure::AblationSlowPath,
         Figure::AblationAttempts,
+        Figure::QueueBaseline,
     ];
 
     /// CLI name of the figure.
@@ -248,6 +257,7 @@ impl Figure {
             Figure::Fig11 => "fig11",
             Figure::AblationSlowPath => "ablation-slowpath",
             Figure::AblationAttempts => "ablation-attempts",
+            Figure::QueueBaseline => "queue-baseline",
         }
     }
 
@@ -267,9 +277,7 @@ impl Figure {
     pub fn description(self) -> &'static str {
         match self {
             Figure::Fig5ab => "Kogan-Petrank wait-free queue, 50% enqueue / 50% dequeue",
-            Figure::Fig5cd => {
-                "second queue workload (CRTurn in the paper, Michael-Scott substitute here), 50/50"
-            }
+            Figure::Fig5cd => "Ramalhete-Correia CRTurn wait-free queue, 50% enqueue / 50% dequeue",
             Figure::Fig6 => "Harris-Michael linked list, 50% insert / 50% delete",
             Figure::Fig7 => "Michael hash map, 50% insert / 50% delete",
             Figure::Fig8 => "Natarajan-Mittal BST, 50% insert / 50% delete",
@@ -278,6 +286,9 @@ impl Figure {
             Figure::Fig11 => "Natarajan-Mittal BST, 90% get / 10% put",
             Figure::AblationSlowPath => "WFE slow path forced vs default, Michael hash map 50/50",
             Figure::AblationAttempts => "WFE fast-path attempt sweep, Michael hash map 50/50",
+            Figure::QueueBaseline => {
+                "Michael-Scott lock-free queue baseline (beyond the paper), 50/50"
+            }
         }
     }
 
@@ -285,11 +296,11 @@ impl Figure {
     pub fn run(self, params: &BenchParams, schemes: &[Scheme]) -> Vec<DataPoint> {
         let mut points = Vec::new();
         match self {
-            Figure::Fig5ab | Figure::Fig5cd => {
-                let queue = if self == Figure::Fig5ab {
-                    QueueKind::KoganPetrank
-                } else {
-                    QueueKind::CrTurnSubstitute
+            Figure::Fig5ab | Figure::Fig5cd | Figure::QueueBaseline => {
+                let queue = match self {
+                    Figure::Fig5ab => QueueKind::KoganPetrank,
+                    Figure::Fig5cd => QueueKind::CrTurn,
+                    _ => QueueKind::MsQueue,
                 };
                 for &threads in &params.threads {
                     for &scheme in schemes {
@@ -400,5 +411,23 @@ mod tests {
         let points = Figure::Fig5ab.run(&params, &schemes);
         assert_eq!(points.len(), params.threads.len());
         assert!(points.iter().all(|p| p.structure == "kp-queue"));
+    }
+
+    #[test]
+    fn fig5cd_runs_the_real_crturn_queue() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::Wfe];
+        let points = Figure::Fig5cd.run(&params, &schemes);
+        assert_eq!(points.len(), params.threads.len());
+        assert!(points.iter().all(|p| p.structure == "crturn"));
+        assert!(points.iter().all(|p| p.mops > 0.0));
+    }
+
+    #[test]
+    fn queue_baseline_keeps_msqueue_in_the_sweep() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::He];
+        let points = Figure::QueueBaseline.run(&params, &schemes);
+        assert!(points.iter().all(|p| p.structure == "msqueue"));
     }
 }

@@ -1,0 +1,721 @@
+//! Ramalhete-Correia CRTurn wait-free MPMC queue.
+//!
+//! The second wait-free queue of the paper's evaluation (Figures 5c/5d) and,
+//! together with [`KoganPetrankQueue`](crate::KoganPetrankQueue), one half of
+//! the paper's headline claim: pairing a wait-free data structure with WFE's
+//! wait-free reclamation yields the first queue that is wait-free *end to
+//! end*, memory management included. Unlike the Kogan-Petrank queue — whose
+//! original formulation assumes a garbage collector — CRTurn was designed
+//! from the start for manual reclamation with a bounded number of hazardous
+//! reservations, which is why the paper uses it as the second queue workload.
+//!
+//! # Algorithm
+//!
+//! CRTurn replaces Kogan-Petrank's phase-numbered descriptors with three
+//! fixed-size per-thread request arrays and a *turn* taken from the node at
+//! the boundary of the operation:
+//!
+//! * `enqueuers[tid]` holds the node thread `tid` wants to append (null when
+//!   no enqueue is pending). The node that currently is the tail names the
+//!   thread whose request it satisfied (`enq_tid`); helpers serve the *next*
+//!   pending enqueuer after that index in circular order, so every pending
+//!   enqueue is appended after at most `max_threads` tail advances.
+//! * `deqself[tid]`/`deqhelp[tid]` encode dequeue requests: a request is
+//!   *open* while both hold the same node. Helpers claim the node after the
+//!   head for the open request whose turn it is (the index stored in the
+//!   departing head's `deq_tid` decides whose turn comes next), publish it in
+//!   `deqhelp[tid]`, and only then swing the head.
+//!
+//! Every operation helps the request whose turn it is before (re)trying its
+//! own, so each operation completes within a bounded number of steps
+//! regardless of the behaviour of other threads — the textbook wait-free
+//! guarantee, with no unbounded phase counter.
+//!
+//! # Reclamation
+//!
+//! Nodes are allocated and retired through the [`Reclaimer`] API, so the
+//! queue composes with all six schemes of the evaluation. The retirement
+//! protocol is the one from the original paper, adapted to the suite's
+//! reservation-slot interface:
+//!
+//! * a dequeued node is handed to its requester through `deqhelp[tid]` and
+//!   doubles as the queue's sentinel; it is retired by that same thread at
+//!   the start of its *next* successful dequeue (`pr_req` below), when it can
+//!   no longer be the sentinel or be read by helpers on behalf of `tid`;
+//! * helpers therefore only ever dereference nodes they protect with one of
+//!   the three reservation slots ([`CrTurnQueue::REQUIRED_SLOTS`]).
+
+use core::ptr;
+use core::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+
+use crate::traits::ConcurrentQueue;
+
+/// `deq_tid` value of a node not (yet) claimed by any dequeue request.
+const IDX_NONE: i64 = -1;
+
+/// A queue node. The value lives in the node *after* the sentinel, exactly as
+/// in the Michael-Scott queue.
+pub struct Node<T> {
+    value: Option<T>,
+    next: Atomic<Node<T>>,
+    /// Thread id of the enqueuer whose request this node satisfied; helpers
+    /// use it as the turn marker for serving the next pending enqueue.
+    enq_tid: usize,
+    /// Thread id of the dequeue request this node was claimed for, or
+    /// [`IDX_NONE`]. Written once by CAS; the departing head's value decides
+    /// whose turn the next dequeue is.
+    deq_tid: AtomicI64,
+}
+
+impl<T> Node<T> {
+    fn new(value: Option<T>, enq_tid: usize) -> Self {
+        Self {
+            value,
+            next: Atomic::null(),
+            enq_tid,
+            deq_tid: AtomicI64::new(IDX_NONE),
+        }
+    }
+}
+
+/// An opened-but-unfinished dequeue, as returned by the stall test hook
+/// [`CrTurnQueue::stall_dequeue_publish`]. Must be passed back to
+/// [`CrTurnQueue::resume_dequeue`]: abandoning the ticket strands the
+/// thread's previous request marker, which is then reachable from neither
+/// the queue nor the request arrays and leaks when the queue is dropped.
+#[doc(hidden)]
+#[derive(Debug)]
+#[must_use = "abandoning the ticket leaks the previous request marker; pass it to resume_dequeue"]
+pub struct DequeueTicket<T> {
+    pr_req: *mut Linked<Node<T>>,
+    my_req: *mut Linked<Node<T>>,
+}
+
+/// CRTurn wait-free queue, parameterised by the reclamation scheme.
+///
+/// Thread ids up to the domain's `max_threads` are supported; every slot of
+/// the request arrays is sized at construction (the fixed-capacity
+/// registration pattern shared with [`KoganPetrankQueue`]).
+///
+/// [`KoganPetrankQueue`]: crate::KoganPetrankQueue
+pub struct CrTurnQueue<T, R: Reclaimer> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+    /// Pending enqueue request (the node to append) per thread id, or null.
+    enqueuers: Box<[Atomic<Node<T>>]>,
+    /// Request marker a thread published for its in-flight dequeue.
+    deqself: Box<[Atomic<Node<T>>]>,
+    /// Node granted to a thread's dequeue request; equal to `deqself[tid]`
+    /// exactly while the request is open.
+    deqhelp: Box<[Atomic<Node<T>>]>,
+    domain: Arc<R>,
+}
+
+unsafe impl<T: Send, R: Reclaimer> Send for CrTurnQueue<T, R> {}
+unsafe impl<T: Send, R: Reclaimer> Sync for CrTurnQueue<T, R> {}
+
+/// Reservation slot protecting the head (dequeue) or tail (enqueue) snapshot.
+const SLOT_FIRST: usize = 0;
+/// Reservation slot protecting the node after the protected head.
+const SLOT_NEXT: usize = 1;
+/// Reservation slot protecting the helped dequeuer's `deqhelp` entry while a
+/// helper fulfils that thread's request.
+const SLOT_DEQ: usize = 2;
+
+impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
+    /// Reservation slots the queue needs per thread: the head/tail snapshot
+    /// and its successor (as in every queue), plus one extra induced by
+    /// helping — a helper must pin the *helped* thread's `deqhelp` node while
+    /// fulfilling that request on its behalf.
+    pub const REQUIRED_SLOTS: usize = 3;
+
+    /// Creates an empty queue guarded by `domain`. The queue supports thread
+    /// ids up to the domain's `max_threads`.
+    pub fn new(domain: Arc<R>) -> Self {
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "CrTurnQueue needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
+        let max_threads = domain.config().max_threads;
+        let mut handle = domain.register();
+        let sentinel = handle.alloc(Node::new(None, 0));
+        let enqueuers = (0..max_threads).map(|_| Atomic::null()).collect();
+        // Distinct dummy nodes per thread so every request starts *closed*
+        // (`deqself[tid] != deqhelp[tid]`); the dummies are retired like any
+        // other request marker once the thread dequeues.
+        let deqself = (0..max_threads)
+            .map(|_| Atomic::new(handle.alloc(Node::new(None, 0))))
+            .collect();
+        let deqhelp = (0..max_threads)
+            .map(|_| Atomic::new(handle.alloc(Node::new(None, 0))))
+            .collect();
+        drop(handle);
+        Self {
+            head: Atomic::new(sentinel),
+            tail: Atomic::new(sentinel),
+            enqueuers,
+            deqself,
+            deqhelp,
+            domain,
+        }
+    }
+
+    /// The reclamation domain guarding this queue.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    fn max_threads(&self) -> usize {
+        self.enqueuers.len()
+    }
+
+    /// Appends `value` at the tail. Wait-free: completes within
+    /// `max_threads` turn-serving rounds regardless of other threads.
+    pub fn enqueue(&self, handle: &mut R::Handle, value: T) {
+        handle.begin_op();
+        let tid = self.publish_enqueue_request(handle, value);
+        self.complete_enqueue(handle, tid);
+        handle.end_op();
+    }
+
+    /// Step 1 of an enqueue: publish the node in `enqueuers[tid]` where any
+    /// thread can (and eventually will) append it on our behalf.
+    fn publish_enqueue_request(&self, handle: &mut R::Handle, value: T) -> usize {
+        let tid = handle.thread_id();
+        let node = handle.alloc(Node::new(Some(value), tid));
+        self.enqueuers[tid].store(node, Ordering::SeqCst);
+        tid
+    }
+
+    /// Steps 2-4 of an enqueue: serve requests in turn order until ours has
+    /// been appended (at most `max_threads` tail advances away).
+    fn complete_enqueue(&self, handle: &mut R::Handle, tid: usize) {
+        let max_threads = self.max_threads();
+        for _ in 0..max_threads {
+            if self.enqueuers[tid].load(Ordering::Acquire).is_null() {
+                break; // Some thread appended our node for us.
+            }
+            let ltail = handle.protect(&self.tail, SLOT_FIRST, ptr::null_mut());
+            if ltail != self.tail.load(Ordering::Acquire) {
+                continue; // Tail advanced: one more request was served.
+            }
+            // Step 4 for the previous enqueue: the node that became the tail
+            // satisfied `enq_tid`'s request; close that request.
+            let ltail_enq_tid = unsafe { (*ltail).value.enq_tid };
+            if self.enqueuers[ltail_enq_tid].load(Ordering::Acquire) == ltail {
+                let _ = self.enqueuers[ltail_enq_tid].compare_exchange(
+                    ltail,
+                    ptr::null_mut(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            // Step 2: append the node of the next pending enqueuer in turn
+            // order (circularly after the tail's own enqueuer).
+            for j in 1..=max_threads {
+                let node_to_help =
+                    self.enqueuers[(j + ltail_enq_tid) % max_threads].load(Ordering::Acquire);
+                if node_to_help.is_null() {
+                    continue;
+                }
+                let _ = unsafe { &(*ltail).value.next }.compare_exchange(
+                    ptr::null_mut(),
+                    node_to_help,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+                break;
+            }
+            // Step 3: swing the tail over whatever got appended.
+            let lnext = unsafe { (*ltail).value.next.load(Ordering::Acquire) };
+            if !lnext.is_null() {
+                let _ =
+                    self.tail
+                        .compare_exchange(ltail, lnext, Ordering::AcqRel, Ordering::Acquire);
+            }
+        }
+        // After `max_threads` tail advances our request must have been served;
+        // close it ourselves in case no helper got to step 4 yet.
+        self.enqueuers[tid].store(ptr::null_mut(), Ordering::Release);
+    }
+
+    /// Removes the element at the head, if any. Wait-free: the request is
+    /// granted within `max_threads` head advances.
+    pub fn dequeue(&self, handle: &mut R::Handle) -> Option<T> {
+        handle.begin_op();
+        let tid = handle.thread_id();
+        let (pr_req, my_req) = self.publish_dequeue_request(tid);
+        let result = self.complete_dequeue(handle, tid, pr_req, my_req);
+        handle.end_op();
+        result
+    }
+
+    /// Step 1 of a dequeue: open this thread's request by making `deqself`
+    /// and `deqhelp` agree on the current request marker.
+    fn publish_dequeue_request(&self, tid: usize) -> (*mut Linked<Node<T>>, *mut Linked<Node<T>>) {
+        let pr_req = self.deqself[tid].load(Ordering::Acquire);
+        let my_req = self.deqhelp[tid].load(Ordering::Acquire);
+        self.deqself[tid].store(my_req, Ordering::SeqCst);
+        (pr_req, my_req)
+    }
+
+    /// Steps 2-3 of a dequeue: serve open requests in turn order until ours
+    /// is granted (or the queue is seen empty), then read the granted node.
+    fn complete_dequeue(
+        &self,
+        handle: &mut R::Handle,
+        tid: usize,
+        pr_req: *mut Linked<Node<T>>,
+        my_req: *mut Linked<Node<T>>,
+    ) -> Option<T> {
+        for _ in 0..self.max_threads() {
+            if self.deqhelp[tid].load(Ordering::Acquire) != my_req {
+                break; // Our request has been granted.
+            }
+            let lhead = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+            if lhead == self.tail.load(Ordering::Acquire) {
+                // The queue is empty. Close the request, then resolve the
+                // race with helpers that read it while it was still open.
+                self.deqself[tid].store(pr_req, Ordering::SeqCst);
+                self.give_up(handle, my_req, tid);
+                if self.deqhelp[tid].load(Ordering::Acquire) != my_req {
+                    // A helper granted us a node anyway; take it below.
+                    self.deqself[tid].store(my_req, Ordering::Relaxed);
+                    break;
+                }
+                return None;
+            }
+            let lnext = handle.protect(unsafe { &(*lhead).value.next }, SLOT_NEXT, lhead);
+            if lhead != self.head.load(Ordering::Acquire) {
+                continue;
+            }
+            // `head != tail` implies a successor (the head never overtakes
+            // the tail); the check is purely defensive, as in `give_up`.
+            if lnext.is_null() {
+                continue;
+            }
+            if self.search_next(lhead, lnext) != IDX_NONE {
+                self.cas_deq_and_head(handle, lhead, lnext, tid);
+            }
+        }
+        // Our request is granted: `deqhelp[tid]` holds the node with our
+        // value. Only we will ever retire it (as `pr_req` of our next
+        // dequeue), so reading it without a reservation is safe.
+        let my_node = self.deqhelp[tid].load(Ordering::Acquire);
+        debug_assert!(my_node != my_req, "request still open after bounded help");
+        // Finish step 3 on behalf of the helper that granted us `my_node` but
+        // has not swung the head yet.
+        let lhead = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+        if lhead == self.head.load(Ordering::Acquire)
+            && my_node == unsafe { (*lhead).value.next.load(Ordering::Acquire) }
+        {
+            let _ = self
+                .head
+                .compare_exchange(lhead, my_node, Ordering::AcqRel, Ordering::Acquire);
+        }
+        let value = unsafe { (*my_node).value.value };
+        // The marker of our *previous* request can no longer be the sentinel
+        // or be named by any in-flight helper on our behalf: retire it.
+        unsafe { handle.retire(pr_req) };
+        value
+    }
+
+    /// Decides which open dequeue request the node `lnext` serves: the first
+    /// open request circularly after the departing head's `deq_tid`. Returns
+    /// the claimed thread id, or [`IDX_NONE`] if no request is open.
+    fn search_next(&self, lhead: *mut Linked<Node<T>>, lnext: *mut Linked<Node<T>>) -> i64 {
+        let max_threads = self.max_threads();
+        let turn = unsafe { (*lhead).value.deq_tid.load(Ordering::Acquire) };
+        for idx in (turn + 1)..(turn + 1 + max_threads as i64) {
+            let id_deq = idx as usize % max_threads;
+            if self.deqself[id_deq].load(Ordering::Acquire)
+                != self.deqhelp[id_deq].load(Ordering::Acquire)
+            {
+                continue; // Closed request.
+            }
+            let deq_tid = unsafe { &(*lnext).value.deq_tid };
+            if deq_tid.load(Ordering::Acquire) == IDX_NONE {
+                let _ = deq_tid.compare_exchange(
+                    IDX_NONE,
+                    id_deq as i64,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            break;
+        }
+        unsafe { (*lnext).value.deq_tid.load(Ordering::Acquire) }
+    }
+
+    /// Grants `lnext` to the request it was claimed for, then swings the
+    /// head. `lhead` and `lnext` must be protected by the caller.
+    fn cas_deq_and_head(
+        &self,
+        handle: &mut R::Handle,
+        lhead: *mut Linked<Node<T>>,
+        lnext: *mut Linked<Node<T>>,
+        tid: usize,
+    ) {
+        let ldeq_tid = unsafe { (*lnext).value.deq_tid.load(Ordering::Acquire) };
+        debug_assert!(ldeq_tid >= 0, "granting an unclaimed node");
+        let ldeq_tid = ldeq_tid as usize;
+        if ldeq_tid == tid {
+            // Our own request: no other thread stores anything else here.
+            self.deqhelp[ldeq_tid].store(lnext, Ordering::Release);
+        } else {
+            // Helping another thread: pin its current marker so the CAS
+            // cannot ABA over a recycled node, and re-validate the head.
+            let ldeqhelp = handle.protect(&self.deqhelp[ldeq_tid], SLOT_DEQ, ptr::null_mut());
+            if ldeqhelp != lnext && lhead == self.head.load(Ordering::Acquire) {
+                let _ = self.deqhelp[ldeq_tid].compare_exchange(
+                    ldeqhelp,
+                    lnext,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+        }
+        let _ = self
+            .head
+            .compare_exchange(lhead, lnext, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// Called after closing a request on the empty path: if the queue turned
+    /// non-empty in the meantime, decisively claim the node after the head —
+    /// for whichever request is open, or for ourselves — so that no helper
+    /// that still saw our request open can grant us a node *after* we report
+    /// the queue empty.
+    fn give_up(&self, handle: &mut R::Handle, my_req: *mut Linked<Node<T>>, tid: usize) {
+        let lhead = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+        if self.deqhelp[tid].load(Ordering::Acquire) != my_req
+            || lhead == self.tail.load(Ordering::Acquire)
+        {
+            return;
+        }
+        let lnext = handle.protect(unsafe { &(*lhead).value.next }, SLOT_NEXT, lhead);
+        if lhead != self.head.load(Ordering::Acquire) || lnext.is_null() {
+            return;
+        }
+        if self.search_next(lhead, lnext) == IDX_NONE {
+            let _ = unsafe { &(*lnext).value.deq_tid }.compare_exchange(
+                IDX_NONE,
+                tid as i64,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+        }
+        self.cas_deq_and_head(handle, lhead, lnext, tid);
+    }
+
+    /// Returns `true` if the queue appeared empty at the moment of the call.
+    pub fn is_empty(&self) -> bool {
+        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+    }
+
+    /// Test hook: publishes an enqueue request and returns *without helping*,
+    /// emulating a thread that stalls mid-operation. Helpers append the node
+    /// on the stalled thread's behalf; the element is fully enqueued once any
+    /// other thread runs its own operation past this request's turn.
+    #[doc(hidden)]
+    pub fn stall_enqueue_publish(&self, handle: &mut R::Handle, value: T) {
+        handle.begin_op();
+        self.publish_enqueue_request(handle, value);
+        handle.end_op();
+    }
+
+    /// Test hook: opens a dequeue request and returns without helping,
+    /// emulating a thread that stalls mid-operation. Pass the ticket to
+    /// [`CrTurnQueue::resume_dequeue`] to finish the operation later.
+    #[doc(hidden)]
+    pub fn stall_dequeue_publish(&self, handle: &mut R::Handle) -> DequeueTicket<T> {
+        handle.begin_op();
+        let (pr_req, my_req) = self.publish_dequeue_request(handle.thread_id());
+        handle.end_op();
+        DequeueTicket { pr_req, my_req }
+    }
+
+    /// Test hook: finishes a dequeue opened by
+    /// [`CrTurnQueue::stall_dequeue_publish`]. Must be called on the same
+    /// thread (same handle) that opened the ticket.
+    #[doc(hidden)]
+    pub fn resume_dequeue(&self, handle: &mut R::Handle, ticket: DequeueTicket<T>) -> Option<T> {
+        handle.begin_op();
+        let tid = handle.thread_id();
+        let result = self.complete_dequeue(handle, tid, ticket.pr_req, ticket.my_req);
+        handle.end_op();
+        result
+    }
+}
+
+impl<T, R: Reclaimer> Drop for CrTurnQueue<T, R> {
+    fn drop(&mut self) {
+        // Exclusive access. Free every node still reachable, deduplicating:
+        // the current sentinel (and, after an abandoned stalled enqueue, a
+        // node parked in `enqueuers`) can also be named by a request array.
+        let mut freed = std::collections::HashSet::new();
+        let mut cur = self.head.load(Ordering::Relaxed);
+        while !cur.is_null() {
+            let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) };
+            if freed.insert(cur) {
+                unsafe { Linked::dealloc(cur) };
+            }
+            cur = next;
+        }
+        for array in [&self.enqueuers, &self.deqself, &self.deqhelp] {
+            for slot in array.iter() {
+                let node = slot.load(Ordering::Relaxed);
+                if !node.is_null() && freed.insert(node) {
+                    unsafe { Linked::dealloc(node) };
+                }
+            }
+        }
+    }
+}
+
+impl<R: Reclaimer> ConcurrentQueue<R> for CrTurnQueue<u64, R> {
+    fn with_domain(domain: Arc<R>) -> Self {
+        Self::new(domain)
+    }
+
+    fn enqueue(&self, handle: &mut R::Handle, value: u64) {
+        CrTurnQueue::enqueue(self, handle, value)
+    }
+
+    fn dequeue(&self, handle: &mut R::Handle) -> Option<u64> {
+        CrTurnQueue::dequeue(self, handle)
+    }
+
+    fn required_slots() -> usize {
+        Self::REQUIRED_SLOTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
+    use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, ReclaimerConfig};
+
+    fn small_config(threads: usize) -> ReclaimerConfig {
+        ReclaimerConfig {
+            max_threads: threads,
+            ..ReclaimerConfig::default()
+        }
+    }
+
+    fn fifo_single_threaded<R: Reclaimer>() {
+        let domain = R::with_config(small_config(4));
+        let queue = CrTurnQueue::<u64, R>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        assert!(queue.is_empty());
+        assert_eq!(queue.dequeue(&mut handle), None);
+        for i in 0..200 {
+            queue.enqueue(&mut handle, i);
+        }
+        assert!(!queue.is_empty());
+        for i in 0..200 {
+            assert_eq!(queue.dequeue(&mut handle), Some(i));
+        }
+        assert_eq!(queue.dequeue(&mut handle), None);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_under_every_scheme() {
+        fifo_single_threaded::<He>();
+        fifo_single_threaded::<Ebr>();
+        fifo_single_threaded::<Hp>();
+        fifo_single_threaded::<Ibr2Ge>();
+        fifo_single_threaded::<Leak>();
+    }
+
+    #[test]
+    fn interleaved_enqueue_dequeue_preserves_order() {
+        let domain = He::with_config(small_config(2));
+        let queue = CrTurnQueue::<u64, He>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        let mut expected_front = 0u64;
+        let mut next_value = 0u64;
+        for round in 0..500u64 {
+            queue.enqueue(&mut handle, next_value);
+            next_value += 1;
+            if round % 3 == 0 {
+                assert_eq!(queue.dequeue(&mut handle), Some(expected_front));
+                expected_front += 1;
+            }
+        }
+        while let Some(v) = queue.dequeue(&mut handle) {
+            assert_eq!(v, expected_front);
+            expected_front += 1;
+        }
+        assert_eq!(expected_front, next_value);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_conserve_every_element() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 2_000;
+        let domain = He::with_config(small_config(THREADS + 1));
+        let queue = CrTurnQueue::<u64, He>::new(Arc::clone(&domain));
+        let consumed_sum = AtomicU64::new(0);
+        let consumed_count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let queue = &queue;
+                let domain = Arc::clone(&domain);
+                let consumed_sum = &consumed_sum;
+                let consumed_count = &consumed_count;
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 1..=PER_THREAD {
+                        queue.enqueue(&mut handle, t * PER_THREAD + i);
+                        if i % 2 == 0 {
+                            if let Some(v) = queue.dequeue(&mut handle) {
+                                consumed_sum.fetch_add(v, SeqCst);
+                                consumed_count.fetch_add(1, SeqCst);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        while let Some(v) = queue.dequeue(&mut handle) {
+            consumed_sum.fetch_add(v, SeqCst);
+            consumed_count.fetch_add(1, SeqCst);
+        }
+        let expected_sum: u64 = (0..THREADS as u64)
+            .flat_map(|t| (1..=PER_THREAD).map(move |i| t * PER_THREAD + i))
+            .sum();
+        assert_eq!(consumed_count.load(SeqCst), THREADS as u64 * PER_THREAD);
+        assert_eq!(consumed_sum.load(SeqCst), expected_sum);
+    }
+
+    #[test]
+    fn per_thread_fifo_order_is_respected() {
+        const THREADS: usize = 3;
+        const PER_THREAD: u64 = 1_500;
+        let domain = He::with_config(small_config(THREADS + 1));
+        let queue = CrTurnQueue::<u64, He>::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let queue = &queue;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 0..PER_THREAD {
+                        queue.enqueue(&mut handle, (t << 32) | i);
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        let mut last_seen = [None::<u64>; THREADS];
+        while let Some(v) = queue.dequeue(&mut handle) {
+            let t = (v >> 32) as usize;
+            let seq = v & 0xFFFF_FFFF;
+            if let Some(prev) = last_seen[t] {
+                assert!(seq > prev, "thread {t} out of order: {seq} after {prev}");
+            }
+            last_seen[t] = Some(seq);
+        }
+        for (t, seen) in last_seen.iter().enumerate() {
+            assert_eq!(seen.unwrap(), PER_THREAD - 1, "thread {t} lost elements");
+        }
+    }
+
+    #[test]
+    fn empty_dequeues_interleaved_with_concurrent_enqueues() {
+        // Hammers the give-up path: consumers repeatedly observe an empty
+        // queue while a producer races to refill it; no element may be lost
+        // or duplicated.
+        const ROUNDS: u64 = 2_000;
+        let domain = He::with_config(small_config(3));
+        let queue = CrTurnQueue::<u64, He>::new(Arc::clone(&domain));
+        let consumed_sum = AtomicU64::new(0);
+        let consumed_count = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            let producer_domain = Arc::clone(&domain);
+            let producer_queue = &queue;
+            scope.spawn(move || {
+                let mut handle = producer_domain.register();
+                for i in 1..=ROUNDS {
+                    producer_queue.enqueue(&mut handle, i);
+                }
+            });
+            for _ in 0..2 {
+                let queue = &queue;
+                let domain = Arc::clone(&domain);
+                let consumed_sum = &consumed_sum;
+                let consumed_count = &consumed_count;
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    while consumed_count.load(SeqCst) < ROUNDS {
+                        if let Some(v) = queue.dequeue(&mut handle) {
+                            consumed_sum.fetch_add(v, SeqCst);
+                            consumed_count.fetch_add(1, SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(consumed_count.load(SeqCst), ROUNDS);
+        assert_eq!(consumed_sum.load(SeqCst), ROUNDS * (ROUNDS + 1) / 2);
+    }
+
+    #[test]
+    fn helpers_complete_a_stalled_enqueue() {
+        // A thread publishes an enqueue request and stalls forever; the next
+        // operation by any other thread appends its node.
+        let domain = He::with_config(small_config(3));
+        let queue = CrTurnQueue::<u64, He>::new(Arc::clone(&domain));
+        let mut stalled = domain.register();
+        let mut worker = domain.register();
+        queue.stall_enqueue_publish(&mut stalled, 41);
+        assert!(queue.is_empty(), "stalled request is not yet linked");
+        queue.enqueue(&mut worker, 42);
+        // Both elements are now present: the worker's helping pass appended
+        // the stalled node on its way to (or right after) its own. Their
+        // relative order is the turn order, which depends on thread ids, so
+        // assert on the set.
+        let mut got = vec![
+            queue.dequeue(&mut worker).unwrap(),
+            queue.dequeue(&mut worker).unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![41, 42]);
+        assert_eq!(queue.dequeue(&mut worker), None);
+    }
+
+    #[test]
+    fn helpers_grant_a_stalled_dequeue() {
+        // A thread opens a dequeue request and stalls; another dequeuer's
+        // turn-serving pass grants the stalled request *first* (it holds the
+        // earlier turn), and the resumed operation just picks up the node.
+        let domain = He::with_config(small_config(3));
+        let queue = CrTurnQueue::<u64, He>::new(Arc::clone(&domain));
+        let mut stalled = domain.register();
+        let mut worker = domain.register();
+        for i in 0..4 {
+            queue.enqueue(&mut worker, i);
+        }
+        let ticket = queue.stall_dequeue_publish(&mut stalled);
+        // The worker dequeues twice; its helping serves the stalled request's
+        // turn as well, so between the stalled thread and the worker the
+        // first three elements are consumed exactly once.
+        let mut got = vec![
+            queue.dequeue(&mut worker).unwrap(),
+            queue.dequeue(&mut worker).unwrap(),
+            queue.resume_dequeue(&mut stalled, ticket).unwrap(),
+        ];
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        assert_eq!(queue.dequeue(&mut worker), Some(3));
+        assert_eq!(queue.dequeue(&mut worker), None);
+    }
+}

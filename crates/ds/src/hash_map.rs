@@ -24,6 +24,9 @@ pub struct MichaelHashMap<V, R: Reclaimer> {
 }
 
 impl<V, R: Reclaimer> MichaelHashMap<V, R> {
+    /// Reservation slots the map needs per thread: those of one bucket list.
+    pub const REQUIRED_SLOTS: usize = MichaelList::<V, R>::REQUIRED_SLOTS;
+
     /// Creates a map with [`DEFAULT_BUCKETS`] buckets guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
         Self::with_buckets(domain, DEFAULT_BUCKETS)
@@ -100,7 +103,7 @@ impl<R: Reclaimer> ConcurrentMap<R> for MichaelHashMap<u64, R> {
     }
 
     fn required_slots() -> usize {
-        2
+        Self::REQUIRED_SLOTS
     }
 }
 

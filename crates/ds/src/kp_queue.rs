@@ -74,9 +74,19 @@ const SLOT_DESC: usize = 2; // descriptor being examined
 const SLOT_DESC_AUX: usize = 3; // descriptor re-checks (is_still_pending)
 
 impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
+    /// Reservation slots the queue needs per thread: the four roles above
+    /// (head/tail snapshot, successor, descriptor, descriptor re-checks).
+    pub const REQUIRED_SLOTS: usize = 4;
+
     /// Creates an empty queue guarded by `domain`. The queue supports thread
     /// ids up to the domain's `max_threads`.
     pub fn new(domain: Arc<R>) -> Self {
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "KoganPetrankQueue needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
         let max_threads = domain.config().max_threads;
         let mut handle = domain.register();
         let sentinel = handle.alloc(Node {
@@ -448,7 +458,7 @@ impl<R: Reclaimer> ConcurrentQueue<R> for KoganPetrankQueue<u64, R> {
     }
 
     fn required_slots() -> usize {
-        6
+        Self::REQUIRED_SLOTS
     }
 }
 

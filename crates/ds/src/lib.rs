@@ -27,7 +27,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-// pub mod crturn_queue;
+pub mod crturn_queue;
 pub mod hash_map;
 pub mod kp_queue;
 pub mod michael_list;
@@ -36,7 +36,7 @@ pub mod natarajan_bst;
 pub mod traits;
 pub mod treiber_stack;
 
-// pub use crturn_queue::CrTurnQueue;
+pub use crturn_queue::CrTurnQueue;
 pub use hash_map::MichaelHashMap;
 pub use kp_queue::KoganPetrankQueue;
 pub use michael_list::MichaelList;

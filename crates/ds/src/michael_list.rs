@@ -52,8 +52,18 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
     /// Reservation slot protecting `prev`.
     const SLOT_PREV: usize = 1;
 
+    /// Reservation slots the list needs per thread: the hand-over-hand
+    /// `(prev, curr)` window.
+    pub const REQUIRED_SLOTS: usize = 2;
+
     /// Creates an empty list guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "MichaelList needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
         Self {
             head: Atomic::null(),
             domain,
@@ -262,7 +272,7 @@ impl<R: Reclaimer> ConcurrentMap<R> for MichaelList<u64, R> {
     }
 
     fn required_slots() -> usize {
-        2
+        Self::REQUIRED_SLOTS
     }
 }
 

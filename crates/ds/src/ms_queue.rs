@@ -37,8 +37,18 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
     /// Reservation slot protecting the node after the head.
     const SLOT_NEXT: usize = 1;
 
+    /// Reservation slots the queue needs per thread: the head (or tail)
+    /// snapshot and its successor.
+    pub const REQUIRED_SLOTS: usize = 2;
+
     /// Creates an empty queue guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "MichaelScottQueue needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
         let mut handle = domain.register();
         let sentinel = handle.alloc(Node {
             value: None,
@@ -167,7 +177,7 @@ impl<R: Reclaimer> ConcurrentQueue<R> for MichaelScottQueue<u64, R> {
     }
 
     fn required_slots() -> usize {
-        2
+        Self::REQUIRED_SLOTS
     }
 }
 

@@ -79,8 +79,18 @@ unsafe impl<V: Send, R: Reclaimer> Send for NatarajanBst<V, R> {}
 unsafe impl<V: Send + Sync, R: Reclaimer> Sync for NatarajanBst<V, R> {}
 
 impl<V, R: Reclaimer> NatarajanBst<V, R> {
+    /// Reservation slots the tree needs per thread: the rotating
+    /// ancestor/parent/leaf/current window of `seek` plus its spare.
+    pub const REQUIRED_SLOTS: usize = 5;
+
     /// Creates an empty tree guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "NatarajanBst needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
         let mut handle = domain.register();
         // Sentinel structure: R(∞₂) → { S(∞₁) → { leaf(∞₁), leaf(∞₂) }, leaf(∞₂) }.
         let leaf_inf1 = handle.alloc(Node::leaf(KEY_INF1, None));
@@ -411,7 +421,7 @@ impl<R: Reclaimer> ConcurrentMap<R> for NatarajanBst<u64, R> {
     }
 
     fn required_slots() -> usize {
-        5
+        Self::REQUIRED_SLOTS
     }
 }
 

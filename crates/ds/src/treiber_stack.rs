@@ -34,8 +34,17 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
     /// Reservation index used to protect the top node during `pop`.
     const TOP_SLOT: usize = 0;
 
+    /// Reservation slots the stack needs per thread: only the top node.
+    pub const REQUIRED_SLOTS: usize = 1;
+
     /// Creates an empty stack guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "TreiberStack needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
         Self {
             head: Atomic::null(),
             domain,

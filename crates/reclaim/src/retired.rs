@@ -12,8 +12,8 @@ use std::sync::Mutex;
 
 use crate::block::{free_block, BlockHeader};
 
-/// Owner-thread-only list of retired blocks, linked through
-/// [`BlockHeader::next_retired`].
+/// Owner-thread-only list of retired blocks, linked through the block
+/// header's `next_retired` field.
 #[derive(Debug)]
 pub struct RetiredList {
     head: *mut BlockHeader,

@@ -34,7 +34,7 @@ pub(crate) const EXTRA_SLOTS: usize = 2;
 ///   needs help, and movement of `counter_start` tells `cleanup()` that a new
 ///   slow path may have started mid-scan,
 /// * `reservations` — `max_threads × (max_hes + 2)` pairs `(era, tag)`;
-///   the last two columns are internal to [`help_thread`](Self::help_thread),
+///   the last two columns are internal to the `help_thread` slow path,
 /// * `state` — `max_threads × max_hes` slow-path request records.
 pub struct Wfe {
     pub(crate) config: ReclaimerConfig,

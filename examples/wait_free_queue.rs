@@ -1,10 +1,16 @@
-//! The headline scenario of the paper: the Kogan-Petrank wait-free queue with
-//! fully wait-free memory reclamation.
+//! The headline scenario of the paper: a wait-free queue with fully
+//! wait-free memory reclamation — wait-free *end to end*.
 //!
-//! The original KP queue assumes a garbage collector; pairing it with WFE is
-//! what makes it wait-free end to end for the first time. This example runs a
-//! producer/consumer workload under WFE and then under Hazard Pointers for
-//! comparison.
+//! The Ramalhete-Correia CRTurn queue completes every operation in a bounded
+//! number of steps, but that guarantee used to stop at the memory manager:
+//! with lock-free reclamation (e.g. Hazard Pointers) a single stalled thread
+//! can delay `retire` scans indefinitely. Pairing CRTurn with WFE closes the
+//! gap — every queue operation *and* every reclamation operation is bounded.
+//!
+//! This example runs the same producer/consumer workload over three
+//! pairings: CRTurn+WFE (wait-free end to end), CRTurn+HP (wait-free queue,
+//! lock-free reclamation) and Kogan-Petrank+WFE (the paper's other wait-free
+//! queue) for comparison.
 //!
 //! Run with `cargo run --release --example wait_free_queue`.
 
@@ -12,15 +18,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use wfe_suite::{Hp, KoganPetrankQueue, Reclaimer, ReclaimerConfig, Wfe};
+use wfe_suite::{ConcurrentQueue, CrTurnQueue, Hp, KoganPetrankQueue, Reclaimer, Wfe};
 
-fn run<R: Reclaimer>(label: &str) {
-    const PRODUCERS: usize = 2;
-    const CONSUMERS: usize = 2;
-    const PER_PRODUCER: u64 = 50_000;
+const PRODUCERS: usize = 2;
+const CONSUMERS: usize = 2;
+const PER_PRODUCER: u64 = 50_000;
 
-    let domain = R::with_config(ReclaimerConfig::with_max_threads(PRODUCERS + CONSUMERS));
-    let queue = KoganPetrankQueue::<u64, R>::new(Arc::clone(&domain));
+fn run<R: Reclaimer, Q: ConcurrentQueue<R>>(label: &str) {
+    let domain = R::with_config(wfe_suite::ReclaimerConfig::with_max_threads(
+        PRODUCERS + CONSUMERS + 1,
+    ));
+    let queue = Q::with_domain(Arc::clone(&domain));
     let consumed = AtomicU64::new(0);
     let start = Instant::now();
 
@@ -68,6 +76,7 @@ fn run<R: Reclaimer>(label: &str) {
 }
 
 fn main() {
-    run::<Wfe>("Kogan-Petrank queue + WFE (wait-free end to end)");
-    run::<Hp>("Kogan-Petrank queue + Hazard Pointers (lock-free reclamation)");
+    run::<Wfe, CrTurnQueue<u64, Wfe>>("CRTurn queue + WFE (wait-free end to end)");
+    run::<Hp, CrTurnQueue<u64, Hp>>("CRTurn queue + Hazard Pointers (lock-free reclamation)");
+    run::<Wfe, KoganPetrankQueue<u64, Wfe>>("Kogan-Petrank queue + WFE (wait-free end to end)");
 }

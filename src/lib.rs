@@ -18,8 +18,8 @@
 //!   compares against: EBR, Hazard Pointers, Hazard Eras, 2GEIBR and a
 //!   leak-memory baseline;
 //! * [`wfe_ds`] — the workloads: Treiber stack, Harris-Michael list, Michael
-//!   hash map, Natarajan-Mittal BST, Kogan-Petrank wait-free queue and a
-//!   Michael-Scott queue;
+//!   hash map, Natarajan-Mittal BST, the Kogan-Petrank and CRTurn wait-free
+//!   queues and a Michael-Scott queue;
 //! * [`wfe_atomics`] — the 128-bit wide-CAS substrate WFE requires;
 //! * `wfe-bench` — the harness regenerating Figures 5–11.
 //!
@@ -50,7 +50,7 @@ pub use wfe_reclaim;
 
 pub use wfe_core::{Wfe, WfeHandle};
 pub use wfe_ds::{
-    ConcurrentMap, ConcurrentQueue, KoganPetrankQueue, MichaelHashMap, MichaelList,
+    ConcurrentMap, ConcurrentQueue, CrTurnQueue, KoganPetrankQueue, MichaelHashMap, MichaelList,
     MichaelScottQueue, NatarajanBst, TreiberStack,
 };
 pub use wfe_reclaim::{

@@ -8,8 +8,10 @@
 //! pins down that the conformance suite stays usable from *outside* the
 //! `wfe-reclaim` crate (it is deliberately compiled into the library).
 
+use std::sync::Arc;
+
 use wfe_suite::wfe_reclaim::conformance;
-use wfe_suite::{Ebr, He, Hp, Ibr2Ge, Leak, Wfe};
+use wfe_suite::{CrTurnQueue, Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer, ReclaimerConfig, Wfe};
 
 /// Instantiates the conformance battery for one scheme.
 ///
@@ -60,3 +62,68 @@ conformance_smoke!(he, He, protection: true, bound: Some(4_000));
 conformance_smoke!(ibr2ge, Ibr2Ge, protection: true, bound: None);
 conformance_smoke!(leak, Leak, protection: false, bound: None);
 conformance_smoke!(wfe, Wfe, protection: true, bound: Some(4_000));
+
+/// CRTurn-specific conformance: the queue composes with every scheme. A
+/// short two-thread producer/consumer run plus a drain must conserve every
+/// element under each of the six reclaimers (the figure sweep of Fig. 5c/5d
+/// relies on exactly this matrix).
+fn crturn_conserves_elements_under<R: Reclaimer>() {
+    const PER_THREAD: u64 = 500;
+    let domain = R::with_config(ReclaimerConfig {
+        cleanup_freq: 8,
+        era_freq: 16,
+        ..ReclaimerConfig::with_max_threads(3)
+    });
+    let queue = CrTurnQueue::<u64, R>::new(Arc::clone(&domain));
+    let consumed = std::sync::atomic::AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..2u64 {
+            let queue = &queue;
+            let domain = Arc::clone(&domain);
+            let consumed = &consumed;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                for i in 1..=PER_THREAD {
+                    queue.enqueue(&mut handle, t * PER_THREAD + i);
+                    if i % 2 == 0 {
+                        if let Some(v) = queue.dequeue(&mut handle) {
+                            consumed.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let mut handle = domain.register();
+    while let Some(v) = queue.dequeue(&mut handle) {
+        consumed.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+    }
+    let expected: u64 = (1..=2 * PER_THREAD).sum();
+    assert_eq!(
+        consumed.load(std::sync::atomic::Ordering::Relaxed),
+        expected
+    );
+}
+
+macro_rules! crturn_smoke {
+    ($($test:ident: $scheme:ty;)*) => {
+        mod crturn {
+            use super::*;
+            $(
+                #[test]
+                fn $test() {
+                    crturn_conserves_elements_under::<$scheme>();
+                }
+            )*
+        }
+    };
+}
+
+crturn_smoke! {
+    under_ebr: Ebr;
+    under_hp: Hp;
+    under_he: He;
+    under_ibr2ge: Ibr2Ge;
+    under_leak: Leak;
+    under_wfe: Wfe;
+}

@@ -5,9 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use wfe_suite::{
-    ConcurrentMap, ConcurrentQueue, Ebr, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak, MichaelHashMap,
-    MichaelList, MichaelScottQueue, NatarajanBst, Progress, Reclaimer, ReclaimerConfig,
-    TreiberStack, Wfe,
+    ConcurrentMap, ConcurrentQueue, CrTurnQueue, Ebr, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak,
+    MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst, Progress, Reclaimer,
+    ReclaimerConfig, TreiberStack, Wfe,
 };
 
 /// Exercises one map type under one scheme with a small concurrent workload
@@ -163,11 +163,161 @@ queue_matrix! {
     kp_queue_under_hp: Hp, KoganPetrankQueue;
     kp_queue_under_ebr: Ebr, KoganPetrankQueue;
     kp_queue_under_ibr: Ibr2Ge, KoganPetrankQueue;
+    crturn_queue_under_wfe: Wfe, CrTurnQueue;
+    crturn_queue_under_he: He, CrTurnQueue;
+    crturn_queue_under_hp: Hp, CrTurnQueue;
+    crturn_queue_under_ebr: Ebr, CrTurnQueue;
+    crturn_queue_under_ibr: Ibr2Ge, CrTurnQueue;
+    crturn_queue_under_leak: Leak, CrTurnQueue;
     ms_queue_under_wfe: Wfe, MichaelScottQueue;
     ms_queue_under_he: He, MichaelScottQueue;
     ms_queue_under_hp: Hp, MichaelScottQueue;
     ms_queue_under_ebr: Ebr, MichaelScottQueue;
     ms_queue_under_ibr: Ibr2Ge, MichaelScottQueue;
+}
+
+#[test]
+fn crturn_helping_completes_operations_of_a_stalled_thread() {
+    // The observable wait-free property: one thread stalls mid-operation
+    // (after publishing its request, before doing any helping) and the other
+    // threads still complete a fixed number of enqueues and dequeues — their
+    // progress cannot depend on the stalled thread resuming. The stalled
+    // requests themselves are finished *by the helpers*.
+    const WORKERS: usize = 3;
+    const PER_WORKER: u64 = 2_000;
+    const STALLED_VALUE: u64 = u64::MAX;
+
+    let domain = Wfe::with_config(ReclaimerConfig {
+        cleanup_freq: 8,
+        era_freq: 16,
+        ..ReclaimerConfig::with_max_threads(WORKERS + 1)
+    });
+    let queue = CrTurnQueue::<u64, Wfe>::new(Arc::clone(&domain));
+    let mut stalled = domain.register();
+
+    // The stalled thread opens an enqueue request and never helps anyone.
+    queue.stall_enqueue_publish(&mut stalled, STALLED_VALUE);
+
+    let consumed_count = AtomicU64::new(0);
+    let stalled_value_seen = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..WORKERS as u64 {
+            let queue = &queue;
+            let domain = Arc::clone(&domain);
+            let consumed_count = &consumed_count;
+            let stalled_value_seen = &stalled_value_seen;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                for i in 1..=PER_WORKER {
+                    // Every worker operation completes in bounded steps even
+                    // though one registered thread never moves again.
+                    queue.enqueue(&mut handle, t * PER_WORKER + i);
+                    if let Some(v) = queue.dequeue(&mut handle) {
+                        consumed_count.fetch_add(1, Ordering::Relaxed);
+                        if v == STALLED_VALUE {
+                            stalled_value_seen.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Drain: everything the workers enqueued plus the stalled thread's
+    // element (appended by helpers) must come out exactly once.
+    let mut handle = domain.register();
+    let mut drained = 0u64;
+    while let Some(v) = queue.dequeue(&mut handle) {
+        drained += 1;
+        if v == STALLED_VALUE {
+            stalled_value_seen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    assert_eq!(
+        consumed_count.load(Ordering::Relaxed) + drained,
+        WORKERS as u64 * PER_WORKER + 1,
+        "all worker elements plus the stalled element were consumed"
+    );
+    assert_eq!(
+        stalled_value_seen.load(Ordering::Relaxed),
+        1,
+        "helpers appended the stalled thread's element exactly once"
+    );
+}
+
+#[test]
+fn crturn_helping_grants_a_stalled_dequeue_under_contention() {
+    // Same property on the dequeue side: a thread opens a dequeue request
+    // and stalls; concurrent dequeuers grant it a node in turn order while
+    // completing their own operations.
+    const WORKERS: usize = 2;
+    const PER_WORKER: u64 = 1_000;
+
+    let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(WORKERS + 1));
+    let queue = CrTurnQueue::<u64, Wfe>::new(Arc::clone(&domain));
+    let mut stalled = domain.register();
+    let mut total = 0u64;
+    {
+        let mut handle = domain.register();
+        for i in 1..=(WORKERS as u64 * PER_WORKER + 1) {
+            queue.enqueue(&mut handle, i);
+            total += i;
+        }
+    }
+
+    let ticket = queue.stall_dequeue_publish(&mut stalled);
+    let consumed_sum = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..WORKERS {
+            let queue = &queue;
+            let domain = Arc::clone(&domain);
+            let consumed_sum = &consumed_sum;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                for _ in 0..PER_WORKER {
+                    let v = queue
+                        .dequeue(&mut handle)
+                        .expect("enough elements were prefilled");
+                    consumed_sum.fetch_add(v, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    // The workers' dequeues served the stalled request's turn long ago; the
+    // resumed operation just picks up the granted node.
+    let granted = queue
+        .resume_dequeue(&mut stalled, ticket)
+        .expect("helpers granted the stalled request");
+    assert_eq!(consumed_sum.load(Ordering::Relaxed) + granted, total);
+    assert_eq!(queue.dequeue(&mut stalled), None, "queue fully drained");
+}
+
+/// Structures assert at construction (in debug builds) that the domain has
+/// at least `required_slots()` reservation slots per thread — catching the
+/// misconfiguration at the constructor instead of as a reservation-index
+/// panic (or worse, a silent protection failure) deep inside an operation.
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "reservation slots per thread")]
+fn underprovisioned_domain_is_rejected_at_construction() {
+    let domain = Wfe::with_config(ReclaimerConfig {
+        slots_per_thread: 2,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    // The BST needs 5 slots; a 2-slot domain must be refused.
+    let _ = NatarajanBst::<u64, Wfe>::new(domain);
+}
+
+#[test]
+#[cfg(debug_assertions)]
+#[should_panic(expected = "CrTurnQueue needs 3 reservation slots")]
+fn underprovisioned_domain_is_rejected_by_crturn() {
+    let domain = Wfe::with_config(ReclaimerConfig {
+        slots_per_thread: 2,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    let _ = CrTurnQueue::<u64, Wfe>::new(domain);
 }
 
 #[test]

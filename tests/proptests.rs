@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use wfe_suite::wfe_atomics::AtomicPair;
 use wfe_suite::wfe_reclaim::ptr::tag;
 use wfe_suite::{
-    Handle, KoganPetrankQueue, Linked, MichaelHashMap, MichaelList, NatarajanBst, Reclaimer,
-    ReclaimerConfig, Wfe,
+    CrTurnQueue, Handle, KoganPetrankQueue, Linked, MichaelHashMap, MichaelList, MichaelScottQueue,
+    NatarajanBst, Reclaimer, ReclaimerConfig, Wfe,
 };
 
 /// An operation applied both to the concurrent structure and to the model.
@@ -76,6 +76,80 @@ proptest! {
     #[test]
     fn natarajan_bst_matches_btreemap(actions in proptest::collection::vec(map_action_strategy(64), 1..400)) {
         check_map_against_model::<NatarajanBst<u64, Wfe>>(&actions);
+    }
+
+    #[test]
+    fn crturn_queue_matches_msqueue_and_vecdeque(ops in proptest::collection::vec(proptest::option::weighted(0.6, any::<u64>()), 1..300)) {
+        // Cross-implementation check: the wait-free CRTurn queue, the
+        // lock-free Michael-Scott queue and a sequential `VecDeque` model all
+        // see the same randomized op sequence (`Some(v)` = enqueue v, `None`
+        // = dequeue) and must agree on every result — which pins down FIFO
+        // order per producer and element conservation in one stroke.
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(2));
+        let crturn = CrTurnQueue::<u64, Wfe>::new(Arc::clone(&domain));
+        let msq = MichaelScottQueue::<u64, Wfe>::new(Arc::clone(&domain));
+        let mut handle = domain.register();
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for op in &ops {
+            match op {
+                Some(value) => {
+                    crturn.enqueue(&mut handle, *value);
+                    msq.enqueue(&mut handle, *value);
+                    model.push_back(*value);
+                }
+                None => {
+                    let expected = model.pop_front();
+                    prop_assert_eq!(crturn.dequeue(&mut handle), expected);
+                    prop_assert_eq!(msq.dequeue(&mut handle), expected);
+                }
+            }
+        }
+        while let Some(expected) = model.pop_front() {
+            prop_assert_eq!(crturn.dequeue(&mut handle), Some(expected));
+            prop_assert_eq!(msq.dequeue(&mut handle), Some(expected));
+        }
+        prop_assert_eq!(crturn.dequeue(&mut handle), None);
+        prop_assert_eq!(msq.dequeue(&mut handle), None);
+    }
+
+    #[test]
+    fn crturn_queue_conserves_elements_across_producers(
+        ops in proptest::collection::vec(0usize..3, 1..200)
+    ) {
+        // Per-producer FIFO + conservation with two interleaved "producers"
+        // (two registered handles of one domain): ops are (who, value) pairs
+        // where who==2 dequeues and who<2 enqueues a value stamped with the
+        // producer id. Dequeued values must come out in stamped order per
+        // producer, and nothing may be lost or invented.
+        let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(3));
+        let queue = CrTurnQueue::<u64, Wfe>::new(Arc::clone(&domain));
+        let mut handles = [domain.register(), domain.register()];
+        let mut seq = [0u64, 0u64];
+        let mut pending = [0i64, 0i64];
+        let mut last_dequeued = [None::<u64>, None::<u64>];
+        for &who in &ops {
+            if who == 2 {
+                if let Some(v) = queue.dequeue(&mut handles[0]) {
+                    let producer = (v >> 32) as usize;
+                    let stamp = v & 0xFFFF_FFFF;
+                    if let Some(prev) = last_dequeued[producer] {
+                        prop_assert!(stamp > prev, "producer {} out of order", producer);
+                    }
+                    last_dequeued[producer] = Some(stamp);
+                    pending[producer] -= 1;
+                    prop_assert!(pending[producer] >= 0, "invented element");
+                }
+            } else {
+                let stamped = ((who as u64) << 32) | seq[who];
+                queue.enqueue(&mut handles[who], stamped);
+                seq[who] += 1;
+                pending[who] += 1;
+            }
+        }
+        while let Some(v) = queue.dequeue(&mut handles[1]) {
+            pending[(v >> 32) as usize] -= 1;
+        }
+        prop_assert_eq!(pending, [0, 0], "every enqueued element was dequeued");
     }
 
     #[test]
