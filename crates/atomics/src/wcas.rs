@@ -270,17 +270,22 @@ unsafe fn cmpxchg16b(dst: *mut Pair, current: Pair, new: Pair) -> (Pair, bool) {
     let prev_lo: u64;
     let prev_hi: u64;
     let ok: u8;
-    // `rbx` is reserved by LLVM, so the conventional pattern is to stash the
-    // low word of the new value in a scratch register, exchange it with `rbx`
-    // around the instruction, and restore `rbx` afterwards.
+    // `rbx` (the implicit low word of the replacement value) cannot be named
+    // as a Rust asm operand, so the low word is stashed in `rsi` and
+    // exchanged with `rbx` around the instruction. Every other operand is
+    // pinned to a named register too: with generic `in(reg)` / `out(reg_byte)`
+    // classes the register allocator is free to pick `rbx`/`bl` for them —
+    // it does not know the template touches `rbx` — which corrupts the
+    // operand mid-template (observed in release builds as `cmpxchg16b [rbx]`
+    // executing after `rbx` was swapped away).
     core::arch::asm!(
-        "xchg {new_lo_scratch}, rbx",
-        "lock cmpxchg16b xmmword ptr [{dst}]",
-        "sete {ok}",
-        "mov rbx, {new_lo_scratch}",
-        dst = in(reg) dst,
-        new_lo_scratch = inout(reg) new_lo => _,
-        ok = out(reg_byte) ok,
+        "xchg rsi, rbx",
+        "lock cmpxchg16b xmmword ptr [rdi]",
+        "sete r8b",
+        "mov rbx, rsi",
+        in("rdi") dst,
+        inout("rsi") new_lo => _,
+        out("r8b") ok,
         in("rcx") new_hi,
         inout("rax") cur_lo => prev_lo,
         inout("rdx") cur_hi => prev_hi,

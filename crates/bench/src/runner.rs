@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use wfe_reclaim::{Reclaimer, ReclaimerConfig};
+use wfe_reclaim::{Reclaimer, ReclaimerConfig, SmrStats};
 
 use crate::params::BenchParams;
 use crate::workload::{MapOp, MapWorkload, OpGenerator};
@@ -84,22 +84,32 @@ pub struct DataPoint {
     pub mops: f64,
     /// Time-averaged number of retired-but-unreclaimed blocks.
     pub avg_unreclaimed: f64,
+    /// Orphaned batches adopted from exited threads (end-of-run total,
+    /// averaged over repeats).
+    pub adopted_batches: f64,
+    /// Blocks freed by scanning adopted batches (end-of-run total, averaged
+    /// over repeats) — the observable for the bounded-unreclaimed claim when
+    /// threads come and go.
+    pub freed_via_adoption: f64,
 }
 
 impl DataPoint {
     /// CSV header matching [`DataPoint::to_csv_row`].
-    pub const CSV_HEADER: &'static str = "structure,workload,scheme,threads,mops,avg_unreclaimed";
+    pub const CSV_HEADER: &'static str =
+        "structure,workload,scheme,threads,mops,avg_unreclaimed,adopted_batches,freed_via_adoption";
 
     /// Renders the point as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{:.4},{:.1}",
+            "{},{},{},{},{:.4},{:.1},{:.1},{:.1}",
             self.structure,
             self.workload,
             self.scheme,
             self.threads,
             self.mops,
-            self.avg_unreclaimed
+            self.avg_unreclaimed,
+            self.adopted_batches,
+            self.freed_via_adoption
         )
     }
 }
@@ -153,7 +163,7 @@ fn run_map_once<R, M>(
     workload: MapWorkload,
     params: &BenchParams,
     seed: u64,
-) -> (u64, f64, Duration)
+) -> (u64, f64, Duration, SmrStats)
 where
     R: Reclaimer,
     M: ConcurrentMap<R>,
@@ -228,11 +238,16 @@ where
         elapsed = start.elapsed();
     });
 
-    (total_ops.into_inner(), sampler.average(), elapsed)
+    let stats = domain.stats();
+    (total_ops.into_inner(), sampler.average(), elapsed, stats)
 }
 
 /// Runs the queue workload once (50% enqueue / 50% dequeue).
-fn run_queue_once<R, Q>(threads: usize, params: &BenchParams, seed: u64) -> (u64, f64, Duration)
+fn run_queue_once<R, Q>(
+    threads: usize,
+    params: &BenchParams,
+    seed: u64,
+) -> (u64, f64, Duration, SmrStats)
 where
     R: Reclaimer,
     Q: ConcurrentQueue<R>,
@@ -303,7 +318,8 @@ where
         elapsed = start.elapsed();
     });
 
-    (total_ops.into_inner(), sampler.average(), elapsed)
+    let stats = domain.stats();
+    (total_ops.into_inner(), sampler.average(), elapsed, stats)
 }
 
 /// Measures one map data point (averaged over `params.repeats` runs).
@@ -321,11 +337,15 @@ where
     process_warm_up();
     let mut mops = 0.0;
     let mut unreclaimed = 0.0;
+    let mut adopted_batches = 0.0;
+    let mut freed_via_adoption = 0.0;
     for repeat in 0..params.repeats.max(1) {
-        let (ops, avg_unreclaimed, elapsed) =
+        let (ops, avg_unreclaimed, elapsed, stats) =
             run_map_once::<R, M>(threads, workload, params, 0xC0FFEE + repeat as u64);
         mops += ops as f64 / elapsed.as_secs_f64() / 1e6;
         unreclaimed += avg_unreclaimed;
+        adopted_batches += stats.adopted_batches as f64;
+        freed_via_adoption += stats.freed_via_adoption as f64;
     }
     let repeats = params.repeats.max(1) as f64;
     DataPoint {
@@ -335,6 +355,8 @@ where
         threads,
         mops: mops / repeats,
         avg_unreclaimed: unreclaimed / repeats,
+        adopted_batches: adopted_batches / repeats,
+        freed_via_adoption: freed_via_adoption / repeats,
     }
 }
 
@@ -352,11 +374,15 @@ where
     process_warm_up();
     let mut mops = 0.0;
     let mut unreclaimed = 0.0;
+    let mut adopted_batches = 0.0;
+    let mut freed_via_adoption = 0.0;
     for repeat in 0..params.repeats.max(1) {
-        let (ops, avg_unreclaimed, elapsed) =
+        let (ops, avg_unreclaimed, elapsed, stats) =
             run_queue_once::<R, Q>(threads, params, 0xBADC0DE + repeat as u64);
         mops += ops as f64 / elapsed.as_secs_f64() / 1e6;
         unreclaimed += avg_unreclaimed;
+        adopted_batches += stats.adopted_batches as f64;
+        freed_via_adoption += stats.freed_via_adoption as f64;
     }
     let repeats = params.repeats.max(1) as f64;
     DataPoint {
@@ -366,6 +392,8 @@ where
         threads,
         mops: mops / repeats,
         avg_unreclaimed: unreclaimed / repeats,
+        adopted_batches: adopted_batches / repeats,
+        freed_via_adoption: freed_via_adoption / repeats,
     }
 }
 

@@ -199,12 +199,27 @@ pub trait Reclaimer: Send + Sync + Sized + 'static {
         Self::with_config(ReclaimerConfig::default())
     }
 
+    /// Registers the calling thread and returns its handle, or `None` when
+    /// `max_threads` handles are already registered, so callers can degrade
+    /// gracefully (shed the thread, queue the work) instead of panicking.
+    fn try_register(self: &Arc<Self>) -> Option<Self::Handle>;
+
     /// Registers the calling thread and returns its handle.
     ///
     /// # Panics
     ///
-    /// Panics if `max_threads` handles are already registered.
-    fn register(self: &Arc<Self>) -> Self::Handle;
+    /// Panics if `max_threads` handles are already registered. Use
+    /// [`try_register`](Self::try_register) to handle exhaustion without
+    /// panicking.
+    fn register(self: &Arc<Self>) -> Self::Handle {
+        self.try_register().unwrap_or_else(|| {
+            panic!(
+                "thread registry exhausted: more than {} concurrent handles; \
+                 raise ReclaimerConfig::max_threads",
+                self.config().max_threads
+            )
+        })
+    }
 
     /// Short scheme name as used in the paper's plots
     /// (`"WFE"`, `"HE"`, `"HP"`, `"EBR"`, `"2GEIBR"`, `"Leak"`).

@@ -304,6 +304,88 @@ pub fn concurrent_stack_stress<R: Reclaimer>(threads: usize, ops_per_thread: usi
     );
 }
 
+/// Orphan adoption: a handle dropped with pending retirements parks them on
+/// the domain's orphan stack, and a *surviving* thread's next cleanup pass
+/// adopts and frees them — before the domain is dropped.
+///
+/// `reclaims` is `false` for schemes that never run cleanup passes (`Leak`):
+/// for those the scenario instead asserts the orphans survive untouched until
+/// domain teardown.
+pub fn orphan_adoption_reclaims_exited_threads_blocks<R: Reclaimer>(reclaims: bool) {
+    const NODES: usize = 40;
+    let drops = Arc::new(AtomicUsize::new(0));
+    {
+        let domain = R::with_config(ReclaimerConfig {
+            // No automatic cleanup during the retire burst: the exiting
+            // thread must leave with a non-empty batch.
+            cleanup_freq: usize::MAX,
+            era_freq: 1,
+            ..ReclaimerConfig::with_max_threads(3)
+        });
+        let mut survivor = domain.register();
+        let mut reader = domain.register();
+        let stack = MiniStack::new();
+        {
+            let mut exiting = domain.register();
+            for i in 0..NODES {
+                stack.push(&mut exiting, i, Some(DropCounter::new(&drops)));
+            }
+            // The reader pins the head (era/epoch schemes thereby pin every
+            // block retired from here on; HP pins at least the head block).
+            reader.begin_op();
+            let protected = reader.protect(&stack.head, 0, ptr::null_mut());
+            assert!(!protected.is_null());
+            while stack.pop(&mut exiting).is_some() {}
+            // The exiting thread's final cleanup cannot free the protected
+            // block(s); the leftover batch is pushed onto the orphan stack.
+            drop(exiting);
+        }
+        assert!(
+            drops.load(Ordering::SeqCst) < NODES,
+            "the reader's protection must orphan at least one block"
+        );
+
+        // Protection released: the surviving thread's cleanup pass must now
+        // adopt the orphaned batch and free it.
+        reader.clear();
+        reader.end_op();
+        survivor.force_cleanup();
+        survivor.force_cleanup();
+
+        let stats = domain.stats();
+        if reclaims {
+            assert!(
+                stats.adopted_batches >= 1,
+                "the survivor adopted the orphaned batch"
+            );
+            assert!(
+                stats.freed_via_adoption >= 1,
+                "adoption freed at least one orphaned block"
+            );
+            assert_eq!(
+                drops.load(Ordering::SeqCst),
+                NODES,
+                "every retired block freed before domain drop"
+            );
+        } else {
+            assert_eq!(
+                stats.freed, 0,
+                "a leaking scheme frees nothing while running"
+            );
+            assert_eq!(stats.adopted_batches, 0);
+        }
+        drop(stack);
+        drop(reader);
+        drop(survivor);
+        drop(domain);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        NODES,
+        "every node dropped exactly once"
+    );
+}
+
 /// For schemes with bounded memory usage, the number of unreclaimed blocks
 /// after a long single-threaded churn must stay below `bound`.
 pub fn unreclaimed_is_bounded<R: Reclaimer>(bound: u64) {

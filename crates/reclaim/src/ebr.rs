@@ -18,7 +18,8 @@ use wfe_atomics::CachePadded;
 use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
 use crate::registry::ThreadRegistry;
-use crate::retired::{OrphanList, RetiredList};
+use crate::retired::{OrphanStack, RetiredBatch};
+use crate::scan::EpochSnapshot;
 use crate::slots::SlotArray;
 use crate::stats::{Counters, SmrStats};
 
@@ -27,7 +28,7 @@ pub struct Ebr {
     config: ReclaimerConfig,
     registry: ThreadRegistry,
     counters: Counters,
-    orphans: OrphanList,
+    orphans: OrphanStack,
     global_epoch: CachePadded<AtomicU64>,
     /// One published epoch per thread; `ERA_INF` = quiescent.
     reservations: SlotArray,
@@ -40,17 +41,13 @@ impl Ebr {
         self.global_epoch.load(Ordering::Acquire)
     }
 
-    /// A block can be freed when every active thread entered its current
-    /// operation *after* the block was retired.
-    fn can_delete(&self, block: *mut BlockHeader) -> bool {
-        let retire_epoch = unsafe { (*block).retire_era() };
+    /// Snapshots every published epoch once per cleanup pass: only the oldest
+    /// active epoch matters, so the scratch is a single word.
+    fn fill_snapshot(&self, snapshot: &mut EpochSnapshot) {
+        snapshot.clear();
         for thread in 0..self.reservations.threads() {
-            let reserved = self.reservations.get(thread, 0).load(Ordering::Acquire);
-            if reserved != ERA_INF && reserved <= retire_epoch {
-                return false;
-            }
+            snapshot.insert(self.reservations.get(thread, 0).load(Ordering::Acquire));
         }
-        true
     }
 }
 
@@ -61,22 +58,23 @@ impl Reclaimer for Ebr {
         Arc::new(Self {
             registry: ThreadRegistry::new(config.max_threads),
             counters: Counters::new(),
-            orphans: OrphanList::new(),
+            orphans: OrphanStack::new(),
             global_epoch: CachePadded::new(AtomicU64::new(1)),
             reservations: SlotArray::new(config.max_threads, 1, ERA_INF),
             config,
         })
     }
 
-    fn register(self: &Arc<Self>) -> EbrHandle {
-        let tid = self.registry.acquire();
-        EbrHandle {
+    fn try_register(self: &Arc<Self>) -> Option<EbrHandle> {
+        let tid = self.registry.try_acquire()?;
+        Some(EbrHandle {
             domain: Arc::clone(self),
             tid,
-            retired: RetiredList::new(),
-            retire_counter: 0,
+            retired: RetiredBatch::new(),
+            snapshot: EpochSnapshot::new(),
+            since_cleanup: 0,
             alloc_counter: 0,
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -117,16 +115,29 @@ impl core::fmt::Debug for Ebr {
 pub struct EbrHandle {
     domain: Arc<Ebr>,
     tid: usize,
-    retired: RetiredList,
-    retire_counter: usize,
+    retired: RetiredBatch,
+    /// Reusable reservation snapshot (the batch scan scratch).
+    snapshot: EpochSnapshot,
+    /// Retirements since the last cleanup pass.
+    since_cleanup: usize,
     alloc_counter: usize,
 }
 
 impl EbrHandle {
+    /// One cleanup pass of the batch scan protocol
+    /// ([`crate::retired::cleanup_pass`]).
     fn cleanup(&mut self) {
+        self.since_cleanup = 0;
         let domain = &self.domain;
-        let freed = unsafe { self.retired.scan(|block| domain.can_delete(block)) };
-        domain.counters.on_free(freed as u64);
+        unsafe {
+            crate::retired::cleanup_pass(
+                &mut self.retired,
+                &domain.orphans,
+                &domain.counters,
+                &mut self.snapshot,
+                |snapshot| domain.fill_snapshot(snapshot),
+            );
+        }
     }
 }
 
@@ -174,8 +185,8 @@ unsafe impl RawHandle for EbrHandle {
         (*block).retire_era.store(epoch, Ordering::Release);
         self.retired.push(block);
         self.domain.counters.on_retire();
-        self.retire_counter += 1;
-        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+        self.since_cleanup += 1;
+        if self.since_cleanup >= self.domain.config.cleanup_freq {
             if (*block).retire_era() == self.domain.epoch() {
                 self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
             }
@@ -207,7 +218,9 @@ impl Drop for EbrHandle {
     fn drop(&mut self) {
         self.end_op();
         self.cleanup();
-        self.domain.orphans.adopt(&mut self.retired);
+        // Whatever the final pass could not free is parked on the orphan
+        // stack; the next live thread's cleanup pass adopts it.
+        self.domain.orphans.push(self.retired.take());
         self.domain.registry.release(self.tid);
     }
 }
@@ -241,6 +254,11 @@ mod tests {
     #[test]
     fn concurrent_stack_stress() {
         conformance::concurrent_stack_stress::<Ebr>(4, 2_000);
+    }
+
+    #[test]
+    fn orphan_adoption() {
+        conformance::orphan_adoption_reclaims_exited_threads_blocks::<Ebr>(true);
     }
 
     #[test]

@@ -19,7 +19,8 @@ use wfe_atomics::CachePadded;
 use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
 use crate::registry::ThreadRegistry;
-use crate::retired::{OrphanList, RetiredList};
+use crate::retired::{OrphanStack, RetiredBatch};
+use crate::scan::EraSnapshot;
 use crate::slots::SlotArray;
 use crate::stats::{Counters, SmrStats};
 
@@ -28,7 +29,7 @@ pub struct He {
     config: ReclaimerConfig,
     registry: ThreadRegistry,
     counters: Counters,
-    orphans: OrphanList,
+    orphans: OrphanStack,
     global_era: CachePadded<AtomicU64>,
     /// `max_threads × slots_per_thread` published eras (`ERA_INF` = none).
     reservations: SlotArray,
@@ -46,19 +47,15 @@ impl He {
         self.global_era.fetch_add(1, Ordering::AcqRel);
     }
 
-    /// The Figure-1 `can_delete` check: a block may be freed when no published
-    /// era lies within its `[alloc_era, retire_era]` lifespan.
-    fn can_delete(&self, block: *mut BlockHeader) -> bool {
-        let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
-        for thread in 0..self.reservations.threads() {
-            for slot in 0..self.reservations.slots() {
-                let era = self.reservations.get(thread, slot).load(Ordering::Acquire);
-                if era != ERA_INF && alloc_era <= era && retire_era >= era {
-                    return false;
-                }
-            }
+    /// Snapshots every published era once per cleanup pass, sorted so the
+    /// Figure-1 `can_delete` lifespan test becomes one binary search per
+    /// block instead of a full reservation-table walk.
+    fn fill_snapshot(&self, snapshot: &mut EraSnapshot) {
+        snapshot.clear();
+        for era in self.reservations.iter_values(Ordering::Acquire) {
+            snapshot.insert(era);
         }
-        true
+        snapshot.seal();
     }
 }
 
@@ -69,22 +66,23 @@ impl Reclaimer for He {
         Arc::new(Self {
             registry: ThreadRegistry::new(config.max_threads),
             counters: Counters::new(),
-            orphans: OrphanList::new(),
+            orphans: OrphanStack::new(),
             global_era: CachePadded::new(AtomicU64::new(1)),
             reservations: SlotArray::new(config.max_threads, config.slots_per_thread, ERA_INF),
             config,
         })
     }
 
-    fn register(self: &Arc<Self>) -> HeHandle {
-        let tid = self.registry.acquire();
-        HeHandle {
+    fn try_register(self: &Arc<Self>) -> Option<HeHandle> {
+        let tid = self.registry.try_acquire()?;
+        Some(HeHandle {
             domain: Arc::clone(self),
             tid,
-            retired: RetiredList::new(),
-            retire_counter: 0,
+            retired: RetiredBatch::new(),
+            snapshot: EraSnapshot::new(),
+            since_cleanup: 0,
             alloc_counter: 0,
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -127,16 +125,29 @@ impl core::fmt::Debug for He {
 pub struct HeHandle {
     domain: Arc<He>,
     tid: usize,
-    retired: RetiredList,
-    retire_counter: usize,
+    retired: RetiredBatch,
+    /// Reusable era snapshot (the batch scan scratch).
+    snapshot: EraSnapshot,
+    /// Retirements since the last cleanup pass.
+    since_cleanup: usize,
     alloc_counter: usize,
 }
 
 impl HeHandle {
+    /// One cleanup pass of the batch scan protocol
+    /// ([`crate::retired::cleanup_pass`]).
     fn cleanup(&mut self) {
+        self.since_cleanup = 0;
         let domain = &self.domain;
-        let freed = unsafe { self.retired.scan(|block| domain.can_delete(block)) };
-        domain.counters.on_free(freed as u64);
+        unsafe {
+            crate::retired::cleanup_pass(
+                &mut self.retired,
+                &domain.orphans,
+                &domain.counters,
+                &mut self.snapshot,
+                |snapshot| domain.fill_snapshot(snapshot),
+            );
+        }
     }
 }
 
@@ -184,8 +195,8 @@ unsafe impl RawHandle for HeHandle {
         (*block).retire_era.store(era, Ordering::Release);
         self.retired.push(block);
         self.domain.counters.on_retire();
-        self.retire_counter += 1;
-        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+        self.since_cleanup += 1;
+        if self.since_cleanup >= self.domain.config.cleanup_freq {
             // Figure 1, lines 27-28: only advance the clock if nothing else
             // advanced it since this block was stamped, then scan.
             if (*block).retire_era() == self.domain.era() {
@@ -220,13 +231,9 @@ impl Drop for HeHandle {
     fn drop(&mut self) {
         self.clear();
         self.cleanup();
-        self.domain.orphans.adopt(&mut self.retired);
-        self.registry_release();
-    }
-}
-
-impl HeHandle {
-    fn registry_release(&self) {
+        // Whatever the final pass could not free is parked on the orphan
+        // stack; the next live thread's cleanup pass adopts it.
+        self.domain.orphans.push(self.retired.take());
         self.domain.registry.release(self.tid);
     }
 }
@@ -265,6 +272,11 @@ mod tests {
     #[test]
     fn unreclaimed_is_bounded() {
         conformance::unreclaimed_is_bounded::<He>(4_000);
+    }
+
+    #[test]
+    fn orphan_adoption() {
+        conformance::orphan_adoption_reclaims_exited_threads_blocks::<He>(true);
     }
 
     #[test]

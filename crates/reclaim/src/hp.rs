@@ -16,7 +16,8 @@ use wfe_atomics::CachePadded;
 use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::BlockHeader;
 use crate::registry::ThreadRegistry;
-use crate::retired::{OrphanList, RetiredList};
+use crate::retired::{OrphanStack, RetiredBatch};
+use crate::scan::HazardSnapshot;
 use crate::slots::PtrSlotArray;
 use crate::stats::{Counters, SmrStats};
 
@@ -25,7 +26,7 @@ pub struct Hp {
     config: ReclaimerConfig,
     registry: ThreadRegistry,
     counters: Counters,
-    orphans: OrphanList,
+    orphans: OrphanStack,
     /// `max_threads × slots_per_thread` published addresses (0 = none).
     hazards: PtrSlotArray,
     /// Not used for safety — only reported in stats for uniformity.
@@ -33,16 +34,14 @@ pub struct Hp {
 }
 
 impl Hp {
-    /// Collects the current hazard set, sorted for binary search.
-    fn hazard_snapshot(&self) -> Vec<usize> {
-        let mut hazards: Vec<usize> = self
-            .hazards
-            .iter_values(Ordering::Acquire)
-            .filter(|&p| p != 0)
-            .collect();
-        hazards.sort_unstable();
-        hazards.dedup();
-        hazards
+    /// Snapshots the current hazard set once per cleanup pass, sorted so the
+    /// per-block membership test is one binary search.
+    fn fill_snapshot(&self, snapshot: &mut HazardSnapshot) {
+        snapshot.clear();
+        for pointer in self.hazards.iter_values(Ordering::Acquire) {
+            snapshot.insert(pointer);
+        }
+        snapshot.seal();
     }
 }
 
@@ -53,21 +52,22 @@ impl Reclaimer for Hp {
         Arc::new(Self {
             registry: ThreadRegistry::new(config.max_threads),
             counters: Counters::new(),
-            orphans: OrphanList::new(),
+            orphans: OrphanStack::new(),
             hazards: PtrSlotArray::new(config.max_threads, config.slots_per_thread),
             op_clock: CachePadded::new(AtomicU64::new(0)),
             config,
         })
     }
 
-    fn register(self: &Arc<Self>) -> HpHandle {
-        let tid = self.registry.acquire();
-        HpHandle {
+    fn try_register(self: &Arc<Self>) -> Option<HpHandle> {
+        let tid = self.registry.try_acquire()?;
+        Some(HpHandle {
             domain: Arc::clone(self),
             tid,
-            retired: RetiredList::new(),
-            retire_counter: 0,
-        }
+            retired: RetiredBatch::new(),
+            snapshot: HazardSnapshot::new(),
+            since_cleanup: 0,
+        })
     }
 
     fn name() -> &'static str {
@@ -106,18 +106,28 @@ impl core::fmt::Debug for Hp {
 pub struct HpHandle {
     domain: Arc<Hp>,
     tid: usize,
-    retired: RetiredList,
-    retire_counter: usize,
+    retired: RetiredBatch,
+    /// Reusable hazard snapshot (the batch scan scratch).
+    snapshot: HazardSnapshot,
+    /// Retirements since the last cleanup pass.
+    since_cleanup: usize,
 }
 
 impl HpHandle {
+    /// One cleanup pass of the batch scan protocol
+    /// ([`crate::retired::cleanup_pass`]).
     fn cleanup(&mut self) {
-        let hazards = self.domain.hazard_snapshot();
-        let freed = unsafe {
-            self.retired
-                .scan(|block| hazards.binary_search(&(block as usize)).is_err())
-        };
-        self.domain.counters.on_free(freed as u64);
+        self.since_cleanup = 0;
+        let domain = &self.domain;
+        unsafe {
+            crate::retired::cleanup_pass(
+                &mut self.retired,
+                &domain.orphans,
+                &domain.counters,
+                &mut self.snapshot,
+                |snapshot| domain.fill_snapshot(snapshot),
+            );
+        }
     }
 }
 
@@ -164,8 +174,8 @@ unsafe impl RawHandle for HpHandle {
         self.retired.push(block);
         self.domain.counters.on_retire();
         self.domain.op_clock.fetch_add(1, Ordering::Relaxed);
-        self.retire_counter += 1;
-        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+        self.since_cleanup += 1;
+        if self.since_cleanup >= self.domain.config.cleanup_freq {
             self.cleanup();
         }
     }
@@ -188,7 +198,9 @@ impl Drop for HpHandle {
     fn drop(&mut self) {
         self.clear();
         self.cleanup();
-        self.domain.orphans.adopt(&mut self.retired);
+        // Whatever the final pass could not free is parked on the orphan
+        // stack; the next live thread's cleanup pass adopts it.
+        self.domain.orphans.push(self.retired.take());
         self.domain.registry.release(self.tid);
     }
 }
@@ -228,6 +240,11 @@ mod tests {
     #[test]
     fn unreclaimed_is_bounded() {
         conformance::unreclaimed_is_bounded::<Hp>(2_000);
+    }
+
+    #[test]
+    fn orphan_adoption() {
+        conformance::orphan_adoption_reclaims_exited_threads_blocks::<Hp>(true);
     }
 
     #[test]

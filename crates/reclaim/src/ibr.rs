@@ -20,7 +20,8 @@ use wfe_atomics::CachePadded;
 use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
 use crate::registry::ThreadRegistry;
-use crate::retired::{OrphanList, RetiredList};
+use crate::retired::{OrphanStack, RetiredBatch};
+use crate::scan::IntervalSnapshot;
 use crate::slots::SlotArray;
 use crate::stats::{Counters, SmrStats};
 
@@ -32,7 +33,7 @@ pub struct Ibr2Ge {
     config: ReclaimerConfig,
     registry: ThreadRegistry,
     counters: Counters,
-    orphans: OrphanList,
+    orphans: OrphanStack,
     global_era: CachePadded<AtomicU64>,
     /// `max_threads × 2`: per-thread `[lower, upper]` interval (`ERA_INF` = idle).
     reservations: SlotArray,
@@ -45,20 +46,18 @@ impl Ibr2Ge {
         self.global_era.load(Ordering::Acquire)
     }
 
-    /// A block may be freed when its lifespan overlaps no active interval.
-    fn can_delete(&self, block: *mut BlockHeader) -> bool {
-        let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
+    /// Snapshots every active `[lower, upper]` interval once per cleanup
+    /// pass; the per-block overlap test then runs without atomic loads.
+    fn fill_snapshot(&self, snapshot: &mut IntervalSnapshot) {
+        snapshot.clear();
         for thread in 0..self.reservations.threads() {
             let lower = self.reservations.get(thread, LOWER).load(Ordering::Acquire);
             if lower == ERA_INF {
                 continue;
             }
             let upper = self.reservations.get(thread, UPPER).load(Ordering::Acquire);
-            if alloc_era <= upper && retire_era >= lower {
-                return false;
-            }
+            snapshot.insert(lower, upper);
         }
-        true
     }
 }
 
@@ -69,22 +68,23 @@ impl Reclaimer for Ibr2Ge {
         Arc::new(Self {
             registry: ThreadRegistry::new(config.max_threads),
             counters: Counters::new(),
-            orphans: OrphanList::new(),
+            orphans: OrphanStack::new(),
             global_era: CachePadded::new(AtomicU64::new(1)),
             reservations: SlotArray::new(config.max_threads, 2, ERA_INF),
             config,
         })
     }
 
-    fn register(self: &Arc<Self>) -> IbrHandle {
-        let tid = self.registry.acquire();
-        IbrHandle {
+    fn try_register(self: &Arc<Self>) -> Option<IbrHandle> {
+        let tid = self.registry.try_acquire()?;
+        Some(IbrHandle {
             domain: Arc::clone(self),
             tid,
-            retired: RetiredList::new(),
-            retire_counter: 0,
+            retired: RetiredBatch::new(),
+            snapshot: IntervalSnapshot::new(),
+            since_cleanup: 0,
             alloc_counter: 0,
-        }
+        })
     }
 
     fn name() -> &'static str {
@@ -125,16 +125,29 @@ impl core::fmt::Debug for Ibr2Ge {
 pub struct IbrHandle {
     domain: Arc<Ibr2Ge>,
     tid: usize,
-    retired: RetiredList,
-    retire_counter: usize,
+    retired: RetiredBatch,
+    /// Reusable interval snapshot (the batch scan scratch).
+    snapshot: IntervalSnapshot,
+    /// Retirements since the last cleanup pass.
+    since_cleanup: usize,
     alloc_counter: usize,
 }
 
 impl IbrHandle {
+    /// One cleanup pass of the batch scan protocol
+    /// ([`crate::retired::cleanup_pass`]).
     fn cleanup(&mut self) {
+        self.since_cleanup = 0;
         let domain = &self.domain;
-        let freed = unsafe { self.retired.scan(|block| domain.can_delete(block)) };
-        domain.counters.on_free(freed as u64);
+        unsafe {
+            crate::retired::cleanup_pass(
+                &mut self.retired,
+                &domain.orphans,
+                &domain.counters,
+                &mut self.snapshot,
+                |snapshot| domain.fill_snapshot(snapshot),
+            );
+        }
     }
 }
 
@@ -187,8 +200,8 @@ unsafe impl RawHandle for IbrHandle {
         (*block).retire_era.store(era, Ordering::Release);
         self.retired.push(block);
         self.domain.counters.on_retire();
-        self.retire_counter += 1;
-        if self.retire_counter % self.domain.config.cleanup_freq == 0 {
+        self.since_cleanup += 1;
+        if self.since_cleanup >= self.domain.config.cleanup_freq {
             if (*block).retire_era() == self.domain.era() {
                 self.domain.global_era.fetch_add(1, Ordering::AcqRel);
             }
@@ -219,7 +232,9 @@ impl Drop for IbrHandle {
     fn drop(&mut self) {
         self.end_op();
         self.cleanup();
-        self.domain.orphans.adopt(&mut self.retired);
+        // Whatever the final pass could not free is parked on the orphan
+        // stack; the next live thread's cleanup pass adopts it.
+        self.domain.orphans.push(self.retired.take());
         self.domain.registry.release(self.tid);
     }
 }
@@ -254,6 +269,11 @@ mod tests {
     #[test]
     fn concurrent_stack_stress() {
         conformance::concurrent_stack_stress::<Ibr2Ge>(4, 2_000);
+    }
+
+    #[test]
+    fn orphan_adoption() {
+        conformance::orphan_adoption_reclaims_exited_threads_blocks::<Ibr2Ge>(true);
     }
 
     #[test]

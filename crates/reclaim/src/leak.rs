@@ -5,8 +5,9 @@
 //! (no reclamation overhead whatsoever) at the cost of unbounded memory.
 //!
 //! To keep the test suite leak-free, retired blocks are parked on the domain
-//! and freed when the domain itself is dropped; during the measured run this
-//! behaves exactly like leaking.
+//! (a dropping handle pushes its batch onto the orphan stack) and freed when
+//! the domain itself is dropped; during the measured run this behaves exactly
+//! like leaking — live threads never run a cleanup pass, so they never adopt.
 
 use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -14,7 +15,7 @@ use std::sync::Arc;
 use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::BlockHeader;
 use crate::registry::ThreadRegistry;
-use crate::retired::{OrphanList, RetiredList};
+use crate::retired::{OrphanStack, RetiredBatch};
 use crate::stats::{Counters, SmrStats};
 
 /// The leak-memory domain.
@@ -22,7 +23,7 @@ pub struct Leak {
     config: ReclaimerConfig,
     registry: ThreadRegistry,
     counters: Counters,
-    orphans: OrphanList,
+    orphans: OrphanStack,
 }
 
 impl Reclaimer for Leak {
@@ -32,18 +33,18 @@ impl Reclaimer for Leak {
         Arc::new(Self {
             registry: ThreadRegistry::new(config.max_threads),
             counters: Counters::new(),
-            orphans: OrphanList::new(),
+            orphans: OrphanStack::new(),
             config,
         })
     }
 
-    fn register(self: &Arc<Self>) -> LeakHandle {
-        let tid = self.registry.acquire();
-        LeakHandle {
+    fn try_register(self: &Arc<Self>) -> Option<LeakHandle> {
+        let tid = self.registry.try_acquire()?;
+        Some(LeakHandle {
             domain: Arc::clone(self),
             tid,
-            retired: RetiredList::new(),
-        }
+            retired: RetiredBatch::new(),
+        })
     }
 
     fn name() -> &'static str {
@@ -83,7 +84,7 @@ impl core::fmt::Debug for Leak {
 pub struct LeakHandle {
     domain: Arc<Leak>,
     tid: usize,
-    retired: RetiredList,
+    retired: RetiredBatch,
 }
 
 unsafe impl RawHandle for LeakHandle {
@@ -128,7 +129,7 @@ unsafe impl RawHandle for LeakHandle {
 
 impl Drop for LeakHandle {
     fn drop(&mut self) {
-        self.domain.orphans.adopt(&mut self.retired);
+        self.domain.orphans.push(self.retired.take());
         self.domain.registry.release(self.tid);
     }
 }
@@ -158,6 +159,11 @@ mod tests {
     #[test]
     fn concurrent_stack_stress() {
         conformance::concurrent_stack_stress::<Leak>(4, 2_000);
+    }
+
+    #[test]
+    fn orphans_wait_for_domain_drop() {
+        conformance::orphan_adoption_reclaims_exited_threads_blocks::<Leak>(false);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod leak;
 pub mod ptr;
 pub mod registry;
 pub mod retired;
+pub mod scan;
 pub mod slots;
 pub mod stats;
 

@@ -5,8 +5,14 @@
 //! each registered thread a dense index into the per-thread reservation
 //! arrays. The registry hands out those indices and recycles them when a
 //! thread's handle is dropped.
+//!
+//! Acquisition starts from a rotating per-acquire hint instead of linearly
+//! scanning from slot 0, so a burst of registrations (the cold-start pattern
+//! of every benchmark run) is O(1) per thread uncontended: each acquire
+//! probes "its own" slot first instead of stampeding over the slots already
+//! claimed by earlier threads.
 
-use core::sync::atomic::{AtomicBool, Ordering};
+use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use wfe_atomics::CachePadded;
 
@@ -14,6 +20,8 @@ use wfe_atomics::CachePadded;
 #[derive(Debug)]
 pub struct ThreadRegistry {
     slots: Box<[CachePadded<AtomicBool>]>,
+    /// Rotating start hint for the next acquire.
+    hint: CachePadded<AtomicUsize>,
 }
 
 impl ThreadRegistry {
@@ -24,6 +32,7 @@ impl ThreadRegistry {
             slots: (0..max_threads)
                 .map(|_| CachePadded::new(AtomicBool::new(false)))
                 .collect(),
+            hint: CachePadded::new(AtomicUsize::new(0)),
         }
     }
 
@@ -32,28 +41,46 @@ impl ThreadRegistry {
         self.slots.len()
     }
 
+    /// Claims a free slot, or returns `None` when every slot is taken, so
+    /// callers can degrade gracefully (shed the thread, queue the work)
+    /// instead of panicking.
+    ///
+    /// The probe starts at a rotating hint and wraps around, so concurrent
+    /// acquires spread over distinct slots and the uncontended cost is one
+    /// load plus one CAS.
+    pub fn try_acquire(&self) -> Option<usize> {
+        let capacity = self.slots.len();
+        let start = self.hint.fetch_add(1, Ordering::Relaxed) % capacity;
+        for probe in 0..capacity {
+            let idx = (start + probe) % capacity;
+            let slot = &self.slots[idx];
+            if !slot.load(Ordering::Relaxed)
+                && slot
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return Some(idx);
+            }
+        }
+        None
+    }
+
     /// Claims a free slot.
     ///
     /// # Panics
     ///
     /// Panics if more than `max_threads` handles are alive simultaneously —
     /// the same error condition the original C++ schemes treat as a
-    /// configuration bug.
+    /// configuration bug. Use [`try_acquire`](Self::try_acquire) to handle
+    /// exhaustion without panicking.
     pub fn acquire(&self) -> usize {
-        for (idx, slot) in self.slots.iter().enumerate() {
-            if !slot.load(Ordering::Relaxed)
-                && slot
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
-                    .is_ok()
-            {
-                return idx;
-            }
-        }
-        panic!(
-            "thread registry exhausted: more than {} concurrent handles; \
-             raise ReclaimerConfig::max_threads",
-            self.slots.len()
-        );
+        self.try_acquire().unwrap_or_else(|| {
+            panic!(
+                "thread registry exhausted: more than {} concurrent handles; \
+                 raise ReclaimerConfig::max_threads",
+                self.slots.len()
+            )
+        })
     }
 
     /// Returns a slot to the free pool.
@@ -79,17 +106,41 @@ mod tests {
 
     #[test]
     fn acquire_release_recycles_slots() {
-        let reg = ThreadRegistry::new(4);
+        let reg = ThreadRegistry::new(2);
         let a = reg.acquire();
         let b = reg.acquire();
         assert_ne!(a, b);
         assert_eq!(reg.registered(), 2);
         reg.release(a);
+        // With the registry full except for `a`, the wrapping probe must find
+        // it again regardless of where the hint points.
         let c = reg.acquire();
-        assert_eq!(c, a, "released slot is reused");
+        assert_eq!(c, a, "released slot is found by the wrapping probe");
         reg.release(b);
         reg.release(c);
         assert_eq!(reg.registered(), 0);
+    }
+
+    #[test]
+    fn rotating_hint_spreads_cold_start_acquires() {
+        // A fresh registry hands out 0, 1, 2, ... because each acquire's hint
+        // points at the next untouched slot — the O(1) cold-start path.
+        let reg = ThreadRegistry::new(4);
+        assert_eq!(reg.acquire(), 0);
+        assert_eq!(reg.acquire(), 1);
+        assert_eq!(reg.acquire(), 2);
+        assert_eq!(reg.acquire(), 3);
+    }
+
+    #[test]
+    fn try_acquire_returns_none_when_exhausted() {
+        let reg = ThreadRegistry::new(2);
+        let a = reg.try_acquire().unwrap();
+        let b = reg.try_acquire().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.try_acquire(), None, "no panic, graceful degradation");
+        reg.release(a);
+        assert_eq!(reg.try_acquire(), Some(a), "released slot usable again");
     }
 
     #[test]

@@ -1,31 +1,42 @@
-//! Per-thread retired lists and the global orphan list.
+//! Per-thread retired batches and the lock-free orphan stack.
 //!
-//! Retired blocks wait on an intrusive, owner-thread-only list until a
-//! `cleanup()` pass proves no reservation can still reach them. When a thread
-//! handle is dropped with blocks still pending, the remainder is parked on the
-//! owning domain's *orphan list* and freed when the domain itself is dropped
-//! (at which point no reservations exist any more). This mirrors what the
-//! reference implementations do when a thread detaches.
+//! Retired blocks wait on an intrusive, owner-thread-only batch until a
+//! cleanup pass drains the batch against a reservation snapshot
+//! ([`crate::scan::ReservationSet`]) taken once per pass. When a thread
+//! handle is dropped with blocks still pending, the leftover batch is pushed
+//! onto the owning domain's [`OrphanStack`] — a lock-free Treiber stack of
+//! whole batches — and the next live thread's cleanup pass *adopts* it, so
+//! memory retired by exited threads is reclaimed while the domain is still
+//! running instead of waiting for domain teardown.
 
 use core::ptr;
-use std::sync::Mutex;
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use wfe_atomics::AtomicPair;
 
 use crate::block::{free_block, BlockHeader};
+use crate::scan::ReservationSet;
+use crate::stats::Counters;
 
-/// Owner-thread-only list of retired blocks, linked through the block
+/// Owner-thread-only batch of retired blocks, linked through the block
 /// header's `next_retired` field.
+///
+/// `retire` appends; every `cleanup_freq` retirements the owning handle
+/// drains the whole batch against one reservation snapshot
+/// ([`RetiredBatch::scan_against`]). Blocks that survive stay on the batch
+/// for the next pass.
 #[derive(Debug)]
-pub struct RetiredList {
+pub struct RetiredBatch {
     head: *mut BlockHeader,
     len: usize,
 }
 
-// The list is owned by exactly one thread at a time; sending it (e.g. into an
-// orphan list) transfers that ownership.
-unsafe impl Send for RetiredList {}
+// The batch is owned by exactly one thread at a time; sending it (e.g. onto
+// the orphan stack) transfers that ownership.
+unsafe impl Send for RetiredBatch {}
 
-impl RetiredList {
-    /// Creates an empty list.
+impl RetiredBatch {
+    /// Creates an empty batch.
     pub const fn new() -> Self {
         Self {
             head: ptr::null_mut(),
@@ -33,13 +44,13 @@ impl RetiredList {
         }
     }
 
-    /// Number of blocks currently parked on the list.
+    /// Number of blocks currently parked on the batch.
     #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
-    /// Whether the list is empty.
+    /// Whether the batch is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
@@ -50,34 +61,41 @@ impl RetiredList {
     /// # Safety
     ///
     /// `block` must be a valid, retired, unreachable block owned by the caller
-    /// and not present on any other list.
+    /// and not present on any other batch.
     pub unsafe fn push(&mut self, block: *mut BlockHeader) {
         (*block).next_retired = self.head;
         self.head = block;
         self.len += 1;
     }
 
-    /// Scans the list, freeing every block for which `can_free` returns true.
+    /// Drains the batch against a reservation snapshot: every block the
+    /// snapshot does not cover is freed, the rest are kept for the next pass.
     /// Returns the number of blocks freed.
+    ///
+    /// This is the batch scan protocol: the caller takes the snapshot **once**
+    /// (after every block in the batch has been retired — for adopted batches,
+    /// after popping them from the orphan stack) and the per-block test runs
+    /// against the snapshot without touching shared memory.
     ///
     /// # Safety
     ///
-    /// `can_free(block)` must only return `true` when no thread can still hold
-    /// or acquire a reference to `block` (the scheme's safety condition).
-    pub unsafe fn scan(&mut self, mut can_free: impl FnMut(*mut BlockHeader) -> bool) -> usize {
+    /// `snapshot` must have been filled from the domain's reservation tables
+    /// *after* every block on this batch was retired, so that any reservation
+    /// still protecting a block is visible in it.
+    pub unsafe fn scan_against<S: ReservationSet>(&mut self, snapshot: &S) -> usize {
         let mut kept_head: *mut BlockHeader = ptr::null_mut();
         let mut kept_len = 0usize;
         let mut freed = 0usize;
         let mut cur = self.head;
         while !cur.is_null() {
             let next = (*cur).next_retired;
-            if can_free(cur) {
-                free_block(cur);
-                freed += 1;
-            } else {
+            if snapshot.covers(&*cur) {
                 (*cur).next_retired = kept_head;
                 kept_head = cur;
                 kept_len += 1;
+            } else {
+                free_block(cur);
+                freed += 1;
             }
             cur = next;
         }
@@ -86,18 +104,28 @@ impl RetiredList {
         freed
     }
 
-    /// Unconditionally frees every block on the list. Returns the count.
+    /// Unconditionally frees every block on the batch. Returns the count.
     ///
     /// # Safety
     ///
     /// No thread may still hold or acquire references to any block on the
-    /// list (e.g. the owning domain is being dropped).
+    /// batch (e.g. the owning domain is being dropped).
     pub unsafe fn free_all(&mut self) -> usize {
-        self.scan(|_| true)
+        let mut freed = 0usize;
+        let mut cur = self.head;
+        while !cur.is_null() {
+            let next = (*cur).next_retired;
+            free_block(cur);
+            freed += 1;
+            cur = next;
+        }
+        self.head = ptr::null_mut();
+        self.len = 0;
+        freed
     }
 
     /// Moves every block from `other` onto `self`.
-    pub fn append(&mut self, other: &mut RetiredList) {
+    pub fn append(&mut self, other: &mut RetiredBatch) {
         // Splice `other` in front of our head.
         if other.head.is_null() {
             return;
@@ -114,63 +142,258 @@ impl RetiredList {
         other.head = ptr::null_mut();
         other.len = 0;
     }
+
+    /// Takes the whole batch, leaving `self` empty.
+    pub fn take(&mut self) -> RetiredBatch {
+        RetiredBatch {
+            head: core::mem::replace(&mut self.head, ptr::null_mut()),
+            len: core::mem::replace(&mut self.len, 0),
+        }
+    }
+
+    /// Decomposes the batch into its raw parts (for the orphan stack).
+    fn into_raw(mut self) -> (*mut BlockHeader, usize) {
+        let parts = (self.head, self.len);
+        self.head = ptr::null_mut();
+        self.len = 0;
+        parts
+    }
+
+    /// Reassembles a batch from raw parts produced by [`Self::into_raw`].
+    unsafe fn from_raw(head: *mut BlockHeader, len: usize) -> Self {
+        Self { head, len }
+    }
 }
 
-impl Default for RetiredList {
+impl Default for RetiredBatch {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Drop for RetiredList {
+impl Drop for RetiredBatch {
     fn drop(&mut self) {
         debug_assert!(
             self.is_empty(),
-            "RetiredList dropped with {} blocks still pending; \
-             they must be moved to an orphan list or freed first",
+            "RetiredBatch dropped with {} blocks still pending; \
+             they must be pushed onto an orphan stack or freed first",
             self.len
         );
     }
 }
 
-/// Blocks abandoned by exited threads, freed when the domain is dropped.
-#[derive(Debug, Default)]
-pub struct OrphanList {
-    inner: Mutex<RetiredList>,
+/// One cleanup pass of the batch scan protocol, shared by every scheme's
+/// handle: pop an orphaned batch (if any), take the reservation snapshot once
+/// via `fill`, then drain the own batch and the adopted batch against that
+/// single snapshot, crediting `counters` (frees and adoption).
+///
+/// The orphan batch is popped *before* `fill` runs so that every adopted
+/// block was retired before the snapshot's loads — the batch scan safety
+/// condition. Adopted survivors are appended to `retired` and rescanned on
+/// the owner's next pass.
+///
+/// # Safety
+///
+/// Same contract as [`RetiredBatch::scan_against`]: `fill` must fill
+/// `snapshot` from the domain's reservation tables such that any reservation
+/// still protecting a block on `retired` (or on the popped orphan batch) is
+/// visible in it.
+pub unsafe fn cleanup_pass<S: ReservationSet>(
+    retired: &mut RetiredBatch,
+    orphans: &OrphanStack,
+    counters: &Counters,
+    snapshot: &mut S,
+    fill: impl FnOnce(&mut S),
+) {
+    let adopted = orphans.pop();
+    fill(snapshot);
+    let freed = retired.scan_against(snapshot);
+    counters.on_free(freed as u64);
+    if let Some(mut batch) = adopted {
+        let freed = batch.scan_against(snapshot);
+        counters.on_free(freed as u64);
+        counters.on_adoption(freed as u64);
+        retired.append(&mut batch);
+    }
 }
 
-impl OrphanList {
-    /// Creates an empty orphan list.
+/// One node of the orphan stack: the raw parts of a parked batch plus the
+/// intrusive `next` link. Nodes are *type-stable*: once allocated they are
+/// recycled through a freelist and only deallocated when the stack itself is
+/// dropped, so a racing `pop` may always dereference a node it read from
+/// `head` (the versioned CAS then rejects stale observations).
+struct OrphanNode {
+    batch_head: *mut BlockHeader,
+    batch_len: usize,
+    /// `*mut OrphanNode` as usize; atomic because a slow `pop` may read it
+    /// while the node is concurrently recycled for a new `push`.
+    next: AtomicUsize,
+}
+
+/// Lock-free Treiber stack of whole retired batches abandoned by exited
+/// threads.
+///
+/// A dropping handle [`push`](Self::push)es its leftover batch; any live
+/// thread's cleanup pass [`pop`](Self::pop)s one batch and adopts it (scans
+/// it against its freshly taken reservation snapshot and keeps the
+/// survivors). Both ends are a versioned wide-CAS (`AtomicPair`), so the
+/// stack is lock-free and ABA-safe; whatever is still parked when the domain
+/// drops is freed by [`free_all`](Self::free_all).
+pub struct OrphanStack {
+    /// `(node ptr, version)` — the version counter makes the CAS ABA-safe.
+    head: AtomicPair,
+    /// Freelist of spare nodes, same encoding. Keeps nodes type-stable.
+    spares: AtomicPair,
+    /// Blocks currently parked (approximate between operations, exact when
+    /// quiescent); used by stats and tests.
+    blocks: AtomicU64,
+}
+
+unsafe impl Send for OrphanStack {}
+unsafe impl Sync for OrphanStack {}
+
+impl OrphanStack {
+    /// Creates an empty orphan stack.
     pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Parks the contents of `list` on the orphan list.
-    pub fn adopt(&self, list: &mut RetiredList) {
-        if list.is_empty() {
-            return;
+        Self {
+            head: AtomicPair::new(0, 0),
+            spares: AtomicPair::new(0, 0),
+            blocks: AtomicU64::new(0),
         }
-        self.inner.lock().unwrap().append(list);
     }
 
-    /// Number of orphaned blocks.
+    /// Number of orphaned blocks currently parked.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.blocks.load(Ordering::Acquire) as usize
     }
 
-    /// Whether there are no orphaned blocks.
+    /// Whether no blocks are parked.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Frees every orphaned block. Returns the count.
+    /// Pops one node off `list` (either the head stack or the spare
+    /// freelist). The versioned CAS makes this ABA-safe even though nodes are
+    /// recycled, and the type-stable allocation makes the racy `next` read
+    /// sound.
+    fn pop_node(list: &AtomicPair) -> Option<*mut OrphanNode> {
+        loop {
+            let (head, version) = list.load();
+            if head == 0 {
+                return None;
+            }
+            let node = head as *mut OrphanNode;
+            // SAFETY: nodes are never deallocated while the stack lives, so
+            // the read is sound even if `node` was concurrently popped; the
+            // versioned CAS below fails in that case and we retry.
+            let next = unsafe { (*node).next.load(Ordering::Relaxed) };
+            if list
+                .compare_exchange((head, version), (next as u64, version + 1))
+                .is_ok()
+            {
+                return Some(node);
+            }
+        }
+    }
+
+    /// Pushes `node` onto `list`.
+    fn push_node(list: &AtomicPair, node: *mut OrphanNode) {
+        loop {
+            let (head, version) = list.load();
+            unsafe { (*node).next.store(head as usize, Ordering::Relaxed) };
+            if list
+                .compare_exchange((head, version), (node as u64, version + 1))
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Parks `batch` on the stack (no-op for an empty batch).
+    pub fn push(&self, batch: RetiredBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        let (batch_head, batch_len) = batch.into_raw();
+        let node = Self::pop_node(&self.spares).unwrap_or_else(|| {
+            Box::into_raw(Box::new(OrphanNode {
+                batch_head: ptr::null_mut(),
+                batch_len: 0,
+                next: AtomicUsize::new(0),
+            }))
+        });
+        unsafe {
+            (*node).batch_head = batch_head;
+            (*node).batch_len = batch_len;
+        }
+        self.blocks.fetch_add(batch_len as u64, Ordering::AcqRel);
+        Self::push_node(&self.head, node);
+    }
+
+    /// Pops one parked batch for adoption, if any.
+    ///
+    /// The caller must take its reservation snapshot **after** this returns,
+    /// so that any reservation still protecting an adopted block is observed
+    /// by the snapshot.
+    pub fn pop(&self) -> Option<RetiredBatch> {
+        // Opportunistic empty check: the common no-orphans cleanup pass must
+        // not pay a wide-CAS RMW on the shared head line. A batch whose push
+        // is in flight may be missed — adoption is opportunistic, the next
+        // pass will see it.
+        if self.blocks.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let node = Self::pop_node(&self.head)?;
+        let batch = unsafe { RetiredBatch::from_raw((*node).batch_head, (*node).batch_len) };
+        self.blocks.fetch_sub(batch.len() as u64, Ordering::AcqRel);
+        Self::push_node(&self.spares, node);
+        Some(batch)
+    }
+
+    /// Frees every parked block. Returns the count.
     ///
     /// # Safety
     ///
     /// Callable only when no thread can still reach the orphaned blocks
     /// (typically from the domain's `Drop`).
     pub unsafe fn free_all(&self) -> usize {
-        self.inner.lock().unwrap().free_all()
+        let mut freed = 0usize;
+        while let Some(mut batch) = self.pop() {
+            freed += batch.free_all();
+        }
+        freed
+    }
+}
+
+impl Default for OrphanStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for OrphanStack {
+    fn drop(&mut self) {
+        debug_assert!(
+            self.is_empty(),
+            "OrphanStack dropped with {} blocks still parked; \
+             the owning domain must call free_all() first",
+            self.len()
+        );
+        // Deallocate the type-stable nodes of both lists.
+        for list in [&self.head, &self.spares] {
+            while let Some(node) = Self::pop_node(list) {
+                drop(unsafe { Box::from_raw(node) });
+            }
+        }
+    }
+}
+
+impl core::fmt::Debug for OrphanStack {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("OrphanStack")
+            .field("blocks", &self.len())
+            .finish()
     }
 }
 
@@ -178,6 +401,7 @@ impl OrphanList {
 mod tests {
     use super::*;
     use crate::block::Linked;
+    use crate::scan::HazardSnapshot;
     use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
     use std::sync::Arc;
 
@@ -195,60 +419,132 @@ mod tests {
     #[test]
     fn push_scan_keep_and_free() {
         let drops = Arc::new(AtomicUsize::new(0));
-        let mut list = RetiredList::new();
+        let mut batch = RetiredBatch::new();
         let a = make(&drops);
         let b = make(&drops);
         let c = make(&drops);
         unsafe {
-            list.push(a);
-            list.push(b);
-            list.push(c);
+            batch.push(a);
+            batch.push(b);
+            batch.push(c);
         }
-        assert_eq!(list.len(), 3);
-        // Free only block `b`.
-        let freed = unsafe { list.scan(|blk| blk == b) };
+        assert_eq!(batch.len(), 3);
+        // Snapshot covering `a` and `c`: only `b` may be freed.
+        let mut snap = HazardSnapshot::new();
+        snap.insert(a as usize);
+        snap.insert(c as usize);
+        snap.seal();
+        let freed = unsafe { batch.scan_against(&snap) };
         assert_eq!(freed, 1);
-        assert_eq!(list.len(), 2);
+        assert_eq!(batch.len(), 2);
         assert_eq!(drops.load(SeqCst), 1);
-        let freed = unsafe { list.free_all() };
+        let freed = unsafe { batch.free_all() };
         assert_eq!(freed, 2);
         assert_eq!(drops.load(SeqCst), 3);
-        assert!(list.is_empty());
+        assert!(batch.is_empty());
     }
 
     #[test]
     fn append_moves_all_blocks() {
         let drops = Arc::new(AtomicUsize::new(0));
-        let mut a_list = RetiredList::new();
-        let mut b_list = RetiredList::new();
+        let mut a_batch = RetiredBatch::new();
+        let mut b_batch = RetiredBatch::new();
         unsafe {
-            a_list.push(make(&drops));
-            b_list.push(make(&drops));
-            b_list.push(make(&drops));
+            a_batch.push(make(&drops));
+            b_batch.push(make(&drops));
+            b_batch.push(make(&drops));
         }
-        a_list.append(&mut b_list);
-        assert_eq!(a_list.len(), 3);
-        assert!(b_list.is_empty());
-        a_list.append(&mut b_list); // appending an empty list is a no-op
-        assert_eq!(a_list.len(), 3);
-        unsafe { a_list.free_all() };
+        a_batch.append(&mut b_batch);
+        assert_eq!(a_batch.len(), 3);
+        assert!(b_batch.is_empty());
+        a_batch.append(&mut b_batch); // appending an empty batch is a no-op
+        assert_eq!(a_batch.len(), 3);
+        let taken = a_batch.take();
+        assert!(a_batch.is_empty());
+        let mut taken = taken;
+        unsafe { taken.free_all() };
         assert_eq!(drops.load(SeqCst), 3);
     }
 
     #[test]
-    fn orphans_are_freed_on_demand() {
+    fn orphan_stack_push_pop_is_lifo_batches() {
         let drops = Arc::new(AtomicUsize::new(0));
-        let orphans = OrphanList::new();
-        let mut list = RetiredList::new();
+        let stack = OrphanStack::new();
+        let mut first = RetiredBatch::new();
+        let mut second = RetiredBatch::new();
         unsafe {
-            list.push(make(&drops));
-            list.push(make(&drops));
+            first.push(make(&drops));
+            second.push(make(&drops));
+            second.push(make(&drops));
         }
-        orphans.adopt(&mut list);
-        assert!(list.is_empty());
-        assert_eq!(orphans.len(), 2);
-        assert_eq!(unsafe { orphans.free_all() }, 2);
-        assert!(orphans.is_empty());
-        assert_eq!(drops.load(SeqCst), 2);
+        stack.push(first);
+        stack.push(second);
+        assert_eq!(stack.len(), 3);
+        let mut adopted = stack.pop().expect("a batch is parked");
+        assert_eq!(adopted.len(), 2, "batches pop LIFO");
+        assert_eq!(stack.len(), 1);
+        unsafe { adopted.free_all() };
+        assert_eq!(unsafe { stack.free_all() }, 1);
+        assert!(stack.is_empty());
+        assert!(stack.pop().is_none());
+        assert_eq!(drops.load(SeqCst), 3);
+    }
+
+    #[test]
+    fn orphan_stack_recycles_nodes() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let stack = OrphanStack::new();
+        for _ in 0..10 {
+            let mut batch = RetiredBatch::new();
+            unsafe { batch.push(make(&drops)) };
+            stack.push(batch);
+            let mut adopted = stack.pop().unwrap();
+            unsafe { adopted.free_all() };
+        }
+        assert!(stack.is_empty());
+        assert_eq!(drops.load(SeqCst), 10);
+    }
+
+    #[test]
+    fn empty_batch_push_is_a_noop() {
+        let stack = OrphanStack::new();
+        stack.push(RetiredBatch::new());
+        assert!(stack.pop().is_none());
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_blocks() {
+        const THREADS: usize = 4;
+        const BATCHES: usize = 200;
+        let drops = Arc::new(AtomicUsize::new(0));
+        let stack = Arc::new(OrphanStack::new());
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let drops = Arc::clone(&drops);
+                let stack = Arc::clone(&stack);
+                scope.spawn(move || {
+                    for i in 0..BATCHES {
+                        let mut batch = RetiredBatch::new();
+                        unsafe {
+                            batch.push(make(&drops));
+                            batch.push(make(&drops));
+                        }
+                        stack.push(batch);
+                        if i % 2 == 0 {
+                            if let Some(mut adopted) = stack.pop() {
+                                unsafe { adopted.free_all() };
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let remaining = unsafe { stack.free_all() };
+        assert!(stack.is_empty());
+        assert_eq!(
+            drops.load(SeqCst),
+            THREADS * BATCHES * 2,
+            "every block freed exactly once (popped {remaining} at teardown)"
+        );
     }
 }

@@ -19,6 +19,11 @@ pub struct Counters {
     pub retired: CachePadded<AtomicU64>,
     /// Number of retired blocks actually freed.
     pub freed: CachePadded<AtomicU64>,
+    /// Number of orphaned batches adopted from exited threads.
+    pub adopted_batches: CachePadded<AtomicU64>,
+    /// Number of blocks freed while scanning an adopted batch (a subset of
+    /// `freed`).
+    pub freed_via_adoption: CachePadded<AtomicU64>,
     /// Number of slow-path cycles taken (WFE only; 0 elsewhere).
     pub slow_path: CachePadded<AtomicU64>,
     /// Number of `help_thread` invocations (WFE only; 0 elsewhere).
@@ -51,6 +56,17 @@ impl Counters {
         }
     }
 
+    /// Records the adoption of one orphaned batch from which `freed` blocks
+    /// were reclaimed (the freed blocks must *also* be reported through
+    /// [`on_free`](Self::on_free) so `unreclaimed` stays consistent).
+    #[inline]
+    pub fn on_adoption(&self, freed: u64) {
+        self.adopted_batches.fetch_add(1, Ordering::Relaxed);
+        if freed != 0 {
+            self.freed_via_adoption.fetch_add(freed, Ordering::Relaxed);
+        }
+    }
+
     /// Records one slow-path entry (used by `wfe-core`).
     #[inline]
     pub fn on_slow_path(&self) {
@@ -72,6 +88,8 @@ impl Counters {
             retired,
             freed,
             unreclaimed: retired.saturating_sub(freed),
+            adopted_batches: self.adopted_batches.load(Ordering::Relaxed),
+            freed_via_adoption: self.freed_via_adoption.load(Ordering::Relaxed),
             slow_path: self.slow_path.load(Ordering::Relaxed),
             helps: self.helps.load(Ordering::Relaxed),
             era: current_era,
@@ -90,6 +108,10 @@ pub struct SmrStats {
     pub freed: u64,
     /// Retired blocks still waiting to be freed (`retired - freed`).
     pub unreclaimed: u64,
+    /// Orphaned batches adopted from exited threads.
+    pub adopted_batches: u64,
+    /// Blocks freed while scanning an adopted batch (a subset of `freed`).
+    pub freed_via_adoption: u64,
     /// Slow-path cycles taken (WFE only).
     pub slow_path: u64,
     /// `help_thread` calls performed (WFE only).
@@ -109,6 +131,8 @@ mod tests {
         c.on_alloc();
         c.on_retire();
         c.on_free(1);
+        c.on_adoption(1);
+        c.on_adoption(0);
         c.on_slow_path();
         c.on_help();
         let s = c.snapshot(42);
@@ -116,6 +140,8 @@ mod tests {
         assert_eq!(s.retired, 1);
         assert_eq!(s.freed, 1);
         assert_eq!(s.unreclaimed, 0);
+        assert_eq!(s.adopted_batches, 2);
+        assert_eq!(s.freed_via_adoption, 1);
         assert_eq!(s.slow_path, 1);
         assert_eq!(s.helps, 1);
         assert_eq!(s.era, 42);

@@ -8,7 +8,8 @@ use wfe_atomics::CachePadded;
 use wfe_reclaim::api::{Progress, Reclaimer, ReclaimerConfig};
 use wfe_reclaim::block::BlockHeader;
 use wfe_reclaim::registry::ThreadRegistry;
-use wfe_reclaim::retired::OrphanList;
+use wfe_reclaim::retired::OrphanStack;
+use wfe_reclaim::scan::{EraSnapshot, ReservationSet};
 use wfe_reclaim::slots::PairSlotArray;
 use wfe_reclaim::stats::{Counters, SmrStats};
 use wfe_reclaim::{ERA_INF, INVPTR};
@@ -40,7 +41,7 @@ pub struct Wfe {
     pub(crate) config: ReclaimerConfig,
     pub(crate) registry: ThreadRegistry,
     pub(crate) counters: Counters,
-    pub(crate) orphans: OrphanList,
+    pub(crate) orphans: OrphanStack,
     pub(crate) global_era: CachePadded<AtomicU64>,
     pub(crate) counter_start: CachePadded<AtomicU64>,
     pub(crate) counter_end: CachePadded<AtomicU64>,
@@ -73,38 +74,47 @@ impl Wfe {
         self.app_slots() + HANDOVER_SLOT_OFFSET
     }
 
-    /// `can_delete(blk, js, je)` from Figure 1/4: `true` when no reservation
-    /// in columns `js..je` covers the block's `[alloc_era, retire_era]`
-    /// lifespan.
-    pub(crate) fn can_delete(&self, block: *mut BlockHeader, js: usize, je: usize) -> bool {
-        let (alloc_era, retire_era) = unsafe { ((*block).alloc_era(), (*block).retire_era()) };
+    /// Snapshots one column range of the reservation table into `snapshot`
+    /// (eras only; the tag word is irrelevant to reclamation).
+    fn snapshot_columns(&self, snapshot: &mut EraSnapshot, js: usize, je: usize) {
+        snapshot.clear();
         for thread in 0..self.reservations.threads() {
             for slot in js..je {
-                let era = self
-                    .reservations
-                    .get(thread, slot)
-                    .load_first(Ordering::Acquire);
-                if era != ERA_INF && alloc_era <= era && retire_era >= era {
-                    return false;
-                }
+                snapshot.insert(
+                    self.reservations
+                        .get(thread, slot)
+                        .load_first(Ordering::Acquire),
+                );
             }
         }
-        true
+        snapshot.seal();
     }
 
-    /// The WFE `cleanup()` eligibility check for one retired block
-    /// (Figure 4, lines 55-67). The scan order — normal reservations, parent
-    /// pin, then (unless no slow path was in flight) hand-over pin followed by
-    /// a re-scan of the normal reservations — is what Lemmas 4 and 5 rely on.
-    pub(crate) fn can_free(&self, block: *mut BlockHeader) -> bool {
+    /// Takes the batch-scan snapshot for one `cleanup()` pass, preserving the
+    /// Figure-4 (lines 55-67) scan order at batch granularity: normal
+    /// reservations and parent pins first, then — unless no slow path was in
+    /// flight — the hand-over pins followed by a re-scan of the normal
+    /// reservations. Lemmas 4 and 5 rely on exactly this order; taking each
+    /// snapshot once per batch (instead of re-reading the table per block)
+    /// preserves it, because every block in the batch was retired before the
+    /// first snapshot load.
+    pub(crate) fn fill_snapshot(&self, snapshot: &mut WfeSnapshot) {
         let max_hes = self.app_slots();
+        // Figure 4, line 56: `counter_end` is read before any reservation.
         let counter_end = self.counter_end.load(Ordering::SeqCst);
-        if !self.can_delete(block, 0, max_hes) || !self.can_delete(block, max_hes, max_hes + 1) {
-            return false;
+        // Normal reservations + parent pins (columns 0..=max_hes).
+        self.snapshot_columns(&mut snapshot.primary, 0, max_hes + 1);
+        snapshot.quiescent = counter_end == self.counter_start.load(Ordering::SeqCst);
+        if snapshot.quiescent {
+            snapshot.handover.clear();
+            snapshot.recheck.clear();
+        } else {
+            // A slow path may be in flight: a helper may be handing a
+            // protected era over to a requester, so scan the hand-over pins
+            // and then the normal reservations *again*.
+            self.snapshot_columns(&mut snapshot.handover, max_hes + 1, max_hes + 2);
+            self.snapshot_columns(&mut snapshot.recheck, 0, max_hes);
         }
-        counter_end == self.counter_start.load(Ordering::SeqCst)
-            || (self.can_delete(block, max_hes + 1, max_hes + 2)
-                && self.can_delete(block, 0, max_hes))
     }
 
     /// `increment_era()` (Figure 4, lines 87-98): before advancing the global
@@ -202,6 +212,35 @@ impl Wfe {
     }
 }
 
+/// The WFE batch-scan scratch: three reusable era snapshots mirroring the
+/// three phases of the Figure-4 `cleanup()` eligibility check.
+#[derive(Debug, Default)]
+pub(crate) struct WfeSnapshot {
+    /// Normal reservations + parent pins, first pass.
+    primary: EraSnapshot,
+    /// Whether no slow-path cycle was in flight
+    /// (`counter_start == counter_end`) when the primary snapshot was taken.
+    quiescent: bool,
+    /// Hand-over pins (filled only when a slow path may be in flight).
+    handover: EraSnapshot,
+    /// Normal reservations, second pass (ditto).
+    recheck: EraSnapshot,
+}
+
+impl ReservationSet for WfeSnapshot {
+    fn covers(&self, block: &BlockHeader) -> bool {
+        let (alloc_era, retire_era) = (block.alloc_era(), block.retire_era());
+        if self.primary.covers_span(alloc_era, retire_era) {
+            return true;
+        }
+        if self.quiescent {
+            return false;
+        }
+        self.handover.covers_span(alloc_era, retire_era)
+            || self.recheck.covers_span(alloc_era, retire_era)
+    }
+}
+
 impl Reclaimer for Wfe {
     type Handle = WfeHandle;
 
@@ -217,7 +256,7 @@ impl Reclaimer for Wfe {
         Arc::new(Self {
             registry: ThreadRegistry::new(config.max_threads),
             counters: Counters::new(),
-            orphans: OrphanList::new(),
+            orphans: OrphanStack::new(),
             global_era: CachePadded::new(AtomicU64::new(1)),
             counter_start: CachePadded::new(AtomicU64::new(0)),
             counter_end: CachePadded::new(AtomicU64::new(0)),
@@ -231,9 +270,9 @@ impl Reclaimer for Wfe {
         })
     }
 
-    fn register(self: &Arc<Self>) -> WfeHandle {
-        let tid = self.registry.acquire();
-        WfeHandle::new(Arc::clone(self), tid)
+    fn try_register(self: &Arc<Self>) -> Option<WfeHandle> {
+        let tid = self.registry.try_acquire()?;
+        Some(WfeHandle::new(Arc::clone(self), tid))
     }
 
     fn name() -> &'static str {

@@ -6,17 +6,20 @@ use std::sync::Arc;
 
 use wfe_reclaim::api::RawHandle;
 use wfe_reclaim::block::BlockHeader;
-use wfe_reclaim::retired::RetiredList;
+use wfe_reclaim::retired::RetiredBatch;
 use wfe_reclaim::{ERA_INF, INVPTR};
 
-use crate::domain::Wfe;
+use crate::domain::{Wfe, WfeSnapshot};
 
 /// Per-thread Wait-Free Eras handle.
 pub struct WfeHandle {
     domain: Arc<Wfe>,
     tid: usize,
-    retired: RetiredList,
-    retire_counter: usize,
+    retired: RetiredBatch,
+    /// Reusable reservation snapshot (the batch scan scratch).
+    snapshot: WfeSnapshot,
+    /// Retirements since the last cleanup pass.
+    since_cleanup: usize,
     alloc_counter: usize,
 }
 
@@ -25,8 +28,9 @@ impl WfeHandle {
         Self {
             domain,
             tid,
-            retired: RetiredList::new(),
-            retire_counter: 0,
+            retired: RetiredBatch::new(),
+            snapshot: WfeSnapshot::default(),
+            since_cleanup: 0,
             alloc_counter: 0,
         }
     }
@@ -36,10 +40,20 @@ impl WfeHandle {
         &self.domain
     }
 
+    /// One cleanup pass of the batch scan protocol (the shared
+    /// `wfe_reclaim::retired::cleanup_pass` with the Figure-4 snapshot).
     fn cleanup(&mut self) {
+        self.since_cleanup = 0;
         let domain = &self.domain;
-        let freed = unsafe { self.retired.scan(|block| domain.can_free(block)) };
-        domain.counters.on_free(freed as u64);
+        unsafe {
+            wfe_reclaim::retired::cleanup_pass(
+                &mut self.retired,
+                &domain.orphans,
+                &domain.counters,
+                &mut self.snapshot,
+                |snapshot| domain.fill_snapshot(snapshot),
+            );
+        }
     }
 
     /// The slow path of `get_protected` (Figure 4, lines 26-53): publish a
@@ -171,8 +185,8 @@ unsafe impl RawHandle for WfeHandle {
         (*block).retire_era.store(era, Ordering::Release);
         self.retired.push(block);
         domain.counters.on_retire();
-        self.retire_counter += 1;
-        if self.retire_counter % domain.config.cleanup_freq == 0 {
+        self.since_cleanup += 1;
+        if self.since_cleanup >= domain.config.cleanup_freq {
             // Figure 4, lines 80-82: advance the clock (helping first) only if
             // it has not moved since this block was stamped, then scan.
             if (*block).retire_era() == domain.era() {
@@ -215,7 +229,9 @@ impl Drop for WfeHandle {
     fn drop(&mut self) {
         self.clear();
         self.cleanup();
-        self.domain.orphans.adopt(&mut self.retired);
+        // Whatever the final pass could not free is parked on the orphan
+        // stack; the next live thread's cleanup pass adopts it.
+        self.domain.orphans.push(self.retired.take());
         self.domain.registry.release(self.tid);
     }
 }
@@ -259,6 +275,11 @@ mod tests {
     #[test]
     fn unreclaimed_is_bounded() {
         conformance::unreclaimed_is_bounded::<Wfe>(4_000);
+    }
+
+    #[test]
+    fn orphan_adoption() {
+        conformance::orphan_adoption_reclaims_exited_threads_blocks::<Wfe>(true);
     }
 
     #[test]

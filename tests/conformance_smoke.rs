@@ -15,12 +15,15 @@ use wfe_suite::{CrTurnQueue, Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer, ReclaimerConf
 
 /// Instantiates the conformance battery for one scheme.
 ///
-/// `protection` and `bound` are opt-outs: `Leak` never reclaims, so "dropping
-/// the protection allows reclamation" and the unreclaimed-memory bound do not
-/// apply to it; `Ebr`/`Ibr2Ge` get no bound either (epoch advance is
-/// batched, so the single-threaded-churn bound is scheme-specific).
+/// `protection`, `bound` and `adoption` are opt-outs: `Leak` never reclaims,
+/// so "dropping the protection allows reclamation", the unreclaimed-memory
+/// bound and live orphan adoption do not apply to it (its orphans are instead
+/// asserted to survive until domain drop); `Ebr`/`Ibr2Ge` get no bound either
+/// (epoch advance is batched, so the single-threaded-churn bound is
+/// scheme-specific).
 macro_rules! conformance_smoke {
-    ($module:ident, $scheme:ty, protection: $protection:expr, bound: $bound:expr) => {
+    ($module:ident, $scheme:ty, protection: $protection:expr, bound: $bound:expr,
+     adoption: $adoption:expr) => {
         mod $module {
             use super::*;
 
@@ -52,16 +55,21 @@ macro_rules! conformance_smoke {
                     conformance::unreclaimed_is_bounded::<$scheme>(bound);
                 }
             }
+
+            #[test]
+            fn orphan_adoption_reclaims_exited_threads_blocks() {
+                conformance::orphan_adoption_reclaims_exited_threads_blocks::<$scheme>($adoption);
+            }
         }
     };
 }
 
-conformance_smoke!(ebr, Ebr, protection: true, bound: None);
-conformance_smoke!(hp, Hp, protection: true, bound: Some(2_000));
-conformance_smoke!(he, He, protection: true, bound: Some(4_000));
-conformance_smoke!(ibr2ge, Ibr2Ge, protection: true, bound: None);
-conformance_smoke!(leak, Leak, protection: false, bound: None);
-conformance_smoke!(wfe, Wfe, protection: true, bound: Some(4_000));
+conformance_smoke!(ebr, Ebr, protection: true, bound: None, adoption: true);
+conformance_smoke!(hp, Hp, protection: true, bound: Some(2_000), adoption: true);
+conformance_smoke!(he, He, protection: true, bound: Some(4_000), adoption: true);
+conformance_smoke!(ibr2ge, Ibr2Ge, protection: true, bound: None, adoption: true);
+conformance_smoke!(leak, Leak, protection: false, bound: None, adoption: false);
+conformance_smoke!(wfe, Wfe, protection: true, bound: Some(4_000), adoption: true);
 
 /// CRTurn-specific conformance: the queue composes with every scheme. A
 /// short two-thread producer/consumer run plus a drain must conserve every

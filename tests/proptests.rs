@@ -2,15 +2,17 @@
 //! sequential model types, and WCAS/tagging invariants.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
 
 use wfe_suite::wfe_atomics::AtomicPair;
+use wfe_suite::wfe_reclaim::conformance::DropCounter;
 use wfe_suite::wfe_reclaim::ptr::tag;
 use wfe_suite::{
-    CrTurnQueue, Handle, KoganPetrankQueue, Linked, MichaelHashMap, MichaelList, MichaelScottQueue,
-    NatarajanBst, Reclaimer, ReclaimerConfig, Wfe,
+    CrTurnQueue, Handle, He, Hp, KoganPetrankQueue, Linked, MichaelHashMap, MichaelList,
+    MichaelScottQueue, NatarajanBst, RawHandle, Reclaimer, ReclaimerConfig, Wfe,
 };
 
 /// An operation applied both to the concurrent structure and to the model.
@@ -58,6 +60,85 @@ where
             }
         }
     }
+}
+
+/// One step of the retirement-pipeline property test, acting on one of a
+/// small pool of handle slots.
+#[derive(Debug, Clone, Copy)]
+enum SmrStep {
+    /// Register a handle in the slot (no-op if occupied).
+    Register(usize),
+    /// Allocate and retire one drop-counting block through the slot's handle.
+    Retire(usize),
+    /// Drop the slot's handle (orphaning whatever its final scan kept).
+    DropHandle(usize),
+    /// Force a cleanup pass (batch scan + orphan adoption) on the handle.
+    Cleanup(usize),
+}
+
+fn smr_step_strategy(pool: usize) -> impl Strategy<Value = SmrStep> {
+    prop_oneof![
+        (0..pool).prop_map(SmrStep::Register),
+        (0..pool).prop_map(SmrStep::Retire),
+        (0..pool).prop_map(SmrStep::DropHandle),
+        (0..pool).prop_map(SmrStep::Cleanup),
+    ]
+}
+
+/// Drives an interleaved retire/drop/adopt sequence against one scheme and
+/// checks — via drop-counting payloads — that no block is ever freed twice
+/// (the counter can never outrun the allocations) and none is leaked (after
+/// the domain drops, every allocation was dropped exactly once).
+fn check_retirement_pipeline<R: Reclaimer>(steps: &[SmrStep]) {
+    const POOL: usize = 4;
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut allocated = 0usize;
+    {
+        // Tiny frequencies so short sequences still trip batch scans and
+        // era advances.
+        let domain = R::with_config(ReclaimerConfig {
+            cleanup_freq: 3,
+            era_freq: 2,
+            ..ReclaimerConfig::with_max_threads(POOL)
+        });
+        let mut handles: Vec<Option<R::Handle>> = (0..POOL).map(|_| None).collect();
+        for &step in steps {
+            match step {
+                SmrStep::Register(slot) => {
+                    if handles[slot].is_none() {
+                        handles[slot] = domain.try_register();
+                        assert!(handles[slot].is_some(), "pool never exceeds max_threads");
+                    }
+                }
+                SmrStep::Retire(slot) => {
+                    if let Some(handle) = handles[slot].as_mut() {
+                        let block = handle.alloc(DropCounter::new(&drops));
+                        allocated += 1;
+                        unsafe { handle.retire(block) };
+                    }
+                }
+                SmrStep::DropHandle(slot) => {
+                    handles[slot] = None;
+                }
+                SmrStep::Cleanup(slot) => {
+                    if let Some(handle) = handles[slot].as_mut() {
+                        handle.force_cleanup();
+                    }
+                }
+            }
+            assert!(
+                drops.load(Ordering::SeqCst) <= allocated,
+                "a block was freed twice"
+            );
+        }
+        drop(handles);
+        drop(domain);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        allocated,
+        "every retired block dropped exactly once, none leaked"
+    );
 }
 
 proptest! {
@@ -175,6 +256,27 @@ proptest! {
             prop_assert_eq!(queue.dequeue(&mut handle), Some(expected));
         }
         prop_assert_eq!(queue.dequeue(&mut handle), None);
+    }
+
+    #[test]
+    fn retirement_pipeline_never_double_frees_or_leaks_wfe(
+        steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
+    ) {
+        check_retirement_pipeline::<Wfe>(&steps);
+    }
+
+    #[test]
+    fn retirement_pipeline_never_double_frees_or_leaks_he(
+        steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
+    ) {
+        check_retirement_pipeline::<He>(&steps);
+    }
+
+    #[test]
+    fn retirement_pipeline_never_double_frees_or_leaks_hp(
+        steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
+    ) {
+        check_retirement_pipeline::<Hp>(&steps);
     }
 
     #[test]
