@@ -12,7 +12,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wfe_core::Wfe;
 use wfe_reclaim::{
-    Atomic, Ebr, Handle, He, Hp, Ibr2Ge, Leak, RawHandle, Reclaimer, ReclaimerConfig,
+    Atomic, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, Leak, RawHandle, Reclaimer, ReclaimerConfig,
 };
 
 fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
@@ -42,6 +42,36 @@ fn bench_alloc_retire<R: Reclaimer>(c: &mut Criterion, name: &str) {
         bencher.iter(|| {
             let node = handle.alloc(7u64);
             unsafe { handle.retire(std::hint::black_box(node)) };
+        })
+    });
+}
+
+fn bench_register_churn<R: Reclaimer>(c: &mut Criterion, name: &str) {
+    // The registry acquire/release path at task-churn grain: one full
+    // register + handle-teardown cycle per iteration (home-shard probe, slot
+    // CAS, occupancy updates, final empty scan, release).
+    let domain = R::with_config(ReclaimerConfig::with_max_threads(8));
+    c.bench_with_input(
+        BenchmarkId::new("register_churn", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                let handle = domain.register();
+                std::hint::black_box(&handle);
+            })
+        },
+    );
+}
+
+fn bench_pool_checkout(c: &mut Criterion) {
+    // The same churn served by a HandlePool: check-out + check-in of a
+    // parked handle, no registry traffic after the first iteration.
+    let domain = He::with_config(ReclaimerConfig::with_max_threads(8));
+    let pool = HandlePool::new(Arc::clone(&domain));
+    c.bench_function("register_churn/HE-handle-pool", |bencher| {
+        bencher.iter(|| {
+            let guard = pool.check_out().expect("registry has room");
+            std::hint::black_box(&guard);
         })
     });
 }
@@ -97,6 +127,10 @@ fn smr_ops(c: &mut Criterion) {
     bench_alloc_retire::<Ebr>(c, "EBR");
     bench_alloc_retire::<Ibr2Ge>(c, "2GEIBR");
     bench_alloc_retire::<Leak>(c, "Leak");
+
+    bench_register_churn::<Wfe>(c, "WFE");
+    bench_register_churn::<He>(c, "HE");
+    bench_pool_checkout(c);
 
     bench_protect_under_era_pressure(c);
 }

@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! figures [FIGURE ...] [--paper | --smoke] [--threads 1,2,4] [--duration-ms 500]
-//!         [--repeats N] [--prefill N] [--schemes WFE,HE,...]
+//!         [--repeats N] [--prefill N] [--schemes WFE,HE,...] [--shards N]
 //! ```
 //!
-//! With no figure argument every figure (and both ablations) is run. Output is
-//! CSV on stdout: `figure,structure,workload,scheme,threads,mops,avg_unreclaimed`.
+//! With no figure argument every figure (and both ablations) is run. Output
+//! is CSV on stdout, one row per measured point:
+//! `figure,structure,workload,scheme,threads,mops,avg_unreclaimed,`
+//! `adopted_batches,freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -27,7 +29,8 @@ fn print_usage() {
            --duration-ms N   run duration per point in milliseconds\n\
            --repeats N       repetitions per point\n\
            --prefill N       elements pre-inserted before measuring\n\
-           --schemes LIST    comma-separated subset of WFE,EBR,HE,HP,2GEIBR,Leak\n",
+           --schemes LIST    comma-separated subset of WFE,EBR,HE,HP,2GEIBR,Leak\n\
+           --shards N        registry shard count (default: auto from the host)\n",
         Figure::ALL
             .iter()
             .map(|f| f.name())
@@ -76,6 +79,10 @@ fn parse_args() -> Result<(Vec<Figure>, BenchParams, Vec<Scheme>), String> {
             "--prefill" => {
                 let value = args.next().ok_or("--prefill needs a value")?;
                 params.prefill = value.parse::<usize>().map_err(|e| e.to_string())?;
+            }
+            "--shards" => {
+                let value = args.next().ok_or("--shards needs a value")?;
+                params.shards = value.parse::<usize>().map_err(|e| e.to_string())?;
             }
             "--schemes" => {
                 let value = args.next().ok_or("--schemes needs a value")?;

@@ -15,12 +15,15 @@
 //! figure and its companion unreclaimed-objects figure come from the same
 //! rows (exactly as in the paper, where each experiment produces both plots).
 //!
-//! Three additions beyond the paper are included: forcing the WFE slow path
+//! Four additions beyond the paper are included: forcing the WFE slow path
 //! (`AblationSlowPath`), sweeping the number of fast-path attempts
-//! (`AblationAttempts`), and a Michael-Scott queue baseline
+//! (`AblationAttempts`), a Michael-Scott queue baseline
 //! (`QueueBaseline`) so the wait-free CRTurn queue can be compared against
 //! the classic lock-free queue in the same sweep
-//! (`figures fig5cd queue-baseline`).
+//! (`figures fig5cd queue-baseline`), and an executor-style pooled-handle
+//! run (`KvPool`): the Michael hash map driven through a `HandlePool` at
+//! high task churn, whose rows carry per-shard occupancy and the pool hit
+//! rate (`figures kv-pool`).
 
 use wfe_core::Wfe;
 use wfe_ds::{
@@ -29,7 +32,7 @@ use wfe_ds::{
 use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer};
 
 use crate::params::BenchParams;
-use crate::runner::{run_map, run_queue, DataPoint};
+use crate::runner::{run_map, run_pooled_map, run_queue, DataPoint};
 use crate::workload::MapWorkload;
 
 /// The reclamation schemes compared in every figure.
@@ -180,6 +183,34 @@ fn queue_point_for<R: Reclaimer>(
     }
 }
 
+fn pooled_point_for<R: Reclaimer>(
+    scheme: &'static str,
+    workload: MapWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    run_pooled_map::<R, MichaelHashMap<u64, R>>(scheme, "hashmap", workload, threads, params)
+}
+
+/// Measures one pooled-handle hash-map data point for one scheme
+/// (the `kv-pool` figure).
+pub fn run_pooled_point(
+    scheme: Scheme,
+    workload: MapWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    let name = scheme.name();
+    match scheme {
+        Scheme::Wfe => pooled_point_for::<Wfe>(name, workload, threads, params),
+        Scheme::Ebr => pooled_point_for::<Ebr>(name, workload, threads, params),
+        Scheme::He => pooled_point_for::<He>(name, workload, threads, params),
+        Scheme::Hp => pooled_point_for::<Hp>(name, workload, threads, params),
+        Scheme::Ibr => pooled_point_for::<Ibr2Ge>(name, workload, threads, params),
+        Scheme::Leak => pooled_point_for::<Leak>(name, workload, threads, params),
+    }
+}
+
 /// Measures one queue data point for one scheme.
 pub fn run_queue_point(
     scheme: Scheme,
@@ -225,12 +256,16 @@ pub enum Figure {
     /// Beyond the paper: Michael-Scott lock-free queue, 50/50, as a baseline
     /// for the wait-free queues in the same sweep.
     QueueBaseline,
+    /// Beyond the paper: Michael hash map 50/50 driven through a
+    /// [`wfe_reclaim::HandlePool`] at task-churn grain (executor pattern);
+    /// rows carry per-shard occupancy and the pool hit rate.
+    KvPool,
 }
 
 impl Figure {
     /// Every figure, in paper order, followed by the ablations and the
-    /// extra queue baseline.
-    pub const ALL: [Figure; 11] = [
+    /// extra baselines.
+    pub const ALL: [Figure; 12] = [
         Figure::Fig5ab,
         Figure::Fig5cd,
         Figure::Fig6,
@@ -242,6 +277,7 @@ impl Figure {
         Figure::AblationSlowPath,
         Figure::AblationAttempts,
         Figure::QueueBaseline,
+        Figure::KvPool,
     ];
 
     /// CLI name of the figure.
@@ -258,6 +294,7 @@ impl Figure {
             Figure::AblationSlowPath => "ablation-slowpath",
             Figure::AblationAttempts => "ablation-attempts",
             Figure::QueueBaseline => "queue-baseline",
+            Figure::KvPool => "kv-pool",
         }
     }
 
@@ -288,6 +325,9 @@ impl Figure {
             Figure::AblationAttempts => "WFE fast-path attempt sweep, Michael hash map 50/50",
             Figure::QueueBaseline => {
                 "Michael-Scott lock-free queue baseline (beyond the paper), 50/50"
+            }
+            Figure::KvPool => {
+                "Michael hash map 50/50 through a HandlePool at task churn (beyond the paper)"
             }
         }
     }
@@ -325,6 +365,18 @@ impl Figure {
                 for &threads in &params.threads {
                     for &scheme in schemes {
                         points.push(run_map_point(scheme, map, workload, threads, params));
+                    }
+                }
+            }
+            Figure::KvPool => {
+                for &threads in &params.threads {
+                    for &scheme in schemes {
+                        points.push(run_pooled_point(
+                            scheme,
+                            MapWorkload::WriteDominated,
+                            threads,
+                            params,
+                        ));
                     }
                 }
             }
@@ -429,5 +481,19 @@ mod tests {
         let schemes = [Scheme::He];
         let points = Figure::QueueBaseline.run(&params, &schemes);
         assert!(points.iter().all(|p| p.structure == "msqueue"));
+    }
+
+    #[test]
+    fn kv_pool_reports_pool_and_shard_stats() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::Wfe];
+        let points = Figure::KvPool.run(&params, &schemes);
+        assert_eq!(points.len(), params.threads.len());
+        assert!(points.iter().all(|p| p.workload == "pool-churn"));
+        assert!(points.iter().all(|p| p.shards >= 1));
+        assert!(
+            points.iter().all(|p| p.pool_hit_rate > 0.0),
+            "task churn is served from the pool"
+        );
     }
 }

@@ -23,6 +23,8 @@ pub struct BenchParams {
     pub cleanup_freq: usize,
     /// WFE fast-path attempts before requesting help.
     pub fast_path_attempts: usize,
+    /// Registry shard count (`0` = auto-size from the host's parallelism).
+    pub shards: usize,
 }
 
 impl Default for BenchParams {
@@ -47,6 +49,7 @@ impl Default for BenchParams {
             era_freq: 150,
             cleanup_freq: 30,
             fast_path_attempts: 16,
+            shards: 0,
         }
     }
 }

@@ -6,13 +6,19 @@
 //! operations divided by the run duration (reported in Mops/s, as in the
 //! paper); the reclamation metric is the time-average of the number of
 //! retired-but-not-yet-freed blocks, sampled every few milliseconds while the
-//! run is in flight.
+//! run is in flight. The sampler also records how many registry shards are
+//! occupied at each tick — the scan width after shard-skip.
+//!
+//! Beyond the per-thread runners of the paper, [`run_pooled_map`] measures
+//! the executor pattern: workers check a handle out of a [`HandlePool`] for a
+//! short task (a handful of operations), check it back in, and repeat — the
+//! `kv-pool` figure. Its data points carry the pool hit rate.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use wfe_reclaim::{Reclaimer, ReclaimerConfig, SmrStats};
+use wfe_reclaim::{HandlePool, Reclaimer, ReclaimerConfig, SmrStats};
 
 use crate::params::BenchParams;
 use crate::workload::{MapOp, MapWorkload, OpGenerator};
@@ -20,6 +26,10 @@ use wfe_ds::{ConcurrentMap, ConcurrentQueue};
 
 /// How often the sampler thread reads the unreclaimed-object counter.
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
+
+/// Operations one pooled "task" performs between check-out and check-in of
+/// its handle (the task-churn grain of the `kv-pool` figure).
+pub const POOL_TASK_OPS: usize = 64;
 
 /// Warm-up time before the measured window: a fraction of the run duration,
 /// capped so short smoke runs stay short.
@@ -76,7 +86,7 @@ pub struct DataPoint {
     pub scheme: &'static str,
     /// Data-structure name.
     pub structure: &'static str,
-    /// Workload label (`write50`, `read90`, `queue50`).
+    /// Workload label (`write50`, `read90`, `queue50`, `pool-churn`).
     pub workload: &'static str,
     /// Number of worker threads.
     pub threads: usize,
@@ -91,17 +101,27 @@ pub struct DataPoint {
     /// over repeats) — the observable for the bounded-unreclaimed claim when
     /// threads come and go.
     pub freed_via_adoption: f64,
+    /// Number of shards the domain's slot registry was split into.
+    pub shards: usize,
+    /// Time-averaged number of *occupied* shards (the scan width after
+    /// shard-skip; `shards - avg_occupied_shards` shards were skipped by an
+    /// average cleanup pass).
+    pub avg_occupied_shards: f64,
+    /// Fraction of handle check-outs served from the pool (`kv-pool` figure
+    /// only; 0 for per-thread runners, which never touch a pool).
+    pub pool_hit_rate: f64,
 }
 
 impl DataPoint {
     /// CSV header matching [`DataPoint::to_csv_row`].
     pub const CSV_HEADER: &'static str =
-        "structure,workload,scheme,threads,mops,avg_unreclaimed,adopted_batches,freed_via_adoption";
+        "structure,workload,scheme,threads,mops,avg_unreclaimed,adopted_batches,\
+         freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate";
 
     /// Renders the point as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{:.4},{:.1},{:.1},{:.1}",
+            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3}",
             self.structure,
             self.workload,
             self.scheme,
@@ -109,7 +129,10 @@ impl DataPoint {
             self.mops,
             self.avg_unreclaimed,
             self.adopted_batches,
-            self.freed_via_adoption
+            self.freed_via_adoption,
+            self.shards,
+            self.avg_occupied_shards,
+            self.pool_hit_rate
         )
     }
 }
@@ -126,10 +149,11 @@ fn domain_config<R: Reclaimer>(
         era_freq: params.era_freq,
         cleanup_freq: params.cleanup_freq,
         fast_path_attempts: params.fast_path_attempts,
+        shards: params.shards,
     }
 }
 
-/// Samples `unreclaimed` while the workers run; returns the time average.
+/// Accumulates a time-averaged gauge sampled while the workers run.
 struct Sampler {
     sum: f64,
     samples: u64,
@@ -143,8 +167,8 @@ impl Sampler {
         }
     }
 
-    fn record(&mut self, unreclaimed: u64) {
-        self.sum += unreclaimed as f64;
+    fn record(&mut self, value: u64) {
+        self.sum += value as f64;
         self.samples += 1;
     }
 
@@ -157,37 +181,107 @@ impl Sampler {
     }
 }
 
-/// Runs the map workload once and returns (completed ops, average unreclaimed).
+/// The raw outcome of one measured run.
+struct RunOutcome {
+    ops: u64,
+    avg_unreclaimed: f64,
+    avg_occupied_shards: f64,
+    shards: usize,
+    elapsed: Duration,
+    stats: SmrStats,
+    /// `kv-pool` runs only; 0 elsewhere.
+    pool_hit_rate: f64,
+}
+
+/// The sampling loop every runner's main thread executes while its workers
+/// run: warm up, open the measured window, sample the gauges, stop.
+fn drive_sampling<R: Reclaimer>(
+    domain: &Arc<R>,
+    params: &BenchParams,
+    barrier: &Barrier,
+    measuring: &AtomicBool,
+    stop: &AtomicBool,
+    unreclaimed_sampler: &mut Sampler,
+    occupancy_sampler: &mut Sampler,
+) -> Duration {
+    barrier.wait();
+    // Warm-up: let the workers fault in the working set and ramp the CPU
+    // before the measured window opens (the first scheme measured in a
+    // process would otherwise be penalised).
+    std::thread::sleep(warmup_duration(params));
+    measuring.store(true, Ordering::SeqCst);
+    let start = Instant::now();
+    while start.elapsed() < params.duration {
+        std::thread::sleep(SAMPLE_INTERVAL);
+        unreclaimed_sampler.record(domain.stats().unreclaimed);
+        occupancy_sampler.record(domain.registry().occupied_shards() as u64);
+    }
+    stop.store(true, Ordering::Relaxed);
+    start.elapsed()
+}
+
+/// Pre-inserts `prefill` distinct keys before the measured window opens.
+fn prefill_map<R, M>(
+    domain: &Arc<R>,
+    map: &M,
+    workload: MapWorkload,
+    params: &BenchParams,
+    seed: u64,
+) where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let mut handle = domain.register();
+    let mut generator = OpGenerator::new(workload, params.key_range, seed, usize::MAX >> 1);
+    let mut inserted = 0usize;
+    while inserted < params.prefill.min(params.key_range as usize) {
+        if map.insert(&mut handle, generator.next_key(), 0) {
+            inserted += 1;
+        }
+    }
+}
+
+/// Applies the generator's next operation to `map`.
+#[inline]
+fn apply_map_op<R, M>(map: &M, handle: &mut R::Handle, generator: &mut OpGenerator)
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    match generator.next_op() {
+        MapOp::Insert(key) => {
+            map.insert(handle, key, key);
+        }
+        MapOp::Remove(key) => {
+            map.remove(handle, key);
+        }
+        MapOp::Get(key) => {
+            map.get(handle, key);
+        }
+    }
+}
+
+/// Runs the map workload once.
 fn run_map_once<R, M>(
     threads: usize,
     workload: MapWorkload,
     params: &BenchParams,
     seed: u64,
-) -> (u64, f64, Duration, SmrStats)
+) -> RunOutcome
 where
     R: Reclaimer,
     M: ConcurrentMap<R>,
 {
     let domain = R::with_config(domain_config::<R>(threads, M::required_slots(), params));
     let map = M::with_domain(Arc::clone(&domain));
-
-    // Prefill with `prefill` distinct keys drawn from the key range.
-    {
-        let mut handle = domain.register();
-        let mut generator = OpGenerator::new(workload, params.key_range, seed, usize::MAX >> 1);
-        let mut inserted = 0usize;
-        while inserted < params.prefill.min(params.key_range as usize) {
-            if map.insert(&mut handle, generator.next_key(), 0) {
-                inserted += 1;
-            }
-        }
-    }
+    prefill_map(&domain, &map, workload, params, seed);
 
     let stop = AtomicBool::new(false);
     let measuring = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
-    let mut sampler = Sampler::new();
+    let mut unreclaimed_sampler = Sampler::new();
+    let mut occupancy_sampler = Sampler::new();
     let mut elapsed = Duration::ZERO;
 
     std::thread::scope(|scope| {
@@ -207,47 +301,116 @@ where
                     if !measuring.load(Ordering::Relaxed) {
                         ops = 0;
                     }
-                    match generator.next_op() {
-                        MapOp::Insert(key) => {
-                            map.insert(&mut handle, key, key);
-                        }
-                        MapOp::Remove(key) => {
-                            map.remove(&mut handle, key);
-                        }
-                        MapOp::Get(key) => {
-                            map.get(&mut handle, key);
-                        }
-                    }
+                    apply_map_op(map, &mut handle, &mut generator);
                     ops += 1;
                 }
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
         }
-        barrier.wait();
-        // Warm-up: let the workers fault in the working set and ramp the CPU
-        // before the measured window opens (the first scheme measured in a
-        // process would otherwise be penalised).
-        std::thread::sleep(warmup_duration(params));
-        measuring.store(true, Ordering::SeqCst);
-        let start = Instant::now();
-        while start.elapsed() < params.duration {
-            std::thread::sleep(SAMPLE_INTERVAL);
-            sampler.record(domain.stats().unreclaimed);
-        }
-        stop.store(true, Ordering::Relaxed);
-        elapsed = start.elapsed();
+        elapsed = drive_sampling(
+            &domain,
+            params,
+            &barrier,
+            &measuring,
+            &stop,
+            &mut unreclaimed_sampler,
+            &mut occupancy_sampler,
+        );
     });
 
-    let stats = domain.stats();
-    (total_ops.into_inner(), sampler.average(), elapsed, stats)
+    RunOutcome {
+        ops: total_ops.into_inner(),
+        avg_unreclaimed: unreclaimed_sampler.average(),
+        avg_occupied_shards: occupancy_sampler.average(),
+        shards: domain.registry().shard_count(),
+        elapsed,
+        stats: domain.stats(),
+        pool_hit_rate: 0.0,
+    }
+}
+
+/// Runs the map workload once with pooled handles at task-churn grain: each
+/// worker checks a handle out of the shared [`HandlePool`], performs
+/// [`POOL_TASK_OPS`] operations, checks it back in, and repeats.
+fn run_pooled_map_once<R, M>(
+    threads: usize,
+    workload: MapWorkload,
+    params: &BenchParams,
+    seed: u64,
+) -> RunOutcome
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let domain = R::with_config(domain_config::<R>(threads, M::required_slots(), params));
+    let map = M::with_domain(Arc::clone(&domain));
+    prefill_map(&domain, &map, workload, params, seed);
+    let pool = HandlePool::new(Arc::clone(&domain));
+
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let mut unreclaimed_sampler = Sampler::new();
+    let mut occupancy_sampler = Sampler::new();
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let pool = Arc::clone(&pool);
+            let map = &map;
+            let stop = &stop;
+            let measuring = &measuring;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut generator = OpGenerator::new(workload, params.key_range, seed, thread);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if !measuring.load(Ordering::Relaxed) {
+                        ops = 0;
+                    }
+                    // One "task": check out, work, check in.
+                    let mut handle = loop {
+                        match pool.check_out() {
+                            Some(handle) => break handle,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    for _ in 0..POOL_TASK_OPS {
+                        apply_map_op(map, &mut handle, &mut generator);
+                        ops += 1;
+                    }
+                    drop(handle);
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        elapsed = drive_sampling(
+            &domain,
+            params,
+            &barrier,
+            &measuring,
+            &stop,
+            &mut unreclaimed_sampler,
+            &mut occupancy_sampler,
+        );
+    });
+
+    RunOutcome {
+        ops: total_ops.into_inner(),
+        avg_unreclaimed: unreclaimed_sampler.average(),
+        avg_occupied_shards: occupancy_sampler.average(),
+        shards: domain.registry().shard_count(),
+        elapsed,
+        stats: domain.stats(),
+        pool_hit_rate: pool.stats().hit_rate(),
+    }
 }
 
 /// Runs the queue workload once (50% enqueue / 50% dequeue).
-fn run_queue_once<R, Q>(
-    threads: usize,
-    params: &BenchParams,
-    seed: u64,
-) -> (u64, f64, Duration, SmrStats)
+fn run_queue_once<R, Q>(threads: usize, params: &BenchParams, seed: u64) -> RunOutcome
 where
     R: Reclaimer,
     Q: ConcurrentQueue<R>,
@@ -272,7 +435,8 @@ where
     let measuring = AtomicBool::new(false);
     let total_ops = AtomicU64::new(0);
     let barrier = Barrier::new(threads + 1);
-    let mut sampler = Sampler::new();
+    let mut unreclaimed_sampler = Sampler::new();
+    let mut occupancy_sampler = Sampler::new();
     let mut elapsed = Duration::ZERO;
 
     std::thread::scope(|scope| {
@@ -303,23 +467,70 @@ where
                 total_ops.fetch_add(ops, Ordering::Relaxed);
             });
         }
-        barrier.wait();
-        // Warm-up: let the workers fault in the working set and ramp the CPU
-        // before the measured window opens (the first scheme measured in a
-        // process would otherwise be penalised).
-        std::thread::sleep(warmup_duration(params));
-        measuring.store(true, Ordering::SeqCst);
-        let start = Instant::now();
-        while start.elapsed() < params.duration {
-            std::thread::sleep(SAMPLE_INTERVAL);
-            sampler.record(domain.stats().unreclaimed);
-        }
-        stop.store(true, Ordering::Relaxed);
-        elapsed = start.elapsed();
+        elapsed = drive_sampling(
+            &domain,
+            params,
+            &barrier,
+            &measuring,
+            &stop,
+            &mut unreclaimed_sampler,
+            &mut occupancy_sampler,
+        );
     });
 
-    let stats = domain.stats();
-    (total_ops.into_inner(), sampler.average(), elapsed, stats)
+    RunOutcome {
+        ops: total_ops.into_inner(),
+        avg_unreclaimed: unreclaimed_sampler.average(),
+        avg_occupied_shards: occupancy_sampler.average(),
+        shards: domain.registry().shard_count(),
+        elapsed,
+        stats: domain.stats(),
+        pool_hit_rate: 0.0,
+    }
+}
+
+/// Averages `repeats` outcomes of `run` into one data point.
+fn average_point(
+    scheme: &'static str,
+    structure: &'static str,
+    workload: &'static str,
+    threads: usize,
+    params: &BenchParams,
+    mut run: impl FnMut(u64) -> RunOutcome,
+) -> DataPoint {
+    process_warm_up();
+    let repeats = params.repeats.max(1);
+    let mut mops = 0.0;
+    let mut unreclaimed = 0.0;
+    let mut adopted_batches = 0.0;
+    let mut freed_via_adoption = 0.0;
+    let mut occupied = 0.0;
+    let mut hit_rate = 0.0;
+    let mut shards = 0;
+    for repeat in 0..repeats {
+        let outcome = run(repeat as u64);
+        mops += outcome.ops as f64 / outcome.elapsed.as_secs_f64() / 1e6;
+        unreclaimed += outcome.avg_unreclaimed;
+        adopted_batches += outcome.stats.adopted_batches as f64;
+        freed_via_adoption += outcome.stats.freed_via_adoption as f64;
+        occupied += outcome.avg_occupied_shards;
+        hit_rate += outcome.pool_hit_rate;
+        shards = outcome.shards;
+    }
+    let repeats = repeats as f64;
+    DataPoint {
+        scheme,
+        structure,
+        workload,
+        threads,
+        mops: mops / repeats,
+        avg_unreclaimed: unreclaimed / repeats,
+        adopted_batches: adopted_batches / repeats,
+        freed_via_adoption: freed_via_adoption / repeats,
+        shards,
+        avg_occupied_shards: occupied / repeats,
+        pool_hit_rate: hit_rate / repeats,
+    }
 }
 
 /// Measures one map data point (averaged over `params.repeats` runs).
@@ -334,30 +545,32 @@ where
     R: Reclaimer,
     M: ConcurrentMap<R>,
 {
-    process_warm_up();
-    let mut mops = 0.0;
-    let mut unreclaimed = 0.0;
-    let mut adopted_batches = 0.0;
-    let mut freed_via_adoption = 0.0;
-    for repeat in 0..params.repeats.max(1) {
-        let (ops, avg_unreclaimed, elapsed, stats) =
-            run_map_once::<R, M>(threads, workload, params, 0xC0FFEE + repeat as u64);
-        mops += ops as f64 / elapsed.as_secs_f64() / 1e6;
-        unreclaimed += avg_unreclaimed;
-        adopted_batches += stats.adopted_batches as f64;
-        freed_via_adoption += stats.freed_via_adoption as f64;
-    }
-    let repeats = params.repeats.max(1) as f64;
-    DataPoint {
+    average_point(
         scheme,
         structure,
-        workload: workload.label(),
+        workload.label(),
         threads,
-        mops: mops / repeats,
-        avg_unreclaimed: unreclaimed / repeats,
-        adopted_batches: adopted_batches / repeats,
-        freed_via_adoption: freed_via_adoption / repeats,
-    }
+        params,
+        |repeat| run_map_once::<R, M>(threads, workload, params, 0xC0FFEE + repeat),
+    )
+}
+
+/// Measures one pooled-handle map data point (the `kv-pool` figure; averaged
+/// over `params.repeats` runs).
+pub fn run_pooled_map<R, M>(
+    scheme: &'static str,
+    structure: &'static str,
+    workload: MapWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    average_point(scheme, structure, "pool-churn", threads, params, |repeat| {
+        run_pooled_map_once::<R, M>(threads, workload, params, 0x9001 + repeat)
+    })
 }
 
 /// Measures one queue data point (averaged over `params.repeats` runs).
@@ -371,30 +584,9 @@ where
     R: Reclaimer,
     Q: ConcurrentQueue<R>,
 {
-    process_warm_up();
-    let mut mops = 0.0;
-    let mut unreclaimed = 0.0;
-    let mut adopted_batches = 0.0;
-    let mut freed_via_adoption = 0.0;
-    for repeat in 0..params.repeats.max(1) {
-        let (ops, avg_unreclaimed, elapsed, stats) =
-            run_queue_once::<R, Q>(threads, params, 0xBADC0DE + repeat as u64);
-        mops += ops as f64 / elapsed.as_secs_f64() / 1e6;
-        unreclaimed += avg_unreclaimed;
-        adopted_batches += stats.adopted_batches as f64;
-        freed_via_adoption += stats.freed_via_adoption as f64;
-    }
-    let repeats = params.repeats.max(1) as f64;
-    DataPoint {
-        scheme,
-        structure,
-        workload: "queue50",
-        threads,
-        mops: mops / repeats,
-        avg_unreclaimed: unreclaimed / repeats,
-        adopted_batches: adopted_batches / repeats,
-        freed_via_adoption: freed_via_adoption / repeats,
-    }
+    average_point(scheme, structure, "queue50", threads, params, |repeat| {
+        run_queue_once::<R, Q>(threads, params, 0xBADC0DE + repeat)
+    })
 }
 
 #[cfg(test)]
@@ -417,6 +609,9 @@ mod tests {
         assert_eq!(point.threads, 2);
         assert!(point.mops > 0.0, "some operations completed");
         assert!(point.avg_unreclaimed >= 0.0);
+        assert!(point.shards >= 1);
+        assert!(point.avg_occupied_shards <= point.shards as f64);
+        assert_eq!(point.pool_hit_rate, 0.0, "no pool in the per-thread runner");
         assert!(point.to_csv_row().starts_with("hashmap,write50,WFE,2,"));
     }
 
@@ -426,5 +621,27 @@ mod tests {
         let point = run_queue::<He, MichaelScottQueue<u64, He>>("HE", "msqueue", 2, &params);
         assert!(point.mops > 0.0);
         assert_eq!(point.workload, "queue50");
+    }
+
+    #[test]
+    fn pooled_runner_reports_hit_rate_and_occupancy() {
+        let params = BenchParams::smoke();
+        let point = run_pooled_map::<He, MichaelHashMap<u64, He>>(
+            "HE",
+            "hashmap",
+            MapWorkload::WriteDominated,
+            2,
+            &params,
+        );
+        assert_eq!(point.workload, "pool-churn");
+        assert!(point.mops > 0.0, "tasks completed through the pool");
+        assert!(
+            point.pool_hit_rate > 0.5,
+            "steady-state churn is served from the pool (hit rate {})",
+            point.pool_hit_rate
+        );
+        assert!(point.avg_occupied_shards >= 0.0);
+        let row = point.to_csv_row();
+        assert!(row.starts_with("hashmap,pool-churn,HE,2,"), "row: {row}");
     }
 }

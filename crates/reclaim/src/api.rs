@@ -18,6 +18,7 @@ use std::sync::Arc;
 
 use crate::block::{BlockHeader, Linked};
 use crate::ptr::{tag, Atomic};
+use crate::registry::ThreadRegistry;
 use crate::stats::SmrStats;
 
 /// Progress guarantee provided by a scheme's *reclamation operations*
@@ -50,6 +51,12 @@ pub struct ReclaimerConfig {
     /// Fast-path attempts before WFE switches to the slow path
     /// (`max_attempts`; the paper uses 16). Ignored by other schemes.
     pub fast_path_attempts: usize,
+    /// Number of shards the thread-slot registry is split into; `0` (the
+    /// default) picks the host's available parallelism. Clamped to
+    /// `1..=max_threads`. More shards mean less acquire/release contention
+    /// between sockets and smaller scan windows (idle shards are skipped);
+    /// see [`crate::registry::ThreadRegistry`].
+    pub shards: usize,
 }
 
 impl Default for ReclaimerConfig {
@@ -60,6 +67,7 @@ impl Default for ReclaimerConfig {
             era_freq: 150,
             cleanup_freq: 30,
             fast_path_attempts: 16,
+            shards: 0,
         }
     }
 }
@@ -72,7 +80,43 @@ impl ReclaimerConfig {
             ..Self::default()
         }
     }
+
+    /// Builds the sharded slot registry described by this configuration.
+    pub(crate) fn build_registry(&self) -> ThreadRegistry {
+        ThreadRegistry::with_shards(self.max_threads, self.shards)
+    }
 }
+
+/// Alias of [`ReclaimerConfig`] emphasising that one configuration describes
+/// one *domain* (registry sharding included), not just the paper's per-scheme
+/// constants.
+///
+/// # Sharding knobs
+///
+/// The [`shards`](ReclaimerConfig::shards) field controls how the slot
+/// registry is partitioned; cleanup scans skip wholly-idle shards, so pinning
+/// a shard count close to the number of active sockets or executor workers
+/// keeps both registration and scanning off shared cache lines:
+///
+/// ```
+/// use wfe_reclaim::{DomainConfig, He, Reclaimer};
+///
+/// // 64 slots split into 4 shards (0 would auto-size from the host).
+/// let config = DomainConfig {
+///     shards: 4,
+///     ..DomainConfig::with_max_threads(64)
+/// };
+/// let domain = He::with_config(config);
+/// assert_eq!(domain.registry().shard_count(), 4);
+/// assert_eq!(domain.registry().capacity(), 64);
+///
+/// // No handle registered yet: every shard is idle and scans skip them all.
+/// assert_eq!(domain.registry().occupied_shards(), 0);
+/// let handle = domain.register();
+/// assert_eq!(domain.registry().occupied_shards(), 1);
+/// drop(handle);
+/// ```
+pub type DomainConfig = ReclaimerConfig;
 
 /// The type-erased, per-thread reclamation interface each scheme implements.
 ///
@@ -202,6 +246,16 @@ pub trait Reclaimer: Send + Sync + Sized + 'static {
     /// Registers the calling thread and returns its handle, or `None` when
     /// `max_threads` handles are already registered, so callers can degrade
     /// gracefully (shed the thread, queue the work) instead of panicking.
+    ///
+    /// ```
+    /// use wfe_reclaim::{He, Reclaimer, ReclaimerConfig};
+    ///
+    /// let domain = He::with_config(ReclaimerConfig::with_max_threads(1));
+    /// let first = domain.try_register().expect("one slot is available");
+    /// assert!(domain.try_register().is_none(), "registry exhausted");
+    /// drop(first);
+    /// assert!(domain.try_register().is_some(), "slot recycled");
+    /// ```
     fn try_register(self: &Arc<Self>) -> Option<Self::Handle>;
 
     /// Registers the calling thread and returns its handle.
@@ -233,6 +287,10 @@ pub trait Reclaimer: Send + Sync + Sized + 'static {
 
     /// The configuration this domain was created with.
     fn config(&self) -> &ReclaimerConfig;
+
+    /// The domain's sharded thread-slot registry (shard geometry and
+    /// occupancy are observable for monitoring and benchmarks).
+    fn registry(&self) -> &ThreadRegistry;
 }
 
 #[cfg(test)]

@@ -42,11 +42,15 @@ impl Ebr {
     }
 
     /// Snapshots every published epoch once per cleanup pass: only the oldest
-    /// active epoch matters, so the scratch is a single word.
+    /// active epoch matters, so the scratch is a single word. The walk goes
+    /// shard-by-shard and skips wholly-idle shards (see
+    /// [`ThreadRegistry::occupied_ranges`]).
     fn fill_snapshot(&self, snapshot: &mut EpochSnapshot) {
         snapshot.clear();
-        for thread in 0..self.reservations.threads() {
-            snapshot.insert(self.reservations.get(thread, 0).load(Ordering::Acquire));
+        for range in self.registry.occupied_ranges() {
+            for thread in range {
+                snapshot.insert(self.reservations.get(thread, 0).load(Ordering::Acquire));
+            }
         }
     }
 }
@@ -56,7 +60,7 @@ impl Reclaimer for Ebr {
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
         Arc::new(Self {
-            registry: ThreadRegistry::new(config.max_threads),
+            registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_epoch: CachePadded::new(AtomicU64::new(1)),
@@ -91,6 +95,10 @@ impl Reclaimer for Ebr {
 
     fn config(&self) -> &ReclaimerConfig {
         &self.config
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 }
 

@@ -49,11 +49,17 @@ impl He {
 
     /// Snapshots every published era once per cleanup pass, sorted so the
     /// Figure-1 `can_delete` lifespan test becomes one binary search per
-    /// block instead of a full reservation-table walk.
+    /// block instead of a full reservation-table walk. The walk goes
+    /// shard-by-shard and skips wholly-idle shards (see
+    /// [`ThreadRegistry::occupied_ranges`]).
     fn fill_snapshot(&self, snapshot: &mut EraSnapshot) {
         snapshot.clear();
-        for era in self.reservations.iter_values(Ordering::Acquire) {
-            snapshot.insert(era);
+        for range in self.registry.occupied_ranges() {
+            for thread in range {
+                for slot in 0..self.reservations.slots() {
+                    snapshot.insert(self.reservations.get(thread, slot).load(Ordering::Acquire));
+                }
+            }
         }
         snapshot.seal();
     }
@@ -64,7 +70,7 @@ impl Reclaimer for He {
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
         Arc::new(Self {
-            registry: ThreadRegistry::new(config.max_threads),
+            registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_era: CachePadded::new(AtomicU64::new(1)),
@@ -99,6 +105,10 @@ impl Reclaimer for He {
 
     fn config(&self) -> &ReclaimerConfig {
         &self.config
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 }
 

@@ -35,11 +35,17 @@ pub struct Hp {
 
 impl Hp {
     /// Snapshots the current hazard set once per cleanup pass, sorted so the
-    /// per-block membership test is one binary search.
+    /// per-block membership test is one binary search. The walk goes
+    /// shard-by-shard and skips wholly-idle shards (see
+    /// [`ThreadRegistry::occupied_ranges`]).
     fn fill_snapshot(&self, snapshot: &mut HazardSnapshot) {
         snapshot.clear();
-        for pointer in self.hazards.iter_values(Ordering::Acquire) {
-            snapshot.insert(pointer);
+        for range in self.registry.occupied_ranges() {
+            for thread in range {
+                for slot in 0..self.hazards.slots() {
+                    snapshot.insert(self.hazards.get(thread, slot).load(Ordering::Acquire));
+                }
+            }
         }
         snapshot.seal();
     }
@@ -50,7 +56,7 @@ impl Reclaimer for Hp {
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
         Arc::new(Self {
-            registry: ThreadRegistry::new(config.max_threads),
+            registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             hazards: PtrSlotArray::new(config.max_threads, config.slots_per_thread),
@@ -85,6 +91,10 @@ impl Reclaimer for Hp {
 
     fn config(&self) -> &ReclaimerConfig {
         &self.config
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 }
 

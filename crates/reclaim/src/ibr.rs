@@ -47,16 +47,20 @@ impl Ibr2Ge {
     }
 
     /// Snapshots every active `[lower, upper]` interval once per cleanup
-    /// pass; the per-block overlap test then runs without atomic loads.
+    /// pass; the per-block overlap test then runs without atomic loads. The
+    /// walk goes shard-by-shard and skips wholly-idle shards (see
+    /// [`ThreadRegistry::occupied_ranges`]).
     fn fill_snapshot(&self, snapshot: &mut IntervalSnapshot) {
         snapshot.clear();
-        for thread in 0..self.reservations.threads() {
-            let lower = self.reservations.get(thread, LOWER).load(Ordering::Acquire);
-            if lower == ERA_INF {
-                continue;
+        for range in self.registry.occupied_ranges() {
+            for thread in range {
+                let lower = self.reservations.get(thread, LOWER).load(Ordering::Acquire);
+                if lower == ERA_INF {
+                    continue;
+                }
+                let upper = self.reservations.get(thread, UPPER).load(Ordering::Acquire);
+                snapshot.insert(lower, upper);
             }
-            let upper = self.reservations.get(thread, UPPER).load(Ordering::Acquire);
-            snapshot.insert(lower, upper);
         }
     }
 }
@@ -66,7 +70,7 @@ impl Reclaimer for Ibr2Ge {
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
         Arc::new(Self {
-            registry: ThreadRegistry::new(config.max_threads),
+            registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_era: CachePadded::new(AtomicU64::new(1)),
@@ -101,6 +105,10 @@ impl Reclaimer for Ibr2Ge {
 
     fn config(&self) -> &ReclaimerConfig {
         &self.config
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 }
 

@@ -31,7 +31,7 @@ impl Reclaimer for Leak {
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
         Arc::new(Self {
-            registry: ThreadRegistry::new(config.max_threads),
+            registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             config,
@@ -61,6 +61,10 @@ impl Reclaimer for Leak {
 
     fn config(&self) -> &ReclaimerConfig {
         &self.config
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 }
 

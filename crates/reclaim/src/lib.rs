@@ -15,7 +15,11 @@
 //! * the baseline schemes:
 //!   [`Ebr`] (epoch-based reclamation), [`Hp`] (hazard pointers),
 //!   [`He`] (hazard eras, Figure 1 of the paper), [`Ibr2Ge`] (the 2GEIBR
-//!   variant of interval-based reclamation) and [`Leak`] (no reclamation).
+//!   variant of interval-based reclamation) and [`Leak`] (no reclamation);
+//! * the scale-out layers beyond the paper: the sharded
+//!   [`ThreadRegistry`] (NUMA-friendly slot management whose idle shards are
+//!   skipped by cleanup scans) and the [`HandlePool`] of parked handles for
+//!   executor-style task churn.
 //!
 //! Data structures in `wfe-ds` are generic over `R: Reclaimer`, so every
 //! workload of the evaluation can be paired with every scheme, exactly as in
@@ -32,19 +36,23 @@ pub mod he;
 pub mod hp;
 pub mod ibr;
 pub mod leak;
+pub mod pool;
 pub mod ptr;
 pub mod registry;
 pub mod retired;
 pub mod scan;
 pub mod slots;
 pub mod stats;
+mod treiber;
 
-pub use api::{Handle, Progress, RawHandle, Reclaimer, ReclaimerConfig};
+pub use api::{DomainConfig, Handle, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 pub use block::{BlockHeader, Linked, ERA_INF, INVPTR};
 pub use ebr::Ebr;
 pub use he::He;
 pub use hp::Hp;
 pub use ibr::Ibr2Ge;
 pub use leak::Leak;
+pub use pool::{HandlePool, PoolStats, PooledHandle};
 pub use ptr::Atomic;
+pub use registry::ThreadRegistry;
 pub use stats::SmrStats;

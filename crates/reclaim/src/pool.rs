@@ -1,0 +1,381 @@
+//! Pooled handles for async executors and thread pools.
+//!
+//! The paper assumes one long-lived handle per OS thread. Executor-style
+//! runtimes break that assumption: a short-lived task that registered its own
+//! handle would pay a registry acquire, a final cleanup scan, an orphan-stack
+//! push and a registry release *per task*. [`HandlePool`] amortises all of
+//! that: dropping a [`PooledHandle`] parks the underlying scheme handle on a
+//! lock-free freelist instead of tearing it down, and the next
+//! [`check_out`](HandlePool::check_out) revives it in O(1) — no registry
+//! traffic, no reservation-table churn, batch and slot carried over.
+//!
+//! The freelist is a `TypeStableStack` — the same versioned-wide-CAS
+//! Treiber stack with recycled nodes that backs
+//! [`crate::retired::OrphanStack`] — so check-out/check-in are lock-free and
+//! ABA-safe. When the pool itself is dropped, every parked handle is dropped
+//! the ordinary way — its final cleanup pass runs and whatever survives is
+//! parked on the domain's orphan stack for live threads to adopt, exactly as
+//! if the thread had exited.
+
+use core::mem::ManuallyDrop;
+use core::ops::{Deref, DerefMut};
+use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::api::{RawHandle, Reclaimer};
+use crate::treiber::TypeStableStack;
+
+/// Point-in-time counters of a pool's activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Successful [`check_out`](HandlePool::check_out) calls.
+    pub checkouts: u64,
+    /// Check-outs served from a parked handle (no registry traffic).
+    pub hits: u64,
+    /// Check-outs that had to register a fresh handle.
+    pub misses: u64,
+    /// Check-outs that failed because the registry was exhausted.
+    pub exhausted: u64,
+    /// Handles currently parked on the freelist.
+    pub parked: u64,
+}
+
+impl PoolStats {
+    /// Fraction of successful check-outs served from the pool, in `0.0..=1.0`
+    /// (`0.0` before the first check-out).
+    pub fn hit_rate(&self) -> f64 {
+        if self.checkouts == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.checkouts as f64
+        }
+    }
+}
+
+/// A lock-free pool of parked scheme handles on top of one domain.
+///
+/// Works with every [`Reclaimer`] in the suite. Handles keep their registry
+/// slot (and their pending retired batch) while parked, so a shard stays
+/// *occupied* as long as handles are parked in it — trading a little scan
+/// width for O(1) task-grain check-out/check-in.
+///
+/// ```
+/// use std::sync::Arc;
+/// use wfe_reclaim::{Handle, HandlePool, He, Reclaimer, ReclaimerConfig};
+///
+/// let domain = He::with_config(ReclaimerConfig::with_max_threads(4));
+/// let pool = HandlePool::new(Arc::clone(&domain));
+///
+/// {
+///     // First check-out registers a fresh handle (a pool "miss")...
+///     let mut task_handle = pool.check_out().expect("registry has room");
+///     let block = task_handle.alloc(7u64);
+///     unsafe { task_handle.retire(block) };
+/// } // ...and dropping the guard *parks* the handle instead of releasing it.
+///
+/// assert_eq!(pool.stats().parked, 1);
+/// let again = pool.check_out().expect("served from the pool");
+/// assert_eq!(pool.stats().hits, 1);
+/// drop(again);
+/// drop(pool); // parked handles tear down normally (orphan parking included)
+/// assert_eq!(domain.registry().registered(), 0);
+/// ```
+pub struct HandlePool<R: Reclaimer> {
+    domain: Arc<R>,
+    /// Parked handles (the lock-free freelist).
+    stack: TypeStableStack<R::Handle>,
+    parked: AtomicUsize,
+    checkouts: AtomicU64,
+    hits: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+impl<R: Reclaimer> HandlePool<R> {
+    /// Creates an empty pool over `domain`.
+    pub fn new(domain: Arc<R>) -> Arc<Self> {
+        Arc::new(Self {
+            domain,
+            stack: TypeStableStack::new(),
+            parked: AtomicUsize::new(0),
+            checkouts: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            exhausted: AtomicU64::new(0),
+        })
+    }
+
+    /// The domain this pool registers handles with.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    /// Checks a handle out: revives a parked handle in O(1) if one is
+    /// available, otherwise registers a fresh one. Returns `None` when the
+    /// pool is empty *and* the domain's registry is exhausted — which can
+    /// happen transiently while a concurrent check-in is mid-park (the
+    /// handle still owns its registry slot but is not yet poppable), so
+    /// callers running at full registry occupancy should treat `None` as
+    /// retryable rather than fatal.
+    pub fn check_out(self: &Arc<Self>) -> Option<PooledHandle<R>> {
+        let handle = match self.take_parked(true) {
+            Some(handle) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                handle
+            }
+            None => match self.domain.try_register() {
+                Some(handle) => handle,
+                // The registry may be exhausted precisely because handles
+                // are parked in the pool; re-check the freelist without the
+                // opportunistic counter gate before giving up.
+                None => match self.take_parked(false) {
+                    Some(handle) => {
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        handle
+                    }
+                    None => {
+                        self.exhausted.fetch_add(1, Ordering::Relaxed);
+                        return None;
+                    }
+                },
+            },
+        };
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        Some(PooledHandle {
+            handle: ManuallyDrop::new(handle),
+            pool: Arc::clone(self),
+        })
+    }
+
+    /// Number of handles currently parked.
+    pub fn parked(&self) -> usize {
+        self.parked.load(Ordering::Acquire)
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> PoolStats {
+        let checkouts = self.checkouts.load(Ordering::Relaxed);
+        let hits = self.hits.load(Ordering::Relaxed);
+        PoolStats {
+            checkouts,
+            hits,
+            misses: checkouts.saturating_sub(hits),
+            exhausted: self.exhausted.load(Ordering::Relaxed),
+            parked: self.parked() as u64,
+        }
+    }
+
+    /// Pops one parked handle, if any. With `gate`, an opportunistic counter
+    /// check skips the wide-CAS on the common empty-pool path (a handle
+    /// whose park is in flight may be missed).
+    fn take_parked(&self, gate: bool) -> Option<R::Handle> {
+        if gate && self.parked.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let handle = self.stack.pop()?;
+        self.parked.fetch_sub(1, Ordering::AcqRel);
+        Some(handle)
+    }
+
+    /// Parks `handle` for the next check-out (called by `PooledHandle::drop`).
+    fn park(&self, mut handle: R::Handle) {
+        // Return the handle to a quiescent state so a parked handle can never
+        // pin memory: `end_op` drops every protection in every scheme
+        // (era/interval withdrawal for EBR/2GEIBR, row clear for the rest).
+        handle.end_op();
+        self.parked.fetch_add(1, Ordering::AcqRel);
+        self.stack.push(handle);
+    }
+}
+
+impl<R: Reclaimer> Drop for HandlePool<R> {
+    fn drop(&mut self) {
+        // Drop every parked handle the ordinary way: final cleanup pass,
+        // orphan-stack parking of the survivors, registry release. (The
+        // inner stack would drop them too; doing it explicitly keeps the
+        // teardown order obvious.)
+        while let Some(handle) = self.stack.pop() {
+            drop(handle);
+        }
+    }
+}
+
+impl<R: Reclaimer> core::fmt::Debug for HandlePool<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("HandlePool")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// A scheme handle checked out of a [`HandlePool`].
+///
+/// Dereferences to the underlying [`Reclaimer::Handle`]; dropping it returns
+/// the handle to the pool instead of tearing it down.
+pub struct PooledHandle<R: Reclaimer> {
+    handle: ManuallyDrop<R::Handle>,
+    pool: Arc<HandlePool<R>>,
+}
+
+impl<R: Reclaimer> PooledHandle<R> {
+    /// The pool this handle returns to on drop.
+    pub fn pool(&self) -> &Arc<HandlePool<R>> {
+        &self.pool
+    }
+}
+
+impl<R: Reclaimer> Deref for PooledHandle<R> {
+    type Target = R::Handle;
+
+    fn deref(&self) -> &R::Handle {
+        &self.handle
+    }
+}
+
+impl<R: Reclaimer> DerefMut for PooledHandle<R> {
+    fn deref_mut(&mut self) -> &mut R::Handle {
+        &mut self.handle
+    }
+}
+
+impl<R: Reclaimer> Drop for PooledHandle<R> {
+    fn drop(&mut self) {
+        // SAFETY: `handle` is never touched again after being taken here.
+        let handle = unsafe { ManuallyDrop::take(&mut self.handle) };
+        self.pool.park(handle);
+    }
+}
+
+impl<R: Reclaimer> core::fmt::Debug for PooledHandle<R> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PooledHandle")
+            .field("thread_id", &self.handle.thread_id())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Handle, ReclaimerConfig};
+    use crate::conformance::DropCounter;
+    use crate::he::He;
+    use crate::ptr::Atomic;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::atomic::Ordering::SeqCst;
+
+    #[test]
+    fn checkin_parks_and_checkout_revives_the_same_slot() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(4));
+        let pool = HandlePool::new(Arc::clone(&domain));
+        let first = pool.check_out().unwrap();
+        let tid = first.thread_id();
+        drop(first);
+        assert_eq!(pool.parked(), 1);
+        assert_eq!(domain.registry().registered(), 1, "slot kept while parked");
+        let second = pool.check_out().unwrap();
+        assert_eq!(second.thread_id(), tid, "parked handle revived");
+        let stats = pool.stats();
+        assert_eq!(stats.checkouts, 2);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn check_out_returns_none_only_when_pool_and_registry_are_empty() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(1));
+        let pool = HandlePool::new(Arc::clone(&domain));
+        let only = pool.check_out().unwrap();
+        assert!(
+            pool.check_out().is_none(),
+            "registry exhausted, none parked"
+        );
+        assert_eq!(pool.stats().exhausted, 1);
+        drop(only);
+        assert!(pool.check_out().is_some(), "served from the pool");
+    }
+
+    #[test]
+    fn parked_handles_never_pin_memory() {
+        // A handle that protected a block and was then checked in must not
+        // keep the block alive: parking withdraws every reservation.
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(4));
+        let pool = HandlePool::new(Arc::clone(&domain));
+        let mut owner = domain.register();
+        let node = owner.alloc(3u64);
+        let root: Atomic<u64> = Atomic::new(node);
+
+        let mut reader = pool.check_out().unwrap();
+        let seen = reader.protect(&root, 0, core::ptr::null_mut());
+        assert_eq!(seen, node);
+        drop(reader); // parked: reservation withdrawn
+
+        root.store(core::ptr::null_mut(), SeqCst);
+        unsafe { owner.retire(node) };
+        owner.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0, "parked handle pins nothing");
+    }
+
+    #[test]
+    fn pool_drop_with_parked_handles_releases_slots_and_frees_blocks() {
+        let drops = Arc::new(StdAtomicUsize::new(0));
+        let domain = He::with_config(ReclaimerConfig {
+            // No automatic scans: the parked handles keep non-empty batches.
+            cleanup_freq: usize::MAX,
+            ..ReclaimerConfig::with_max_threads(4)
+        });
+        let pool = HandlePool::new(Arc::clone(&domain));
+        for _ in 0..3 {
+            let mut guard = pool.check_out().unwrap();
+            let block = guard.alloc(DropCounter::new(&drops));
+            unsafe { guard.retire(block) };
+        }
+        assert_eq!(pool.parked(), 1, "single-threaded churn reuses one handle");
+        drop(pool);
+        assert_eq!(
+            domain.registry().registered(),
+            0,
+            "pool drop releases every slot"
+        );
+        drop(domain);
+        assert_eq!(
+            drops.load(SeqCst),
+            3,
+            "every retired block freed exactly once"
+        );
+    }
+
+    #[test]
+    fn concurrent_check_out_in_stress() {
+        const THREADS: usize = 8;
+        const TASKS: usize = 500;
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(THREADS));
+        let pool = HandlePool::new(Arc::clone(&domain));
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..TASKS {
+                        let mut guard = loop {
+                            match pool.check_out() {
+                                Some(guard) => break guard,
+                                None => std::thread::yield_now(),
+                            }
+                        };
+                        let block = guard.alloc(1u64);
+                        unsafe { guard.retire(block) };
+                    }
+                });
+            }
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.checkouts, (THREADS * TASKS) as u64);
+        assert!(
+            stats.hits > stats.checkouts / 2,
+            "steady-state churn is served from the pool (hits = {}, checkouts = {})",
+            stats.hits,
+            stats.checkouts
+        );
+        drop(pool);
+        assert_eq!(domain.registry().registered(), 0);
+    }
+}

@@ -10,13 +10,12 @@
 //! running instead of waiting for domain teardown.
 
 use core::ptr;
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-
-use wfe_atomics::AtomicPair;
+use core::sync::atomic::{AtomicU64, Ordering};
 
 use crate::block::{free_block, BlockHeader};
 use crate::scan::ReservationSet;
 use crate::stats::Counters;
+use crate::treiber::TypeStableStack;
 
 /// Owner-thread-only batch of retired blocks, linked through the block
 /// header's `next_retired` field.
@@ -150,19 +149,6 @@ impl RetiredBatch {
             len: core::mem::replace(&mut self.len, 0),
         }
     }
-
-    /// Decomposes the batch into its raw parts (for the orphan stack).
-    fn into_raw(mut self) -> (*mut BlockHeader, usize) {
-        let parts = (self.head, self.len);
-        self.head = ptr::null_mut();
-        self.len = 0;
-        parts
-    }
-
-    /// Reassembles a batch from raw parts produced by [`Self::into_raw`].
-    unsafe fn from_raw(head: *mut BlockHeader, len: usize) -> Self {
-        Self { head, len }
-    }
 }
 
 impl Default for RetiredBatch {
@@ -217,47 +203,28 @@ pub unsafe fn cleanup_pass<S: ReservationSet>(
     }
 }
 
-/// One node of the orphan stack: the raw parts of a parked batch plus the
-/// intrusive `next` link. Nodes are *type-stable*: once allocated they are
-/// recycled through a freelist and only deallocated when the stack itself is
-/// dropped, so a racing `pop` may always dereference a node it read from
-/// `head` (the versioned CAS then rejects stale observations).
-struct OrphanNode {
-    batch_head: *mut BlockHeader,
-    batch_len: usize,
-    /// `*mut OrphanNode` as usize; atomic because a slow `pop` may read it
-    /// while the node is concurrently recycled for a new `push`.
-    next: AtomicUsize,
-}
-
 /// Lock-free Treiber stack of whole retired batches abandoned by exited
 /// threads.
 ///
 /// A dropping handle [`push`](Self::push)es its leftover batch; any live
 /// thread's cleanup pass [`pop`](Self::pop)s one batch and adopts it (scans
 /// it against its freshly taken reservation snapshot and keeps the
-/// survivors). Both ends are a versioned wide-CAS (`AtomicPair`), so the
-/// stack is lock-free and ABA-safe; whatever is still parked when the domain
-/// drops is freed by [`free_all`](Self::free_all).
+/// survivors). The stack itself is a `TypeStableStack` — versioned
+/// wide-CAS ends, recycled nodes — so it is lock-free and ABA-safe; whatever
+/// is still parked when the domain drops is freed by
+/// [`free_all`](Self::free_all).
 pub struct OrphanStack {
-    /// `(node ptr, version)` — the version counter makes the CAS ABA-safe.
-    head: AtomicPair,
-    /// Freelist of spare nodes, same encoding. Keeps nodes type-stable.
-    spares: AtomicPair,
+    stack: TypeStableStack<RetiredBatch>,
     /// Blocks currently parked (approximate between operations, exact when
     /// quiescent); used by stats and tests.
     blocks: AtomicU64,
 }
 
-unsafe impl Send for OrphanStack {}
-unsafe impl Sync for OrphanStack {}
-
 impl OrphanStack {
     /// Creates an empty orphan stack.
     pub fn new() -> Self {
         Self {
-            head: AtomicPair::new(0, 0),
-            spares: AtomicPair::new(0, 0),
+            stack: TypeStableStack::new(),
             blocks: AtomicU64::new(0),
         }
     }
@@ -272,63 +239,13 @@ impl OrphanStack {
         self.len() == 0
     }
 
-    /// Pops one node off `list` (either the head stack or the spare
-    /// freelist). The versioned CAS makes this ABA-safe even though nodes are
-    /// recycled, and the type-stable allocation makes the racy `next` read
-    /// sound.
-    fn pop_node(list: &AtomicPair) -> Option<*mut OrphanNode> {
-        loop {
-            let (head, version) = list.load();
-            if head == 0 {
-                return None;
-            }
-            let node = head as *mut OrphanNode;
-            // SAFETY: nodes are never deallocated while the stack lives, so
-            // the read is sound even if `node` was concurrently popped; the
-            // versioned CAS below fails in that case and we retry.
-            let next = unsafe { (*node).next.load(Ordering::Relaxed) };
-            if list
-                .compare_exchange((head, version), (next as u64, version + 1))
-                .is_ok()
-            {
-                return Some(node);
-            }
-        }
-    }
-
-    /// Pushes `node` onto `list`.
-    fn push_node(list: &AtomicPair, node: *mut OrphanNode) {
-        loop {
-            let (head, version) = list.load();
-            unsafe { (*node).next.store(head as usize, Ordering::Relaxed) };
-            if list
-                .compare_exchange((head, version), (node as u64, version + 1))
-                .is_ok()
-            {
-                return;
-            }
-        }
-    }
-
     /// Parks `batch` on the stack (no-op for an empty batch).
     pub fn push(&self, batch: RetiredBatch) {
         if batch.is_empty() {
             return;
         }
-        let (batch_head, batch_len) = batch.into_raw();
-        let node = Self::pop_node(&self.spares).unwrap_or_else(|| {
-            Box::into_raw(Box::new(OrphanNode {
-                batch_head: ptr::null_mut(),
-                batch_len: 0,
-                next: AtomicUsize::new(0),
-            }))
-        });
-        unsafe {
-            (*node).batch_head = batch_head;
-            (*node).batch_len = batch_len;
-        }
-        self.blocks.fetch_add(batch_len as u64, Ordering::AcqRel);
-        Self::push_node(&self.head, node);
+        self.blocks.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        self.stack.push(batch);
     }
 
     /// Pops one parked batch for adoption, if any.
@@ -344,10 +261,8 @@ impl OrphanStack {
         if self.blocks.load(Ordering::Acquire) == 0 {
             return None;
         }
-        let node = Self::pop_node(&self.head)?;
-        let batch = unsafe { RetiredBatch::from_raw((*node).batch_head, (*node).batch_len) };
+        let batch = self.stack.pop()?;
         self.blocks.fetch_sub(batch.len() as u64, Ordering::AcqRel);
-        Self::push_node(&self.spares, node);
         Some(batch)
     }
 
@@ -380,12 +295,7 @@ impl Drop for OrphanStack {
              the owning domain must call free_all() first",
             self.len()
         );
-        // Deallocate the type-stable nodes of both lists.
-        for list in [&self.head, &self.spares] {
-            while let Some(node) = Self::pop_node(list) {
-                drop(unsafe { Box::from_raw(node) });
-            }
-        }
+        // The inner stack deallocates its type-stable nodes.
     }
 }
 

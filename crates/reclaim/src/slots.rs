@@ -63,12 +63,6 @@ impl SlotArray {
             self.get(thread, slot).store(value, order);
         }
     }
-
-    /// Iterates over every `(thread, slot)` cell value.
-    pub fn iter_values<'a>(&'a self, order: Ordering) -> impl Iterator<Item = u64> + 'a {
-        (0..self.threads)
-            .flat_map(move |t| (0..self.slots).map(move |s| self.get(t, s).load(order)))
-    }
 }
 
 /// A `max_threads × slots` table of `AtomicUsize`s with padded rows
@@ -78,7 +72,6 @@ pub struct PtrSlotArray {
     data: Box<[AtomicUsize]>,
     stride: usize,
     slots: usize,
-    threads: usize,
 }
 
 impl PtrSlotArray {
@@ -92,7 +85,6 @@ impl PtrSlotArray {
             data,
             stride,
             slots,
-            threads,
         }
     }
 
@@ -114,12 +106,6 @@ impl PtrSlotArray {
         for slot in 0..self.slots {
             self.get(thread, slot).store(value, order);
         }
-    }
-
-    /// Iterates over every `(thread, slot)` cell value.
-    pub fn iter_values<'a>(&'a self, order: Ordering) -> impl Iterator<Item = usize> + 'a {
-        (0..self.threads)
-            .flat_map(move |t| (0..self.slots).map(move |s| self.get(t, s).load(order)))
     }
 }
 
@@ -187,9 +173,20 @@ mod tests {
         arr.get(1, 4).store(99, Relaxed);
         assert_eq!(arr.get(1, 4).load(Relaxed), 99);
         assert_eq!(arr.get(0, 4).load(Relaxed), 7);
-        assert_eq!(arr.iter_values(Relaxed).filter(|&v| v == 99).count(), 1);
+        let cells = |arr: &SlotArray| {
+            (0..arr.threads())
+                .flat_map(|t| (0..arr.slots()).map(move |s| (t, s)))
+                .collect::<Vec<_>>()
+        };
+        let modified = cells(&arr)
+            .iter()
+            .filter(|&&(t, s)| arr.get(t, s).load(Relaxed) == 99)
+            .count();
+        assert_eq!(modified, 1, "exactly one cell was written");
         arr.fill_row(1, 7, Relaxed);
-        assert!(arr.iter_values(Relaxed).all(|v| v == 7));
+        assert!(cells(&arr)
+            .iter()
+            .all(|&(t, s)| arr.get(t, s).load(Relaxed) == 7));
     }
 
     #[test]
@@ -199,7 +196,10 @@ mod tests {
         arr.get(0, 1).store(0xdead, Relaxed);
         assert_eq!(arr.get(0, 1).load(Relaxed), 0xdead);
         arr.fill_row(0, 0, Relaxed);
-        assert!(arr.iter_values(Relaxed).all(|v| v == 0));
+        for slot in 0..arr.slots() {
+            assert_eq!(arr.get(0, slot).load(Relaxed), 0);
+            assert_eq!(arr.get(1, slot).load(Relaxed), 0);
+        }
     }
 
     #[test]

@@ -75,16 +75,21 @@ impl Wfe {
     }
 
     /// Snapshots one column range of the reservation table into `snapshot`
-    /// (eras only; the tag word is irrelevant to reclamation).
+    /// (eras only; the tag word is irrelevant to reclamation). The walk goes
+    /// shard-by-shard and skips wholly-idle shards (see
+    /// [`ThreadRegistry::occupied_ranges`]): helper pins live in the rows of
+    /// *live, registered* helpers, so an idle shard cannot carry one.
     fn snapshot_columns(&self, snapshot: &mut EraSnapshot, js: usize, je: usize) {
         snapshot.clear();
-        for thread in 0..self.reservations.threads() {
-            for slot in js..je {
-                snapshot.insert(
-                    self.reservations
-                        .get(thread, slot)
-                        .load_first(Ordering::Acquire),
-                );
+        for range in self.registry.occupied_ranges() {
+            for thread in range {
+                for slot in js..je {
+                    snapshot.insert(
+                        self.reservations
+                            .get(thread, slot)
+                            .load_first(Ordering::Acquire),
+                    );
+                }
             }
         }
         snapshot.seal();
@@ -254,7 +259,7 @@ impl Reclaimer for Wfe {
             "WFE needs at least one fast-path attempt"
         );
         Arc::new(Self {
-            registry: ThreadRegistry::new(config.max_threads),
+            registry: ThreadRegistry::with_shards(config.max_threads, config.shards),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_era: CachePadded::new(AtomicU64::new(1)),
@@ -289,6 +294,10 @@ impl Reclaimer for Wfe {
 
     fn config(&self) -> &ReclaimerConfig {
         &self.config
+    }
+
+    fn registry(&self) -> &ThreadRegistry {
+        &self.registry
     }
 }
 

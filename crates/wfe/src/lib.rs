@@ -72,3 +72,8 @@ mod state;
 
 pub use domain::Wfe;
 pub use handle::WfeHandle;
+
+// Executor-friendly pooled handles work with every scheme, WFE included; the
+// generic machinery lives next to the common API and is re-exported here so
+// `wfe_core` users get the whole surface from one crate.
+pub use wfe_reclaim::pool::{HandlePool, PoolStats, PooledHandle};

@@ -1,15 +1,21 @@
-//! A small concurrent key-value store built on the Natarajan-Mittal BST and
+//! A small concurrent key-value service built on the Natarajan-Mittal BST and
 //! the Michael hash map, showing the same application code running under
-//! different reclamation schemes.
+//! different reclamation schemes — and, in the second half, the executor
+//! pattern: a sharded registry serving short-lived tasks through a
+//! `HandlePool` instead of one long-lived handle per OS thread.
 //!
 //! Run with `cargo run --release --example kv_store`.
 
 use std::sync::Arc;
 use std::time::Instant;
 
-use wfe_suite::{ConcurrentMap, He, MichaelHashMap, NatarajanBst, Reclaimer, ReclaimerConfig, Wfe};
+use wfe_suite::{
+    ConcurrentMap, DomainConfig, HandlePool, He, MichaelHashMap, NatarajanBst, Reclaimer,
+    ReclaimerConfig, Wfe,
+};
 
-/// Runs a mixed workload against any map type under any reclamation scheme.
+/// Runs a mixed workload against any map type under any reclamation scheme,
+/// one long-lived handle per thread (the paper's deployment model).
 fn exercise<R: Reclaimer, M: ConcurrentMap<R>>(label: &str) {
     const THREADS: usize = 4;
     const OPS: u64 = 50_000;
@@ -59,10 +65,90 @@ fn exercise<R: Reclaimer, M: ConcurrentMap<R>>(label: &str) {
     );
 }
 
+/// The executor pattern: a pool of workers serves a stream of short "tasks",
+/// each of which checks a handle out of a shared `HandlePool`, touches the
+/// map a few times, and checks it back in — no registry traffic per task.
+/// The registry is explicitly sharded, as a NUMA deployment would pin it.
+fn pooled_service_demo() {
+    const WORKERS: usize = 4;
+    const TASKS_PER_WORKER: u64 = 2_000;
+    const OPS_PER_TASK: u64 = 32;
+    const KEY_RANGE: u64 = 10_000;
+
+    // One domain, four registry shards (0 would auto-size from the host).
+    let domain = Wfe::with_config(DomainConfig {
+        shards: 4,
+        ..DomainConfig::with_max_threads(WORKERS * 2)
+    });
+    let map = MichaelHashMap::<u64, Wfe>::with_domain(Arc::clone(&domain));
+    let pool = HandlePool::new(Arc::clone(&domain));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for t in 0..WORKERS as u64 {
+            let map = &map;
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || {
+                let mut x = (t + 1).wrapping_mul(0xD129_0D3B_33F5_7A11) | 1;
+                for _ in 0..TASKS_PER_WORKER {
+                    // One task: check out, work, check in (drop).
+                    let mut handle = pool.check_out().expect("registry sized for the workers");
+                    for _ in 0..OPS_PER_TASK {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let key = x % KEY_RANGE;
+                        match x % 4 {
+                            0 => {
+                                map.insert(&mut handle, key, key * 2);
+                            }
+                            1 => {
+                                map.remove(&mut handle, key);
+                            }
+                            _ => {
+                                map.get(&mut handle, key);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let elapsed = start.elapsed();
+    let pool_stats = pool.stats();
+    let registry = domain.registry();
+    println!(
+        "{:45} {:>9.1} ops/ms   unreclaimed at end: {}",
+        "Michael hash map + WFE + HandlePool",
+        (WORKERS as u64 * TASKS_PER_WORKER * OPS_PER_TASK) as f64
+            / elapsed.as_millis().max(1) as f64,
+        domain.stats().unreclaimed
+    );
+    println!(
+        "  pool: {} check-outs, {:.1}% served from the pool, {} parked now",
+        pool_stats.checkouts,
+        pool_stats.hit_rate() * 100.0,
+        pool_stats.parked
+    );
+    let occupancy: Vec<usize> = (0..registry.shard_count())
+        .map(|shard| registry.shard_occupancy(shard))
+        .collect();
+    println!(
+        "  registry: {} slots in {} shards, per-shard occupancy {:?} (scans skip idle shards)",
+        registry.capacity(),
+        registry.shard_count(),
+        occupancy
+    );
+}
+
 fn main() {
     println!("key-value store example: 4 threads, mixed workload\n");
     exercise::<Wfe, NatarajanBst<u64, Wfe>>("Natarajan-Mittal BST + WFE");
     exercise::<He, NatarajanBst<u64, He>>("Natarajan-Mittal BST + Hazard Eras");
     exercise::<Wfe, MichaelHashMap<u64, Wfe>>("Michael hash map + WFE");
     exercise::<He, MichaelHashMap<u64, He>>("Michael hash map + Hazard Eras");
+
+    println!("\npooled service: 4 workers x 2000 tasks, handle checked out per task\n");
+    pooled_service_demo();
 }

@@ -54,6 +54,16 @@ pub use wfe_ds::{
     MichaelScottQueue, NatarajanBst, TreiberStack,
 };
 pub use wfe_reclaim::{
-    Atomic, Ebr, Handle, He, Hp, Ibr2Ge, Leak, Linked, Progress, RawHandle, Reclaimer,
-    ReclaimerConfig, SmrStats,
+    Atomic, DomainConfig, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, Leak, Linked, PoolStats,
+    PooledHandle, Progress, RawHandle, Reclaimer, ReclaimerConfig, SmrStats, ThreadRegistry,
 };
+
+// Compile the fenced Rust examples of the prose documentation as doc-tests
+// (`cargo test --doc`), so the guides cannot drift from the API.
+#[cfg(doctest)]
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
+#[cfg(doctest)]
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+mod architecture_doctests {}

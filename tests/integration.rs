@@ -5,9 +5,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use wfe_suite::{
-    ConcurrentMap, ConcurrentQueue, CrTurnQueue, Ebr, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak,
-    MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst, Progress, Reclaimer,
-    ReclaimerConfig, TreiberStack, Wfe,
+    Atomic, ConcurrentMap, ConcurrentQueue, CrTurnQueue, DomainConfig, Ebr, Handle, HandlePool, He,
+    Hp, Ibr2Ge, KoganPetrankQueue, Leak, MichaelHashMap, MichaelList, MichaelScottQueue,
+    NatarajanBst, Progress, RawHandle, Reclaimer, ReclaimerConfig, TreiberStack, Wfe,
 };
 
 /// Exercises one map type under one scheme with a small concurrent workload
@@ -380,4 +380,165 @@ fn wfe_under_forced_slow_path_keeps_structures_correct() {
     // With one fast-path attempt and constant era movement the slow path must
     // have been taken at least once across four threads.
     assert!(stats.slow_path > 0, "slow path exercised: {stats:?}");
+}
+
+/// Shard-skip correctness: a reservation published by a thread whose slot
+/// lives in one registry shard is never missed by a cleanup scan run from a
+/// thread in a *different* shard. The registry is configured with one slot
+/// per shard, so the reader and the writer are guaranteed to land in
+/// distinct shards.
+fn exercise_cross_shard_protection<R: Reclaimer>() {
+    use std::sync::mpsc;
+
+    let domain = R::with_config(DomainConfig {
+        // Scans only when forced, so the pin is observable deterministically.
+        cleanup_freq: usize::MAX,
+        shards: 8,
+        ..DomainConfig::with_max_threads(8)
+    });
+    assert_eq!(domain.registry().shard_count(), 8);
+
+    let mut writer = domain.register();
+    let node = writer.alloc(42u64);
+    let root: Atomic<u64> = Atomic::new(node);
+
+    let (protected_tx, protected_rx) = mpsc::channel::<usize>();
+    let (release_tx, release_rx) = mpsc::channel::<()>();
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+
+    std::thread::scope(|scope| {
+        {
+            let domain = Arc::clone(&domain);
+            let root = &root;
+            scope.spawn(move || {
+                let mut reader = domain.register();
+                reader.begin_op();
+                let seen = reader.protect(root, 0, core::ptr::null_mut());
+                protected_tx.send(reader.thread_id()).unwrap();
+                assert!(!seen.is_null());
+                release_rx.recv().unwrap();
+                reader.end_op();
+                reader.clear();
+                drop(reader);
+                done_tx.send(()).unwrap();
+            });
+        }
+
+        let reader_tid = protected_rx.recv().unwrap();
+        let registry = domain.registry();
+        assert_ne!(
+            registry.shard_of(writer.thread_id()),
+            registry.shard_of(reader_tid),
+            "reader and writer occupy different shards"
+        );
+        assert!(registry.occupied_shards() >= 2);
+
+        // Unlink and retire while the cross-shard reservation is live: the
+        // writer's scan must visit the reader's shard and keep the block.
+        root.store(core::ptr::null_mut(), Ordering::SeqCst);
+        unsafe { writer.retire(node) };
+        writer.force_cleanup();
+        assert_eq!(
+            domain.stats().unreclaimed,
+            1,
+            "a reservation in another shard pins the block"
+        );
+
+        // Withdraw the reservation; the next scan may free the block.
+        release_tx.send(()).unwrap();
+        done_rx.recv().unwrap();
+        writer.force_cleanup();
+        assert_eq!(
+            domain.stats().unreclaimed,
+            0,
+            "block freed once the cross-shard reservation is withdrawn"
+        );
+    });
+}
+
+macro_rules! cross_shard_matrix {
+    ($($test:ident: $scheme:ty;)*) => {
+        $(
+            #[test]
+            fn $test() {
+                exercise_cross_shard_protection::<$scheme>();
+            }
+        )*
+    };
+}
+
+cross_shard_matrix! {
+    cross_shard_protection_under_wfe: Wfe;
+    cross_shard_protection_under_he: He;
+    cross_shard_protection_under_hp: Hp;
+    cross_shard_protection_under_ebr: Ebr;
+    cross_shard_protection_under_ibr: Ibr2Ge;
+}
+
+#[test]
+fn pooled_handles_serve_a_task_churn_workload_across_threads() {
+    // The executor pattern end to end: workers check handles out of a shared
+    // pool per short task; the map stays consistent, the pool absorbs the
+    // churn and the registry never exceeds the worker count.
+    const WORKERS: usize = 4;
+    const TASKS: usize = 300;
+    const OPS_PER_TASK: u64 = 16;
+
+    let domain = Wfe::with_config(DomainConfig {
+        shards: 4,
+        cleanup_freq: 8,
+        era_freq: 16,
+        ..DomainConfig::with_max_threads(WORKERS)
+    });
+    let map = MichaelHashMap::<u64, Wfe>::with_domain(Arc::clone(&domain));
+    let pool = HandlePool::new(Arc::clone(&domain));
+
+    std::thread::scope(|scope| {
+        for t in 0..WORKERS as u64 {
+            let map = &map;
+            let pool = Arc::clone(&pool);
+            scope.spawn(move || {
+                let mut x = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                for _ in 0..TASKS {
+                    let mut handle = loop {
+                        match pool.check_out() {
+                            Some(handle) => break handle,
+                            None => std::thread::yield_now(),
+                        }
+                    };
+                    for _ in 0..OPS_PER_TASK {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        let key = x % 128;
+                        match x % 3 {
+                            0 => {
+                                map.insert(&mut handle, key, key + 1);
+                            }
+                            1 => {
+                                map.remove(&mut handle, key);
+                            }
+                            _ => {
+                                if let Some(v) = map.get(&mut handle, key) {
+                                    assert_eq!(v, key + 1, "value integrity");
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = pool.stats();
+    assert_eq!(stats.checkouts, (WORKERS * TASKS) as u64);
+    assert!(
+        stats.hits > stats.checkouts / 2,
+        "steady-state churn is served from the pool: {stats:?}"
+    );
+    assert!(domain.registry().registered() <= WORKERS);
+    drop(pool);
+    assert_eq!(domain.registry().registered(), 0);
+    let smr = domain.stats();
+    assert!(smr.freed <= smr.retired);
 }

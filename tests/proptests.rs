@@ -11,8 +11,9 @@ use wfe_suite::wfe_atomics::AtomicPair;
 use wfe_suite::wfe_reclaim::conformance::DropCounter;
 use wfe_suite::wfe_reclaim::ptr::tag;
 use wfe_suite::{
-    CrTurnQueue, Handle, He, Hp, KoganPetrankQueue, Linked, MichaelHashMap, MichaelList,
-    MichaelScottQueue, NatarajanBst, RawHandle, Reclaimer, ReclaimerConfig, Wfe,
+    CrTurnQueue, Handle, HandlePool, He, Hp, KoganPetrankQueue, Linked, MichaelHashMap,
+    MichaelList, MichaelScottQueue, NatarajanBst, PooledHandle, RawHandle, Reclaimer,
+    ReclaimerConfig, Wfe,
 };
 
 /// An operation applied both to the concurrent structure and to the model.
@@ -141,8 +142,108 @@ fn check_retirement_pipeline<R: Reclaimer>(steps: &[SmrStep]) {
     );
 }
 
+/// One step of the handle-pool property test, acting on one of a small pool
+/// of guard slots.
+#[derive(Debug, Clone, Copy)]
+enum PoolStep {
+    /// Check a handle out into the slot (no-op if occupied).
+    CheckOut(usize),
+    /// Allocate and retire one drop-counting block through the slot's guard.
+    Retire(usize),
+    /// Check the slot's handle back in (parks it on the pool's freelist).
+    CheckIn(usize),
+    /// Force a cleanup pass on the slot's guard.
+    Cleanup(usize),
+}
+
+fn pool_step_strategy(slots: usize) -> impl Strategy<Value = PoolStep> {
+    prop_oneof![
+        (0..slots).prop_map(PoolStep::CheckOut),
+        (0..slots).prop_map(PoolStep::Retire),
+        (0..slots).prop_map(PoolStep::CheckIn),
+        (0..slots).prop_map(PoolStep::Cleanup),
+    ]
+}
+
+/// Drives an interleaved check-out/retire/check-in sequence through a
+/// `HandlePool` and finishes by dropping the pool *with handles still
+/// parked*: drop-counting payloads prove no block is freed twice along the
+/// way and none is leaked once pool and domain are gone.
+fn check_handle_pool<R: Reclaimer>(steps: &[PoolStep]) {
+    const SLOTS: usize = 3;
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut allocated = 0usize;
+    {
+        // Tiny frequencies so short sequences still trip batch scans, plus a
+        // deliberately sharded registry.
+        let domain = R::with_config(ReclaimerConfig {
+            cleanup_freq: 3,
+            era_freq: 2,
+            shards: SLOTS,
+            ..ReclaimerConfig::with_max_threads(SLOTS)
+        });
+        let pool = HandlePool::new(Arc::clone(&domain));
+        let mut guards: Vec<Option<PooledHandle<R>>> = (0..SLOTS).map(|_| None).collect();
+        for &step in steps {
+            match step {
+                PoolStep::CheckOut(slot) => {
+                    if guards[slot].is_none() {
+                        guards[slot] = pool.check_out();
+                        assert!(guards[slot].is_some(), "registry sized for the guard slots");
+                    }
+                }
+                PoolStep::Retire(slot) => {
+                    if let Some(guard) = guards[slot].as_mut() {
+                        let block = guard.alloc(DropCounter::new(&drops));
+                        allocated += 1;
+                        unsafe { guard.retire(block) };
+                    }
+                }
+                PoolStep::CheckIn(slot) => {
+                    guards[slot] = None;
+                }
+                PoolStep::Cleanup(slot) => {
+                    if let Some(guard) = guards[slot].as_mut() {
+                        guard.force_cleanup();
+                    }
+                }
+            }
+            assert!(
+                drops.load(Ordering::SeqCst) <= allocated,
+                "a block was freed twice"
+            );
+        }
+        // Check everything in, then drop the pool while those handles are
+        // parked: each parked handle must tear down the ordinary way
+        // (final scan + orphan parking + registry release).
+        drop(guards);
+        drop(pool);
+        assert_eq!(domain.registry().registered(), 0, "every slot released");
+        drop(domain);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        allocated,
+        "every retired block dropped exactly once, none leaked"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn handle_pool_checkout_checkin_never_double_frees_or_leaks_wfe(
+        steps in proptest::collection::vec(pool_step_strategy(3), 1..250)
+    ) {
+        check_handle_pool::<Wfe>(&steps);
+    }
+
+    #[test]
+    fn handle_pool_checkout_checkin_never_double_frees_or_leaks_he(
+        steps in proptest::collection::vec(pool_step_strategy(3), 1..250)
+    ) {
+        check_handle_pool::<He>(&steps);
+    }
 
     #[test]
     fn michael_list_matches_btreemap(actions in proptest::collection::vec(map_action_strategy(32), 1..400)) {
