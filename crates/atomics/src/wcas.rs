@@ -278,19 +278,24 @@ unsafe fn cmpxchg16b(dst: *mut Pair, current: Pair, new: Pair) -> (Pair, bool) {
     // it does not know the template touches `rbx` — which corrupts the
     // operand mid-template (observed in release builds as `cmpxchg16b [rbx]`
     // executing after `rbx` was swapped away).
-    core::arch::asm!(
-        "xchg rsi, rbx",
-        "lock cmpxchg16b xmmword ptr [rdi]",
-        "sete r8b",
-        "mov rbx, rsi",
-        in("rdi") dst,
-        inout("rsi") new_lo => _,
-        out("r8b") ok,
-        in("rcx") new_hi,
-        inout("rax") cur_lo => prev_lo,
-        inout("rdx") cur_hi => prev_hi,
-        options(nostack),
-    );
+    // SAFETY: the caller guarantees `dst` is valid, 16-byte aligned, only
+    // accessed atomically, and that the CPU supports `cmpxchg16b`; `rbx` is
+    // saved and restored around the instruction as described above.
+    unsafe {
+        core::arch::asm!(
+            "xchg rsi, rbx",
+            "lock cmpxchg16b xmmword ptr [rdi]",
+            "sete r8b",
+            "mov rbx, rsi",
+            in("rdi") dst,
+            inout("rsi") new_lo => _,
+            out("r8b") ok,
+            in("rcx") new_hi,
+            inout("rax") cur_lo => prev_lo,
+            inout("rdx") cur_hi => prev_hi,
+            options(nostack),
+        );
+    }
     ((prev_lo, prev_hi), ok != 0)
 }
 

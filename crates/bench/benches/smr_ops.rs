@@ -2,9 +2,12 @@
 //!
 //! These complement the figure runs: they measure the per-call cost of the
 //! three hot operations every data structure pays for — `get_protected`
-//! (traversal), `alloc_block` + `retire` (update) — for each scheme, which is
-//! the constant-factor difference the paper attributes the HP slowdown and the
-//! small WFE-vs-HE gap to (§5, linked-list discussion).
+//! (traversal, through the safe `Shield::protect` the structures use),
+//! `alloc_block` + `retire` (update) — for each scheme, which is the
+//! constant-factor difference the paper attributes the HP slowdown and the
+//! small WFE-vs-HE gap to (§5, linked-list discussion). The `guard_overhead`
+//! group measures the safe layer itself against the raw SPI sequence, so the
+//! zero-cost claim of the guard API is checked, not assumed.
 
 use std::ptr;
 use std::sync::Arc;
@@ -18,6 +21,7 @@ use wfe_reclaim::{
 fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
     let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
     let mut handle = domain.register();
+    let mut shield = handle.shield::<u64>().expect("slots available");
     let node = handle.alloc(42u64);
     let root: Atomic<u64> = Atomic::new(node);
     c.bench_with_input(
@@ -25,13 +29,13 @@ fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
         &(),
         |bencher, _| {
             bencher.iter(|| {
-                handle.begin_op();
-                let ptr = handle.protect(&root, 0, ptr::null_mut());
-                handle.end_op();
-                std::hint::black_box(ptr)
+                let guard = handle.enter();
+                let ptr = shield.protect(&guard, &root, None);
+                std::hint::black_box(ptr.as_raw())
             })
         },
     );
+    drop(shield);
     unsafe { wfe_reclaim::Linked::dealloc(node) };
 }
 
@@ -76,6 +80,64 @@ fn bench_pool_checkout(c: &mut Criterion) {
     });
 }
 
+fn bench_guard_overhead<R: Reclaimer>(c: &mut Criterion, name: &str) {
+    // Measures the zero-cost claim of the safe API: one guarded read through
+    // `Shield::protect` (enter bracket, protect, drop bracket) against the
+    // identical raw sequence (`begin_op`, `protect`, `end_op`). The shield is
+    // leased once outside the loop so the comparison isolates the per-read
+    // overhead; the lease/release cost the data structures pay per operation
+    // (two uncontended atomic RMWs per shield) is measured separately by the
+    // `lease_shield_protect` variant below.
+    let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
+    let mut handle = domain.register();
+    let node = handle.alloc(42u64);
+    let root: Atomic<u64> = Atomic::new(node);
+
+    c.bench_with_input(
+        BenchmarkId::new("guard_overhead/raw_protect", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                handle.begin_op();
+                let ptr = handle.protect(&root, 0, ptr::null_mut());
+                handle.end_op();
+                std::hint::black_box(ptr)
+            })
+        },
+    );
+
+    let mut shield = handle.shield::<u64>().expect("slots available");
+    c.bench_with_input(
+        BenchmarkId::new("guard_overhead/shield_protect", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                let guard = handle.enter();
+                let ptr = shield.protect(&guard, &root, None);
+                std::hint::black_box(ptr.as_raw())
+            })
+        },
+    );
+    drop(shield);
+
+    // The path the data structures actually pay per operation: lease the
+    // shield, enter, protect, and release everything again.
+    c.bench_with_input(
+        BenchmarkId::new("guard_overhead/lease_shield_protect", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                let mut shield = handle.shield::<u64>().expect("slots available");
+                let guard = handle.enter();
+                let ptr = shield.protect(&guard, &root, None);
+                std::hint::black_box(ptr.as_raw())
+            })
+        },
+    );
+
+    unsafe { wfe_reclaim::Linked::dealloc(node) };
+}
+
 fn bench_protect_under_era_pressure(c: &mut Criterion) {
     // The WFE-specific cost: get_protected while another thread keeps
     // advancing the era clock (allocating with era_freq = 1), which is what
@@ -100,14 +162,15 @@ fn bench_protect_under_era_pressure(c: &mut Criterion) {
             }
         })
     };
+    let mut shield = handle.shield::<u64>().expect("slots available");
     c.bench_function("get_protected/WFE-under-era-pressure", |bencher| {
         bencher.iter(|| {
-            handle.begin_op();
-            let ptr = handle.protect(&root, 0, ptr::null_mut());
-            handle.end_op();
-            std::hint::black_box(ptr)
+            let guard = handle.enter();
+            let ptr = shield.protect(&guard, &root, None);
+            std::hint::black_box(ptr.as_raw())
         })
     });
+    drop(shield);
     stop.store(true, std::sync::atomic::Ordering::Relaxed);
     bumper.join().unwrap();
     unsafe { wfe_reclaim::Linked::dealloc(node) };
@@ -127,6 +190,9 @@ fn smr_ops(c: &mut Criterion) {
     bench_alloc_retire::<Ebr>(c, "EBR");
     bench_alloc_retire::<Ibr2Ge>(c, "2GEIBR");
     bench_alloc_retire::<Leak>(c, "Leak");
+
+    bench_guard_overhead::<Wfe>(c, "WFE");
+    bench_guard_overhead::<He>(c, "HE");
 
     bench_register_churn::<Wfe>(c, "WFE");
     bench_register_churn::<He>(c, "HE");

@@ -49,7 +49,7 @@ use core::ptr;
 use core::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, RawHandle, Reclaimer, Shield};
 
 use crate::traits::ConcurrentQueue;
 
@@ -114,16 +114,22 @@ pub struct CrTurnQueue<T, R: Reclaimer> {
     domain: Arc<R>,
 }
 
+// SAFETY: nodes and request arrays hold `T` by value; all shared-pointer access goes through the reclamation protocol, so sending the
+// structure is sending the `T`s it owns.
 unsafe impl<T: Send, R: Reclaimer> Send for CrTurnQueue<T, R> {}
+// SAFETY: every `&self` method is lock-free-safe by construction (the
+// algorithm's own synchronisation); `T: Send` suffices because values
+// are moved in/out, never shared by reference across threads.
 unsafe impl<T: Send, R: Reclaimer> Sync for CrTurnQueue<T, R> {}
 
-/// Reservation slot protecting the head (dequeue) or tail (enqueue) snapshot.
-const SLOT_FIRST: usize = 0;
-/// Reservation slot protecting the node after the protected head.
-const SLOT_NEXT: usize = 1;
-/// Reservation slot protecting the helped dequeuer's `deqhelp` entry while a
-/// helper fulfils that thread's request.
-const SLOT_DEQ: usize = 2;
+/// The three shields one operation needs: the head/tail snapshot, the node
+/// after the protected head, and the helped dequeuer's `deqhelp` entry while
+/// a helper fulfils that thread's request on its behalf.
+struct CrShields<T, H: RawHandle> {
+    first: Shield<Node<T>, H>,
+    next: Shield<Node<T>, H>,
+    deq: Shield<Node<T>, H>,
+}
 
 impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// Reservation slots the queue needs per thread: the head/tail snapshot
@@ -131,6 +137,16 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// helping — a helper must pin the *helped* thread's `deqhelp` node while
     /// fulfilling that request on its behalf.
     pub const REQUIRED_SLOTS: usize = 3;
+
+    /// Leases the three shields of one operation.
+    fn shields(handle: &R::Handle) -> CrShields<T, R::Handle> {
+        let exhausted = "CrTurnQueue: reservation slots exhausted (needs three Shields)";
+        CrShields {
+            first: handle.shield().expect(exhausted),
+            next: handle.shield().expect(exhausted),
+            deq: handle.shield().expect(exhausted),
+        }
+    }
 
     /// Creates an empty queue guarded by `domain`. The queue supports thread
     /// ids up to the domain's `max_threads`.
@@ -177,39 +193,48 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// Appends `value` at the tail. Wait-free: completes within
     /// `max_threads` turn-serving rounds regardless of other threads.
     pub fn enqueue(&self, handle: &mut R::Handle, value: T) {
-        handle.begin_op();
-        let tid = self.publish_enqueue_request(handle, value);
-        self.complete_enqueue(handle, tid);
-        handle.end_op();
+        // Enqueue only ever pins the tail snapshot; dequeue needs all three.
+        let mut tail_shield: Shield<Node<T>, R::Handle> = handle
+            .shield()
+            .expect("CrTurnQueue: reservation slots exhausted (enqueue needs one Shield)");
+        let guard = handle.enter();
+        let tid = self.publish_enqueue_request(&guard, value);
+        self.complete_enqueue(&guard, &mut tail_shield, tid);
     }
 
     /// Step 1 of an enqueue: publish the node in `enqueuers[tid]` where any
     /// thread can (and eventually will) append it on our behalf.
-    fn publish_enqueue_request(&self, handle: &mut R::Handle, value: T) -> usize {
-        let tid = handle.thread_id();
-        let node = handle.alloc(Node::new(Some(value), tid));
+    fn publish_enqueue_request(&self, guard: &Guard<'_, R::Handle>, value: T) -> usize {
+        let tid = guard.thread_id();
+        let node = guard.alloc(Node::new(Some(value), tid));
         self.enqueuers[tid].store(node, Ordering::SeqCst);
         tid
     }
 
     /// Steps 2-4 of an enqueue: serve requests in turn order until ours has
     /// been appended (at most `max_threads` tail advances away).
-    fn complete_enqueue(&self, handle: &mut R::Handle, tid: usize) {
+    fn complete_enqueue(
+        &self,
+        guard: &Guard<'_, R::Handle>,
+        tail_shield: &mut Shield<Node<T>, R::Handle>,
+        tid: usize,
+    ) {
         let max_threads = self.max_threads();
         for _ in 0..max_threads {
             if self.enqueuers[tid].load(Ordering::Acquire).is_null() {
                 break; // Some thread appended our node for us.
             }
-            let ltail = handle.protect(&self.tail, SLOT_FIRST, ptr::null_mut());
-            if ltail != self.tail.load(Ordering::Acquire) {
+            let ltail = tail_shield.protect(guard, &self.tail, None);
+            if ltail.as_raw() != self.tail.load(Ordering::Acquire) {
                 continue; // Tail advanced: one more request was served.
             }
+            let ltail_ref = ltail.as_ref().expect("the tail is never null");
             // Step 4 for the previous enqueue: the node that became the tail
             // satisfied `enq_tid`'s request; close that request.
-            let ltail_enq_tid = unsafe { (*ltail).value.enq_tid };
-            if self.enqueuers[ltail_enq_tid].load(Ordering::Acquire) == ltail {
+            let ltail_enq_tid = ltail_ref.enq_tid;
+            if self.enqueuers[ltail_enq_tid].load(Ordering::Acquire) == ltail.as_raw() {
                 let _ = self.enqueuers[ltail_enq_tid].compare_exchange(
-                    ltail,
+                    ltail.as_raw(),
                     ptr::null_mut(),
                     Ordering::AcqRel,
                     Ordering::Acquire,
@@ -223,7 +248,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
                 if node_to_help.is_null() {
                     continue;
                 }
-                let _ = unsafe { &(*ltail).value.next }.compare_exchange(
+                let _ = ltail_ref.next.compare_exchange(
                     ptr::null_mut(),
                     node_to_help,
                     Ordering::AcqRel,
@@ -232,11 +257,14 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
                 break;
             }
             // Step 3: swing the tail over whatever got appended.
-            let lnext = unsafe { (*ltail).value.next.load(Ordering::Acquire) };
+            let lnext = ltail_ref.next.load(Ordering::Acquire);
             if !lnext.is_null() {
-                let _ =
-                    self.tail
-                        .compare_exchange(ltail, lnext, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self.tail.compare_exchange(
+                    ltail.as_raw(),
+                    lnext,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
             }
         }
         // After `max_threads` tail advances our request must have been served;
@@ -247,12 +275,11 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// Removes the element at the head, if any. Wait-free: the request is
     /// granted within `max_threads` head advances.
     pub fn dequeue(&self, handle: &mut R::Handle) -> Option<T> {
-        handle.begin_op();
-        let tid = handle.thread_id();
+        let mut sh = Self::shields(handle);
+        let guard = handle.enter();
+        let tid = guard.thread_id();
         let (pr_req, my_req) = self.publish_dequeue_request(tid);
-        let result = self.complete_dequeue(handle, tid, pr_req, my_req);
-        handle.end_op();
-        result
+        self.complete_dequeue(&guard, &mut sh, tid, pr_req, my_req)
     }
 
     /// Step 1 of a dequeue: open this thread's request by making `deqself`
@@ -268,7 +295,8 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// is granted (or the queue is seen empty), then read the granted node.
     fn complete_dequeue(
         &self,
-        handle: &mut R::Handle,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut CrShields<T, R::Handle>,
         tid: usize,
         pr_req: *mut Linked<Node<T>>,
         my_req: *mut Linked<Node<T>>,
@@ -277,12 +305,12 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             if self.deqhelp[tid].load(Ordering::Acquire) != my_req {
                 break; // Our request has been granted.
             }
-            let lhead = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
-            if lhead == self.tail.load(Ordering::Acquire) {
+            let lhead = sh.first.protect(guard, &self.head, None);
+            if lhead.as_raw() == self.tail.load(Ordering::Acquire) {
                 // The queue is empty. Close the request, then resolve the
                 // race with helpers that read it while it was still open.
                 self.deqself[tid].store(pr_req, Ordering::SeqCst);
-                self.give_up(handle, my_req, tid);
+                self.give_up(guard, sh, my_req, tid);
                 if self.deqhelp[tid].load(Ordering::Acquire) != my_req {
                     // A helper granted us a node anyway; take it below.
                     self.deqself[tid].store(my_req, Ordering::Relaxed);
@@ -290,8 +318,9 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
                 }
                 return None;
             }
-            let lnext = handle.protect(unsafe { &(*lhead).value.next }, SLOT_NEXT, lhead);
-            if lhead != self.head.load(Ordering::Acquire) {
+            let lhead_ref = lhead.as_ref().expect("the head is never null");
+            let lnext = sh.next.protect(guard, &lhead_ref.next, Some(lhead));
+            if lhead.as_raw() != self.head.load(Ordering::Acquire) {
                 continue;
             }
             // `head != tail` implies a successor (the head never overtakes
@@ -300,37 +329,58 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
                 continue;
             }
             if self.search_next(lhead, lnext) != IDX_NONE {
-                self.cas_deq_and_head(handle, lhead, lnext, tid);
+                self.cas_deq_and_head(guard, sh, lhead, lnext, tid);
             }
         }
         // Our request is granted: `deqhelp[tid]` holds the node with our
         // value. Only we will ever retire it (as `pr_req` of our next
         // dequeue), so reading it without a reservation is safe.
-        let my_node = self.deqhelp[tid].load(Ordering::Acquire);
-        debug_assert!(my_node != my_req, "request still open after bounded help");
+        // SAFETY: ownership argument above — the granted node can only be
+        // retired by this thread, at the start of its *next* dequeue.
+        let my_node =
+            unsafe { Protected::from_unlinked(self.deqhelp[tid].load(Ordering::Acquire)) };
+        debug_assert!(
+            my_node.as_raw() != my_req,
+            "request still open after bounded help"
+        );
         // Finish step 3 on behalf of the helper that granted us `my_node` but
         // has not swung the head yet.
-        let lhead = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
-        if lhead == self.head.load(Ordering::Acquire)
-            && my_node == unsafe { (*lhead).value.next.load(Ordering::Acquire) }
+        let lhead = sh.first.protect(guard, &self.head, None);
+        if lhead.as_raw() == self.head.load(Ordering::Acquire)
+            && my_node.as_raw()
+                == lhead
+                    .as_ref()
+                    .expect("the head is never null")
+                    .next
+                    .load(Ordering::Acquire)
         {
-            let _ = self
-                .head
-                .compare_exchange(lhead, my_node, Ordering::AcqRel, Ordering::Acquire);
+            let _ = self.head.compare_exchange(
+                lhead.as_raw(),
+                my_node.as_raw(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
         }
-        let value = unsafe { (*my_node).value.value };
+        let value = my_node.as_ref().expect("granted node is never null").value;
         // The marker of our *previous* request can no longer be the sentinel
         // or be named by any in-flight helper on our behalf: retire it.
-        unsafe { handle.retire(pr_req) };
+        // SAFETY: exactly the argument above — only this thread retires its
+        // previous request marker, and it does so once.
+        unsafe { Protected::from_unlinked(pr_req).retire_in(guard) };
         value
     }
 
     /// Decides which open dequeue request the node `lnext` serves: the first
     /// open request circularly after the departing head's `deq_tid`. Returns
     /// the claimed thread id, or [`IDX_NONE`] if no request is open.
-    fn search_next(&self, lhead: *mut Linked<Node<T>>, lnext: *mut Linked<Node<T>>) -> i64 {
+    fn search_next(&self, lhead: Protected<'_, Node<T>>, lnext: Protected<'_, Node<T>>) -> i64 {
         let max_threads = self.max_threads();
-        let turn = unsafe { (*lhead).value.deq_tid.load(Ordering::Acquire) };
+        let turn = lhead
+            .as_ref()
+            .expect("the head is never null")
+            .deq_tid
+            .load(Ordering::Acquire);
+        let lnext_ref = lnext.as_ref().expect("caller checked lnext is non-null");
         for idx in (turn + 1)..(turn + 1 + max_threads as i64) {
             let id_deq = idx as usize % max_threads;
             if self.deqself[id_deq].load(Ordering::Acquire)
@@ -338,9 +388,8 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             {
                 continue; // Closed request.
             }
-            let deq_tid = unsafe { &(*lnext).value.deq_tid };
-            if deq_tid.load(Ordering::Acquire) == IDX_NONE {
-                let _ = deq_tid.compare_exchange(
+            if lnext_ref.deq_tid.load(Ordering::Acquire) == IDX_NONE {
+                let _ = lnext_ref.deq_tid.compare_exchange(
                     IDX_NONE,
                     id_deq as i64,
                     Ordering::AcqRel,
@@ -349,40 +398,50 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             }
             break;
         }
-        unsafe { (*lnext).value.deq_tid.load(Ordering::Acquire) }
+        lnext_ref.deq_tid.load(Ordering::Acquire)
     }
 
     /// Grants `lnext` to the request it was claimed for, then swings the
     /// head. `lhead` and `lnext` must be protected by the caller.
     fn cas_deq_and_head(
         &self,
-        handle: &mut R::Handle,
-        lhead: *mut Linked<Node<T>>,
-        lnext: *mut Linked<Node<T>>,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut CrShields<T, R::Handle>,
+        lhead: Protected<'_, Node<T>>,
+        lnext: Protected<'_, Node<T>>,
         tid: usize,
     ) {
-        let ldeq_tid = unsafe { (*lnext).value.deq_tid.load(Ordering::Acquire) };
+        let ldeq_tid = lnext
+            .as_ref()
+            .expect("caller checked lnext is non-null")
+            .deq_tid
+            .load(Ordering::Acquire);
         debug_assert!(ldeq_tid >= 0, "granting an unclaimed node");
         let ldeq_tid = ldeq_tid as usize;
         if ldeq_tid == tid {
             // Our own request: no other thread stores anything else here.
-            self.deqhelp[ldeq_tid].store(lnext, Ordering::Release);
+            self.deqhelp[ldeq_tid].store(lnext.as_raw(), Ordering::Release);
         } else {
             // Helping another thread: pin its current marker so the CAS
             // cannot ABA over a recycled node, and re-validate the head.
-            let ldeqhelp = handle.protect(&self.deqhelp[ldeq_tid], SLOT_DEQ, ptr::null_mut());
-            if ldeqhelp != lnext && lhead == self.head.load(Ordering::Acquire) {
+            let ldeqhelp = sh.deq.protect(guard, &self.deqhelp[ldeq_tid], None);
+            if ldeqhelp.as_raw() != lnext.as_raw()
+                && lhead.as_raw() == self.head.load(Ordering::Acquire)
+            {
                 let _ = self.deqhelp[ldeq_tid].compare_exchange(
-                    ldeqhelp,
-                    lnext,
+                    ldeqhelp.as_raw(),
+                    lnext.as_raw(),
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 );
             }
         }
-        let _ = self
-            .head
-            .compare_exchange(lhead, lnext, Ordering::AcqRel, Ordering::Acquire);
+        let _ = self.head.compare_exchange(
+            lhead.as_raw(),
+            lnext.as_raw(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
     }
 
     /// Called after closing a request on the empty path: if the queue turned
@@ -390,26 +449,32 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// for whichever request is open, or for ourselves — so that no helper
     /// that still saw our request open can grant us a node *after* we report
     /// the queue empty.
-    fn give_up(&self, handle: &mut R::Handle, my_req: *mut Linked<Node<T>>, tid: usize) {
-        let lhead = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+    fn give_up(
+        &self,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut CrShields<T, R::Handle>,
+        my_req: *mut Linked<Node<T>>,
+        tid: usize,
+    ) {
+        let lhead = sh.first.protect(guard, &self.head, None);
         if self.deqhelp[tid].load(Ordering::Acquire) != my_req
-            || lhead == self.tail.load(Ordering::Acquire)
+            || lhead.as_raw() == self.tail.load(Ordering::Acquire)
         {
             return;
         }
-        let lnext = handle.protect(unsafe { &(*lhead).value.next }, SLOT_NEXT, lhead);
-        if lhead != self.head.load(Ordering::Acquire) || lnext.is_null() {
+        let lhead_ref = lhead.as_ref().expect("the head is never null");
+        let lnext = sh.next.protect(guard, &lhead_ref.next, Some(lhead));
+        if lhead.as_raw() != self.head.load(Ordering::Acquire) || lnext.is_null() {
             return;
         }
         if self.search_next(lhead, lnext) == IDX_NONE {
-            let _ = unsafe { &(*lnext).value.deq_tid }.compare_exchange(
-                IDX_NONE,
-                tid as i64,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            );
+            let _ = lnext
+                .as_ref()
+                .expect("checked non-null above")
+                .deq_tid
+                .compare_exchange(IDX_NONE, tid as i64, Ordering::AcqRel, Ordering::Acquire);
         }
-        self.cas_deq_and_head(handle, lhead, lnext, tid);
+        self.cas_deq_and_head(guard, sh, lhead, lnext, tid);
     }
 
     /// Returns `true` if the queue appeared empty at the moment of the call.
@@ -423,9 +488,8 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// other thread runs its own operation past this request's turn.
     #[doc(hidden)]
     pub fn stall_enqueue_publish(&self, handle: &mut R::Handle, value: T) {
-        handle.begin_op();
-        self.publish_enqueue_request(handle, value);
-        handle.end_op();
+        let guard = handle.enter();
+        self.publish_enqueue_request(&guard, value);
     }
 
     /// Test hook: opens a dequeue request and returns without helping,
@@ -433,9 +497,8 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// [`CrTurnQueue::resume_dequeue`] to finish the operation later.
     #[doc(hidden)]
     pub fn stall_dequeue_publish(&self, handle: &mut R::Handle) -> DequeueTicket<T> {
-        handle.begin_op();
-        let (pr_req, my_req) = self.publish_dequeue_request(handle.thread_id());
-        handle.end_op();
+        let guard = handle.enter();
+        let (pr_req, my_req) = self.publish_dequeue_request(guard.thread_id());
         DequeueTicket { pr_req, my_req }
     }
 
@@ -444,11 +507,10 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// thread (same handle) that opened the ticket.
     #[doc(hidden)]
     pub fn resume_dequeue(&self, handle: &mut R::Handle, ticket: DequeueTicket<T>) -> Option<T> {
-        handle.begin_op();
-        let tid = handle.thread_id();
-        let result = self.complete_dequeue(handle, tid, ticket.pr_req, ticket.my_req);
-        handle.end_op();
-        result
+        let mut sh = Self::shields(handle);
+        let guard = handle.enter();
+        let tid = guard.thread_id();
+        self.complete_dequeue(&guard, &mut sh, tid, ticket.pr_req, ticket.my_req)
     }
 }
 
@@ -460,8 +522,12 @@ impl<T, R: Reclaimer> Drop for CrTurnQueue<T, R> {
         let mut freed = std::collections::HashSet::new();
         let mut cur = self.head.load(Ordering::Relaxed);
         while !cur.is_null() {
+            // SAFETY: `Drop` has exclusive access; every reachable node is
+            // valid until deallocated below.
             let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) };
             if freed.insert(cur) {
+                // SAFETY: the `freed` set guarantees each node (the sentinel
+                // may be named twice) is freed exactly once.
                 unsafe { Linked::dealloc(cur) };
             }
             cur = next;
@@ -470,6 +536,7 @@ impl<T, R: Reclaimer> Drop for CrTurnQueue<T, R> {
             for slot in array.iter() {
                 let node = slot.load(Ordering::Relaxed);
                 if !node.is_null() && freed.insert(node) {
+                    // SAFETY: as above — deduplicated, exclusive access.
                     unsafe { Linked::dealloc(node) };
                 }
             }

@@ -26,7 +26,7 @@ use core::ptr;
 use core::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
-use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};
 
 use crate::traits::ConcurrentQueue;
 
@@ -64,19 +64,40 @@ pub struct KoganPetrankQueue<T, R: Reclaimer> {
     domain: Arc<R>,
 }
 
+// SAFETY: nodes and descriptors hold `T` by value; all shared-pointer access goes through the reclamation protocol, so sending the
+// structure is sending the `T`s it owns.
 unsafe impl<T: Send, R: Reclaimer> Send for KoganPetrankQueue<T, R> {}
+// SAFETY: every `&self` method is lock-free-safe by construction (the
+// algorithm's own synchronisation); `T: Send` suffices because values
+// are moved in/out, never shared by reference across threads.
 unsafe impl<T: Send, R: Reclaimer> Sync for KoganPetrankQueue<T, R> {}
 
-/// Reservation slot roles.
-const SLOT_FIRST: usize = 0; // head / tail snapshot
-const SLOT_NEXT: usize = 1; // successor node
-const SLOT_DESC: usize = 2; // descriptor being examined
-const SLOT_DESC_AUX: usize = 3; // descriptor re-checks (is_still_pending)
+/// The four shields one operation (and all the helping it performs) needs:
+/// the head/tail snapshot, its successor, the descriptor being examined and a
+/// separate shield for descriptor re-checks (`is_still_pending`), which must
+/// not displace the descriptor the caller is still reading.
+struct KpShields<T, H: wfe_reclaim::RawHandle> {
+    first: Shield<Node<T>, H>,
+    next: Shield<Node<T>, H>,
+    desc: Shield<OpDesc<T>, H>,
+    desc_aux: Shield<OpDesc<T>, H>,
+}
 
 impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
-    /// Reservation slots the queue needs per thread: the four roles above
+    /// Reservation slots the queue needs per thread: the four shield roles
     /// (head/tail snapshot, successor, descriptor, descriptor re-checks).
     pub const REQUIRED_SLOTS: usize = 4;
+
+    /// Leases the four shields of one operation.
+    fn shields(handle: &R::Handle) -> KpShields<T, R::Handle> {
+        let exhausted = "KoganPetrankQueue: reservation slots exhausted (needs four Shields)";
+        KpShields {
+            first: handle.shield().expect(exhausted),
+            next: handle.shield().expect(exhausted),
+            desc: handle.shield().expect(exhausted),
+            desc_aux: handle.shield().expect(exhausted),
+        }
+    }
 
     /// Creates an empty queue guarded by `domain`. The queue supports thread
     /// ids up to the domain's `max_threads`.
@@ -121,11 +142,11 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
     }
 
     /// Largest phase currently published, plus one.
-    fn next_phase(&self, handle: &mut R::Handle) -> u64 {
+    fn next_phase(&self, guard: &Guard<'_, R::Handle>, sh: &mut KpShields<T, R::Handle>) -> u64 {
         let mut max = 0;
         for slot in self.state.iter() {
-            let desc = handle.protect(slot, SLOT_DESC_AUX, ptr::null_mut());
-            let phase = unsafe { (*desc).value.phase };
+            let desc = sh.desc_aux.protect(guard, slot, None);
+            let phase = desc.as_ref().expect("descriptors are never null").phase;
             max = max.max(phase);
         }
         max + 1
@@ -136,63 +157,86 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
     /// exchange happened.
     fn swap_desc(
         &self,
-        handle: &mut R::Handle,
+        guard: &Guard<'_, R::Handle>,
         tid: usize,
-        old: *mut Linked<OpDesc<T>>,
+        old: Protected<'_, OpDesc<T>>,
         new: *mut Linked<OpDesc<T>>,
     ) -> bool {
-        match self.state[tid].compare_exchange(old, new, Ordering::AcqRel, Ordering::Acquire) {
+        match self.state[tid].compare_exchange(
+            old.as_raw(),
+            new,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        ) {
             Ok(_) => {
-                unsafe { handle.retire(old) };
+                // SAFETY: the CAS unlinked `old` from the only place that
+                // publishes it, so it is unreachable and retired exactly once
+                // (every replacement goes through this method).
+                unsafe { old.retire_in(guard) };
                 true
             }
             Err(_) => {
+                // SAFETY: `new` was never published; freed exactly once.
                 unsafe { Linked::dealloc(new) };
                 false
             }
         }
     }
 
-    fn is_still_pending(&self, handle: &mut R::Handle, tid: usize, phase: u64) -> bool {
-        let desc = handle.protect(&self.state[tid], SLOT_DESC_AUX, ptr::null_mut());
-        let desc = unsafe { &(*desc).value };
+    fn is_still_pending(
+        &self,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut KpShields<T, R::Handle>,
+        tid: usize,
+        phase: u64,
+    ) -> bool {
+        let desc = sh.desc_aux.protect(guard, &self.state[tid], None);
+        let desc = desc.as_ref().expect("descriptors are never null");
         desc.pending && desc.phase <= phase
     }
 
     /// Helps every pending operation whose phase is at most `phase`.
-    fn help(&self, handle: &mut R::Handle, phase: u64) {
+    fn help(&self, guard: &Guard<'_, R::Handle>, sh: &mut KpShields<T, R::Handle>, phase: u64) {
         for tid in 0..self.state.len() {
-            let desc_ptr = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+            let desc = sh.desc.protect(guard, &self.state[tid], None);
             let (pending, desc_phase, enqueue) = {
-                let desc = unsafe { &(*desc_ptr).value };
+                let desc = desc.as_ref().expect("descriptors are never null");
                 (desc.pending, desc.phase, desc.enqueue)
             };
             if pending && desc_phase <= phase {
                 if enqueue {
-                    self.help_enq(handle, tid, phase);
+                    self.help_enq(guard, sh, tid, phase);
                 } else {
-                    self.help_deq(handle, tid, phase);
+                    self.help_deq(guard, sh, tid, phase);
                 }
             }
         }
     }
 
-    fn help_enq(&self, handle: &mut R::Handle, tid: usize, phase: u64) {
-        while self.is_still_pending(handle, tid, phase) {
-            let last = handle.protect(&self.tail, SLOT_FIRST, ptr::null_mut());
-            let next = unsafe { (*last).value.next.load(Ordering::Acquire) };
-            if last != self.tail.load(Ordering::Acquire) {
+    fn help_enq(
+        &self,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut KpShields<T, R::Handle>,
+        tid: usize,
+        phase: u64,
+    ) {
+        while self.is_still_pending(guard, sh, tid, phase) {
+            let last = sh.first.protect(guard, &self.tail, None);
+            let last_ref = last.as_ref().expect("the tail is never null");
+            let next = last_ref.next.load(Ordering::Acquire);
+            if last.as_raw() != self.tail.load(Ordering::Acquire) {
                 continue;
             }
             if next.is_null() {
-                if self.is_still_pending(handle, tid, phase) {
+                if self.is_still_pending(guard, sh, tid, phase) {
                     // Re-read the descriptor to fetch the node to append.
-                    let desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
-                    let node = unsafe { (*desc).value.node };
+                    let desc = sh.desc.protect(guard, &self.state[tid], None);
+                    let node = desc.as_ref().expect("descriptors are never null").node;
                     if node.is_null() {
                         continue;
                     }
-                    if unsafe { &(*last).value.next }
+                    if last_ref
+                        .next
                         .compare_exchange(
                             ptr::null_mut(),
                             node,
@@ -201,227 +245,265 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                         )
                         .is_ok()
                     {
-                        self.help_finish_enq(handle);
+                        self.help_finish_enq(guard, sh);
                         return;
                     }
                 }
             } else {
-                self.help_finish_enq(handle);
+                self.help_finish_enq(guard, sh);
             }
         }
     }
 
-    fn help_finish_enq(&self, handle: &mut R::Handle) {
-        let last = handle.protect(&self.tail, SLOT_FIRST, ptr::null_mut());
-        let next = handle.protect(unsafe { &(*last).value.next }, SLOT_NEXT, last);
-        if next.is_null() {
+    fn help_finish_enq(&self, guard: &Guard<'_, R::Handle>, sh: &mut KpShields<T, R::Handle>) {
+        let last = sh.first.protect(guard, &self.tail, None);
+        let last_ref = last.as_ref().expect("the tail is never null");
+        let next = sh.next.protect(guard, &last_ref.next, Some(last));
+        let Some(next_ref) = next.as_ref() else {
             return;
-        }
-        let enq_tid = unsafe { (*next).value.enq_tid };
-        let cur_desc = handle.protect(&self.state[enq_tid], SLOT_DESC, ptr::null_mut());
-        if last != self.tail.load(Ordering::Acquire) {
+        };
+        let enq_tid = next_ref.enq_tid;
+        let cur_desc = sh.desc.protect(guard, &self.state[enq_tid], None);
+        if last.as_raw() != self.tail.load(Ordering::Acquire) {
             return;
         }
         let (cur_phase, cur_node, cur_pending, cur_enqueue) = {
-            let desc = unsafe { &(*cur_desc).value };
+            let desc = cur_desc.as_ref().expect("descriptors are never null");
             (desc.phase, desc.node, desc.pending, desc.enqueue)
         };
-        if cur_pending && cur_enqueue && cur_node == next {
-            let new_desc = handle.alloc(OpDesc {
+        if cur_pending && cur_enqueue && cur_node == next.as_raw() {
+            let new_desc = guard.alloc(OpDesc {
                 phase: cur_phase,
                 pending: false,
                 enqueue: true,
-                node: next,
+                node: next.as_raw(),
                 value: None,
             });
-            self.swap_desc(handle, enq_tid, cur_desc, new_desc);
+            self.swap_desc(guard, enq_tid, cur_desc, new_desc);
         }
-        let _ = self
-            .tail
-            .compare_exchange(last, next, Ordering::AcqRel, Ordering::Acquire);
+        let _ = self.tail.compare_exchange(
+            last.as_raw(),
+            next.as_raw(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
     }
 
-    fn help_deq(&self, handle: &mut R::Handle, tid: usize, phase: u64) {
-        while self.is_still_pending(handle, tid, phase) {
-            let first = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
+    fn help_deq(
+        &self,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut KpShields<T, R::Handle>,
+        tid: usize,
+        phase: u64,
+    ) {
+        while self.is_still_pending(guard, sh, tid, phase) {
+            let first = sh.first.protect(guard, &self.head, None);
+            let first_ref = first.as_ref().expect("the head is never null");
             let last = self.tail.load(Ordering::Acquire);
-            let next = handle.protect(unsafe { &(*first).value.next }, SLOT_NEXT, first);
-            if first != self.head.load(Ordering::Acquire) {
+            let next = sh.next.protect(guard, &first_ref.next, Some(first));
+            if first.as_raw() != self.head.load(Ordering::Acquire) {
                 continue;
             }
-            if first == last {
+            if first.as_raw() == last {
                 if next.is_null() {
                     // Queue looks empty: finalise with an empty result.
-                    let cur_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+                    let cur_desc = sh.desc.protect(guard, &self.state[tid], None);
                     if last != self.tail.load(Ordering::Acquire) {
                         continue;
                     }
-                    if self.is_still_pending(handle, tid, phase) {
-                        let cur_phase = unsafe { (*cur_desc).value.phase };
-                        let new_desc = handle.alloc(OpDesc {
+                    if self.is_still_pending(guard, sh, tid, phase) {
+                        let cur_phase =
+                            cur_desc.as_ref().expect("descriptors are never null").phase;
+                        let new_desc = guard.alloc(OpDesc {
                             phase: cur_phase,
                             pending: false,
                             enqueue: false,
                             node: ptr::null_mut(),
                             value: None,
                         });
-                        self.swap_desc(handle, tid, cur_desc, new_desc);
+                        self.swap_desc(guard, tid, cur_desc, new_desc);
                     }
                 } else {
                     // Tail is lagging; finish the in-flight enqueue first.
-                    self.help_finish_enq(handle);
+                    self.help_finish_enq(guard, sh);
                 }
             } else {
-                let cur_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+                let cur_desc = sh.desc.protect(guard, &self.state[tid], None);
                 let (cur_phase, cur_node, cur_pending) = {
-                    let desc = unsafe { &(*cur_desc).value };
+                    let desc = cur_desc.as_ref().expect("descriptors are never null");
                     (desc.phase, desc.node, desc.pending)
                 };
                 if !(cur_pending && cur_phase <= phase) {
                     break;
                 }
-                if first != self.head.load(Ordering::Acquire) {
+                if first.as_raw() != self.head.load(Ordering::Acquire) {
                     continue;
                 }
-                if cur_node != first {
+                if cur_node != first.as_raw() {
                     // Announce which sentinel this dequeue is working on.
-                    let new_desc = handle.alloc(OpDesc {
+                    let new_desc = guard.alloc(OpDesc {
                         phase: cur_phase,
                         pending: true,
                         enqueue: false,
-                        node: first,
+                        node: first.as_raw(),
                         value: None,
                     });
-                    if !self.swap_desc(handle, tid, cur_desc, new_desc) {
+                    if !self.swap_desc(guard, tid, cur_desc, new_desc) {
                         continue;
                     }
                 }
                 // Claim the sentinel for thread `tid` and finish the dequeue.
-                let _ = unsafe { &(*first).value.deq_tid }.compare_exchange(
+                let _ = first_ref.deq_tid.compare_exchange(
                     -1,
                     tid as i64,
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 );
-                self.help_finish_deq(handle);
+                self.help_finish_deq(guard, sh);
             }
         }
     }
 
-    fn help_finish_deq(&self, handle: &mut R::Handle) {
-        let first = handle.protect(&self.head, SLOT_FIRST, ptr::null_mut());
-        let next = handle.protect(unsafe { &(*first).value.next }, SLOT_NEXT, first);
-        let deq_tid = unsafe { (*first).value.deq_tid.load(Ordering::Acquire) };
+    fn help_finish_deq(&self, guard: &Guard<'_, R::Handle>, sh: &mut KpShields<T, R::Handle>) {
+        let first = sh.first.protect(guard, &self.head, None);
+        let first_ref = first.as_ref().expect("the head is never null");
+        let next = sh.next.protect(guard, &first_ref.next, Some(first));
+        let deq_tid = first_ref.deq_tid.load(Ordering::Acquire);
         if deq_tid < 0 {
             return;
         }
         let tid = deq_tid as usize;
-        let cur_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
-        if first != self.head.load(Ordering::Acquire) {
+        let cur_desc = sh.desc.protect(guard, &self.state[tid], None);
+        if first.as_raw() != self.head.load(Ordering::Acquire) {
             return;
         }
-        if next.is_null() {
+        let Some(next_ref) = next.as_ref() else {
             return;
-        }
+        };
         let (cur_phase, cur_node, cur_pending, cur_enqueue) = {
-            let desc = unsafe { &(*cur_desc).value };
+            let desc = cur_desc.as_ref().expect("descriptors are never null");
             (desc.phase, desc.node, desc.pending, desc.enqueue)
         };
-        if cur_pending && !cur_enqueue && cur_node == first {
+        if cur_pending && !cur_enqueue && cur_node == first.as_raw() {
             // Hand the dequeued value to the owner inside the descriptor so it
             // never has to touch `next` after the operation completes.
-            let value = unsafe { (*next).value.value };
-            let new_desc = handle.alloc(OpDesc {
+            let value = next_ref.value;
+            let new_desc = guard.alloc(OpDesc {
                 phase: cur_phase,
                 pending: false,
                 enqueue: false,
-                node: first,
+                node: first.as_raw(),
                 value,
             });
-            self.swap_desc(handle, tid, cur_desc, new_desc);
+            self.swap_desc(guard, tid, cur_desc, new_desc);
         }
-        let _ = self
-            .head
-            .compare_exchange(first, next, Ordering::AcqRel, Ordering::Acquire);
+        let _ = self.head.compare_exchange(
+            first.as_raw(),
+            next.as_raw(),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
     }
 
     /// Appends `value` at the tail. Wait-free when the reclamation scheme is
     /// wait-free.
     pub fn enqueue(&self, handle: &mut R::Handle, value: T) {
-        handle.begin_op();
-        let tid = handle.thread_id();
-        let phase = self.next_phase(handle);
-        let node = handle.alloc(Node {
+        let mut sh = Self::shields(handle);
+        let guard = handle.enter();
+        let tid = guard.thread_id();
+        let phase = self.next_phase(&guard, &mut sh);
+        let node = guard.alloc(Node {
             value: Some(value),
             next: Atomic::null(),
             enq_tid: tid,
             deq_tid: AtomicI64::new(-1),
         });
-        let desc = handle.alloc(OpDesc {
+        let desc = guard.alloc(OpDesc {
             phase,
             pending: true,
             enqueue: true,
             node,
             value: None,
         });
-        self.publish_own_desc(handle, tid, desc);
-        self.help(handle, phase);
-        self.help_finish_enq(handle);
-        handle.end_op();
+        self.publish_own_desc(&guard, &mut sh, tid, desc);
+        self.help(&guard, &mut sh, phase);
+        self.help_finish_enq(&guard, &mut sh);
     }
 
     /// Removes the element at the head, if any. Wait-free when the reclamation
     /// scheme is wait-free.
     pub fn dequeue(&self, handle: &mut R::Handle) -> Option<T> {
-        handle.begin_op();
-        let tid = handle.thread_id();
-        let phase = self.next_phase(handle);
-        let desc = handle.alloc(OpDesc {
+        let mut sh = Self::shields(handle);
+        let guard = handle.enter();
+        let tid = guard.thread_id();
+        let phase = self.next_phase(&guard, &mut sh);
+        let desc = guard.alloc(OpDesc {
             phase,
             pending: true,
             enqueue: false,
             node: ptr::null_mut(),
             value: None,
         });
-        self.publish_own_desc(handle, tid, desc);
-        self.help(handle, phase);
-        self.help_finish_deq(handle);
+        self.publish_own_desc(&guard, &mut sh, tid, desc);
+        self.help(&guard, &mut sh, phase);
+        self.help_finish_deq(&guard, &mut sh);
 
         // Our operation is finalised; read the outcome from our descriptor.
-        let final_desc = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
-        let (node, value) = unsafe { ((*final_desc).value.node, (*final_desc).value.value) };
-        let result = if node.is_null() {
+        let final_desc = sh.desc.protect(&guard, &self.state[tid], None);
+        let final_ref = final_desc.as_ref().expect("descriptors are never null");
+        let (node, value) = (final_ref.node, final_ref.value);
+        if node.is_null() {
             // Queue was empty.
             None
         } else {
             // The old sentinel is ours to retire: helpers only ever read it.
-            unsafe { handle.retire(node) };
+            // SAFETY: the finalised descriptor names the sentinel our dequeue
+            // consumed; only the owning thread retires it, exactly once.
+            unsafe { Protected::from_unlinked(node).retire_in(&guard) };
             value
-        };
-        handle.end_op();
-        result
+        }
     }
 
     /// Installs the descriptor for this thread's own new operation, retiring
     /// the previous one. A concurrent helper may finalise the *previous*
     /// operation at the same time, so at most one retry is needed.
-    fn publish_own_desc(&self, handle: &mut R::Handle, tid: usize, desc: *mut Linked<OpDesc<T>>) {
+    fn publish_own_desc(
+        &self,
+        guard: &Guard<'_, R::Handle>,
+        sh: &mut KpShields<T, R::Handle>,
+        tid: usize,
+        desc: *mut Linked<OpDesc<T>>,
+    ) {
         loop {
-            let old = handle.protect(&self.state[tid], SLOT_DESC, ptr::null_mut());
+            let old = sh.desc.protect(guard, &self.state[tid], None);
             if self.state[tid]
-                .compare_exchange(old, desc, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(old.as_raw(), desc, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
-                unsafe { handle.retire(old) };
+                // SAFETY: our CAS unlinked `old` from the descriptor slot; it
+                // is retired exactly once (all replacements CAS this slot).
+                unsafe { old.retire_in(guard) };
                 return;
             }
         }
     }
 
     /// Returns `true` if the queue appeared empty at the moment of the call.
-    pub fn is_empty(&self) -> bool {
-        let head = self.head.load(Ordering::Acquire);
-        unsafe { (*head).value.next.load(Ordering::Acquire).is_null() }
+    ///
+    /// Takes the calling thread's handle because answering requires reading
+    /// the head sentinel's `next` field, and the sentinel may be retired by a
+    /// concurrent dequeue — the read must be protected like any other.
+    pub fn is_empty(&self, handle: &mut R::Handle) -> bool {
+        let mut head_shield: Shield<Node<T>, R::Handle> = handle
+            .shield()
+            .expect("KoganPetrankQueue: reservation slots exhausted");
+        let guard = handle.enter();
+        let head = head_shield.protect(&guard, &self.head, None);
+        head.as_ref()
+            .expect("the head is never null")
+            .next
+            .load(Ordering::Acquire)
+            .is_null()
     }
 }
 
@@ -431,13 +513,18 @@ impl<T, R: Reclaimer> Drop for KoganPetrankQueue<T, R> {
         // descriptor of every thread slot.
         let mut cur = self.head.load(Ordering::Relaxed);
         while !cur.is_null() {
+            // SAFETY: `Drop` has exclusive access; every queued node is
+            // valid and freed exactly once.
             let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) };
+            // SAFETY: as above — exclusive access, freed exactly once.
             unsafe { Linked::dealloc(cur) };
             cur = next;
         }
         for slot in self.state.iter() {
             let desc = slot.load(Ordering::Relaxed);
             if !desc.is_null() {
+                // SAFETY: the final descriptor of each slot is owned by the
+                // queue alone once no operation is in flight.
                 unsafe { Linked::dealloc(desc) };
             }
         }
@@ -479,17 +566,17 @@ mod tests {
         let domain = R::with_config(small_config(4));
         let queue = KoganPetrankQueue::<u64, R>::new(Arc::clone(&domain));
         let mut handle = domain.register();
-        assert!(queue.is_empty());
+        assert!(queue.is_empty(&mut handle));
         assert_eq!(queue.dequeue(&mut handle), None);
         for i in 0..200 {
             queue.enqueue(&mut handle, i);
         }
-        assert!(!queue.is_empty());
+        assert!(!queue.is_empty(&mut handle));
         for i in 0..200 {
             assert_eq!(queue.dequeue(&mut handle), Some(i));
         }
         assert_eq!(queue.dequeue(&mut handle), None);
-        assert!(queue.is_empty());
+        assert!(queue.is_empty(&mut handle));
     }
 
     #[test]

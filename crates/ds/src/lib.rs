@@ -20,9 +20,14 @@
 //!
 //! Every operation takes an explicit `&mut R::Handle`: the per-thread
 //! reclamation handle obtained from [`wfe_reclaim::Reclaimer::register`].
-//! The [`ConcurrentMap`] and [`ConcurrentQueue`] traits give the benchmark
-//! harness a uniform key-value / queue interface, mirroring the abstract
-//! interface of the benchmark the paper reuses.
+//! Internally each operation leases its [`wfe_reclaim::Shield`]s, opens a
+//! [`wfe_reclaim::Guard`] bracket with
+//! [`Handle::enter`](wfe_reclaim::Handle::enter), and reads every shared
+//! pointer through `Shield::protect` — the structures contain no raw
+//! slot-index `protect` calls and no unsafe dereferences of protected
+//! pointers. The [`ConcurrentMap`] and [`ConcurrentQueue`] traits give the
+//! benchmark harness a uniform key-value / queue interface, mirroring the
+//! abstract interface of the benchmark the paper reuses.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

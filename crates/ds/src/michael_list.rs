@@ -7,12 +7,11 @@
 //! pointer set; `find` physically unlinks such nodes as it passes them and
 //! retires them through the reclamation scheme.
 
-use core::ptr;
 use core::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use wfe_reclaim::ptr::tag;
-use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};
 
 use crate::traits::ConcurrentMap;
 
@@ -26,13 +25,13 @@ pub struct Node<V> {
     next: Atomic<Node<V>>,
 }
 
-/// The result of a `find`: the location of the link to `curr` (`prev_src`),
-/// the node containing that link (`prev_node`, null when the link is the list
-/// head) and the first node with `node.key >= key` (`curr`, null at the end
-/// of the list).
-struct Window<V> {
-    prev_src: *const Atomic<Node<V>>,
-    curr: *mut Linked<Node<V>>,
+/// The result of a `find`: the location of the link to `curr` (`prev_src`,
+/// the head or the `next` field of the protected predecessor) and the first
+/// node with `node.key >= key` (`curr`, null at the end of the list). Both
+/// live only as long as the guard they were read under.
+struct Window<'g, V> {
+    prev_src: &'g Atomic<Node<V>>,
+    curr: Protected<'g, Node<V>>,
     found: bool,
 }
 
@@ -42,19 +41,29 @@ pub struct MichaelList<V, R: Reclaimer> {
     domain: Arc<R>,
 }
 
+// SAFETY: nodes own their `V`s; sending the structure sends those values.
 unsafe impl<V: Send, R: Reclaimer> Send for MichaelList<V, R> {}
+// SAFETY: concurrent operations hand out `&V` (via `get`/clone), so `V`
+// must be `Sync` as well as `Send`; the structure's own synchronisation
+// is the lock-free algorithm plus the reclamation protocol.
 unsafe impl<V: Send + Sync, R: Reclaimer> Sync for MichaelList<V, R> {}
 
 impl<V, R: Reclaimer> MichaelList<V, R> {
-    /// Reservation slot protecting `curr` (swapped with [`Self::SLOT_PREV`]
-    /// as the traversal advances, hand-over-hand).
-    const SLOT_CURR: usize = 0;
-    /// Reservation slot protecting `prev`.
-    const SLOT_PREV: usize = 1;
-
     /// Reservation slots the list needs per thread: the hand-over-hand
     /// `(prev, curr)` window.
     pub const REQUIRED_SLOTS: usize = 2;
+
+    /// Leases the two shields of the hand-over-hand window. The shields swap
+    /// roles as the traversal advances, so a node keeps its shield while it
+    /// remains part of the window.
+    fn window_shields(handle: &R::Handle) -> [Shield<Node<V>, R::Handle>; 2] {
+        let lease = || {
+            handle
+                .shield()
+                .expect("MichaelList: reservation slots exhausted (find needs two Shields)")
+        };
+        [lease(), lease()]
+    }
 
     /// Creates an empty list guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
@@ -77,52 +86,60 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
 
     /// Michael's `find`: positions a window `(prev, curr)` such that `curr` is
     /// the first node with `curr.key >= key`, unlinking any logically deleted
-    /// node encountered on the way. Both window nodes are protected when the
-    /// function returns. The caller must already be inside an operation
-    /// bracket (`begin_op`).
-    fn find(&self, handle: &mut R::Handle, key: u64) -> Window<V> {
+    /// node encountered on the way. Both window nodes are protected (through
+    /// the two `shields`) when the function returns.
+    fn find<'g>(
+        &'g self,
+        guard: &'g Guard<'_, R::Handle>,
+        shields: &mut [Shield<Node<V>, R::Handle>; 2],
+        key: u64,
+    ) -> Window<'g, V> {
         'retry: loop {
-            let mut prev_src: *const Atomic<Node<V>> = &self.head;
-            let mut prev_node: *mut Linked<Node<V>> = ptr::null_mut();
-            let mut slot_curr = Self::SLOT_CURR;
-            let mut slot_prev = Self::SLOT_PREV;
-            let mut curr = handle.protect(unsafe { &*prev_src }, slot_curr, prev_node);
+            let mut prev_src: &Atomic<Node<V>> = &self.head;
+            let mut prev: Protected<'g, Node<V>> = Protected::null();
+            // Which of the two shields currently protects `curr` (the other
+            // protects `prev`); they swap as the window slides.
+            let mut shield_curr = 0usize;
+            let mut curr = shields[shield_curr].protect(guard, prev_src, Some(prev));
             loop {
-                if tag::untagged(curr).is_null() {
+                if curr.is_null() {
                     return Window {
                         prev_src,
-                        curr: ptr::null_mut(),
+                        curr: Protected::null(),
                         found: false,
                     };
                 }
-                if tag::tag_of(curr) != 0 {
+                if curr.tag() != 0 {
                     // The link we came through is marked, i.e. `prev` itself
                     // is being deleted: restart from the head.
                     continue 'retry;
                 }
-                let next_raw = unsafe { (*curr).value.next.load(Ordering::Acquire) };
+                let curr_ref = curr.as_ref().expect("non-null protected node");
+                let next_raw = curr_ref.next.load(Ordering::Acquire);
                 if tag::tag_of(next_raw) == MARK {
                     // `curr` is logically deleted: unlink it and retire it.
                     let next = tag::untagged(next_raw);
-                    match unsafe { &*prev_src }.compare_exchange(
-                        curr,
+                    match prev_src.compare_exchange(
+                        curr.as_raw(),
                         next,
                         Ordering::AcqRel,
                         Ordering::Acquire,
                     ) {
                         Ok(_) => {
-                            unsafe { handle.retire(curr) };
-                            curr = handle.protect(unsafe { &*prev_src }, slot_curr, prev_node);
+                            // SAFETY: we won the unlink CAS, so `curr` is
+                            // unreachable and ours to retire exactly once.
+                            unsafe { curr.retire_in(guard) };
+                            curr = shields[shield_curr].protect(guard, prev_src, Some(prev));
                             continue;
                         }
                         Err(_) => continue 'retry,
                     }
                 }
-                let curr_key = unsafe { (*curr).value.key };
+                let curr_key = curr_ref.key;
                 // Validate that `curr` is still linked after we protected it;
                 // if not, the key we just read may belong to a node that was
                 // removed and the window would be stale.
-                if unsafe { &*prev_src }.load(Ordering::Acquire) != curr {
+                if prev_src.load(Ordering::Acquire) != curr.as_raw() {
                     continue 'retry;
                 }
                 if curr_key >= key {
@@ -133,12 +150,12 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                     };
                 }
                 // Advance hand-over-hand: `curr` becomes the new `prev` and
-                // keeps its protection slot; the old `prev` slot is recycled
-                // for the new `curr`.
-                prev_node = curr;
-                prev_src = unsafe { &(*curr).value.next };
-                core::mem::swap(&mut slot_curr, &mut slot_prev);
-                curr = handle.protect(unsafe { &*prev_src }, slot_curr, prev_node);
+                // keeps its shield; `prev`'s shield is recycled for the new
+                // `curr`.
+                prev = curr;
+                prev_src = &curr_ref.next;
+                shield_curr = 1 - shield_curr;
+                curr = shields[shield_curr].protect(guard, prev_src, Some(prev));
             }
         }
     }
@@ -146,48 +163,63 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
     /// Inserts `key → value`; returns `false` (dropping `value`) if the key
     /// is already present.
     pub fn insert(&self, handle: &mut R::Handle, key: u64, value: V) -> bool {
-        handle.begin_op();
+        let mut shields = Self::window_shields(handle);
         let node = handle.alloc(Node {
             key,
             value,
             next: Atomic::null(),
         });
-        let inserted = loop {
-            let window = self.find(handle, key);
+        let guard = handle.enter();
+        loop {
+            let window = self.find(&guard, &mut shields, key);
             if window.found {
                 // Key already present: the freshly allocated node was never
                 // published, so it can be freed immediately.
+                // SAFETY: `node` never became reachable; freed exactly once.
                 unsafe { Linked::dealloc(node) };
-                break false;
+                return false;
             }
-            unsafe { (*node).value.next.store(window.curr, Ordering::Release) };
-            if unsafe { &*window.prev_src }
-                .compare_exchange(window.curr, node, Ordering::AcqRel, Ordering::Acquire)
+            // SAFETY: `node` is owned and unpublished until the CAS succeeds.
+            unsafe {
+                (*node)
+                    .value
+                    .next
+                    .store(window.curr.as_raw(), Ordering::Release)
+            };
+            if window
+                .prev_src
+                .compare_exchange(
+                    window.curr.as_raw(),
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
-                break true;
+                return true;
             }
-        };
-        handle.end_op();
-        inserted
+        }
     }
 
     /// Removes `key`; returns `true` if it was present.
     pub fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
-        handle.begin_op();
-        let removed = loop {
-            let window = self.find(handle, key);
+        let mut shields = Self::window_shields(handle);
+        let guard = handle.enter();
+        loop {
+            let window = self.find(&guard, &mut shields, key);
             if !window.found {
-                break false;
+                return false;
             }
             let curr = window.curr;
-            let next_raw = unsafe { (*curr).value.next.load(Ordering::Acquire) };
+            let curr_ref = curr.as_ref().expect("found window has a node");
+            let next_raw = curr_ref.next.load(Ordering::Acquire);
             if tag::tag_of(next_raw) == MARK {
                 // Another remover got here first; retry to settle who wins.
                 continue;
             }
             // Logical deletion: mark the next pointer of `curr`.
-            if unsafe { &(*curr).value.next }
+            if curr_ref
+                .next
                 .compare_exchange(
                     next_raw,
                     tag::with_tag(next_raw, MARK),
@@ -199,46 +231,45 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 continue;
             }
             // Physical deletion: unlink it ourselves or let a later `find` do it.
-            if unsafe { &*window.prev_src }
+            if window
+                .prev_src
                 .compare_exchange(
-                    curr,
+                    curr.as_raw(),
                     tag::untagged(next_raw),
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 )
                 .is_ok()
             {
-                unsafe { handle.retire(curr) };
+                // SAFETY: we marked and then unlinked `curr`; the winning
+                // unlink CAS makes it ours to retire exactly once.
+                unsafe { curr.retire_in(&guard) };
             } else {
-                let _ = self.find(handle, key);
+                let _ = self.find(&guard, &mut shields, key);
             }
-            break true;
-        };
-        handle.end_op();
-        removed
+            return true;
+        }
     }
 
     /// Returns `true` if `key` is present.
     pub fn contains(&self, handle: &mut R::Handle, key: u64) -> bool {
-        handle.begin_op();
-        let found = self.find(handle, key).found;
-        handle.end_op();
-        found
+        let mut shields = Self::window_shields(handle);
+        let guard = handle.enter();
+        self.find(&guard, &mut shields, key).found
     }
 }
 
 impl<V: Clone, R: Reclaimer> MichaelList<V, R> {
     /// Looks up `key`, returning a clone of its value.
     pub fn get(&self, handle: &mut R::Handle, key: u64) -> Option<V> {
-        handle.begin_op();
-        let window = self.find(handle, key);
-        let value = if window.found {
-            Some(unsafe { (*window.curr).value.value.clone() })
+        let mut shields = Self::window_shields(handle);
+        let guard = handle.enter();
+        let window = self.find(&guard, &mut shields, key);
+        if window.found {
+            window.curr.as_ref().map(|node| node.value.clone())
         } else {
             None
-        };
-        handle.end_op();
-        value
+        }
     }
 }
 
@@ -247,7 +278,10 @@ impl<V, R: Reclaimer> Drop for MichaelList<V, R> {
         // Exclusive access: walk the list and free every node directly.
         let mut cur = tag::untagged(self.head.load(Ordering::Relaxed));
         while !cur.is_null() {
+            // SAFETY: `Drop` has exclusive access; every reachable node is
+            // valid and freed exactly once.
             let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) });
+            // SAFETY: as above — exclusive access, freed exactly once.
             unsafe { Linked::dealloc(cur) };
             cur = next;
         }

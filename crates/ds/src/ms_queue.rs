@@ -11,7 +11,7 @@ use core::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use wfe_atomics::Backoff;
-use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+use wfe_reclaim::{Atomic, Handle, Linked, Reclaimer, Shield};
 
 use crate::traits::ConcurrentQueue;
 
@@ -28,18 +28,25 @@ pub struct MichaelScottQueue<T, R: Reclaimer> {
     domain: Arc<R>,
 }
 
+// SAFETY: nodes hold `T` by value; all shared-pointer access goes through the reclamation protocol, so sending the
+// structure is sending the `T`s it owns.
 unsafe impl<T: Send, R: Reclaimer> Send for MichaelScottQueue<T, R> {}
+// SAFETY: every `&self` method is lock-free-safe by construction (the
+// algorithm's own synchronisation); `T: Send` suffices because values
+// are moved in/out, never shared by reference across threads.
 unsafe impl<T: Send, R: Reclaimer> Sync for MichaelScottQueue<T, R> {}
 
 impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
-    /// Reservation slot protecting the head (and the tail during enqueue).
-    const SLOT_HEAD: usize = 0;
-    /// Reservation slot protecting the node after the head.
-    const SLOT_NEXT: usize = 1;
-
     /// Reservation slots the queue needs per thread: the head (or tail)
     /// snapshot and its successor.
     pub const REQUIRED_SLOTS: usize = 2;
+
+    /// Leases one shield (enqueue protects only the tail snapshot).
+    fn one_shield(handle: &R::Handle) -> Shield<Node<T>, R::Handle> {
+        handle
+            .shield()
+            .expect("MichaelScottQueue: reservation slots exhausted")
+    }
 
     /// Creates an empty queue guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
@@ -69,79 +76,110 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
 
     /// Appends `value` at the tail.
     pub fn enqueue(&self, handle: &mut R::Handle, value: T) {
+        let mut tail_shield = Self::one_shield(handle);
         let node = handle.alloc(Node {
             value: Some(ManuallyDrop::new(value)),
             next: Atomic::null(),
         });
-        handle.begin_op();
+        let guard = handle.enter();
         let mut backoff = Backoff::new();
         loop {
-            let tail = handle.protect(&self.tail, Self::SLOT_HEAD, ptr::null_mut());
-            let next = unsafe { (*tail).value.next.load(Ordering::Acquire) };
+            let tail = tail_shield.protect(&guard, &self.tail, None);
+            let tail_ref = tail.as_ref().expect("the tail is never null");
+            let next = tail_ref.next.load(Ordering::Acquire);
             if next.is_null() {
-                if unsafe { &(*tail).value.next }
+                if tail_ref
+                    .next
                     .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
                     .is_ok()
                 {
                     // Swing the tail; failure means someone already did it.
-                    let _ =
-                        self.tail
-                            .compare_exchange(tail, node, Ordering::AcqRel, Ordering::Acquire);
+                    let _ = self.tail.compare_exchange(
+                        tail.as_raw(),
+                        node,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    );
                     break;
                 }
             } else {
                 // Help a lagging enqueuer move the tail forward.
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self.tail.compare_exchange(
+                    tail.as_raw(),
+                    next,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
             }
             backoff.spin();
         }
-        handle.end_op();
     }
 
     /// Removes the element at the head, if any.
     pub fn dequeue(&self, handle: &mut R::Handle) -> Option<T> {
-        handle.begin_op();
+        let mut head_shield = Self::one_shield(handle);
+        let mut next_shield = Self::one_shield(handle);
+        let guard = handle.enter();
         let mut backoff = Backoff::new();
-        let result = loop {
-            let head = handle.protect(&self.head, Self::SLOT_HEAD, ptr::null_mut());
+        loop {
+            let head = head_shield.protect(&guard, &self.head, None);
+            let head_ref = head.as_ref().expect("the head is never null");
             let tail = self.tail.load(Ordering::Acquire);
-            let next = handle.protect(unsafe { &(*head).value.next }, Self::SLOT_NEXT, head);
-            if head != self.head.load(Ordering::Acquire) {
+            let next = next_shield.protect(&guard, &head_ref.next, Some(head));
+            if head.as_raw() != self.head.load(Ordering::Acquire) {
                 backoff.spin();
                 continue;
             }
-            if next.is_null() {
-                break None;
-            }
-            if head == tail {
+            let Some(next_ref) = next.as_ref() else {
+                return None; // empty queue
+            };
+            if head.as_raw() == tail {
                 // Tail is lagging behind; help it before touching the head.
-                let _ = self
-                    .tail
-                    .compare_exchange(tail, next, Ordering::AcqRel, Ordering::Acquire);
+                let _ = self.tail.compare_exchange(
+                    tail,
+                    next.as_raw(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
                 continue;
             }
             if self
                 .head
-                .compare_exchange(head, next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(
+                    head.as_raw(),
+                    next.as_raw(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
                 .is_ok()
             {
                 // `next` is the new sentinel; we own its value.
-                let value = unsafe { (*next).value.value.as_ref().map(|v| ptr::read(&**v)) };
-                unsafe { handle.retire(head) };
-                break value;
+                // SAFETY: the head CAS transferred ownership of `next`'s
+                // value to us; nobody else reads it out.
+                let value = next_ref.value.as_ref().map(|v| unsafe { ptr::read(&**v) });
+                // SAFETY: the same CAS unlinked the old sentinel `head`; it
+                // is retired exactly once.
+                unsafe { head.retire_in(&guard) };
+                return value;
             }
             backoff.spin();
-        };
-        handle.end_op();
-        result
+        }
     }
 
     /// Returns `true` if the queue appeared empty at the moment of the call.
-    pub fn is_empty(&self) -> bool {
-        let head = self.head.load(Ordering::Acquire);
-        unsafe { (*head).value.next.load(Ordering::Acquire).is_null() }
+    ///
+    /// Takes the calling thread's handle because answering requires reading
+    /// the head sentinel's `next` field, and the sentinel may be retired by a
+    /// concurrent dequeue — the read must be protected like any other.
+    pub fn is_empty(&self, handle: &mut R::Handle) -> bool {
+        let mut head_shield = Self::one_shield(handle);
+        let guard = handle.enter();
+        let head = head_shield.protect(&guard, &self.head, None);
+        head.as_ref()
+            .expect("the head is never null")
+            .next
+            .load(Ordering::Acquire)
+            .is_null()
     }
 }
 
@@ -151,6 +189,8 @@ impl<T, R: Reclaimer> Drop for MichaelScottQueue<T, R> {
         // the values still owned by the queue.
         let mut cur = self.head.load(Ordering::Relaxed);
         while !cur.is_null() {
+            // SAFETY: `Drop` has exclusive access; every reachable node is
+            // freed exactly once, dropping any value it still owns.
             unsafe {
                 let next = (*cur).value.next.load(Ordering::Relaxed);
                 if let Some(value) = (*cur).value.value.as_mut() {
@@ -191,7 +231,7 @@ mod tests {
         let domain = R::new_default();
         let queue = MichaelScottQueue::<u64, R>::new(Arc::clone(&domain));
         let mut handle = domain.register();
-        assert!(queue.is_empty());
+        assert!(queue.is_empty(&mut handle));
         assert_eq!(queue.dequeue(&mut handle), None);
         for i in 0..100 {
             queue.enqueue(&mut handle, i);
@@ -200,7 +240,7 @@ mod tests {
             assert_eq!(queue.dequeue(&mut handle), Some(i));
         }
         assert_eq!(queue.dequeue(&mut handle), None);
-        assert!(queue.is_empty());
+        assert!(queue.is_empty(&mut handle));
     }
 
     #[test]

@@ -14,12 +14,11 @@
 //! only ever used as an expected CAS value, never dereferenced, so it needs no
 //! reservation.
 
-use core::ptr;
 use core::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use wfe_reclaim::ptr::tag;
-use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};
 
 use crate::traits::ConcurrentMap;
 
@@ -53,17 +52,19 @@ impl<V> Node<V> {
     }
 }
 
-/// The window returned by `seek`.
-struct SeekRecord<V> {
+/// The window returned by `seek`. Every dereferenced role is a [`Protected`]
+/// tied to the operation's guard.
+struct SeekRecord<'g, V> {
     /// Deepest node on the path whose outgoing edge towards the key was
     /// untagged; the promotion CAS happens on this node's child edge.
-    ancestor: *mut Linked<Node<V>>,
-    /// The child of `ancestor` on the path (expected CAS value only).
-    successor: *mut Linked<Node<V>>,
+    ancestor: Protected<'g, Node<V>>,
+    /// The child of `ancestor` on the path (expected CAS value only, never
+    /// dereferenced — which is why it needs no shield).
+    successor: Protected<'g, Node<V>>,
     /// Parent of `leaf`.
-    parent: *mut Linked<Node<V>>,
+    parent: Protected<'g, Node<V>>,
     /// The leaf the search ended at.
-    leaf: *mut Linked<Node<V>>,
+    leaf: Protected<'g, Node<V>>,
 }
 
 /// Natarajan-Mittal lock-free external BST, parameterised by the reclamation
@@ -75,13 +76,27 @@ pub struct NatarajanBst<V, R: Reclaimer> {
     domain: Arc<R>,
 }
 
+// SAFETY: nodes own their `V`s; sending the structure sends those values.
 unsafe impl<V: Send, R: Reclaimer> Send for NatarajanBst<V, R> {}
+// SAFETY: concurrent operations hand out `&V` (via `get`/clone), so `V`
+// must be `Sync` as well as `Send`; the structure's own synchronisation
+// is the lock-free algorithm plus the reclamation protocol.
 unsafe impl<V: Send + Sync, R: Reclaimer> Sync for NatarajanBst<V, R> {}
 
 impl<V, R: Reclaimer> NatarajanBst<V, R> {
     /// Reservation slots the tree needs per thread: the rotating
     /// ancestor/parent/leaf/current window of `seek` plus its spare.
     pub const REQUIRED_SLOTS: usize = 5;
+
+    /// Leases the five shields of the rotating `seek` window.
+    fn seek_shields(handle: &R::Handle) -> [Shield<Node<V>, R::Handle>; 5] {
+        let lease = || {
+            handle
+                .shield()
+                .expect("NatarajanBst: reservation slots exhausted (seek needs five Shields)")
+        };
+        [lease(), lease(), lease(), lease(), lease()]
+    }
 
     /// Creates an empty tree guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
@@ -118,76 +133,93 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
     }
 
     #[inline]
-    fn child_edge(node: *mut Linked<Node<V>>, key: u64) -> *const Atomic<Node<V>> {
-        unsafe {
-            if key < (*node).value.key {
-                &(*node).value.left
-            } else {
-                &(*node).value.right
-            }
+    fn child_edge(node: &Node<V>, key: u64) -> &Atomic<Node<V>> {
+        if key < node.key {
+            &node.left
+        } else {
+            &node.right
         }
     }
 
     /// Descends from the root to the leaf where `key` belongs, recording the
     /// (ancestor, successor, parent, leaf) window. All dereferenced nodes of
-    /// the returned record are protected by reservation slots 0-4.
-    fn seek(&self, handle: &mut R::Handle, key: u64) -> SeekRecord<V> {
-        let root = self.root;
-        let s_raw = unsafe { (*root).value.left.load(Ordering::Acquire) };
-        let s = tag::untagged(s_raw);
+    /// the returned record are protected by the five rotating shields.
+    fn seek<'g>(
+        &self,
+        guard: &'g Guard<'_, R::Handle>,
+        shields: &mut [Shield<Node<V>, R::Handle>; 5],
+        key: u64,
+    ) -> SeekRecord<'g, V> {
+        // SAFETY: the super-root R is an immortal sentinel — it is never
+        // retired (only `Drop` frees it, with exclusive access).
+        let root: Protected<'g, Node<V>> = unsafe { Protected::from_unlinked(self.root) };
+        let root_ref = root.as_ref().expect("the super-root always exists");
+        // SAFETY: S, the sentinel below R, is likewise never retired.
+        let s: Protected<'g, Node<V>> = unsafe {
+            Protected::from_unlinked(tag::untagged(root_ref.left.load(Ordering::Acquire)))
+        };
+        let s_ref = s.as_ref().expect("the S sentinel always exists");
 
-        // Reservation slots for the roles that get dereferenced. They rotate
-        // as the window slides down so that a node keeps its slot while it
+        // Shield indices for the roles that get dereferenced. They rotate as
+        // the window slides down so that a node keeps its shield while it
         // remains part of the window.
-        let mut slot_ancestor = 0usize;
-        let mut slot_parent = 1usize;
-        let mut slot_leaf = 2usize;
-        let mut slot_current = 3usize;
-        let mut slot_spare = 4usize;
+        let mut shield_ancestor = 0usize;
+        let mut shield_parent = 1usize;
+        let mut shield_leaf = 2usize;
+        let mut shield_current = 3usize;
+        let mut shield_spare = 4usize;
 
         let mut ancestor = root;
         let mut successor = s;
         let mut parent = s;
         // The sentinels R and S are never retired, so the two protects below
         // are only needed for the nodes hanging off them.
-        let leaf_raw = handle.protect(unsafe { &*Self::child_edge(s, key) }, slot_leaf, s);
-        let mut leaf = tag::untagged(leaf_raw);
+        let leaf_tagged =
+            shields[shield_leaf].protect(guard, Self::child_edge(s_ref, key), Some(s));
+        let mut leaf = leaf_tagged.untagged();
         // Edge parent→leaf as last read (its TAG bit steers ancestor updates).
-        let mut parent_field = leaf_raw;
-        let mut current_raw =
-            handle.protect(unsafe { &*Self::child_edge(leaf, key) }, slot_current, leaf);
+        let mut parent_field = leaf_tagged;
+        let mut current = shields[shield_current].protect(
+            guard,
+            Self::child_edge(leaf.as_ref().expect("leaf below S is non-null"), key),
+            Some(leaf),
+        );
 
         loop {
-            let current = tag::untagged(current_raw);
             if current.is_null() {
                 break;
             }
             // Slide the window down one level.
-            if tag::tag_of(parent_field) & TAG == 0 {
+            if parent_field.tag() & TAG == 0 {
                 // The edge parent→leaf is untagged: parent is the new ancestor.
                 ancestor = parent;
                 successor = leaf;
-                // `ancestor` adopts `parent`'s slot; the old ancestor slot
-                // becomes the spare.
-                let freed = slot_ancestor;
-                slot_ancestor = slot_parent;
-                slot_parent = slot_leaf;
-                slot_leaf = slot_current;
-                slot_current = slot_spare;
-                slot_spare = freed;
+                // `ancestor` adopts `parent`'s shield; the old ancestor
+                // shield becomes the spare.
+                let freed = shield_ancestor;
+                shield_ancestor = shield_parent;
+                shield_parent = shield_leaf;
+                shield_leaf = shield_current;
+                shield_current = shield_spare;
+                shield_spare = freed;
             } else {
-                let freed = slot_parent;
-                slot_parent = slot_leaf;
-                slot_leaf = slot_current;
-                slot_current = slot_spare;
-                slot_spare = freed;
+                let freed = shield_parent;
+                shield_parent = shield_leaf;
+                shield_leaf = shield_current;
+                shield_current = shield_spare;
+                shield_spare = freed;
             }
             parent = leaf;
-            leaf = current;
-            parent_field = current_raw;
-            current_raw =
-                handle.protect(unsafe { &*Self::child_edge(leaf, key) }, slot_current, leaf);
+            parent_field = current;
+            leaf = current.untagged();
+            current = shields[shield_current].protect(
+                guard,
+                Self::child_edge(leaf.as_ref().expect("internal nodes have children"), key),
+                Some(leaf),
+            );
         }
+        // Quiet the "assigned but never read" lint on the final rotation.
+        let _ = (shield_ancestor, shield_parent, shield_leaf, shield_spare);
 
         SeekRecord {
             ancestor,
@@ -200,16 +232,14 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
     /// Detaches the flagged leaf under `record.parent` by promoting its
     /// sibling into `record.ancestor`. Returns `true` when this call performed
     /// the promotion (and retired the detached parent and leaf).
-    fn cleanup(&self, handle: &mut R::Handle, key: u64, record: &SeekRecord<V>) -> bool {
-        let ancestor = record.ancestor;
+    fn cleanup(&self, guard: &Guard<'_, R::Handle>, key: u64, record: &SeekRecord<'_, V>) -> bool {
         let parent = record.parent;
+        let parent_ref = parent.as_ref().expect("parent role is protected");
 
-        let (child_edge, sibling_edge) = unsafe {
-            if key < (*parent).value.key {
-                (&(*parent).value.left, &(*parent).value.right)
-            } else {
-                (&(*parent).value.right, &(*parent).value.left)
-            }
+        let (child_edge, sibling_edge) = if key < parent_ref.key {
+            (&parent_ref.left, &parent_ref.right)
+        } else {
+            (&parent_ref.right, &parent_ref.left)
         };
         let child_val = child_edge.load(Ordering::Acquire);
         // The flagged edge points to the leaf being deleted. If it is not the
@@ -228,10 +258,13 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         // Promote the sibling subtree into the ancestor, preserving a FLAG the
         // sibling edge may itself carry (a pending deletion of the sibling).
         let promoted = tag::with_tag(tag::untagged(promote_val), tag::tag_of(promote_val) & FLAG);
-        let ancestor_edge = unsafe { &*Self::child_edge(ancestor, key) };
-        let swapped = ancestor_edge
+        let ancestor_ref = record
+            .ancestor
+            .as_ref()
+            .expect("ancestor role is protected");
+        let swapped = Self::child_edge(ancestor_ref, key)
             .compare_exchange(
-                record.successor,
+                record.successor.as_raw(),
                 promoted,
                 Ordering::AcqRel,
                 Ordering::Acquire,
@@ -239,9 +272,12 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
             .is_ok();
         if swapped {
             // The parent and the flagged leaf are now unreachable.
+            // SAFETY: the promotion CAS we just won detached exactly these
+            // two nodes; the FLAG/TAG protocol guarantees no other helper's
+            // CAS succeeded, so they are retired exactly once.
             unsafe {
-                handle.retire(parent);
-                handle.retire(tag::untagged(flagged_val));
+                parent.retire_in(guard);
+                Protected::from_unlinked(tag::untagged(flagged_val)).retire_in(guard);
             }
         }
         swapped
@@ -255,41 +291,47 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
     /// Panics if `key >= u64::MAX - 1` (reserved sentinel keys).
     pub fn insert(&self, handle: &mut R::Handle, key: u64, value: V) -> bool {
         assert!(key < KEY_INF1, "keys >= u64::MAX - 1 are reserved");
-        handle.begin_op();
+        let mut shields = Self::seek_shields(handle);
+        let guard = handle.enter();
         let mut value = Some(value);
-        let inserted = loop {
-            let record = self.seek(handle, key);
+        loop {
+            let record = self.seek(&guard, &mut shields, key);
             let leaf = record.leaf;
-            let leaf_key = unsafe { (*leaf).value.key };
+            let leaf_key = leaf.as_ref().expect("seek ends at a leaf").key;
             if leaf_key == key {
-                break false;
+                return false;
             }
             // Build the replacement subtree: a new internal node whose
             // children are the existing leaf and a new leaf for `key`.
-            let new_leaf = handle.alloc(Node::leaf(key, value.take()));
+            let new_leaf = guard.alloc(Node::leaf(key, value.take()));
             let (internal_key, left, right) = if key < leaf_key {
-                (leaf_key, new_leaf, leaf)
+                (leaf_key, new_leaf, leaf.as_raw())
             } else {
-                (key, leaf, new_leaf)
+                (key, leaf.as_raw(), new_leaf)
             };
-            let new_internal = handle.alloc(Node {
+            let new_internal = guard.alloc(Node {
                 key: internal_key,
                 value: None,
                 left: Atomic::new(left),
                 right: Atomic::new(right),
             });
 
-            let parent_edge = unsafe { &*Self::child_edge(record.parent, key) };
+            let parent_edge = Self::child_edge(
+                record.parent.as_ref().expect("parent role is protected"),
+                key,
+            );
             match parent_edge.compare_exchange(
-                leaf,
+                leaf.as_raw(),
                 new_internal,
                 Ordering::AcqRel,
                 Ordering::Acquire,
             ) {
-                Ok(_) => break true,
+                Ok(_) => return true,
                 Err(observed) => {
                     // Neither node was published; take the value back and
                     // free them before retrying.
+                    // SAFETY: the CAS failed, so both nodes are still owned
+                    // by us and unreachable; each is freed exactly once.
                     unsafe {
                         value = (*new_leaf).value.value.take();
                         Linked::dealloc(new_internal);
@@ -297,91 +339,87 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
                     }
                     // If the edge still leads to our leaf but is flagged or
                     // tagged, help the pending deletion along before retrying.
-                    if tag::untagged(observed) == leaf && tag::tag_of(observed) != 0 {
-                        self.cleanup(handle, key, &record);
+                    if tag::untagged(observed) == leaf.as_raw() && tag::tag_of(observed) != 0 {
+                        self.cleanup(&guard, key, &record);
                     }
                 }
             }
-        };
-        handle.end_op();
-        inserted
+        }
     }
 
     /// Removes `key`; returns `true` if it was present.
     pub fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
-        handle.begin_op();
+        let mut shields = Self::seek_shields(handle);
+        let guard = handle.enter();
         let mut injected = false;
-        let mut target_leaf: *mut Linked<Node<V>> = ptr::null_mut();
-        let removed = loop {
-            let record = self.seek(handle, key);
+        let mut target_leaf: *mut Linked<Node<V>> = core::ptr::null_mut();
+        loop {
+            let record = self.seek(&guard, &mut shields, key);
             if !injected {
                 // Injection phase: flag the edge to the leaf we want gone.
                 let leaf = record.leaf;
-                if unsafe { (*leaf).value.key } != key {
-                    break false;
+                if leaf.as_ref().expect("seek ends at a leaf").key != key {
+                    return false;
                 }
-                let parent_edge = unsafe { &*Self::child_edge(record.parent, key) };
+                let parent_edge = Self::child_edge(
+                    record.parent.as_ref().expect("parent role is protected"),
+                    key,
+                );
                 match parent_edge.compare_exchange(
-                    leaf,
-                    tag::with_tag(leaf, FLAG),
+                    leaf.as_raw(),
+                    leaf.with_tag(FLAG).as_raw(),
                     Ordering::AcqRel,
                     Ordering::Acquire,
                 ) {
                     Ok(_) => {
                         injected = true;
-                        target_leaf = leaf;
-                        if self.cleanup(handle, key, &record) {
-                            break true;
+                        target_leaf = leaf.as_raw();
+                        if self.cleanup(&guard, key, &record) {
+                            return true;
                         }
                     }
                     Err(observed) => {
                         // Someone else is operating on this edge; help if it
                         // is a deletion of the same leaf, then retry.
-                        if tag::untagged(observed) == leaf && tag::tag_of(observed) != 0 {
-                            self.cleanup(handle, key, &record);
+                        if tag::untagged(observed) == leaf.as_raw() && tag::tag_of(observed) != 0 {
+                            self.cleanup(&guard, key, &record);
                         }
                     }
                 }
             } else {
                 // Cleanup phase: keep helping until our leaf is detached.
-                if record.leaf != target_leaf {
+                if record.leaf.as_raw() != target_leaf {
                     // Another thread finished the physical removal for us.
-                    break true;
+                    return true;
                 }
-                if self.cleanup(handle, key, &record) {
-                    break true;
+                if self.cleanup(&guard, key, &record) {
+                    return true;
                 }
             }
-        };
-        handle.end_op();
-        removed
+        }
     }
 
     /// Returns `true` if `key` is present.
     pub fn contains(&self, handle: &mut R::Handle, key: u64) -> bool {
-        handle.begin_op();
-        let record = self.seek(handle, key);
-        let found = unsafe { (*record.leaf).value.key } == key;
-        handle.end_op();
-        found
+        let mut shields = Self::seek_shields(handle);
+        let guard = handle.enter();
+        let record = self.seek(&guard, &mut shields, key);
+        record.leaf.as_ref().expect("seek ends at a leaf").key == key
     }
 }
 
 impl<V: Clone, R: Reclaimer> NatarajanBst<V, R> {
     /// Looks up `key`, returning a clone of its value.
     pub fn get(&self, handle: &mut R::Handle, key: u64) -> Option<V> {
-        handle.begin_op();
-        let record = self.seek(handle, key);
-        let leaf = record.leaf;
-        let value = unsafe {
-            if (*leaf).value.key == key {
-                (*leaf).value.value.clone()
-            } else {
-                None
-            }
-        };
-        handle.end_op();
-        value
+        let mut shields = Self::seek_shields(handle);
+        let guard = handle.enter();
+        let record = self.seek(&guard, &mut shields, key);
+        let leaf = record.leaf.as_ref().expect("seek ends at a leaf");
+        if leaf.key == key {
+            leaf.value.clone()
+        } else {
+            None
+        }
     }
 }
 
@@ -394,6 +432,8 @@ impl<V, R: Reclaimer> Drop for NatarajanBst<V, R> {
             if node.is_null() {
                 continue;
             }
+            // SAFETY: `Drop` has exclusive access; every reachable node is
+            // visited and freed exactly once.
             unsafe {
                 stack.push((*node).value.left.load(Ordering::Relaxed));
                 stack.push((*node).value.right.load(Ordering::Relaxed));

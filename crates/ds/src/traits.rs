@@ -3,6 +3,19 @@
 //! The paper's evaluation drives every data structure through an abstract
 //! key-value interface (`insert`, `delete`, `get`, `put`) and every queue
 //! through `enqueue`/`dequeue`. These traits are that interface.
+//!
+//! Implementations are written against the safe guard API: one operation
+//! leases [`required_slots`](ConcurrentMap::required_slots) shields from the
+//! handle, enters a [`Guard`](wfe_reclaim::Guard) bracket and performs every
+//! hazardous read through [`Shield::protect`](wfe_reclaim::Shield::protect).
+//! `required_slots` is therefore exactly the number of simultaneously-leased
+//! shields — domains must be configured with at least that many
+//! `slots_per_thread`, which the structures assert at construction. The
+//! shields are leased from the handle *passed into the operation*, so a
+//! caller that parks its own long-lived [`Shield`](wfe_reclaim::Shield)s on
+//! that handle must leave `required_slots` slots free or operations panic
+//! with a "reservation slots exhausted" message (instead of silently
+//! corrupting a reservation, as a stray raw index used to).
 
 use std::sync::Arc;
 

@@ -1,8 +1,9 @@
 //! Treiber's lock-free stack (Figure 2 of the paper).
 //!
 //! The stack is the paper's running example for the reclamation API: `push`
-//! allocates a node through `alloc_block`, `pop` protects the top with
-//! `get_protected(index 0)`, unlinks it with CAS and retires it.
+//! allocates a node through `alloc_block`, `pop` protects the top through a
+//! [`Shield`] inside a [`Guard`](wfe_reclaim::Guard) bracket, unlinks it with
+//! CAS and retires it.
 
 use core::mem::ManuallyDrop;
 use core::ptr;
@@ -10,7 +11,7 @@ use core::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use wfe_atomics::Backoff;
-use wfe_reclaim::{Atomic, Handle, Linked, RawHandle, Reclaimer};
+use wfe_reclaim::{Atomic, Handle, Linked, Reclaimer, Shield};
 
 /// A node of the stack.
 pub struct Node<T> {
@@ -27,15 +28,24 @@ pub struct TreiberStack<T, R: Reclaimer> {
     domain: Arc<R>,
 }
 
+// SAFETY: nodes hold `T` by value; all shared-pointer access goes through the reclamation protocol, so sending the
+// structure is sending the `T`s it owns.
 unsafe impl<T: Send, R: Reclaimer> Send for TreiberStack<T, R> {}
+// SAFETY: every `&self` method is lock-free-safe by construction (the
+// algorithm's own synchronisation); `T: Send` suffices because values
+// are moved in/out, never shared by reference across threads.
 unsafe impl<T: Send, R: Reclaimer> Sync for TreiberStack<T, R> {}
 
 impl<T, R: Reclaimer> TreiberStack<T, R> {
-    /// Reservation index used to protect the top node during `pop`.
-    const TOP_SLOT: usize = 0;
-
     /// Reservation slots the stack needs per thread: only the top node.
     pub const REQUIRED_SLOTS: usize = 1;
+
+    /// Leases the one shield `pop` needs.
+    fn top_shield(handle: &R::Handle) -> Shield<Node<T>, R::Handle> {
+        handle
+            .shield()
+            .expect("TreiberStack: reservation slots exhausted (pop needs one Shield)")
+    }
 
     /// Creates an empty stack guarded by `domain`.
     pub fn new(domain: Arc<R>) -> Self {
@@ -65,6 +75,7 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
         let mut backoff = Backoff::new();
         loop {
             let head = self.head.load(Ordering::Acquire);
+            // SAFETY: `node` is owned and unpublished until the CAS succeeds.
             unsafe { (*node).value.next = head };
             if self
                 .head
@@ -80,29 +91,29 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
     /// Pops the most recently pushed value (the paper's `dequeue`, Figure 2
     /// lines 9-22).
     pub fn pop(&self, handle: &mut R::Handle) -> Option<T> {
-        handle.begin_op();
+        let mut top = Self::top_shield(handle);
+        let guard = handle.enter();
         let mut backoff = Backoff::new();
-        let result = loop {
-            let node = handle.protect(&self.head, Self::TOP_SLOT, ptr::null_mut());
-            if node.is_null() {
-                break None;
-            }
-            let next = unsafe { (*node).value.next };
+        loop {
+            let node = top.protect(&guard, &self.head, None);
+            let node_ref = node.as_ref()?; // empty stack
+            let next = node_ref.next;
             if self
                 .head
-                .compare_exchange(node, next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(node.as_raw(), next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
                 // We won the CAS, so we own the value; the node itself stays
                 // alive until every in-flight reader is done.
-                let value = unsafe { ptr::read(&*(*node).value.value) };
-                unsafe { handle.retire(node) };
-                break Some(value);
+                // SAFETY: the unlink CAS transferred ownership of the value
+                // to us; nobody else reads it out.
+                let value = unsafe { ptr::read(&*node_ref.value) };
+                // SAFETY: the same CAS unlinked the node; it is retired once.
+                unsafe { node.retire_in(&guard) };
+                return Some(value);
             }
             backoff.spin();
-        };
-        handle.end_op();
-        result
+        }
     }
 
     /// Returns `true` if the stack appeared empty at the moment of the call.
@@ -117,6 +128,8 @@ impl<T, R: Reclaimer> Drop for TreiberStack<T, R> {
         // values they still own.
         let mut cur = self.head.load(Ordering::Relaxed);
         while !cur.is_null() {
+            // SAFETY: `Drop` has exclusive access; every remaining node is
+            // freed exactly once and still owns its value.
             unsafe {
                 let next = (*cur).value.next;
                 ManuallyDrop::drop(&mut (*cur).value.value);

@@ -17,6 +17,7 @@ use core::sync::atomic::AtomicUsize;
 use std::sync::Arc;
 
 use crate::block::{BlockHeader, Linked};
+use crate::guard::{Guard, Shield, ShieldError, ShieldSlots};
 use crate::ptr::{tag, Atomic};
 use crate::registry::ThreadRegistry;
 use crate::stats::SmrStats;
@@ -37,8 +38,46 @@ pub enum Progress {
 }
 
 /// Tuning knobs shared by every scheme; field names follow the paper.
+///
+/// One configuration describes one *domain* (registry sharding included),
+/// not just the paper's per-scheme constants. Construct it with
+/// [`DomainConfig::builder`] (preferred), [`DomainConfig::with_max_threads`],
+/// or a struct literal over [`Default`]:
+///
+/// ```
+/// use wfe_reclaim::{DomainConfig, He, Reclaimer};
+///
+/// let config = DomainConfig::builder()
+///     .max_threads(64)
+///     .shards(4)
+///     .build();
+/// let domain = He::with_config(config);
+/// assert_eq!(domain.registry().capacity(), 64);
+/// assert_eq!(domain.registry().shard_count(), 4);
+/// ```
+///
+/// # Sharding knobs
+///
+/// The [`shards`](DomainConfig::shards) field controls how the slot registry
+/// is partitioned; cleanup scans skip wholly-idle shards, so pinning a shard
+/// count close to the number of active sockets or executor workers keeps
+/// both registration and scanning off shared cache lines:
+///
+/// ```
+/// use wfe_reclaim::{DomainConfig, He, Reclaimer};
+///
+/// // 64 slots split into 4 shards (0 would auto-size from the host).
+/// let domain = He::with_config(DomainConfig::builder().max_threads(64).shards(4).build());
+/// assert_eq!(domain.registry().shard_count(), 4);
+///
+/// // No handle registered yet: every shard is idle and scans skip them all.
+/// assert_eq!(domain.registry().occupied_shards(), 0);
+/// let handle = domain.register();
+/// assert_eq!(domain.registry().occupied_shards(), 1);
+/// drop(handle);
+/// ```
 #[derive(Debug, Clone)]
-pub struct ReclaimerConfig {
+pub struct DomainConfig {
     /// Maximum number of simultaneously registered threads (`max_threads`).
     pub max_threads: usize,
     /// Number of reservation indices available to the application per thread
@@ -59,7 +98,7 @@ pub struct ReclaimerConfig {
     pub shards: usize,
 }
 
-impl Default for ReclaimerConfig {
+impl Default for DomainConfig {
     fn default() -> Self {
         Self {
             max_threads: 128,
@@ -72,7 +111,14 @@ impl Default for ReclaimerConfig {
     }
 }
 
-impl ReclaimerConfig {
+impl DomainConfig {
+    /// Starts a [`DomainConfigBuilder`] seeded with the defaults.
+    pub fn builder() -> DomainConfigBuilder {
+        DomainConfigBuilder {
+            config: Self::default(),
+        }
+    }
+
     /// Convenience constructor used throughout the tests and benches.
     pub fn with_max_threads(max_threads: usize) -> Self {
         Self {
@@ -87,38 +133,105 @@ impl ReclaimerConfig {
     }
 }
 
-/// Alias of [`ReclaimerConfig`] emphasising that one configuration describes
-/// one *domain* (registry sharding included), not just the paper's per-scheme
-/// constants.
+/// Builder for [`DomainConfig`], started with [`DomainConfig::builder`].
 ///
-/// # Sharding knobs
-///
-/// The [`shards`](ReclaimerConfig::shards) field controls how the slot
-/// registry is partitioned; cleanup scans skip wholly-idle shards, so pinning
-/// a shard count close to the number of active sockets or executor workers
-/// keeps both registration and scanning off shared cache lines:
+/// Every setter has the same name and meaning as the corresponding
+/// [`DomainConfig`] field; unset knobs keep their paper defaults.
 ///
 /// ```
-/// use wfe_reclaim::{DomainConfig, He, Reclaimer};
+/// use wfe_reclaim::DomainConfig;
 ///
-/// // 64 slots split into 4 shards (0 would auto-size from the host).
-/// let config = DomainConfig {
-///     shards: 4,
-///     ..DomainConfig::with_max_threads(64)
-/// };
-/// let domain = He::with_config(config);
-/// assert_eq!(domain.registry().shard_count(), 4);
-/// assert_eq!(domain.registry().capacity(), 64);
-///
-/// // No handle registered yet: every shard is idle and scans skip them all.
-/// assert_eq!(domain.registry().occupied_shards(), 0);
-/// let handle = domain.register();
-/// assert_eq!(domain.registry().occupied_shards(), 1);
-/// drop(handle);
+/// let config = DomainConfig::builder()
+///     .max_threads(64)
+///     .slots_per_thread(4)
+///     .era_freq(100)
+///     .cleanup_freq(64)
+///     .fast_path_attempts(16)
+///     .shards(4)
+///     .build();
+/// assert_eq!(config.max_threads, 64);
+/// assert_eq!(config.slots_per_thread, 4);
+/// assert_eq!(config.shards, 4);
 /// ```
-pub type DomainConfig = ReclaimerConfig;
+#[derive(Debug, Clone)]
+pub struct DomainConfigBuilder {
+    config: DomainConfig,
+}
+
+impl DomainConfigBuilder {
+    /// Maximum number of simultaneously registered threads.
+    pub fn max_threads(mut self, max_threads: usize) -> Self {
+        self.config.max_threads = max_threads;
+        self
+    }
+
+    /// Reservation slots available to the application per thread.
+    pub fn slots_per_thread(mut self, slots_per_thread: usize) -> Self {
+        self.config.slots_per_thread = slots_per_thread;
+        self
+    }
+
+    /// Advance the global era/epoch every `era_freq` allocations (ν in §5).
+    pub fn era_freq(mut self, era_freq: usize) -> Self {
+        self.config.era_freq = era_freq;
+        self
+    }
+
+    /// Scan the retired list every `cleanup_freq` retirements.
+    pub fn cleanup_freq(mut self, cleanup_freq: usize) -> Self {
+        self.config.cleanup_freq = cleanup_freq;
+        self
+    }
+
+    /// Fast-path attempts before WFE switches to the slow path.
+    pub fn fast_path_attempts(mut self, fast_path_attempts: usize) -> Self {
+        self.config.fast_path_attempts = fast_path_attempts;
+        self
+    }
+
+    /// Number of registry shards (`0` auto-sizes from the host).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> DomainConfig {
+        self.config
+    }
+}
+
+/// Historical name of [`DomainConfig`], kept so struct-literal construction
+/// (`ReclaimerConfig { .. }`) in existing code keeps compiling. New code
+/// should use [`DomainConfig::builder`].
+pub type ReclaimerConfig = DomainConfig;
+
+/// Uniform out-of-range reservation-slot check every scheme's `protect_raw`
+/// performs (debug builds only — the raw SPI stays zero-cost in release).
+///
+/// Before this check, a bad index was scheme-dependent UB-adjacent behaviour:
+/// era schemes would stomp a neighbouring thread's padded row, HP would
+/// publish the hazard in the wrong slot and silently protect nothing.
+#[inline]
+#[track_caller]
+pub fn debug_assert_slot_index(index: usize, slots: usize) {
+    debug_assert!(
+        index < slots,
+        "reservation slot index {index} out of range: this handle has {slots} \
+         application slots (a stray index would corrupt an unrelated reservation)"
+    );
+}
 
 /// The type-erased, per-thread reclamation interface each scheme implements.
+///
+/// This is the **SPI for scheme implementors** — the Rust rendering of the
+/// paper's Hazard-Eras-compatible C interface. Application code should use
+/// the safe layer instead: [`Handle::enter`] for operation brackets,
+/// [`Handle::shield`]/[`Shield`] for reservations and
+/// [`Protected`](crate::Protected) for the pointers they return; the raw
+/// methods below remain public for new scheme implementations and for
+/// harnesses that measure the uncooked operations (the `guard_overhead`
+/// bench group).
 ///
 /// # Safety
 ///
@@ -128,13 +241,21 @@ pub type DomainConfig = ReclaimerConfig;
 /// overwritten by a later `protect_raw`, or [`clear`](Self::clear) /
 /// [`end_op`](Self::end_op) is called, provided the program obeys the usual
 /// SMR contract (blocks are retired only after becoming unreachable, and only
-/// once).
+/// once). `protect_raw` must call [`debug_assert_slot_index`] (or an
+/// equivalent check) so out-of-range indices fail uniformly in debug builds.
 pub unsafe trait RawHandle {
     /// Dense index of this thread in `0..max_threads`.
     fn thread_id(&self) -> usize;
 
     /// Number of reservation slots available to the application.
     fn slots(&self) -> usize;
+
+    /// The shield lease table of this handle, shared with every outstanding
+    /// [`Shield`]. Implementations create one per registration (sized by
+    /// [`slots`](Self::slots)) and hand back the same `Arc` for the handle's
+    /// whole lifetime — its identity is how [`Shield::protect`] recognises
+    /// its owning handle.
+    fn shield_slots(&self) -> &Arc<ShieldSlots>;
 
     /// Marks the beginning of a data-structure operation.
     fn begin_op(&mut self);
@@ -180,7 +301,34 @@ pub unsafe trait RawHandle {
 }
 
 /// Typed convenience layer over [`RawHandle`]; blanket-implemented.
+///
+/// Besides the paper-shaped `alloc`/`protect`/`retire`, this is where the
+/// safe guard API hangs off a handle: [`enter`](Self::enter) opens an
+/// operation bracket, [`shield`](Self::shield) leases a reservation slot.
 pub trait Handle: RawHandle {
+    /// Opens an operation bracket (the paper's `begin_op`), returning the
+    /// [`Guard`] through which shared pointers are read. Dropping the guard
+    /// closes the bracket (`end_op`).
+    ///
+    /// The guard borrows the handle exclusively; lease the operation's
+    /// [`Shield`]s *before* entering.
+    fn enter(&mut self) -> Guard<'_, Self>
+    where
+        Self: Sized,
+    {
+        Guard::new(self)
+    }
+
+    /// Leases a reservation slot as an owned [`Shield`], or reports
+    /// exhaustion as an error instead of silently stomping a neighbouring
+    /// reservation.
+    fn shield<T>(&self) -> Result<Shield<T, Self>, ShieldError>
+    where
+        Self: Sized,
+    {
+        Shield::lease(self)
+    }
+
     /// Allocates a reclaimable block holding `value`
     /// (the paper's `alloc_block`).
     fn alloc<T>(&mut self, value: T) -> *mut Linked<T> {
@@ -218,7 +366,8 @@ pub trait Handle: RawHandle {
     unsafe fn retire<T>(&mut self, ptr: *mut Linked<T>) {
         debug_assert!(!ptr.is_null(), "cannot retire a null block");
         debug_assert_eq!(tag::tag_of(ptr), 0, "cannot retire a tagged pointer");
-        self.retire_raw(Linked::as_header(ptr));
+        // SAFETY: forwarded contract — same obligations as `retire_raw`.
+        unsafe { self.retire_raw(Linked::as_header(ptr)) };
     }
 }
 

@@ -47,7 +47,11 @@ pub struct BlockHeader {
 // The raw link is only ever touched by the thread that owns the retired list
 // (or by a helper after the owner has handed the list over), never
 // concurrently.
+// SAFETY: the intrusive link is only ever touched by the thread that owns
+// the retired batch (or by a helper after a hand-over), never concurrently;
+// the era fields are atomics.
 unsafe impl Send for BlockHeader {}
+// SAFETY: as above — shared access is confined to the atomic era fields.
 unsafe impl Sync for BlockHeader {}
 
 impl BlockHeader {
@@ -106,7 +110,9 @@ impl<T> Linked<T> {
     /// must not have been freed or retired before, and no other thread may
     /// still access it.
     pub unsafe fn dealloc(ptr: *mut Linked<T>) {
-        drop(Box::from_raw(ptr));
+        // SAFETY: the caller guarantees `ptr` came from `Linked::alloc` (a
+        // `Box` allocation) and is not aliased or already freed.
+        drop(unsafe { Box::from_raw(ptr) });
     }
 
     /// Upcasts a typed block pointer to its header pointer.
@@ -123,7 +129,9 @@ impl<T> Linked<T> {
 /// `header` must point to the `BlockHeader` of a live `Linked<T>` allocation
 /// of the matching `T`.
 unsafe fn drop_block<T>(header: *mut BlockHeader) {
-    drop(Box::from_raw(header as *mut Linked<T>));
+    // SAFETY: the caller guarantees `header` is the first field of a live
+    // `Linked<T>` allocation, so the cast recovers the original `Box`.
+    drop(unsafe { Box::from_raw(header as *mut Linked<T>) });
 }
 
 /// Frees a retired block through its type-erased destructor.
@@ -132,7 +140,9 @@ unsafe fn drop_block<T>(header: *mut BlockHeader) {
 ///
 /// The block must be retired, unreachable and unprotected by every thread.
 pub(crate) unsafe fn free_block(header: *mut BlockHeader) {
-    ((*header).drop_fn)(header);
+    // SAFETY: the caller guarantees the block is retired, unreachable and
+    // unprotected; `drop_fn` was installed at allocation for the right `T`.
+    unsafe { ((*header).drop_fn)(header) };
 }
 
 #[cfg(test)]
@@ -146,6 +156,7 @@ mod tests {
         let ptr = Linked::alloc(42u64, 7);
         let header = Linked::as_header(ptr);
         assert_eq!(header as usize, ptr as usize);
+        // SAFETY: `ptr` was just allocated and is exclusively owned by the test.
         unsafe {
             assert_eq!((*header).alloc_era(), 7);
             assert_eq!((*ptr).value, 42);
@@ -163,6 +174,8 @@ mod tests {
         }
         let drops = Arc::new(AtomicUsize::new(0));
         let ptr = Linked::alloc(Canary(drops.clone()), 0);
+        // SAFETY: the block is alive, unreachable by any other thread, and freed
+        // exactly once through its installed `drop_fn`.
         unsafe { free_block(Linked::as_header(ptr)) };
         assert_eq!(drops.load(SeqCst), 1);
     }

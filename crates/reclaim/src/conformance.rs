@@ -68,6 +68,7 @@ impl MiniStack {
         });
         loop {
             let head = self.head.load(Ordering::Acquire);
+            // SAFETY: `node` is owned and unpublished until the CAS succeeds.
             unsafe { (*node).value.next = head };
             if self
                 .head
@@ -87,13 +88,17 @@ impl MiniStack {
             if node.is_null() {
                 break None;
             }
+            // SAFETY: `node` is protected by reservation slot 0, so the read is valid.
             let next = unsafe { (*node).value.next };
             if self
                 .head
                 .compare_exchange(node, next, Ordering::AcqRel, Ordering::Acquire)
                 .is_ok()
             {
+                // SAFETY: we won the unlink CAS; the node stays valid until retired readers
+                // finish, and its value is ours.
                 let value = unsafe { (*node).value.value };
+                // SAFETY: the same CAS unlinked the node; it is retired exactly once.
                 unsafe { handle.retire(node) };
                 break Some(value);
             }
@@ -108,7 +113,9 @@ impl MiniStack {
         let mut cur = self.head.load(Ordering::Acquire);
         self.head.store(ptr::null_mut(), Ordering::Release);
         while !cur.is_null() {
+            // SAFETY: `drain` requires no concurrency; every node is exclusively owned.
             let next = unsafe { (*cur).value.next };
+            // SAFETY: as above — exclusive access, freed exactly once.
             unsafe { Linked::dealloc(cur) };
             cur = next;
             count += 1;
@@ -141,6 +148,7 @@ pub fn basic_lifecycle<R: Reclaimer>() {
 
     let node = h1.alloc(123u64);
     assert!(!node.is_null());
+    // SAFETY: the block was just allocated and is owned by this thread.
     unsafe {
         assert_eq!((*node).value, 123);
     }
@@ -148,6 +156,8 @@ pub fn basic_lifecycle<R: Reclaimer>() {
     assert_eq!(stats.allocated, 1);
     assert_eq!(stats.retired, 0);
 
+    // SAFETY: the block was never published; it is trivially unreachable and
+    // retired exactly once.
     unsafe { h1.retire(node) };
     assert_eq!(domain.stats().retired, 1);
 
@@ -196,6 +206,7 @@ pub fn protection_blocks_reclamation<R: Reclaimer>() {
         "a protected block must survive cleanup"
     );
     // The block is still readable.
+    // SAFETY: the reader's reservation from slot 0 still pins the block.
     unsafe {
         assert_eq!((*protected).value.value, 1);
     }
@@ -284,7 +295,9 @@ pub fn concurrent_stack_stress<R: Reclaimer>(threads: usize, ops_per_thread: usi
             let mut sum = 0usize;
             let mut cur = stack.head.load(Ordering::Acquire);
             while !cur.is_null() {
+                // SAFETY: all workers have joined; the stack is exclusively owned here.
                 sum += unsafe { (*cur).value.value };
+                // SAFETY: as above.
                 cur = unsafe { (*cur).value.next };
             }
             sum

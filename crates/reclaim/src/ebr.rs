@@ -15,8 +15,9 @@ use std::sync::Arc;
 
 use wfe_atomics::CachePadded;
 
-use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
+use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
 use crate::scan::EpochSnapshot;
@@ -72,6 +73,7 @@ impl Reclaimer for Ebr {
     fn try_register(self: &Arc<Self>) -> Option<EbrHandle> {
         let tid = self.registry.try_acquire()?;
         Some(EbrHandle {
+            shield_slots: ShieldSlots::new(self.config.slots_per_thread),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -104,6 +106,8 @@ impl Reclaimer for Ebr {
 
 impl Drop for Ebr {
     fn drop(&mut self) {
+        // SAFETY: no handle can exist any more (handles hold an `Arc` to the
+        // domain), so every orphaned block is unreachable and unprotected.
         unsafe {
             self.orphans.free_all();
         }
@@ -121,6 +125,9 @@ impl core::fmt::Debug for Ebr {
 
 /// Per-thread EBR handle.
 pub struct EbrHandle {
+    /// Lease table for this handle's [`Shield`](crate::Shield)s. EBR ignores
+    /// the indices, but leases keep data structures scheme-generic.
+    shield_slots: Arc<ShieldSlots>,
     domain: Arc<Ebr>,
     tid: usize,
     retired: RetiredBatch,
@@ -137,6 +144,9 @@ impl EbrHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        // SAFETY: `fill_snapshot` reads the reservation tables inside
+        // `cleanup_pass`, i.e. after the orphan pop and after every block on the
+        // batch was retired — the snapshot-freshness contract.
         unsafe {
             crate::retired::cleanup_pass(
                 &mut self.retired,
@@ -149,6 +159,9 @@ impl EbrHandle {
     }
 }
 
+// SAFETY: `protect_raw` publishes the scheme's reservation before returning,
+// so the returned pointer stays valid until the slot is overwritten or
+// cleared — the `RawHandle` validity contract.
 unsafe impl RawHandle for EbrHandle {
     fn thread_id(&self) -> usize {
         self.tid
@@ -159,6 +172,10 @@ unsafe impl RawHandle for EbrHandle {
         // per-pointer index space is irrelevant; report the configured value
         // so data structures can use indices uniformly.
         self.domain.config.slots_per_thread
+    }
+
+    fn shield_slots(&self) -> &Arc<ShieldSlots> {
+        &self.shield_slots
     }
 
     fn begin_op(&mut self) {
@@ -179,23 +196,31 @@ unsafe impl RawHandle for EbrHandle {
     fn protect_raw(
         &mut self,
         src: &AtomicUsize,
-        _index: usize,
+        index: usize,
         _parent: *mut BlockHeader,
         _mask: usize,
     ) -> usize {
-        // Protection comes from the epoch published in `begin_op`; a read is
-        // just a read.
+        // The index is unused (protection comes from the epoch published in
+        // `begin_op`), but a stray one is still a caller bug: check it
+        // uniformly so misuse fails the same way under every scheme.
+        debug_assert_slot_index(index, self.slots());
         src.load(Ordering::Acquire)
     }
 
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let epoch = self.domain.epoch();
-        (*block).retire_era.store(epoch, Ordering::Release);
-        self.retired.push(block);
+        // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
+        // unreachable block retired exactly once — covers both the header
+        // stamp and the batch push.
+        unsafe {
+            (*block).retire_era.store(epoch, Ordering::Release);
+            self.retired.push(block);
+        }
         self.domain.counters.on_retire();
         self.since_cleanup += 1;
         if self.since_cleanup >= self.domain.config.cleanup_freq {
-            if (*block).retire_era() == self.domain.epoch() {
+            // SAFETY: same contract — the header is valid for the whole call.
+            if unsafe { (*block).retire_era() } == self.domain.epoch() {
                 self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
             }
             self.cleanup();
@@ -284,6 +309,7 @@ mod tests {
         stalled.begin_op(); // ... and never ends its operation.
         for _ in 0..100 {
             let ptr = worker.alloc(0u64);
+            // SAFETY: the block was never published; retired exactly once.
             unsafe { worker.retire(ptr) };
         }
         worker.force_cleanup();

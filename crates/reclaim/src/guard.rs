@@ -1,0 +1,689 @@
+//! The safe, guard-based protection API.
+//!
+//! The raw [`RawHandle`] interface mirrors the paper's Hazard-Eras-compatible
+//! C API: bare slot indices, raw `*mut Linked<T>` results, and an `unsafe fn
+//! retire` whose three-part contract every caller must re-derive by hand. It
+//! remains available as the SPI for scheme implementors; application code is
+//! written against the three types of this module instead:
+//!
+//! * [`Guard`] — an *operation bracket* created by
+//!   [`Handle::enter`]. Construction runs `begin_op`,
+//!   drop runs `end_op`, and every hazardous read goes through a guard, so an
+//!   operation can no longer forget to open or close its bracket.
+//! * [`Shield`] — an owned reservation slot leased from a handle with
+//!   [`Handle::shield`]. Slot indices become a managed
+//!   resource: exhaustion is an [`Err`](ShieldError) instead of a silent stomp
+//!   on a neighbouring reservation, and the slot is returned when the shield
+//!   is dropped. A shield is independent of any single guard, so it can be
+//!   held across operations (or `.await` points) and reused.
+//! * [`Protected`] — a tagged, borrow-checked pointer returned by
+//!   [`Shield::protect`]. Its lifetime is tied to the guard it was read
+//!   under, so it cannot outlive the operation bracket; dereferencing via
+//!   [`Protected::as_ref`] is *safe*. Retirement is
+//!   [`Protected::retire_in`], whose single obligation is "I unlinked it".
+//!
+//! ```
+//! use std::sync::Arc;
+//! use wfe_reclaim::{Atomic, Handle, He, Reclaimer};
+//!
+//! let domain = He::new_default();
+//! let mut handle = domain.register();
+//!
+//! // A shield is leased once and reused across operations.
+//! let mut shield = handle.shield::<u64>().expect("slots available");
+//!
+//! let node = handle.alloc(42u64);
+//! let root: Atomic<u64> = Atomic::new(node);
+//!
+//! {
+//!     let guard = handle.enter(); // begin_op
+//!     let value = shield.protect(&guard, &root, None);
+//!     assert_eq!(value.as_ref(), Some(&42));
+//! } // end_op
+//!
+//! // Unlink, then retire through the typed API: the *only* obligation left
+//! // is that the block really was unlinked.
+//! root.store(core::ptr::null_mut(), core::sync::atomic::Ordering::SeqCst);
+//! let guard = handle.enter();
+//! // SAFETY: `node` was just unlinked from `root` and is retired once.
+//! unsafe { wfe_reclaim::Protected::from_unlinked(node).retire_in(&guard) };
+//! ```
+//!
+//! # What the borrow checker enforces — and what it cannot
+//!
+//! A [`Protected`] cannot outlive its [`Guard`] (compile error), and a
+//! [`Shield`] leased from one scheme's handle cannot be used with a guard of
+//! another scheme (type error); using it with a *different handle of the same
+//! scheme* panics at runtime. One granularity is deliberately not tracked:
+//! re-protecting through the *same* shield ends the protection of the pointer
+//! it previously returned (the reservation slot is overwritten). Keeping the
+//! older [`Protected`] around past that point is a logic error for the
+//! slot-based schemes (HP/HE/WFE/2GEIBR); lease one shield per
+//! simultaneously-live pointer, exactly as the data structures in `wfe-ds` do.
+
+use core::marker::PhantomData;
+use core::ptr;
+use core::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use crate::api::{Handle, RawHandle};
+use crate::block::Linked;
+use crate::ptr::{tag, Atomic};
+
+/// The lease table behind a handle's [`Shield`]s: one bit per application
+/// reservation slot.
+///
+/// Shared (via `Arc`) between the handle and every shield leased from it, so
+/// a shield can return its slot even after the handle moved or was parked in
+/// a [`HandlePool`](crate::pool::HandlePool). The `Arc` identity doubles as
+/// the handle identity [`Shield::protect`] validates at runtime.
+#[derive(Debug)]
+pub struct ShieldSlots {
+    /// Bit `i` set ⇔ slot `i` is currently leased to a live `Shield`.
+    bitmap: AtomicUsize,
+    /// Number of leasable slots (the handle's application slots, capped at
+    /// one machine word of bits).
+    slots: usize,
+}
+
+impl ShieldSlots {
+    /// Creates a lease table for `slots` application reservation slots.
+    ///
+    /// At most [`usize::BITS`] slots are leasable through shields; schemes
+    /// configured with more still expose them through the raw SPI.
+    pub fn new(slots: usize) -> Arc<Self> {
+        Arc::new(Self {
+            bitmap: AtomicUsize::new(0),
+            slots: slots.min(usize::BITS as usize),
+        })
+    }
+
+    /// Number of slots this table can lease.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of slots currently leased.
+    pub fn leased(&self) -> usize {
+        self.bitmap.load(Ordering::Acquire).count_ones() as usize
+    }
+
+    /// Leases the lowest free slot, or `None` when all are taken.
+    fn lease(&self) -> Option<usize> {
+        let mut current = self.bitmap.load(Ordering::Relaxed);
+        loop {
+            let slot = (!current).trailing_zeros() as usize;
+            if slot >= self.slots {
+                return None;
+            }
+            match self.bitmap.compare_exchange_weak(
+                current,
+                current | (1 << slot),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Some(slot),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Returns a leased slot (called by `Shield::drop`).
+    fn release(&self, slot: usize) {
+        let prev = self.bitmap.fetch_and(!(1 << slot), Ordering::AcqRel);
+        debug_assert!(prev & (1 << slot) != 0, "releasing a slot never leased");
+    }
+}
+
+/// Error returned by [`Handle::shield`] when every
+/// reservation slot of the handle is already leased.
+///
+/// The raw API would have let the extra index silently stomp a neighbouring
+/// reservation (a use-after-free time bomb); the typed API reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShieldError {
+    /// Number of slots the handle has (all currently leased).
+    pub slots: usize,
+}
+
+impl core::fmt::Display for ShieldError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "reservation slots exhausted: all {} slots of this handle are leased \
+             (raise DomainConfig slots_per_thread or drop an unused Shield)",
+            self.slots
+        )
+    }
+}
+
+impl std::error::Error for ShieldError {}
+
+/// An operation bracket: the region between `begin_op` and `end_op` in which
+/// shared pointers may be read.
+///
+/// Created by [`Handle::enter`]; dropping the guard
+/// closes the bracket (dropping every protection for the epoch- and
+/// interval-based schemes, clearing reservations for the rest). The guard
+/// borrows the handle mutably for its whole lifetime, so an operation cannot
+/// interleave raw handle calls with guarded reads.
+///
+/// A [`Protected`] pointer cannot outlive the guard it was read under:
+///
+/// ```compile_fail
+/// use wfe_reclaim::{Atomic, Handle, He, Reclaimer};
+/// let domain = He::new_default();
+/// let mut handle = domain.register();
+/// let mut shield = handle.shield::<u64>().unwrap();
+/// let node = handle.alloc(1u64);
+/// let root: Atomic<u64> = Atomic::new(node);
+/// let escaped = {
+///     let guard = handle.enter();
+///     shield.protect(&guard, &root, None)
+/// }; // ERROR: `guard` dropped while `escaped` still borrows it
+/// escaped.as_ref();
+/// ```
+pub struct Guard<'h, H: RawHandle> {
+    /// Exclusive access to the handle for the guard's lifetime. A raw pointer
+    /// (rather than `&'h mut H`) so that [`Shield::protect`] can take `&self`:
+    /// several `Protected` values may borrow the guard *shared* at once while
+    /// protect/retire calls still reach the handle's `&mut` methods.
+    handle: *mut H,
+    _marker: PhantomData<&'h mut H>,
+}
+
+impl<'h, H: RawHandle> Guard<'h, H> {
+    /// Opens the bracket. Called by [`Handle::enter`].
+    pub(crate) fn new(handle: &'h mut H) -> Self {
+        handle.begin_op();
+        Self {
+            handle,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Runs `f` with exclusive access to the handle.
+    ///
+    /// SAFETY argument for the interior `&mut`: the guard was constructed
+    /// from `&'h mut H` (no other reference to the handle can exist for
+    /// `'h`), the raw-pointer field makes the guard `!Send`/`!Sync` (no
+    /// cross-thread aliasing), and every closure passed here is a leaf call
+    /// into the handle that never re-enters the guard (no reentrant `&mut`).
+    #[inline]
+    fn with<R>(&self, f: impl FnOnce(&mut H) -> R) -> R {
+        // SAFETY: see above — exclusive, single-threaded, non-reentrant.
+        f(unsafe { &mut *self.handle })
+    }
+
+    /// Dense index of the underlying thread in `0..max_threads`.
+    #[inline]
+    pub fn thread_id(&self) -> usize {
+        self.with(|h| h.thread_id())
+    }
+
+    /// Number of reservation slots of the underlying handle.
+    #[inline]
+    pub fn slots(&self) -> usize {
+        self.with(|h| h.slots())
+    }
+
+    /// Allocates a reclaimable block mid-operation (the paper's
+    /// `alloc_block`). The pointer is owned by the caller until it is either
+    /// published into the data structure or freed with [`Linked::dealloc`].
+    #[inline]
+    pub fn alloc<T>(&self, value: T) -> *mut Linked<T> {
+        self.with(|h| h.alloc(value))
+    }
+
+    /// The lease-table identity of the underlying handle (used by
+    /// [`Shield::protect`] to reject shields leased from another handle).
+    #[inline]
+    fn slots_identity(&self) -> *const ShieldSlots {
+        self.with(|h| Arc::as_ptr(h.shield_slots()))
+    }
+
+    /// Protects and returns the pointer at `src` through slot `index` of this
+    /// guard's handle. Internal engine of [`Shield::protect`].
+    #[inline]
+    fn protect_in_slot<'g, T>(
+        &'g self,
+        index: usize,
+        src: &Atomic<T>,
+        parent: Option<Protected<'_, T>>,
+    ) -> Protected<'g, T> {
+        let parent_ptr = parent.map_or(ptr::null_mut(), |p| p.untagged().as_raw());
+        let raw = self.with(|h| h.protect(src, index, parent_ptr));
+        Protected {
+            ptr: raw,
+            _guard: PhantomData,
+        }
+    }
+
+    /// Retires `block` (called by [`Protected::retire_in`]).
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`crate::Handle::retire`].
+    #[inline]
+    unsafe fn retire_block<T>(&self, block: *mut Linked<T>) {
+        // SAFETY: forwarded contract — the caller (`Protected::retire_in`)
+        // guarantees the block is unlinked and retired exactly once.
+        self.with(|h| unsafe { h.retire(block) })
+    }
+}
+
+impl<H: RawHandle> Drop for Guard<'_, H> {
+    fn drop(&mut self) {
+        self.with(|h| h.end_op());
+    }
+}
+
+impl<H: RawHandle> core::fmt::Debug for Guard<'_, H> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Guard")
+            .field("thread_id", &self.thread_id())
+            .finish()
+    }
+}
+
+/// Variance/auto-trait marker for [`Shield`]: the shield is tied to a
+/// protected type `T` and a handle type `H` without owning either.
+type ShieldMarker<T, H> = PhantomData<(fn() -> T, fn(&H))>;
+
+/// An owned reservation slot, leased from a handle with
+/// [`Handle::shield`] and returned on drop.
+///
+/// One shield protects one pointer at a time: [`Shield::protect`] publishes
+/// whatever reservation the scheme needs in the leased slot and hands back a
+/// borrow-checked [`Protected`]. Lease as many shields as the operation has
+/// simultaneously-live pointers (a list traversal needs two, the BST window
+/// needs five).
+///
+/// The shield is typed by the scheme's handle, so it cannot cross schemes:
+///
+/// ```compile_fail
+/// use wfe_reclaim::{Atomic, Handle, He, Hp, Reclaimer};
+/// let he = He::new_default();
+/// let hp = Hp::new_default();
+/// let mut he_handle = he.register();
+/// let mut hp_handle = hp.register();
+/// let mut shield = he_handle.shield::<u64>().unwrap();
+/// let root: Atomic<u64> = Atomic::null();
+/// let guard = hp_handle.enter();
+/// shield.protect(&guard, &root, None); // ERROR: HE shield, HP guard
+/// ```
+///
+/// Using a shield with a different *handle* of the same scheme is rejected at
+/// runtime (panic) — see [`Shield::protect`].
+pub struct Shield<T, H: RawHandle> {
+    slot: usize,
+    slots: Arc<ShieldSlots>,
+    _marker: ShieldMarker<T, H>,
+}
+
+impl<T, H: RawHandle> Shield<T, H> {
+    /// Leases the lowest free slot of `handle`. Called by
+    /// [`Handle::shield`].
+    pub(crate) fn lease(handle: &H) -> Result<Self, ShieldError> {
+        let slots = handle.shield_slots();
+        match slots.lease() {
+            Some(slot) => Ok(Self {
+                slot,
+                slots: Arc::clone(slots),
+                _marker: PhantomData,
+            }),
+            None => Err(ShieldError {
+                slots: slots.capacity(),
+            }),
+        }
+    }
+
+    /// The reservation slot index this shield owns.
+    #[inline]
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// Hazard-Eras `get_protected`, typed: reads the pointer stored at `src`,
+    /// publishes the scheme's reservation in this shield's slot, and returns
+    /// a [`Protected`] tied to `guard`.
+    ///
+    /// `parent` is the protected block that physically contains `src`
+    /// (`None` when `src` is a data-structure root). Only WFE's slow path
+    /// uses it; passing it is how the paper's §3.4 API convention — "the
+    /// parent must itself be protected" — becomes a typed requirement.
+    ///
+    /// Re-protecting through the same shield releases the protection of the
+    /// pointer it previously returned (see the [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shield was leased from a different handle than the one
+    /// `guard` brackets — the slot index would otherwise stomp an unrelated
+    /// reservation of that handle.
+    #[inline]
+    pub fn protect<'g>(
+        &mut self,
+        guard: &'g Guard<'_, H>,
+        src: &Atomic<T>,
+        parent: Option<Protected<'_, T>>,
+    ) -> Protected<'g, T> {
+        assert!(
+            core::ptr::eq(Arc::as_ptr(&self.slots), guard.slots_identity()),
+            "Shield used with a guard of a different handle (lease a shield from \
+             the handle that entered this operation)"
+        );
+        guard.protect_in_slot(self.slot, src, parent)
+    }
+}
+
+impl<T, H: RawHandle> Drop for Shield<T, H> {
+    fn drop(&mut self) {
+        self.slots.release(self.slot);
+    }
+}
+
+impl<T, H: RawHandle> core::fmt::Debug for Shield<T, H> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shield").field("slot", &self.slot).finish()
+    }
+}
+
+/// A tagged, borrow-checked pointer to a reclaimable block, valid for the
+/// lifetime `'g` of the [`Guard`] it was read under.
+///
+/// Obtained from [`Shield::protect`] (or, as the single unsafe escape hatch,
+/// [`Protected::from_unlinked`]). The pointer keeps any low tag bits found in
+/// the source; the *protected* object is the untagged block, which is what
+/// [`Protected::as_ref`] dereferences.
+pub struct Protected<'g, T> {
+    /// Raw, possibly tagged pointer.
+    ptr: *mut Linked<T>,
+    /// Ties the value to the guard's borrow region.
+    _guard: PhantomData<&'g ()>,
+}
+
+impl<T> Clone for Protected<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> Copy for Protected<'_, T> {}
+
+impl<'g, T> Protected<'g, T> {
+    /// The null pointer (protects nothing; `as_ref` returns `None`).
+    #[inline]
+    pub fn null() -> Self {
+        Self {
+            ptr: ptr::null_mut(),
+            _guard: PhantomData,
+        }
+    }
+
+    /// The unsafe escape hatch: wraps a raw pointer in a `Protected` without
+    /// a reservation.
+    ///
+    /// # Safety
+    ///
+    /// The caller guarantees the block cannot be reclaimed while this value
+    /// (or anything derived from it) is in use. The two legitimate cases:
+    ///
+    /// * the calling thread just **unlinked** the block and owns its
+    ///   retirement (constructing a `Protected` only to call
+    ///   [`retire_in`](Self::retire_in), or to read a value only the
+    ///   unlinking thread may still access);
+    /// * the block is an **immortal sentinel** that its data structure never
+    ///   retires (e.g. the Natarajan-Mittal BST's root nodes).
+    ///
+    /// A value constructed this way and passed to [`retire_in`](Self::retire_in)
+    /// must additionally come from the same domain as the retiring guard's
+    /// handle (see `retire_in`'s contract).
+    #[inline]
+    pub unsafe fn from_unlinked(ptr: *mut Linked<T>) -> Self {
+        Self {
+            ptr,
+            _guard: PhantomData,
+        }
+    }
+
+    /// The raw, possibly tagged pointer (for CAS expected/new values and
+    /// pointer comparisons; dereferencing it is on the caller).
+    #[inline]
+    pub fn as_raw(&self) -> *mut Linked<T> {
+        self.ptr
+    }
+
+    /// `true` if the untagged pointer is null.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        tag::untagged(self.ptr).is_null()
+    }
+
+    /// The low tag bits carried by the pointer.
+    #[inline]
+    pub fn tag(&self) -> usize {
+        tag::tag_of(self.ptr)
+    }
+
+    /// The same protected block with all tag bits cleared.
+    #[inline]
+    pub fn untagged(self) -> Self {
+        Self {
+            ptr: tag::untagged(self.ptr),
+            _guard: PhantomData,
+        }
+    }
+
+    /// The same protected block carrying `tag` (previous tag cleared).
+    #[inline]
+    pub fn with_tag(self, tag_bits: usize) -> Self {
+        Self {
+            ptr: tag::with_tag(self.ptr, tag_bits),
+            _guard: PhantomData,
+        }
+    }
+
+    /// Dereferences the protected block — *safely*. Returns `None` for null.
+    ///
+    /// The returned reference lives as long as the guard: the reservation
+    /// taken by [`Shield::protect`] keeps the block from being freed until
+    /// the bracket closes (or the shield re-protects; see the
+    /// [module docs](self)).
+    #[inline]
+    pub fn as_ref(&self) -> Option<&'g T> {
+        let clean = tag::untagged(self.ptr);
+        if clean.is_null() {
+            None
+        } else {
+            // SAFETY: the protection invariant — `clean` was published in a
+            // reservation slot under `'g`'s guard (or asserted immortal /
+            // owned via `from_unlinked`), so the scheme will not free it
+            // while `'g` is live, and `Linked<T>` keeps the payload at a
+            // stable address.
+            Some(unsafe { &(*clean).value })
+        }
+    }
+
+    /// `true` if both values point at the same block with the same tag.
+    #[inline]
+    pub fn ptr_eq(&self, other: Protected<'_, T>) -> bool {
+        self.ptr == other.ptr
+    }
+
+    /// Retires the block (the paper's `retire`), encapsulating the raw
+    /// three-part contract behind one obligation.
+    ///
+    /// # Safety
+    ///
+    /// **"I unlinked it":** the calling thread made this block unreachable
+    /// from the data structure (it won the unlink CAS, or the block was never
+    /// published), and no other thread will retire it. In addition, `guard`
+    /// must bracket a handle of the **domain the block was allocated in** —
+    /// a different domain's cleanup never scans the readers' reservations and
+    /// would free the block under them. (A `Protected` obtained from
+    /// [`Shield::protect`] was necessarily read through such a handle; the
+    /// obligation is only observable via [`Protected::from_unlinked`].)
+    #[inline]
+    pub unsafe fn retire_in<H: RawHandle>(self, guard: &Guard<'_, H>) {
+        debug_assert!(!self.is_null(), "cannot retire a null block");
+        debug_assert_eq!(self.tag(), 0, "cannot retire a tagged pointer");
+        // SAFETY: forwarded "unlinked exactly once" obligation.
+        unsafe { guard.retire_block(self.ptr) };
+    }
+}
+
+impl<T> PartialEq for Protected<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr == other.ptr
+    }
+}
+
+impl<T> Eq for Protected<'_, T> {}
+
+impl<T> core::fmt::Debug for Protected<'_, T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Protected({:p}, tag {})",
+            tag::untagged(self.ptr),
+            self.tag()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::{Reclaimer, ReclaimerConfig};
+    use crate::he::He;
+
+    #[test]
+    fn shield_lease_release_roundtrip() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(2));
+        let handle = domain.register();
+        let total = handle.shield_slots().capacity();
+        assert!(total >= 2);
+        let a = Handle::shield::<u64>(&handle).unwrap();
+        let b = Handle::shield::<u64>(&handle).unwrap();
+        assert_ne!(a.slot(), b.slot());
+        assert_eq!(handle.shield_slots().leased(), 2);
+        drop(a);
+        assert_eq!(handle.shield_slots().leased(), 1);
+        let c = Handle::shield::<u64>(&handle).unwrap();
+        assert_eq!(c.slot(), 0, "lowest slot is recycled first");
+        drop(b);
+        drop(c);
+        assert_eq!(handle.shield_slots().leased(), 0);
+    }
+
+    #[test]
+    fn shield_exhaustion_is_an_error_not_a_stomp() {
+        let domain = He::with_config(ReclaimerConfig {
+            slots_per_thread: 2,
+            ..ReclaimerConfig::with_max_threads(1)
+        });
+        let handle = domain.register();
+        let _a = Handle::shield::<u64>(&handle).unwrap();
+        let _b = Handle::shield::<u64>(&handle).unwrap();
+        let err = Handle::shield::<u64>(&handle).unwrap_err();
+        assert_eq!(err.slots, 2);
+        assert!(err.to_string().contains("slots_per_thread"));
+    }
+
+    #[test]
+    fn guard_brackets_protect_and_retire() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(2));
+        let mut handle = domain.register();
+        let mut shield = handle.shield::<u64>().unwrap();
+        let node = handle.alloc(9u64);
+        let root: Atomic<u64> = Atomic::new(node);
+        {
+            let guard = handle.enter();
+            let p = shield.protect(&guard, &root, None);
+            assert!(!p.is_null());
+            assert_eq!(p.as_ref(), Some(&9));
+            assert_eq!(p.as_raw(), node);
+        }
+        root.store(ptr::null_mut(), Ordering::SeqCst);
+        let guard = handle.enter();
+        // SAFETY: just unlinked from `root`, retired once.
+        unsafe { Protected::from_unlinked(node).retire_in(&guard) };
+        drop(guard);
+        handle.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0);
+    }
+
+    #[test]
+    fn protect_pins_the_block_until_the_bracket_closes() {
+        let domain = He::with_config(ReclaimerConfig {
+            cleanup_freq: 1,
+            era_freq: 1,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        let mut reader = domain.register();
+        let mut writer = domain.register();
+        let mut shield = reader.shield::<u64>().unwrap();
+        let node = writer.alloc(5u64);
+        let root: Atomic<u64> = Atomic::new(node);
+
+        let guard = reader.enter();
+        let p = shield.protect(&guard, &root, None);
+        assert_eq!(p.as_ref(), Some(&5));
+
+        root.store(ptr::null_mut(), Ordering::SeqCst);
+        {
+            let wguard = writer.enter();
+            // SAFETY: unlinked above, retired once.
+            unsafe { Protected::from_unlinked(node).retire_in(&wguard) };
+        }
+        writer.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 1, "guarded read pins the block");
+        assert_eq!(p.as_ref(), Some(&5), "still readable while protected");
+
+        drop(guard);
+        writer.force_cleanup();
+        assert_eq!(domain.stats().unreclaimed, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different handle")]
+    fn shield_cannot_cross_handles_of_the_same_scheme() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(2));
+        let first = domain.register();
+        let mut second = domain.register();
+        let mut shield = Handle::shield::<u64>(&first).unwrap();
+        let root: Atomic<u64> = Atomic::null();
+        let guard = second.enter();
+        let _ = shield.protect(&guard, &root, None);
+    }
+
+    #[test]
+    fn tag_round_trip_on_protected() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(1));
+        let mut handle = domain.register();
+        let node = handle.alloc(3u32);
+        let root: Atomic<u32> = Atomic::new(tag::with_tag(node, 1));
+        let mut shield = handle.shield::<u32>().unwrap();
+        let guard = handle.enter();
+        let p = shield.protect(&guard, &root, None);
+        assert_eq!(p.tag(), 1);
+        assert_eq!(p.untagged().tag(), 0);
+        assert_eq!(p.with_tag(2).tag(), 2);
+        assert_eq!(p.untagged().as_raw(), node);
+        assert_eq!(p.as_ref(), Some(&3), "as_ref ignores the tag");
+        drop(guard);
+        // SAFETY: never published anywhere else; freed exactly once.
+        unsafe { Linked::dealloc(node) };
+    }
+
+    #[test]
+    fn null_protected_behaves() {
+        let p: Protected<'_, u64> = Protected::null();
+        assert!(p.is_null());
+        assert_eq!(p.as_ref(), None);
+        assert_eq!(p.tag(), 0);
+        assert!(p.ptr_eq(Protected::null()));
+    }
+}

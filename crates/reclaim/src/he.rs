@@ -16,8 +16,9 @@ use std::sync::Arc;
 
 use wfe_atomics::CachePadded;
 
-use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
+use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
 use crate::scan::EraSnapshot;
@@ -82,6 +83,7 @@ impl Reclaimer for He {
     fn try_register(self: &Arc<Self>) -> Option<HeHandle> {
         let tid = self.registry.try_acquire()?;
         Some(HeHandle {
+            shield_slots: ShieldSlots::new(self.config.slots_per_thread),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -116,6 +118,8 @@ impl Drop for He {
     fn drop(&mut self) {
         // No handle can exist any more (handles hold an Arc), so every
         // orphaned block is unreachable and unprotected.
+        // SAFETY: no handle can exist any more (handles hold an `Arc` to the
+        // domain), so every orphaned block is unreachable and unprotected.
         unsafe {
             self.orphans.free_all();
         }
@@ -133,6 +137,8 @@ impl core::fmt::Debug for He {
 
 /// Per-thread Hazard Eras handle.
 pub struct HeHandle {
+    /// Lease table for this handle's [`Shield`](crate::Shield)s.
+    shield_slots: Arc<ShieldSlots>,
     domain: Arc<He>,
     tid: usize,
     retired: RetiredBatch,
@@ -149,6 +155,9 @@ impl HeHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        // SAFETY: `fill_snapshot` reads the reservation tables inside
+        // `cleanup_pass`, i.e. after the orphan pop and after every block on the
+        // batch was retired — the snapshot-freshness contract.
         unsafe {
             crate::retired::cleanup_pass(
                 &mut self.retired,
@@ -161,6 +170,9 @@ impl HeHandle {
     }
 }
 
+// SAFETY: `protect_raw` publishes the scheme's reservation before returning,
+// so the returned pointer stays valid until the slot is overwritten or
+// cleared — the `RawHandle` validity contract.
 unsafe impl RawHandle for HeHandle {
     fn thread_id(&self) -> usize {
         self.tid
@@ -168,6 +180,10 @@ unsafe impl RawHandle for HeHandle {
 
     fn slots(&self) -> usize {
         self.domain.config.slots_per_thread
+    }
+
+    fn shield_slots(&self) -> &Arc<ShieldSlots> {
+        &self.shield_slots
     }
 
     fn begin_op(&mut self) {}
@@ -183,7 +199,7 @@ unsafe impl RawHandle for HeHandle {
         _parent: *mut BlockHeader,
         _mask: usize,
     ) -> usize {
-        debug_assert!(index < self.slots());
+        debug_assert_slot_index(index, self.slots());
         let reservation = self.domain.reservations.get(self.tid, index);
         let mut prev_era = reservation.load(Ordering::Relaxed);
         loop {
@@ -202,14 +218,20 @@ unsafe impl RawHandle for HeHandle {
 
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let era = self.domain.era();
-        (*block).retire_era.store(era, Ordering::Release);
-        self.retired.push(block);
+        // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
+        // unreachable block retired exactly once — covers both the header
+        // stamp and the batch push.
+        unsafe {
+            (*block).retire_era.store(era, Ordering::Release);
+            self.retired.push(block);
+        }
         self.domain.counters.on_retire();
         self.since_cleanup += 1;
         if self.since_cleanup >= self.domain.config.cleanup_freq {
             // Figure 1, lines 27-28: only advance the clock if nothing else
             // advanced it since this block was stamped, then scan.
-            if (*block).retire_era() == self.domain.era() {
+            // SAFETY: same contract — the header is valid for the whole call.
+            if unsafe { (*block).retire_era() } == self.domain.era() {
                 self.domain.advance_era();
             }
             self.cleanup();
@@ -299,6 +321,7 @@ mod tests {
         let before = domain.era();
         for _ in 0..100 {
             let ptr = crate::Handle::alloc(&mut handle, 0u64);
+            // SAFETY: the block was never published and never retired; freed once.
             unsafe { crate::Linked::dealloc(ptr) };
         }
         assert!(

@@ -13,8 +13,9 @@ use std::sync::Arc;
 
 use wfe_atomics::CachePadded;
 
-use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::BlockHeader;
+use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
 use crate::scan::HazardSnapshot;
@@ -68,6 +69,7 @@ impl Reclaimer for Hp {
     fn try_register(self: &Arc<Self>) -> Option<HpHandle> {
         let tid = self.registry.try_acquire()?;
         Some(HpHandle {
+            shield_slots: ShieldSlots::new(self.config.slots_per_thread),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -100,6 +102,8 @@ impl Reclaimer for Hp {
 
 impl Drop for Hp {
     fn drop(&mut self) {
+        // SAFETY: no handle can exist any more (handles hold an `Arc` to the
+        // domain), so every orphaned block is unreachable and unprotected.
         unsafe {
             self.orphans.free_all();
         }
@@ -114,6 +118,8 @@ impl core::fmt::Debug for Hp {
 
 /// Per-thread Hazard Pointers handle.
 pub struct HpHandle {
+    /// Lease table for this handle's [`Shield`](crate::Shield)s.
+    shield_slots: Arc<ShieldSlots>,
     domain: Arc<Hp>,
     tid: usize,
     retired: RetiredBatch,
@@ -129,6 +135,9 @@ impl HpHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        // SAFETY: `fill_snapshot` reads the reservation tables inside
+        // `cleanup_pass`, i.e. after the orphan pop and after every block on the
+        // batch was retired — the snapshot-freshness contract.
         unsafe {
             crate::retired::cleanup_pass(
                 &mut self.retired,
@@ -141,6 +150,9 @@ impl HpHandle {
     }
 }
 
+// SAFETY: `protect_raw` publishes the scheme's reservation before returning,
+// so the returned pointer stays valid until the slot is overwritten or
+// cleared — the `RawHandle` validity contract.
 unsafe impl RawHandle for HpHandle {
     fn thread_id(&self) -> usize {
         self.tid
@@ -148,6 +160,10 @@ unsafe impl RawHandle for HpHandle {
 
     fn slots(&self) -> usize {
         self.domain.config.slots_per_thread
+    }
+
+    fn shield_slots(&self) -> &Arc<ShieldSlots> {
+        &self.shield_slots
     }
 
     fn begin_op(&mut self) {}
@@ -163,7 +179,7 @@ unsafe impl RawHandle for HpHandle {
         _parent: *mut BlockHeader,
         mask: usize,
     ) -> usize {
-        debug_assert!(index < self.slots());
+        debug_assert_slot_index(index, self.slots());
         let slot = self.domain.hazards.get(self.tid, index);
         let mut value = src.load(Ordering::Acquire);
         loop {
@@ -180,8 +196,13 @@ unsafe impl RawHandle for HpHandle {
     }
 
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
-        (*block).retire_era.store(0, Ordering::Relaxed);
-        self.retired.push(block);
+        // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
+        // unreachable block retired exactly once — covers both the header
+        // stamp and the batch push.
+        unsafe {
+            (*block).retire_era.store(0, Ordering::Relaxed);
+            self.retired.push(block);
+        }
         self.domain.counters.on_retire();
         self.domain.op_clock.fetch_add(1, Ordering::Relaxed);
         self.since_cleanup += 1;
@@ -274,6 +295,7 @@ mod tests {
 
         // Retire from the owner; the other thread's hazard must keep it alive.
         root.store(core::ptr::null_mut(), Ordering::SeqCst);
+        // SAFETY: `node` was just unlinked from `root`; retired exactly once.
         unsafe { owner.retire(node) };
         owner.force_cleanup();
         assert_eq!(

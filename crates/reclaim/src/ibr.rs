@@ -17,8 +17,9 @@ use std::sync::Arc;
 
 use wfe_atomics::CachePadded;
 
-use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
+use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
 use crate::scan::IntervalSnapshot;
@@ -82,6 +83,7 @@ impl Reclaimer for Ibr2Ge {
     fn try_register(self: &Arc<Self>) -> Option<IbrHandle> {
         let tid = self.registry.try_acquire()?;
         Some(IbrHandle {
+            shield_slots: ShieldSlots::new(self.config.slots_per_thread),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -114,6 +116,8 @@ impl Reclaimer for Ibr2Ge {
 
 impl Drop for Ibr2Ge {
     fn drop(&mut self) {
+        // SAFETY: no handle can exist any more (handles hold an `Arc` to the
+        // domain), so every orphaned block is unreachable and unprotected.
         unsafe {
             self.orphans.free_all();
         }
@@ -131,6 +135,9 @@ impl core::fmt::Debug for Ibr2Ge {
 
 /// Per-thread 2GEIBR handle.
 pub struct IbrHandle {
+    /// Lease table for this handle's [`Shield`](crate::Shield)s. 2GEIBR
+    /// ignores the indices, but leases keep data structures scheme-generic.
+    shield_slots: Arc<ShieldSlots>,
     domain: Arc<Ibr2Ge>,
     tid: usize,
     retired: RetiredBatch,
@@ -147,6 +154,9 @@ impl IbrHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        // SAFETY: `fill_snapshot` reads the reservation tables inside
+        // `cleanup_pass`, i.e. after the orphan pop and after every block on the
+        // batch was retired — the snapshot-freshness contract.
         unsafe {
             crate::retired::cleanup_pass(
                 &mut self.retired,
@@ -159,6 +169,9 @@ impl IbrHandle {
     }
 }
 
+// SAFETY: `protect_raw` publishes the scheme's reservation before returning,
+// so the returned pointer stays valid until the slot is overwritten or
+// cleared — the `RawHandle` validity contract.
 unsafe impl RawHandle for IbrHandle {
     fn thread_id(&self) -> usize {
         self.tid
@@ -166,6 +179,10 @@ unsafe impl RawHandle for IbrHandle {
 
     fn slots(&self) -> usize {
         self.domain.config.slots_per_thread
+    }
+
+    fn shield_slots(&self) -> &Arc<ShieldSlots> {
+        &self.shield_slots
     }
 
     fn begin_op(&mut self) {
@@ -186,10 +203,13 @@ unsafe impl RawHandle for IbrHandle {
     fn protect_raw(
         &mut self,
         src: &AtomicUsize,
-        _index: usize,
+        index: usize,
         _parent: *mut BlockHeader,
         _mask: usize,
     ) -> usize {
+        // The index is unused (the interval lives in the fixed LOWER/UPPER
+        // cells), but a stray one is still a caller bug: check it uniformly.
+        debug_assert_slot_index(index, self.slots());
         let upper = self.domain.reservations.get(self.tid, UPPER);
         let mut prev_era = upper.load(Ordering::Relaxed);
         loop {
@@ -205,12 +225,18 @@ unsafe impl RawHandle for IbrHandle {
 
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let era = self.domain.era();
-        (*block).retire_era.store(era, Ordering::Release);
-        self.retired.push(block);
+        // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
+        // unreachable block retired exactly once — covers both the header
+        // stamp and the batch push.
+        unsafe {
+            (*block).retire_era.store(era, Ordering::Release);
+            self.retired.push(block);
+        }
         self.domain.counters.on_retire();
         self.since_cleanup += 1;
         if self.since_cleanup >= self.domain.config.cleanup_freq {
-            if (*block).retire_era() == self.domain.era() {
+            // SAFETY: same contract — the header is valid for the whole call.
+            if unsafe { (*block).retire_era() } == self.domain.era() {
                 self.domain.global_era.fetch_add(1, Ordering::AcqRel);
             }
             self.cleanup();
@@ -298,6 +324,7 @@ mod tests {
         // begins can always be reclaimed.
         for _ in 0..10 {
             let ptr = writer.alloc(1u64);
+            // SAFETY: the block was never published; retired exactly once.
             unsafe { writer.retire(ptr) };
         }
         writer.force_cleanup();
@@ -307,6 +334,7 @@ mod tests {
         // *after* overlaps the interval and stays pinned.
         let pinned = writer.alloc(2u64);
         reader.begin_op();
+        // SAFETY: `pinned` was never published; retired exactly once.
         unsafe { writer.retire(pinned) };
         writer.force_cleanup();
         assert_eq!(
@@ -318,6 +346,7 @@ mod tests {
         // A block allocated *after* the interval began is invisible to the
         // reader (it never protected it), so IBR may reclaim it right away.
         let fresh = writer.alloc(3u64);
+        // SAFETY: `fresh` was never published; retired exactly once.
         unsafe { writer.retire(fresh) };
         writer.force_cleanup();
         assert_eq!(

@@ -12,8 +12,9 @@
 use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::api::{Progress, RawHandle, Reclaimer, ReclaimerConfig};
+use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::BlockHeader;
+use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
 use crate::stats::{Counters, SmrStats};
@@ -41,6 +42,7 @@ impl Reclaimer for Leak {
     fn try_register(self: &Arc<Self>) -> Option<LeakHandle> {
         let tid = self.registry.try_acquire()?;
         Some(LeakHandle {
+            shield_slots: ShieldSlots::new(self.config.slots_per_thread),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -70,6 +72,8 @@ impl Reclaimer for Leak {
 
 impl Drop for Leak {
     fn drop(&mut self) {
+        // SAFETY: no handle can exist any more, and Leak never frees while running,
+        // so every parked block is unreachable; domain drop is the one free point.
         unsafe {
             self.orphans.free_all();
         }
@@ -86,11 +90,16 @@ impl core::fmt::Debug for Leak {
 
 /// Per-thread leak-memory handle.
 pub struct LeakHandle {
+    /// Lease table for this handle's [`Shield`](crate::Shield)s. Leak never
+    /// reclaims, but leases keep data structures scheme-generic.
+    shield_slots: Arc<ShieldSlots>,
     domain: Arc<Leak>,
     tid: usize,
     retired: RetiredBatch,
 }
 
+// SAFETY: nothing is ever freed while the domain lives, so every pointer
+// trivially satisfies the `RawHandle` validity contract.
 unsafe impl RawHandle for LeakHandle {
     fn thread_id(&self) -> usize {
         self.tid
@@ -100,6 +109,10 @@ unsafe impl RawHandle for LeakHandle {
         self.domain.config.slots_per_thread
     }
 
+    fn shield_slots(&self) -> &Arc<ShieldSlots> {
+        &self.shield_slots
+    }
+
     fn begin_op(&mut self) {}
 
     fn end_op(&mut self) {}
@@ -107,15 +120,20 @@ unsafe impl RawHandle for LeakHandle {
     fn protect_raw(
         &mut self,
         src: &AtomicUsize,
-        _index: usize,
+        index: usize,
         _parent: *mut BlockHeader,
         _mask: usize,
     ) -> usize {
+        // Nothing is ever reclaimed, so no reservation is needed — but a
+        // stray index is still a caller bug: check it uniformly.
+        debug_assert_slot_index(index, self.slots());
         src.load(Ordering::Acquire)
     }
 
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
-        self.retired.push(block);
+        // SAFETY: forwarded `retire_raw` contract — `block` is valid,
+        // unreachable and retired exactly once.
+        unsafe { self.retired.push(block) };
         self.domain.counters.on_retire();
     }
 
@@ -176,6 +194,7 @@ mod tests {
         let mut handle = domain.register();
         for _ in 0..50 {
             let ptr = handle.alloc(0u64);
+            // SAFETY: the block was never published; retired exactly once.
             unsafe { handle.retire(ptr) };
         }
         handle.force_cleanup();

@@ -9,7 +9,10 @@
 //!   [`Handle`]) — a Rust rendering of the Hazard-Pointers-compatible
 //!   interface the paper describes (`get_protected` / `retire` / `clear` /
 //!   `alloc_block`), matching the harness of Wen et al.'s IBR benchmark that
-//!   the evaluation reuses;
+//!   the evaluation reuses; `RawHandle` is the SPI for scheme implementors;
+//! * the **safe guard layer** application code uses instead of raw slot
+//!   indices: [`Guard`] operation brackets, owned [`Shield`] reservation
+//!   leases and borrow-checked [`Protected`] pointers (see [`guard`]);
 //! * the intrusive allocation header ([`BlockHeader`], [`Linked`]) that keeps
 //!   the two era fields every era-based scheme needs;
 //! * the baseline schemes:
@@ -32,6 +35,7 @@ pub mod api;
 pub mod block;
 pub mod conformance;
 pub mod ebr;
+pub mod guard;
 pub mod he;
 pub mod hp;
 pub mod ibr;
@@ -45,9 +49,12 @@ pub mod slots;
 pub mod stats;
 mod treiber;
 
-pub use api::{DomainConfig, Handle, Progress, RawHandle, Reclaimer, ReclaimerConfig};
+pub use api::{
+    DomainConfig, DomainConfigBuilder, Handle, Progress, RawHandle, Reclaimer, ReclaimerConfig,
+};
 pub use block::{BlockHeader, Linked, ERA_INF, INVPTR};
 pub use ebr::Ebr;
+pub use guard::{Guard, Protected, Shield, ShieldError, ShieldSlots};
 pub use he::He;
 pub use hp::Hp;
 pub use ibr::Ibr2Ge;

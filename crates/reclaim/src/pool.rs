@@ -310,6 +310,7 @@ mod tests {
         drop(reader); // parked: reservation withdrawn
 
         root.store(core::ptr::null_mut(), SeqCst);
+        // SAFETY: `node` was just unlinked from `root`; retired exactly once.
         unsafe { owner.retire(node) };
         owner.force_cleanup();
         assert_eq!(domain.stats().unreclaimed, 0, "parked handle pins nothing");
@@ -327,6 +328,7 @@ mod tests {
         for _ in 0..3 {
             let mut guard = pool.check_out().unwrap();
             let block = guard.alloc(DropCounter::new(&drops));
+            // SAFETY: the block was never published; retired exactly once.
             unsafe { guard.retire(block) };
         }
         assert_eq!(pool.parked(), 1, "single-threaded churn reuses one handle");
@@ -362,6 +364,7 @@ mod tests {
                             }
                         };
                         let block = guard.alloc(1u64);
+                        // SAFETY: the block was never published; retired exactly once.
                         unsafe { guard.retire(block) };
                     }
                 });

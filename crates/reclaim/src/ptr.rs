@@ -21,7 +21,10 @@ pub struct Atomic<T> {
 
 // The pointer itself is freely shareable; dereferencing it is where the
 // reclamation contract (and `unsafe`) kicks in.
+// SAFETY: the pointer itself is freely shareable; dereferencing it is where
+// the reclamation contract (and `unsafe`) kicks in.
 unsafe impl<T> Send for Atomic<T> {}
+// SAFETY: as above — the cell is a plain atomic word.
 unsafe impl<T> Sync for Atomic<T> {}
 
 impl<T> Atomic<T> {
@@ -160,6 +163,7 @@ mod tests {
         let p = Linked::alloc(5u64, 0);
         a.store(p, SeqCst);
         assert_eq!(a.load(SeqCst), p);
+        // SAFETY: test-owned block(s), never retired; freed exactly once.
         unsafe { Linked::dealloc(p) };
     }
 
@@ -171,6 +175,7 @@ mod tests {
         assert!(a.compare_exchange(q, p, SeqCst, SeqCst).is_err());
         assert_eq!(a.compare_exchange(p, q, SeqCst, SeqCst), Ok(p));
         assert_eq!(a.load(SeqCst), q);
+        // SAFETY: test-owned block(s), never retired; freed exactly once.
         unsafe {
             Linked::dealloc(p);
             Linked::dealloc(q);
@@ -190,6 +195,7 @@ mod tests {
         let retagged = tag::with_tag(tagged, 2);
         assert_eq!(tag::tag_of(retagged), 2);
         assert_eq!(tag::untagged(retagged), p);
+        // SAFETY: test-owned block(s), never retired; freed exactly once.
         unsafe { Linked::dealloc(p) };
     }
 
@@ -201,6 +207,7 @@ mod tests {
         assert_eq!(before, p);
         assert_eq!(tag::tag_of(a.load(Relaxed)), 1);
         assert_eq!(tag::untagged(a.load(Relaxed)), p);
+        // SAFETY: test-owned block(s), never retired; freed exactly once.
         unsafe { Linked::dealloc(p) };
     }
 

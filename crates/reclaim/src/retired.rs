@@ -32,6 +32,8 @@ pub struct RetiredBatch {
 
 // The batch is owned by exactly one thread at a time; sending it (e.g. onto
 // the orphan stack) transfers that ownership.
+// SAFETY: the batch is owned by exactly one thread at a time; sending it
+// (e.g. onto the orphan stack) transfers that ownership wholesale.
 unsafe impl Send for RetiredBatch {}
 
 impl RetiredBatch {
@@ -62,7 +64,9 @@ impl RetiredBatch {
     /// `block` must be a valid, retired, unreachable block owned by the caller
     /// and not present on any other batch.
     pub unsafe fn push(&mut self, block: *mut BlockHeader) {
-        (*block).next_retired = self.head;
+        // SAFETY: the caller owns `block`, so the intrusive link is ours to
+        // write; no other thread can reach a retired, unreachable block.
+        unsafe { (*block).next_retired = self.head };
         self.head = block;
         self.len += 1;
     }
@@ -87,16 +91,23 @@ impl RetiredBatch {
         let mut freed = 0usize;
         let mut cur = self.head;
         while !cur.is_null() {
-            let next = (*cur).next_retired;
-            if snapshot.covers(&*cur) {
-                (*cur).next_retired = kept_head;
-                kept_head = cur;
-                kept_len += 1;
-            } else {
-                free_block(cur);
-                freed += 1;
+            // SAFETY: every block on the batch is owned by this batch (push
+            // contract), so the header and its intrusive link are valid and
+            // exclusively ours; a block the snapshot does not cover is — per
+            // the caller's snapshot-freshness contract — unprotected and
+            // unreachable, so `free_block` frees it exactly once.
+            unsafe {
+                let next = (*cur).next_retired;
+                if snapshot.covers(&*cur) {
+                    (*cur).next_retired = kept_head;
+                    kept_head = cur;
+                    kept_len += 1;
+                } else {
+                    free_block(cur);
+                    freed += 1;
+                }
+                cur = next;
             }
-            cur = next;
         }
         self.head = kept_head;
         self.len = kept_len;
@@ -113,10 +124,14 @@ impl RetiredBatch {
         let mut freed = 0usize;
         let mut cur = self.head;
         while !cur.is_null() {
-            let next = (*cur).next_retired;
-            free_block(cur);
-            freed += 1;
-            cur = next;
+            // SAFETY: the caller guarantees no thread can still reach these
+            // blocks; the batch owns them, so each is freed exactly once.
+            unsafe {
+                let next = (*cur).next_retired;
+                free_block(cur);
+                freed += 1;
+                cur = next;
+            }
         }
         self.head = ptr::null_mut();
         self.len = 0;
@@ -129,6 +144,8 @@ impl RetiredBatch {
         if other.head.is_null() {
             return;
         }
+        // SAFETY: both batches are exclusively borrowed, so every intrusive
+        // link they own is valid and unaliased.
         unsafe {
             let mut tail = other.head;
             while !(*tail).next_retired.is_null() {
@@ -193,10 +210,14 @@ pub unsafe fn cleanup_pass<S: ReservationSet>(
 ) {
     let adopted = orphans.pop();
     fill(snapshot);
-    let freed = retired.scan_against(snapshot);
+    // SAFETY: `fill` ran after every block on `retired` was retired and after
+    // the orphan batch was popped, so the snapshot-freshness contract of
+    // `scan_against` holds for both batches (the caller's obligation).
+    let freed = unsafe { retired.scan_against(snapshot) };
     counters.on_free(freed as u64);
     if let Some(mut batch) = adopted {
-        let freed = batch.scan_against(snapshot);
+        // SAFETY: as above — the snapshot was taken after the pop.
+        let freed = unsafe { batch.scan_against(snapshot) };
         counters.on_free(freed as u64);
         counters.on_adoption(freed as u64);
         retired.append(&mut batch);
@@ -275,7 +296,8 @@ impl OrphanStack {
     pub unsafe fn free_all(&self) -> usize {
         let mut freed = 0usize;
         while let Some(mut batch) = self.pop() {
-            freed += batch.free_all();
+            // SAFETY: forwarded contract — no thread can reach these blocks.
+            freed += unsafe { batch.free_all() };
         }
         freed
     }
@@ -333,6 +355,7 @@ mod tests {
         let a = make(&drops);
         let b = make(&drops);
         let c = make(&drops);
+        // SAFETY: freshly allocated blocks owned by the test; each pushed once.
         unsafe {
             batch.push(a);
             batch.push(b);
@@ -344,10 +367,13 @@ mod tests {
         snap.insert(a as usize);
         snap.insert(c as usize);
         snap.seal();
+        // SAFETY: the snapshot was filled after every push; nothing else references
+        // the blocks.
         let freed = unsafe { batch.scan_against(&snap) };
         assert_eq!(freed, 1);
         assert_eq!(batch.len(), 2);
         assert_eq!(drops.load(SeqCst), 1);
+        // SAFETY: no other thread references the batch's blocks.
         let freed = unsafe { batch.free_all() };
         assert_eq!(freed, 2);
         assert_eq!(drops.load(SeqCst), 3);
@@ -359,6 +385,7 @@ mod tests {
         let drops = Arc::new(AtomicUsize::new(0));
         let mut a_batch = RetiredBatch::new();
         let mut b_batch = RetiredBatch::new();
+        // SAFETY: freshly allocated blocks owned by the test; each pushed once.
         unsafe {
             a_batch.push(make(&drops));
             b_batch.push(make(&drops));
@@ -372,6 +399,7 @@ mod tests {
         let taken = a_batch.take();
         assert!(a_batch.is_empty());
         let mut taken = taken;
+        // SAFETY: no other thread references the batch's blocks.
         unsafe { taken.free_all() };
         assert_eq!(drops.load(SeqCst), 3);
     }
@@ -382,6 +410,7 @@ mod tests {
         let stack = OrphanStack::new();
         let mut first = RetiredBatch::new();
         let mut second = RetiredBatch::new();
+        // SAFETY: freshly allocated blocks owned by the test; each pushed once.
         unsafe {
             first.push(make(&drops));
             second.push(make(&drops));
@@ -393,7 +422,9 @@ mod tests {
         let mut adopted = stack.pop().expect("a batch is parked");
         assert_eq!(adopted.len(), 2, "batches pop LIFO");
         assert_eq!(stack.len(), 1);
+        // SAFETY: no other thread references the batch's blocks.
         unsafe { adopted.free_all() };
+        // SAFETY: all pushes happened-before; nothing references the parked blocks.
         assert_eq!(unsafe { stack.free_all() }, 1);
         assert!(stack.is_empty());
         assert!(stack.pop().is_none());
@@ -406,9 +437,11 @@ mod tests {
         let stack = OrphanStack::new();
         for _ in 0..10 {
             let mut batch = RetiredBatch::new();
+            // SAFETY: freshly allocated blocks owned by the test; each pushed once.
             unsafe { batch.push(make(&drops)) };
             stack.push(batch);
             let mut adopted = stack.pop().unwrap();
+            // SAFETY: no other thread references the batch's blocks.
             unsafe { adopted.free_all() };
         }
         assert!(stack.is_empty());
@@ -435,6 +468,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..BATCHES {
                         let mut batch = RetiredBatch::new();
+                        // SAFETY: freshly allocated blocks owned by the test; each pushed once.
                         unsafe {
                             batch.push(make(&drops));
                             batch.push(make(&drops));
@@ -442,6 +476,7 @@ mod tests {
                         stack.push(batch);
                         if i % 2 == 0 {
                             if let Some(mut adopted) = stack.pop() {
+                                // SAFETY: no other thread references the batch's blocks.
                                 unsafe { adopted.free_all() };
                             }
                         }
@@ -449,6 +484,7 @@ mod tests {
                 });
             }
         });
+        // SAFETY: all workers have joined; nothing references the parked blocks.
         let remaining = unsafe { stack.free_all() };
         assert!(stack.is_empty());
         assert_eq!(

@@ -243,6 +243,7 @@ mod tests {
 
     fn block_with(alloc_era: u64, retire_era: u64) -> *mut Linked<u64> {
         let ptr = Linked::alloc(0u64, alloc_era);
+        // SAFETY: test-owned live block(s); dereferenced and freed exactly once.
         unsafe {
             (*ptr)
                 .header
@@ -263,6 +264,7 @@ mod tests {
 
         let old = block_with(1, 4); // retired before the oldest reader
         let pinned = block_with(1, 5); // retired at the oldest reader's epoch
+                                       // SAFETY: test-owned live block(s); dereferenced and freed exactly once.
         unsafe {
             assert!(!snap.covers(&*Linked::as_header(old)));
             assert!(snap.covers(&*Linked::as_header(pinned)));
@@ -292,6 +294,7 @@ mod tests {
         assert!(!snap.covers_span(1, 9), "before every era");
 
         let block = block_with(15, 25);
+        // SAFETY: test-owned live block(s); dereferenced and freed exactly once.
         unsafe {
             assert!(snap.covers(&*Linked::as_header(block)));
             Linked::dealloc(block);
@@ -310,6 +313,7 @@ mod tests {
 
         let overlapping = block_with(15, 30);
         let disjoint = block_with(21, 30);
+        // SAFETY: test-owned live block(s); dereferenced and freed exactly once.
         unsafe {
             assert!(snap.covers(&*Linked::as_header(overlapping)));
             assert!(!snap.covers(&*Linked::as_header(disjoint)));
@@ -330,6 +334,7 @@ mod tests {
         snap.insert(a as usize); // deduped
         snap.seal();
         assert_eq!(snap.len(), 1);
+        // SAFETY: test-owned live block(s); dereferenced and freed exactly once.
         unsafe {
             assert!(snap.covers(&*Linked::as_header(a)));
             assert!(!snap.covers(&*Linked::as_header(b)));

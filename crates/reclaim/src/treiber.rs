@@ -34,6 +34,8 @@ pub(crate) struct TypeStableStack<T> {
 // across threads only through the versioned-CAS head, so `T: Send` is the
 // exact requirement.
 unsafe impl<T: Send> Send for TypeStableStack<T> {}
+// SAFETY: all shared state is accessed through atomics and the versioned
+// CAS; `T: Send` is enough because payloads move, they are never shared.
 unsafe impl<T: Send> Sync for TypeStableStack<T> {}
 
 impl<T> TypeStableStack<T> {
@@ -74,6 +76,8 @@ impl<T> TypeStableStack<T> {
     fn push_node(list: &AtomicPair, node: *mut Node<T>) {
         loop {
             let (head, version) = list.load();
+            // SAFETY: type-stable nodes are never deallocated while the stack lives;
+            // the store is atomic, so racing readers see either value.
             unsafe { (*node).next.store(head as usize, Ordering::Relaxed) };
             if list
                 .compare_exchange((head, version), (node as u64, version + 1))
@@ -92,6 +96,8 @@ impl<T> TypeStableStack<T> {
                 next: AtomicUsize::new(0),
             }))
         });
+        // SAFETY: the node was just popped off a list (or freshly allocated), so
+        // this thread has exclusive access to its payload.
         unsafe { (*node).payload = Some(payload) };
         Self::push_node(&self.head, node);
     }
@@ -100,6 +106,8 @@ impl<T> TypeStableStack<T> {
     /// spare freelist.
     pub(crate) fn pop(&self) -> Option<T> {
         let node = Self::pop_node(&self.head)?;
+        // SAFETY: the pop above transferred exclusive ownership of the node (and
+        // its payload) to this thread.
         let payload = unsafe { (*node).payload.take() };
         Self::push_node(&self.spares, node);
         debug_assert!(payload.is_some(), "parked node always carries a payload");
@@ -113,6 +121,8 @@ impl<T> Drop for TypeStableStack<T> {
         // drops any payload still parked in it.
         for list in [&self.head, &self.spares] {
             while let Some(node) = Self::pop_node(list) {
+                // SAFETY: `Drop` has exclusive access; every node was allocated by this
+                // stack and is freed exactly once.
                 drop(unsafe { Box::from_raw(node) });
             }
         }

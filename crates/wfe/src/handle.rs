@@ -4,8 +4,9 @@
 use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use wfe_reclaim::api::RawHandle;
+use wfe_reclaim::api::{debug_assert_slot_index, RawHandle};
 use wfe_reclaim::block::BlockHeader;
+use wfe_reclaim::guard::ShieldSlots;
 use wfe_reclaim::retired::RetiredBatch;
 use wfe_reclaim::{ERA_INF, INVPTR};
 
@@ -13,6 +14,10 @@ use crate::domain::{Wfe, WfeSnapshot};
 
 /// Per-thread Wait-Free Eras handle.
 pub struct WfeHandle {
+    /// Lease table for this handle's [`Shield`](wfe_reclaim::Shield)s
+    /// (application slots only; the two internal helper slots are never
+    /// leasable).
+    shield_slots: Arc<ShieldSlots>,
     domain: Arc<Wfe>,
     tid: usize,
     retired: RetiredBatch,
@@ -26,6 +31,7 @@ pub struct WfeHandle {
 impl WfeHandle {
     pub(crate) fn new(domain: Arc<Wfe>, tid: usize) -> Self {
         Self {
+            shield_slots: ShieldSlots::new(domain.app_slots()),
             domain,
             tid,
             retired: RetiredBatch::new(),
@@ -144,6 +150,10 @@ unsafe impl RawHandle for WfeHandle {
         self.domain.app_slots()
     }
 
+    fn shield_slots(&self) -> &Arc<ShieldSlots> {
+        &self.shield_slots
+    }
+
     fn begin_op(&mut self) {}
 
     fn end_op(&mut self) {
@@ -157,7 +167,7 @@ unsafe impl RawHandle for WfeHandle {
         parent: *mut BlockHeader,
         _mask: usize,
     ) -> usize {
-        debug_assert!(index < self.slots());
+        debug_assert_slot_index(index, self.slots());
         let domain = &self.domain;
         let reservation = domain.reservations.get(self.tid, index);
         let mut prev_era = reservation.load_first(Ordering::Relaxed);
@@ -182,14 +192,20 @@ unsafe impl RawHandle for WfeHandle {
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let domain = &self.domain;
         let era = domain.era();
-        (*block).retire_era.store(era, Ordering::Release);
-        self.retired.push(block);
+        // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
+        // unreachable block retired exactly once — covers both the header
+        // stamp and the batch push.
+        unsafe {
+            (*block).retire_era.store(era, Ordering::Release);
+            self.retired.push(block);
+        }
         domain.counters.on_retire();
         self.since_cleanup += 1;
         if self.since_cleanup >= domain.config.cleanup_freq {
             // Figure 4, lines 80-82: advance the clock (helping first) only if
             // it has not moved since this block was stamped, then scan.
-            if (*block).retire_era() == domain.era() {
+            // SAFETY: same contract — the header is valid for the whole call.
+            if unsafe { (*block).retire_era() } == domain.era() {
                 domain.increment_era(self.tid);
             }
             self.cleanup();

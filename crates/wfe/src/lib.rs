@@ -42,25 +42,32 @@
 //!
 //! ```
 //! use wfe_core::Wfe;
-//! use wfe_reclaim::{Atomic, Handle, Reclaimer, ReclaimerConfig};
+//! use wfe_reclaim::{Atomic, DomainConfig, Handle, Protected, Reclaimer};
 //!
 //! // One domain per data structure (or group of data structures).
-//! let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(8));
+//! let domain = Wfe::with_config(DomainConfig::builder().max_threads(8).build());
 //! let mut handle = domain.register();
+//!
+//! // Lease a reservation slot once; reuse it across operations.
+//! let mut shield = handle.shield::<u64>().expect("slots available");
 //!
 //! // Allocate a block through the domain so it gets an allocation era.
 //! let node = handle.alloc(42u64);
 //! let root: Atomic<u64> = Atomic::new(node);
 //!
-//! // Readers protect the pointer before dereferencing it (index 0, no parent).
-//! let ptr = handle.protect(&root, 0, core::ptr::null_mut());
-//! assert_eq!(unsafe { (*ptr).value }, 42);
+//! // Readers protect the pointer inside a guard bracket; dereferencing the
+//! // result is safe — the reservation pins the block for the bracket.
+//! {
+//!     let guard = handle.enter();
+//!     let value = shield.protect(&guard, &root, None);
+//!     assert_eq!(value.as_ref(), Some(&42));
+//! }
 //!
 //! // After unlinking the block, retire it; WFE frees it once it is safe.
 //! root.store(core::ptr::null_mut(), core::sync::atomic::Ordering::SeqCst);
-//! use wfe_reclaim::RawHandle;
-//! handle.clear();
-//! unsafe { handle.retire(node) };
+//! let guard = handle.enter();
+//! // SAFETY: `node` was just unlinked from `root` and is retired once.
+//! unsafe { Protected::from_unlinked(node).retire_in(&guard) };
 //! ```
 
 #![deny(missing_docs)]
@@ -77,3 +84,8 @@ pub use handle::WfeHandle;
 // generic machinery lives next to the common API and is re-exported here so
 // `wfe_core` users get the whole surface from one crate.
 pub use wfe_reclaim::pool::{HandlePool, PoolStats, PooledHandle};
+
+// The safe guard-based protection layer is likewise scheme-generic (it sits
+// on `RawHandle`), and WFE is its flagship backend — re-export it so
+// `wfe_core` users never need the raw slot-index API.
+pub use wfe_reclaim::guard::{Guard, Protected, Shield, ShieldError, ShieldSlots};

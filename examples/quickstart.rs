@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use wfe_suite::{Reclaimer, ReclaimerConfig, TreiberStack, Wfe};
+use wfe_suite::{Atomic, Handle, Reclaimer, ReclaimerConfig, TreiberStack, Wfe};
 
 fn main() {
     const THREADS: usize = 4;
@@ -34,6 +34,26 @@ fn main() {
         }
         workers.into_iter().map(|w| w.join().unwrap()).sum()
     });
+
+    // The same safe API the stack uses internally, on a raw shared location:
+    // lease a Shield, enter a Guard bracket, read through the shield.
+    let mut handle = domain.register();
+    let mut shield = handle.shield::<u64>().expect("slots available");
+    let node = handle.alloc(7u64);
+    let root: Atomic<u64> = Atomic::new(node);
+    {
+        let guard = handle.enter();
+        let value = shield.protect(&guard, &root, None);
+        assert_eq!(value.as_ref(), Some(&7), "safe dereference, no unsafe");
+    }
+    root.store(core::ptr::null_mut(), std::sync::atomic::Ordering::SeqCst);
+    {
+        let guard = handle.enter();
+        // SAFETY: `node` was just unlinked from `root`; retired exactly once.
+        unsafe { wfe_suite::Protected::from_unlinked(node).retire_in(&guard) };
+    }
+    drop(shield);
+    drop(handle);
 
     let stats = domain.stats();
     println!("pushed           : {}", THREADS * PER_THREAD);

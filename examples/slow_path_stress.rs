@@ -13,7 +13,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-use wfe_suite::{Handle, MichaelList, Reclaimer, ReclaimerConfig, Wfe};
+use wfe_suite::{Handle, MichaelList, Protected, Reclaimer, ReclaimerConfig, Wfe};
 
 fn main() {
     const READERS: usize = 3;
@@ -38,8 +38,11 @@ fn main() {
             scope.spawn(move || {
                 let mut handle = domain.register();
                 while !stop.load(Ordering::Relaxed) {
-                    let block = handle.alloc(0u64);
-                    unsafe { handle.retire(block) };
+                    let guard = handle.enter();
+                    let block = guard.alloc(0u64);
+                    // SAFETY: the block was never published, so it is
+                    // trivially unlinked and retired exactly once.
+                    unsafe { Protected::from_unlinked(block).retire_in(&guard) };
                 }
             });
         }

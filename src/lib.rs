@@ -26,11 +26,11 @@
 //! ## Quick start
 //!
 //! ```
-//! use wfe_suite::{Reclaimer, ReclaimerConfig, TreiberStack, Wfe};
+//! use wfe_suite::{DomainConfig, Reclaimer, TreiberStack, Wfe};
 //! use std::sync::Arc;
 //!
 //! // One reclamation domain guards one (or more) data structures.
-//! let domain = Wfe::with_config(ReclaimerConfig::with_max_threads(8));
+//! let domain = Wfe::with_config(DomainConfig::builder().max_threads(8).build());
 //! let stack = TreiberStack::<String, Wfe>::new(Arc::clone(&domain));
 //!
 //! // Each thread registers once and passes its handle to every operation.
@@ -39,6 +39,14 @@
 //! assert_eq!(stack.pop(&mut handle), Some("hello".to_string()));
 //! assert_eq!(stack.pop(&mut handle), None);
 //! ```
+//!
+//! Custom data structures use the same safe protection layer the built-in
+//! ones are written against: [`Handle::shield`] leases a reservation slot as
+//! an owned [`Shield`], [`Handle::enter`] opens a [`Guard`] bracket, and
+//! [`Shield::protect`] returns a borrow-checked [`Protected`] pointer whose
+//! `as_ref()` needs no `unsafe`. See the README quickstart and
+//! `docs/ARCHITECTURE.md` ("Safe API") for the full tour, including the
+//! raw→guard migration table.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -54,8 +62,9 @@ pub use wfe_ds::{
     MichaelScottQueue, NatarajanBst, TreiberStack,
 };
 pub use wfe_reclaim::{
-    Atomic, DomainConfig, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, Leak, Linked, PoolStats,
-    PooledHandle, Progress, RawHandle, Reclaimer, ReclaimerConfig, SmrStats, ThreadRegistry,
+    Atomic, DomainConfig, DomainConfigBuilder, Ebr, Guard, Handle, HandlePool, He, Hp, Ibr2Ge,
+    Leak, Linked, PoolStats, PooledHandle, Progress, Protected, RawHandle, Reclaimer,
+    ReclaimerConfig, Shield, ShieldError, ShieldSlots, SmrStats, ThreadRegistry,
 };
 
 // Compile the fenced Rust examples of the prose documentation as doc-tests

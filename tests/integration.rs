@@ -412,13 +412,16 @@ fn exercise_cross_shard_protection<R: Reclaimer>() {
             let root = &root;
             scope.spawn(move || {
                 let mut reader = domain.register();
-                reader.begin_op();
-                let seen = reader.protect(root, 0, core::ptr::null_mut());
-                protected_tx.send(reader.thread_id()).unwrap();
-                assert!(!seen.is_null());
-                release_rx.recv().unwrap();
-                reader.end_op();
-                reader.clear();
+                let mut shield = reader.shield::<u64>().expect("slots available");
+                let tid = reader.thread_id();
+                {
+                    let guard = reader.enter();
+                    let seen = shield.protect(&guard, root, None);
+                    protected_tx.send(tid).unwrap();
+                    assert!(!seen.is_null());
+                    release_rx.recv().unwrap();
+                } // guard drop withdraws the reservation
+                drop(shield);
                 drop(reader);
                 done_tx.send(()).unwrap();
             });

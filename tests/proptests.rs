@@ -11,9 +11,9 @@ use wfe_suite::wfe_atomics::AtomicPair;
 use wfe_suite::wfe_reclaim::conformance::DropCounter;
 use wfe_suite::wfe_reclaim::ptr::tag;
 use wfe_suite::{
-    CrTurnQueue, Handle, HandlePool, He, Hp, KoganPetrankQueue, Linked, MichaelHashMap,
-    MichaelList, MichaelScottQueue, NatarajanBst, PooledHandle, RawHandle, Reclaimer,
-    ReclaimerConfig, Wfe,
+    Atomic, CrTurnQueue, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak, Linked,
+    MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst, PooledHandle, RawHandle,
+    Reclaimer, ReclaimerConfig, Shield, Wfe,
 };
 
 /// An operation applied both to the concurrent structure and to the model.
@@ -61,6 +61,92 @@ where
             }
         }
     }
+}
+
+/// One step of the shield lease/release churn property test.
+#[derive(Debug, Clone, Copy)]
+enum ShieldStep {
+    /// Lease one more shield (must succeed below capacity, must report
+    /// exhaustion as `Err` at capacity).
+    Lease,
+    /// Drop one outstanding shield (index modulo the live count).
+    Release(usize),
+    /// Enter a guard bracket and protect through every outstanding shield.
+    ProtectAll,
+}
+
+fn shield_step_strategy() -> impl Strategy<Value = ShieldStep> {
+    prop_oneof![
+        Just(ShieldStep::Lease),
+        (0usize..8).prop_map(ShieldStep::Release),
+        Just(ShieldStep::ProtectAll),
+    ]
+}
+
+/// Shield leases behave like a counted resource under churn: a lease below
+/// capacity always succeeds (released slots are really recycled — the slot
+/// space can never be exhausted by lease/release round-trips), a lease at
+/// capacity reports `Err` instead of stomping, and the lease count tracked by
+/// the handle always equals the number of live `Shield`s.
+fn check_shield_lease_churn<R: Reclaimer>(steps: &[ShieldStep]) {
+    const SLOTS: usize = 5;
+    let domain = R::with_config(ReclaimerConfig {
+        slots_per_thread: SLOTS,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    let mut handle = domain.register();
+    let node = handle.alloc(7u64);
+    let root: Atomic<u64> = Atomic::new(node);
+    let mut shields: Vec<Shield<u64, R::Handle>> = Vec::new();
+    for step in steps {
+        match *step {
+            ShieldStep::Lease => {
+                if shields.len() < SLOTS {
+                    match handle.shield::<u64>() {
+                        Ok(shield) => shields.push(shield),
+                        Err(err) => panic!(
+                            "lease failed below capacity ({} of {SLOTS} leased): {err}",
+                            shields.len()
+                        ),
+                    }
+                } else {
+                    prop_assert!(
+                        handle.shield::<u64>().is_err(),
+                        "a lease at capacity must report exhaustion"
+                    );
+                }
+            }
+            ShieldStep::Release(index) => {
+                if !shields.is_empty() {
+                    let index = index % shields.len();
+                    drop(shields.swap_remove(index));
+                }
+            }
+            ShieldStep::ProtectAll => {
+                let guard = handle.enter();
+                for shield in shields.iter_mut() {
+                    let protected = shield.protect(&guard, &root, None);
+                    prop_assert!(!protected.is_null());
+                    prop_assert_eq!(protected.as_ref(), Some(&7));
+                }
+            }
+        }
+        prop_assert_eq!(
+            handle.shield_slots().leased(),
+            shields.len(),
+            "lease table tracks live shields exactly"
+        );
+        let slots: Vec<usize> = shields.iter().map(|shield| shield.slot()).collect();
+        let mut deduped = slots.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        prop_assert_eq!(deduped.len(), slots.len(), "no two shields share a slot");
+    }
+    drop(shields);
+    prop_assert_eq!(handle.shield_slots().leased(), 0, "all slots returned");
+    drop(handle);
+    // SAFETY: the block was never retired and nothing references it any more.
+    unsafe { Linked::dealloc(node) };
 }
 
 /// One step of the retirement-pipeline property test, acting on one of a
@@ -378,6 +464,48 @@ proptest! {
         steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
     ) {
         check_retirement_pipeline::<Hp>(&steps);
+    }
+
+    #[test]
+    fn shield_leases_never_exhaust_under_churn_wfe(
+        steps in proptest::collection::vec(shield_step_strategy(), 1..200)
+    ) {
+        check_shield_lease_churn::<Wfe>(&steps);
+    }
+
+    #[test]
+    fn shield_leases_never_exhaust_under_churn_he(
+        steps in proptest::collection::vec(shield_step_strategy(), 1..200)
+    ) {
+        check_shield_lease_churn::<He>(&steps);
+    }
+
+    #[test]
+    fn shield_leases_never_exhaust_under_churn_hp(
+        steps in proptest::collection::vec(shield_step_strategy(), 1..200)
+    ) {
+        check_shield_lease_churn::<Hp>(&steps);
+    }
+
+    #[test]
+    fn shield_leases_never_exhaust_under_churn_ebr(
+        steps in proptest::collection::vec(shield_step_strategy(), 1..200)
+    ) {
+        check_shield_lease_churn::<Ebr>(&steps);
+    }
+
+    #[test]
+    fn shield_leases_never_exhaust_under_churn_ibr(
+        steps in proptest::collection::vec(shield_step_strategy(), 1..200)
+    ) {
+        check_shield_lease_churn::<Ibr2Ge>(&steps);
+    }
+
+    #[test]
+    fn shield_leases_never_exhaust_under_churn_leak(
+        steps in proptest::collection::vec(shield_step_strategy(), 1..200)
+    ) {
+        check_shield_lease_churn::<Leak>(&steps);
     }
 
     #[test]
