@@ -228,7 +228,10 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             if ltail.as_raw() != self.tail.load(Ordering::Acquire) {
                 continue; // Tail advanced: one more request was served.
             }
-            let ltail_ref = ltail.as_ref().expect("the tail is never null");
+            // SAFETY: `tail_shield` protects `ltail`; it is re-protected
+            // only on the next loop iteration, after this reference's last
+            // use.
+            let ltail_ref = unsafe { ltail.as_ref() }.expect("the tail is never null");
             // Step 4 for the previous enqueue: the node that became the tail
             // satisfied `enq_tid`'s request; close that request.
             let ltail_enq_tid = ltail_ref.enq_tid;
@@ -318,7 +321,10 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
                 }
                 return None;
             }
-            let lhead_ref = lhead.as_ref().expect("the head is never null");
+            // SAFETY: `sh.first` protects `lhead`; the protects below go
+            // through `sh.next`/`sh.deq`, so the reference stays pinned
+            // until the next loop iteration.
+            let lhead_ref = unsafe { lhead.as_ref() }.expect("the head is never null");
             let lnext = sh.next.protect(guard, &lhead_ref.next, Some(lhead));
             if lhead.as_raw() != self.head.load(Ordering::Acquire) {
                 continue;
@@ -346,14 +352,13 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         // Finish step 3 on behalf of the helper that granted us `my_node` but
         // has not swung the head yet.
         let lhead = sh.first.protect(guard, &self.head, None);
-        if lhead.as_raw() == self.head.load(Ordering::Acquire)
-            && my_node.as_raw()
-                == lhead
-                    .as_ref()
-                    .expect("the head is never null")
-                    .next
-                    .load(Ordering::Acquire)
-        {
+        // SAFETY: `sh.first` protects `lhead` and is not re-protected for
+        // the rest of this function.
+        let lhead_next = unsafe { lhead.as_ref() }
+            .expect("the head is never null")
+            .next
+            .load(Ordering::Acquire);
+        if lhead.as_raw() == self.head.load(Ordering::Acquire) && my_node.as_raw() == lhead_next {
             let _ = self.head.compare_exchange(
                 lhead.as_raw(),
                 my_node.as_raw(),
@@ -361,7 +366,12 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
                 Ordering::Acquire,
             );
         }
-        let value = my_node.as_ref().expect("granted node is never null").value;
+        // SAFETY: `my_node` was built with `from_unlinked` under the
+        // ownership argument above — only this thread can retire it, and it
+        // does so no earlier than its next dequeue.
+        let value = unsafe { my_node.as_ref() }
+            .expect("granted node is never null")
+            .value;
         // The marker of our *previous* request can no longer be the sentinel
         // or be named by any in-flight helper on our behalf: retire it.
         // SAFETY: exactly the argument above — only this thread retires its
@@ -375,12 +385,15 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// the claimed thread id, or [`IDX_NONE`] if no request is open.
     fn search_next(&self, lhead: Protected<'_, Node<T>>, lnext: Protected<'_, Node<T>>) -> i64 {
         let max_threads = self.max_threads();
-        let turn = lhead
-            .as_ref()
+        // SAFETY: the caller protects `lhead` through `sh.first` and does
+        // not re-protect it while this call runs.
+        let turn = unsafe { lhead.as_ref() }
             .expect("the head is never null")
             .deq_tid
             .load(Ordering::Acquire);
-        let lnext_ref = lnext.as_ref().expect("caller checked lnext is non-null");
+        // SAFETY: the caller protects `lnext` through `sh.next` and does not
+        // re-protect it while this call runs.
+        let lnext_ref = unsafe { lnext.as_ref() }.expect("caller checked lnext is non-null");
         for idx in (turn + 1)..(turn + 1 + max_threads as i64) {
             let id_deq = idx as usize % max_threads;
             if self.deqself[id_deq].load(Ordering::Acquire)
@@ -411,8 +424,9 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         lnext: Protected<'_, Node<T>>,
         tid: usize,
     ) {
-        let ldeq_tid = lnext
-            .as_ref()
+        // SAFETY: the caller protects `lnext` through `sh.next`; the only
+        // protect below goes through `sh.deq`.
+        let ldeq_tid = unsafe { lnext.as_ref() }
             .expect("caller checked lnext is non-null")
             .deq_tid
             .load(Ordering::Acquire);
@@ -462,14 +476,17 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         {
             return;
         }
-        let lhead_ref = lhead.as_ref().expect("the head is never null");
+        // SAFETY: `sh.first` protects `lhead`; only `sh.next` and `sh.deq`
+        // are re-protected below.
+        let lhead_ref = unsafe { lhead.as_ref() }.expect("the head is never null");
         let lnext = sh.next.protect(guard, &lhead_ref.next, Some(lhead));
         if lhead.as_raw() != self.head.load(Ordering::Acquire) || lnext.is_null() {
             return;
         }
         if self.search_next(lhead, lnext) == IDX_NONE {
-            let _ = lnext
-                .as_ref()
+            // SAFETY: `sh.next` protects `lnext` and is not re-protected for
+            // the rest of this function.
+            let _ = unsafe { lnext.as_ref() }
                 .expect("checked non-null above")
                 .deq_tid
                 .compare_exchange(IDX_NONE, tid as i64, Ordering::AcqRel, Ordering::Acquire);

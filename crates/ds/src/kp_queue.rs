@@ -146,7 +146,11 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         let mut max = 0;
         for slot in self.state.iter() {
             let desc = sh.desc_aux.protect(guard, slot, None);
-            let phase = desc.as_ref().expect("descriptors are never null").phase;
+            // SAFETY: `desc_aux` protects `desc`; it is re-protected only on
+            // the next loop iteration, after this read.
+            let phase = unsafe { desc.as_ref() }
+                .expect("descriptors are never null")
+                .phase;
             max = max.max(phase);
         }
         max + 1
@@ -191,7 +195,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         phase: u64,
     ) -> bool {
         let desc = sh.desc_aux.protect(guard, &self.state[tid], None);
-        let desc = desc.as_ref().expect("descriptors are never null");
+        // SAFETY: `desc_aux` protects `desc` and is not re-protected for the
+        // rest of this function.
+        let desc = unsafe { desc.as_ref() }.expect("descriptors are never null");
         desc.pending && desc.phase <= phase
     }
 
@@ -200,7 +206,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         for tid in 0..self.state.len() {
             let desc = sh.desc.protect(guard, &self.state[tid], None);
             let (pending, desc_phase, enqueue) = {
-                let desc = desc.as_ref().expect("descriptors are never null");
+                // SAFETY: `sh.desc` protects `desc`; the helpers below only
+                // re-protect it after this scope has copied the fields out.
+                let desc = unsafe { desc.as_ref() }.expect("descriptors are never null");
                 (desc.pending, desc.phase, desc.enqueue)
             };
             if pending && desc_phase <= phase {
@@ -222,7 +230,10 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
     ) {
         while self.is_still_pending(guard, sh, tid, phase) {
             let last = sh.first.protect(guard, &self.tail, None);
-            let last_ref = last.as_ref().expect("the tail is never null");
+            // SAFETY: `sh.first` protects `last`; the descriptor reads below
+            // go through `sh.desc`/`sh.desc_aux`, so `last_ref` stays pinned
+            // until the next loop iteration.
+            let last_ref = unsafe { last.as_ref() }.expect("the tail is never null");
             let next = last_ref.next.load(Ordering::Acquire);
             if last.as_raw() != self.tail.load(Ordering::Acquire) {
                 continue;
@@ -231,7 +242,11 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                 if self.is_still_pending(guard, sh, tid, phase) {
                     // Re-read the descriptor to fetch the node to append.
                     let desc = sh.desc.protect(guard, &self.state[tid], None);
-                    let node = desc.as_ref().expect("descriptors are never null").node;
+                    // SAFETY: `sh.desc` protects `desc` and is not
+                    // re-protected before this read.
+                    let node = unsafe { desc.as_ref() }
+                        .expect("descriptors are never null")
+                        .node;
                     if node.is_null() {
                         continue;
                     }
@@ -257,9 +272,12 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
 
     fn help_finish_enq(&self, guard: &Guard<'_, R::Handle>, sh: &mut KpShields<T, R::Handle>) {
         let last = sh.first.protect(guard, &self.tail, None);
-        let last_ref = last.as_ref().expect("the tail is never null");
+        // SAFETY: `last` and `next` each have their own shield (`sh.first` /
+        // `sh.next`), neither re-protected for the rest of this function.
+        let last_ref = unsafe { last.as_ref() }.expect("the tail is never null");
         let next = sh.next.protect(guard, &last_ref.next, Some(last));
-        let Some(next_ref) = next.as_ref() else {
+        // SAFETY: as above — `sh.next` protects `next`.
+        let Some(next_ref) = (unsafe { next.as_ref() }) else {
             return;
         };
         let enq_tid = next_ref.enq_tid;
@@ -268,7 +286,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
             return;
         }
         let (cur_phase, cur_node, cur_pending, cur_enqueue) = {
-            let desc = cur_desc.as_ref().expect("descriptors are never null");
+            // SAFETY: `sh.desc` protects `cur_desc`; it is not re-protected
+            // before this scope copies the fields out.
+            let desc = unsafe { cur_desc.as_ref() }.expect("descriptors are never null");
             (desc.phase, desc.node, desc.pending, desc.enqueue)
         };
         if cur_pending && cur_enqueue && cur_node == next.as_raw() {
@@ -298,7 +318,12 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
     ) {
         while self.is_still_pending(guard, sh, tid, phase) {
             let first = sh.first.protect(guard, &self.head, None);
-            let first_ref = first.as_ref().expect("the head is never null");
+            // SAFETY: `sh.first` protects `first`; every later protect in
+            // this iteration goes through `sh.desc`/`sh.desc_aux`/`sh.next`,
+            // and the helpers that do re-protect `sh.first`
+            // (`help_finish_enq`/`help_finish_deq`) run after `first_ref`'s
+            // last use.
+            let first_ref = unsafe { first.as_ref() }.expect("the head is never null");
             let last = self.tail.load(Ordering::Acquire);
             let next = sh.next.protect(guard, &first_ref.next, Some(first));
             if first.as_raw() != self.head.load(Ordering::Acquire) {
@@ -312,8 +337,11 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                         continue;
                     }
                     if self.is_still_pending(guard, sh, tid, phase) {
-                        let cur_phase =
-                            cur_desc.as_ref().expect("descriptors are never null").phase;
+                        // SAFETY: `sh.desc` protects `cur_desc` and is not
+                        // re-protected before this read.
+                        let cur_phase = unsafe { cur_desc.as_ref() }
+                            .expect("descriptors are never null")
+                            .phase;
                         let new_desc = guard.alloc(OpDesc {
                             phase: cur_phase,
                             pending: false,
@@ -330,7 +358,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
             } else {
                 let cur_desc = sh.desc.protect(guard, &self.state[tid], None);
                 let (cur_phase, cur_node, cur_pending) = {
-                    let desc = cur_desc.as_ref().expect("descriptors are never null");
+                    // SAFETY: `sh.desc` protects `cur_desc`; it is not
+                    // re-protected before this scope copies the fields out.
+                    let desc = unsafe { cur_desc.as_ref() }.expect("descriptors are never null");
                     (desc.phase, desc.node, desc.pending)
                 };
                 if !(cur_pending && cur_phase <= phase) {
@@ -366,7 +396,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
 
     fn help_finish_deq(&self, guard: &Guard<'_, R::Handle>, sh: &mut KpShields<T, R::Handle>) {
         let first = sh.first.protect(guard, &self.head, None);
-        let first_ref = first.as_ref().expect("the head is never null");
+        // SAFETY: `first` and `next` each have their own shield (`sh.first` /
+        // `sh.next`), neither re-protected for the rest of this function.
+        let first_ref = unsafe { first.as_ref() }.expect("the head is never null");
         let next = sh.next.protect(guard, &first_ref.next, Some(first));
         let deq_tid = first_ref.deq_tid.load(Ordering::Acquire);
         if deq_tid < 0 {
@@ -377,11 +409,14 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         if first.as_raw() != self.head.load(Ordering::Acquire) {
             return;
         }
-        let Some(next_ref) = next.as_ref() else {
+        // SAFETY: as above — `sh.next` protects `next`.
+        let Some(next_ref) = (unsafe { next.as_ref() }) else {
             return;
         };
         let (cur_phase, cur_node, cur_pending, cur_enqueue) = {
-            let desc = cur_desc.as_ref().expect("descriptors are never null");
+            // SAFETY: `sh.desc` protects `cur_desc`; it is not re-protected
+            // before this scope copies the fields out.
+            let desc = unsafe { cur_desc.as_ref() }.expect("descriptors are never null");
             (desc.phase, desc.node, desc.pending, desc.enqueue)
         };
         if cur_pending && !cur_enqueue && cur_node == first.as_raw() {
@@ -450,7 +485,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
 
         // Our operation is finalised; read the outcome from our descriptor.
         let final_desc = sh.desc.protect(&guard, &self.state[tid], None);
-        let final_ref = final_desc.as_ref().expect("descriptors are never null");
+        // SAFETY: `sh.desc` protects `final_desc` and is not re-protected
+        // for the rest of this function.
+        let final_ref = unsafe { final_desc.as_ref() }.expect("descriptors are never null");
         let (node, value) = (final_ref.node, final_ref.value);
         if node.is_null() {
             // Queue was empty.
@@ -499,7 +536,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
             .expect("KoganPetrankQueue: reservation slots exhausted");
         let guard = handle.enter();
         let head = head_shield.protect(&guard, &self.head, None);
-        head.as_ref()
+        // SAFETY: `head_shield` is not re-protected for the rest of this
+        // function.
+        unsafe { head.as_ref() }
             .expect("the head is never null")
             .next
             .load(Ordering::Acquire)

@@ -114,7 +114,11 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                     // is being deleted: restart from the head.
                     continue 'retry;
                 }
-                let curr_ref = curr.as_ref().expect("non-null protected node");
+                // SAFETY: `curr` is protected by `shields[shield_curr]`;
+                // that shield is only re-protected after `curr` leaves the
+                // window (the other shield covers `prev`), so the reference
+                // stays pinned while it is used.
+                let curr_ref = unsafe { curr.as_ref() }.expect("non-null protected node");
                 let next_raw = curr_ref.next.load(Ordering::Acquire);
                 if tag::tag_of(next_raw) == MARK {
                     // `curr` is logically deleted: unlink it and retire it.
@@ -211,7 +215,10 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 return false;
             }
             let curr = window.curr;
-            let curr_ref = curr.as_ref().expect("found window has a node");
+            // SAFETY: the window's shields are not re-protected between
+            // `find` returning and the last use of this reference (the
+            // unlink-failure `find` below runs after it).
+            let curr_ref = unsafe { curr.as_ref() }.expect("found window has a node");
             let next_raw = curr_ref.next.load(Ordering::Acquire);
             if tag::tag_of(next_raw) == MARK {
                 // Another remover got here first; retry to settle who wins.
@@ -266,7 +273,9 @@ impl<V: Clone, R: Reclaimer> MichaelList<V, R> {
         let guard = handle.enter();
         let window = self.find(&guard, &mut shields, key);
         if window.found {
-            window.curr.as_ref().map(|node| node.value.clone())
+            // SAFETY: the window's shields are not re-protected after `find`
+            // returns, so `curr` stays pinned while the value is cloned.
+            unsafe { window.curr.as_ref() }.map(|node| node.value.clone())
         } else {
             None
         }

@@ -85,7 +85,10 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
         let mut backoff = Backoff::new();
         loop {
             let tail = tail_shield.protect(&guard, &self.tail, None);
-            let tail_ref = tail.as_ref().expect("the tail is never null");
+            // SAFETY: `tail_shield` protects `tail` and is only re-protected
+            // at the top of the next loop iteration, after this reference's
+            // last use.
+            let tail_ref = unsafe { tail.as_ref() }.expect("the tail is never null");
             let next = tail_ref.next.load(Ordering::Acquire);
             if next.is_null() {
                 if tail_ref
@@ -123,14 +126,19 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
         let mut backoff = Backoff::new();
         loop {
             let head = head_shield.protect(&guard, &self.head, None);
-            let head_ref = head.as_ref().expect("the head is never null");
+            // SAFETY: `head` and `next` each have their own shield
+            // (head_shield / next_shield), re-protected only at the top of
+            // the next iteration — after the last use of both references.
+            let head_ref = unsafe { head.as_ref() }.expect("the head is never null");
             let tail = self.tail.load(Ordering::Acquire);
             let next = next_shield.protect(&guard, &head_ref.next, Some(head));
             if head.as_raw() != self.head.load(Ordering::Acquire) {
                 backoff.spin();
                 continue;
             }
-            let Some(next_ref) = next.as_ref() else {
+            // SAFETY: as above — `next_shield` protects `next` until the
+            // next loop iteration.
+            let Some(next_ref) = (unsafe { next.as_ref() }) else {
                 return None; // empty queue
             };
             if head.as_raw() == tail {
@@ -175,7 +183,9 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
         let mut head_shield = Self::one_shield(handle);
         let guard = handle.enter();
         let head = head_shield.protect(&guard, &self.head, None);
-        head.as_ref()
+        // SAFETY: `head_shield` is not re-protected for the rest of this
+        // function.
+        unsafe { head.as_ref() }
             .expect("the head is never null")
             .next
             .load(Ordering::Acquire)

@@ -153,12 +153,15 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         // SAFETY: the super-root R is an immortal sentinel — it is never
         // retired (only `Drop` frees it, with exclusive access).
         let root: Protected<'g, Node<V>> = unsafe { Protected::from_unlinked(self.root) };
-        let root_ref = root.as_ref().expect("the super-root always exists");
+        // SAFETY: the super-root is immortal (see above), so the reference
+        // can never dangle.
+        let root_ref = unsafe { root.as_ref() }.expect("the super-root always exists");
         // SAFETY: S, the sentinel below R, is likewise never retired.
         let s: Protected<'g, Node<V>> = unsafe {
             Protected::from_unlinked(tag::untagged(root_ref.left.load(Ordering::Acquire)))
         };
-        let s_ref = s.as_ref().expect("the S sentinel always exists");
+        // SAFETY: S is immortal (see above).
+        let s_ref = unsafe { s.as_ref() }.expect("the S sentinel always exists");
 
         // Shield indices for the roles that get dereferenced. They rotate as
         // the window slides down so that a node keeps its shield while it
@@ -179,11 +182,14 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         let mut leaf = leaf_tagged.untagged();
         // Edge parent→leaf as last read (its TAG bit steers ancestor updates).
         let mut parent_field = leaf_tagged;
-        let mut current = shields[shield_current].protect(
-            guard,
-            Self::child_edge(leaf.as_ref().expect("leaf below S is non-null"), key),
-            Some(leaf),
-        );
+        // SAFETY: each dereferenced window role (ancestor, parent, leaf,
+        // current) keeps its own shield; a rotation re-protects only the
+        // shield whose role has left the dereferenced window, so `leaf`
+        // stays pinned by `shields[shield_leaf]` while the child edge is
+        // read.
+        let leaf_ref = unsafe { leaf.as_ref() }.expect("leaf below S is non-null");
+        let mut current =
+            shields[shield_current].protect(guard, Self::child_edge(leaf_ref, key), Some(leaf));
 
         loop {
             if current.is_null() {
@@ -212,11 +218,12 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
             parent = leaf;
             parent_field = current;
             leaf = current.untagged();
-            current = shields[shield_current].protect(
-                guard,
-                Self::child_edge(leaf.as_ref().expect("internal nodes have children"), key),
-                Some(leaf),
-            );
+            // SAFETY: see the comment above the first protect — `leaf` is
+            // pinned by `shields[shield_leaf]` after the rotation, and the
+            // re-protected shield's old role has left the window.
+            let leaf_ref = unsafe { leaf.as_ref() }.expect("internal nodes have children");
+            current =
+                shields[shield_current].protect(guard, Self::child_edge(leaf_ref, key), Some(leaf));
         }
         // Quiet the "assigned but never read" lint on the final rotation.
         let _ = (shield_ancestor, shield_parent, shield_leaf, shield_spare);
@@ -234,7 +241,10 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
     /// the promotion (and retired the detached parent and leaf).
     fn cleanup(&self, guard: &Guard<'_, R::Handle>, key: u64, record: &SeekRecord<'_, V>) -> bool {
         let parent = record.parent;
-        let parent_ref = parent.as_ref().expect("parent role is protected");
+        // SAFETY: the record's roles each hold their own shield and no
+        // shield is re-protected between `seek` returning and the last use
+        // of this reference.
+        let parent_ref = unsafe { parent.as_ref() }.expect("parent role is protected");
 
         let (child_edge, sibling_edge) = if key < parent_ref.key {
             (&parent_ref.left, &parent_ref.right)
@@ -258,10 +268,9 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         // Promote the sibling subtree into the ancestor, preserving a FLAG the
         // sibling edge may itself carry (a pending deletion of the sibling).
         let promoted = tag::with_tag(tag::untagged(promote_val), tag::tag_of(promote_val) & FLAG);
-        let ancestor_ref = record
-            .ancestor
-            .as_ref()
-            .expect("ancestor role is protected");
+        // SAFETY: as above — the ancestor role keeps its shield while the
+        // record is in use.
+        let ancestor_ref = unsafe { record.ancestor.as_ref() }.expect("ancestor role is protected");
         let swapped = Self::child_edge(ancestor_ref, key)
             .compare_exchange(
                 record.successor.as_raw(),
@@ -297,7 +306,10 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         loop {
             let record = self.seek(&guard, &mut shields, key);
             let leaf = record.leaf;
-            let leaf_key = leaf.as_ref().expect("seek ends at a leaf").key;
+            // SAFETY: the record's roles each hold their own shield; the
+            // next `seek` (which re-protects them) only runs after the last
+            // use of this reference.
+            let leaf_key = unsafe { leaf.as_ref() }.expect("seek ends at a leaf").key;
             if leaf_key == key {
                 return false;
             }
@@ -316,10 +328,10 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
                 right: Atomic::new(right),
             });
 
-            let parent_edge = Self::child_edge(
-                record.parent.as_ref().expect("parent role is protected"),
-                key,
-            );
+            // SAFETY: as above — the parent role keeps its shield until the
+            // next `seek`.
+            let parent_ref = unsafe { record.parent.as_ref() }.expect("parent role is protected");
+            let parent_edge = Self::child_edge(parent_ref, key);
             match parent_edge.compare_exchange(
                 leaf.as_raw(),
                 new_internal,
@@ -358,13 +370,16 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
             if !injected {
                 // Injection phase: flag the edge to the leaf we want gone.
                 let leaf = record.leaf;
-                if leaf.as_ref().expect("seek ends at a leaf").key != key {
+                // SAFETY: the record's roles each hold their own shield; the
+                // next `seek` only runs after this reference's last use.
+                if unsafe { leaf.as_ref() }.expect("seek ends at a leaf").key != key {
                     return false;
                 }
-                let parent_edge = Self::child_edge(
-                    record.parent.as_ref().expect("parent role is protected"),
-                    key,
-                );
+                // SAFETY: as above — the parent role keeps its shield until
+                // the next `seek`.
+                let parent_ref =
+                    unsafe { record.parent.as_ref() }.expect("parent role is protected");
+                let parent_edge = Self::child_edge(parent_ref, key);
                 match parent_edge.compare_exchange(
                     leaf.as_raw(),
                     leaf.with_tag(FLAG).as_raw(),
@@ -404,7 +419,11 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         let mut shields = Self::seek_shields(handle);
         let guard = handle.enter();
         let record = self.seek(&guard, &mut shields, key);
-        record.leaf.as_ref().expect("seek ends at a leaf").key == key
+        // SAFETY: the leaf role keeps its shield after `seek` returns.
+        unsafe { record.leaf.as_ref() }
+            .expect("seek ends at a leaf")
+            .key
+            == key
     }
 }
 
@@ -414,7 +433,9 @@ impl<V: Clone, R: Reclaimer> NatarajanBst<V, R> {
         let mut shields = Self::seek_shields(handle);
         let guard = handle.enter();
         let record = self.seek(&guard, &mut shields, key);
-        let leaf = record.leaf.as_ref().expect("seek ends at a leaf");
+        // SAFETY: the leaf role keeps its shield after `seek` returns, so
+        // the reference stays pinned while the value is cloned.
+        let leaf = unsafe { record.leaf.as_ref() }.expect("seek ends at a leaf");
         if leaf.key == key {
             leaf.value.clone()
         } else {

@@ -96,7 +96,9 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
         let mut backoff = Backoff::new();
         loop {
             let node = top.protect(&guard, &self.head, None);
-            let node_ref = node.as_ref()?; // empty stack
+            // SAFETY: `top` protects `node` and is only re-protected at the
+            // top of the next loop iteration, after this reference's last use.
+            let node_ref = unsafe { node.as_ref() }?; // empty stack
             let next = node_ref.next;
             if self
                 .head

@@ -18,9 +18,12 @@
 //!   held across operations (or `.await` points) and reused.
 //! * [`Protected`] — a tagged, borrow-checked pointer returned by
 //!   [`Shield::protect`]. Its lifetime is tied to the guard it was read
-//!   under, so it cannot outlive the operation bracket; dereferencing via
-//!   [`Protected::as_ref`] is *safe*. Retirement is
-//!   [`Protected::retire_in`], whose single obligation is "I unlinked it".
+//!   under, so it cannot outlive the operation bracket. Dereferencing via
+//!   [`Protected::as_ref`] carries a single `unsafe` obligation — the shield
+//!   that produced the value has not re-protected since (lease one shield
+//!   per simultaneously-live pointer) — and debug builds verify that
+//!   obligation at runtime. Retirement is [`Protected::retire_in`], whose
+//!   single obligation is "I unlinked it".
 //!
 //! ```
 //! use std::sync::Arc;
@@ -38,7 +41,8 @@
 //! {
 //!     let guard = handle.enter(); // begin_op
 //!     let value = shield.protect(&guard, &root, None);
-//!     assert_eq!(value.as_ref(), Some(&42));
+//!     // SAFETY: `shield` does not re-protect while `value` is in use.
+//!     assert_eq!(unsafe { value.as_ref() }, Some(&42));
 //! } // end_op
 //!
 //! // Unlink, then retire through the typed API: the *only* obligation left
@@ -54,12 +58,23 @@
 //! A [`Protected`] cannot outlive its [`Guard`] (compile error), and a
 //! [`Shield`] leased from one scheme's handle cannot be used with a guard of
 //! another scheme (type error); using it with a *different handle of the same
-//! scheme* panics at runtime. One granularity is deliberately not tracked:
-//! re-protecting through the *same* shield ends the protection of the pointer
-//! it previously returned (the reservation slot is overwritten). Keeping the
-//! older [`Protected`] around past that point is a logic error for the
-//! slot-based schemes (HP/HE/WFE/2GEIBR); lease one shield per
-//! simultaneously-live pointer, exactly as the data structures in `wfe-ds` do.
+//! scheme* panics at runtime. One granularity the type system does not
+//! track: re-protecting through the *same* shield overwrites the reservation
+//! slot and thereby ends the protection of the pointer the shield
+//! previously returned. This is exactly why [`Protected::as_ref`] is
+//! `unsafe`. Tying the returned value to `&mut self` of the shield (the
+//! `haphazard` approach) would move the check to compile time, but it also
+//! rejects the hand-over-hand window every list/tree traversal here returns
+//! from its retry loop: a borrow that flows into a returned window is
+//! extended to the whole function body under non-lexical lifetimes, so each
+//! loop-back re-protect through the same shield conflicts with it (rustc
+//! E0499 — the classic NLL "problem case #3"). Until the borrow checker can
+//! express that pattern, the discipline is *lease one shield per
+//! simultaneously-live pointer*, exactly as the data structures in `wfe-ds`
+//! do — and debug builds verify it: every [`Shield::protect`] bumps a
+//! per-slot generation that is stamped into the [`Protected`] it returns,
+//! and a stale [`as_ref`](Protected::as_ref) panics deterministically
+//! instead of touching freed memory.
 
 use core::marker::PhantomData;
 use core::ptr;
@@ -84,17 +99,28 @@ pub struct ShieldSlots {
     /// Number of leasable slots (the handle's application slots, capped at
     /// one machine word of bits).
     slots: usize,
+    /// Per-slot protect generation, bumped by every [`Shield::protect`] and
+    /// stamped into the [`Protected`] it returns so a stale value (one whose
+    /// slot has since been re-protected) is caught at `as_ref` time.
+    /// Debug builds only — release builds carry no stamp.
+    #[cfg(debug_assertions)]
+    generations: Box<[AtomicUsize]>,
 }
 
 impl ShieldSlots {
     /// Creates a lease table for `slots` application reservation slots.
     ///
     /// At most [`usize::BITS`] slots are leasable through shields; schemes
-    /// configured with more still expose them through the raw SPI.
+    /// configured with more still expose them through the raw SPI (and
+    /// [`ShieldError`]'s message points this out when the capped table is
+    /// exhausted).
     pub fn new(slots: usize) -> Arc<Self> {
+        let slots = slots.min(usize::BITS as usize);
         Arc::new(Self {
             bitmap: AtomicUsize::new(0),
-            slots: slots.min(usize::BITS as usize),
+            slots,
+            #[cfg(debug_assertions)]
+            generations: (0..slots).map(|_| AtomicUsize::new(0)).collect(),
         })
     }
 
@@ -134,6 +160,13 @@ impl ShieldSlots {
         let prev = self.bitmap.fetch_and(!(1 << slot), Ordering::AcqRel);
         debug_assert!(prev & (1 << slot) != 0, "releasing a slot never leased");
     }
+
+    /// The protect-generation cell of `slot` (see [`Shield::protect`]).
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn generation(&self, slot: usize) -> &AtomicUsize {
+        &self.generations[slot]
+    }
 }
 
 /// Error returned by [`Handle::shield`] when every
@@ -143,18 +176,36 @@ impl ShieldSlots {
 /// reservation (a use-after-free time bomb); the typed API reports it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShieldError {
-    /// Number of slots the handle has (all currently leased).
+    /// Number of *leasable* slots the handle has (all currently leased).
+    ///
+    /// Capped at [`usize::BITS`] even when `DomainConfig::slots_per_thread`
+    /// is larger — slots beyond the cap exist but are only reachable through
+    /// the raw SPI (see [`ShieldSlots::new`]).
     pub slots: usize,
 }
 
 impl core::fmt::Display for ShieldError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(
-            f,
-            "reservation slots exhausted: all {} slots of this handle are leased \
-             (raise DomainConfig slots_per_thread or drop an unused Shield)",
-            self.slots
-        )
+        if self.slots >= usize::BITS as usize {
+            // Raising `slots_per_thread` cannot help past the lease cap, so
+            // the usual advice would be misleading here.
+            write!(
+                f,
+                "reservation slots exhausted: all {} leasable slots of this handle \
+                 are leased (shields can lease at most {} slots per handle; slots \
+                 beyond that cap are only reachable through the raw SPI — drop an \
+                 unused Shield instead)",
+                self.slots,
+                usize::BITS
+            )
+        } else {
+            write!(
+                f,
+                "reservation slots exhausted: all {} slots of this handle are leased \
+                 (raise DomainConfig slots_per_thread or drop an unused Shield)",
+                self.slots
+            )
+        }
     }
 }
 
@@ -182,7 +233,7 @@ impl std::error::Error for ShieldError {}
 ///     let guard = handle.enter();
 ///     shield.protect(&guard, &root, None)
 /// }; // ERROR: `guard` dropped while `escaped` still borrows it
-/// escaped.as_ref();
+/// unsafe { escaped.as_ref() };
 /// ```
 pub struct Guard<'h, H: RawHandle> {
     /// Exclusive access to the handle for the guard's lifetime. A raw pointer
@@ -243,6 +294,20 @@ impl<'h, H: RawHandle> Guard<'h, H> {
         self.with(|h| Arc::as_ptr(h.shield_slots()))
     }
 
+    /// The protect-generation cell of `slot` in the handle's lease table,
+    /// reborrowed for the guard's lifetime. [`Shield::protect`] stamps it
+    /// into every [`Protected`] so a stale value can be detected.
+    #[cfg(debug_assertions)]
+    #[inline]
+    fn generation_cell(&self, slot: usize) -> &AtomicUsize {
+        // SAFETY: `RawHandle::shield_slots` hands back the same `Arc` for
+        // the handle's whole lifetime (trait contract), the guard keeps the
+        // handle borrowed for at least as long as `self`, and the table is
+        // never structurally mutated — so the cell outlives every borrow of
+        // this guard.
+        unsafe { (*self.slots_identity()).generation(slot) }
+    }
+
     /// Protects and returns the pointer at `src` through slot `index` of this
     /// guard's handle. Internal engine of [`Shield::protect`].
     #[inline]
@@ -254,10 +319,7 @@ impl<'h, H: RawHandle> Guard<'h, H> {
     ) -> Protected<'g, T> {
         let parent_ptr = parent.map_or(ptr::null_mut(), |p| p.untagged().as_raw());
         let raw = self.with(|h| h.protect(src, index, parent_ptr));
-        Protected {
-            ptr: raw,
-            _guard: PhantomData,
-        }
+        Protected::from_raw(raw)
     }
 
     /// Retires `block` (called by [`Protected::retire_in`]).
@@ -355,7 +417,10 @@ impl<T, H: RawHandle> Shield<T, H> {
     /// parent must itself be protected" — becomes a typed requirement.
     ///
     /// Re-protecting through the same shield releases the protection of the
-    /// pointer it previously returned (see the [module docs](self)).
+    /// pointer it previously returned (see the [module docs](self)). In
+    /// debug builds each call bumps this slot's generation, so a stale
+    /// [`Protected`] kept past that point panics on its next
+    /// [`as_ref`](Protected::as_ref) instead of dereferencing freed memory.
     ///
     /// # Panics
     ///
@@ -374,7 +439,22 @@ impl<T, H: RawHandle> Shield<T, H> {
             "Shield used with a guard of a different handle (lease a shield from \
              the handle that entered this operation)"
         );
-        guard.protect_in_slot(self.slot, src, parent)
+        // Invalidate any Protected previously returned for this slot before
+        // its reservation is overwritten below.
+        #[cfg(debug_assertions)]
+        let stamp = {
+            let cell = guard.generation_cell(self.slot);
+            let gen = cell.load(Ordering::Relaxed).wrapping_add(1);
+            cell.store(gen, Ordering::Relaxed);
+            SlotStamp { cell, gen }
+        };
+        #[cfg_attr(not(debug_assertions), allow(unused_mut))]
+        let mut protected = guard.protect_in_slot(self.slot, src, parent);
+        #[cfg(debug_assertions)]
+        {
+            protected.stamp = Some(stamp);
+        }
+        protected
     }
 }
 
@@ -400,8 +480,24 @@ impl<T, H: RawHandle> core::fmt::Debug for Shield<T, H> {
 pub struct Protected<'g, T> {
     /// Raw, possibly tagged pointer.
     ptr: *mut Linked<T>,
+    /// Which protect-generation of its slot this value belongs to; `None`
+    /// for values not backed by a reservation slot ([`Protected::null`],
+    /// [`Protected::from_unlinked`]). Debug builds only.
+    #[cfg(debug_assertions)]
+    stamp: Option<SlotStamp<'g>>,
     /// Ties the value to the guard's borrow region.
     _guard: PhantomData<&'g ()>,
+}
+
+/// The (generation cell, observed generation) pair [`Shield::protect`]
+/// stamps into a [`Protected`]; [`Protected::as_ref`] compares the cell
+/// against the stamp to detect that the slot has been re-protected (which
+/// ends this value's reservation). Debug builds only.
+#[cfg(debug_assertions)]
+#[derive(Clone, Copy)]
+struct SlotStamp<'g> {
+    cell: &'g AtomicUsize,
+    gen: usize,
 }
 
 impl<T> Clone for Protected<'_, T> {
@@ -413,13 +509,22 @@ impl<T> Clone for Protected<'_, T> {
 impl<T> Copy for Protected<'_, T> {}
 
 impl<'g, T> Protected<'g, T> {
+    /// Wraps a raw pointer with no slot stamp (internal constructor; the
+    /// stamped path is [`Shield::protect`]).
+    #[inline]
+    fn from_raw(ptr: *mut Linked<T>) -> Self {
+        Self {
+            ptr,
+            #[cfg(debug_assertions)]
+            stamp: None,
+            _guard: PhantomData,
+        }
+    }
+
     /// The null pointer (protects nothing; `as_ref` returns `None`).
     #[inline]
     pub fn null() -> Self {
-        Self {
-            ptr: ptr::null_mut(),
-            _guard: PhantomData,
-        }
+        Self::from_raw(ptr::null_mut())
     }
 
     /// The unsafe escape hatch: wraps a raw pointer in a `Protected` without
@@ -442,10 +547,7 @@ impl<'g, T> Protected<'g, T> {
     /// handle (see `retire_in`'s contract).
     #[inline]
     pub unsafe fn from_unlinked(ptr: *mut Linked<T>) -> Self {
-        Self {
-            ptr,
-            _guard: PhantomData,
-        }
+        Self::from_raw(ptr)
     }
 
     /// The raw, possibly tagged pointer (for CAS expected/new values and
@@ -472,7 +574,7 @@ impl<'g, T> Protected<'g, T> {
     pub fn untagged(self) -> Self {
         Self {
             ptr: tag::untagged(self.ptr),
-            _guard: PhantomData,
+            ..self
         }
     }
 
@@ -481,29 +583,57 @@ impl<'g, T> Protected<'g, T> {
     pub fn with_tag(self, tag_bits: usize) -> Self {
         Self {
             ptr: tag::with_tag(self.ptr, tag_bits),
-            _guard: PhantomData,
+            ..self
         }
     }
 
-    /// Dereferences the protected block — *safely*. Returns `None` for null.
+    /// Dereferences the protected block. Returns `None` for null.
     ///
     /// The returned reference lives as long as the guard: the reservation
     /// taken by [`Shield::protect`] keeps the block from being freed until
-    /// the bracket closes (or the shield re-protects; see the
+    /// the bracket closes.
+    ///
+    /// # Safety
+    ///
+    /// The reservation this value was returned under must still be in
+    /// place: the [`Shield`] that produced it must not have re-protected —
+    /// and its slot must not have been re-leased and re-protected — between
+    /// [`Shield::protect`] and the last use of the returned reference.
+    /// Leasing one shield per simultaneously-live pointer (each structure's
+    /// `REQUIRED_SLOTS` count) satisfies this by construction. Values built
+    /// with [`Protected::from_unlinked`] answer to that constructor's
+    /// contract (just-unlinked and owned, or immortal) instead.
+    ///
+    /// Debug builds verify the obligation: every `Shield::protect` bumps a
+    /// per-slot generation, and a stale `as_ref` panics (see the
     /// [module docs](self)).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics if the value is stale as described above.
     #[inline]
-    pub fn as_ref(&self) -> Option<&'g T> {
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
         let clean = tag::untagged(self.ptr);
         if clean.is_null() {
-            None
-        } else {
-            // SAFETY: the protection invariant — `clean` was published in a
-            // reservation slot under `'g`'s guard (or asserted immortal /
-            // owned via `from_unlinked`), so the scheme will not free it
-            // while `'g` is live, and `Linked<T>` keeps the payload at a
-            // stable address.
-            Some(unsafe { &(*clean).value })
+            return None;
         }
+        #[cfg(debug_assertions)]
+        if let Some(stamp) = self.stamp {
+            assert!(
+                stamp.cell.load(Ordering::Relaxed) == stamp.gen,
+                "stale Protected: its Shield re-protected (or its slot was \
+                 re-leased and re-protected) after this value was returned, \
+                 which ended its reservation — lease one Shield per \
+                 simultaneously-live pointer"
+            );
+        }
+        // SAFETY: the protection invariant — `clean` was published in a
+        // reservation slot under `'g`'s guard and the caller guarantees the
+        // slot has not been re-protected since (or the value was asserted
+        // immortal / owned via `from_unlinked`), so the scheme will not free
+        // it while `'g` is live, and `Linked<T>` keeps the payload at a
+        // stable address.
+        Some(unsafe { &(*clean).value })
     }
 
     /// `true` if both values point at the same block with the same tag.
@@ -522,9 +652,13 @@ impl<'g, T> Protected<'g, T> {
     /// published), and no other thread will retire it. In addition, `guard`
     /// must bracket a handle of the **domain the block was allocated in** —
     /// a different domain's cleanup never scans the readers' reservations and
-    /// would free the block under them. (A `Protected` obtained from
-    /// [`Shield::protect`] was necessarily read through such a handle; the
-    /// obligation is only observable via [`Protected::from_unlinked`].)
+    /// would free the block under them. Note that `retire_in` is generic
+    /// over the guard's handle type and performs no domain-identity check
+    /// (the block header does not record its owning domain), so this
+    /// obligation binds *every* call: even a `Protected` obtained from
+    /// [`Shield::protect`] on domain A can be wrongly handed a guard of
+    /// domain B — the type system only rules out crossing *schemes*, not
+    /// domains of the same scheme.
     #[inline]
     pub unsafe fn retire_in<H: RawHandle>(self, guard: &Guard<'_, H>) {
         debug_assert!(!self.is_null(), "cannot retire a null block");
@@ -603,7 +737,8 @@ mod tests {
             let guard = handle.enter();
             let p = shield.protect(&guard, &root, None);
             assert!(!p.is_null());
-            assert_eq!(p.as_ref(), Some(&9));
+            // SAFETY: `shield` does not re-protect while `p` is in use.
+            assert_eq!(unsafe { p.as_ref() }, Some(&9));
             assert_eq!(p.as_raw(), node);
         }
         root.store(ptr::null_mut(), Ordering::SeqCst);
@@ -630,7 +765,8 @@ mod tests {
 
         let guard = reader.enter();
         let p = shield.protect(&guard, &root, None);
-        assert_eq!(p.as_ref(), Some(&5));
+        // SAFETY: `shield` does not re-protect while `p` is in use.
+        assert_eq!(unsafe { p.as_ref() }, Some(&5));
 
         root.store(ptr::null_mut(), Ordering::SeqCst);
         {
@@ -640,7 +776,9 @@ mod tests {
         }
         writer.force_cleanup();
         assert_eq!(domain.stats().unreclaimed, 1, "guarded read pins the block");
-        assert_eq!(p.as_ref(), Some(&5), "still readable while protected");
+        // SAFETY: `shield` still has not re-protected; the reservation holds.
+        let still_readable = unsafe { p.as_ref() };
+        assert_eq!(still_readable, Some(&5), "still readable while protected");
 
         drop(guard);
         writer.force_cleanup();
@@ -672,7 +810,8 @@ mod tests {
         assert_eq!(p.untagged().tag(), 0);
         assert_eq!(p.with_tag(2).tag(), 2);
         assert_eq!(p.untagged().as_raw(), node);
-        assert_eq!(p.as_ref(), Some(&3), "as_ref ignores the tag");
+        // SAFETY: `shield` does not re-protect while `p` is in use.
+        assert_eq!(unsafe { p.as_ref() }, Some(&3), "as_ref ignores the tag");
         drop(guard);
         // SAFETY: never published anywhere else; freed exactly once.
         unsafe { Linked::dealloc(node) };
@@ -682,8 +821,76 @@ mod tests {
     fn null_protected_behaves() {
         let p: Protected<'_, u64> = Protected::null();
         assert!(p.is_null());
-        assert_eq!(p.as_ref(), None);
+        // SAFETY: null never dereferences.
+        assert_eq!(unsafe { p.as_ref() }, None);
         assert_eq!(p.tag(), 0);
         assert!(p.ptr_eq(Protected::null()));
+    }
+
+    #[test]
+    fn exhaustion_at_the_lease_cap_explains_the_cap() {
+        // Constructed directly: leasing 64 real shields would test the same
+        // Display path at far greater cost.
+        let capped = ShieldError {
+            slots: usize::BITS as usize,
+        };
+        let msg = capped.to_string();
+        let cap_phrase = format!("at most {}", usize::BITS);
+        assert!(msg.contains(&cap_phrase), "cap message missing: {msg}");
+        assert!(
+            !msg.contains("raise DomainConfig"),
+            "capped message must not advise raising slots_per_thread: {msg}"
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale Protected")]
+    fn stale_protected_after_reprotect_panics_in_debug() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(1));
+        let mut handle = domain.register();
+        let mut shield = handle.shield::<u64>().unwrap();
+        let a = handle.alloc(1u64);
+        let b = handle.alloc(2u64);
+        let root_a: Atomic<u64> = Atomic::new(a);
+        let root_b: Atomic<u64> = Atomic::new(b);
+        let guard = handle.enter();
+        let stale = shield.protect(&guard, &root_a, None);
+        let fresh = shield.protect(&guard, &root_b, None);
+        // SAFETY: `fresh` is the shield's current reservation.
+        assert_eq!(unsafe { fresh.as_ref() }, Some(&2));
+        // SAFETY: deliberately violated contract — the generation stamp must
+        // turn this use-after-reprotect into a panic, not a stale read.
+        let _ = unsafe { stale.as_ref() };
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stale Protected")]
+    fn stale_protected_after_slot_release_and_reuse_panics_in_debug() {
+        let domain = He::with_config(ReclaimerConfig::with_max_threads(1));
+        let mut handle = domain.register();
+        let first = handle.shield::<u64>();
+        let mut shield = first.unwrap();
+        let slot = shield.slot();
+        let table = Arc::clone(handle.shield_slots());
+        let node = handle.alloc(7u64);
+        let root: Atomic<u64> = Atomic::new(node);
+        let guard = handle.enter();
+        let stale = shield.protect(&guard, &root, None);
+        drop(shield);
+        // Re-lease the same slot (the handle itself is borrowed by the
+        // guard, so the shield is assembled from the shared lease table the
+        // public path uses).
+        assert_eq!(table.lease(), Some(slot), "lowest slot is recycled first");
+        let mut second: Shield<u64, <He as Reclaimer>::Handle> = Shield {
+            slot,
+            slots: table,
+            _marker: PhantomData,
+        };
+        let _ = second.protect(&guard, &root, None);
+        // SAFETY: deliberately violated contract — the slot was re-leased
+        // and re-protected, so the stamp check must fire.
+        let _ = unsafe { stale.as_ref() };
     }
 }

@@ -55,12 +55,13 @@
 //! let node = handle.alloc(42u64);
 //! let root: Atomic<u64> = Atomic::new(node);
 //!
-//! // Readers protect the pointer inside a guard bracket; dereferencing the
-//! // result is safe — the reservation pins the block for the bracket.
+//! // Readers protect the pointer inside a guard bracket; the reservation
+//! // pins the block for the bracket, so the deref carries one obligation.
 //! {
 //!     let guard = handle.enter();
 //!     let value = shield.protect(&guard, &root, None);
-//!     assert_eq!(value.as_ref(), Some(&42));
+//!     // SAFETY: `shield` does not re-protect while `value` is in use.
+//!     assert_eq!(unsafe { value.as_ref() }, Some(&42));
 //! }
 //!
 //! // After unlinking the block, retire it; WFE frees it once it is safe.

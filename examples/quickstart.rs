@@ -44,7 +44,13 @@ fn main() {
     {
         let guard = handle.enter();
         let value = shield.protect(&guard, &root, None);
-        assert_eq!(value.as_ref(), Some(&7), "safe dereference, no unsafe");
+        // SAFETY: `shield` does not re-protect while `value` is in use —
+        // the one obligation the typed deref carries.
+        assert_eq!(
+            unsafe { value.as_ref() },
+            Some(&7),
+            "one shield, one pointer"
+        );
     }
     root.store(core::ptr::null_mut(), std::sync::atomic::Ordering::SeqCst);
     {

@@ -40,13 +40,14 @@
 //! assert_eq!(stack.pop(&mut handle), None);
 //! ```
 //!
-//! Custom data structures use the same safe protection layer the built-in
+//! Custom data structures use the same typed protection layer the built-in
 //! ones are written against: [`Handle::shield`] leases a reservation slot as
 //! an owned [`Shield`], [`Handle::enter`] opens a [`Guard`] bracket, and
 //! [`Shield::protect`] returns a borrow-checked [`Protected`] pointer whose
-//! `as_ref()` needs no `unsafe`. See the README quickstart and
-//! `docs/ARCHITECTURE.md` ("Safe API") for the full tour, including the
-//! raw→guard migration table.
+//! `as_ref()` carries a single `unsafe` obligation — the shield has not
+//! re-protected while the reference is live — that debug builds verify at
+//! runtime. See the README quickstart and `docs/ARCHITECTURE.md` ("Safe
+//! API") for the full tour, including the raw→guard migration table.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -127,7 +127,9 @@ fn check_shield_lease_churn<R: Reclaimer>(steps: &[ShieldStep]) {
                 for shield in shields.iter_mut() {
                     let protected = shield.protect(&guard, &root, None);
                     prop_assert!(!protected.is_null());
-                    prop_assert_eq!(protected.as_ref(), Some(&7));
+                    // SAFETY: `protected` is dereferenced before its shield
+                    // (or any other) protects again.
+                    prop_assert_eq!(unsafe { protected.as_ref() }, Some(&7));
                 }
             }
         }
