@@ -1,6 +1,6 @@
 //! Exponential backoff for contended retry loops.
 
-use core::hint;
+use wfe_sync::{hint, thread};
 
 /// Exponential backoff used by retry loops in the data-structure crate.
 ///
@@ -48,7 +48,7 @@ impl Backoff {
         if self.step <= Self::MAX_SPIN_EXP {
             self.spin();
         } else {
-            std::thread::yield_now();
+            thread::yield_now();
             if self.step <= Self::MAX_YIELD_EXP {
                 self.step += 1;
             }

@@ -7,11 +7,15 @@
 //!   (≥ v8.1); Rust's [`core::sync::atomic::AtomicU64::fetch_add`] maps to it,
 //! * **WCAS** — a *wide* compare-and-swap covering two adjacent 64-bit words
 //!   (`cmpxchg16b` on `x86_64`, `casp` on AArch64). Stable Rust does not expose
-//!   a 128-bit atomic, so this crate implements one.
+//!   a 128-bit atomic, so the suite implements one.
 //!
-//! The crate also provides the small utilities every scheme in the suite
-//! shares: [`CachePadded`] to keep per-thread records on distinct cache lines
-//! and [`Backoff`] for contended retry loops.
+//! Since the sync-layer refactor the primitives themselves — [`AtomicPair`],
+//! [`CachePadded`] and the single-word atomics — live in the `wfe-sync` crate,
+//! which compiles them against bare `core::sync::atomic` in normal builds and
+//! against the deterministic virtual scheduler under `--cfg wfe_model` (see
+//! `wfe-sync`'s crate docs). This crate re-exports them unchanged, so its
+//! public API is exactly what it was before the refactor, and keeps the one
+//! utility that is policy rather than primitive: [`Backoff`].
 //!
 //! # WCAS portability
 //!
@@ -27,11 +31,8 @@
 #![warn(rust_2018_idioms)]
 
 mod backoff;
-mod pad;
-mod wcas;
 
 pub use backoff::Backoff;
-pub use pad::CachePadded;
 #[doc(hidden)]
-pub use wcas::force_lock_fallback_for_tests;
-pub use wcas::{wcas_is_lock_free, AtomicPair, Pair};
+pub use wfe_sync::force_lock_fallback_for_tests;
+pub use wfe_sync::{wcas_is_lock_free, AtomicPair, CachePadded, Pair};

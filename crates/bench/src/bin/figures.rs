@@ -3,16 +3,22 @@
 //! ```text
 //! figures [FIGURE ...] [--paper | --smoke] [--threads 1,2,4] [--duration-ms 500]
 //!         [--repeats N] [--prefill N] [--schemes WFE,HE,...] [--shards N]
+//!         [--baseline-json PATH]
 //! ```
 //!
 //! With no figure argument every figure (and both ablations) is run. Output
 //! is CSV on stdout, one row per measured point:
 //! `figure,structure,workload,scheme,threads,mops,avg_unreclaimed,`
 //! `adopted_batches,freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate`.
+//!
+//! `--baseline-json PATH` additionally writes the sweep as a JSON baseline
+//! document (see [`wfe_bench::baseline`]); the committed `BENCH_smr_ops.json`
+//! at the repo root is the smoke-sweep snapshot for trajectory tracking.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
+use wfe_bench::baseline;
 use wfe_bench::figures::{Figure, Scheme};
 use wfe_bench::params::BenchParams;
 use wfe_bench::runner::DataPoint;
@@ -30,7 +36,8 @@ fn print_usage() {
            --repeats N       repetitions per point\n\
            --prefill N       elements pre-inserted before measuring\n\
            --schemes LIST    comma-separated subset of WFE,EBR,HE,HP,2GEIBR,Leak\n\
-           --shards N        registry shard count (default: auto from the host)\n",
+           --shards N        registry shard count (default: auto from the host)\n\
+           --baseline-json PATH  also write the sweep as a JSON baseline snapshot\n",
         Figure::ALL
             .iter()
             .map(|f| f.name())
@@ -39,10 +46,18 @@ fn print_usage() {
     );
 }
 
-fn parse_args() -> Result<(Vec<Figure>, BenchParams, Vec<Scheme>), String> {
+struct Cli {
+    figures: Vec<Figure>,
+    params: BenchParams,
+    schemes: Vec<Scheme>,
+    baseline_json: Option<String>,
+}
+
+fn parse_args() -> Result<Cli, String> {
     let mut figures = Vec::new();
     let mut params = BenchParams::default();
     let mut schemes: Vec<Scheme> = Scheme::ALL.to_vec();
+    let mut baseline_json = None;
     let mut args = std::env::args().skip(1).peekable();
 
     while let Some(arg) = args.next() {
@@ -84,6 +99,9 @@ fn parse_args() -> Result<(Vec<Figure>, BenchParams, Vec<Scheme>), String> {
                 let value = args.next().ok_or("--shards needs a value")?;
                 params.shards = value.parse::<usize>().map_err(|e| e.to_string())?;
             }
+            "--baseline-json" => {
+                baseline_json = Some(args.next().ok_or("--baseline-json needs a path")?);
+            }
             "--schemes" => {
                 let value = args.next().ok_or("--schemes needs a value")?;
                 schemes = value
@@ -101,11 +119,16 @@ fn parse_args() -> Result<(Vec<Figure>, BenchParams, Vec<Scheme>), String> {
     if figures.is_empty() {
         figures = Figure::ALL.to_vec();
     }
-    Ok((figures, params, schemes))
+    Ok(Cli {
+        figures,
+        params,
+        schemes,
+        baseline_json,
+    })
 }
 
 fn main() -> ExitCode {
-    let (figures, params, schemes) = match parse_args() {
+    let cli = match parse_args() {
         Ok(parsed) => parsed,
         Err(message) => {
             if !message.is_empty() {
@@ -115,17 +138,33 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let (figures, params, schemes) = (cli.figures, cli.params, cli.schemes);
 
     eprintln!(
         "# threads={:?} duration={:?} repeats={} prefill={} key_range={}",
         params.threads, params.duration, params.repeats, params.prefill, params.key_range
     );
     println!("figure,{}", DataPoint::CSV_HEADER);
+    let mut series: Vec<baseline::FigurePoint> = Vec::new();
     for figure in figures {
         eprintln!("# {}: {}", figure.name(), figure.description());
         for point in figure.run(&params, &schemes) {
             println!("{},{}", figure.name(), point.to_csv_row());
+            if cli.baseline_json.is_some() {
+                series.push((figure.name(), point));
+            }
         }
+    }
+    if let Some(path) = &cli.baseline_json {
+        let doc = baseline::render("smr_ops", &params, &series);
+        if let Err(error) = std::fs::write(path, doc) {
+            eprintln!("error: writing {path}: {error}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "# baseline written to {path} ({} series rows)",
+            series.len()
+        );
     }
     ExitCode::SUCCESS
 }

@@ -18,12 +18,15 @@
 //! * [`figures`] — one entry per figure of the paper (5a-5d, 6-11) plus the
 //!   two ablation studies, each of which regenerates the corresponding series
 //!   as CSV rows;
+//! * [`baseline`] — JSON baseline snapshots (`figures --baseline-json`) for
+//!   tracking the performance trajectory across commits;
 //! * the `figures` binary (`cargo run -p wfe-bench --release --bin figures`)
 //!   and the `figures_smoke` bench target (`cargo bench`) that drive it.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod baseline;
 pub mod figures;
 pub mod params;
 pub mod runner;

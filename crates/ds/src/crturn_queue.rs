@@ -46,8 +46,8 @@
 //!   the three reservation slots ([`CrTurnQueue::REQUIRED_SLOTS`]).
 
 use core::ptr;
-use core::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicI64, Ordering};
 
 use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, RawHandle, Reclaimer, Shield};
 

@@ -23,8 +23,8 @@
 //!   faster dequeuer at any time).
 
 use core::ptr;
-use core::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicI64, Ordering};
 
 use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};
 

@@ -7,8 +7,8 @@
 //! pointer set; `find` physically unlinks such nodes as it passes them and
 //! retires them through the reclamation scheme.
 
-use core::sync::atomic::Ordering;
 use std::sync::Arc;
+use wfe_sync::atomic::Ordering;
 
 use wfe_reclaim::ptr::tag;
 use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};

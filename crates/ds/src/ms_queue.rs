@@ -7,8 +7,8 @@
 
 use core::mem::ManuallyDrop;
 use core::ptr;
-use core::sync::atomic::Ordering;
 use std::sync::Arc;
+use wfe_sync::atomic::Ordering;
 
 use wfe_atomics::Backoff;
 use wfe_reclaim::{Atomic, Handle, Linked, Reclaimer, Shield};

@@ -14,8 +14,8 @@
 //! only ever used as an expected CAS value, never dereferenced, so it needs no
 //! reservation.
 
-use core::sync::atomic::Ordering;
 use std::sync::Arc;
+use wfe_sync::atomic::Ordering;
 
 use wfe_reclaim::ptr::tag;
 use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};

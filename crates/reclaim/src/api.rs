@@ -13,8 +13,8 @@
 //! the paper's evaluation reuses. Data structures are written once against
 //! this API and instantiated with any scheme.
 
-use core::sync::atomic::AtomicUsize;
 use std::sync::Arc;
+use wfe_sync::atomic::AtomicUsize;
 
 use crate::block::{BlockHeader, Linked};
 use crate::guard::{Guard, Shield, ShieldError, ShieldSlots};

@@ -6,7 +6,7 @@
 //! `*mut BlockHeader`; the generic convenience methods on
 //! [`Handle`](crate::Handle) recover the typed pointer.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use wfe_sync::atomic::{AtomicU64, Ordering};
 
 /// The "infinite" era: a reservation holding this value protects nothing.
 ///

@@ -8,8 +8,8 @@
 //! crates can reuse them.
 
 use core::ptr;
-use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use crate::api::{Handle, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::Linked;

@@ -10,10 +10,10 @@
 //! which is why the paper classifies it as blocking and why it cannot be used
 //! under a wait-free data structure without forfeiting the guarantee.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
-use wfe_atomics::CachePadded;
+use wfe_sync::EraSource;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
@@ -30,7 +30,7 @@ pub struct Ebr {
     registry: ThreadRegistry,
     counters: Counters,
     orphans: OrphanStack,
-    global_epoch: CachePadded<AtomicU64>,
+    global_epoch: EraSource,
     /// One published epoch per thread; `ERA_INF` = quiescent.
     reservations: SlotArray,
 }
@@ -40,6 +40,11 @@ impl Ebr {
     #[inline]
     pub fn epoch(&self) -> u64 {
         self.global_epoch.load(Ordering::Acquire)
+    }
+
+    /// The domain's epoch clock (injectable in model tests; see [`EraSource`]).
+    pub fn era_source(&self) -> &EraSource {
+        &self.global_epoch
     }
 
     /// Snapshots every published epoch once per cleanup pass: only the oldest
@@ -64,7 +69,7 @@ impl Reclaimer for Ebr {
             registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
-            global_epoch: CachePadded::new(AtomicU64::new(1)),
+            global_epoch: EraSource::new(1),
             reservations: SlotArray::new(config.max_threads, 1, ERA_INF),
             config,
         })
@@ -221,7 +226,7 @@ unsafe impl RawHandle for EbrHandle {
         if self.since_cleanup >= self.domain.config.cleanup_freq {
             // SAFETY: same contract — the header is valid for the whole call.
             if unsafe { (*block).retire_era() } == self.domain.epoch() {
-                self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
+                self.domain.global_epoch.advance(Ordering::AcqRel);
             }
             self.cleanup();
         }
@@ -236,13 +241,13 @@ unsafe impl RawHandle for EbrHandle {
         self.domain.counters.on_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter % self.domain.config.era_freq == 0 {
-            self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
+            self.domain.global_epoch.advance(Ordering::AcqRel);
         }
         self.domain.epoch()
     }
 
     fn force_cleanup(&mut self) {
-        self.domain.global_epoch.fetch_add(1, Ordering::AcqRel);
+        self.domain.global_epoch.advance(Ordering::AcqRel);
         self.cleanup();
     }
 }

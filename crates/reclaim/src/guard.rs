@@ -78,8 +78,8 @@
 
 use core::marker::PhantomData;
 use core::ptr;
-use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use crate::api::{Handle, RawHandle};
 use crate::block::Linked;

@@ -11,10 +11,10 @@
 //! retrying while other threads advance the era clock — this is exactly the
 //! loop WFE (in the `wfe-core` crate) makes wait-free.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
-use wfe_atomics::CachePadded;
+use wfe_sync::EraSource;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
@@ -31,7 +31,7 @@ pub struct He {
     registry: ThreadRegistry,
     counters: Counters,
     orphans: OrphanStack,
-    global_era: CachePadded<AtomicU64>,
+    global_era: EraSource,
     /// `max_threads × slots_per_thread` published eras (`ERA_INF` = none).
     reservations: SlotArray,
 }
@@ -43,9 +43,16 @@ impl He {
         self.global_era.load(Ordering::Acquire)
     }
 
+    /// The domain's era clock. Exposed so deterministic model tests can pin
+    /// or bump the clock mid-schedule; production code never writes through
+    /// this (it only ever advances the clock via retirement).
+    pub fn era_source(&self) -> &EraSource {
+        &self.global_era
+    }
+
     #[inline]
     fn advance_era(&self) {
-        self.global_era.fetch_add(1, Ordering::AcqRel);
+        self.global_era.advance(Ordering::AcqRel);
     }
 
     /// Snapshots every published era once per cleanup pass, sorted so the
@@ -74,7 +81,7 @@ impl Reclaimer for He {
             registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
-            global_era: CachePadded::new(AtomicU64::new(1)),
+            global_era: EraSource::new(1),
             reservations: SlotArray::new(config.max_threads, config.slots_per_thread, ERA_INF),
             config,
         })

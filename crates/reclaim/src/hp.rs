@@ -8,8 +8,8 @@
 //! step pays a store + fence + re-read, which is why HP is the slowest scheme
 //! in most of the paper's figures.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use wfe_atomics::CachePadded;
 

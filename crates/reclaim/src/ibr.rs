@@ -12,10 +12,10 @@
 //! exactly this reason). The paper notes WFE's helping idea applies to 2GEIBR
 //! as well; the wait-free extension in this repository targets HE.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
-use wfe_atomics::CachePadded;
+use wfe_sync::EraSource;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
@@ -35,7 +35,7 @@ pub struct Ibr2Ge {
     registry: ThreadRegistry,
     counters: Counters,
     orphans: OrphanStack,
-    global_era: CachePadded<AtomicU64>,
+    global_era: EraSource,
     /// `max_threads × 2`: per-thread `[lower, upper]` interval (`ERA_INF` = idle).
     reservations: SlotArray,
 }
@@ -45,6 +45,11 @@ impl Ibr2Ge {
     #[inline]
     pub fn era(&self) -> u64 {
         self.global_era.load(Ordering::Acquire)
+    }
+
+    /// The domain's era clock (injectable in model tests; see [`EraSource`]).
+    pub fn era_source(&self) -> &EraSource {
+        &self.global_era
     }
 
     /// Snapshots every active `[lower, upper]` interval once per cleanup
@@ -74,7 +79,7 @@ impl Reclaimer for Ibr2Ge {
             registry: config.build_registry(),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
-            global_era: CachePadded::new(AtomicU64::new(1)),
+            global_era: EraSource::new(1),
             reservations: SlotArray::new(config.max_threads, 2, ERA_INF),
             config,
         })
@@ -237,7 +242,7 @@ unsafe impl RawHandle for IbrHandle {
         if self.since_cleanup >= self.domain.config.cleanup_freq {
             // SAFETY: same contract — the header is valid for the whole call.
             if unsafe { (*block).retire_era() } == self.domain.era() {
-                self.domain.global_era.fetch_add(1, Ordering::AcqRel);
+                self.domain.global_era.advance(Ordering::AcqRel);
             }
             self.cleanup();
         }
@@ -251,13 +256,13 @@ unsafe impl RawHandle for IbrHandle {
         self.domain.counters.on_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter % self.domain.config.era_freq == 0 {
-            self.domain.global_era.fetch_add(1, Ordering::AcqRel);
+            self.domain.global_era.advance(Ordering::AcqRel);
         }
         self.domain.era()
     }
 
     fn force_cleanup(&mut self) {
-        self.domain.global_era.fetch_add(1, Ordering::AcqRel);
+        self.domain.global_era.advance(Ordering::AcqRel);
         self.cleanup();
     }
 }

@@ -9,8 +9,8 @@
 //! the domain itself is dropped; during the measured run this behaves exactly
 //! like leaking — live threads never run a cleanup pass, so they never adopt.
 
-use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::BlockHeader;

@@ -63,3 +63,5 @@ pub use pool::{HandlePool, PoolStats, PooledHandle};
 pub use ptr::Atomic;
 pub use registry::ThreadRegistry;
 pub use stats::SmrStats;
+#[doc(hidden)]
+pub use treiber::TypeStableStack;

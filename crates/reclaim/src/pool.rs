@@ -19,8 +19,8 @@
 
 use core::mem::ManuallyDrop;
 use core::ops::{Deref, DerefMut};
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use crate::api::{RawHandle, Reclaimer};
 use crate::treiber::TypeStableStack;
@@ -259,8 +259,9 @@ mod tests {
     use crate::conformance::DropCounter;
     use crate::he::He;
     use crate::ptr::Atomic;
-    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
-    use std::sync::atomic::Ordering::SeqCst;
+    // Through the sync layer so the tests compile under `--cfg wfe_model`.
+    use wfe_sync::atomic::AtomicUsize as StdAtomicUsize;
+    use wfe_sync::atomic::Ordering::SeqCst;
 
     #[test]
     fn checkin_parks_and_checkout_revives_the_same_slot() {

@@ -8,7 +8,7 @@
 //! hazardous location through its address without knowing `T`.
 
 use core::marker::PhantomData;
-use core::sync::atomic::{AtomicUsize, Ordering};
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use crate::block::Linked;
 
@@ -154,7 +154,7 @@ pub mod tag {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use core::sync::atomic::Ordering::{Relaxed, SeqCst};
+    use wfe_sync::atomic::Ordering::{Relaxed, SeqCst};
 
     #[test]
     fn null_and_store_load() {

@@ -29,7 +29,7 @@
 //! [`DomainConfig::shards`](crate::api::DomainConfig).
 
 use core::ops::Range;
-use core::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use wfe_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use wfe_atomics::CachePadded;
 

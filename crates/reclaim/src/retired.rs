@@ -10,7 +10,7 @@
 //! running instead of waiting for domain teardown.
 
 use core::ptr;
-use core::sync::atomic::{AtomicU64, Ordering};
+use wfe_sync::atomic::{AtomicU64, Ordering};
 
 use crate::block::{free_block, BlockHeader};
 use crate::scan::ReservationSet;

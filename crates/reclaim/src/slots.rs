@@ -4,7 +4,7 @@
 //! own row and every thread reads during `cleanup()`. Rows are padded to a
 //! multiple of the cache line so writers never false-share.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use wfe_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use wfe_atomics::AtomicPair;
 
@@ -159,7 +159,7 @@ impl PairSlotArray {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use core::sync::atomic::Ordering::Relaxed;
+    use wfe_sync::atomic::Ordering::Relaxed;
 
     #[test]
     fn rows_are_padded_and_independent() {

@@ -6,7 +6,7 @@
 //! freed. The counters here are shared by all schemes and sampled by the
 //! benchmark harness.
 
-use core::sync::atomic::{AtomicU64, Ordering};
+use wfe_sync::atomic::{AtomicU64, Ordering};
 
 use wfe_atomics::CachePadded;
 

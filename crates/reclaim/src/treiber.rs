@@ -9,7 +9,7 @@
 //! read from `head` (the versioned CAS then rejects stale observations).
 
 use core::marker::PhantomData;
-use core::sync::atomic::{AtomicUsize, Ordering};
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use wfe_atomics::AtomicPair;
 
@@ -22,7 +22,11 @@ struct Node<T> {
 }
 
 /// A lock-free stack of `T` with type-stable nodes.
-pub(crate) struct TypeStableStack<T> {
+///
+/// Exported (hidden) so the deterministic model suite can drive the real
+/// implementation — and a de-versioned mutant of it — through exact
+/// interleavings; it is not part of the supported API.
+pub struct TypeStableStack<T> {
     /// `(node ptr, version)` — the version counter makes the CAS ABA-safe.
     head: AtomicPair,
     /// Freelist of spare nodes, same encoding. Keeps nodes type-stable.
@@ -40,7 +44,7 @@ unsafe impl<T: Send> Sync for TypeStableStack<T> {}
 
 impl<T> TypeStableStack<T> {
     /// Creates an empty stack.
-    pub(crate) fn new() -> Self {
+    pub fn new() -> Self {
         Self {
             head: AtomicPair::new(0, 0),
             spares: AtomicPair::new(0, 0),
@@ -89,7 +93,7 @@ impl<T> TypeStableStack<T> {
     }
 
     /// Parks `payload` on the stack, recycling a spare node if one exists.
-    pub(crate) fn push(&self, payload: T) {
+    pub fn push(&self, payload: T) {
         let node = Self::pop_node(&self.spares).unwrap_or_else(|| {
             Box::into_raw(Box::new(Node {
                 payload: None,
@@ -104,7 +108,7 @@ impl<T> TypeStableStack<T> {
 
     /// Pops one parked payload, if any; the emptied node goes back to the
     /// spare freelist.
-    pub(crate) fn pop(&self) -> Option<T> {
+    pub fn pop(&self) -> Option<T> {
         let node = Self::pop_node(&self.head)?;
         // SAFETY: the pop above transferred exclusive ownership of the node (and
         // its payload) to this thread.
@@ -112,6 +116,12 @@ impl<T> TypeStableStack<T> {
         Self::push_node(&self.spares, node);
         debug_assert!(payload.is_some(), "parked node always carries a payload");
         payload
+    }
+}
+
+impl<T> Default for TypeStableStack<T> {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -1,0 +1,92 @@
+//! The injectable era clock.
+
+use core::fmt;
+
+use crate::atomic::{AtomicU64, Ordering};
+use crate::pad::CachePadded;
+
+/// A monotone 64-bit era/epoch clock, the global timestamp source of every
+/// era-based scheme in the suite (EBR's epoch, HE/IBR's era, WFE's era).
+///
+/// Two properties matter enough to make this a type instead of a bare
+/// `AtomicU64`:
+///
+/// * **swappable**: the counter is a [`crate::atomic`] atomic, so under
+///   `--cfg wfe_model` every era read and bump is an interleaving point —
+///   era-vs-scan races (the core race surface of HE/IBR/WFE) become
+///   schedulable, and model tests can *inject* clock values via [`set`] /
+///   [`advance`] from any virtual thread to pin the exact era a scenario
+///   needs;
+/// * **padded**: the clock is written by every thread that retires, so it
+///   must own its cache line.
+///
+/// [`set`]: EraSource::set
+/// [`advance`]: EraSource::advance
+pub struct EraSource {
+    clock: CachePadded<AtomicU64>,
+}
+
+impl EraSource {
+    /// Creates a clock starting at `initial` (the suite starts eras at 1 so
+    /// that 0 can mean "no reservation").
+    pub const fn new(initial: u64) -> Self {
+        Self {
+            clock: CachePadded::new(AtomicU64::new(initial)),
+        }
+    }
+
+    /// Reads the current era.
+    #[inline]
+    pub fn load(&self, order: Ordering) -> u64 {
+        self.clock.load(order)
+    }
+
+    /// Bumps the era by one, returning the *previous* value.
+    #[inline]
+    pub fn advance(&self, order: Ordering) -> u64 {
+        self.clock.fetch_add(1, order)
+    }
+
+    /// Overwrites the clock. Test/injection hook: production schemes only
+    /// ever [`advance`](Self::advance) (the clock must be monotone for the
+    /// schemes' snapshot arguments to hold).
+    #[inline]
+    pub fn set(&self, value: u64, order: Ordering) {
+        self.clock.store(value, order)
+    }
+}
+
+impl fmt::Debug for EraSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("EraSource")
+            .field(&self.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::Ordering::{Acquire, Relaxed, SeqCst};
+
+    #[test]
+    fn starts_where_told_and_advances() {
+        let era = EraSource::new(1);
+        assert_eq!(era.load(Acquire), 1);
+        assert_eq!(era.advance(SeqCst), 1);
+        assert_eq!(era.load(Acquire), 2);
+        era.set(100, Relaxed);
+        assert_eq!(era.load(Acquire), 100);
+    }
+
+    #[test]
+    fn owns_its_cache_line() {
+        assert!(core::mem::align_of::<EraSource>() >= 128);
+    }
+
+    #[test]
+    fn debug_shows_the_value() {
+        let era = EraSource::new(7);
+        assert_eq!(format!("{era:?}"), "EraSource(7)");
+    }
+}

@@ -1,0 +1,16 @@
+//! Swappable `core::hint` subset.
+
+/// Spin-loop hint.
+///
+/// Normal builds emit the CPU pause instruction via [`core::hint::spin_loop`].
+/// Under `--cfg wfe_model` a spin is a *yield-flavored* interleaving point:
+/// re-running the spinner explores nothing, so the scheduler is asked to
+/// prefer another runnable virtual thread (which is also what makes model
+/// schedules containing spin-wait loops terminate).
+#[inline]
+pub fn spin_loop() {
+    #[cfg(not(wfe_model))]
+    core::hint::spin_loop();
+    #[cfg(wfe_model)]
+    shuttle::hint::spin_loop();
+}

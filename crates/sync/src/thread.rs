@@ -1,0 +1,14 @@
+//! Swappable `std::thread` subset.
+
+/// Cooperatively yields the current thread.
+///
+/// Normal builds call [`std::thread::yield_now`]. Under `--cfg wfe_model`
+/// this becomes a yield-flavored interleaving point on the virtual scheduler
+/// (a no-op outside a model schedule).
+#[inline]
+pub fn yield_now() {
+    #[cfg(not(wfe_model))]
+    std::thread::yield_now();
+    #[cfg(wfe_model)]
+    shuttle::thread::yield_now();
+}

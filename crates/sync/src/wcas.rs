@@ -12,8 +12,8 @@
 //! while the slow path and the helpers use WCAS on the whole pair.
 
 use core::fmt;
-use core::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 
+use crate::atomic::{AtomicBool, AtomicU64, Ordering};
 use crate::pad::CachePadded;
 
 /// A pair of 64-bit words updated together by [`AtomicPair::compare_exchange`].
@@ -38,7 +38,11 @@ pub fn wcas_is_lock_free() -> bool {
 
 /// Tri-state cache for the runtime `cmpxchg16b` detection: 0 = unknown,
 /// 1 = available, 2 = unavailable.
-static NATIVE_WCAS: AtomicU8 = AtomicU8::new(0);
+///
+/// Deliberately a *raw* core atomic, not a [`crate::atomic`] one: detection
+/// is a constant after the first call, so modeling it would only add a
+/// meaningless interleaving point to every pair operation.
+static NATIVE_WCAS: core::sync::atomic::AtomicU8 = core::sync::atomic::AtomicU8::new(0);
 
 #[inline]
 fn native_wcas_available() -> bool {
@@ -150,6 +154,9 @@ impl AtomicPair {
     #[inline]
     pub fn load(&self) -> Pair {
         if native_wcas_available() {
+            // The inline-asm path bypasses the instrumented atomics, so it
+            // must announce its own interleaving point under the model.
+            crate::point();
             // A compare-exchange whose expected value is an arbitrary guess
             // returns the current contents whether it succeeds or not, which
             // is the standard way to perform a 16-byte atomic load with
@@ -192,6 +199,7 @@ impl AtomicPair {
     #[inline]
     pub fn compare_exchange(&self, current: Pair, new: Pair) -> Result<Pair, Pair> {
         if native_wcas_available() {
+            crate::point(); // see `load`: the asm path needs its own point
             let (observed, ok) = unsafe { cmpxchg16b(self.as_ptr(), current, new) };
             if ok {
                 Ok(observed)
@@ -338,7 +346,7 @@ fn stripe_lock(addr: usize) -> StripeGuard {
         .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
         .is_err()
     {
-        core::hint::spin_loop();
+        crate::hint::spin_loop();
     }
     StripeGuard { lock }
 }

@@ -1,8 +1,8 @@
 //! The WFE domain: global era clock, reservations, helping and the modified
 //! `cleanup()` (Figure 4, right-hand column).
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use wfe_atomics::CachePadded;
 use wfe_reclaim::api::{Progress, Reclaimer, ReclaimerConfig};
@@ -13,6 +13,7 @@ use wfe_reclaim::scan::{EraSnapshot, ReservationSet};
 use wfe_reclaim::slots::PairSlotArray;
 use wfe_reclaim::stats::{Counters, SmrStats};
 use wfe_reclaim::{ERA_INF, INVPTR};
+use wfe_sync::EraSource;
 
 use crate::handle::WfeHandle;
 use crate::state::StateTable;
@@ -42,7 +43,7 @@ pub struct Wfe {
     pub(crate) registry: ThreadRegistry,
     pub(crate) counters: Counters,
     pub(crate) orphans: OrphanStack,
-    pub(crate) global_era: CachePadded<AtomicU64>,
+    pub(crate) global_era: EraSource,
     pub(crate) counter_start: CachePadded<AtomicU64>,
     pub(crate) counter_end: CachePadded<AtomicU64>,
     pub(crate) reservations: PairSlotArray,
@@ -54,6 +55,13 @@ impl Wfe {
     #[inline]
     pub fn era(&self) -> u64 {
         self.global_era.load(Ordering::Acquire)
+    }
+
+    /// The domain's era clock. Exposed so deterministic model tests can pin
+    /// or bump the clock mid-schedule; production code never writes through
+    /// this (the clock only advances via the Figure-4 `increment_era`).
+    pub fn era_source(&self) -> &EraSource {
+        &self.global_era
     }
 
     /// Number of application-visible reservation slots per thread (`max_hes`).
@@ -138,7 +146,7 @@ impl Wfe {
                 }
             }
         }
-        self.global_era.fetch_add(1, Ordering::SeqCst);
+        self.global_era.advance(Ordering::SeqCst);
     }
 
     /// `help_thread(i, j, tid)` (Figure 4, lines 100-134): completes thread
@@ -262,7 +270,7 @@ impl Reclaimer for Wfe {
             registry: ThreadRegistry::with_shards(config.max_threads, config.shards),
             counters: Counters::new(),
             orphans: OrphanStack::new(),
-            global_era: CachePadded::new(AtomicU64::new(1)),
+            global_era: EraSource::new(1),
             counter_start: CachePadded::new(AtomicU64::new(0)),
             counter_end: CachePadded::new(AtomicU64::new(0)),
             reservations: PairSlotArray::new(

@@ -1,8 +1,8 @@
 //! The per-thread WFE handle: `get_protected` (fast + slow path), `retire`,
 //! `alloc_block` bookkeeping and `clear` (Figure 4, left-hand column).
 
-use core::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use wfe_reclaim::api::{debug_assert_slot_index, RawHandle};
 use wfe_reclaim::block::BlockHeader;

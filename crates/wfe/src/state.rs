@@ -11,7 +11,7 @@
 //!   requester itself, when it cancels) flip it with WCAS to
 //!   `(pointer-value, era)`.
 
-use core::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use wfe_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 use wfe_atomics::AtomicPair;
 use wfe_reclaim::{ERA_INF, INVPTR};

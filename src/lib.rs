@@ -21,6 +21,9 @@
 //!   hash map, Natarajan-Mittal BST, the Kogan-Petrank and CRTurn wait-free
 //!   queues and a Michael-Scott queue;
 //! * [`wfe_atomics`] — the 128-bit wide-CAS substrate WFE requires;
+//! * [`wfe_sync`] — the swappable sync layer every crate draws its atomics
+//!   from: std-backed (zero-cost) normally, instrumented for the
+//!   deterministic model checker under `--cfg wfe_model`;
 //! * `wfe-bench` — the harness regenerating Figures 5–11.
 //!
 //! ## Quick start
@@ -56,6 +59,7 @@ pub use wfe_atomics;
 pub use wfe_core;
 pub use wfe_ds;
 pub use wfe_reclaim;
+pub use wfe_sync;
 
 pub use wfe_core::{Wfe, WfeHandle};
 pub use wfe_ds::{

@@ -10,6 +10,54 @@ use wfe_suite::{
     NatarajanBst, Progress, RawHandle, Reclaimer, ReclaimerConfig, TreiberStack, Wfe,
 };
 
+/// The per-run seed feeding every randomized workload below:
+/// `WFE_STRESS_SEED` pins it, otherwise it derives from the clock so
+/// successive runs explore different workloads.
+fn run_seed() -> u64 {
+    use std::sync::OnceLock;
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        std::env::var("WFE_STRESS_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos() as u64)
+                    .unwrap_or(0)
+                    | 1
+            })
+    })
+}
+
+/// Holds the run seed for one test body and, if that body panics, prints the
+/// seed on the way out — so a flaky stress failure is replayable with
+/// `WFE_STRESS_SEED=<seed>` instead of lost to the next scheduler roll.
+struct ReplayableSeed(u64);
+
+impl ReplayableSeed {
+    fn for_this_test() -> Self {
+        Self(run_seed())
+    }
+
+    /// The seed for `thread`'s workload stream (odd, so xorshift never
+    /// degenerates to zero).
+    fn stream(&self, thread: u64) -> u64 {
+        ((thread + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.0) | 1
+    }
+}
+
+impl Drop for ReplayableSeed {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "randomized workload failed; replay it with WFE_STRESS_SEED={}",
+                self.0
+            );
+        }
+    }
+}
+
 /// Exercises one map type under one scheme with a small concurrent workload
 /// and then checks the final contents sequentially.
 fn exercise_map<R: Reclaimer, M: ConcurrentMap<R>>() {
@@ -17,6 +65,7 @@ fn exercise_map<R: Reclaimer, M: ConcurrentMap<R>>() {
     const OPS: u64 = 3_000;
     const KEY_RANGE: u64 = 64;
 
+    let seed = ReplayableSeed::for_this_test();
     let domain = R::with_config(ReclaimerConfig {
         cleanup_freq: 8,
         era_freq: 16,
@@ -27,9 +76,9 @@ fn exercise_map<R: Reclaimer, M: ConcurrentMap<R>>() {
         for t in 0..THREADS as u64 {
             let map = &map;
             let domain = Arc::clone(&domain);
+            let mut x = seed.stream(t);
             scope.spawn(move || {
                 let mut handle = domain.register();
-                let mut x = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
                 for _ in 0..OPS {
                     x ^= x << 13;
                     x ^= x >> 7;
@@ -496,12 +545,13 @@ fn pooled_handles_serve_a_task_churn_workload_across_threads() {
     let map = MichaelHashMap::<u64, Wfe>::with_domain(Arc::clone(&domain));
     let pool = HandlePool::new(Arc::clone(&domain));
 
+    let seed = ReplayableSeed::for_this_test();
     std::thread::scope(|scope| {
         for t in 0..WORKERS as u64 {
             let map = &map;
             let pool = Arc::clone(&pool);
+            let mut x = seed.stream(t);
             scope.spawn(move || {
-                let mut x = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
                 for _ in 0..TASKS {
                     let mut handle = loop {
                         match pool.check_out() {

@@ -1,0 +1,136 @@
+//! Model tests for the era clock: protection vs concurrent retire/cleanup,
+//! and direct injection through the `EraSource` handle the schemes expose.
+
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::Arc;
+
+use wfe_reclaim::{Atomic, Handle, He, Protected, RawHandle, Reclaimer, ReclaimerConfig};
+use wfe_sync::atomic::Ordering;
+
+use crate::SCHEDULES;
+
+/// A payload whose drop is observable, so a schedule that frees a block
+/// under a live reservation is caught in the act.
+struct Canary {
+    value: u64,
+    freed: Arc<AtomicBool>,
+}
+
+impl Drop for Canary {
+    fn drop(&mut self) {
+        self.freed.store(true, SeqCst);
+    }
+}
+
+#[test]
+fn protection_pins_the_block_across_every_retire_cleanup_interleaving() {
+    // The race from the Hazard Eras correctness argument: a reader's
+    // `get_protected` (era reservation) against a writer's unlink → retire →
+    // cleanup (which snapshots reservations and frees what nothing covers).
+    // With `era_freq`/`cleanup_freq` of 1 every retirement bumps the era and
+    // scans, so the snapshot race window is open on every schedule. If the
+    // reader's protect returned the block, the block must not be freed until
+    // the reader's bracket closes — on any interleaving.
+    shuttle::check_random(
+        || {
+            let domain = He::with_config(ReclaimerConfig {
+                cleanup_freq: 1,
+                era_freq: 1,
+                ..ReclaimerConfig::with_max_threads(2)
+            });
+            let freed = Arc::new(AtomicBool::new(false));
+            let mut writer = domain.register();
+            let node = writer.alloc(Canary {
+                value: 7,
+                freed: Arc::clone(&freed),
+            });
+            let root = Arc::new(Atomic::new(node));
+
+            let reader = {
+                let domain = Arc::clone(&domain);
+                let root = Arc::clone(&root);
+                let freed = Arc::clone(&freed);
+                shuttle::thread::spawn(move || {
+                    let mut reader = domain.register();
+                    let mut shield = reader.shield::<Canary>().unwrap();
+                    let guard = reader.enter();
+                    let p = shield.protect(&guard, &root, None);
+                    if !p.is_null() {
+                        // SAFETY: `shield` does not re-protect while `p` is
+                        // in use.
+                        let canary = unsafe { p.as_ref() }.unwrap();
+                        assert!(
+                            !freed.load(SeqCst),
+                            "block freed while a reservation covered it"
+                        );
+                        assert_eq!(canary.value, 7);
+                    }
+                })
+            };
+
+            root.store(core::ptr::null_mut(), Ordering::SeqCst);
+            {
+                let guard = writer.enter();
+                // SAFETY: just unlinked from its only root, retired once.
+                unsafe { Protected::from_unlinked(node).retire_in(&guard) };
+            }
+            writer.force_cleanup();
+            reader.join().unwrap();
+            // The reader's handle is gone: nothing reserves the block now.
+            writer.force_cleanup();
+            assert!(freed.load(SeqCst), "the block outlived every reservation");
+            assert_eq!(domain.stats().unreclaimed, 0);
+        },
+        SCHEDULES,
+    );
+}
+
+#[test]
+fn protect_stabilizes_against_injected_era_bumps() {
+    // `era_source()` is the injection point the sync layer exposes: bump the
+    // global era from another thread while a reader runs `get_protected`.
+    // The protect loop re-reads until the era it published equals the era it
+    // re-observes, so a bounded burst of concurrent bumps may only delay it,
+    // never make it return an unprotected pointer.
+    shuttle::check_random(
+        || {
+            let domain = He::with_config(ReclaimerConfig::with_max_threads(2));
+            let before = domain.era_source().load(Ordering::SeqCst);
+            let bumper = {
+                let domain = Arc::clone(&domain);
+                shuttle::thread::spawn(move || {
+                    for _ in 0..3 {
+                        domain.era_source().advance(Ordering::AcqRel);
+                    }
+                })
+            };
+
+            let mut handle = domain.register();
+            let node = handle.alloc(11u64);
+            let root: Atomic<u64> = Atomic::new(node);
+            let mut shield = handle.shield::<u64>().unwrap();
+            let guard = handle.enter();
+            let p = shield.protect(&guard, &root, None);
+            // SAFETY: `shield` does not re-protect while `p` is in use.
+            assert_eq!(unsafe { p.as_ref() }, Some(&11));
+            drop(guard);
+
+            bumper.join().unwrap();
+            // `>=`: the handle's own allocations may also advance the clock.
+            assert!(
+                domain.era_source().load(Ordering::SeqCst) >= before + 3,
+                "the injected advances must all land on the clock"
+            );
+
+            root.store(core::ptr::null_mut(), Ordering::SeqCst);
+            {
+                let guard = handle.enter();
+                // SAFETY: just unlinked, retired once.
+                unsafe { Protected::from_unlinked(node).retire_in(&guard) };
+            }
+            handle.force_cleanup();
+            assert_eq!(domain.stats().unreclaimed, 0);
+        },
+        SCHEDULES,
+    );
+}

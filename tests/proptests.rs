@@ -2,8 +2,11 @@
 //! sequential model types, and WCAS/tagging invariants.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+// Through the sync layer (not `std::sync::atomic`) so the test compiles
+// unchanged under `--cfg wfe_model`, where the two atomic types diverge.
+use wfe_suite::wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use proptest::prelude::*;
 

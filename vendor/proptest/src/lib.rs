@@ -12,11 +12,13 @@
 //! * the `prop_assert*` / [`prop_assume!`] macros,
 //! * [`ProptestConfig`](test_runner::ProptestConfig).
 //!
-//! Differences from the real crate: value generation is a fixed-seed
-//! deterministic stream (no persisted failure seeds) and failing cases are
-//! reported by plain panic without input *shrinking*. That trades debugging
-//! convenience for zero dependencies; swapping the real crate back in is a
-//! one-line change in the root `Cargo.toml`.
+//! Differences from the real crate: value generation is a deterministic
+//! stream (per-test name hash mixed with the `PROPTEST_SEED` environment
+//! variable — see [`test_runner::SEED_ENV`]; no persisted failure files) and
+//! failing cases are reported by a panic that prints the replaying seed,
+//! without input *shrinking*. That trades debugging convenience for zero
+//! dependencies; swapping the real crate back in is a one-line change in the
+//! root `Cargo.toml`.
 
 #![deny(missing_docs)]
 
@@ -79,10 +81,13 @@ macro_rules! __proptest_tests {
                     );
                     if let Err(panic) = outcome {
                         eprintln!(
-                            "proptest case {}/{} of `{}` failed (no shrinking in the vendored shim)",
+                            "proptest case {}/{} of `{}` failed; replay its case \
+                             stream with {}={} (no shrinking in the vendored shim)",
                             case + 1,
                             config.cases,
                             stringify!($name),
+                            $crate::test_runner::SEED_ENV,
+                            $crate::test_runner::base_seed(),
                         );
                         ::std::panic::resume_unwind(panic);
                     }

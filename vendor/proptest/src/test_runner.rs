@@ -20,10 +20,26 @@ impl ProptestConfig {
     }
 }
 
+/// The environment variable that varies (and replays) the generated case
+/// streams: every test's stream is its name hash mixed with this base seed,
+/// and a failing test prints the base to replay with.
+pub const SEED_ENV: &str = "PROPTEST_SEED";
+
+/// The base seed in effect for this run: [`SEED_ENV`] if set and parseable,
+/// otherwise `0` (the fixed default stream).
+pub fn base_seed() -> u64 {
+    std::env::var(SEED_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Deterministic generator feeding every strategy (SplitMix64).
 ///
-/// Seeded from the test name so distinct tests explore distinct streams while
-/// every run of the same test replays the same cases.
+/// Seeded from the test name mixed with [`base_seed`], so distinct tests
+/// explore distinct streams, every run of the same test under the same
+/// `PROPTEST_SEED` replays the same cases, and different seeds explore
+/// different case streams.
 #[derive(Debug, Clone)]
 pub struct TestRng {
     state: u64,
@@ -38,7 +54,9 @@ impl TestRng {
             seed ^= u64::from(byte);
             seed = seed.wrapping_mul(0x100_0000_01B3);
         }
-        Self { state: seed }
+        Self {
+            state: seed ^ base_seed().wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        }
     }
 
     /// Returns the next 64 random bits.

@@ -1,0 +1,390 @@
+//! The execution engine: cooperative virtual threads over OS threads.
+//!
+//! One [`Execution`] is one *schedule*: the closure under test runs as
+//! virtual thread 0, and every `shuttle::thread::spawn` adds another virtual
+//! thread. Although each virtual thread is backed by a real OS thread, only
+//! one of them runs at any moment — every other thread is parked on the
+//! execution's condition variable. At each *interleaving point*
+//! ([`crate::point`], called by the `wfe-sync` model atomics before every
+//! shared-memory operation) the running thread hands the baton to whichever
+//! runnable thread the active [`Scheduler`](crate::scheduler::Scheduler)
+//! picks. The scheduler's choices are therefore the *only* source of
+//! nondeterminism, which is what makes a schedule replayable from a seed.
+//!
+//! The baton handoff (mutex + condvar) also creates a happens-before edge
+//! between consecutive steps of different virtual threads, so the memory
+//! model seen by the program under test is sequential consistency — the
+//! model explores *interleavings*, not weak-memory reorderings.
+
+use std::cell::RefCell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Once};
+
+use crate::scheduler::Scheduler;
+
+/// Sentinel panic payload used to unwind a virtual thread once its execution
+/// has already failed (another thread panicked, deadlock, step bound). The
+/// panic hook suppresses it and the thread wrapper swallows it.
+pub(crate) struct Abort;
+
+/// Scheduling status of one virtual thread.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    /// May be picked by the scheduler.
+    Runnable,
+    /// Waiting for another thread to finish (a `join`).
+    Blocked,
+    /// Returned or unwound; never runs again.
+    Finished,
+}
+
+struct VThread {
+    status: Status,
+    /// Virtual threads blocked in `join` on this one; made runnable when it
+    /// finishes.
+    joiners: Vec<usize>,
+}
+
+struct ExecState {
+    threads: Vec<VThread>,
+    /// The one virtual thread allowed to run right now.
+    current: usize,
+    scheduler: Box<dyn Scheduler>,
+    steps: u64,
+    max_steps: u64,
+    /// First failure observed in this schedule (panic message, deadlock or
+    /// step-bound report). Once set, every thread unwinds via [`Abort`].
+    failure: Option<String>,
+}
+
+/// One running schedule. See the module docs.
+pub(crate) struct Execution {
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    /// OS join handles of spawned virtual threads (not thread 0), joined by
+    /// the runner after the schedule ends so no TLS leaks across schedules.
+    os_handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    /// `(execution, virtual thread id)` of the current OS thread, when it is
+    /// a virtual thread of some schedule.
+    static CURRENT: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+    /// Panic message captured by the hook for the unwinding vthread.
+    static PANIC_MSG: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Returns the `(execution, id)` of the calling virtual thread, if any.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<(Arc<Execution>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// Installs (once, process-wide) a panic hook that captures messages from
+/// virtual threads instead of printing them: a model checker *expects* to
+/// trigger panics (that is a finding, reported with its seed), so the default
+/// hook's backtrace spew for every explored failure would drown the report.
+/// Panics on non-virtual threads go to the previously installed hook.
+fn install_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_vthread = CURRENT.with(|c| c.borrow().is_some());
+            if !in_vthread {
+                previous(info);
+                return;
+            }
+            if info.payload().downcast_ref::<Abort>().is_some() {
+                return; // expected teardown unwind, nothing to record
+            }
+            let msg = info
+                .payload()
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            let located = match info.location() {
+                Some(loc) => format!("{msg} (at {}:{})", loc.file(), loc.line()),
+                None => msg,
+            };
+            PANIC_MSG.with(|m| *m.borrow_mut() = Some(located));
+        }));
+    });
+}
+
+/// Unwinds the calling virtual thread because the schedule already failed.
+fn abort_unwind() -> ! {
+    panic::panic_any(Abort)
+}
+
+impl Execution {
+    pub(crate) fn new(scheduler: Box<dyn Scheduler>, max_steps: u64) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                current: 0,
+                scheduler,
+                steps: 0,
+                max_steps,
+                failure: None,
+            }),
+            cv: Condvar::new(),
+            os_handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Registers a new virtual thread and returns its id.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let id = st.threads.len();
+        st.threads.push(VThread {
+            status: Status::Runnable,
+            joiners: Vec::new(),
+        });
+        st.scheduler.thread_started(id);
+        id
+    }
+
+    pub(crate) fn push_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.os_handles.lock().unwrap().push(handle);
+    }
+
+    fn fail(&self, st: &mut ExecState, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some(message);
+        }
+        self.cv.notify_all();
+    }
+
+    /// The runnable thread ids, in increasing order (determinism!).
+    fn runnable(st: &ExecState) -> Vec<usize> {
+        st.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.status == Status::Runnable)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Picks the next thread to run and, if it is not `me`, parks until the
+    /// baton comes back. Called with `me` runnable unless it just blocked or
+    /// finished.
+    fn reschedule<'a>(
+        self: &'a Arc<Self>,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+        yielding: bool,
+    ) -> MutexGuard<'a, ExecState> {
+        if st.failure.is_some() {
+            drop(st);
+            abort_unwind();
+        }
+        st.steps += 1;
+        if st.steps > st.max_steps {
+            let max = st.max_steps;
+            self.fail(
+                &mut st,
+                format!(
+                    "schedule exceeded {max} interleaving points; livelock, or raise \
+                     Config::max_steps"
+                ),
+            );
+            drop(st);
+            abort_unwind();
+        }
+        let runnable = Self::runnable(&st);
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                // Schedule complete; nothing left to schedule.
+                self.cv.notify_all();
+                return st;
+            }
+            self.fail(
+                &mut st,
+                "deadlock: every unfinished virtual thread is blocked".to_string(),
+            );
+            drop(st);
+            abort_unwind();
+        }
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        let choice = st.scheduler.choose(&runnable, me, me_runnable, yielding);
+        debug_assert!(
+            runnable.contains(&choice),
+            "scheduler picked a blocked thread"
+        );
+        st.current = choice;
+        if choice != me {
+            self.cv.notify_all();
+            st = self.park_until_current(st, me);
+        }
+        st
+    }
+
+    /// Waits until `me` holds the baton, unwinding if the schedule failed.
+    fn park_until_current<'a>(
+        &self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        while st.current != me && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap();
+        }
+        if st.failure.is_some() {
+            drop(st);
+            abort_unwind();
+        }
+        st
+    }
+
+    /// One interleaving point for the running thread `me`.
+    pub(crate) fn point(self: &Arc<Self>, me: usize, yielding: bool) {
+        // A thread that is already unwinding (its own panic, or the Abort of
+        // a failed schedule) runs its destructors — which may themselves hit
+        // instrumented atomics. Those points must not reschedule: raising
+        // Abort again would be a panic-while-panicking abort, and handing the
+        // baton away mid-unwind explores nothing the completed schedule
+        // prefix did not. The thread keeps the baton, finishes its unwind,
+        // and `finish_thread` hands over.
+        if std::thread::panicking() {
+            return;
+        }
+        let st = self.state.lock().unwrap();
+        drop(self.reschedule(st, me, yielding));
+    }
+
+    /// Blocks `me` until `target` finishes.
+    pub(crate) fn join_wait(self: &Arc<Self>, me: usize, target: usize) {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.failure.is_some() {
+                drop(st);
+                abort_unwind();
+            }
+            if st.threads[target].status == Status::Finished {
+                return;
+            }
+            st.threads[me].status = Status::Blocked;
+            st.threads[target].joiners.push(me);
+            st = self.reschedule(st, me, false);
+            // Back with the baton: the target finished (it made us runnable).
+        }
+    }
+
+    /// Marks `me` finished, wakes its joiners and hands the baton on.
+    /// `panic_message` carries the failure if the thread's body panicked.
+    pub(crate) fn finish_thread(self: &Arc<Self>, me: usize, panic_message: Option<String>) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[me].status = Status::Finished;
+        let joiners = std::mem::take(&mut st.threads[me].joiners);
+        for j in joiners {
+            // On a failed schedule a joiner may have torn down already (the
+            // failure wakes everyone); only revive ones still blocked.
+            if st.threads[j].status == Status::Blocked {
+                st.threads[j].status = Status::Runnable;
+            }
+        }
+        if let Some(msg) = panic_message {
+            self.fail(&mut st, msg);
+            return;
+        }
+        if st.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let runnable = Self::runnable(&st);
+        if runnable.is_empty() {
+            if st.threads.iter().any(|t| t.status == Status::Blocked) {
+                self.fail(
+                    &mut st,
+                    "deadlock: every unfinished virtual thread is blocked".to_string(),
+                );
+            } else {
+                self.cv.notify_all(); // all finished: schedule complete
+            }
+            return;
+        }
+        let choice = st.scheduler.choose(&runnable, me, false, false);
+        st.current = choice;
+        self.cv.notify_all();
+    }
+
+    /// Parks a freshly spawned vthread until it is scheduled for the first
+    /// time. Returns `false` when the schedule failed before that happened
+    /// (the body must not run).
+    fn wait_first_run(self: &Arc<Self>, me: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        while st.current != me && st.failure.is_none() {
+            st = self.cv.wait(st).unwrap();
+        }
+        st.failure.is_none()
+    }
+
+    fn take_failure(&self) -> Option<String> {
+        self.state.lock().unwrap().failure.take()
+    }
+
+    /// Total interleaving points taken in this schedule so far.
+    pub(crate) fn steps(&self) -> u64 {
+        self.state.lock().unwrap().steps
+    }
+}
+
+/// Body of every virtual thread's OS thread: set TLS, wait to be scheduled,
+/// run, then run the finish protocol (recording a panic message if any).
+pub(crate) fn vthread_main(exec: Arc<Execution>, id: usize, body: impl FnOnce()) {
+    install_panic_hook();
+    set_ctx(Some((Arc::clone(&exec), id)));
+    if exec.wait_first_run(id) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(body));
+        let message = match outcome {
+            Ok(()) => None,
+            Err(payload) if payload.downcast_ref::<Abort>().is_some() => None,
+            Err(_) => Some(
+                PANIC_MSG
+                    .with(|m| m.borrow_mut().take())
+                    .unwrap_or_else(|| "virtual thread panicked".to_string()),
+            ),
+        };
+        exec.finish_thread(id, message);
+    } else {
+        // Never scheduled: the schedule failed first.
+        exec.finish_thread(id, None);
+    }
+    set_ctx(None);
+}
+
+/// Runs `f` once under `scheduler`. Returns `Err(report)` if the schedule
+/// failed (panic, deadlock, or step bound) and the number of interleaving
+/// points taken either way.
+pub(crate) fn run_schedule(
+    scheduler: Box<dyn Scheduler>,
+    max_steps: u64,
+    f: Arc<dyn Fn() + Send + Sync>,
+) -> (u64, Result<(), String>) {
+    let exec = Execution::new(scheduler, max_steps);
+    let id0 = exec.register_thread();
+    debug_assert_eq!(id0, 0);
+    let exec0 = Arc::clone(&exec);
+    let t0 = std::thread::spawn(move || vthread_main(exec0, 0, move || f()));
+    t0.join().expect("virtual thread wrappers never unwind");
+    // Spawned vthreads may still be draining (and may spawn more); join them
+    // all so no OS thread outlives its schedule.
+    loop {
+        let handles = std::mem::take(&mut *exec.os_handles.lock().unwrap());
+        if handles.is_empty() {
+            break;
+        }
+        for handle in handles {
+            handle.join().expect("virtual thread wrappers never unwind");
+        }
+    }
+    let steps = exec.steps();
+    match exec.take_failure() {
+        None => (steps, Ok(())),
+        Some(report) => (steps, Err(report)),
+    }
+}

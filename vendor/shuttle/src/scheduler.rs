@@ -1,0 +1,385 @@
+//! Scheduling strategies: the pluggable "who runs next" policies.
+//!
+//! * [`RandomScheduler`] — uniform choice among runnable threads from a
+//!   64-bit seed. The workhorse: thousands of seeds per test, each one
+//!   replayable.
+//! * [`PctScheduler`] — PCT-flavored (Burckhardt et al., ASPLOS'10):
+//!   strict random priorities with `depth` random priority-change points, so
+//!   low-probability ordering bugs need far fewer schedules than uniform
+//!   sampling.
+//! * [`DfsExplorer`] — bounded-exhaustive depth-first enumeration of every
+//!   schedule with at most `preemption_bound` preemptions, for tiny cores
+//!   where "passes" should mean *all* interleavings, not a sample.
+
+use std::sync::{Arc, Mutex};
+
+/// A scheduling policy driving one schedule.
+///
+/// `choose` is called at every interleaving point with the sorted list of
+/// runnable thread ids; its return value must be one of them. The choices are
+/// the only nondeterminism in a schedule, so a strategy that derives them
+/// deterministically (from a seed, or from a replayed decision path) makes
+/// the whole schedule replayable.
+pub(crate) trait Scheduler: Send {
+    /// Notification that virtual thread `id` was registered.
+    fn thread_started(&mut self, _id: usize) {}
+
+    /// Picks the next thread to run. `current` is the thread that reached
+    /// the interleaving point, `current_runnable` whether it may continue
+    /// (false when it just blocked or finished), `yielding` whether it hit an
+    /// explicit yield/spin hint and would rather someone else ran.
+    fn choose(
+        &mut self,
+        runnable: &[usize],
+        current: usize,
+        current_runnable: bool,
+        yielding: bool,
+    ) -> usize;
+}
+
+/// SplitMix64: tiny, seedable, and good enough to pick schedule branches.
+#[derive(Clone, Debug)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        debug_assert!(bound > 0);
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Mixes a schedule index into a base seed (so schedule `i` of a run has a
+/// printable standalone seed).
+pub(crate) fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut rng = SplitMix64::new(base ^ index.wrapping_mul(0xA24B_AED4_963E_E407));
+    rng.next_u64()
+}
+
+/// Uniform random choice among runnable threads.
+pub(crate) struct RandomScheduler {
+    rng: SplitMix64,
+}
+
+impl RandomScheduler {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self {
+            rng: SplitMix64::new(seed),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn choose(
+        &mut self,
+        runnable: &[usize],
+        current: usize,
+        current_runnable: bool,
+        yielding: bool,
+    ) -> usize {
+        // On an explicit yield, prefer anyone else (a spin-wait loop that
+        // keeps winning the coin toss is wasted schedule depth).
+        if yielding && current_runnable && runnable.len() > 1 {
+            let others: Vec<usize> = runnable.iter().copied().filter(|&t| t != current).collect();
+            return others[self.rng.below(others.len())];
+        }
+        runnable[self.rng.below(runnable.len())]
+    }
+}
+
+/// PCT-flavored priority scheduler: each thread gets a random strict
+/// priority; the highest-priority runnable thread always runs; at `depth`
+/// random step indices the running thread's priority drops below everyone
+/// else's. (With d change points, bugs of "preemption depth" d are found
+/// with known probability — the PCT guarantee.)
+pub(crate) struct PctScheduler {
+    rng: SplitMix64,
+    /// priorities[id]: larger runs first; updated at change points.
+    priorities: Vec<u64>,
+    /// Remaining step indices (descending) at which to demote the runner.
+    change_points: Vec<u64>,
+    steps: u64,
+    next_low: u64,
+}
+
+impl PctScheduler {
+    pub(crate) fn new(seed: u64, depth: usize, expected_steps: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut change_points: Vec<u64> = (0..depth)
+            .map(|_| rng.next_u64() % expected_steps.max(1))
+            .collect();
+        change_points.sort_unstable_by(|a, b| b.cmp(a));
+        Self {
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            steps: 0,
+            next_low: 0,
+        }
+    }
+}
+
+impl Scheduler for PctScheduler {
+    fn thread_started(&mut self, id: usize) {
+        debug_assert_eq!(id, self.priorities.len());
+        // High random priorities; change points demote below `next_low`,
+        // which only ever decreases.
+        self.priorities
+            .push((1 << 32) + self.rng.next_u64() % (1 << 31));
+    }
+
+    fn choose(
+        &mut self,
+        runnable: &[usize],
+        current: usize,
+        current_runnable: bool,
+        yielding: bool,
+    ) -> usize {
+        self.steps += 1;
+        let demote =
+            self.change_points.last() == Some(&self.steps) || (yielding && current_runnable);
+        if demote {
+            if self.change_points.last() == Some(&self.steps) {
+                self.change_points.pop();
+            }
+            self.priorities[current] = self.next_low;
+            self.next_low = self.next_low.saturating_sub(1);
+        }
+        *runnable
+            .iter()
+            .max_by_key(|&&t| self.priorities[t])
+            .expect("choose() is never called with an empty runnable set")
+    }
+}
+
+/// Shared state of a bounded-exhaustive exploration, kept across schedules.
+///
+/// Classic replay-based DFS: the decision path of the previous schedule is
+/// replayed up to the deepest node with an untried alternative, that
+/// alternative is taken, and fresh decision nodes are recorded past it.
+/// Options at a node are "continue the current thread" first, then each
+/// preemption (switching away from a still-runnable thread), admitted only
+/// while the path has preemption budget left.
+pub(crate) struct DfsState {
+    /// One entry per decision point of the schedule being (re)played.
+    path: Vec<DfsNode>,
+    preemption_bound: usize,
+    /// Schedules fully run so far.
+    pub(crate) schedules: usize,
+    /// True once every bounded schedule has been explored.
+    pub(crate) exhausted: bool,
+}
+
+struct DfsNode {
+    /// Candidate threads at this decision, default choice first.
+    options: Vec<usize>,
+    /// Index into `options` of the branch the current schedule takes.
+    cursor: usize,
+    /// Whether taking `options[i>0]`... — every non-default option of this
+    /// node costs one preemption (the default continues the runner, or is a
+    /// forced switch that costs none).
+    preempting: bool,
+}
+
+impl DfsState {
+    pub(crate) fn new(preemption_bound: usize) -> Self {
+        Self {
+            path: Vec::new(),
+            preemption_bound,
+            schedules: 0,
+            exhausted: false,
+        }
+    }
+
+    /// Advances to the next unexplored path; returns false when exploration
+    /// is complete.
+    pub(crate) fn advance(&mut self) -> bool {
+        self.schedules += 1;
+        while let Some(last) = self.path.last_mut() {
+            last.cursor += 1;
+            if last.cursor < last.options.len() {
+                return true;
+            }
+            self.path.pop();
+        }
+        self.exhausted = true;
+        false
+    }
+}
+
+/// Per-schedule driver replaying (and extending) the shared DFS state.
+pub(crate) struct DfsScheduler {
+    state: Arc<Mutex<DfsState>>,
+    depth: usize,
+    preemptions_used: usize,
+}
+
+impl DfsScheduler {
+    pub(crate) fn new(state: Arc<Mutex<DfsState>>) -> Self {
+        Self {
+            state,
+            depth: 0,
+            preemptions_used: 0,
+        }
+    }
+}
+
+impl Scheduler for DfsScheduler {
+    fn choose(
+        &mut self,
+        runnable: &[usize],
+        current: usize,
+        current_runnable: bool,
+        yielding: bool,
+    ) -> usize {
+        let mut state = self.state.lock().unwrap();
+        let bound = state.preemption_bound;
+        if self.depth == state.path.len() {
+            // First schedule to reach this depth: record the decision node.
+            // Default option: keep running `current` when possible, else the
+            // lowest-id runnable thread (a forced, free switch). A *yield*
+            // with other threads runnable switches away unconditionally —
+            // staying on a spinning yielder (a lease loop, a lock acquire)
+            // would be an infinite subtree the DFS could never exhaust, and
+            // the switch is free: the thread volunteered, so it is not a
+            // preemption.
+            let yielded_away = yielding && current_runnable && runnable.len() > 1;
+            let (default, preempting) = if yielded_away {
+                let other = *runnable
+                    .iter()
+                    .find(|&&t| t != current)
+                    .expect("len > 1 guarantees another runnable thread");
+                (other, false)
+            } else if current_runnable {
+                (current, true)
+            } else {
+                (runnable[0], false)
+            };
+            let mut options = vec![default];
+            if !preempting || self.preemptions_used < bound {
+                options.extend(
+                    runnable
+                        .iter()
+                        .copied()
+                        .filter(|&t| t != default && !(yielded_away && t == current)),
+                );
+            }
+            state.path.push(DfsNode {
+                options,
+                cursor: 0,
+                preempting,
+            });
+        }
+        let node = &state.path[self.depth];
+        let choice = node.options[node.cursor];
+        if node.preempting && node.cursor > 0 {
+            self.preemptions_used += 1;
+        }
+        self.depth += 1;
+        choice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_is_deterministic_and_spreads() {
+        assert_eq!(derive_seed(1, 2), derive_seed(1, 2));
+        assert_ne!(derive_seed(1, 2), derive_seed(1, 3));
+        assert_ne!(derive_seed(1, 2), derive_seed(2, 2));
+    }
+
+    #[test]
+    fn random_scheduler_replays_identically() {
+        let mut a = RandomScheduler::new(42);
+        let mut b = RandomScheduler::new(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.choose(&[0, 1, 2], 1, true, false),
+                b.choose(&[0, 1, 2], 1, true, false)
+            );
+        }
+    }
+
+    #[test]
+    fn random_scheduler_yield_prefers_others() {
+        let mut s = RandomScheduler::new(7);
+        for _ in 0..50 {
+            assert_ne!(s.choose(&[0, 1], 0, true, true), 0);
+        }
+    }
+
+    #[test]
+    fn pct_always_picks_a_runnable_thread() {
+        let mut s = PctScheduler::new(3, 2, 100);
+        for id in 0..3 {
+            s.thread_started(id);
+        }
+        for step in 0..200 {
+            let runnable = [step % 3, (step + 1) % 3];
+            let mut sorted = runnable.to_vec();
+            sorted.sort_unstable();
+            let choice = s.choose(&sorted, step % 3, true, false);
+            assert!(sorted.contains(&choice));
+        }
+    }
+
+    #[test]
+    fn dfs_enumerates_all_bounded_paths() {
+        // Two threads, two decisions each, bound large enough not to bite:
+        // simulate a fixed-shape tree and count leaves.
+        let state = Arc::new(Mutex::new(DfsState::new(8)));
+        let mut schedules = Vec::new();
+        loop {
+            let mut driver = DfsScheduler::new(Arc::clone(&state));
+            let mut path = Vec::new();
+            for _ in 0..3 {
+                path.push(driver.choose(&[0, 1], *path.last().unwrap_or(&0), true, false));
+            }
+            schedules.push(path);
+            if !state.lock().unwrap().advance() {
+                break;
+            }
+        }
+        // 2 options at each of 3 depths = 8 distinct schedules.
+        assert_eq!(schedules.len(), 8);
+        schedules.sort();
+        schedules.dedup();
+        assert_eq!(schedules.len(), 8, "schedules must be distinct");
+        assert!(state.lock().unwrap().exhausted);
+    }
+
+    #[test]
+    fn dfs_respects_preemption_bound() {
+        // With bound 0 every decision keeps the current thread: exactly one
+        // schedule exists.
+        let state = Arc::new(Mutex::new(DfsState::new(0)));
+        let mut count = 0;
+        loop {
+            let mut driver = DfsScheduler::new(Arc::clone(&state));
+            for _ in 0..4 {
+                assert_eq!(driver.choose(&[0, 1], 0, true, false), 0);
+            }
+            count += 1;
+            if !state.lock().unwrap().advance() {
+                break;
+            }
+        }
+        assert_eq!(count, 1);
+    }
+}
