@@ -124,6 +124,8 @@ mod tests {
             shards: 1,
             avg_occupied_shards: 1.0,
             pool_hit_rate: 0.0,
+            tasks: 0,
+            unreclaimed_bytes: 0.0,
         }
     }
 

@@ -3,13 +3,15 @@
 //! ```text
 //! figures [FIGURE ...] [--paper | --smoke] [--threads 1,2,4] [--duration-ms 500]
 //!         [--repeats N] [--prefill N] [--schemes WFE,HE,...] [--shards N]
-//!         [--baseline-json PATH]
+//!         [--tasks 500,2000] [--baseline-json PATH]
 //! ```
 //!
 //! With no figure argument every figure (and both ablations) is run. Output
 //! is CSV on stdout, one row per measured point:
 //! `figure,structure,workload,scheme,threads,mops,avg_unreclaimed,`
-//! `adopted_batches,freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate`.
+//! `adopted_batches,freed_via_adoption,shards,avg_occupied_shards,`
+//! `pool_hit_rate,tasks,unreclaimed_bytes` (the last two are filled by the
+//! `kv-async` figure, whose swept axis is the task count).
 //!
 //! `--baseline-json PATH` additionally writes the sweep as a JSON baseline
 //! document (see [`wfe_bench::baseline`]); the committed `BENCH_smr_ops.json`
@@ -37,6 +39,7 @@ fn print_usage() {
            --prefill N       elements pre-inserted before measuring\n\
            --schemes LIST    comma-separated subset of WFE,EBR,HE,HP,2GEIBR,Leak\n\
            --shards N        registry shard count (default: auto from the host)\n\
+           --tasks LIST      comma-separated task counts for the kv-async figure\n\
            --baseline-json PATH  also write the sweep as a JSON baseline snapshot\n",
         Figure::ALL
             .iter()
@@ -98,6 +101,16 @@ fn parse_args() -> Result<Cli, String> {
             "--shards" => {
                 let value = args.next().ok_or("--shards needs a value")?;
                 params.shards = value.parse::<usize>().map_err(|e| e.to_string())?;
+            }
+            "--tasks" => {
+                let value = args.next().ok_or("--tasks needs a value")?;
+                params.task_counts = value
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>().map_err(|e| e.to_string()))
+                    .collect::<Result<Vec<_>, _>>()?;
+                if params.task_counts.is_empty() || params.task_counts.contains(&0) {
+                    return Err("--tasks needs positive values".into());
+                }
             }
             "--baseline-json" => {
                 baseline_json = Some(args.next().ok_or("--baseline-json needs a path")?);

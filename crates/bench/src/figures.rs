@@ -15,15 +15,21 @@
 //! figure and its companion unreclaimed-objects figure come from the same
 //! rows (exactly as in the paper, where each experiment produces both plots).
 //!
-//! Four additions beyond the paper are included: forcing the WFE slow path
+//! Five additions beyond the paper are included: forcing the WFE slow path
 //! (`AblationSlowPath`), sweeping the number of fast-path attempts
 //! (`AblationAttempts`), a Michael-Scott queue baseline
 //! (`QueueBaseline`) so the wait-free CRTurn queue can be compared against
 //! the classic lock-free queue in the same sweep
-//! (`figures fig5cd queue-baseline`), and an executor-style pooled-handle
+//! (`figures fig5cd queue-baseline`), an executor-style pooled-handle
 //! run (`KvPool`): the Michael hash map driven through a `HandlePool` at
 //! high task churn, whose rows carry per-shard occupancy and the pool hit
-//! rate (`figures kv-pool`).
+//! rate (`figures kv-pool`), and an *async-task* run (`KvAsync`): the same
+//! map driven by tens of thousands of short-lived futures on a `mini-rt`
+//! executor through `Send`-able `wfe-task` handles, with one stalled raw-SPI
+//! reader injected for the whole run — its rows sweep the task count and
+//! carry the pool hit rate and the unreclaimed gauge in bytes, showing EBR's
+//! unreclaimed memory growing with the task count while WFE/HE stay bounded
+//! (`figures kv-async`).
 
 use wfe_core::Wfe;
 use wfe_ds::{
@@ -32,7 +38,7 @@ use wfe_ds::{
 use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer};
 
 use crate::params::BenchParams;
-use crate::runner::{run_map, run_pooled_map, run_queue, DataPoint};
+use crate::runner::{run_async_kv, run_map, run_pooled_map, run_queue, DataPoint};
 use crate::workload::MapWorkload;
 
 /// The reclamation schemes compared in every figure.
@@ -211,6 +217,28 @@ pub fn run_pooled_point(
     }
 }
 
+fn async_point_for<R: Reclaimer>(
+    scheme: &'static str,
+    tasks: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    run_async_kv::<R, MichaelHashMap<u64, R>>(scheme, "hashmap", tasks, params)
+}
+
+/// Measures one async-task hash-map data point for one scheme
+/// (the `kv-async` figure; the swept axis is the task count).
+pub fn run_async_point(scheme: Scheme, tasks: usize, params: &BenchParams) -> DataPoint {
+    let name = scheme.name();
+    match scheme {
+        Scheme::Wfe => async_point_for::<Wfe>(name, tasks, params),
+        Scheme::Ebr => async_point_for::<Ebr>(name, tasks, params),
+        Scheme::He => async_point_for::<He>(name, tasks, params),
+        Scheme::Hp => async_point_for::<Hp>(name, tasks, params),
+        Scheme::Ibr => async_point_for::<Ibr2Ge>(name, tasks, params),
+        Scheme::Leak => async_point_for::<Leak>(name, tasks, params),
+    }
+}
+
 /// Measures one queue data point for one scheme.
 pub fn run_queue_point(
     scheme: Scheme,
@@ -260,12 +288,18 @@ pub enum Figure {
     /// [`wfe_reclaim::HandlePool`] at task-churn grain (executor pattern);
     /// rows carry per-shard occupancy and the pool hit rate.
     KvPool,
+    /// Beyond the paper: Michael hash map 50/50 driven by async tasks on a
+    /// `mini-rt` executor through `Send`-able `wfe-task` handles, with one
+    /// stalled raw-SPI reader injected for the whole run. Sweeps
+    /// `BenchParams::task_counts` (not threads); rows carry the pool hit
+    /// rate and the unreclaimed gauge in bytes.
+    KvAsync,
 }
 
 impl Figure {
     /// Every figure, in paper order, followed by the ablations and the
     /// extra baselines.
-    pub const ALL: [Figure; 12] = [
+    pub const ALL: [Figure; 13] = [
         Figure::Fig5ab,
         Figure::Fig5cd,
         Figure::Fig6,
@@ -278,6 +312,7 @@ impl Figure {
         Figure::AblationAttempts,
         Figure::QueueBaseline,
         Figure::KvPool,
+        Figure::KvAsync,
     ];
 
     /// CLI name of the figure.
@@ -295,6 +330,7 @@ impl Figure {
             Figure::AblationAttempts => "ablation-attempts",
             Figure::QueueBaseline => "queue-baseline",
             Figure::KvPool => "kv-pool",
+            Figure::KvAsync => "kv-async",
         }
     }
 
@@ -328,6 +364,10 @@ impl Figure {
             }
             Figure::KvPool => {
                 "Michael hash map 50/50 through a HandlePool at task churn (beyond the paper)"
+            }
+            Figure::KvAsync => {
+                "Michael hash map 50/50 via async tasks and Send-able task handles, \
+                 one stalled raw-SPI reader injected (beyond the paper)"
             }
         }
     }
@@ -377,6 +417,13 @@ impl Figure {
                             threads,
                             params,
                         ));
+                    }
+                }
+            }
+            Figure::KvAsync => {
+                for &tasks in &params.task_counts {
+                    for &scheme in schemes {
+                        points.push(run_async_point(scheme, tasks, params));
                     }
                 }
             }
@@ -481,6 +528,37 @@ mod tests {
         let schemes = [Scheme::He];
         let points = Figure::QueueBaseline.run(&params, &schemes);
         assert!(points.iter().all(|p| p.structure == "msqueue"));
+    }
+
+    #[test]
+    fn kv_async_sweeps_tasks_and_stalled_reader_pins_ebr_but_not_wfe() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::Wfe, Scheme::Ebr];
+        let points = Figure::KvAsync.run(&params, &schemes);
+        assert_eq!(points.len(), params.task_counts.len() * schemes.len());
+        assert!(points.iter().all(|p| p.workload == "async-tasks"));
+        assert!(points.iter().all(|p| p.threads == params.async_workers));
+        assert!(
+            points.iter().all(|p| p.pool_hit_rate > 0.999),
+            "prewarmed pool serves every check-out"
+        );
+        for (index, &tasks) in params.task_counts.iter().enumerate() {
+            let wfe = &points[index * schemes.len()];
+            let ebr = &points[index * schemes.len() + 1];
+            assert_eq!(wfe.tasks, tasks as u64);
+            assert_eq!(ebr.tasks, tasks as u64);
+            // The stalled bracket pins EBR's epoch, so everything retired
+            // during the run stays unreclaimed; WFE's era reservation pins
+            // only lifetime-overlapping blocks.
+            assert!(
+                ebr.avg_unreclaimed > wfe.avg_unreclaimed,
+                "stalled reader must pin EBR harder than WFE at {tasks} tasks \
+                 (EBR {:.1} vs WFE {:.1})",
+                ebr.avg_unreclaimed,
+                wfe.avg_unreclaimed
+            );
+            assert!(ebr.unreclaimed_bytes > wfe.unreclaimed_bytes);
+        }
     }
 
     #[test]

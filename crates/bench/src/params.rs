@@ -25,6 +25,11 @@ pub struct BenchParams {
     pub fast_path_attempts: usize,
     /// Registry shard count (`0` = auto-size from the host's parallelism).
     pub shards: usize,
+    /// Task counts to sweep in the async figure (`kv-async`), whose x-axis is
+    /// the number of spawned tasks rather than the number of threads.
+    pub task_counts: Vec<usize>,
+    /// Executor worker threads the async figure runs every point on.
+    pub async_workers: usize,
 }
 
 impl Default for BenchParams {
@@ -50,6 +55,8 @@ impl Default for BenchParams {
             cleanup_freq: 30,
             fast_path_attempts: 16,
             shards: 0,
+            task_counts: vec![2_000, 10_000, 50_000],
+            async_workers: 4,
         }
     }
 }
@@ -67,6 +74,7 @@ impl BenchParams {
             repeats: 5,
             prefill: 50_000,
             key_range: 100_000,
+            task_counts: vec![10_000, 50_000, 200_000],
             ..Self::default()
         }
     }
@@ -79,6 +87,7 @@ impl BenchParams {
             repeats: 1,
             prefill: 500,
             key_range: 2_000,
+            task_counts: vec![500, 2_000],
             ..Self::default()
         }
     }

@@ -18,7 +18,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use wfe_reclaim::{HandlePool, Reclaimer, ReclaimerConfig, SmrStats};
+use wfe_reclaim::{Atomic, Handle, HandlePool, RawHandle, Reclaimer, ReclaimerConfig, SmrStats};
+use wfe_task::TaskHandle;
 
 use crate::params::BenchParams;
 use crate::workload::{MapOp, MapWorkload, OpGenerator};
@@ -28,8 +29,17 @@ use wfe_ds::{ConcurrentMap, ConcurrentQueue};
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
 
 /// Operations one pooled "task" performs between check-out and check-in of
-/// its handle (the task-churn grain of the `kv-pool` figure).
+/// its handle (the task-churn grain of the `kv-pool` and `kv-async` figures).
 pub const POOL_TASK_OPS: usize = 64;
+
+/// How often an async task yields back to the executor (ops between
+/// `yield_now().await` suspension points in the `kv-async` figure).
+const ASYNC_YIELD_EVERY: usize = 16;
+
+/// Join-wave size of the `kv-async` runner: at most this many tasks are live
+/// at once, which bounds handle concurrency (and registry size) while the
+/// task-count axis sweeps into the hundreds of thousands.
+const ASYNC_WAVE: usize = 256;
 
 /// Warm-up time before the measured window: a fraction of the run duration,
 /// capped so short smoke runs stay short.
@@ -110,18 +120,25 @@ pub struct DataPoint {
     /// Fraction of handle check-outs served from the pool (`kv-pool` figure
     /// only; 0 for per-thread runners, which never touch a pool).
     pub pool_hit_rate: f64,
+    /// Number of async tasks executed (`kv-async` figure only — its x-axis;
+    /// 0 for duration-based runners).
+    pub tasks: u64,
+    /// Time-averaged unreclaimed memory in bytes
+    /// (`avg_unreclaimed × node size`; `kv-async` figure only, 0 elsewhere).
+    pub unreclaimed_bytes: f64,
 }
 
 impl DataPoint {
     /// CSV header matching [`DataPoint::to_csv_row`].
     pub const CSV_HEADER: &'static str =
         "structure,workload,scheme,threads,mops,avg_unreclaimed,adopted_batches,\
-         freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate";
+         freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate,tasks,\
+         unreclaimed_bytes";
 
     /// Renders the point as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3}",
+            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3},{},{:.0}",
             self.structure,
             self.workload,
             self.scheme,
@@ -132,7 +149,9 @@ impl DataPoint {
             self.freed_via_adoption,
             self.shards,
             self.avg_occupied_shards,
-            self.pool_hit_rate
+            self.pool_hit_rate,
+            self.tasks,
+            self.unreclaimed_bytes
         )
     }
 }
@@ -189,8 +208,12 @@ struct RunOutcome {
     shards: usize,
     elapsed: Duration,
     stats: SmrStats,
-    /// `kv-pool` runs only; 0 elsewhere.
+    /// `kv-pool`/`kv-async` runs only; 0 elsewhere.
     pool_hit_rate: f64,
+    /// `kv-async` runs only; 0 elsewhere.
+    tasks: u64,
+    /// `kv-async` runs only; 0 elsewhere.
+    unreclaimed_bytes: f64,
 }
 
 /// The sampling loop every runner's main thread executes while its workers
@@ -326,6 +349,8 @@ where
         elapsed,
         stats: domain.stats(),
         pool_hit_rate: 0.0,
+        tasks: 0,
+        unreclaimed_bytes: 0.0,
     }
 }
 
@@ -406,7 +431,154 @@ where
         elapsed,
         stats: domain.stats(),
         pool_hit_rate: pool.stats().hit_rate(),
+        tasks: 0,
+        unreclaimed_bytes: 0.0,
     }
+}
+
+/// Runs the map workload once at *async task* grain (the `kv-async` figure):
+/// `tasks` short-lived futures on a `params.async_workers`-thread `mini-rt`
+/// executor, each checking a `Send`-able [`TaskHandle`] out of a prewarmed
+/// [`HandlePool`], performing [`POOL_TASK_OPS`] operations with a
+/// `yield_now().await` every [`ASYNC_YIELD_EVERY`] ops, and parking the
+/// handle on completion. The run is completion-driven — it ends when every
+/// task has finished — so `elapsed` is the makespan, not a fixed duration.
+///
+/// One *stalled reader* is injected for the whole run through the raw SPI: a
+/// registered handle that calls `begin_op` + `protect` and never `end_op`
+/// until the run ends. This models exactly the misuse the `AsyncGuard`
+/// poll-bracket discipline forbids at compile time — a task holding its
+/// operation bracket across suspension points indefinitely. Under EBR the
+/// stalled bracket pins the epoch, so *everything* retired during the run
+/// stays unreclaimed (growing with the task count); under WFE/HE only blocks
+/// whose lifetime overlaps the stalled era reservation stay pinned, so the
+/// unreclaimed gauge remains bounded.
+fn run_async_kv_once<R, M>(tasks: usize, params: &BenchParams, seed: u64) -> RunOutcome
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let workload = MapWorkload::WriteDominated;
+    let wave = ASYNC_WAVE.min(tasks.max(1));
+    // Registry sizing: at most `wave` live tasks plus the prefill handle and
+    // the stalled reader.
+    let domain = R::with_config(domain_config::<R>(wave + 2, M::required_slots(), params));
+    let map = Arc::new(M::with_domain(Arc::clone(&domain)));
+    prefill_map(&domain, &*map, workload, params, seed);
+    let pool = HandlePool::new(Arc::clone(&domain));
+    pool.prewarm(wave);
+    pool.reset_stats();
+
+    // The injected stalled reader (see the function docs). The protected
+    // block is the handle's own — the pinning comes from the open bracket
+    // and the published reservation, not from which block is protected.
+    let mut stall = domain.register();
+    let stall_node = stall.alloc(seed);
+    let stall_root: Atomic<u64> = Atomic::new(stall_node);
+    stall.begin_op();
+    stall.protect(&stall_root, 0, core::ptr::null_mut());
+
+    let rt = mini_rt::Runtime::new(params.async_workers.max(1));
+    let stop = AtomicBool::new(false);
+    let mut unreclaimed_sampler = Sampler::new();
+    let mut occupancy_sampler = Sampler::new();
+    let mut elapsed = Duration::ZERO;
+    let mut completed = 0usize;
+
+    std::thread::scope(|scope| {
+        let sampler_thread = scope.spawn(|| {
+            let mut unreclaimed = Sampler::new();
+            let mut occupancy = Sampler::new();
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(SAMPLE_INTERVAL);
+                unreclaimed.record(domain.stats().unreclaimed);
+                occupancy.record(domain.registry().occupied_shards() as u64);
+            }
+            (unreclaimed, occupancy)
+        });
+
+        let start = Instant::now();
+        completed = rt.block_on(async {
+            let mut completed = 0usize;
+            let mut pending = Vec::with_capacity(wave);
+            let key_range = params.key_range;
+            for task_index in 0..tasks {
+                let map = Arc::clone(&map);
+                let pool = Arc::clone(&pool);
+                pending.push(rt.spawn(async move {
+                    let mut task = TaskHandle::acquire(&pool).await;
+                    let mut generator = OpGenerator::new(workload, key_range, seed, task_index);
+                    for op in 0..POOL_TASK_OPS {
+                        apply_map_op(&*map, task.raw(), &mut generator);
+                        if op % ASYNC_YIELD_EVERY == ASYNC_YIELD_EVERY - 1 {
+                            // Nothing is protected here: every map operation
+                            // opened and closed its own bracket.
+                            mini_rt::yield_now().await;
+                        }
+                    }
+                })); // drop parks the handle for the next task
+                if pending.len() == wave {
+                    for handle in pending.drain(..) {
+                        handle.await;
+                        completed += 1;
+                    }
+                }
+            }
+            for handle in pending {
+                handle.await;
+                completed += 1;
+            }
+            completed
+        });
+        elapsed = start.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        let (unreclaimed, occupancy) = sampler_thread.join().expect("sampler thread");
+        unreclaimed_sampler = unreclaimed;
+        occupancy_sampler = occupancy;
+    });
+    assert_eq!(completed, tasks, "every spawned task must complete");
+
+    // Withdraw the stalled reservation only after the measured window.
+    stall.end_op();
+    // SAFETY: the stall block was never shared with another handle and is
+    // unreachable now that the local `stall_root` is abandoned; retired once.
+    unsafe { stall.retire(stall_node) };
+    stall.force_cleanup();
+
+    RunOutcome {
+        ops: (tasks * POOL_TASK_OPS) as u64,
+        avg_unreclaimed: unreclaimed_sampler.average(),
+        avg_occupied_shards: occupancy_sampler.average(),
+        shards: domain.registry().shard_count(),
+        elapsed,
+        stats: domain.stats(),
+        pool_hit_rate: pool.stats().hit_rate(),
+        tasks: tasks as u64,
+        unreclaimed_bytes: unreclaimed_sampler.average() * M::node_bytes() as f64,
+    }
+}
+
+/// Measures one async-task data point (the `kv-async` figure; averaged over
+/// `params.repeats` runs). `threads` in the resulting row is the executor
+/// worker count; the swept axis is `tasks`.
+pub fn run_async_kv<R, M>(
+    scheme: &'static str,
+    structure: &'static str,
+    tasks: usize,
+    params: &BenchParams,
+) -> DataPoint
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    average_point(
+        scheme,
+        structure,
+        "async-tasks",
+        params.async_workers.max(1),
+        params,
+        |repeat| run_async_kv_once::<R, M>(tasks, params, 0xA57C + repeat),
+    )
 }
 
 /// Runs the queue workload once (50% enqueue / 50% dequeue).
@@ -486,6 +658,8 @@ where
         elapsed,
         stats: domain.stats(),
         pool_hit_rate: 0.0,
+        tasks: 0,
+        unreclaimed_bytes: 0.0,
     }
 }
 
@@ -507,6 +681,8 @@ fn average_point(
     let mut occupied = 0.0;
     let mut hit_rate = 0.0;
     let mut shards = 0;
+    let mut tasks = 0;
+    let mut unreclaimed_bytes = 0.0;
     for repeat in 0..repeats {
         let outcome = run(repeat as u64);
         mops += outcome.ops as f64 / outcome.elapsed.as_secs_f64() / 1e6;
@@ -516,6 +692,8 @@ fn average_point(
         occupied += outcome.avg_occupied_shards;
         hit_rate += outcome.pool_hit_rate;
         shards = outcome.shards;
+        tasks = outcome.tasks;
+        unreclaimed_bytes += outcome.unreclaimed_bytes;
     }
     let repeats = repeats as f64;
     DataPoint {
@@ -530,6 +708,8 @@ fn average_point(
         shards,
         avg_occupied_shards: occupied / repeats,
         pool_hit_rate: hit_rate / repeats,
+        tasks,
+        unreclaimed_bytes: unreclaimed_bytes / repeats,
     }
 }
 

@@ -235,6 +235,20 @@ impl std::error::Error for ShieldError {}
 /// }; // ERROR: `guard` dropped while `escaped` still borrows it
 /// unsafe { escaped.as_ref() };
 /// ```
+///
+/// And the bracket cannot leave its thread — protection is per-registry-slot
+/// state owned by the handle, so the guard is deliberately `!Send` (this is
+/// what forces async code through the poll-scoped `AsyncGuard` of the task
+/// layer rather than holding a bracket across `.await`):
+///
+/// ```compile_fail,E0277
+/// use wfe_reclaim::{Handle, He, Reclaimer};
+/// fn requires_send<T: Send>(_: T) {}
+/// let domain = He::new_default();
+/// let mut handle = domain.register();
+/// let guard = handle.enter();
+/// requires_send(guard); // ERROR: `Guard<'_, HeHandle>` is not `Send`
+/// ```
 pub struct Guard<'h, H: RawHandle> {
     /// Exclusive access to the handle for the guard's lifetime. A raw pointer
     /// (rather than `&'h mut H`) so that [`Shield::protect`] can take `&self`:
@@ -477,6 +491,22 @@ impl<T, H: RawHandle> core::fmt::Debug for Shield<T, H> {
 /// [`Protected::from_unlinked`]). The pointer keeps any low tag bits found in
 /// the source; the *protected* object is the untagged block, which is what
 /// [`Protected::as_ref`] dereferences.
+///
+/// Like the guard it borrows, a `Protected` is deliberately `!Send`: the
+/// reservation backing it lives in the handle's registry slot, so the value
+/// is meaningless on any other thread:
+///
+/// ```compile_fail,E0277
+/// use wfe_reclaim::{Atomic, Handle, He, Reclaimer};
+/// fn requires_send<T: Send>(_: T) {}
+/// let domain = He::new_default();
+/// let mut handle = domain.register();
+/// let mut shield = handle.shield::<u64>().unwrap();
+/// let root: Atomic<u64> = Atomic::null();
+/// let guard = handle.enter();
+/// let p = shield.protect(&guard, &root, None);
+/// requires_send(p); // ERROR: `Protected<'_, u64>` is not `Send`
+/// ```
 pub struct Protected<'g, T> {
     /// Raw, possibly tagged pointer.
     ptr: *mut Linked<T>,

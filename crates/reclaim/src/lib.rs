@@ -65,3 +65,38 @@ pub use registry::ThreadRegistry;
 pub use stats::SmrStats;
 #[doc(hidden)]
 pub use treiber::TypeStableStack;
+
+// Compile-time auto-trait facts, stated as the `static_assertions` idiom
+// (const fns, no dependency). Each line is a load-bearing API property: a
+// private field change that breaks one of these would silently break every
+// consumer that shares domains across threads or moves handles between
+// executor workers. `Guard` and `Protected` are deliberately absent — they
+// are `!Send` by design (raw-pointer fields), and their docs carry
+// `compile_fail` tests proving it.
+const fn _assert_send<T: Send>() {}
+const fn _assert_send_sync<T: Send + Sync>() {}
+#[allow(dead_code)] // checked at definition, never called
+const fn _auto_trait_facts() {
+    // Domains live behind `Arc` and are hammered from every thread.
+    _assert_send_sync::<Ebr>();
+    _assert_send_sync::<He>();
+    _assert_send_sync::<Hp>();
+    _assert_send_sync::<Ibr2Ge>();
+    _assert_send_sync::<Leak>();
+    _assert_send_sync::<ThreadRegistry>();
+    // `Atomic` is a shared-memory link by definition.
+    _assert_send_sync::<Atomic<u64>>();
+    // Stats snapshots travel to sampler/reporter threads.
+    _assert_send_sync::<SmrStats>();
+}
+#[allow(dead_code)] // the bounds must hold for *all* R / T / H
+const fn _auto_trait_facts_generic<R: Reclaimer, T, H: RawHandle>() {
+    // The pool is the cross-thread hand-off point for handles, and a
+    // checked-out handle migrates with whatever task owns it.
+    _assert_send_sync::<HandlePool<R>>();
+    _assert_send::<PooledHandle<R>>();
+    // A shield is an owned lease meant to be held across suspension points,
+    // so it is `Send + Sync` for *any* `T` (its type parameters are
+    // variance-only markers; no `T` is ever stored).
+    _assert_send_sync::<Shield<T, H>>();
+}

@@ -90,3 +90,18 @@ pub use wfe_reclaim::pool::{HandlePool, PoolStats, PooledHandle};
 // on `RawHandle`), and WFE is its flagship backend — re-export it so
 // `wfe_core` users never need the raw slot-index API.
 pub use wfe_reclaim::guard::{Guard, Protected, Shield, ShieldError, ShieldSlots};
+
+// Compile-time auto-trait facts (`static_assertions` idiom, matching the
+// block in `wfe_reclaim`): the WFE domain is `Arc`-shared by every consumer
+// and its handle migrates between executor workers through the pool, so both
+// properties are part of the public contract — not accidents of today's
+// field layout.
+const fn _assert_send<T: Send>() {}
+const fn _assert_send_sync<T: Send + Sync>() {}
+#[allow(dead_code)] // checked at definition, never called
+const fn _auto_trait_facts() {
+    _assert_send_sync::<Wfe>();
+    _assert_send::<WfeHandle>();
+    _assert_send_sync::<HandlePool<Wfe>>();
+    _assert_send::<PooledHandle<Wfe>>();
+}

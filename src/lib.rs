@@ -24,6 +24,9 @@
 //! * [`wfe_sync`] — the swappable sync layer every crate draws its atomics
 //!   from: std-backed (zero-cost) normally, instrumented for the
 //!   deterministic model checker under `--cfg wfe_model`;
+//! * [`wfe_task`] — the async layer: `Send`-able [`TaskHandle`]s over a
+//!   [`HandlePool`] whose protection brackets ([`AsyncGuard`]) are scoped to
+//!   a single poll and cannot be held across an `.await`;
 //! * `wfe-bench` — the harness regenerating Figures 5–11.
 //!
 //! ## Quick start
@@ -60,6 +63,7 @@ pub use wfe_core;
 pub use wfe_ds;
 pub use wfe_reclaim;
 pub use wfe_sync;
+pub use wfe_task;
 
 pub use wfe_core::{Wfe, WfeHandle};
 pub use wfe_ds::{
@@ -71,6 +75,7 @@ pub use wfe_reclaim::{
     Leak, Linked, PoolStats, PooledHandle, Progress, Protected, RawHandle, Reclaimer,
     ReclaimerConfig, Shield, ShieldError, ShieldSlots, SmrStats, ThreadRegistry,
 };
+pub use wfe_task::{AsyncGuard, TaskHandle};
 
 // Compile the fenced Rust examples of the prose documentation as doc-tests
 // (`cargo test --doc`), so the guides cannot drift from the API.

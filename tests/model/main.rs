@@ -23,6 +23,8 @@ mod aba;
 mod era;
 mod orphan;
 mod shield;
+mod slowpath;
+mod task;
 mod wcas;
 
 /// Schedules per model test: the acceptance bar is that the real

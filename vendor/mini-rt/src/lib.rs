@@ -1,0 +1,670 @@
+//! A vendored-minimal multi-worker async executor.
+//!
+//! The workspace builds offline (see the root `Cargo.toml`), so instead of
+//! pulling in tokio or smol this shim provides exactly what the suite's
+//! task-grain examples and the `kv-async` figure need:
+//!
+//! * [`Runtime::new`] — a fixed pool of worker OS threads;
+//! * [`Runtime::spawn`] — submit a `Send` future, get a [`JoinHandle`] that
+//!   is itself a future (and has a blocking [`JoinHandle::join`]);
+//! * [`Runtime::block_on`] — drive a (not necessarily `Send`) future on the
+//!   calling thread while the workers run spawned tasks;
+//! * [`yield_now`] — a cooperative suspension point.
+//!
+//! The **`Send` bound on [`Runtime::spawn`]** is the load-bearing part for
+//! the suite: `wfe-task`'s `AsyncGuard` is `!Send`, so a task that tries to
+//! hold SMR protection across an `.await` does not compile when handed to
+//! this executor (see the `compile_fail` doctests in `wfe-task`).
+//!
+//! # Scheduling shape
+//!
+//! The run queue follows the suite's `TypeStableStack` idiom (a versioned
+//! wide-CAS Treiber stack with recycled, type-stable nodes — the same
+//! substrate as `wfe-reclaim`'s orphan stack and `HandlePool` freelist):
+//! each worker owns a lock-free LIFO `Stack`; `spawn` distributes tasks
+//! round-robin across workers; wake-ups go to a shared injector stack; an
+//! idle worker pops its own stack first, then the injector, then *steals*
+//! from its siblings before parking on a condvar. LIFO run queues favour
+//! cache-warm re-polls of just-woken tasks, which is exactly the
+//! check-out/park/re-poll churn the `HandlePool` is optimised for.
+//!
+//! Dropping the [`Runtime`] stops the workers; tasks still queued at that
+//! point are dropped without being polled again (drive the work you care
+//! about to completion with [`Runtime::block_on`] + [`JoinHandle`]s first).
+//!
+//! ```
+//! let rt = mini_rt::Runtime::new(2);
+//! let handles: Vec<_> = (0..64)
+//!     .map(|i| rt.spawn(async move { i * 2 }))
+//!     .collect();
+//! let total: usize = rt.block_on(async {
+//!     let mut total = 0;
+//!     for handle in handles {
+//!         total += handle.await;
+//!     }
+//!     total
+//! });
+//! assert_eq!(total, 64 * 63);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::future::Future;
+use std::marker::PhantomData;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::Duration;
+
+use wfe_atomics::AtomicPair;
+
+// ---------------------------------------------------------------------------
+// The run-queue substrate: a lock-free LIFO stack with type-stable nodes.
+// ---------------------------------------------------------------------------
+
+/// One node: the parked payload plus the intrusive `next` link.
+struct Node<T> {
+    payload: Option<T>,
+    /// `*mut Node<T>` as `usize`; atomic because a slow `pop` may read it
+    /// while the node is concurrently recycled for a new `push`.
+    next: AtomicUsize,
+}
+
+/// A lock-free LIFO stack of `T` with type-stable, recycled nodes — the
+/// `TypeStableStack` idiom of `wfe-reclaim`, reimplemented here so the
+/// vendored executor stays dependency-light (it needs only the versioned
+/// wide-CAS from `wfe-atomics`).
+///
+/// Both the head and the spare freelist are a versioned wide-CAS
+/// ([`AtomicPair`]), so push/pop are lock-free and ABA-safe; nodes are only
+/// deallocated when the stack itself is dropped, which makes the racy
+/// `next` read in `pop` sound.
+struct Stack<T> {
+    /// `(node ptr, version)` — the version counter makes the CAS ABA-safe.
+    head: AtomicPair,
+    /// Freelist of spare nodes, same encoding.
+    spares: AtomicPair,
+    _owns: PhantomData<Box<Node<T>>>,
+}
+
+// SAFETY: the raw node pointers are owned by the stack; payloads are handed
+// across threads only through the versioned-CAS head, so `T: Send` is the
+// exact requirement.
+unsafe impl<T: Send> Send for Stack<T> {}
+// SAFETY: all shared state is accessed through atomics and the versioned
+// CAS; `T: Send` is enough because payloads move, they are never shared.
+unsafe impl<T: Send> Sync for Stack<T> {}
+
+impl<T> Stack<T> {
+    fn new() -> Self {
+        Self {
+            head: AtomicPair::new(0, 0),
+            spares: AtomicPair::new(0, 0),
+            _owns: PhantomData,
+        }
+    }
+
+    fn pop_node(list: &AtomicPair) -> Option<*mut Node<T>> {
+        loop {
+            let (head, version) = list.load();
+            if head == 0 {
+                return None;
+            }
+            let node = head as *mut Node<T>;
+            // SAFETY: nodes are never deallocated while the stack lives, so
+            // the read is sound even if `node` was concurrently popped; the
+            // versioned CAS below fails in that case and we retry.
+            let next = unsafe { (*node).next.load(Ordering::Relaxed) };
+            if list
+                .compare_exchange((head, version), (next as u64, version + 1))
+                .is_ok()
+            {
+                return Some(node);
+            }
+        }
+    }
+
+    fn push_node(list: &AtomicPair, node: *mut Node<T>) {
+        loop {
+            let (head, version) = list.load();
+            // SAFETY: type-stable nodes are never deallocated while the stack
+            // lives; the store is atomic, so racing readers see either value.
+            unsafe { (*node).next.store(head as usize, Ordering::Relaxed) };
+            if list
+                .compare_exchange((head, version), (node as u64, version + 1))
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn push(&self, payload: T) {
+        let node = Self::pop_node(&self.spares).unwrap_or_else(|| {
+            Box::into_raw(Box::new(Node {
+                payload: None,
+                next: AtomicUsize::new(0),
+            }))
+        });
+        // SAFETY: the node was just popped off a list (or freshly allocated),
+        // so this thread has exclusive access to its payload.
+        unsafe { (*node).payload = Some(payload) };
+        Self::push_node(&self.head, node);
+    }
+
+    fn pop(&self) -> Option<T> {
+        let node = Self::pop_node(&self.head)?;
+        // SAFETY: the pop above transferred exclusive ownership of the node
+        // (and its payload) to this thread.
+        let payload = unsafe { (*node).payload.take() };
+        Self::push_node(&self.spares, node);
+        debug_assert!(payload.is_some(), "queued node always carries a payload");
+        payload
+    }
+}
+
+impl<T> Drop for Stack<T> {
+    fn drop(&mut self) {
+        for list in [&self.head, &self.spares] {
+            while let Some(node) = Self::pop_node(list) {
+                // SAFETY: `Drop` has exclusive access; every node was
+                // allocated by this stack and is freed exactly once.
+                drop(unsafe { Box::from_raw(node) });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tasks.
+// ---------------------------------------------------------------------------
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()> + Send + 'static>>;
+
+/// Task states. A task is queued (on exactly one stack) iff `SCHEDULED`.
+const IDLE: usize = 0;
+const SCHEDULED: usize = 1;
+const RUNNING: usize = 2;
+const NOTIFIED: usize = 3; // woken while RUNNING; re-queued after the poll
+const DONE: usize = 4;
+
+struct Task {
+    /// The wrapped future; `None` once the task completed.
+    future: Mutex<Option<BoxFuture>>,
+    state: AtomicUsize,
+    shared: Arc<Shared>,
+}
+
+impl Task {
+    /// Requeues the task in response to a wake-up (to the shared injector:
+    /// wakes arrive from arbitrary threads).
+    fn schedule(self: &Arc<Self>) {
+        let mut state = self.state.load(Ordering::Acquire);
+        loop {
+            let target = match state {
+                IDLE => SCHEDULED,
+                RUNNING => NOTIFIED,
+                // Already queued, already re-queue-pending, or complete.
+                SCHEDULED | NOTIFIED | DONE => return,
+                _ => unreachable!("invalid task state {state}"),
+            };
+            match self.state.compare_exchange_weak(
+                state,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => {
+                    if target == SCHEDULED {
+                        self.shared.injector.push(Arc::clone(self));
+                        self.shared.unpark_one();
+                    }
+                    return;
+                }
+                Err(observed) => state = observed,
+            }
+        }
+    }
+
+    /// Polls the task once; requeues it if it was woken mid-poll.
+    fn run(self: Arc<Self>, worker: usize) {
+        if self
+            .state
+            .compare_exchange(SCHEDULED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // completed or spuriously re-queued
+        }
+        let mut slot = self.future.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(mut future) = slot.take() else {
+            self.state.store(DONE, Ordering::Release);
+            return;
+        };
+        drop(slot);
+
+        let waker = Waker::from(Arc::clone(&self));
+        let mut cx = Context::from_waker(&waker);
+        match future.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.state.store(DONE, Ordering::Release);
+            }
+            Poll::Pending => {
+                *self.future.lock().unwrap_or_else(|e| e.into_inner()) = Some(future);
+                // If a wake arrived during the poll (RUNNING → NOTIFIED),
+                // requeue on this worker's own stack: the task is cache-warm.
+                if self
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    self.state.store(SCHEDULED, Ordering::Release);
+                    self.shared.locals[worker].push(Arc::clone(&self));
+                    self.shared.unpark_one();
+                }
+            }
+        }
+    }
+}
+
+impl Wake for Task {
+    fn wake(self: Arc<Self>) {
+        self.schedule();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.schedule();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Join handles.
+// ---------------------------------------------------------------------------
+
+struct JoinInner<T> {
+    result: Option<T>,
+    waker: Option<Waker>,
+    done: bool,
+}
+
+struct JoinState<T> {
+    inner: Mutex<JoinInner<T>>,
+    done_cv: Condvar,
+}
+
+impl<T> JoinState<T> {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(JoinInner {
+                result: None,
+                waker: None,
+                done: false,
+            }),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, value: T) {
+        let waker = {
+            let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            inner.result = Some(value);
+            inner.done = true;
+            inner.waker.take()
+        };
+        self.done_cv.notify_all();
+        if let Some(waker) = waker {
+            waker.wake();
+        }
+    }
+}
+
+/// Handle to a spawned task: await it (it is a [`Future`]) or block on it
+/// with [`JoinHandle::join`].
+pub struct JoinHandle<T> {
+    state: Arc<JoinState<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Blocks the calling thread until the task completes and returns its
+    /// output. Must not be called from a worker (it would deadlock the pool
+    /// if every worker blocked); call it from the thread driving
+    /// [`Runtime::block_on`] or any other external thread.
+    pub fn join(self) -> T {
+        let mut inner = self.state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        while !inner.done {
+            inner = self
+                .state
+                .done_cv
+                .wait(inner)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        inner.result.take().expect("task output already taken")
+    }
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = T;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+        let mut inner = self.state.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if inner.done {
+            Poll::Ready(inner.result.take().expect("JoinHandle polled after Ready"))
+        } else {
+            inner.waker = Some(cx.waker().clone());
+            Poll::Pending
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The runtime.
+// ---------------------------------------------------------------------------
+
+struct Shared {
+    /// Wake-ups and overflow land here; every worker drains it.
+    injector: Stack<Arc<Task>>,
+    /// One LIFO run stack per worker; siblings steal from it when idle.
+    locals: Vec<Stack<Arc<Task>>>,
+    /// Round-robin cursor for distributing `spawn`s across workers.
+    next_worker: AtomicUsize,
+    stop: AtomicBool,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+}
+
+impl Shared {
+    fn unpark_one(&self) {
+        // Serialise with the sleepers' re-check (see `Runtime::worker`); the
+        // timeout there is the backstop for the remaining benign race.
+        drop(self.park_lock.lock().unwrap_or_else(|e| e.into_inner()));
+        self.park_cv.notify_one();
+    }
+
+    /// Pops the next runnable task for `worker`: own stack, then the
+    /// injector, then steal from the siblings.
+    fn find_task(&self, worker: usize) -> Option<Arc<Task>> {
+        if let Some(task) = self.locals[worker].pop() {
+            return Some(task);
+        }
+        if let Some(task) = self.injector.pop() {
+            return Some(task);
+        }
+        let n = self.locals.len();
+        for offset in 1..n {
+            if let Some(task) = self.locals[(worker + offset) % n].pop() {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+/// A fixed pool of worker threads executing spawned tasks.
+///
+/// See the [module docs](self) for the scheduling shape and the role of the
+/// `Send` bound on [`spawn`](Runtime::spawn).
+pub struct Runtime {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Runtime {
+    /// Starts a pool of `workers` threads (clamped to at least 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            injector: Stack::new(),
+            locals: (0..workers).map(|_| Stack::new()).collect(),
+            next_worker: AtomicUsize::new(0),
+            stop: AtomicBool::new(false),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mini-rt-{index}"))
+                    .spawn(move || Self::worker(shared, index))
+                    .expect("spawning a mini-rt worker thread")
+            })
+            .collect();
+        Self { shared, workers }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.shared.locals.len()
+    }
+
+    fn worker(shared: Arc<Shared>, index: usize) {
+        loop {
+            // Check stop *before* dequeuing: a task that re-queues itself on
+            // every poll (a yield loop) would otherwise starve the shutdown
+            // check forever.
+            if shared.stop.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(task) = shared.find_task(index) {
+                task.run(index);
+                continue;
+            }
+            let guard = shared.park_lock.lock().unwrap_or_else(|e| e.into_inner());
+            // Re-check under the lock `unpark_one` serialises on; the
+            // timeout covers the push-before-lock window.
+            if shared.find_task(index).is_none() && !shared.stop.load(Ordering::Acquire) {
+                let _ = shared
+                    .park_cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+    }
+
+    /// Submits a future to the pool and returns its [`JoinHandle`].
+    ///
+    /// The `Send` bound is what keeps `!Send` poll-scoped state (like
+    /// `wfe-task`'s `AsyncGuard`) from being held across an `.await`: a
+    /// future capturing one across a suspension point is itself `!Send` and
+    /// is rejected here at compile time.
+    pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
+    where
+        F: Future + Send + 'static,
+        F::Output: Send + 'static,
+    {
+        let state = Arc::new(JoinState::new());
+        let completion = Arc::clone(&state);
+        let task = Arc::new(Task {
+            future: Mutex::new(Some(Box::pin(async move {
+                completion.complete(future.await);
+            }))),
+            state: AtomicUsize::new(SCHEDULED),
+            shared: Arc::clone(&self.shared),
+        });
+        let n = self.shared.locals.len();
+        let worker = self.shared.next_worker.fetch_add(1, Ordering::Relaxed) % n;
+        self.shared.locals[worker].push(task);
+        self.shared.unpark_one();
+        JoinHandle { state }
+    }
+
+    /// Drives `future` to completion on the calling thread (parking it while
+    /// the future is pending) while the workers run spawned tasks. The
+    /// future does not need to be `Send` — it never leaves this thread.
+    pub fn block_on<F: Future>(&self, future: F) -> F::Output {
+        struct Parker {
+            woken: Mutex<bool>,
+            cv: Condvar,
+        }
+        impl Wake for Parker {
+            fn wake(self: Arc<Self>) {
+                *self.woken.lock().unwrap_or_else(|e| e.into_inner()) = true;
+                self.cv.notify_one();
+            }
+        }
+        let parker = Arc::new(Parker {
+            woken: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let waker = Waker::from(Arc::clone(&parker));
+        let mut cx = Context::from_waker(&waker);
+        let mut future = std::pin::pin!(future);
+        loop {
+            match future.as_mut().poll(&mut cx) {
+                Poll::Ready(value) => return value,
+                Poll::Pending => {
+                    let mut woken = parker.woken.lock().unwrap_or_else(|e| e.into_inner());
+                    while !*woken {
+                        woken = parker.cv.wait(woken).unwrap_or_else(|e| e.into_inner());
+                    }
+                    *woken = false;
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        {
+            let _guard = self
+                .shared
+                .park_lock
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            self.shared.park_cv.notify_all();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Drain the queues: queued tasks hold an `Arc<Shared>` each, so
+        // leaving them parked would keep the `Task ↔ Shared` cycle alive.
+        while self.shared.injector.pop().is_some() {}
+        for local in &self.shared.locals {
+            while local.pop().is_some() {}
+        }
+    }
+}
+
+/// A future that suspends exactly once, re-queueing its task, then resolves.
+/// The suite's cooperative yield point (`yield_now().await`).
+pub fn yield_now() -> YieldNow {
+    YieldNow { yielded: false }
+}
+
+/// Future returned by [`yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn stack_is_lifo_and_recycles_nodes() {
+        let stack = Stack::new();
+        assert_eq!(stack.pop(), None);
+        stack.push(1u64);
+        stack.push(2u64);
+        assert_eq!(stack.pop(), Some(2));
+        stack.push(3u64);
+        assert_eq!(stack.pop(), Some(3));
+        assert_eq!(stack.pop(), Some(1));
+        assert_eq!(stack.pop(), None);
+    }
+
+    #[test]
+    fn spawn_and_join_round_trip() {
+        let rt = Runtime::new(2);
+        let handle = rt.spawn(async { 6 * 7 });
+        assert_eq!(handle.join(), 42);
+    }
+
+    #[test]
+    fn block_on_awaits_spawned_tasks() {
+        let rt = Runtime::new(3);
+        let handles: Vec<_> = (0..100u64).map(|i| rt.spawn(async move { i })).collect();
+        let sum = rt.block_on(async {
+            let mut sum = 0;
+            for handle in handles {
+                sum += handle.await;
+            }
+            sum
+        });
+        assert_eq!(sum, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn yield_now_suspends_and_resumes() {
+        let rt = Runtime::new(1);
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                rt.spawn(async move {
+                    for _ in 0..10 {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        yield_now().await;
+                    }
+                })
+            })
+            .collect();
+        rt.block_on(async {
+            for handle in handles {
+                handle.await;
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn many_tasks_across_workers_complete() {
+        let rt = Runtime::new(4);
+        let counter = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..10_000)
+            .map(|_| {
+                let counter = Arc::clone(&counter);
+                rt.spawn(async move {
+                    yield_now().await;
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        rt.block_on(async {
+            for handle in handles {
+                handle.await;
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10_000);
+    }
+
+    #[test]
+    fn dropping_the_runtime_abandons_queued_tasks_without_leaking() {
+        let rt = Runtime::new(1);
+        // A task that yields forever: it will still be queued at drop time.
+        let _handle = rt.spawn(async {
+            loop {
+                yield_now().await;
+            }
+        });
+        drop(rt); // must not hang or leak (Task ↔ Shared cycle is drained)
+    }
+}
