@@ -15,8 +15,22 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use wfe_core::Wfe;
 use wfe_reclaim::{
-    Atomic, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, Leak, RawHandle, Reclaimer, ReclaimerConfig,
+    Atomic, BlockCacheConfig, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, Leak, RawHandle, Reclaimer,
+    ReclaimerConfig,
 };
+
+/// A config with the per-shard block cache pinned to `enabled`, so the
+/// `alloc_retire` rows stay comparable to pre-cache baselines regardless of
+/// the `WFE_BLOCK_CACHE` environment.
+fn config_with_cache(enabled: bool) -> ReclaimerConfig {
+    ReclaimerConfig {
+        block_cache: BlockCacheConfig {
+            enabled,
+            ..BlockCacheConfig::default()
+        },
+        ..ReclaimerConfig::with_max_threads(4)
+    }
+}
 
 fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
     let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
@@ -40,7 +54,9 @@ fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
 }
 
 fn bench_alloc_retire<R: Reclaimer>(c: &mut Criterion, name: &str) {
-    let domain = R::with_config(ReclaimerConfig::with_max_threads(4));
+    // Cache off: every free goes back to the global allocator and every
+    // alloc comes from it — the pre-cache baseline of the update path.
+    let domain = R::with_config(config_with_cache(false));
     let mut handle = domain.register();
     c.bench_with_input(BenchmarkId::new("alloc_retire", name), &(), |bencher, _| {
         bencher.iter(|| {
@@ -48,6 +64,25 @@ fn bench_alloc_retire<R: Reclaimer>(c: &mut Criterion, name: &str) {
             unsafe { handle.retire(std::hint::black_box(node)) };
         })
     });
+}
+
+fn bench_alloc_retire_cached<R: Reclaimer>(c: &mut Criterion, name: &str) {
+    // Same loop with the per-shard block cache on: cleanup passes free
+    // retired blocks into the home shard's size-class freelist and the next
+    // alloc pops them back out, so the steady state recycles memory without
+    // touching the global allocator.
+    let domain = R::with_config(config_with_cache(true));
+    let mut handle = domain.register();
+    c.bench_with_input(
+        BenchmarkId::new("alloc_retire_cached", name),
+        &(),
+        |bencher, _| {
+            bencher.iter(|| {
+                let node = handle.alloc(7u64);
+                unsafe { handle.retire(std::hint::black_box(node)) };
+            })
+        },
+    );
 }
 
 fn bench_register_churn<R: Reclaimer>(c: &mut Criterion, name: &str) {
@@ -190,6 +225,12 @@ fn smr_ops(c: &mut Criterion) {
     bench_alloc_retire::<Ebr>(c, "EBR");
     bench_alloc_retire::<Ibr2Ge>(c, "2GEIBR");
     bench_alloc_retire::<Leak>(c, "Leak");
+
+    bench_alloc_retire_cached::<Wfe>(c, "WFE");
+    bench_alloc_retire_cached::<He>(c, "HE");
+    bench_alloc_retire_cached::<Hp>(c, "HP");
+    bench_alloc_retire_cached::<Ebr>(c, "EBR");
+    bench_alloc_retire_cached::<Ibr2Ge>(c, "2GEIBR");
 
     bench_guard_overhead::<Wfe>(c, "WFE");
     bench_guard_overhead::<He>(c, "HE");

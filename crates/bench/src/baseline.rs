@@ -126,6 +126,9 @@ mod tests {
             pool_hit_rate: 0.0,
             tasks: 0,
             unreclaimed_bytes: 0.0,
+            cache_hits: 0.0,
+            cache_misses: 0.0,
+            cached_bytes: 0.0,
         }
     }
 

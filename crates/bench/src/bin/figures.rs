@@ -3,15 +3,21 @@
 //! ```text
 //! figures [FIGURE ...] [--paper | --smoke] [--threads 1,2,4] [--duration-ms 500]
 //!         [--repeats N] [--prefill N] [--schemes WFE,HE,...] [--shards N]
-//!         [--tasks 500,2000] [--baseline-json PATH]
+//!         [--tasks 500,2000] [--block-cache on|off] [--baseline-json PATH]
 //! ```
 //!
 //! With no figure argument every figure (and both ablations) is run. Output
 //! is CSV on stdout, one row per measured point:
 //! `figure,structure,workload,scheme,threads,mops,avg_unreclaimed,`
 //! `adopted_batches,freed_via_adoption,shards,avg_occupied_shards,`
-//! `pool_hit_rate,tasks,unreclaimed_bytes` (the last two are filled by the
-//! `kv-async` figure, whose swept axis is the task count).
+//! `pool_hit_rate,tasks,unreclaimed_bytes,cache_hits,cache_misses,`
+//! `cached_bytes` (`tasks`/`unreclaimed_bytes` are filled by the `kv-async`
+//! figure, whose swept axis is the task count; the cache counters are live
+//! wherever the per-shard block cache is enabled).
+//!
+//! `--block-cache on|off` pins the per-shard block cache for every domain the
+//! sweep builds; without it, domains use the library default and the
+//! `cross-shard-churn` figure sweeps both modes.
 //!
 //! `--baseline-json PATH` additionally writes the sweep as a JSON baseline
 //! document (see [`wfe_bench::baseline`]); the committed `BENCH_smr_ops.json`
@@ -40,6 +46,8 @@ fn print_usage() {
            --schemes LIST    comma-separated subset of WFE,EBR,HE,HP,2GEIBR,Leak\n\
            --shards N        registry shard count (default: auto from the host)\n\
            --tasks LIST      comma-separated task counts for the kv-async figure\n\
+           --block-cache on|off  pin the per-shard block cache (default: library default;\n\
+                             cross-shard-churn sweeps both modes when unset)\n\
            --baseline-json PATH  also write the sweep as a JSON baseline snapshot\n",
         Figure::ALL
             .iter()
@@ -111,6 +119,14 @@ fn parse_args() -> Result<Cli, String> {
                 if params.task_counts.is_empty() || params.task_counts.contains(&0) {
                     return Err("--tasks needs positive values".into());
                 }
+            }
+            "--block-cache" => {
+                let value = args.next().ok_or("--block-cache needs on|off")?;
+                params.block_cache = match value.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "1" => Some(true),
+                    "off" | "false" | "0" => Some(false),
+                    other => return Err(format!("--block-cache needs on|off, got {other}")),
+                };
             }
             "--baseline-json" => {
                 baseline_json = Some(args.next().ok_or("--baseline-json needs a path")?);

@@ -15,7 +15,7 @@
 //! figure and its companion unreclaimed-objects figure come from the same
 //! rows (exactly as in the paper, where each experiment produces both plots).
 //!
-//! Five additions beyond the paper are included: forcing the WFE slow path
+//! Six additions beyond the paper are included: forcing the WFE slow path
 //! (`AblationSlowPath`), sweeping the number of fast-path attempts
 //! (`AblationAttempts`), a Michael-Scott queue baseline
 //! (`QueueBaseline`) so the wait-free CRTurn queue can be compared against
@@ -29,7 +29,12 @@
 //! reader injected for the whole run — its rows sweep the task count and
 //! carry the pool hit rate and the unreclaimed gauge in bytes, showing EBR's
 //! unreclaimed memory growing with the task count while WFE/HE stay bounded
-//! (`figures kv-async`).
+//! (`figures kv-async`), and a block-cache A/B run (`CrossShardChurn`): the
+//! write-dominated hash map on a sharded registry, measured once with the
+//! per-shard block cache on and once with it off — its rows carry the cache
+//! hit/miss counters, so the retire→free→alloc recycling win is visible
+//! directly (`figures cross-shard-churn`; pin one mode with
+//! `--block-cache on|off`).
 
 use wfe_core::Wfe;
 use wfe_ds::{
@@ -38,7 +43,7 @@ use wfe_ds::{
 use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer};
 
 use crate::params::BenchParams;
-use crate::runner::{run_async_kv, run_map, run_pooled_map, run_queue, DataPoint};
+use crate::runner::{run_async_kv, run_churn_map, run_map, run_pooled_map, run_queue, DataPoint};
 use crate::workload::MapWorkload;
 
 /// The reclamation schemes compared in every figure.
@@ -239,6 +244,35 @@ pub fn run_async_point(scheme: Scheme, tasks: usize, params: &BenchParams) -> Da
     }
 }
 
+fn churn_point_for<R: Reclaimer>(
+    scheme: &'static str,
+    label: &'static str,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    run_churn_map::<R, MichaelHashMap<u64, R>>(scheme, "hashmap", label, threads, params)
+}
+
+/// Measures one cross-shard-churn hash-map data point for one scheme; the
+/// caller pins the block-cache mode via `params.block_cache` and passes the
+/// matching workload `label`.
+pub fn run_churn_point(
+    scheme: Scheme,
+    label: &'static str,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    let name = scheme.name();
+    match scheme {
+        Scheme::Wfe => churn_point_for::<Wfe>(name, label, threads, params),
+        Scheme::Ebr => churn_point_for::<Ebr>(name, label, threads, params),
+        Scheme::He => churn_point_for::<He>(name, label, threads, params),
+        Scheme::Hp => churn_point_for::<Hp>(name, label, threads, params),
+        Scheme::Ibr => churn_point_for::<Ibr2Ge>(name, label, threads, params),
+        Scheme::Leak => churn_point_for::<Leak>(name, label, threads, params),
+    }
+}
+
 /// Measures one queue data point for one scheme.
 pub fn run_queue_point(
     scheme: Scheme,
@@ -294,12 +328,18 @@ pub enum Figure {
     /// `BenchParams::task_counts` (not threads); rows carry the pool hit
     /// rate and the unreclaimed gauge in bytes.
     KvAsync,
+    /// Beyond the paper: Michael hash map 50/50 on a sharded registry, run
+    /// once with the per-shard block cache enabled and once disabled (or a
+    /// single pinned mode when `BenchParams::block_cache` is `Some`) — the
+    /// retire→free→alloc recycling A/B. Rows carry the cache hit/miss
+    /// counters and the bytes left parked in the caches.
+    CrossShardChurn,
 }
 
 impl Figure {
     /// Every figure, in paper order, followed by the ablations and the
     /// extra baselines.
-    pub const ALL: [Figure; 13] = [
+    pub const ALL: [Figure; 14] = [
         Figure::Fig5ab,
         Figure::Fig5cd,
         Figure::Fig6,
@@ -313,6 +353,7 @@ impl Figure {
         Figure::QueueBaseline,
         Figure::KvPool,
         Figure::KvAsync,
+        Figure::CrossShardChurn,
     ];
 
     /// CLI name of the figure.
@@ -331,6 +372,7 @@ impl Figure {
             Figure::QueueBaseline => "queue-baseline",
             Figure::KvPool => "kv-pool",
             Figure::KvAsync => "kv-async",
+            Figure::CrossShardChurn => "cross-shard-churn",
         }
     }
 
@@ -368,6 +410,10 @@ impl Figure {
             Figure::KvAsync => {
                 "Michael hash map 50/50 via async tasks and Send-able task handles, \
                  one stalled raw-SPI reader injected (beyond the paper)"
+            }
+            Figure::CrossShardChurn => {
+                "Michael hash map 50/50 on a sharded registry, per-shard block \
+                 cache on vs off (beyond the paper)"
             }
         }
     }
@@ -424,6 +470,22 @@ impl Figure {
                 for &tasks in &params.task_counts {
                     for &scheme in schemes {
                         points.push(run_async_point(scheme, tasks, params));
+                    }
+                }
+            }
+            Figure::CrossShardChurn => {
+                let modes: &[(bool, &'static str)] = match params.block_cache {
+                    Some(true) => &[(true, "churn-cache-on")],
+                    Some(false) => &[(false, "churn-cache-off")],
+                    None => &[(true, "churn-cache-on"), (false, "churn-cache-off")],
+                };
+                for &threads in &params.threads {
+                    for &scheme in schemes {
+                        for &(enabled, label) in modes {
+                            let mut tweaked = params.clone();
+                            tweaked.block_cache = Some(enabled);
+                            points.push(run_churn_point(scheme, label, threads, &tweaked));
+                        }
                     }
                 }
             }
@@ -559,6 +621,44 @@ mod tests {
             );
             assert!(ebr.unreclaimed_bytes > wfe.unreclaimed_bytes);
         }
+    }
+
+    #[test]
+    fn cross_shard_churn_sweeps_both_cache_modes_and_counts_cache_traffic() {
+        let params = BenchParams::smoke();
+        let schemes = [Scheme::Wfe];
+        let points = Figure::CrossShardChurn.run(&params, &schemes);
+        assert_eq!(points.len(), params.threads.len() * 2, "on + off per point");
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        let on: Vec<_> = points
+            .iter()
+            .filter(|p| p.workload == "churn-cache-on")
+            .collect();
+        let off: Vec<_> = points
+            .iter()
+            .filter(|p| p.workload == "churn-cache-off")
+            .collect();
+        assert_eq!(on.len(), params.threads.len());
+        assert_eq!(off.len(), params.threads.len());
+        assert!(
+            on.iter().any(|p| p.cache_hits > 0.0),
+            "cache-on churn recycles blocks through the shard cache"
+        );
+        assert!(
+            off.iter()
+                .all(|p| p.cache_hits == 0.0 && p.cached_bytes == 0.0),
+            "cache-off rows must not report cache traffic"
+        );
+    }
+
+    #[test]
+    fn cross_shard_churn_honors_a_pinned_cache_mode() {
+        let mut params = BenchParams::smoke();
+        params.threads = vec![1];
+        params.block_cache = Some(false);
+        let points = Figure::CrossShardChurn.run(&params, &[Scheme::He]);
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].workload, "churn-cache-off");
     }
 
     #[test]

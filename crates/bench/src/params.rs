@@ -30,6 +30,12 @@ pub struct BenchParams {
     pub task_counts: Vec<usize>,
     /// Executor worker threads the async figure runs every point on.
     pub async_workers: usize,
+    /// Per-shard block cache override: `Some(true)`/`Some(false)` pin the
+    /// cache on/off for every domain the sweep builds; `None` (the default)
+    /// keeps the library default (on unless `WFE_BLOCK_CACHE` disables it) —
+    /// except in the `cross-shard-churn` figure, where `None` means "sweep
+    /// both modes".
+    pub block_cache: Option<bool>,
 }
 
 impl Default for BenchParams {
@@ -57,6 +63,7 @@ impl Default for BenchParams {
             shards: 0,
             task_counts: vec![2_000, 10_000, 50_000],
             async_workers: 4,
+            block_cache: None,
         }
     }
 }

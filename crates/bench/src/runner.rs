@@ -18,7 +18,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use wfe_reclaim::{Atomic, Handle, HandlePool, RawHandle, Reclaimer, ReclaimerConfig, SmrStats};
+use wfe_reclaim::{
+    Atomic, BlockCacheConfig, Handle, HandlePool, RawHandle, Reclaimer, ReclaimerConfig, SmrStats,
+};
 use wfe_task::TaskHandle;
 
 use crate::params::BenchParams;
@@ -75,7 +77,10 @@ fn process_warm_up() {
                     while Instant::now() < deadline {
                         key = key.wrapping_mul(6364136223846793005).wrapping_add(1);
                         let k = key % 100_000;
-                        if key & 1 == 0 {
+                        // High bit, not `key & 1`: the LCG's low bit simply
+                        // alternates and equals `k & 1`, which would starve
+                        // the remove path of present keys.
+                        if (key >> 32) & 1 == 0 {
                             map.insert(&mut handle, k, k);
                         } else {
                             map.remove(&mut handle, k);
@@ -126,6 +131,15 @@ pub struct DataPoint {
     /// Time-averaged unreclaimed memory in bytes
     /// (`avg_unreclaimed × node size`; `kv-async` figure only, 0 elsewhere).
     pub unreclaimed_bytes: f64,
+    /// Allocations served from the per-shard block cache (end-of-run total,
+    /// averaged over repeats; 0 when the cache is disabled).
+    pub cache_hits: f64,
+    /// Cacheable allocations that fell through to the global allocator
+    /// (end-of-run total, averaged over repeats).
+    pub cache_misses: f64,
+    /// Bytes parked in the per-shard block caches when the run ended
+    /// (averaged over repeats).
+    pub cached_bytes: f64,
 }
 
 impl DataPoint {
@@ -133,12 +147,12 @@ impl DataPoint {
     pub const CSV_HEADER: &'static str =
         "structure,workload,scheme,threads,mops,avg_unreclaimed,adopted_batches,\
          freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate,tasks,\
-         unreclaimed_bytes";
+         unreclaimed_bytes,cache_hits,cache_misses,cached_bytes";
 
     /// Renders the point as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3},{},{:.0}",
+            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3},{},{:.0},{:.1},{:.1},{:.0}",
             self.structure,
             self.workload,
             self.scheme,
@@ -151,7 +165,10 @@ impl DataPoint {
             self.avg_occupied_shards,
             self.pool_hit_rate,
             self.tasks,
-            self.unreclaimed_bytes
+            self.unreclaimed_bytes,
+            self.cache_hits,
+            self.cache_misses,
+            self.cached_bytes
         )
     }
 }
@@ -162,6 +179,13 @@ fn domain_config<R: Reclaimer>(
     params: &BenchParams,
 ) -> ReclaimerConfig {
     let _ = std::marker::PhantomData::<R>;
+    let block_cache = match params.block_cache {
+        Some(enabled) => BlockCacheConfig {
+            enabled,
+            ..BlockCacheConfig::default()
+        },
+        None => BlockCacheConfig::default(),
+    };
     ReclaimerConfig {
         max_threads: threads,
         slots_per_thread: required_slots.max(2),
@@ -169,6 +193,7 @@ fn domain_config<R: Reclaimer>(
         cleanup_freq: params.cleanup_freq,
         fast_path_attempts: params.fast_path_attempts,
         shards: params.shards,
+        block_cache,
     }
 }
 
@@ -683,6 +708,9 @@ fn average_point(
     let mut shards = 0;
     let mut tasks = 0;
     let mut unreclaimed_bytes = 0.0;
+    let mut cache_hits = 0.0;
+    let mut cache_misses = 0.0;
+    let mut cached_bytes = 0.0;
     for repeat in 0..repeats {
         let outcome = run(repeat as u64);
         mops += outcome.ops as f64 / outcome.elapsed.as_secs_f64() / 1e6;
@@ -694,6 +722,9 @@ fn average_point(
         shards = outcome.shards;
         tasks = outcome.tasks;
         unreclaimed_bytes += outcome.unreclaimed_bytes;
+        cache_hits += outcome.stats.cache_hits as f64;
+        cache_misses += outcome.stats.cache_misses as f64;
+        cached_bytes += outcome.stats.cached_bytes as f64;
     }
     let repeats = repeats as f64;
     DataPoint {
@@ -710,6 +741,9 @@ fn average_point(
         pool_hit_rate: hit_rate / repeats,
         tasks,
         unreclaimed_bytes: unreclaimed_bytes / repeats,
+        cache_hits: cache_hits / repeats,
+        cache_misses: cache_misses / repeats,
+        cached_bytes: cached_bytes / repeats,
     }
 }
 
@@ -750,6 +784,45 @@ where
 {
     average_point(scheme, structure, "pool-churn", threads, params, |repeat| {
         run_pooled_map_once::<R, M>(threads, workload, params, 0x9001 + repeat)
+    })
+}
+
+/// Measures one cross-shard-churn data point: the write-dominated map
+/// workload on a registry with at least two shards, with the block cache
+/// pinned on or off by `label`'s caller via `params.block_cache` — the
+/// retire→free→alloc recycling loop the per-shard block cache is built for.
+/// Averaged over `params.repeats` runs.
+pub fn run_churn_map<R, M>(
+    scheme: &'static str,
+    structure: &'static str,
+    label: &'static str,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let mut churn_params = params.clone();
+    // Churn is only "cross-shard" when the registry actually splits: resolve
+    // auto-sizing (0) to the host's parallelism and force at least two shards
+    // either way (auto on a single-CPU host would collapse to one). The
+    // registry still clamps to `max_threads`, so single-thread points stay
+    // single-shard baselines.
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    churn_params.shards = match churn_params.shards {
+        0 => auto.max(2),
+        pinned => pinned.max(2),
+    };
+    average_point(scheme, structure, label, threads, params, move |repeat| {
+        run_map_once::<R, M>(
+            threads,
+            MapWorkload::WriteDominated,
+            &churn_params,
+            0x5EED + repeat,
+        )
     })
 }
 
@@ -801,6 +874,31 @@ mod tests {
         let point = run_queue::<He, MichaelScottQueue<u64, He>>("HE", "msqueue", 2, &params);
         assert!(point.mops > 0.0);
         assert_eq!(point.workload, "queue50");
+    }
+
+    #[test]
+    fn churn_runner_reports_cache_counters() {
+        let mut params = BenchParams::smoke();
+        params.block_cache = Some(true);
+        let point = run_churn_map::<Wfe, MichaelHashMap<u64, Wfe>>(
+            "WFE",
+            "hashmap",
+            "churn-cache-on",
+            2,
+            &params,
+        );
+        assert_eq!(point.workload, "churn-cache-on");
+        assert!(point.mops > 0.0);
+        assert!(
+            point.cache_hits + point.cache_misses > 0.0,
+            "churn produces cacheable allocation traffic"
+        );
+        let row = point.to_csv_row();
+        assert_eq!(
+            row.matches(',').count(),
+            DataPoint::CSV_HEADER.matches(',').count(),
+            "row column count matches the header: {row}"
+        );
     }
 
     #[test]

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use wfe_sync::atomic::AtomicUsize;
 
 use crate::block::{BlockHeader, Linked};
+use crate::cache::{BlockCacheConfig, LocalBlockCache, ShardCache};
 use crate::guard::{Guard, Shield, ShieldError, ShieldSlots};
 use crate::ptr::{tag, Atomic};
 use crate::registry::ThreadRegistry;
@@ -96,6 +97,39 @@ pub struct DomainConfig {
     /// between sockets and smaller scan windows (idle shards are skipped);
     /// see [`crate::registry::ThreadRegistry`].
     pub shards: usize,
+    /// The size-class block cache (per-handle magazines over per-shard
+    /// freelists) that keeps retire→free→alloc cycles out of the global
+    /// allocator; see [`BlockCacheConfig`] for the
+    /// defaults and the `WFE_BLOCK_CACHE` environment switch.
+    ///
+    /// ```
+    /// use wfe_reclaim::{BlockCacheConfig, DomainConfig, Handle, He, RawHandle, Reclaimer};
+    ///
+    /// let domain = He::with_config(DomainConfig {
+    ///     block_cache: BlockCacheConfig {
+    ///         enabled: true,
+    ///         per_class_capacity: 32,
+    ///     },
+    ///     cleanup_freq: 1,
+    ///     ..DomainConfig::with_max_threads(2)
+    /// });
+    /// let mut handle = domain.register();
+    /// // retire → scan → cache: the freed block's memory is parked on the
+    /// // handle's magazine ...
+    /// let node = handle.alloc(7u64);
+    /// // SAFETY: never published; retired exactly once.
+    /// unsafe { handle.retire(node) };
+    /// handle.force_cleanup();
+    /// // ... and the next allocation of the class recycles it.
+    /// let again = handle.alloc(8u64);
+    /// // SAFETY: as above.
+    /// unsafe { handle.retire(again) };
+    /// handle.force_cleanup(); // folds the magazine's hit tally into the stats
+    /// assert_eq!(domain.stats().cache_hits, 1);
+    /// drop(handle); // drains the magazine into its home shard ...
+    /// assert!(domain.stats().cached_bytes > 0); // ... where the block parks
+    /// ```
+    pub block_cache: BlockCacheConfig,
 }
 
 impl Default for DomainConfig {
@@ -107,6 +141,7 @@ impl Default for DomainConfig {
             cleanup_freq: 30,
             fast_path_attempts: 16,
             shards: 0,
+            block_cache: BlockCacheConfig::default(),
         }
     }
 }
@@ -192,6 +227,19 @@ impl DomainConfigBuilder {
     /// Number of registry shards (`0` auto-sizes from the host).
     pub fn shards(mut self, shards: usize) -> Self {
         self.config.shards = shards;
+        self
+    }
+
+    /// Full per-shard block-cache configuration.
+    pub fn block_cache(mut self, block_cache: BlockCacheConfig) -> Self {
+        self.config.block_cache = block_cache;
+        self
+    }
+
+    /// Switches the per-shard block cache on or off without touching the
+    /// rest of its configuration.
+    pub fn block_cache_enabled(mut self, enabled: bool) -> Self {
+        self.config.block_cache.enabled = enabled;
         self
     }
 
@@ -298,6 +346,15 @@ pub unsafe trait RawHandle {
     /// Forces a retired-list scan regardless of `cleanup_freq`. Used by tests
     /// and by handle teardown; not part of the paper API.
     fn force_cleanup(&mut self);
+
+    /// The two cache tiers consulted by [`Handle::alloc`] before falling back
+    /// to the allocator: this thread's private magazine and the block cache of
+    /// its home registry shard. The default (`(None, None)`) opts a scheme out
+    /// of caching entirely; schemes that wire the cache override this with the
+    /// handle's magazine and the shard picked at registration time.
+    fn block_caches(&mut self) -> (Option<&mut LocalBlockCache>, Option<&ShardCache>) {
+        (None, None)
+    }
 }
 
 /// Typed convenience layer over [`RawHandle`]; blanket-implemented.
@@ -330,10 +387,13 @@ pub trait Handle: RawHandle {
     }
 
     /// Allocates a reclaimable block holding `value`
-    /// (the paper's `alloc_block`).
+    /// (the paper's `alloc_block`), recycling a block of the matching size
+    /// class from this thread's magazine (or its home-shard cache) when one
+    /// is parked there.
     fn alloc<T>(&mut self, value: T) -> *mut Linked<T> {
         let era = self.pre_alloc();
-        Linked::alloc(value, era)
+        let (local, shard) = self.block_caches();
+        Linked::alloc_in(value, era, local, shard)
     }
 
     /// Protects and returns the pointer stored in `src` (the paper's

@@ -8,6 +8,8 @@
 
 use wfe_sync::atomic::{AtomicU64, Ordering};
 
+use crate::cache::{alloc_class, dealloc_class, LocalBlockCache, ShardCache, SizeClass};
+
 /// The "infinite" era: a reservation holding this value protects nothing.
 ///
 /// Matches the `∞` sentinel of the paper's pseudo-code.
@@ -40,8 +42,11 @@ pub struct BlockHeader {
     pub retire_era: AtomicU64,
     /// Intrusive link used by per-thread retired lists. Owner-thread only.
     pub(crate) next_retired: *mut BlockHeader,
-    /// Type-erased destructor: frees the full `Linked<T>` allocation.
-    pub(crate) drop_fn: unsafe fn(*mut BlockHeader),
+    /// Type-erased destructor: drops the payload and either frees the whole
+    /// allocation (`Box`-path blocks, returning `None`) or hands the memory
+    /// back to the caller keyed by its size class (`Some`), so the free path
+    /// can route it into a block cache instead of the allocator.
+    pub(crate) drop_fn: unsafe fn(*mut BlockHeader) -> Option<SizeClass>,
 }
 
 // The raw link is only ever touched by the thread that owns the retired list
@@ -82,22 +87,62 @@ pub struct Linked<T> {
 }
 
 impl<T> Linked<T> {
+    /// The size class this block type is cached under, or `None` when its
+    /// layout exceeds the largest class and must use the `Box` path.
+    pub(crate) const SIZE_CLASS: Option<SizeClass> = SizeClass::of(
+        core::mem::size_of::<Linked<T>>(),
+        core::mem::align_of::<Linked<T>>(),
+    );
+
     /// Heap-allocates a new block with the given allocation era.
     ///
     /// Returns an owning raw pointer; the allocation is freed either by the
     /// reclamation scheme (after [`retire`](crate::Handle::retire)) or by
     /// [`Linked::dealloc`].
     pub fn alloc(value: T, alloc_era: u64) -> *mut Linked<T> {
-        let boxed = Box::new(Linked {
-            header: BlockHeader {
-                alloc_era: AtomicU64::new(alloc_era),
-                retire_era: AtomicU64::new(0),
-                next_retired: core::ptr::null_mut(),
-                drop_fn: drop_block::<T>,
-            },
-            value,
-        });
-        Box::into_raw(boxed)
+        Self::alloc_in(value, alloc_era, None, None)
+    }
+
+    /// Like [`alloc`](Self::alloc), but pops a recycled block of the matching
+    /// size class from the handle's `local` magazine (refilled from `shard`)
+    /// — or, with no magazine, from `shard` directly — before falling back to
+    /// the allocator. Blocks whose layout fits no class ignore both.
+    pub fn alloc_in(
+        value: T,
+        alloc_era: u64,
+        local: Option<&mut LocalBlockCache>,
+        shard: Option<&ShardCache>,
+    ) -> *mut Linked<T> {
+        let header = |drop_fn: unsafe fn(*mut BlockHeader) -> Option<SizeClass>| BlockHeader {
+            alloc_era: AtomicU64::new(alloc_era),
+            retire_era: AtomicU64::new(0),
+            next_retired: core::ptr::null_mut(),
+            drop_fn,
+        };
+        match Self::SIZE_CLASS {
+            Some(class) => {
+                let recycled = match local {
+                    Some(local) => local.pop(class, shard),
+                    None => shard.and_then(|shard| shard.pop(class)),
+                };
+                let raw = recycled.unwrap_or_else(|| alloc_class(class));
+                let ptr = raw.cast::<Linked<T>>();
+                // SAFETY: `raw` is a fresh or recycled class block — at least
+                // `size_of::<Linked<T>>()` writable bytes at sufficient
+                // alignment, exclusively owned.
+                unsafe {
+                    ptr.write(Linked {
+                        header: header(drop_block_classed::<T>),
+                        value,
+                    });
+                }
+                ptr
+            }
+            None => Box::into_raw(Box::new(Linked {
+                header: header(drop_block_boxed::<T>),
+                value,
+            })),
+        }
     }
 
     /// Immediately frees a block that is *not* going through a retire path
@@ -106,13 +151,14 @@ impl<T> Linked<T> {
     ///
     /// # Safety
     ///
-    /// `ptr` must have been produced by [`Linked::alloc`] for the same `T`,
-    /// must not have been freed or retired before, and no other thread may
-    /// still access it.
+    /// `ptr` must have been produced by [`Linked::alloc`] /
+    /// [`Linked::alloc_in`] for the same `T`, must not have been freed or
+    /// retired before, and no other thread may still access it.
     pub unsafe fn dealloc(ptr: *mut Linked<T>) {
-        // SAFETY: the caller guarantees `ptr` came from `Linked::alloc` (a
-        // `Box` allocation) and is not aliased or already freed.
-        drop(unsafe { Box::from_raw(ptr) });
+        // SAFETY: the caller guarantees `ptr` is a live, unaliased block;
+        // dispatching through `drop_fn` frees it down whichever path
+        // (class or `Box`) allocated it.
+        unsafe { free_block(Self::as_header(ptr), None, None) };
     }
 
     /// Upcasts a typed block pointer to its header pointer.
@@ -122,27 +168,67 @@ impl<T> Linked<T> {
     }
 }
 
-/// Frees a type-erased block. Installed as `drop_fn` at allocation time.
+/// Frees a type-erased `Box`-path block. Installed as `drop_fn` at
+/// allocation time for layouts no size class fits.
 ///
 /// # Safety
 ///
 /// `header` must point to the `BlockHeader` of a live `Linked<T>` allocation
-/// of the matching `T`.
-unsafe fn drop_block<T>(header: *mut BlockHeader) {
+/// of the matching `T` that was allocated through `Box`.
+unsafe fn drop_block_boxed<T>(header: *mut BlockHeader) -> Option<SizeClass> {
     // SAFETY: the caller guarantees `header` is the first field of a live
     // `Linked<T>` allocation, so the cast recovers the original `Box`.
     drop(unsafe { Box::from_raw(header as *mut Linked<T>) });
+    None
 }
 
-/// Frees a retired block through its type-erased destructor.
+/// Drops the payload of a class-path block **without freeing the memory**,
+/// returning its size class so the caller routes the block into a cache or
+/// back to the allocator. Installed as `drop_fn` at allocation time.
+///
+/// # Safety
+///
+/// `header` must point to the `BlockHeader` of a live `Linked<T>` allocation
+/// of the matching `T` that was allocated as a class block. After the call
+/// the memory is uninitialized and owned by the caller.
+unsafe fn drop_block_classed<T>(header: *mut BlockHeader) -> Option<SizeClass> {
+    // SAFETY: the caller guarantees `header` is the first field of a live
+    // `Linked<T>` allocation; dropping it in place leaves the class memory
+    // allocated but uninitialized, exactly what the contract hands back.
+    unsafe { core::ptr::drop_in_place(header as *mut Linked<T>) };
+    Linked::<T>::SIZE_CLASS
+}
+
+/// Frees a retired block through its type-erased destructor, parking the
+/// memory of class-path blocks on the handle's `local` magazine (which
+/// spills to `shard`) or, with no magazine, on `shard` directly — instead of
+/// returning it to the allocator.
 ///
 /// # Safety
 ///
 /// The block must be retired, unreachable and unprotected by every thread.
-pub(crate) unsafe fn free_block(header: *mut BlockHeader) {
+pub(crate) unsafe fn free_block(
+    header: *mut BlockHeader,
+    local: Option<&mut LocalBlockCache>,
+    shard: Option<&ShardCache>,
+) {
     // SAFETY: the caller guarantees the block is retired, unreachable and
     // unprotected; `drop_fn` was installed at allocation for the right `T`.
-    unsafe { ((*header).drop_fn)(header) };
+    let class = unsafe { ((*header).drop_fn)(header) };
+    if let Some(class) = class {
+        // The payload is dropped; the class memory is ours to route.
+        match (local, shard) {
+            // SAFETY: the block was allocated as a class block of `class`
+            // (`drop_fn` returned it) and enters the magazine exactly once.
+            (Some(local), shard) => unsafe { local.push(class, header.cast(), shard) },
+            (None, Some(shard)) => {
+                // SAFETY: as above — the shard takes ownership exactly once.
+                unsafe { shard.push(class, header.cast()) };
+            }
+            // SAFETY: as above — freed exactly once here.
+            (None, None) => unsafe { dealloc_class(class, header.cast()) },
+        }
+    }
 }
 
 #[cfg(test)]
@@ -164,20 +250,65 @@ mod tests {
         }
     }
 
+    struct Canary(Arc<AtomicUsize>);
+    impl Drop for Canary {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, SeqCst);
+        }
+    }
+
     #[test]
     fn drop_fn_runs_payload_destructor() {
-        struct Canary(Arc<AtomicUsize>);
-        impl Drop for Canary {
-            fn drop(&mut self) {
-                self.0.fetch_add(1, SeqCst);
-            }
-        }
         let drops = Arc::new(AtomicUsize::new(0));
         let ptr = Linked::alloc(Canary(drops.clone()), 0);
         // SAFETY: the block is alive, unreachable by any other thread, and freed
         // exactly once through its installed `drop_fn`.
-        unsafe { free_block(Linked::as_header(ptr)) };
+        unsafe { free_block(Linked::as_header(ptr), None, None) };
         assert_eq!(drops.load(SeqCst), 1);
+    }
+
+    #[test]
+    fn size_class_split_small_vs_large_payloads() {
+        // A u64 block fits the smallest class; a 2 KiB payload fits none.
+        assert!(Linked::<u64>::SIZE_CLASS.is_some());
+        assert!(Linked::<[u8; 2048]>::SIZE_CLASS.is_none());
+        // Both paths allocate and free cleanly.
+        let small = Linked::alloc(7u64, 0);
+        let large = Linked::alloc([0u8; 2048], 0);
+        // SAFETY: both blocks are unpublished and freed exactly once.
+        unsafe {
+            assert_eq!((*small).value, 7);
+            Linked::dealloc(small);
+            Linked::dealloc(large);
+        }
+    }
+
+    #[test]
+    fn free_into_cache_recycles_memory_and_drops_payload() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let cache = crate::cache::BlockCaches::new(
+            &crate::cache::BlockCacheConfig {
+                enabled: true,
+                per_class_capacity: 4,
+            },
+            1,
+        );
+        let shard = cache.shard(0);
+        let ptr = Linked::alloc_in(Canary(drops.clone()), 0, None, shard);
+        let addr = ptr as usize;
+        // SAFETY: the block is unpublished; freed exactly once, into the cache.
+        unsafe { free_block(Linked::as_header(ptr), None, shard) };
+        assert_eq!(drops.load(SeqCst), 1, "payload dropped even when cached");
+        assert!(
+            shard.unwrap().cached_bytes() > 0,
+            "memory parked, not freed"
+        );
+        // The next allocation of the same class reuses the parked block.
+        let reused = Linked::alloc_in(42u64, 0, None, shard);
+        assert_eq!(reused as usize, addr, "cache served the recycled block");
+        assert_eq!(shard.unwrap().hits(), 1);
+        // SAFETY: unpublished, freed exactly once (no cache: straight dealloc).
+        unsafe { Linked::dealloc(reused) };
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! Per-shard, size-class-indexed caches of raw block memory.
+//!
+//! After the batched scan pipeline (PR 3) the dominant cost left in the
+//! retire→free→alloc cycle is the global allocator: every reclaimed block
+//! took a full deallocation round trip and every [`Linked::alloc`] a fresh
+//! heap allocation, so the memory churning through `smr_ops/alloc_retire`
+//! never stayed cache-hot. This module keeps that traffic local: freed blocks
+//! are parked on the **home shard's** freelist (one bounded
+//! [`TypeStableStack`] per size class, the same versioned-wide-CAS idiom the
+//! orphan stack and handle pool already use, so recycling is ABA-safe) and
+//! the next allocation of a matching layout pops one instead of calling the
+//! allocator.
+//!
+//! The key split happens in `block.rs`: a block whose layout fits a size
+//! class is allocated with that class's [`Layout`] (not `Box`), and its
+//! type-erased `drop_fn` runs `drop_in_place` on the payload but hands the
+//! *memory* back to the caller — which routes it here, or straight back to
+//! the allocator when no cache applies. Blocks whose layout exceeds the
+//! largest class keep the plain `Box` path end to end.
+//!
+//! The layer is two-tier, in the style of a malloc thread cache: each handle
+//! owns a small **non-atomic** [`LocalBlockCache`] ("magazine") that absorbs
+//! the owner-thread retire→free→alloc cycle with plain loads and stores, and
+//! spills to / refills from its home [`ShardCache`] half a magazine at a
+//! time — so the shared freelist's versioned-CAS cost is amortized away from
+//! the hot path while cross-thread recycling still flows through the shard.
+//!
+//! Boundedness: each magazine holds at most `LOCAL_MAGAZINE_CAP` blocks per
+//! class and each per-shard freelist at most
+//! [`BlockCacheConfig::per_class_capacity`]; overflow goes straight to the
+//! real allocator, so WFE's bounded-memory guarantee survives. Every cache
+//! is drained (deallocated) when its handle and domain drop. The whole layer
+//! is switched with
+//! [`DomainConfig::block_cache`](crate::DomainConfig::block_cache) or the
+//! `WFE_BLOCK_CACHE` environment variable.
+//!
+//! [`Linked::alloc`]: crate::Linked::alloc
+
+use core::alloc::Layout;
+use wfe_sync::atomic::{AtomicU64, Ordering};
+
+use crate::stats::SmrStats;
+use crate::treiber::TypeStableStack;
+
+/// The block sizes (in bytes) served by the cache, one freelist per entry.
+///
+/// The progression covers every node type in the suite (list/map nodes are
+/// ~48 bytes with the header, BST internal nodes ~64, queue descriptors up to
+/// a few hundred); anything larger falls through to the allocator.
+pub const CLASS_SIZES: [usize; 5] = [64, 128, 256, 512, 1024];
+
+/// Alignment of every class allocation. Covers all fundamental alignments up
+/// to 16 (the `BlockHeader` itself needs 8); over-aligned payloads fall
+/// through to the `Box` path.
+pub const CLASS_ALIGN: usize = 16;
+
+/// A size class of the block cache: an index into [`CLASS_SIZES`].
+///
+/// A block's class is decided once, at allocation time, from the layout of
+/// its `Linked<T>`; the class is what the type-erased free path returns so
+/// the memory can be recycled without knowing `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeClass(u8);
+
+impl SizeClass {
+    /// The smallest class whose block fits `size` bytes at alignment `align`,
+    /// or `None` when the layout must use the plain allocator path.
+    pub const fn of(size: usize, align: usize) -> Option<SizeClass> {
+        if align > CLASS_ALIGN {
+            return None;
+        }
+        let mut index = 0;
+        while index < CLASS_SIZES.len() {
+            if size <= CLASS_SIZES[index] {
+                return Some(SizeClass(index as u8));
+            }
+            index += 1;
+        }
+        None
+    }
+
+    /// The class's block size in bytes.
+    #[inline]
+    pub const fn size(self) -> usize {
+        CLASS_SIZES[self.0 as usize]
+    }
+
+    /// The fixed allocation layout of this class. Every block of the class is
+    /// allocated *and* deallocated with exactly this layout, which is what
+    /// lets blocks of different `T` share a freelist.
+    #[inline]
+    pub fn layout(self) -> Layout {
+        // SAFETY-free: both constants are non-zero powers of two and the
+        // sizes are far below isize::MAX, so the layout is always valid.
+        Layout::from_size_align(self.size(), CLASS_ALIGN).expect("class layout is valid")
+    }
+
+    /// Index into [`CLASS_SIZES`] / a cache's class array.
+    #[inline]
+    pub(crate) fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Debug-build balance of class allocations minus class deallocations, used
+/// by leak tests to prove every cached block is returned to the allocator.
+/// Deliberately a core atomic, not a `wfe_sync` one: pure observability, so
+/// it must not add interleaving points to model schedules.
+#[cfg(debug_assertions)]
+static OUTSTANDING: core::sync::atomic::AtomicIsize = core::sync::atomic::AtomicIsize::new(0);
+
+/// In debug builds, the process-wide number of class-allocated blocks not yet
+/// deallocated (`Some(0)` when every block has been returned); `None` in
+/// release builds, where the counter would cost an RMW per allocation.
+///
+/// Test-only observability — the counter is global, so assertions about it
+/// are only meaningful in a process that controls all its allocations.
+#[doc(hidden)]
+pub fn outstanding_cached_allocs() -> Option<isize> {
+    #[cfg(debug_assertions)]
+    {
+        Some(OUTSTANDING.load(Ordering::SeqCst))
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        None
+    }
+}
+
+/// Allocates one block of `class`'s fixed layout from the global allocator.
+pub(crate) fn alloc_class(class: SizeClass) -> *mut u8 {
+    // SAFETY: the class layout has non-zero size.
+    let ptr = unsafe { std::alloc::alloc(class.layout()) };
+    if ptr.is_null() {
+        std::alloc::handle_alloc_error(class.layout());
+    }
+    #[cfg(debug_assertions)]
+    OUTSTANDING.fetch_add(1, Ordering::SeqCst);
+    ptr
+}
+
+/// Returns one class block to the global allocator.
+///
+/// # Safety
+///
+/// `ptr` must come from [`alloc_class`] (directly or via a cache) with the
+/// same `class`, must not be freed twice, and its payload must already be
+/// dropped.
+pub(crate) unsafe fn dealloc_class(class: SizeClass, ptr: *mut u8) {
+    #[cfg(debug_assertions)]
+    OUTSTANDING.fetch_sub(1, Ordering::SeqCst);
+    // SAFETY: forwarded contract — `ptr` was allocated with exactly this
+    // class layout and is freed exactly once.
+    unsafe { std::alloc::dealloc(ptr, class.layout()) };
+}
+
+/// One bounded freelist of recycled blocks of a single size class.
+#[derive(Debug)]
+struct ClassList {
+    /// Recycled block addresses. The stack's nodes are separate, type-stable
+    /// allocations, so a block that overflows to the allocator is never
+    /// dereferenced by a racing pop (no intrusive links through cached
+    /// memory).
+    list: TypeStableStack<usize>,
+    /// Blocks currently parked (may transiently exceed the list length while
+    /// a push is in flight; never used for anything but the capacity bound
+    /// and `cached_bytes`).
+    len: AtomicU64,
+}
+
+impl ClassList {
+    fn new() -> Self {
+        Self {
+            list: TypeStableStack::new(),
+            len: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The per-shard block cache: one bounded freelist per size class.
+///
+/// A shard's cache is shared by every handle registered in that shard (same
+/// geometry as the [`ThreadRegistry`](crate::ThreadRegistry) shards), so the
+/// retire→free→alloc cycle of co-located threads recycles memory without
+/// crossing shard boundaries. Obtained through
+/// [`RawHandle::block_caches`](crate::RawHandle::block_caches).
+#[derive(Debug)]
+pub struct ShardCache {
+    classes: [ClassList; CLASS_SIZES.len()],
+    per_class_capacity: u64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ShardCache {
+    fn new(per_class_capacity: usize) -> Self {
+        Self {
+            classes: [
+                ClassList::new(),
+                ClassList::new(),
+                ClassList::new(),
+                ClassList::new(),
+                ClassList::new(),
+            ],
+            per_class_capacity: per_class_capacity as u64,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Parks one freed block (payload already dropped) for reuse. Returns
+    /// `true` when the block was cached, `false` when the freelist was at
+    /// capacity and the block went back to the allocator instead.
+    ///
+    /// Takes ownership of the memory either way.
+    ///
+    /// # Safety
+    ///
+    /// `block` must come from `alloc_class` (directly or recycled) with the
+    /// same `class`, be exclusively owned by the caller, and its payload must
+    /// already be dropped; it must not be pushed or freed again.
+    pub unsafe fn push(&self, class: SizeClass, block: *mut u8) -> bool {
+        let slot = &self.classes[class.index()];
+        // Optimistic reservation: count first, undo on overflow. `len` may
+        // transiently exceed the true list length, which only makes the
+        // bound slightly conservative.
+        if slot.len.fetch_add(1, Ordering::AcqRel) >= self.per_class_capacity {
+            slot.len.fetch_sub(1, Ordering::AcqRel);
+            // SAFETY: `push` owns `block`; it came from `alloc_class` with
+            // this class (the free path's contract) and is freed once here.
+            unsafe { dealloc_class(class, block) };
+            return false;
+        }
+        slot.list.push(block as usize);
+        true
+    }
+
+    /// Pops one recycled block of `class`, if any. Counts a cache hit or
+    /// miss either way; the caller owns the returned memory (uninitialized
+    /// bytes of the class layout).
+    pub fn pop(&self, class: SizeClass) -> Option<*mut u8> {
+        let slot = &self.classes[class.index()];
+        match slot.list.pop() {
+            Some(addr) => {
+                slot.len.fetch_sub(1, Ordering::AcqRel);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(addr as *mut u8)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Allocations served from this cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cacheable allocations that fell through to the allocator.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently parked on this shard's freelists.
+    pub fn cached_bytes(&self) -> u64 {
+        self.classes
+            .iter()
+            .enumerate()
+            .map(|(index, slot)| slot.len.load(Ordering::Acquire) * CLASS_SIZES[index] as u64)
+            .sum()
+    }
+}
+
+impl ShardCache {
+    /// Pops one recycled block *without* touching the hit/miss counters.
+    /// Used by [`LocalBlockCache`] refills, which do their own (cheaper,
+    /// non-atomic) accounting.
+    pub(crate) fn pop_raw(&self, class: SizeClass) -> Option<*mut u8> {
+        let slot = &self.classes[class.index()];
+        let addr = slot.list.pop()?;
+        slot.len.fetch_sub(1, Ordering::AcqRel);
+        Some(addr as *mut u8)
+    }
+
+    /// Folds a handle's locally-counted hits and misses into the shared
+    /// counters (called by [`LocalBlockCache::flush_stats`]).
+    pub(crate) fn add_counts(&self, hits: u64, misses: u64) {
+        if hits > 0 {
+            self.hits.fetch_add(hits, Ordering::Relaxed);
+        }
+        if misses > 0 {
+            self.misses.fetch_add(misses, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for ShardCache {
+    fn drop(&mut self) {
+        // Drain every freelist back to the allocator: a domain drop leaks
+        // nothing.
+        for (index, slot) in self.classes.iter().enumerate() {
+            let class = SizeClass(index as u8);
+            while let Some(addr) = slot.list.pop() {
+                // SAFETY: every parked address came from `alloc_class` with
+                // this class and is popped (hence freed) exactly once.
+                unsafe { dealloc_class(class, addr as *mut u8) };
+            }
+        }
+    }
+}
+
+/// Blocks a handle's magazine holds per size class before spilling to the
+/// shard. Sized to absorb a whole default-`cleanup_freq` (30) burst of frees,
+/// so the steady-state retire→free→alloc cycle never leaves the magazine.
+const LOCAL_MAGAZINE_CAP: usize = 32;
+
+/// One handle's non-atomic stash of recycled blocks of a single class.
+struct Magazine {
+    blocks: [*mut u8; LOCAL_MAGAZINE_CAP],
+    len: usize,
+}
+
+impl Magazine {
+    const fn new() -> Self {
+        Self {
+            blocks: [core::ptr::null_mut(); LOCAL_MAGAZINE_CAP],
+            len: 0,
+        }
+    }
+}
+
+impl core::fmt::Debug for Magazine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Magazine").field("len", &self.len).finish()
+    }
+}
+
+/// The per-handle front end of a [`ShardCache`]: a bounded, **non-atomic**
+/// magazine per size class, in the style of a malloc thread cache.
+///
+/// The hot retire→free→alloc cycle is owner-thread-only, so it needs no
+/// synchronization at all: a cleanup pass parks freed block memory here with
+/// plain stores, and the next [`Handle::alloc`](crate::Handle::alloc) of a
+/// matching class pops it back with plain loads. Only when a magazine fills
+/// (spill half) or empties (refill half) does the handle touch the shared
+/// per-shard freelist — so the shard's versioned-CAS cost is amortized over
+/// `LOCAL_MAGAZINE_CAP / 2` operations, and cross-thread recycling still
+/// works through the shard. Hits and misses are counted locally and folded
+/// into the shard's shared counters at every cleanup pass and at handle
+/// teardown ([`SmrStats`] lags by at most one magazine's traffic).
+///
+/// Owned by each scheme handle; reached through
+/// [`RawHandle::block_caches`](crate::RawHandle::block_caches).
+#[derive(Debug)]
+pub struct LocalBlockCache {
+    mags: [Magazine; CLASS_SIZES.len()],
+    hits: u64,
+    misses: u64,
+}
+
+// SAFETY: the magazine holds exclusively-owned raw block memory (payloads
+// already dropped); moving the owning handle to another thread moves that
+// ownership with it.
+unsafe impl Send for LocalBlockCache {}
+
+impl Default for LocalBlockCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LocalBlockCache {
+    /// An empty magazine set.
+    pub const fn new() -> Self {
+        Self {
+            mags: [
+                Magazine::new(),
+                Magazine::new(),
+                Magazine::new(),
+                Magazine::new(),
+                Magazine::new(),
+            ],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Pops a recycled block of `class`: magazine first, then a half-magazine
+    /// refill from `backing`. Returns `None` (a counted miss) when both are
+    /// empty — the caller goes to the allocator.
+    pub fn pop(&mut self, class: SizeClass, backing: Option<&ShardCache>) -> Option<*mut u8> {
+        let mag = &mut self.mags[class.index()];
+        if mag.len == 0 {
+            if let Some(shard) = backing {
+                while mag.len < LOCAL_MAGAZINE_CAP / 2 {
+                    match shard.pop_raw(class) {
+                        Some(block) => {
+                            mag.blocks[mag.len] = block;
+                            mag.len += 1;
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
+        if mag.len > 0 {
+            mag.len -= 1;
+            self.hits += 1;
+            Some(mag.blocks[mag.len])
+        } else {
+            self.misses += 1;
+            None
+        }
+    }
+
+    /// Parks one freed block (payload already dropped) for reuse. A full
+    /// magazine spills its upper half to `backing` first (whose own capacity
+    /// bound sends overflow to the allocator); with no backing the block goes
+    /// straight back to the allocator.
+    ///
+    /// # Safety
+    ///
+    /// `block` must come from `alloc_class` (directly or recycled) with the
+    /// same `class`, exclusively owned, payload already dropped.
+    pub unsafe fn push(&mut self, class: SizeClass, block: *mut u8, backing: Option<&ShardCache>) {
+        let mag = &mut self.mags[class.index()];
+        if mag.len == LOCAL_MAGAZINE_CAP {
+            match backing {
+                Some(shard) => {
+                    for spilled in &mag.blocks[LOCAL_MAGAZINE_CAP / 2..] {
+                        // SAFETY: every parked block satisfies the push
+                        // contract (forwarded from our own) and leaves the
+                        // magazine exactly once.
+                        unsafe { shard.push(class, *spilled) };
+                    }
+                    mag.len = LOCAL_MAGAZINE_CAP / 2;
+                }
+                None => {
+                    // SAFETY: forwarded contract.
+                    unsafe { dealloc_class(class, block) };
+                    return;
+                }
+            }
+        }
+        mag.blocks[mag.len] = block;
+        mag.len += 1;
+    }
+
+    /// Folds the locally-counted hits and misses into `backing`'s shared
+    /// counters (so [`SmrStats`] sees them).
+    pub fn flush_stats(&mut self, backing: &ShardCache) {
+        backing.add_counts(self.hits, self.misses);
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Hands every parked block to `backing` (or the allocator) and flushes
+    /// the counters: handle teardown.
+    pub fn drain(&mut self, backing: Option<&ShardCache>) {
+        for (index, mag) in self.mags.iter_mut().enumerate() {
+            let class = SizeClass(index as u8);
+            while mag.len > 0 {
+                mag.len -= 1;
+                let block = mag.blocks[mag.len];
+                match backing {
+                    Some(shard) => {
+                        // SAFETY: every parked block came from `alloc_class`
+                        // with this class and leaves the magazine exactly
+                        // once.
+                        unsafe { shard.push(class, block) };
+                    }
+                    // SAFETY: as above — freed exactly once here.
+                    None => unsafe { dealloc_class(class, block) },
+                }
+            }
+        }
+        if let Some(shard) = backing {
+            self.flush_stats(shard);
+        }
+    }
+}
+
+impl Drop for LocalBlockCache {
+    fn drop(&mut self) {
+        // Safety net for handles that drop without an explicit drain (the
+        // scheme handles drain into their shard first, leaving this empty).
+        self.drain(None);
+    }
+}
+
+/// All shard caches of one domain (empty when the cache is disabled).
+#[derive(Debug)]
+pub struct BlockCaches {
+    shards: Box<[ShardCache]>,
+}
+
+impl BlockCaches {
+    /// Builds the per-shard caches for a registry of `shard_count` shards, or
+    /// no caches at all when `config` disables the layer.
+    pub fn new(config: &BlockCacheConfig, shard_count: usize) -> Self {
+        let shards = if config.enabled && config.per_class_capacity > 0 {
+            (0..shard_count)
+                .map(|_| ShardCache::new(config.per_class_capacity))
+                .collect()
+        } else {
+            Box::default()
+        };
+        Self { shards }
+    }
+
+    /// The cache of registry shard `shard`, or `None` when the layer is
+    /// disabled.
+    #[inline]
+    pub fn shard(&self, shard: usize) -> Option<&ShardCache> {
+        self.shards.get(shard)
+    }
+
+    /// Whether the layer is active for this domain.
+    pub fn enabled(&self) -> bool {
+        !self.shards.is_empty()
+    }
+
+    /// Folds the cache counters of every shard into a stats snapshot.
+    pub fn merge_into(&self, stats: &mut SmrStats) {
+        for shard in self.shards.iter() {
+            stats.cache_hits += shard.hits();
+            stats.cache_misses += shard.misses();
+            stats.cached_bytes += shard.cached_bytes();
+        }
+    }
+}
+
+/// Configuration of the per-shard block cache, set through
+/// [`DomainConfig::block_cache`](crate::DomainConfig::block_cache).
+///
+/// The default is *enabled* with a capacity of 64 blocks per (shard, class)
+/// pair, unless the `WFE_BLOCK_CACHE` environment variable is `0`/`off`/
+/// `false` — the switch CI uses to run the whole suite down the uncached
+/// path.
+///
+/// ```
+/// use wfe_reclaim::{BlockCacheConfig, DomainConfig, Handle, He, Reclaimer};
+///
+/// // Pin the cache on with a small bound, independent of the environment.
+/// let domain = He::with_config(DomainConfig {
+///     block_cache: BlockCacheConfig {
+///         enabled: true,
+///         per_class_capacity: 8,
+///     },
+///     ..DomainConfig::with_max_threads(4)
+/// });
+/// let mut handle = domain.register();
+/// let node = handle.alloc(1u64);
+/// // SAFETY: never published, freed exactly once.
+/// unsafe { wfe_reclaim::Linked::dealloc(node) };
+///
+/// // Or switch the layer off entirely via the builder.
+/// let config = DomainConfig::builder().block_cache_enabled(false).build();
+/// assert!(!config.block_cache.enabled);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCacheConfig {
+    /// Whether freed blocks are recycled at all.
+    pub enabled: bool,
+    /// Maximum blocks parked per (shard, size class); overflow goes to the
+    /// allocator. `0` disables the layer like `enabled: false`.
+    pub per_class_capacity: usize,
+}
+
+impl Default for BlockCacheConfig {
+    fn default() -> Self {
+        let enabled = !matches!(
+            std::env::var("WFE_BLOCK_CACHE").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        );
+        Self {
+            enabled,
+            per_class_capacity: 64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_of_picks_smallest_fit() {
+        assert_eq!(SizeClass::of(1, 8), Some(SizeClass(0)));
+        assert_eq!(SizeClass::of(64, 16), Some(SizeClass(0)));
+        assert_eq!(SizeClass::of(65, 8), Some(SizeClass(1)));
+        assert_eq!(SizeClass::of(1024, 8), Some(SizeClass(4)));
+        assert_eq!(SizeClass::of(1025, 8), None, "too large for any class");
+        assert_eq!(SizeClass::of(8, 32), None, "over-aligned");
+    }
+
+    #[test]
+    fn class_layout_matches_size_and_align() {
+        for (index, &size) in CLASS_SIZES.iter().enumerate() {
+            let class = SizeClass(index as u8);
+            assert_eq!(class.size(), size);
+            assert_eq!(class.layout().size(), size);
+            assert_eq!(class.layout().align(), CLASS_ALIGN);
+        }
+    }
+
+    #[test]
+    fn push_pop_recycles_the_same_block() {
+        let cache = ShardCache::new(4);
+        let class = SizeClass::of(64, 8).unwrap();
+        let block = alloc_class(class);
+        // SAFETY: freshly allocated with this class, pushed exactly once.
+        let pushed = unsafe { cache.push(class, block) };
+        assert!(pushed, "below capacity: cached");
+        assert_eq!(cache.cached_bytes(), 64);
+        let popped = cache.pop(class).expect("one block parked");
+        assert_eq!(popped, block, "the parked block comes back");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.cached_bytes(), 0);
+        assert!(cache.pop(class).is_none());
+        assert_eq!(cache.misses(), 1);
+        // SAFETY: popped once, freed once.
+        unsafe { dealloc_class(class, popped) };
+    }
+
+    #[test]
+    fn capacity_overflow_goes_to_the_allocator() {
+        let cache = ShardCache::new(2);
+        let class = SizeClass::of(100, 8).unwrap();
+        // SAFETY: each block is freshly allocated with the pushed class and
+        // pushed exactly once.
+        unsafe {
+            assert!(cache.push(class, alloc_class(class)));
+            assert!(cache.push(class, alloc_class(class)));
+            // Third push overflows: dealloc'd immediately, not parked.
+            assert!(!cache.push(class, alloc_class(class)));
+            assert_eq!(cache.cached_bytes(), 2 * 128);
+            // Other classes have their own bound.
+            let other = SizeClass::of(1000, 8).unwrap();
+            assert!(cache.push(other, alloc_class(other)));
+        }
+        // Drop drains the three parked blocks.
+    }
+
+    #[test]
+    fn disabled_config_builds_no_shards() {
+        let config = BlockCacheConfig {
+            enabled: false,
+            per_class_capacity: 64,
+        };
+        let caches = BlockCaches::new(&config, 4);
+        assert!(!caches.enabled());
+        assert!(caches.shard(0).is_none());
+
+        let zero_cap = BlockCacheConfig {
+            enabled: true,
+            per_class_capacity: 0,
+        };
+        assert!(!BlockCaches::new(&zero_cap, 4).enabled());
+    }
+
+    #[test]
+    fn enabled_config_builds_one_cache_per_shard() {
+        let config = BlockCacheConfig {
+            enabled: true,
+            per_class_capacity: 4,
+        };
+        let caches = BlockCaches::new(&config, 3);
+        assert!(caches.enabled());
+        assert!(caches.shard(0).is_some());
+        assert!(caches.shard(2).is_some());
+        assert!(caches.shard(3).is_none(), "out of the shard range");
+
+        let mut stats = SmrStats::default();
+        let class = SizeClass::of(64, 8).unwrap();
+        // SAFETY: freshly allocated with this class, pushed exactly once.
+        unsafe { caches.shard(1).unwrap().push(class, alloc_class(class)) };
+        if let Some(ptr) = caches.shard(1).unwrap().pop(class) {
+            // SAFETY: popped once, freed once.
+            unsafe { dealloc_class(class, ptr) };
+        }
+        caches.shard(2).unwrap().pop(class);
+        caches.merge_into(&mut stats);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cached_bytes, 0);
+    }
+
+    #[test]
+    fn magazine_recycles_owner_thread_blocks_without_the_shard() {
+        let mut local = LocalBlockCache::new();
+        let class = SizeClass::of(64, 8).unwrap();
+        assert!(local.pop(class, None).is_none(), "starts empty: miss");
+        let block = alloc_class(class);
+        // SAFETY: freshly allocated class block, no payload to drop.
+        unsafe { local.push(class, block, None) };
+        assert_eq!(local.pop(class, None), Some(block), "parked block returns");
+        // SAFETY: popped once, freed once.
+        unsafe { dealloc_class(class, block) };
+        assert_eq!((local.hits, local.misses), (1, 1));
+    }
+
+    #[test]
+    fn magazine_spills_to_and_refills_from_the_shard() {
+        let shard = ShardCache::new(LOCAL_MAGAZINE_CAP);
+        let mut local = LocalBlockCache::new();
+        let class = SizeClass::of(64, 8).unwrap();
+        // Overfill the magazine by one: the push spills half to the shard.
+        for _ in 0..=LOCAL_MAGAZINE_CAP {
+            // SAFETY: fresh class blocks, no payload to drop.
+            unsafe { local.push(class, alloc_class(class), Some(&shard)) };
+        }
+        assert_eq!(
+            shard.cached_bytes(),
+            (LOCAL_MAGAZINE_CAP / 2 * 64) as u64,
+            "half a magazine spilled"
+        );
+        // Drain the magazine dry, then keep popping: refills come from the
+        // shard without touching its atomic hit counter.
+        let mut recycled = 0;
+        while let Some(block) = local.pop(class, Some(&shard)) {
+            recycled += 1;
+            // SAFETY: each popped block is exclusively owned, freed once.
+            unsafe { dealloc_class(class, block) };
+        }
+        assert_eq!(recycled, LOCAL_MAGAZINE_CAP + 1, "every block came back");
+        assert_eq!(shard.hits(), 0, "magazine traffic is counted locally");
+        local.flush_stats(&shard);
+        assert_eq!(shard.hits(), recycled as u64);
+        assert_eq!(shard.misses(), 1, "the final empty pop");
+    }
+
+    #[test]
+    fn magazine_drain_routes_through_the_shard_capacity_bound() {
+        let shard = ShardCache::new(2);
+        let mut local = LocalBlockCache::new();
+        let class = SizeClass::of(64, 8).unwrap();
+        for _ in 0..4 {
+            // SAFETY: fresh class blocks, no payload to drop.
+            unsafe { local.push(class, alloc_class(class), Some(&shard)) };
+        }
+        local.drain(Some(&shard));
+        assert_eq!(
+            shard.cached_bytes(),
+            2 * 64,
+            "two parked, two overflowed to the allocator"
+        );
+        // The shard's Drop frees the two parked blocks.
+    }
+
+    #[test]
+    fn concurrent_push_pop_conserves_blocks() {
+        const THREADS: usize = 4;
+        const OPS: usize = 300;
+        let cache = std::sync::Arc::new(ShardCache::new(16));
+        let class = SizeClass::of(200, 8).unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..THREADS {
+                let cache = std::sync::Arc::clone(&cache);
+                scope.spawn(move || {
+                    for i in 0..OPS {
+                        if i % 2 == 0 {
+                            // SAFETY: freshly allocated with this class,
+                            // pushed exactly once.
+                            unsafe { cache.push(class, alloc_class(class)) };
+                        } else if let Some(ptr) = cache.pop(class) {
+                            // SAFETY: a popped block is exclusively owned.
+                            unsafe { dealloc_class(class, ptr) };
+                        }
+                    }
+                });
+            }
+        });
+        // Whatever stayed parked is drained by Drop; the dedicated leak test
+        // (tests/cache_leak.rs) asserts the debug alloc balance reaches zero.
+    }
+}

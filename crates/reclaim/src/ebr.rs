@@ -17,6 +17,7 @@ use wfe_sync::EraSource;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
+use crate::cache::{BlockCaches, LocalBlockCache, ShardCache};
 use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
@@ -33,6 +34,8 @@ pub struct Ebr {
     global_epoch: EraSource,
     /// One published epoch per thread; `ERA_INF` = quiescent.
     reservations: SlotArray,
+    /// Per-shard size-class block caches (empty when disabled).
+    caches: BlockCaches,
 }
 
 impl Ebr {
@@ -65,8 +68,11 @@ impl Reclaimer for Ebr {
     type Handle = EbrHandle;
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        let registry = config.build_registry();
+        let caches = BlockCaches::new(&config.block_cache, registry.shard_count());
         Arc::new(Self {
-            registry: config.build_registry(),
+            registry,
+            caches,
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_epoch: EraSource::new(1),
@@ -79,6 +85,8 @@ impl Reclaimer for Ebr {
         let tid = self.registry.try_acquire()?;
         Some(EbrHandle {
             shield_slots: ShieldSlots::new(self.config.slots_per_thread),
+            cache_shard: self.registry.shard_of(tid),
+            local_cache: LocalBlockCache::new(),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -97,7 +105,9 @@ impl Reclaimer for Ebr {
     }
 
     fn stats(&self) -> SmrStats {
-        self.counters.snapshot(self.epoch())
+        let mut stats = self.counters.snapshot(self.epoch());
+        self.caches.merge_into(&mut stats);
+        stats
     }
 
     fn config(&self) -> &ReclaimerConfig {
@@ -133,6 +143,10 @@ pub struct EbrHandle {
     /// Lease table for this handle's [`Shield`](crate::Shield)s. EBR ignores
     /// the indices, but leases keep data structures scheme-generic.
     shield_slots: Arc<ShieldSlots>,
+    /// Home registry shard, fixed at registration (indexes the block caches).
+    cache_shard: usize,
+    /// Private block-cache magazine fronting the home shard's freelists.
+    local_cache: LocalBlockCache,
     domain: Arc<Ebr>,
     tid: usize,
     retired: RetiredBatch,
@@ -149,6 +163,7 @@ impl EbrHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        let shard = domain.caches.shard(self.cache_shard);
         // SAFETY: `fill_snapshot` reads the reservation tables inside
         // `cleanup_pass`, i.e. after the orphan pop and after every block on the
         // batch was retired — the snapshot-freshness contract.
@@ -158,6 +173,8 @@ impl EbrHandle {
                 &domain.orphans,
                 &domain.counters,
                 &mut self.snapshot,
+                shard.is_some().then_some(&mut self.local_cache),
+                shard,
                 |snapshot| domain.fill_snapshot(snapshot),
             );
         }
@@ -250,12 +267,21 @@ unsafe impl RawHandle for EbrHandle {
         self.domain.global_epoch.advance(Ordering::AcqRel);
         self.cleanup();
     }
+
+    fn block_caches(&mut self) -> (Option<&mut LocalBlockCache>, Option<&ShardCache>) {
+        let shard = self.domain.caches.shard(self.cache_shard);
+        (shard.is_some().then_some(&mut self.local_cache), shard)
+    }
 }
 
 impl Drop for EbrHandle {
     fn drop(&mut self) {
         self.end_op();
         self.cleanup();
+        // Park the magazine's blocks on the home shard (freeing them when the
+        // cache is off) so surviving threads can recycle them.
+        self.local_cache
+            .drain(self.domain.caches.shard(self.cache_shard));
         // Whatever the final pass could not free is parked on the orphan
         // stack; the next live thread's cleanup pass adopts it.
         self.domain.orphans.push(self.retired.take());

@@ -18,6 +18,7 @@ use wfe_sync::EraSource;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
+use crate::cache::{BlockCaches, LocalBlockCache, ShardCache};
 use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
@@ -34,6 +35,8 @@ pub struct He {
     global_era: EraSource,
     /// `max_threads × slots_per_thread` published eras (`ERA_INF` = none).
     reservations: SlotArray,
+    /// Per-shard size-class block caches (empty when disabled).
+    caches: BlockCaches,
 }
 
 impl He {
@@ -77,8 +80,11 @@ impl Reclaimer for He {
     type Handle = HeHandle;
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        let registry = config.build_registry();
+        let caches = BlockCaches::new(&config.block_cache, registry.shard_count());
         Arc::new(Self {
-            registry: config.build_registry(),
+            registry,
+            caches,
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_era: EraSource::new(1),
@@ -91,6 +97,8 @@ impl Reclaimer for He {
         let tid = self.registry.try_acquire()?;
         Some(HeHandle {
             shield_slots: ShieldSlots::new(self.config.slots_per_thread),
+            cache_shard: self.registry.shard_of(tid),
+            local_cache: LocalBlockCache::new(),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -109,7 +117,9 @@ impl Reclaimer for He {
     }
 
     fn stats(&self) -> SmrStats {
-        self.counters.snapshot(self.era())
+        let mut stats = self.counters.snapshot(self.era());
+        self.caches.merge_into(&mut stats);
+        stats
     }
 
     fn config(&self) -> &ReclaimerConfig {
@@ -146,6 +156,10 @@ impl core::fmt::Debug for He {
 pub struct HeHandle {
     /// Lease table for this handle's [`Shield`](crate::Shield)s.
     shield_slots: Arc<ShieldSlots>,
+    /// Home registry shard, fixed at registration (indexes the block caches).
+    cache_shard: usize,
+    /// Private block-cache magazine fronting the home shard's freelists.
+    local_cache: LocalBlockCache,
     domain: Arc<He>,
     tid: usize,
     retired: RetiredBatch,
@@ -162,6 +176,7 @@ impl HeHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        let shard = domain.caches.shard(self.cache_shard);
         // SAFETY: `fill_snapshot` reads the reservation tables inside
         // `cleanup_pass`, i.e. after the orphan pop and after every block on the
         // batch was retired — the snapshot-freshness contract.
@@ -171,6 +186,8 @@ impl HeHandle {
                 &domain.orphans,
                 &domain.counters,
                 &mut self.snapshot,
+                shard.is_some().then_some(&mut self.local_cache),
+                shard,
                 |snapshot| domain.fill_snapshot(snapshot),
             );
         }
@@ -264,12 +281,21 @@ unsafe impl RawHandle for HeHandle {
         self.domain.advance_era();
         self.cleanup();
     }
+
+    fn block_caches(&mut self) -> (Option<&mut LocalBlockCache>, Option<&ShardCache>) {
+        let shard = self.domain.caches.shard(self.cache_shard);
+        (shard.is_some().then_some(&mut self.local_cache), shard)
+    }
 }
 
 impl Drop for HeHandle {
     fn drop(&mut self) {
         self.clear();
         self.cleanup();
+        // Park the magazine's blocks on the home shard (freeing them when the
+        // cache is off) so surviving threads can recycle them.
+        self.local_cache
+            .drain(self.domain.caches.shard(self.cache_shard));
         // Whatever the final pass could not free is parked on the orphan
         // stack; the next live thread's cleanup pass adopts it.
         self.domain.orphans.push(self.retired.take());

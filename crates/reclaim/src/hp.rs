@@ -15,6 +15,7 @@ use wfe_atomics::CachePadded;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::BlockHeader;
+use crate::cache::{BlockCaches, LocalBlockCache, ShardCache};
 use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
@@ -32,6 +33,8 @@ pub struct Hp {
     hazards: PtrSlotArray,
     /// Not used for safety — only reported in stats for uniformity.
     op_clock: CachePadded<AtomicU64>,
+    /// Per-shard size-class block caches (empty when disabled).
+    caches: BlockCaches,
 }
 
 impl Hp {
@@ -56,8 +59,11 @@ impl Reclaimer for Hp {
     type Handle = HpHandle;
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        let registry = config.build_registry();
+        let caches = BlockCaches::new(&config.block_cache, registry.shard_count());
         Arc::new(Self {
-            registry: config.build_registry(),
+            registry,
+            caches,
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             hazards: PtrSlotArray::new(config.max_threads, config.slots_per_thread),
@@ -70,6 +76,8 @@ impl Reclaimer for Hp {
         let tid = self.registry.try_acquire()?;
         Some(HpHandle {
             shield_slots: ShieldSlots::new(self.config.slots_per_thread),
+            cache_shard: self.registry.shard_of(tid),
+            local_cache: LocalBlockCache::new(),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -87,8 +95,11 @@ impl Reclaimer for Hp {
     }
 
     fn stats(&self) -> SmrStats {
-        self.counters
-            .snapshot(self.op_clock.load(Ordering::Relaxed))
+        let mut stats = self
+            .counters
+            .snapshot(self.op_clock.load(Ordering::Relaxed));
+        self.caches.merge_into(&mut stats);
+        stats
     }
 
     fn config(&self) -> &ReclaimerConfig {
@@ -120,6 +131,10 @@ impl core::fmt::Debug for Hp {
 pub struct HpHandle {
     /// Lease table for this handle's [`Shield`](crate::Shield)s.
     shield_slots: Arc<ShieldSlots>,
+    /// Home registry shard, fixed at registration (indexes the block caches).
+    cache_shard: usize,
+    /// Private block-cache magazine fronting the home shard's freelists.
+    local_cache: LocalBlockCache,
     domain: Arc<Hp>,
     tid: usize,
     retired: RetiredBatch,
@@ -135,6 +150,7 @@ impl HpHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        let shard = domain.caches.shard(self.cache_shard);
         // SAFETY: `fill_snapshot` reads the reservation tables inside
         // `cleanup_pass`, i.e. after the orphan pop and after every block on the
         // batch was retired — the snapshot-freshness contract.
@@ -144,6 +160,8 @@ impl HpHandle {
                 &domain.orphans,
                 &domain.counters,
                 &mut self.snapshot,
+                shard.is_some().then_some(&mut self.local_cache),
+                shard,
                 |snapshot| domain.fill_snapshot(snapshot),
             );
         }
@@ -223,12 +241,21 @@ unsafe impl RawHandle for HpHandle {
     fn force_cleanup(&mut self) {
         self.cleanup();
     }
+
+    fn block_caches(&mut self) -> (Option<&mut LocalBlockCache>, Option<&ShardCache>) {
+        let shard = self.domain.caches.shard(self.cache_shard);
+        (shard.is_some().then_some(&mut self.local_cache), shard)
+    }
 }
 
 impl Drop for HpHandle {
     fn drop(&mut self) {
         self.clear();
         self.cleanup();
+        // Park the magazine's blocks on the home shard (freeing them when the
+        // cache is off) so surviving threads can recycle them.
+        self.local_cache
+            .drain(self.domain.caches.shard(self.cache_shard));
         // Whatever the final pass could not free is parked on the orphan
         // stack; the next live thread's cleanup pass adopts it.
         self.domain.orphans.push(self.retired.take());

@@ -19,6 +19,7 @@ use wfe_sync::EraSource;
 
 use crate::api::{debug_assert_slot_index, Progress, RawHandle, Reclaimer, ReclaimerConfig};
 use crate::block::{BlockHeader, ERA_INF};
+use crate::cache::{BlockCaches, LocalBlockCache, ShardCache};
 use crate::guard::ShieldSlots;
 use crate::registry::ThreadRegistry;
 use crate::retired::{OrphanStack, RetiredBatch};
@@ -38,6 +39,8 @@ pub struct Ibr2Ge {
     global_era: EraSource,
     /// `max_threads × 2`: per-thread `[lower, upper]` interval (`ERA_INF` = idle).
     reservations: SlotArray,
+    /// Per-shard size-class block caches (empty when disabled).
+    caches: BlockCaches,
 }
 
 impl Ibr2Ge {
@@ -75,8 +78,11 @@ impl Reclaimer for Ibr2Ge {
     type Handle = IbrHandle;
 
     fn with_config(config: ReclaimerConfig) -> Arc<Self> {
+        let registry = config.build_registry();
+        let caches = BlockCaches::new(&config.block_cache, registry.shard_count());
         Arc::new(Self {
-            registry: config.build_registry(),
+            registry,
+            caches,
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_era: EraSource::new(1),
@@ -89,6 +95,8 @@ impl Reclaimer for Ibr2Ge {
         let tid = self.registry.try_acquire()?;
         Some(IbrHandle {
             shield_slots: ShieldSlots::new(self.config.slots_per_thread),
+            cache_shard: self.registry.shard_of(tid),
+            local_cache: LocalBlockCache::new(),
             domain: Arc::clone(self),
             tid,
             retired: RetiredBatch::new(),
@@ -107,7 +115,9 @@ impl Reclaimer for Ibr2Ge {
     }
 
     fn stats(&self) -> SmrStats {
-        self.counters.snapshot(self.era())
+        let mut stats = self.counters.snapshot(self.era());
+        self.caches.merge_into(&mut stats);
+        stats
     }
 
     fn config(&self) -> &ReclaimerConfig {
@@ -143,6 +153,10 @@ pub struct IbrHandle {
     /// Lease table for this handle's [`Shield`](crate::Shield)s. 2GEIBR
     /// ignores the indices, but leases keep data structures scheme-generic.
     shield_slots: Arc<ShieldSlots>,
+    /// Home registry shard, fixed at registration (indexes the block caches).
+    cache_shard: usize,
+    /// Private block-cache magazine fronting the home shard's freelists.
+    local_cache: LocalBlockCache,
     domain: Arc<Ibr2Ge>,
     tid: usize,
     retired: RetiredBatch,
@@ -159,6 +173,7 @@ impl IbrHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        let shard = domain.caches.shard(self.cache_shard);
         // SAFETY: `fill_snapshot` reads the reservation tables inside
         // `cleanup_pass`, i.e. after the orphan pop and after every block on the
         // batch was retired — the snapshot-freshness contract.
@@ -168,6 +183,8 @@ impl IbrHandle {
                 &domain.orphans,
                 &domain.counters,
                 &mut self.snapshot,
+                shard.is_some().then_some(&mut self.local_cache),
+                shard,
                 |snapshot| domain.fill_snapshot(snapshot),
             );
         }
@@ -265,12 +282,21 @@ unsafe impl RawHandle for IbrHandle {
         self.domain.global_era.advance(Ordering::AcqRel);
         self.cleanup();
     }
+
+    fn block_caches(&mut self) -> (Option<&mut LocalBlockCache>, Option<&ShardCache>) {
+        let shard = self.domain.caches.shard(self.cache_shard);
+        (shard.is_some().then_some(&mut self.local_cache), shard)
+    }
 }
 
 impl Drop for IbrHandle {
     fn drop(&mut self) {
         self.end_op();
         self.cleanup();
+        // Park the magazine's blocks on the home shard (freeing them when the
+        // cache is off) so surviving threads can recycle them.
+        self.local_cache
+            .drain(self.domain.caches.shard(self.cache_shard));
         // Whatever the final pass could not free is parked on the orphan
         // stack; the next live thread's cleanup pass adopts it.
         self.domain.orphans.push(self.retired.take());

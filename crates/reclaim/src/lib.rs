@@ -33,6 +33,7 @@
 
 pub mod api;
 pub mod block;
+pub mod cache;
 pub mod conformance;
 pub mod ebr;
 pub mod guard;
@@ -53,6 +54,7 @@ pub use api::{
     DomainConfig, DomainConfigBuilder, Handle, Progress, RawHandle, Reclaimer, ReclaimerConfig,
 };
 pub use block::{BlockHeader, Linked, ERA_INF, INVPTR};
+pub use cache::{BlockCacheConfig, BlockCaches, LocalBlockCache, ShardCache, SizeClass};
 pub use ebr::Ebr;
 pub use guard::{Guard, Protected, Shield, ShieldError, ShieldSlots};
 pub use he::He;
@@ -88,6 +90,9 @@ const fn _auto_trait_facts() {
     _assert_send_sync::<Atomic<u64>>();
     // Stats snapshots travel to sampler/reporter threads.
     _assert_send_sync::<SmrStats>();
+    // The block caches hang off domains, so they must share the same facts.
+    _assert_send_sync::<BlockCaches>();
+    _assert_send_sync::<ShardCache>();
 }
 #[allow(dead_code)] // the bounds must hold for *all* R / T / H
 const fn _auto_trait_facts_generic<R: Reclaimer, T, H: RawHandle>() {

@@ -13,6 +13,7 @@ use core::ptr;
 use wfe_sync::atomic::{AtomicU64, Ordering};
 
 use crate::block::{free_block, BlockHeader};
+use crate::cache::{LocalBlockCache, ShardCache};
 use crate::scan::ReservationSet;
 use crate::stats::Counters;
 use crate::treiber::TypeStableStack;
@@ -80,12 +81,22 @@ impl RetiredBatch {
     /// after popping them from the orphan stack) and the per-block test runs
     /// against the snapshot without touching shared memory.
     ///
+    /// Freed class blocks are routed into `local` (the scanning thread's
+    /// private magazine) first, spilling into `shard` (its home-shard cache)
+    /// when the magazine fills; with neither, blocks free straight to the
+    /// allocator.
+    ///
     /// # Safety
     ///
     /// `snapshot` must have been filled from the domain's reservation tables
     /// *after* every block on this batch was retired, so that any reservation
     /// still protecting a block is visible in it.
-    pub unsafe fn scan_against<S: ReservationSet>(&mut self, snapshot: &S) -> usize {
+    pub unsafe fn scan_against<S: ReservationSet>(
+        &mut self,
+        snapshot: &S,
+        mut local: Option<&mut LocalBlockCache>,
+        shard: Option<&ShardCache>,
+    ) -> usize {
         let mut kept_head: *mut BlockHeader = ptr::null_mut();
         let mut kept_len = 0usize;
         let mut freed = 0usize;
@@ -103,7 +114,7 @@ impl RetiredBatch {
                     kept_head = cur;
                     kept_len += 1;
                 } else {
-                    free_block(cur);
+                    free_block(cur, local.as_deref_mut(), shard);
                     freed += 1;
                 }
                 cur = next;
@@ -128,7 +139,7 @@ impl RetiredBatch {
             // blocks; the batch owns them, so each is freed exactly once.
             unsafe {
                 let next = (*cur).next_retired;
-                free_block(cur);
+                free_block(cur, None, None);
                 freed += 1;
                 cur = next;
             }
@@ -193,7 +204,11 @@ impl Drop for RetiredBatch {
 /// The orphan batch is popped *before* `fill` runs so that every adopted
 /// block was retired before the snapshot's loads — the batch scan safety
 /// condition. Adopted survivors are appended to `retired` and rescanned on
-/// the owner's next pass.
+/// the owner's next pass. Freed class blocks land on `local` (the scanning
+/// thread's private magazine), spilling into `shard` (its home-shard block
+/// cache) when the magazine fills; the magazine's hit/miss tallies are
+/// flushed to the shard at the end of the pass, so domain-level stats lag by
+/// at most one cleanup interval.
 ///
 /// # Safety
 ///
@@ -206,6 +221,8 @@ pub unsafe fn cleanup_pass<S: ReservationSet>(
     orphans: &OrphanStack,
     counters: &Counters,
     snapshot: &mut S,
+    mut local: Option<&mut LocalBlockCache>,
+    shard: Option<&ShardCache>,
     fill: impl FnOnce(&mut S),
 ) {
     let adopted = orphans.pop();
@@ -213,14 +230,17 @@ pub unsafe fn cleanup_pass<S: ReservationSet>(
     // SAFETY: `fill` ran after every block on `retired` was retired and after
     // the orphan batch was popped, so the snapshot-freshness contract of
     // `scan_against` holds for both batches (the caller's obligation).
-    let freed = unsafe { retired.scan_against(snapshot) };
+    let freed = unsafe { retired.scan_against(snapshot, local.as_deref_mut(), shard) };
     counters.on_free(freed as u64);
     if let Some(mut batch) = adopted {
         // SAFETY: as above — the snapshot was taken after the pop.
-        let freed = unsafe { batch.scan_against(snapshot) };
+        let freed = unsafe { batch.scan_against(snapshot, local.as_deref_mut(), shard) };
         counters.on_free(freed as u64);
         counters.on_adoption(freed as u64);
         retired.append(&mut batch);
+    }
+    if let (Some(local), Some(shard)) = (local, shard) {
+        local.flush_stats(shard);
     }
 }
 
@@ -369,7 +389,7 @@ mod tests {
         snap.seal();
         // SAFETY: the snapshot was filled after every push; nothing else references
         // the blocks.
-        let freed = unsafe { batch.scan_against(&snap) };
+        let freed = unsafe { batch.scan_against(&snap, None, None) };
         assert_eq!(freed, 1);
         assert_eq!(batch.len(), 2);
         assert_eq!(drops.load(SeqCst), 1);
@@ -378,6 +398,35 @@ mod tests {
         assert_eq!(freed, 2);
         assert_eq!(drops.load(SeqCst), 3);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn scan_routes_freed_blocks_into_the_cache() {
+        let drops = Arc::new(AtomicUsize::new(0));
+        let caches = crate::cache::BlockCaches::new(
+            &crate::cache::BlockCacheConfig {
+                enabled: true,
+                per_class_capacity: 8,
+            },
+            1,
+        );
+        let mut batch = RetiredBatch::new();
+        // SAFETY: freshly allocated blocks owned by the test; each pushed once.
+        unsafe {
+            batch.push(make(&drops));
+            batch.push(make(&drops));
+        }
+        // An empty (sealed) snapshot covers nothing: everything is freeable.
+        let mut snap = HazardSnapshot::new();
+        snap.seal();
+        // SAFETY: snapshot taken after the pushes; nothing else references them.
+        let freed = unsafe { batch.scan_against(&snap, None, caches.shard(0)) };
+        assert_eq!(freed, 2);
+        assert_eq!(drops.load(SeqCst), 2, "payloads dropped");
+        assert!(
+            caches.shard(0).unwrap().cached_bytes() > 0,
+            "freed memory parked on the shard cache"
+        );
     }
 
     #[test]

@@ -92,6 +92,11 @@ impl Counters {
             freed_via_adoption: self.freed_via_adoption.load(Ordering::Relaxed),
             slow_path: self.slow_path.load(Ordering::Relaxed),
             helps: self.helps.load(Ordering::Relaxed),
+            // The cache counters live on the per-shard caches, not here; the
+            // owning domain merges them in (`BlockCaches::merge_into`).
+            cache_hits: 0,
+            cache_misses: 0,
+            cached_bytes: 0,
             era: current_era,
         }
     }
@@ -116,8 +121,29 @@ pub struct SmrStats {
     pub slow_path: u64,
     /// `help_thread` calls performed (WFE only).
     pub helps: u64,
+    /// Cacheable allocations served from a shard's block cache (0 when the
+    /// cache is disabled). Merged from the per-shard caches at snapshot time.
+    pub cache_hits: u64,
+    /// Cacheable allocations that found their shard's freelist empty and fell
+    /// through to the allocator.
+    pub cache_misses: u64,
+    /// Bytes currently parked on the domain's block-cache freelists.
+    pub cached_bytes: u64,
     /// Current value of the global era/epoch clock (0 for schemes without one).
     pub era: u64,
+}
+
+impl SmrStats {
+    /// Fraction of cacheable allocations served from the block cache
+    /// (`0.0` when none were attempted, e.g. cache disabled).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let attempts = self.cache_hits + self.cache_misses;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / attempts as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,6 +178,15 @@ mod tests {
         let c = Counters::new();
         c.on_free(3);
         assert_eq!(c.snapshot(0).unreclaimed, 0);
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_attempts() {
+        let mut s = SmrStats::default();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_hits = 3;
+        s.cache_misses = 1;
+        assert_eq!(s.cache_hit_rate(), 0.75);
     }
 
     #[test]

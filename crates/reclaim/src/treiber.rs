@@ -34,6 +34,12 @@ pub struct TypeStableStack<T> {
     _owns: PhantomData<Box<Node<T>>>,
 }
 
+impl<T> core::fmt::Debug for TypeStableStack<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("TypeStableStack").finish_non_exhaustive()
+    }
+}
+
 // SAFETY: the raw node pointers are owned by the stack; payloads are handed
 // across threads only through the versioned-CAS head, so `T: Send` is the
 // exact requirement.

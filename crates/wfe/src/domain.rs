@@ -7,6 +7,7 @@ use wfe_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use wfe_atomics::CachePadded;
 use wfe_reclaim::api::{Progress, Reclaimer, ReclaimerConfig};
 use wfe_reclaim::block::BlockHeader;
+use wfe_reclaim::cache::BlockCaches;
 use wfe_reclaim::registry::ThreadRegistry;
 use wfe_reclaim::retired::OrphanStack;
 use wfe_reclaim::scan::{EraSnapshot, ReservationSet};
@@ -48,6 +49,8 @@ pub struct Wfe {
     pub(crate) counter_end: CachePadded<AtomicU64>,
     pub(crate) reservations: PairSlotArray,
     pub(crate) state: StateTable,
+    /// Per-shard size-class block caches (empty when disabled).
+    pub(crate) caches: BlockCaches,
 }
 
 impl Wfe {
@@ -266,8 +269,11 @@ impl Reclaimer for Wfe {
             config.fast_path_attempts >= 1,
             "WFE needs at least one fast-path attempt"
         );
+        let registry = ThreadRegistry::with_shards(config.max_threads, config.shards);
+        let caches = BlockCaches::new(&config.block_cache, registry.shard_count());
         Arc::new(Self {
-            registry: ThreadRegistry::with_shards(config.max_threads, config.shards),
+            registry,
+            caches,
             counters: Counters::new(),
             orphans: OrphanStack::new(),
             global_era: EraSource::new(1),
@@ -297,7 +303,9 @@ impl Reclaimer for Wfe {
     }
 
     fn stats(&self) -> SmrStats {
-        self.counters.snapshot(self.era())
+        let mut stats = self.counters.snapshot(self.era());
+        self.caches.merge_into(&mut stats);
+        stats
     }
 
     fn config(&self) -> &ReclaimerConfig {

@@ -6,6 +6,7 @@ use wfe_sync::atomic::{AtomicUsize, Ordering};
 
 use wfe_reclaim::api::{debug_assert_slot_index, RawHandle};
 use wfe_reclaim::block::BlockHeader;
+use wfe_reclaim::cache::{LocalBlockCache, ShardCache};
 use wfe_reclaim::guard::ShieldSlots;
 use wfe_reclaim::retired::RetiredBatch;
 use wfe_reclaim::{ERA_INF, INVPTR};
@@ -18,6 +19,10 @@ pub struct WfeHandle {
     /// (application slots only; the two internal helper slots are never
     /// leasable).
     shield_slots: Arc<ShieldSlots>,
+    /// Home registry shard, fixed at registration (indexes the block caches).
+    cache_shard: usize,
+    /// Private block-cache magazine fronting the home shard's freelists.
+    local_cache: LocalBlockCache,
     domain: Arc<Wfe>,
     tid: usize,
     retired: RetiredBatch,
@@ -32,6 +37,8 @@ impl WfeHandle {
     pub(crate) fn new(domain: Arc<Wfe>, tid: usize) -> Self {
         Self {
             shield_slots: ShieldSlots::new(domain.app_slots()),
+            cache_shard: domain.registry.shard_of(tid),
+            local_cache: LocalBlockCache::new(),
             domain,
             tid,
             retired: RetiredBatch::new(),
@@ -51,12 +58,15 @@ impl WfeHandle {
     fn cleanup(&mut self) {
         self.since_cleanup = 0;
         let domain = &self.domain;
+        let shard = domain.caches.shard(self.cache_shard);
         unsafe {
             wfe_reclaim::retired::cleanup_pass(
                 &mut self.retired,
                 &domain.orphans,
                 &domain.counters,
                 &mut self.snapshot,
+                shard.is_some().then_some(&mut self.local_cache),
+                shard,
                 |snapshot| domain.fill_snapshot(snapshot),
             );
         }
@@ -239,12 +249,21 @@ unsafe impl RawHandle for WfeHandle {
         self.domain.increment_era(self.tid);
         self.cleanup();
     }
+
+    fn block_caches(&mut self) -> (Option<&mut LocalBlockCache>, Option<&ShardCache>) {
+        let shard = self.domain.caches.shard(self.cache_shard);
+        (shard.is_some().then_some(&mut self.local_cache), shard)
+    }
 }
 
 impl Drop for WfeHandle {
     fn drop(&mut self) {
         self.clear();
         self.cleanup();
+        // Park the magazine's blocks on the home shard (freeing them when the
+        // cache is off) so surviving threads can recycle them.
+        self.local_cache
+            .drain(self.domain.caches.shard(self.cache_shard));
         // Whatever the final pass could not free is parked on the orphan
         // stack; the next live thread's cleanup pass adopts it.
         self.domain.orphans.push(self.retired.take());

@@ -32,14 +32,18 @@ fn exercise<R: Reclaimer, M: ConcurrentMap<R>>(label: &str) {
             scope.spawn(move || {
                 let mut handle = domain.register();
                 // A simple deterministic mixed workload: ~50% reads, ~25%
-                // inserts, ~25% removes over a shared key range.
+                // inserts, ~25% removes over a shared key range. The op
+                // selector uses the high bits: `x % 4` would be correlated
+                // with `key % 4` (4 divides the key range), which partitions
+                // inserts and removes onto disjoint keys and starves the
+                // remove path.
                 let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
                 for _ in 0..OPS {
                     x ^= x << 13;
                     x ^= x >> 7;
                     x ^= x << 17;
                     let key = x % KEY_RANGE;
-                    match x % 4 {
+                    match (x >> 60) % 4 {
                         0 => {
                             map.insert(&mut handle, key, key * 2);
                         }
@@ -59,9 +63,10 @@ fn exercise<R: Reclaimer, M: ConcurrentMap<R>>(label: &str) {
 
     let stats = domain.stats();
     println!(
-        "{label:45} {:>9.1} ops/ms   unreclaimed at end: {}",
+        "{label:45} {:>9.1} ops/ms   unreclaimed at end: {}   cache hits: {:.1}%",
         (THREADS as u64 * OPS) as f64 / start.elapsed().as_millis().max(1) as f64,
-        stats.unreclaimed
+        stats.unreclaimed,
+        stats.cache_hit_rate() * 100.0
     );
 }
 
@@ -98,7 +103,7 @@ fn pooled_service_demo() {
                         x ^= x >> 7;
                         x ^= x << 17;
                         let key = x % KEY_RANGE;
-                        match x % 4 {
+                        match (x >> 60) % 4 {
                             0 => {
                                 map.insert(&mut handle, key, key * 2);
                             }
@@ -117,19 +122,28 @@ fn pooled_service_demo() {
 
     let elapsed = start.elapsed();
     let pool_stats = pool.stats();
+    let stats = domain.stats();
     let registry = domain.registry();
     println!(
         "{:45} {:>9.1} ops/ms   unreclaimed at end: {}",
         "Michael hash map + WFE + HandlePool",
         (WORKERS as u64 * TASKS_PER_WORKER * OPS_PER_TASK) as f64
             / elapsed.as_millis().max(1) as f64,
-        domain.stats().unreclaimed
+        stats.unreclaimed
     );
     println!(
         "  pool: {} check-outs, {:.1}% served from the pool, {} parked now",
         pool_stats.checkouts,
         pool_stats.hit_rate() * 100.0,
         pool_stats.parked
+    );
+    println!(
+        "  block cache: {:.1}% of cacheable allocs recycled ({} hits / {} misses), \
+         {} bytes parked now",
+        stats.cache_hit_rate() * 100.0,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cached_bytes
     );
     let occupancy: Vec<usize> = (0..registry.shard_count())
         .map(|shard| registry.shard_occupancy(shard))

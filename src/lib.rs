@@ -71,9 +71,9 @@ pub use wfe_ds::{
     MichaelScottQueue, NatarajanBst, TreiberStack,
 };
 pub use wfe_reclaim::{
-    Atomic, DomainConfig, DomainConfigBuilder, Ebr, Guard, Handle, HandlePool, He, Hp, Ibr2Ge,
-    Leak, Linked, PoolStats, PooledHandle, Progress, Protected, RawHandle, Reclaimer,
-    ReclaimerConfig, Shield, ShieldError, ShieldSlots, SmrStats, ThreadRegistry,
+    Atomic, BlockCacheConfig, DomainConfig, DomainConfigBuilder, Ebr, Guard, Handle, HandlePool,
+    He, Hp, Ibr2Ge, Leak, Linked, PoolStats, PooledHandle, Progress, Protected, RawHandle,
+    Reclaimer, ReclaimerConfig, Shield, ShieldError, ShieldSlots, SmrStats, ThreadRegistry,
 };
 pub use wfe_task::{AsyncGuard, TaskHandle};
 

@@ -1,0 +1,173 @@
+//! The block-cache experiment: concurrent push/pop churn against a
+//! [`ShardCache`] under exact interleavings.
+//!
+//! The cache parks raw block addresses on a bounded, versioned
+//! `TypeStableStack` per size class, with an optimistic length reservation
+//! deciding cache-vs-overflow. The properties driven here:
+//!
+//! 1. **Block conservation** — across any interleaving of pushers and
+//!    poppers, every block the cache accepted (`push` returned `true`) is
+//!    handed out exactly once: by a racing `pop`, or by the drain at the
+//!    end. A duplicated hand-out (the ABA shape, were the freelist
+//!    unversioned) or a lost block breaks the count.
+//! 2. **Boundedness** — once quiesced, the bytes parked never exceed
+//!    `per_class_capacity × class size`, even though the length reservation
+//!    transiently overshoots while pushes are in flight.
+//! 3. **Replay determinism** — a deliberately racy expectation (a pop that
+//!    assumes a concurrent push is already visible) fails under some
+//!    schedule, and replaying the reported seed reproduces a byte-identical
+//!    failure report.
+//!
+//! Blocks are allocated directly with the class layout (the same layout
+//! `alloc_class` uses), so a block the cache drains internally is returned
+//! with the layout it expects.
+
+use std::sync::Arc;
+
+use wfe_reclaim::{BlockCacheConfig, BlockCaches, SizeClass};
+use wfe_sync::atomic::{AtomicUsize, Ordering};
+
+use crate::SCHEDULES;
+
+/// One-shard caches with a tiny per-class bound, so short schedules reach
+/// the overflow path too.
+fn small_caches(per_class_capacity: usize) -> BlockCaches {
+    BlockCaches::new(
+        &BlockCacheConfig {
+            enabled: true,
+            per_class_capacity,
+        },
+        1,
+    )
+}
+
+/// Allocates one block of `class`'s fixed layout, as the block layer does.
+fn alloc_block(class: SizeClass) -> *mut u8 {
+    // SAFETY: class layouts are valid and non-zero-sized.
+    let ptr = unsafe { std::alloc::alloc(class.layout()) };
+    assert!(!ptr.is_null(), "allocation failed");
+    ptr
+}
+
+/// Returns a block obtained from [`alloc_block`] (directly or via a pop).
+///
+/// # Safety
+///
+/// `ptr` must carry `class`'s layout and must not be freed twice.
+unsafe fn free_block(class: SizeClass, ptr: *mut u8) {
+    // SAFETY: forwarded contract.
+    unsafe { std::alloc::dealloc(ptr, class.layout()) };
+}
+
+/// The conservation driver: two threads interleave pushes and pops over one
+/// shard cache with capacity 2, then the main thread drains what is left.
+fn churn_vs_drain() {
+    let class = SizeClass::of(48, 8).expect("fits the smallest class");
+    const CAPACITY: usize = 2;
+    let caches = Arc::new(small_caches(CAPACITY));
+    let cached = Arc::new(AtomicUsize::new(0));
+    let handed_out = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..2)
+        .map(|worker| {
+            let caches = Arc::clone(&caches);
+            let cached = Arc::clone(&cached);
+            let handed_out = Arc::clone(&handed_out);
+            shuttle::thread::spawn(move || {
+                let cache = caches.shard(0).expect("cache enabled");
+                for round in 0..3 {
+                    // Thread 0 leads with pushes, thread 1 with pops, so the
+                    // schedules cover both push-vs-push and pop-vs-drain.
+                    if (round + worker) % 2 == 0 {
+                        // SAFETY: freshly allocated with this class, pushed
+                        // exactly once.
+                        if unsafe { cache.push(class, alloc_block(class)) } {
+                            cached.fetch_add(1, Ordering::SeqCst);
+                        }
+                    } else if let Some(block) = cache.pop(class) {
+                        handed_out.fetch_add(1, Ordering::SeqCst);
+                        // SAFETY: a popped block is exclusively owned and
+                        // freed exactly once.
+                        unsafe { free_block(class, block) };
+                    }
+                }
+            })
+        })
+        .collect();
+    for worker in workers {
+        worker.join().unwrap();
+    }
+
+    let cache = caches.shard(0).expect("cache enabled");
+    assert!(
+        cache.cached_bytes() as usize <= CAPACITY * class.size(),
+        "quiesced cache exceeds its byte bound"
+    );
+    let mut drained = 0usize;
+    while let Some(block) = cache.pop(class) {
+        drained += 1;
+        // SAFETY: each parked block is popped (hence freed) exactly once.
+        unsafe { free_block(class, block) };
+    }
+    assert_eq!(
+        cached.load(Ordering::SeqCst),
+        handed_out.load(Ordering::SeqCst) + drained,
+        "block conservation violated: a cached block was lost or handed out twice"
+    );
+}
+
+/// A deliberately racy driver: the main thread pops while another thread is
+/// still mid-push and asserts the push must already be visible — false under
+/// any schedule that runs the pop first.
+fn racy_pop_expectation() {
+    let class = SizeClass::of(48, 8).expect("fits the smallest class");
+    let caches = Arc::new(small_caches(2));
+    let pusher = {
+        let caches = Arc::clone(&caches);
+        shuttle::thread::spawn(move || {
+            let cache = caches.shard(0).expect("cache enabled");
+            // SAFETY: freshly allocated with this class, pushed exactly once.
+            let pushed = unsafe { cache.push(class, alloc_block(class)) };
+            assert!(pushed, "below capacity");
+        })
+    };
+    let cache = caches.shard(0).expect("cache enabled");
+    let popped = cache.pop(class);
+    pusher.join().unwrap();
+    if let Some(block) = popped {
+        // SAFETY: popped once, freed once; the un-popped case is drained by
+        // the caches' drop.
+        unsafe { free_block(class, block) };
+    } else {
+        panic!("racy expectation: the concurrent push was not yet visible");
+    }
+}
+
+#[test]
+fn shard_cache_conserves_blocks_under_push_pop_drain_races() {
+    shuttle::check_random(churn_vs_drain, SCHEDULES);
+}
+
+#[test]
+fn racy_pop_expectation_fails_and_the_seed_replays_identically() {
+    let failure = shuttle::search_for_failure(
+        shuttle::Config {
+            schedules: 10_000,
+            ..shuttle::Config::default()
+        },
+        racy_pop_expectation,
+    );
+    let (seed, report) = failure.expect("some schedule must run the pop before the push");
+    assert!(
+        report.contains("racy expectation"),
+        "unexpected failure report: {report}"
+    );
+
+    // Determinism: replaying the reported per-schedule seed must reproduce
+    // the identical failure, twice, byte for byte.
+    let config = shuttle::Config::default();
+    let first = shuttle::run_seed(&config, seed, racy_pop_expectation)
+        .expect("the reported seed must reproduce the failure");
+    let second = shuttle::run_seed(&config, seed, racy_pop_expectation)
+        .expect("replaying the seed must fail again");
+    assert_eq!(first, second, "replays of one seed must be byte-identical");
+}

@@ -20,6 +20,7 @@
 #![cfg(wfe_model)]
 
 mod aba;
+mod cache;
 mod era;
 mod orphan;
 mod shield;

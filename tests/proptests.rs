@@ -13,6 +13,7 @@ use proptest::prelude::*;
 use wfe_suite::wfe_atomics::AtomicPair;
 use wfe_suite::wfe_reclaim::conformance::DropCounter;
 use wfe_suite::wfe_reclaim::ptr::tag;
+use wfe_suite::wfe_reclaim::BlockCacheConfig;
 use wfe_suite::{
     Atomic, CrTurnQueue, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak, Linked,
     MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst, PooledHandle, RawHandle,
@@ -230,6 +231,76 @@ fn check_retirement_pipeline<R: Reclaimer>(steps: &[SmrStep]) {
         drops.load(Ordering::SeqCst),
         allocated,
         "every retired block dropped exactly once, none leaked"
+    );
+}
+
+/// Drives the same interleaved retire/drop/adopt sequence as
+/// [`check_retirement_pipeline`], but with the per-shard block cache pinned
+/// explicitly on or off. With the cache on, a tiny per-class capacity forces
+/// the overflow path too, and freed blocks are recycled through the shard
+/// freelists into later allocations — the drop counter still may never
+/// outrun the allocations (a recycled block must not re-drop its payload),
+/// and once the domain drops (draining its caches) every allocation must
+/// have been dropped exactly once. The cache-off run of the identical step
+/// sequence is the parity baseline.
+fn check_retirement_pipeline_with_cache<R: Reclaimer>(steps: &[SmrStep], cache: bool) {
+    const POOL: usize = 4;
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut allocated = 0usize;
+    {
+        let domain = R::with_config(ReclaimerConfig {
+            cleanup_freq: 3,
+            era_freq: 2,
+            block_cache: BlockCacheConfig {
+                enabled: cache,
+                per_class_capacity: 2,
+            },
+            ..ReclaimerConfig::with_max_threads(POOL)
+        });
+        let mut handles: Vec<Option<R::Handle>> = (0..POOL).map(|_| None).collect();
+        for &step in steps {
+            match step {
+                SmrStep::Register(slot) => {
+                    if handles[slot].is_none() {
+                        handles[slot] = domain.try_register();
+                        assert!(handles[slot].is_some(), "pool never exceeds max_threads");
+                    }
+                }
+                SmrStep::Retire(slot) => {
+                    if let Some(handle) = handles[slot].as_mut() {
+                        let block = handle.alloc(DropCounter::new(&drops));
+                        allocated += 1;
+                        unsafe { handle.retire(block) };
+                    }
+                }
+                SmrStep::DropHandle(slot) => {
+                    handles[slot] = None;
+                }
+                SmrStep::Cleanup(slot) => {
+                    if let Some(handle) = handles[slot].as_mut() {
+                        handle.force_cleanup();
+                    }
+                }
+            }
+            assert!(
+                drops.load(Ordering::SeqCst) <= allocated,
+                "a recycled block re-dropped its payload"
+            );
+        }
+        if !cache {
+            assert_eq!(
+                domain.stats().cache_hits + domain.stats().cached_bytes,
+                0,
+                "a disabled cache must see no traffic"
+            );
+        }
+        drop(handles);
+        drop(domain);
+    }
+    assert_eq!(
+        drops.load(Ordering::SeqCst),
+        allocated,
+        "every retired block dropped exactly once, none leaked through the cache"
     );
 }
 
@@ -469,6 +540,30 @@ proptest! {
         steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
     ) {
         check_retirement_pipeline::<Hp>(&steps);
+    }
+
+    #[test]
+    fn block_cache_pipeline_never_double_frees_or_leaks_wfe(
+        steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
+    ) {
+        check_retirement_pipeline_with_cache::<Wfe>(&steps, true);
+        check_retirement_pipeline_with_cache::<Wfe>(&steps, false);
+    }
+
+    #[test]
+    fn block_cache_pipeline_never_double_frees_or_leaks_he(
+        steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
+    ) {
+        check_retirement_pipeline_with_cache::<He>(&steps, true);
+        check_retirement_pipeline_with_cache::<He>(&steps, false);
+    }
+
+    #[test]
+    fn block_cache_pipeline_never_double_frees_or_leaks_hp(
+        steps in proptest::collection::vec(smr_step_strategy(4), 1..250)
+    ) {
+        check_retirement_pipeline_with_cache::<Hp>(&steps, true);
+        check_retirement_pipeline_with_cache::<Hp>(&steps, false);
     }
 
     #[test]
