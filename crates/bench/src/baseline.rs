@@ -129,6 +129,9 @@ mod tests {
             cache_hits: 0.0,
             cache_misses: 0.0,
             cached_bytes: 0.0,
+            load_factor: 0.0,
+            resizes: 0.0,
+            migrated_buckets: 0.0,
         }
     }
 

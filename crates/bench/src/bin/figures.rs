@@ -11,9 +11,12 @@
 //! `figure,structure,workload,scheme,threads,mops,avg_unreclaimed,`
 //! `adopted_batches,freed_via_adoption,shards,avg_occupied_shards,`
 //! `pool_hit_rate,tasks,unreclaimed_bytes,cache_hits,cache_misses,`
-//! `cached_bytes` (`tasks`/`unreclaimed_bytes` are filled by the `kv-async`
-//! figure, whose swept axis is the task count; the cache counters are live
-//! wherever the per-shard block cache is enabled).
+//! `cached_bytes,load_factor,resizes,migrated_buckets`
+//! (`tasks`/`unreclaimed_bytes` are filled by the `kv-async` figure, whose
+//! swept axis is the task count; the cache counters are live wherever the
+//! per-shard block cache is enabled; the last three columns are filled by
+//! the `kv-service` figure's resizable map and are 0 for fixed-capacity
+//! structures).
 //!
 //! `--block-cache on|off` pins the per-shard block cache for every domain the
 //! sweep builds; without it, domains use the library default and the

@@ -39,12 +39,15 @@
 use wfe_core::Wfe;
 use wfe_ds::{
     CrTurnQueue, KoganPetrankQueue, MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst,
+    ResizableHashMap,
 };
 use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, Reclaimer};
 
 use crate::params::BenchParams;
-use crate::runner::{run_async_kv, run_churn_map, run_map, run_pooled_map, run_queue, DataPoint};
-use crate::workload::MapWorkload;
+use crate::runner::{
+    run_async_kv, run_churn_map, run_kv_service, run_map, run_pooled_map, run_queue, DataPoint,
+};
+use crate::workload::{MapWorkload, ServiceWorkload};
 
 /// The reclamation schemes compared in every figure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -244,6 +247,35 @@ pub fn run_async_point(scheme: Scheme, tasks: usize, params: &BenchParams) -> Da
     }
 }
 
+fn service_point_for<R: Reclaimer>(
+    scheme: &'static str,
+    workload: ServiceWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    run_kv_service::<R, ResizableHashMap<u64, R>>(scheme, "resizable", workload, threads, params)
+}
+
+/// Measures one kv-service data point for one scheme: the split-ordered
+/// resizable hash map under a service-shaped leg (Zipfian read-mostly or
+/// write-heavy, TTL expiry, or resize storm).
+pub fn run_service_point(
+    scheme: Scheme,
+    workload: ServiceWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint {
+    let name = scheme.name();
+    match scheme {
+        Scheme::Wfe => service_point_for::<Wfe>(name, workload, threads, params),
+        Scheme::Ebr => service_point_for::<Ebr>(name, workload, threads, params),
+        Scheme::He => service_point_for::<He>(name, workload, threads, params),
+        Scheme::Hp => service_point_for::<Hp>(name, workload, threads, params),
+        Scheme::Ibr => service_point_for::<Ibr2Ge>(name, workload, threads, params),
+        Scheme::Leak => service_point_for::<Leak>(name, workload, threads, params),
+    }
+}
+
 fn churn_point_for<R: Reclaimer>(
     scheme: &'static str,
     label: &'static str,
@@ -334,12 +366,19 @@ pub enum Figure {
     /// retire→free→alloc recycling A/B. Rows carry the cache hit/miss
     /// counters and the bytes left parked in the caches.
     CrossShardChurn,
+    /// Beyond the paper: the split-ordered *resizable* hash map as a kv
+    /// service — Zipfian read-mostly and write-heavy mixes, a TTL expiry
+    /// sweep and a resize storm, all seed-replayable. Rows carry the map's
+    /// `load_factor`, `resizes` and `migrated_buckets` columns, showing
+    /// superseded bucket arrays flowing through the reclamation scheme
+    /// while readers stay pinned.
+    KvService,
 }
 
 impl Figure {
     /// Every figure, in paper order, followed by the ablations and the
     /// extra baselines.
-    pub const ALL: [Figure; 14] = [
+    pub const ALL: [Figure; 15] = [
         Figure::Fig5ab,
         Figure::Fig5cd,
         Figure::Fig6,
@@ -354,6 +393,7 @@ impl Figure {
         Figure::KvPool,
         Figure::KvAsync,
         Figure::CrossShardChurn,
+        Figure::KvService,
     ];
 
     /// CLI name of the figure.
@@ -373,6 +413,7 @@ impl Figure {
             Figure::KvPool => "kv-pool",
             Figure::KvAsync => "kv-async",
             Figure::CrossShardChurn => "cross-shard-churn",
+            Figure::KvService => "kv-service",
         }
     }
 
@@ -414,6 +455,11 @@ impl Figure {
             Figure::CrossShardChurn => {
                 "Michael hash map 50/50 on a sharded registry, per-shard block \
                  cache on vs off (beyond the paper)"
+            }
+            Figure::KvService => {
+                "Split-ordered resizable hash map as a kv service: Zipfian \
+                 read-mostly/write-heavy, TTL expiry and resize storm \
+                 (beyond the paper)"
             }
         }
     }
@@ -485,6 +531,15 @@ impl Figure {
                             let mut tweaked = params.clone();
                             tweaked.block_cache = Some(enabled);
                             points.push(run_churn_point(scheme, label, threads, &tweaked));
+                        }
+                    }
+                }
+            }
+            Figure::KvService => {
+                for workload in ServiceWorkload::ALL {
+                    for &threads in &params.threads {
+                        for &scheme in schemes {
+                            points.push(run_service_point(scheme, workload, threads, params));
                         }
                     }
                 }
@@ -659,6 +714,36 @@ mod tests {
         let points = Figure::CrossShardChurn.run(&params, &[Scheme::He]);
         assert_eq!(points.len(), 1);
         assert_eq!(points[0].workload, "churn-cache-off");
+    }
+
+    #[test]
+    fn kv_service_sweeps_all_legs_and_the_storm_resizes() {
+        let mut params = BenchParams::smoke();
+        params.threads = vec![2];
+        let schemes = [Scheme::Wfe];
+        let points = Figure::KvService.run(&params, &schemes);
+        assert_eq!(points.len(), ServiceWorkload::ALL.len());
+        assert!(points.iter().all(|p| p.structure == "resizable"));
+        assert!(points.iter().all(|p| p.mops > 0.0));
+        let labels: Vec<_> = points.iter().map(|p| p.workload).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "kv-zipf-read90",
+                "kv-zipf-write50",
+                "kv-ttl",
+                "kv-resize-storm"
+            ]
+        );
+        let storm = points
+            .iter()
+            .find(|p| p.workload == "kv-resize-storm")
+            .unwrap();
+        assert!(
+            storm.resizes > 0.0 && storm.migrated_buckets > 0.0,
+            "the storm leg must force directory doublings (resizes {})",
+            storm.resizes
+        );
     }
 
     #[test]

@@ -24,8 +24,8 @@ use wfe_reclaim::{
 use wfe_task::TaskHandle;
 
 use crate::params::BenchParams;
-use crate::workload::{MapOp, MapWorkload, OpGenerator};
-use wfe_ds::{ConcurrentMap, ConcurrentQueue};
+use crate::workload::{MapOp, MapWorkload, OpGenerator, ServiceOpGenerator, ServiceWorkload};
+use wfe_ds::{ConcurrentMap, ConcurrentQueue, MapServiceStats};
 
 /// How often the sampler thread reads the unreclaimed-object counter.
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(5);
@@ -140,6 +140,15 @@ pub struct DataPoint {
     /// Bytes parked in the per-shard block caches when the run ended
     /// (averaged over repeats).
     pub cached_bytes: f64,
+    /// End-of-run elements-per-bucket ratio of a resizable map
+    /// (`kv-service` figure; 0 for fixed-capacity structures).
+    pub load_factor: f64,
+    /// Bucket-array doublings the resizable map performed during the run
+    /// (end-of-run total, averaged over repeats; 0 elsewhere).
+    pub resizes: f64,
+    /// Buckets whose cached dummy pointers were carried into a new directory
+    /// by those resizes (end-of-run total, averaged over repeats).
+    pub migrated_buckets: f64,
 }
 
 impl DataPoint {
@@ -147,12 +156,14 @@ impl DataPoint {
     pub const CSV_HEADER: &'static str =
         "structure,workload,scheme,threads,mops,avg_unreclaimed,adopted_batches,\
          freed_via_adoption,shards,avg_occupied_shards,pool_hit_rate,tasks,\
-         unreclaimed_bytes,cache_hits,cache_misses,cached_bytes";
+         unreclaimed_bytes,cache_hits,cache_misses,cached_bytes,load_factor,\
+         resizes,migrated_buckets";
 
     /// Renders the point as one CSV row.
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3},{},{:.0},{:.1},{:.1},{:.0}",
+            "{},{},{},{},{:.4},{:.1},{:.1},{:.1},{},{:.2},{:.3},{},{:.0},{:.1},{:.1},{:.0},\
+             {:.3},{:.1},{:.1}",
             self.structure,
             self.workload,
             self.scheme,
@@ -168,7 +179,10 @@ impl DataPoint {
             self.unreclaimed_bytes,
             self.cache_hits,
             self.cache_misses,
-            self.cached_bytes
+            self.cached_bytes,
+            self.load_factor,
+            self.resizes,
+            self.migrated_buckets
         )
     }
 }
@@ -239,6 +253,9 @@ struct RunOutcome {
     tasks: u64,
     /// `kv-async` runs only; 0 elsewhere.
     unreclaimed_bytes: f64,
+    /// End-of-run resizable-map stats (`kv-service` figure; zeros for
+    /// fixed-capacity structures, which keep the trait's default impl).
+    service: MapServiceStats,
 }
 
 /// The sampling loop every runner's main thread executes while its workers
@@ -376,7 +393,123 @@ where
         pool_hit_rate: 0.0,
         tasks: 0,
         unreclaimed_bytes: 0.0,
+        service: map.service_stats(),
     }
+}
+
+/// Runs the service-shaped map workload once (the `kv-service` figure):
+/// Zipfian key popularity, TTL expiry or resize-storm churn depending on the
+/// leg, with the map's end-of-run resize statistics captured into the
+/// outcome. Only the zipf legs prefill — the TTL and storm legs measure the
+/// map growing from its initial directory.
+fn run_kv_service_once<R, M>(
+    threads: usize,
+    workload: ServiceWorkload,
+    params: &BenchParams,
+    seed: u64,
+) -> RunOutcome
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let domain = R::with_config(domain_config::<R>(threads, M::required_slots(), params));
+    let map = M::with_domain(Arc::clone(&domain));
+    if workload.prefills() {
+        prefill_map(&domain, &map, MapWorkload::WriteDominated, params, seed);
+    }
+
+    let stop = AtomicBool::new(false);
+    let measuring = AtomicBool::new(false);
+    let total_ops = AtomicU64::new(0);
+    let barrier = Barrier::new(threads + 1);
+    let mut unreclaimed_sampler = Sampler::new();
+    let mut occupancy_sampler = Sampler::new();
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| {
+        for thread in 0..threads {
+            let domain = Arc::clone(&domain);
+            let map = &map;
+            let stop = &stop;
+            let measuring = &measuring;
+            let total_ops = &total_ops;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                let mut generator =
+                    ServiceOpGenerator::new(workload, params.key_range, seed, thread);
+                barrier.wait();
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if !measuring.load(Ordering::Relaxed) {
+                        ops = 0;
+                    }
+                    match generator.next_op() {
+                        MapOp::Insert(key) => {
+                            map.insert(&mut handle, key, key);
+                        }
+                        MapOp::Remove(key) => {
+                            map.remove(&mut handle, key);
+                        }
+                        MapOp::Get(key) => {
+                            map.get(&mut handle, key);
+                        }
+                    }
+                    ops += 1;
+                }
+                total_ops.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        elapsed = drive_sampling(
+            &domain,
+            params,
+            &barrier,
+            &measuring,
+            &stop,
+            &mut unreclaimed_sampler,
+            &mut occupancy_sampler,
+        );
+    });
+
+    RunOutcome {
+        ops: total_ops.into_inner(),
+        avg_unreclaimed: unreclaimed_sampler.average(),
+        avg_occupied_shards: occupancy_sampler.average(),
+        shards: domain.registry().shard_count(),
+        elapsed,
+        stats: domain.stats(),
+        pool_hit_rate: 0.0,
+        tasks: 0,
+        unreclaimed_bytes: 0.0,
+        service: map.service_stats(),
+    }
+}
+
+/// Measures one kv-service data point (averaged over `params.repeats` runs).
+/// The seed is derived from the leg so every leg's key stream is distinct but
+/// replayable.
+pub fn run_kv_service<R, M>(
+    scheme: &'static str,
+    structure: &'static str,
+    workload: ServiceWorkload,
+    threads: usize,
+    params: &BenchParams,
+) -> DataPoint
+where
+    R: Reclaimer,
+    M: ConcurrentMap<R>,
+{
+    let leg = workload as u64;
+    average_point(
+        scheme,
+        structure,
+        workload.label(),
+        threads,
+        params,
+        |repeat| {
+            run_kv_service_once::<R, M>(threads, workload, params, 0x5E41_1CE0 + leg * 97 + repeat)
+        },
+    )
 }
 
 /// Runs the map workload once with pooled handles at task-churn grain: each
@@ -458,6 +591,7 @@ where
         pool_hit_rate: pool.stats().hit_rate(),
         tasks: 0,
         unreclaimed_bytes: 0.0,
+        service: map.service_stats(),
     }
 }
 
@@ -580,6 +714,7 @@ where
         pool_hit_rate: pool.stats().hit_rate(),
         tasks: tasks as u64,
         unreclaimed_bytes: unreclaimed_sampler.average() * M::node_bytes() as f64,
+        service: map.service_stats(),
     }
 }
 
@@ -685,6 +820,7 @@ where
         pool_hit_rate: 0.0,
         tasks: 0,
         unreclaimed_bytes: 0.0,
+        service: MapServiceStats::default(),
     }
 }
 
@@ -711,6 +847,9 @@ fn average_point(
     let mut cache_hits = 0.0;
     let mut cache_misses = 0.0;
     let mut cached_bytes = 0.0;
+    let mut load_factor = 0.0;
+    let mut resizes = 0.0;
+    let mut migrated_buckets = 0.0;
     for repeat in 0..repeats {
         let outcome = run(repeat as u64);
         mops += outcome.ops as f64 / outcome.elapsed.as_secs_f64() / 1e6;
@@ -725,6 +864,9 @@ fn average_point(
         cache_hits += outcome.stats.cache_hits as f64;
         cache_misses += outcome.stats.cache_misses as f64;
         cached_bytes += outcome.stats.cached_bytes as f64;
+        load_factor += outcome.service.load_factor;
+        resizes += outcome.service.resizes as f64;
+        migrated_buckets += outcome.service.migrated_buckets as f64;
     }
     let repeats = repeats as f64;
     DataPoint {
@@ -744,6 +886,9 @@ fn average_point(
         cache_hits: cache_hits / repeats,
         cache_misses: cache_misses / repeats,
         cached_bytes: cached_bytes / repeats,
+        load_factor: load_factor / repeats,
+        resizes: resizes / repeats,
+        migrated_buckets: migrated_buckets / repeats,
     }
 }
 
@@ -846,7 +991,7 @@ where
 mod tests {
     use super::*;
     use wfe_core::Wfe;
-    use wfe_ds::{MichaelHashMap, MichaelScottQueue};
+    use wfe_ds::{MichaelHashMap, MichaelScottQueue, ResizableHashMap};
     use wfe_reclaim::He;
 
     #[test]
@@ -866,6 +1011,48 @@ mod tests {
         assert!(point.avg_occupied_shards <= point.shards as f64);
         assert_eq!(point.pool_hit_rate, 0.0, "no pool in the per-thread runner");
         assert!(point.to_csv_row().starts_with("hashmap,write50,WFE,2,"));
+    }
+
+    #[test]
+    fn kv_service_runner_reports_resize_stats() {
+        let params = BenchParams::smoke();
+        let point = run_kv_service::<Wfe, ResizableHashMap<u64, Wfe>>(
+            "WFE",
+            "resizable",
+            ServiceWorkload::ResizeStorm,
+            2,
+            &params,
+        );
+        assert_eq!(point.workload, "kv-resize-storm");
+        assert!(point.mops > 0.0, "some operations completed");
+        assert!(
+            point.resizes > 0.0,
+            "a storm of fresh keys must double the directory (resizes {})",
+            point.resizes
+        );
+        assert!(point.migrated_buckets > 0.0);
+        assert!(point.load_factor > 0.0);
+        let row = point.to_csv_row();
+        assert_eq!(
+            row.matches(',').count(),
+            DataPoint::CSV_HEADER.matches(',').count(),
+            "row column count matches the header: {row}"
+        );
+    }
+
+    #[test]
+    fn fixed_capacity_runner_reports_zero_service_stats() {
+        let params = BenchParams::smoke();
+        let point = run_map::<He, MichaelHashMap<u64, He>>(
+            "HE",
+            "hashmap",
+            MapWorkload::WriteDominated,
+            1,
+            &params,
+        );
+        assert_eq!(point.load_factor, 0.0);
+        assert_eq!(point.resizes, 0.0);
+        assert_eq!(point.migrated_buckets, 0.0);
     }
 
     #[test]

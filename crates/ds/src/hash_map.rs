@@ -55,10 +55,13 @@ impl<V, R: Reclaimer> MichaelHashMap<V, R> {
 
     #[inline]
     fn bucket(&self, key: u64) -> &MichaelList<V, R> {
-        // Fibonacci hashing spreads consecutive keys (the benchmark draws keys
-        // uniformly from a contiguous range) over the buckets.
-        let hashed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        let index = (hashed >> 32) as usize % self.buckets.len();
+        // The shared full-avalanche mixer (`hash::mix64`): every output bit
+        // depends on every input bit, so folding the whole word with `%` is
+        // uniform for any bucket count. The previous single Fibonacci
+        // multiply took `% len` on the high 32 bits only — a silent
+        // distribution degradation pinned down by the chi-square test in
+        // `crate::hash`.
+        let index = crate::hash::mix64(key) as usize % self.buckets.len();
         &self.buckets[index]
     }
 

@@ -10,6 +10,9 @@
 //! * [`MichaelList`] — Harris-Michael sorted linked list (Figures 6 and 9);
 //! * [`MichaelHashMap`] — Michael's hash map, one list per bucket
 //!   (Figures 7 and 10);
+//! * [`ResizableHashMap`] — the Shalev-Herlihy split-ordered resizable hash
+//!   map: superseded bucket arrays are retired through the reclamation
+//!   scheme (the kv-service workload);
 //! * [`NatarajanBst`] — the Natarajan-Mittal external binary search tree
 //!   (Figures 8 and 11);
 //! * [`KoganPetrankQueue`] — the Kogan-Petrank wait-free queue (Figure 5a/5b);
@@ -33,11 +36,13 @@
 #![warn(rust_2018_idioms)]
 
 pub mod crturn_queue;
+pub mod hash;
 pub mod hash_map;
 pub mod kp_queue;
 pub mod michael_list;
 pub mod ms_queue;
 pub mod natarajan_bst;
+pub mod resizable_map;
 pub mod traits;
 pub mod treiber_stack;
 
@@ -47,5 +52,6 @@ pub use kp_queue::KoganPetrankQueue;
 pub use michael_list::MichaelList;
 pub use ms_queue::MichaelScottQueue;
 pub use natarajan_bst::NatarajanBst;
-pub use traits::{ConcurrentMap, ConcurrentQueue};
+pub use resizable_map::ResizableHashMap;
+pub use traits::{ConcurrentMap, ConcurrentQueue, MapServiceStats};
 pub use treiber_stack::TreiberStack;

@@ -1,0 +1,905 @@
+//! Shalev-Herlihy split-ordered resizable lock-free hash map.
+//!
+//! The production-shaped KV workload: unlike [`MichaelHashMap`]'s fixed
+//! bucket array, this map **grows**. It is built from two pieces:
+//!
+//! * one Harris-Michael sorted list holding *every* node, ordered by the
+//!   bit-reversed *split-order key* (`reverse_bits(mix64(key)) | 1` for data
+//!   nodes, `reverse_bits(bucket)` for the immortal per-bucket dummy nodes).
+//!   Nodes never move when the table grows — doubling the table merely
+//!   *splits* each bucket by lacing a new dummy into the middle of its run;
+//! * a **bucket directory**: a power-of-two array caching the dummy node of
+//!   each bucket, initialised lazily (a bucket's dummy is spliced in after
+//!   its parent bucket — the index with the top bit cleared — on first
+//!   touch). The directory is itself a reclaimable block: a resize allocates
+//!   a doubled copy, publishes it with one CAS, and **retires the superseded
+//!   array through the [`Reclaimer`]** — readers still traversing from the
+//!   old array are pinned by their [`Shield`], exactly like a reader of an
+//!   unlinked list node. Directory blocks ride the same size-class block
+//!   cache and batch retirement pipeline as every other block.
+//!
+//! This is the workload the WFE paper's reclamation schemes exist for but
+//! its fixed-size evaluation never exercises: array-sized blocks retired
+//! mid-operation while concurrent readers hold them.
+//!
+//! [`MichaelHashMap`]: crate::MichaelHashMap
+//! [`Reclaimer`]: wfe_reclaim::Reclaimer
+//! [`Shield`]: wfe_reclaim::Shield
+
+use std::sync::Arc;
+use wfe_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+use wfe_reclaim::ptr::tag;
+use wfe_reclaim::{Atomic, Guard, Handle, Linked, Protected, Reclaimer, Shield};
+
+use crate::hash::mix64;
+use crate::traits::{ConcurrentMap, MapServiceStats};
+
+/// Mark bit set on `next` when the owning node is logically deleted.
+const MARK: usize = 1;
+
+/// A node of the split-ordered list: either a data node (`value` is `Some`)
+/// or a bucket dummy (`value` is `None`, never retired).
+pub struct Node<V> {
+    /// Split-order key: `reverse_bits(mix64(key)) | 1` for data nodes (odd),
+    /// `reverse_bits(bucket)` for dummies (even) — so a bucket's dummy sorts
+    /// immediately before the bucket's data run and the two kinds never
+    /// collide.
+    so_key: u64,
+    /// The user key for data nodes, the bucket index for dummies (used only
+    /// as a tie-break so equal `so_key`s still have a total order).
+    key: u64,
+    value: Option<V>,
+    next: Atomic<Node<V>>,
+}
+
+/// The bucket directory: the retirable array of cached dummy pointers.
+///
+/// `slots.len()` is the current table size (a power of two); a null slot
+/// means the bucket's dummy has not been spliced in (or cached) yet and is
+/// initialised lazily from its parent bucket.
+struct Directory<V> {
+    slots: Box<[Atomic<Node<V>>]>,
+}
+
+/// The result of a split-ordered `find`, identical in shape to the
+/// Harris-Michael window: `prev_src` is the link that led to `curr`, `curr`
+/// the first node with `(so_key, key) >=` the target.
+struct Window<'g, V> {
+    prev_src: &'g Atomic<Node<V>>,
+    curr: Protected<'g, Node<V>>,
+    found: bool,
+}
+
+/// Shalev-Herlihy split-ordered hash map, parameterised by the reclamation
+/// scheme. Grows by directory doubling; superseded directories are retired
+/// through `R` so pinned readers stay safe.
+pub struct ResizableHashMap<V, R: Reclaimer> {
+    /// The current bucket directory. Swapped wholesale by `try_resize`; the
+    /// superseded array is retired through the domain.
+    dir: Atomic<Directory<V>>,
+    /// The immortal bucket-0 dummy: the head of the whole split-ordered list
+    /// (its `so_key` 0 is the global minimum).
+    head: Atomic<Node<V>>,
+    /// Data nodes currently in the map (dummies excluded).
+    len: AtomicUsize,
+    /// Mirror of the current directory size, readable without protection
+    /// (stats and the resize trigger must not open a bracket).
+    buckets: AtomicUsize,
+    /// Completed directory doublings.
+    resizes: AtomicU64,
+    /// Cumulative bucket slots carried from superseded arrays into their
+    /// replacements.
+    migrated: AtomicU64,
+    /// Test-only mutant switch: replaces the publish CAS of `try_resize`
+    /// with a de-fenced load/check/store (see `debug_set_racy_publish`).
+    racy_publish: AtomicBool,
+    domain: Arc<R>,
+}
+
+// SAFETY: nodes own their `V`s; sending the structure sends those values.
+unsafe impl<V: Send, R: Reclaimer> Send for ResizableHashMap<V, R> {}
+// SAFETY: concurrent operations hand out `&V` (via `get`/clone), so `V`
+// must be `Sync` as well as `Send`; the structure's own synchronisation is
+// the lock-free algorithm plus the reclamation protocol.
+unsafe impl<V: Send + Sync, R: Reclaimer> Sync for ResizableHashMap<V, R> {}
+
+/// Split-order key of a data node: full-avalanche mix, bit-reversed so the
+/// bucket bits (the hash's low bits) become the most significant, with the
+/// lowest bit set to keep data keys disjoint from (and ordered after) the
+/// even dummy keys.
+#[inline]
+fn data_so_key(key: u64) -> u64 {
+    mix64(key).reverse_bits() | 1
+}
+
+/// Split-order key of bucket `bucket`'s dummy.
+#[inline]
+fn dummy_so_key(bucket: usize) -> u64 {
+    (bucket as u64).reverse_bits()
+}
+
+/// The bucket whose run bucket `bucket` splits off from: the index with its
+/// most significant set bit cleared.
+#[inline]
+fn parent_bucket(bucket: usize) -> usize {
+    debug_assert!(bucket > 0, "bucket 0 has no parent");
+    bucket ^ (1usize << (usize::BITS - 1 - bucket.leading_zeros()))
+}
+
+/// `(so_key, key)` lexicographic order — the total order of the list.
+#[inline]
+fn precedes(a_so: u64, a_key: u64, b_so: u64, b_key: u64) -> bool {
+    a_so < b_so || (a_so == b_so && a_key < b_key)
+}
+
+impl<V, R: Reclaimer> ResizableHashMap<V, R> {
+    /// Reservation slots the map needs per thread: one for the bucket
+    /// directory plus the hand-over-hand `(prev, curr)` list window.
+    pub const REQUIRED_SLOTS: usize = 3;
+
+    /// Initial directory size of [`new`](Self::new): deliberately tiny so
+    /// realistic workloads exercise the resize path.
+    pub const DEFAULT_INITIAL_BUCKETS: usize = 8;
+
+    /// Hard cap on the directory size (2^22 buckets ≈ 33 MiB of slots), so a
+    /// runaway growth loop cannot exhaust memory through doubling alone.
+    pub const MAX_BUCKETS: usize = 1 << 22;
+
+    /// Data nodes per bucket that trigger a doubling.
+    const RESIZE_AVG: usize = 3;
+
+    /// Creates a map with [`DEFAULT_INITIAL_BUCKETS`](Self::DEFAULT_INITIAL_BUCKETS)
+    /// buckets guarded by `domain`.
+    pub fn new(domain: Arc<R>) -> Self {
+        Self::with_initial_buckets(domain, Self::DEFAULT_INITIAL_BUCKETS)
+    }
+
+    /// Creates a map whose directory starts at `buckets` (rounded up to a
+    /// power of two) guarded by `domain`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn with_initial_buckets(domain: Arc<R>, buckets: usize) -> Self {
+        assert!(buckets > 0, "a hash map needs at least one bucket");
+        let buckets = buckets.next_power_of_two().min(Self::MAX_BUCKETS);
+        debug_assert!(
+            domain.config().slots_per_thread >= Self::REQUIRED_SLOTS,
+            "ResizableHashMap needs {} reservation slots per thread, domain provides {}",
+            Self::REQUIRED_SLOTS,
+            domain.config().slots_per_thread,
+        );
+        // The bucket-0 dummy is the head of the split-ordered list and lives
+        // for the whole map (it is never retired), so era 0 is correct: it
+        // predates every reservation.
+        let head = Linked::alloc(
+            Node {
+                so_key: dummy_so_key(0),
+                key: 0,
+                value: None,
+                next: Atomic::null(),
+            },
+            0,
+        );
+        let slots: Box<[Atomic<Node<V>>]> = (0..buckets)
+            .map(|bucket| {
+                if bucket == 0 {
+                    Atomic::new(head)
+                } else {
+                    Atomic::null()
+                }
+            })
+            .collect();
+        let dir = Linked::alloc(Directory { slots }, 0);
+        Self {
+            dir: Atomic::new(dir),
+            head: Atomic::new(head),
+            len: AtomicUsize::new(0),
+            buckets: AtomicUsize::new(buckets),
+            resizes: AtomicU64::new(0),
+            migrated: AtomicU64::new(0),
+            racy_publish: AtomicBool::new(false),
+            domain,
+        }
+    }
+
+    /// The reclamation domain guarding this map.
+    pub fn domain(&self) -> &Arc<R> {
+        &self.domain
+    }
+
+    /// Number of data entries currently in the map (racy but monotonic
+    /// between quiescent points).
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Acquire)
+    }
+
+    /// `true` when [`len`](Self::len) is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current directory size (bucket count).
+    pub fn buckets(&self) -> usize {
+        self.buckets.load(Ordering::Acquire)
+    }
+
+    /// Service statistics: current load factor, completed resizes, and
+    /// bucket slots migrated into replacement directories.
+    pub fn stats(&self) -> MapServiceStats {
+        let buckets = self.buckets().max(1);
+        MapServiceStats {
+            load_factor: self.len() as f64 / buckets as f64,
+            resizes: self.resizes.load(Ordering::Relaxed),
+            migrated_buckets: self.migrated.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Leases the two shields of the hand-over-hand list window.
+    fn window_shields(handle: &R::Handle) -> [Shield<Node<V>, R::Handle>; 2] {
+        let lease = || {
+            handle
+                .shield()
+                .expect("ResizableHashMap: reservation slots exhausted (find needs two Shields)")
+        };
+        [lease(), lease()]
+    }
+
+    /// Leases the shield protecting the bucket directory.
+    fn dir_shield(handle: &R::Handle) -> Shield<Directory<V>, R::Handle> {
+        handle
+            .shield()
+            .expect("ResizableHashMap: reservation slots exhausted (the directory needs a Shield)")
+    }
+
+    /// The `next` link of an immortal dummy, with a caller-chosen lifetime.
+    ///
+    /// # Safety
+    ///
+    /// `dummy` must be one of this map's dummy nodes: dummies are never
+    /// retired, so the reference cannot dangle for any lifetime shorter than
+    /// the map's.
+    #[inline]
+    unsafe fn dummy_next<'a>(dummy: *mut Linked<Node<V>>) -> &'a Atomic<Node<V>> {
+        // SAFETY: forwarded contract — the dummy is immortal.
+        unsafe { &(*dummy).value.next }
+    }
+
+    /// Protects and returns the current directory.
+    fn current_dir<'g>(
+        &'g self,
+        guard: &'g Guard<'_, R::Handle>,
+        dir_shield: &mut Shield<Directory<V>, R::Handle>,
+    ) -> (Protected<'g, Directory<V>>, &'g Directory<V>) {
+        let dir = dir_shield.protect(guard, &self.dir, None);
+        // SAFETY: `dir_shield` is not re-protected while the reference is in
+        // use (each retry iteration re-protects only after the previous
+        // reference is dead), and the directory pointer is never null.
+        let dir_ref = unsafe { dir.as_ref() }.expect("directory pointer is never null");
+        (dir, dir_ref)
+    }
+
+    /// Split-ordered `find` from `dummy`'s link: positions the window at the
+    /// first node with `(so_key, key) >=` the target, unlinking and retiring
+    /// logically deleted nodes on the way. Restarting on interference goes
+    /// back to `dummy` (never the global head) — dummies are immortal and
+    /// never marked, so the restart point is always valid.
+    fn find_from<'g>(
+        &'g self,
+        guard: &'g Guard<'_, R::Handle>,
+        shields: &mut [Shield<Node<V>, R::Handle>; 2],
+        dummy: *mut Linked<Node<V>>,
+        so_key: u64,
+        key: u64,
+    ) -> Window<'g, V> {
+        'retry: loop {
+            // SAFETY: `dummy` is immortal (the sentinel case of
+            // `from_unlinked`), so it may serve as the window's parent
+            // without a reservation.
+            let mut prev: Protected<'g, Node<V>> = unsafe { Protected::from_unlinked(dummy) };
+            // SAFETY: as above — immortal dummy.
+            let mut prev_src: &'g Atomic<Node<V>> = unsafe { Self::dummy_next(dummy) };
+            // Which of the two shields currently protects `curr` (the other
+            // protects `prev`); they swap as the window slides.
+            let mut shield_curr = 0usize;
+            let mut curr = shields[shield_curr].protect(guard, prev_src, Some(prev));
+            loop {
+                if curr.is_null() {
+                    return Window {
+                        prev_src,
+                        curr: Protected::null(),
+                        found: false,
+                    };
+                }
+                if curr.tag() != 0 {
+                    // The link we came through is marked, i.e. `prev` itself
+                    // is being deleted: restart from the bucket dummy.
+                    continue 'retry;
+                }
+                // SAFETY: `curr` is protected by `shields[shield_curr]`;
+                // that shield is only re-protected after `curr` leaves the
+                // window (the other shield covers `prev`), so the reference
+                // stays pinned while it is used.
+                let curr_ref = unsafe { curr.as_ref() }.expect("non-null protected node");
+                let next_raw = curr_ref.next.load(Ordering::Acquire);
+                if tag::tag_of(next_raw) == MARK {
+                    // `curr` is logically deleted: unlink it and retire it.
+                    let next = tag::untagged(next_raw);
+                    match prev_src.compare_exchange(
+                        curr.as_raw(),
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => {
+                            // SAFETY: we won the unlink CAS, so `curr` is
+                            // unreachable and ours to retire exactly once.
+                            unsafe { curr.retire_in(guard) };
+                            curr = shields[shield_curr].protect(guard, prev_src, Some(prev));
+                            continue;
+                        }
+                        Err(_) => continue 'retry,
+                    }
+                }
+                let (curr_so, curr_key) = (curr_ref.so_key, curr_ref.key);
+                // Validate that `curr` is still linked after we protected
+                // it; if not, the keys we just read may belong to a node
+                // that was removed and the window would be stale.
+                if prev_src.load(Ordering::Acquire) != curr.as_raw() {
+                    continue 'retry;
+                }
+                if !precedes(curr_so, curr_key, so_key, key) {
+                    return Window {
+                        prev_src,
+                        curr,
+                        found: curr_so == so_key && curr_key == key,
+                    };
+                }
+                // Advance hand-over-hand: `curr` becomes the new `prev` and
+                // keeps its shield; `prev`'s shield is recycled for the new
+                // `curr`.
+                prev = curr;
+                prev_src = &curr_ref.next;
+                shield_curr = 1 - shield_curr;
+                curr = shields[shield_curr].protect(guard, prev_src, Some(prev));
+            }
+        }
+    }
+
+    /// Returns bucket `bucket`'s dummy under `dir`, splicing it into the
+    /// list (after its parent bucket's dummy, recursively) and caching it in
+    /// the directory slot on first touch.
+    ///
+    /// The returned pointer is immortal, so it stays valid even if `dir` is
+    /// superseded and retired while the caller still traverses from it —
+    /// that is exactly the reader-on-the-old-array case the retirement
+    /// protocol exists for.
+    fn bucket_dummy<'g>(
+        &'g self,
+        guard: &'g Guard<'_, R::Handle>,
+        shields: &mut [Shield<Node<V>, R::Handle>; 2],
+        dir: &'g Directory<V>,
+        bucket: usize,
+    ) -> *mut Linked<Node<V>> {
+        let slot = &dir.slots[bucket];
+        let cached = slot.load(Ordering::Acquire);
+        if !cached.is_null() {
+            return cached;
+        }
+        if bucket == 0 {
+            // Slot 0 of a replacement directory could only be null if the
+            // copy raced construction, which cannot happen (the head is
+            // cached before the map is shared); recover regardless.
+            let head = self.head.load(Ordering::Relaxed);
+            let _ = slot.compare_exchange(
+                core::ptr::null_mut(),
+                head,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            );
+            return head;
+        }
+        let parent = self.bucket_dummy(guard, shields, dir, parent_bucket(bucket));
+        let (so_key, key) = (dummy_so_key(bucket), bucket as u64);
+        let mut node: *mut Linked<Node<V>> = core::ptr::null_mut();
+        let dummy = loop {
+            let window = self.find_from(guard, shields, parent, so_key, key);
+            if window.found {
+                // Another thread spliced the dummy in first: adopt it.
+                if !node.is_null() {
+                    // SAFETY: our candidate never became reachable; freed
+                    // exactly once.
+                    unsafe { Linked::dealloc(node) };
+                }
+                break window.curr.as_raw();
+            }
+            if node.is_null() {
+                node = guard.alloc(Node {
+                    so_key,
+                    key,
+                    value: None,
+                    next: Atomic::null(),
+                });
+            }
+            // SAFETY: `node` is owned and unpublished until the CAS succeeds.
+            unsafe {
+                (*node)
+                    .value
+                    .next
+                    .store(window.curr.as_raw(), Ordering::Release)
+            };
+            if window
+                .prev_src
+                .compare_exchange(
+                    window.curr.as_raw(),
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                break node;
+            }
+        };
+        // Cache the dummy; a lost race cached the same pointer (exactly one
+        // dummy per split-order key is ever in the list).
+        let _ = slot.compare_exchange(
+            core::ptr::null_mut(),
+            dummy,
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+        dummy
+    }
+
+    /// Inserts `key → value`; returns `false` (dropping `value`) if the key
+    /// is already present. May trigger a directory doubling on the way out.
+    pub fn insert(&self, handle: &mut R::Handle, key: u64, value: V) -> bool {
+        let so_key = data_so_key(key);
+        let inserted = {
+            let mut dir_shield = Self::dir_shield(handle);
+            let mut shields = Self::window_shields(handle);
+            let node = handle.alloc(Node {
+                so_key,
+                key,
+                value: Some(value),
+                next: Atomic::null(),
+            });
+            let guard = handle.enter();
+            loop {
+                let (_dir, dir_ref) = self.current_dir(&guard, &mut dir_shield);
+                let bucket = mix64(key) as usize & (dir_ref.slots.len() - 1);
+                let dummy = self.bucket_dummy(&guard, &mut shields, dir_ref, bucket);
+                let window = self.find_from(&guard, &mut shields, dummy, so_key, key);
+                if window.found {
+                    // Key already present: the freshly allocated node was
+                    // never published, so it can be freed immediately.
+                    // SAFETY: `node` never became reachable; freed once.
+                    unsafe { Linked::dealloc(node) };
+                    break false;
+                }
+                // SAFETY: `node` is owned and unpublished until the CAS
+                // succeeds.
+                unsafe {
+                    (*node)
+                        .value
+                        .next
+                        .store(window.curr.as_raw(), Ordering::Release)
+                };
+                if window
+                    .prev_src
+                    .compare_exchange(
+                        window.curr.as_raw(),
+                        node,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    break true;
+                }
+            }
+        };
+        if inserted {
+            let len = self.len.fetch_add(1, Ordering::AcqRel) + 1;
+            if len
+                >= self
+                    .buckets
+                    .load(Ordering::Acquire)
+                    .saturating_mul(Self::RESIZE_AVG)
+            {
+                self.try_resize(handle);
+            }
+        }
+        inserted
+    }
+
+    /// Removes `key`; returns `true` if it was present.
+    pub fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
+        let so_key = data_so_key(key);
+        let mut dir_shield = Self::dir_shield(handle);
+        let mut shields = Self::window_shields(handle);
+        let guard = handle.enter();
+        loop {
+            let (_dir, dir_ref) = self.current_dir(&guard, &mut dir_shield);
+            let bucket = mix64(key) as usize & (dir_ref.slots.len() - 1);
+            let dummy = self.bucket_dummy(&guard, &mut shields, dir_ref, bucket);
+            let window = self.find_from(&guard, &mut shields, dummy, so_key, key);
+            if !window.found {
+                return false;
+            }
+            let curr = window.curr;
+            // SAFETY: the window's shields are not re-protected between
+            // `find_from` returning and the last use of this reference (the
+            // unlink-failure `find_from` below runs after it).
+            let curr_ref = unsafe { curr.as_ref() }.expect("found window has a node");
+            let next_raw = curr_ref.next.load(Ordering::Acquire);
+            if tag::tag_of(next_raw) == MARK {
+                // Another remover got here first; retry to settle who wins.
+                continue;
+            }
+            // Logical deletion: mark the next pointer of `curr`.
+            if curr_ref
+                .next
+                .compare_exchange(
+                    next_raw,
+                    tag::with_tag(next_raw, MARK),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            self.len.fetch_sub(1, Ordering::AcqRel);
+            // Physical deletion: unlink it ourselves or let a later find do
+            // it.
+            if window
+                .prev_src
+                .compare_exchange(
+                    curr.as_raw(),
+                    tag::untagged(next_raw),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                // SAFETY: we marked and then unlinked `curr`; the winning
+                // unlink CAS makes it ours to retire exactly once.
+                unsafe { curr.retire_in(&guard) };
+            } else {
+                let _ = self.find_from(&guard, &mut shields, dummy, so_key, key);
+            }
+            return true;
+        }
+    }
+
+    /// Returns `true` if `key` is present.
+    pub fn contains(&self, handle: &mut R::Handle, key: u64) -> bool {
+        let so_key = data_so_key(key);
+        let mut dir_shield = Self::dir_shield(handle);
+        let mut shields = Self::window_shields(handle);
+        let guard = handle.enter();
+        let (_dir, dir_ref) = self.current_dir(&guard, &mut dir_shield);
+        let bucket = mix64(key) as usize & (dir_ref.slots.len() - 1);
+        let dummy = self.bucket_dummy(&guard, &mut shields, dir_ref, bucket);
+        self.find_from(&guard, &mut shields, dummy, so_key, key)
+            .found
+    }
+
+    /// Doubles the directory now, regardless of load factor. Returns `true`
+    /// if this call performed the doubling (`false` when another thread's
+    /// resize superseded the directory first, or the size cap is reached).
+    pub fn force_resize(&self, handle: &mut R::Handle) -> bool {
+        self.try_resize(handle).is_some()
+    }
+
+    /// The resize engine: snapshots the current directory under protection,
+    /// builds a doubled copy carrying the old bucket caches forward, and
+    /// publishes it with a single CAS. The winner retires the superseded
+    /// array through the domain; the loser frees its unpublished copy.
+    ///
+    /// Returns the address of the array this thread retired, for the
+    /// retired-exactly-once model schedule.
+    fn try_resize(&self, handle: &mut R::Handle) -> Option<usize> {
+        let mut dir_shield = Self::dir_shield(handle);
+        let guard = handle.enter();
+        let (old, old_ref) = self.current_dir(&guard, &mut dir_shield);
+        let old_size = old_ref.slots.len();
+        if old_size >= Self::MAX_BUCKETS {
+            return None;
+        }
+        let new_size = old_size * 2;
+        // Carry the cached dummy pointers forward; slots initialised in the
+        // old array after this copy are re-derived lazily (the dummy is
+        // already in the list, so the first touch adopts it). The upper half
+        // starts empty: those buckets split lazily on first touch.
+        let slots: Box<[Atomic<Node<V>>]> = (0..new_size)
+            .map(|bucket| {
+                if bucket < old_size {
+                    Atomic::new(old_ref.slots[bucket].load(Ordering::Acquire))
+                } else {
+                    Atomic::null()
+                }
+            })
+            .collect();
+        let new_dir = guard.alloc(Directory { slots });
+        let won = if self.racy_publish.load(Ordering::Relaxed) {
+            // MUTANT (test hook): de-fenced publish — a plain load/check/
+            // store instead of one atomic CAS. Two resizers can both pass
+            // the check and both believe they unlinked the same array.
+            if self.dir.load(Ordering::Acquire) == old.as_raw() {
+                self.dir.store(new_dir, Ordering::Release);
+                true
+            } else {
+                false
+            }
+        } else {
+            self.dir
+                .compare_exchange(old.as_raw(), new_dir, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        };
+        if won {
+            self.buckets.store(new_size, Ordering::Release);
+            self.resizes.fetch_add(1, Ordering::Relaxed);
+            self.migrated.fetch_add(old_size as u64, Ordering::Relaxed);
+            if !self.racy_publish.load(Ordering::Relaxed) {
+                // SAFETY: we won the publish CAS, so the old array is
+                // unreachable from `self.dir` and ours to retire exactly
+                // once; the guard brackets a handle of the owning domain.
+                unsafe { old.retire_in(&guard) };
+            }
+            // Mutant mode deliberately skips the retire: the model harness
+            // asserts on the returned address (a double report == a double
+            // retire) without actually double-freeing the block.
+            Some(old.as_raw() as usize)
+        } else {
+            // SAFETY: our copy never became reachable; freed exactly once.
+            unsafe { Linked::dealloc(new_dir) };
+            None
+        }
+    }
+
+    /// Test hook: replaces the resize publish CAS with a de-fenced
+    /// load/check/store, so the deterministic scheduler can demonstrate the
+    /// double-retire that the CAS prevents. Never enable outside a model
+    /// harness — a "won" mutant resize leaks the superseded array instead of
+    /// retiring it (precisely so the double-retire is observable without
+    /// corrupting the heap).
+    #[doc(hidden)]
+    pub fn debug_set_racy_publish(&self, racy: bool) {
+        self.racy_publish.store(racy, Ordering::SeqCst);
+    }
+
+    /// Test hook: runs one forced doubling and reports the address of the
+    /// array this thread retired (`None` if it lost the publish race). The
+    /// retired-exactly-once model schedule asserts these addresses are
+    /// distinct across threads.
+    #[doc(hidden)]
+    pub fn debug_force_resize(&self, handle: &mut R::Handle) -> Option<usize> {
+        self.try_resize(handle)
+    }
+}
+
+impl<V: Clone, R: Reclaimer> ResizableHashMap<V, R> {
+    /// Looks up `key`, returning a clone of its value.
+    pub fn get(&self, handle: &mut R::Handle, key: u64) -> Option<V> {
+        let so_key = data_so_key(key);
+        let mut dir_shield = Self::dir_shield(handle);
+        let mut shields = Self::window_shields(handle);
+        let guard = handle.enter();
+        let (_dir, dir_ref) = self.current_dir(&guard, &mut dir_shield);
+        let bucket = mix64(key) as usize & (dir_ref.slots.len() - 1);
+        let dummy = self.bucket_dummy(&guard, &mut shields, dir_ref, bucket);
+        let window = self.find_from(&guard, &mut shields, dummy, so_key, key);
+        if window.found {
+            // SAFETY: the window's shields are not re-protected after
+            // `find_from` returns, so `curr` stays pinned while the value is
+            // cloned. A found data node always has `Some` value (dummies
+            // have even split-order keys and can never match a data target).
+            unsafe { window.curr.as_ref() }.and_then(|node| node.value.clone())
+        } else {
+            None
+        }
+    }
+}
+
+impl<V, R: Reclaimer> Drop for ResizableHashMap<V, R> {
+    fn drop(&mut self) {
+        // Exclusive access: walk the whole split-ordered list (dummies and
+        // data nodes alike) and free every node directly, then the current
+        // directory. Superseded directories were retired through the domain
+        // and are freed by its own teardown.
+        let mut cur = tag::untagged(self.head.load(Ordering::Relaxed));
+        while !cur.is_null() {
+            // SAFETY: `Drop` has exclusive access; every reachable node is
+            // valid and freed exactly once.
+            let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) });
+            // SAFETY: as above — exclusive access, freed exactly once.
+            unsafe { Linked::dealloc(cur) };
+            cur = next;
+        }
+        let dir = self.dir.load(Ordering::Relaxed);
+        // SAFETY: exclusive access; the current directory is freed once.
+        unsafe { Linked::dealloc(dir) };
+    }
+}
+
+impl<R: Reclaimer> ConcurrentMap<R> for ResizableHashMap<u64, R> {
+    fn with_domain(domain: Arc<R>) -> Self {
+        Self::new(domain)
+    }
+
+    fn insert(&self, handle: &mut R::Handle, key: u64, value: u64) -> bool {
+        ResizableHashMap::insert(self, handle, key, value)
+    }
+
+    fn remove(&self, handle: &mut R::Handle, key: u64) -> bool {
+        ResizableHashMap::remove(self, handle, key)
+    }
+
+    fn get(&self, handle: &mut R::Handle, key: u64) -> Option<u64> {
+        ResizableHashMap::get(self, handle, key)
+    }
+
+    fn required_slots() -> usize {
+        Self::REQUIRED_SLOTS
+    }
+
+    fn node_bytes() -> usize {
+        core::mem::size_of::<wfe_reclaim::Linked<Node<u64>>>()
+    }
+
+    fn service_stats(&self) -> MapServiceStats {
+        ResizableHashMap::stats(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap as StdHashMap;
+    use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, ReclaimerConfig};
+
+    fn small_config(threads: usize) -> ReclaimerConfig {
+        ReclaimerConfig {
+            cleanup_freq: 8,
+            era_freq: 16,
+            ..ReclaimerConfig::with_max_threads(threads)
+        }
+    }
+
+    fn growth_semantics<R: Reclaimer>() {
+        let domain = R::with_config(small_config(1));
+        let map = ResizableHashMap::<u64, R>::with_initial_buckets(Arc::clone(&domain), 2);
+        let mut handle = domain.register();
+        for key in 0..256 {
+            assert!(map.insert(&mut handle, key, key * 7));
+            assert!(!map.insert(&mut handle, key, 0), "duplicate rejected");
+        }
+        let stats = map.stats();
+        assert!(stats.resizes > 0, "256 inserts from 2 buckets must resize");
+        assert!(stats.migrated_buckets > 0);
+        assert!(map.buckets() > 2);
+        for key in 0..256 {
+            assert_eq!(map.get(&mut handle, key), Some(key * 7), "key {key}");
+        }
+        for key in (0..256).step_by(2) {
+            assert!(map.remove(&mut handle, key));
+            assert!(!map.remove(&mut handle, key), "double remove rejected");
+        }
+        for key in 0..256 {
+            assert_eq!(map.contains(&mut handle, key), key % 2 == 1);
+        }
+        assert_eq!(map.len(), 128);
+    }
+
+    #[test]
+    fn growth_semantics_under_every_scheme() {
+        // `Wfe` lives upstream of this crate; the six-scheme matrix
+        // (including WFE) runs in `tests/conformance_smoke.rs`.
+        growth_semantics::<He>();
+        growth_semantics::<Ebr>();
+        growth_semantics::<Hp>();
+        growth_semantics::<Ibr2Ge>();
+        growth_semantics::<Leak>();
+    }
+
+    #[test]
+    fn matches_a_sequential_model_across_resizes() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(0x5EED);
+        let domain = He::with_config(small_config(1));
+        let map = ResizableHashMap::<u64, He>::with_initial_buckets(Arc::clone(&domain), 2);
+        let mut handle = domain.register();
+        let mut model: StdHashMap<u64, u64> = StdHashMap::new();
+        for step in 0..8_000u64 {
+            let key = rng.gen_range(0..512u64);
+            match rng.gen_range(0..4) {
+                0 | 1 => {
+                    let fresh = !model.contains_key(&key);
+                    assert_eq!(map.insert(&mut handle, key, step), fresh);
+                    model.entry(key).or_insert(step);
+                }
+                2 => assert_eq!(map.remove(&mut handle, key), model.remove(&key).is_some()),
+                _ => assert_eq!(map.get(&mut handle, key), model.get(&key).copied()),
+            }
+        }
+        assert_eq!(map.len(), model.len());
+        assert!(map.stats().resizes > 0, "the workload must grow the table");
+    }
+
+    #[test]
+    fn concurrent_threads_own_disjoint_keys_through_resizes() {
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 1_500;
+        let domain = He::with_config(small_config(THREADS));
+        let map = ResizableHashMap::<u64, He>::with_initial_buckets(Arc::clone(&domain), 2);
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let map = &map;
+                let domain = Arc::clone(&domain);
+                scope.spawn(move || {
+                    let mut handle = domain.register();
+                    for i in 0..PER_THREAD {
+                        let key = t * PER_THREAD + i;
+                        assert!(map.insert(&mut handle, key, key));
+                        assert_eq!(map.get(&mut handle, key), Some(key));
+                        if i % 2 == 0 {
+                            assert!(map.remove(&mut handle, key));
+                        }
+                    }
+                });
+            }
+        });
+        let mut handle = domain.register();
+        for key in 0..THREADS as u64 * PER_THREAD {
+            assert_eq!(map.contains(&mut handle, key), key % 2 == 1, "key {key}");
+        }
+        assert!(map.stats().resizes > 0);
+    }
+
+    #[test]
+    fn forced_resize_reports_the_superseded_array_once() {
+        let domain = He::with_config(small_config(1));
+        let map = ResizableHashMap::<u64, He>::with_initial_buckets(Arc::clone(&domain), 4);
+        let mut handle = domain.register();
+        let first = map.debug_force_resize(&mut handle);
+        let second = map.debug_force_resize(&mut handle);
+        let (first, second) = (first.expect("uncontended"), second.expect("uncontended"));
+        assert_ne!(first, second, "each doubling retires a distinct array");
+        assert_eq!(map.buckets(), 16);
+        assert_eq!(map.stats().resizes, 2);
+        assert_eq!(map.stats().migrated_buckets, 4 + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let domain = He::new_default();
+        let _ = ResizableHashMap::<u64, He>::with_initial_buckets(domain, 0);
+    }
+
+    #[test]
+    fn split_order_keys_are_disjoint_and_ordered() {
+        // Dummy keys are even, data keys odd: the two kinds never collide.
+        for bucket in 0..64 {
+            assert_eq!(dummy_so_key(bucket) & 1, 0);
+        }
+        for key in 0..64 {
+            assert_eq!(data_so_key(key) & 1, 1);
+        }
+        // A bucket's dummy precedes every key hashed into it, and the
+        // split dummy of the upper half lands inside the parent's run.
+        for key in 0..1024u64 {
+            let bucket = mix64(key) as usize & 7;
+            assert!(dummy_so_key(bucket) < data_so_key(key) || bucket == 0);
+            let wide = mix64(key) as usize & 15;
+            assert!(dummy_so_key(wide) <= data_so_key(key));
+            if wide != bucket {
+                assert_eq!(parent_bucket(wide), bucket, "split keeps the parent prefix");
+            }
+        }
+    }
+}

@@ -21,6 +21,23 @@ use std::sync::Arc;
 
 use wfe_reclaim::Reclaimer;
 
+/// Service-level counters a map exposes to the kv-service figure.
+///
+/// Fixed-shape structures report the all-zero default; resizable structures
+/// (the split-ordered [`ResizableHashMap`](crate::ResizableHashMap)) report
+/// their live geometry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MapServiceStats {
+    /// Data entries per bucket (`len / buckets`); `0.0` when the structure
+    /// has no bucket geometry.
+    pub load_factor: f64,
+    /// Completed bucket-array doublings.
+    pub resizes: u64,
+    /// Cumulative bucket slots carried from superseded arrays into their
+    /// replacements.
+    pub migrated_buckets: u64,
+}
+
 /// A concurrent set/map with `u64` keys and `u64` values.
 pub trait ConcurrentMap<R: Reclaimer>: Send + Sync + 'static {
     /// Creates an instance backed by `domain`.
@@ -47,6 +64,12 @@ pub trait ConcurrentMap<R: Reclaimer>: Send + Sync + 'static {
     /// override it with their real node size.
     fn node_bytes() -> usize {
         core::mem::size_of::<wfe_reclaim::Linked<u64>>()
+    }
+
+    /// Service statistics for the kv-service figure. Structures without
+    /// resize machinery keep the all-zero default.
+    fn service_stats(&self) -> MapServiceStats {
+        MapServiceStats::default()
     }
 }
 

@@ -1,8 +1,11 @@
 //! A small concurrent key-value service built on the Natarajan-Mittal BST and
 //! the Michael hash map, showing the same application code running under
-//! different reclamation schemes — and, in the second half, the executor
+//! different reclamation schemes — in the second half, the executor
 //! pattern: a sharded registry serving short-lived tasks through a
-//! `HandlePool` instead of one long-lived handle per OS thread.
+//! `HandlePool` instead of one long-lived handle per OS thread — and, in the
+//! final act, a *growing* service: the split-ordered resizable hash map fed a
+//! Zipfian stream with TTL expiry, its superseded bucket arrays retired
+//! through the reclamation scheme while readers keep traversing.
 //!
 //! Run with `cargo run --release --example kv_store`.
 
@@ -11,7 +14,7 @@ use std::time::Instant;
 
 use wfe_suite::{
     ConcurrentMap, DomainConfig, HandlePool, He, MichaelHashMap, NatarajanBst, Reclaimer,
-    ReclaimerConfig, Wfe,
+    ReclaimerConfig, ResizableHashMap, Wfe,
 };
 
 /// Runs a mixed workload against any map type under any reclamation scheme,
@@ -156,6 +159,83 @@ fn pooled_service_demo() {
     );
 }
 
+/// The growing service: the split-ordered resizable map starts with a tiny
+/// directory and is fed a Zipfian-popularity stream with a sliding TTL window
+/// — the cache-expiry churn of a real kv service. Every directory doubling
+/// retires the superseded bucket array through the reclamation scheme, so the
+/// map's growth rides the same retire→scan→free pipeline as node removal.
+fn resizable_service_demo<R: Reclaimer>(label: &str) {
+    const THREADS: usize = 4;
+    const OPS: u64 = 50_000;
+    const KEY_RANGE: u64 = 20_000;
+    const TTL_WINDOW: u64 = 1_024;
+
+    let domain = R::with_config(ReclaimerConfig::with_max_threads(THREADS));
+    // Start deliberately tiny (2 buckets) so the growth path is exercised
+    // hard: the first few thousand inserts trigger doubling after doubling.
+    let map = ResizableHashMap::<u64, R>::with_initial_buckets(Arc::clone(&domain), 2);
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS as u64 {
+            let map = &map;
+            let domain = Arc::clone(&domain);
+            scope.spawn(move || {
+                let mut handle = domain.register();
+                // SplitMix64 stream per thread: replayable, and the Zipfian
+                // skew comes from squaring the uniform draw — cheap and close
+                // enough for a demo (the bench harness has the real
+                // inverse-CDF generator).
+                let mut x = (t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                let mut tick = 0u64;
+                let fresh_base = (t + 1) << 32;
+                for _ in 0..OPS {
+                    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                    let mut z = x;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                    z ^= z >> 31;
+                    let uniform = (z >> 11) as f64 / (1u64 << 53) as f64;
+                    let popular = ((uniform * uniform) * KEY_RANGE as f64) as u64;
+                    match z % 10 {
+                        // 20% of ops: TTL churn on this thread's own keys —
+                        // insert a fresh key, expire the one that slid out of
+                        // the window.
+                        0 | 1 => {
+                            map.insert(&mut handle, fresh_base + tick, tick);
+                            if tick >= TTL_WINDOW {
+                                map.remove(&mut handle, fresh_base + tick - TTL_WINDOW);
+                            }
+                            tick += 1;
+                        }
+                        // 80% of ops: Zipf-skewed gets over the shared range.
+                        _ => {
+                            map.get(&mut handle, popular);
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = domain.stats();
+    let service = map.stats();
+    println!(
+        "{label:45} {:>9.1} ops/ms   unreclaimed at end: {}",
+        (THREADS as u64 * OPS) as f64 / start.elapsed().as_millis().max(1) as f64,
+        stats.unreclaimed,
+    );
+    println!(
+        "  growth: {} buckets ({} doublings, {} bucket slots migrated), \
+         load factor {:.2}, {} live entries",
+        map.buckets(),
+        service.resizes,
+        service.migrated_buckets,
+        service.load_factor,
+        map.len()
+    );
+}
+
 fn main() {
     println!("key-value store example: 4 threads, mixed workload\n");
     exercise::<Wfe, NatarajanBst<u64, Wfe>>("Natarajan-Mittal BST + WFE");
@@ -165,4 +245,8 @@ fn main() {
 
     println!("\npooled service: 4 workers x 2000 tasks, handle checked out per task\n");
     pooled_service_demo();
+
+    println!("\ngrowing service: Zipfian gets + TTL churn on the resizable map\n");
+    resizable_service_demo::<Wfe>("Resizable hash map + WFE");
+    resizable_service_demo::<He>("Resizable hash map + Hazard Eras");
 }

@@ -18,8 +18,9 @@
 //!   compares against: EBR, Hazard Pointers, Hazard Eras, 2GEIBR and a
 //!   leak-memory baseline;
 //! * [`wfe_ds`] — the workloads: Treiber stack, Harris-Michael list, Michael
-//!   hash map, Natarajan-Mittal BST, the Kogan-Petrank and CRTurn wait-free
-//!   queues and a Michael-Scott queue;
+//!   hash map, the Shalev-Herlihy split-ordered *resizable* hash map (bucket
+//!   arrays retired through the reclaimer), Natarajan-Mittal BST, the
+//!   Kogan-Petrank and CRTurn wait-free queues and a Michael-Scott queue;
 //! * [`wfe_atomics`] — the 128-bit wide-CAS substrate WFE requires;
 //! * [`wfe_sync`] — the swappable sync layer every crate draws its atomics
 //!   from: std-backed (zero-cost) normally, instrumented for the
@@ -67,8 +68,8 @@ pub use wfe_task;
 
 pub use wfe_core::{Wfe, WfeHandle};
 pub use wfe_ds::{
-    ConcurrentMap, ConcurrentQueue, CrTurnQueue, KoganPetrankQueue, MichaelHashMap, MichaelList,
-    MichaelScottQueue, NatarajanBst, TreiberStack,
+    ConcurrentMap, ConcurrentQueue, CrTurnQueue, KoganPetrankQueue, MapServiceStats,
+    MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst, ResizableHashMap, TreiberStack,
 };
 pub use wfe_reclaim::{
     Atomic, BlockCacheConfig, DomainConfig, DomainConfigBuilder, Ebr, Guard, Handle, HandlePool,

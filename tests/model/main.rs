@@ -23,6 +23,7 @@ mod aba;
 mod cache;
 mod era;
 mod orphan;
+mod resize;
 mod shield;
 mod slowpath;
 mod task;

@@ -17,7 +17,7 @@ use wfe_suite::wfe_reclaim::BlockCacheConfig;
 use wfe_suite::{
     Atomic, CrTurnQueue, Ebr, Handle, HandlePool, He, Hp, Ibr2Ge, KoganPetrankQueue, Leak, Linked,
     MichaelHashMap, MichaelList, MichaelScottQueue, NatarajanBst, PooledHandle, RawHandle,
-    Reclaimer, ReclaimerConfig, Shield, Wfe,
+    Reclaimer, ReclaimerConfig, ResizableHashMap, Shield, Wfe,
 };
 
 /// An operation applied both to the concurrent structure and to the model.
@@ -65,6 +65,145 @@ where
             }
         }
     }
+}
+
+/// An operation of the kv-service shape applied to the resizable map and its
+/// sequential oracle: the uniform map actions plus TTL ticks (insert a fresh
+/// key, expire the one that slid out of the window) and forced directory
+/// doublings.
+#[derive(Debug, Clone)]
+enum ServiceAction {
+    Map(MapAction),
+    TtlTick,
+    ForceResize,
+}
+
+fn service_action_strategy(key_range: u64) -> impl Strategy<Value = ServiceAction> {
+    // The vendored `prop_oneof!` picks arms uniformly; repeating the map arm
+    // weights the mix toward ordinary operations (4:2:1 roughly matches the
+    // kv-service legs: mostly point ops, some TTL churn, occasional resize).
+    prop_oneof![
+        map_action_strategy(key_range).prop_map(ServiceAction::Map),
+        map_action_strategy(key_range).prop_map(ServiceAction::Map),
+        map_action_strategy(key_range).prop_map(ServiceAction::Map),
+        map_action_strategy(key_range).prop_map(ServiceAction::Map),
+        Just(ServiceAction::TtlTick),
+        Just(ServiceAction::TtlTick),
+        Just(ServiceAction::ForceResize),
+    ]
+}
+
+/// TTL window of the oracle test: a tick expires the key inserted
+/// `TTL_WINDOW` ticks earlier.
+const TTL_WINDOW: usize = 8;
+
+/// Applies a kv-service action sequence to the resizable map and to a
+/// `std::collections::HashMap` oracle and checks every return value agrees —
+/// across forced resizes, which must be invisible to the map's semantics.
+/// TTL keys live in a disjoint namespace (high bit set) so ticks never
+/// collide with the uniform actions.
+fn check_resizable_against_oracle<R: Reclaimer>(actions: &[ServiceAction]) {
+    let domain = R::with_config(ReclaimerConfig {
+        cleanup_freq: 4,
+        era_freq: 8,
+        ..ReclaimerConfig::with_max_threads(2)
+    });
+    // Two buckets: the load-factor trigger fires within a handful of inserts,
+    // so organic resizes interleave with the forced ones.
+    let map = ResizableHashMap::<u64, R>::with_initial_buckets(Arc::clone(&domain), 2);
+    let mut handle = domain.register();
+    let mut oracle: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    let mut ttl_live: VecDeque<u64> = VecDeque::new();
+    let mut next_fresh: u64 = 1 << 63;
+    for action in actions {
+        match action {
+            ServiceAction::Map(map_action) => match *map_action {
+                MapAction::Insert(key, value) => {
+                    let expected = !oracle.contains_key(&key);
+                    prop_assert_eq!(map.insert(&mut handle, key, value), expected);
+                    oracle.entry(key).or_insert(value);
+                }
+                MapAction::Remove(key) => {
+                    prop_assert_eq!(map.remove(&mut handle, key), oracle.remove(&key).is_some());
+                }
+                MapAction::Get(key) => {
+                    prop_assert_eq!(map.get(&mut handle, key), oracle.get(&key).copied());
+                }
+            },
+            ServiceAction::TtlTick => {
+                let fresh = next_fresh;
+                next_fresh += 1;
+                prop_assert!(map.insert(&mut handle, fresh, fresh), "fresh keys are new");
+                oracle.insert(fresh, fresh);
+                ttl_live.push_back(fresh);
+                if ttl_live.len() > TTL_WINDOW {
+                    let expired = ttl_live.pop_front().unwrap();
+                    prop_assert!(map.remove(&mut handle, expired), "expired key was live");
+                    prop_assert!(oracle.remove(&expired).is_some());
+                }
+            }
+            ServiceAction::ForceResize => {
+                map.force_resize(&mut handle);
+            }
+        }
+        prop_assert_eq!(map.len(), oracle.len(), "sizes agree after every step");
+    }
+    // Full final audit: every oracle entry is in the map, nothing extra.
+    for (&key, &value) in &oracle {
+        prop_assert_eq!(map.get(&mut handle, key), Some(value));
+    }
+    let keys: Vec<u64> = oracle.keys().copied().collect();
+    for key in keys {
+        prop_assert!(map.remove(&mut handle, key));
+    }
+    prop_assert_eq!(map.len(), 0);
+}
+
+/// Drives inserts/removes of drop-counting payloads through the resizable
+/// map with forced resizes mixed in, proving — via the drop counter — that
+/// no payload is ever dropped twice and none leaks once map and domain are
+/// gone. The superseded bucket arrays retired by the resizes ride the same
+/// pipeline, so a directory double-free would corrupt the count too.
+fn check_resizable_drop_accounting<R: Reclaimer>(steps: &[(u64, u8)]) {
+    let drops = Arc::new(AtomicUsize::new(0));
+    let mut allocated = 0usize;
+    {
+        let domain = R::with_config(ReclaimerConfig {
+            cleanup_freq: 3,
+            era_freq: 2,
+            ..ReclaimerConfig::with_max_threads(2)
+        });
+        let map = ResizableHashMap::<DropCounter, R>::with_initial_buckets(Arc::clone(&domain), 2);
+        let mut handle = domain.register();
+        for &(key, op) in steps {
+            match op % 4 {
+                // Insert allocates a payload whether or not the key is fresh
+                // (a duplicate's payload is dropped on the spot).
+                0 | 1 => {
+                    map.insert(&mut handle, key, DropCounter::new(&drops));
+                    allocated += 1;
+                }
+                2 => {
+                    map.remove(&mut handle, key);
+                }
+                _ => {
+                    map.force_resize(&mut handle);
+                }
+            }
+            prop_assert!(
+                drops.load(Ordering::SeqCst) <= allocated,
+                "a payload was dropped twice"
+            );
+        }
+        drop(map);
+        drop(handle);
+        drop(domain);
+    }
+    prop_assert_eq!(
+        drops.load(Ordering::SeqCst),
+        allocated,
+        "every payload dropped exactly once across resizes, none leaked"
+    );
 }
 
 /// One step of the shield lease/release churn property test.
@@ -420,6 +559,48 @@ proptest! {
     #[test]
     fn natarajan_bst_matches_btreemap(actions in proptest::collection::vec(map_action_strategy(64), 1..400)) {
         check_map_against_model::<NatarajanBst<u64, Wfe>>(&actions);
+    }
+
+    #[test]
+    fn resizable_map_matches_hashmap_wfe(
+        actions in proptest::collection::vec(service_action_strategy(64), 1..400)
+    ) {
+        check_resizable_against_oracle::<Wfe>(&actions);
+    }
+
+    #[test]
+    fn resizable_map_matches_hashmap_he(
+        actions in proptest::collection::vec(service_action_strategy(64), 1..400)
+    ) {
+        check_resizable_against_oracle::<He>(&actions);
+    }
+
+    #[test]
+    fn resizable_map_matches_hashmap_hp(
+        actions in proptest::collection::vec(service_action_strategy(64), 1..400)
+    ) {
+        check_resizable_against_oracle::<Hp>(&actions);
+    }
+
+    #[test]
+    fn resizable_map_never_double_frees_or_leaks_wfe(
+        steps in proptest::collection::vec((0u64..48, any::<u8>()), 1..300)
+    ) {
+        check_resizable_drop_accounting::<Wfe>(&steps);
+    }
+
+    #[test]
+    fn resizable_map_never_double_frees_or_leaks_he(
+        steps in proptest::collection::vec((0u64..48, any::<u8>()), 1..300)
+    ) {
+        check_resizable_drop_accounting::<He>(&steps);
+    }
+
+    #[test]
+    fn resizable_map_never_double_frees_or_leaks_hp(
+        steps in proptest::collection::vec((0u64..48, any::<u8>()), 1..300)
+    ) {
+        check_resizable_drop_accounting::<Hp>(&steps);
     }
 
     #[test]
