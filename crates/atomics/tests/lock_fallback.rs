@@ -7,7 +7,7 @@
 //! Every test in this file re-asserts the forced mode first, so test-ordering
 //! and parallelism inside the binary are safe.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use wfe_sync::atomic::{AtomicBool, Ordering};
 
 use wfe_atomics::{wcas_is_lock_free, AtomicPair};
 

@@ -50,6 +50,7 @@ fn bench_protect<R: Reclaimer>(c: &mut Criterion, name: &str) {
         },
     );
     drop(shield);
+    // SAFETY: bench-owned block, never published for retirement; freed once.
     unsafe { wfe_reclaim::Linked::dealloc(node) };
 }
 
@@ -61,6 +62,8 @@ fn bench_alloc_retire<R: Reclaimer>(c: &mut Criterion, name: &str) {
     c.bench_with_input(BenchmarkId::new("alloc_retire", name), &(), |bencher, _| {
         bencher.iter(|| {
             let node = handle.alloc(7u64);
+            // SAFETY: block just allocated by this handle, never published —
+            // this is its only retire.
             unsafe { handle.retire(std::hint::black_box(node)) };
         })
     });
@@ -79,6 +82,8 @@ fn bench_alloc_retire_cached<R: Reclaimer>(c: &mut Criterion, name: &str) {
         |bencher, _| {
             bencher.iter(|| {
                 let node = handle.alloc(7u64);
+                // SAFETY: block just allocated by this handle, never published —
+                // this is its only retire.
                 unsafe { handle.retire(std::hint::black_box(node)) };
             })
         },
@@ -170,6 +175,7 @@ fn bench_guard_overhead<R: Reclaimer>(c: &mut Criterion, name: &str) {
         },
     );
 
+    // SAFETY: bench-owned block, never published for retirement; freed once.
     unsafe { wfe_reclaim::Linked::dealloc(node) };
 }
 
@@ -185,14 +191,17 @@ fn bench_protect_under_era_pressure(c: &mut Criterion) {
     let mut handle = domain.register();
     let node = handle.alloc(42u64);
     let root: Atomic<u64> = Atomic::new(node);
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = Arc::new(wfe_sync::atomic::AtomicBool::new(false));
     let bumper = {
         let domain = Arc::clone(&domain);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let mut handle = domain.register();
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+            // ORDER: benchmark control flag; no data is ordered by it.
+            while !stop.load(wfe_sync::atomic::Ordering::Relaxed) {
                 let ptr = handle.alloc(0u64);
+                // SAFETY: block just allocated by this handle, never published —
+                // this is its only retire.
                 unsafe { handle.retire(ptr) };
             }
         })
@@ -206,8 +215,9 @@ fn bench_protect_under_era_pressure(c: &mut Criterion) {
         })
     });
     drop(shield);
-    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    stop.store(true, wfe_sync::atomic::Ordering::Relaxed); // ORDER: benchmark control flag; no data is ordered by it.
     bumper.join().unwrap();
+    // SAFETY: bench-owned block, never published for retirement; freed once.
     unsafe { wfe_reclaim::Linked::dealloc(node) };
 }
 

@@ -14,9 +14,9 @@
 //! short task (a handful of operations), check it back in, and repeat — the
 //! `kv-pool` figure. Its data points carry the pool hit rate.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
+use wfe_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 use wfe_reclaim::{
     Atomic, BlockCacheConfig, Handle, HandlePool, RawHandle, Reclaimer, ReclaimerConfig, SmrStats,
@@ -281,7 +281,7 @@ fn drive_sampling<R: Reclaimer>(
         unreclaimed_sampler.record(domain.stats().unreclaimed);
         occupancy_sampler.record(domain.registry().occupied_shards() as u64);
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Relaxed); // ORDER: benchmark control flag; no data is ordered by it.
     start.elapsed()
 }
 
@@ -362,14 +362,16 @@ where
                 let mut generator = OpGenerator::new(workload, params.key_range, seed, thread);
                 barrier.wait();
                 let mut ops = 0u64;
+                // ORDER: benchmark control flag; no data is ordered by it.
                 while !stop.load(Ordering::Relaxed) {
+                    // ORDER: benchmark control flag; no data is ordered by it.
                     if !measuring.load(Ordering::Relaxed) {
                         ops = 0;
                     }
                     apply_map_op(map, &mut handle, &mut generator);
                     ops += 1;
                 }
-                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_ops.fetch_add(ops, Ordering::Relaxed); // ORDER: throughput counter, aggregated after the threads join.
             });
         }
         elapsed = drive_sampling(
@@ -440,7 +442,9 @@ where
                     ServiceOpGenerator::new(workload, params.key_range, seed, thread);
                 barrier.wait();
                 let mut ops = 0u64;
+                // ORDER: benchmark control flag; no data is ordered by it.
                 while !stop.load(Ordering::Relaxed) {
+                    // ORDER: benchmark control flag; no data is ordered by it.
                     if !measuring.load(Ordering::Relaxed) {
                         ops = 0;
                     }
@@ -457,7 +461,7 @@ where
                     }
                     ops += 1;
                 }
-                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_ops.fetch_add(ops, Ordering::Relaxed); // ORDER: throughput counter, aggregated after the threads join.
             });
         }
         elapsed = drive_sampling(
@@ -550,7 +554,9 @@ where
                 let mut generator = OpGenerator::new(workload, params.key_range, seed, thread);
                 barrier.wait();
                 let mut ops = 0u64;
+                // ORDER: benchmark control flag; no data is ordered by it.
                 while !stop.load(Ordering::Relaxed) {
+                    // ORDER: benchmark control flag; no data is ordered by it.
                     if !measuring.load(Ordering::Relaxed) {
                         ops = 0;
                     }
@@ -567,7 +573,7 @@ where
                     }
                     drop(handle);
                 }
-                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_ops.fetch_add(ops, Ordering::Relaxed); // ORDER: throughput counter, aggregated after the threads join.
             });
         }
         elapsed = drive_sampling(
@@ -648,6 +654,7 @@ where
         let sampler_thread = scope.spawn(|| {
             let mut unreclaimed = Sampler::new();
             let mut occupancy = Sampler::new();
+            // ORDER: benchmark control flag; no data is ordered by it.
             while !stop.load(Ordering::Relaxed) {
                 std::thread::sleep(SAMPLE_INTERVAL);
                 unreclaimed.record(domain.stats().unreclaimed);
@@ -690,7 +697,7 @@ where
             completed
         });
         elapsed = start.elapsed();
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Relaxed); // ORDER: benchmark control flag; no data is ordered by it.
         let (unreclaimed, occupancy) = sampler_thread.join().expect("sampler thread");
         unreclaimed_sampler = unreclaimed;
         occupancy_sampler = occupancy;
@@ -785,7 +792,9 @@ where
                     OpGenerator::new(MapWorkload::WriteDominated, params.key_range, seed, thread);
                 barrier.wait();
                 let mut ops = 0u64;
+                // ORDER: benchmark control flag; no data is ordered by it.
                 while !stop.load(Ordering::Relaxed) {
+                    // ORDER: benchmark control flag; no data is ordered by it.
                     if !measuring.load(Ordering::Relaxed) {
                         ops = 0;
                     }
@@ -796,7 +805,7 @@ where
                     }
                     ops += 1;
                 }
-                total_ops.fetch_add(ops, Ordering::Relaxed);
+                total_ops.fetch_add(ops, Ordering::Relaxed); // ORDER: throughput counter, aggregated after the threads join.
             });
         }
         elapsed = drive_sampling(

@@ -221,10 +221,12 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     ) {
         let max_threads = self.max_threads();
         for _ in 0..max_threads {
+            // ORDER: null means a helper closed our request; pairs with that AcqRel/Release close.
             if self.enqueuers[tid].load(Ordering::Acquire).is_null() {
                 break; // Some thread appended our node for us.
             }
             let ltail = tail_shield.protect(guard, &self.tail, None);
+            // ORDER: tail re-validation; pairs with the AcqRel tail swing.
             if ltail.as_raw() != self.tail.load(Ordering::Acquire) {
                 continue; // Tail advanced: one more request was served.
             }
@@ -235,11 +237,12 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             // Step 4 for the previous enqueue: the node that became the tail
             // satisfied `enq_tid`'s request; close that request.
             let ltail_enq_tid = ltail_ref.enq_tid;
+            // ORDER: pairs with the SeqCst publish of the enqueue request.
             if self.enqueuers[ltail_enq_tid].load(Ordering::Acquire) == ltail.as_raw() {
                 let _ = self.enqueuers[ltail_enq_tid].compare_exchange(
                     ltail.as_raw(),
                     ptr::null_mut(),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the served request's close; failure observes a concurrent close.
                     Ordering::Acquire,
                 );
             }
@@ -247,32 +250,32 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             // order (circularly after the tail's own enqueuer).
             for j in 1..=max_threads {
                 let node_to_help =
-                    self.enqueuers[(j + ltail_enq_tid) % max_threads].load(Ordering::Acquire);
+                    self.enqueuers[(j + ltail_enq_tid) % max_threads].load(Ordering::Acquire); // ORDER: pairs with the SeqCst publish of the pending request.
                 if node_to_help.is_null() {
                     continue;
                 }
                 let _ = ltail_ref.next.compare_exchange(
                     ptr::null_mut(),
                     node_to_help,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the appended node; failure observes the winning append.
                     Ordering::Acquire,
                 );
                 break;
             }
             // Step 3: swing the tail over whatever got appended.
-            let lnext = ltail_ref.next.load(Ordering::Acquire);
+            let lnext = ltail_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel append of the successor.
             if !lnext.is_null() {
                 let _ = self.tail.compare_exchange(
                     ltail.as_raw(),
                     lnext,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the new tail; failure observes the winning swing.
                     Ordering::Acquire,
                 );
             }
         }
         // After `max_threads` tail advances our request must have been served;
         // close it ourselves in case no helper got to step 4 yet.
-        self.enqueuers[tid].store(ptr::null_mut(), Ordering::Release);
+        self.enqueuers[tid].store(ptr::null_mut(), Ordering::Release); // ORDER: closes our own request; pairs with helpers' Acquire reads.
     }
 
     /// Removes the element at the head, if any. Wait-free: the request is
@@ -288,8 +291,8 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
     /// Step 1 of a dequeue: open this thread's request by making `deqself`
     /// and `deqhelp` agree on the current request marker.
     fn publish_dequeue_request(&self, tid: usize) -> (*mut Linked<Node<T>>, *mut Linked<Node<T>>) {
-        let pr_req = self.deqself[tid].load(Ordering::Acquire);
-        let my_req = self.deqhelp[tid].load(Ordering::Acquire);
+        let pr_req = self.deqself[tid].load(Ordering::Acquire); // ORDER: the marker it names was granted by a helper's AcqRel CAS; pairs with that.
+        let my_req = self.deqhelp[tid].load(Ordering::Acquire); // ORDER: pairs with helpers' AcqRel grant of our previous request.
         self.deqself[tid].store(my_req, Ordering::SeqCst);
         (pr_req, my_req)
     }
@@ -305,18 +308,21 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         my_req: *mut Linked<Node<T>>,
     ) -> Option<T> {
         for _ in 0..self.max_threads() {
+            // ORDER: a change means a helper granted our request; pairs with that AcqRel CAS.
             if self.deqhelp[tid].load(Ordering::Acquire) != my_req {
                 break; // Our request has been granted.
             }
             let lhead = sh.first.protect(guard, &self.head, None);
+            // ORDER: empty check; pairs with the AcqRel tail swing.
             if lhead.as_raw() == self.tail.load(Ordering::Acquire) {
                 // The queue is empty. Close the request, then resolve the
                 // race with helpers that read it while it was still open.
                 self.deqself[tid].store(pr_req, Ordering::SeqCst);
                 self.give_up(guard, sh, my_req, tid);
+                // ORDER: re-check after close; pairs with a helper's AcqRel grant.
                 if self.deqhelp[tid].load(Ordering::Acquire) != my_req {
                     // A helper granted us a node anyway; take it below.
-                    self.deqself[tid].store(my_req, Ordering::Relaxed);
+                    self.deqself[tid].store(my_req, Ordering::Relaxed); // ORDER: own slot (single writer); the grant itself was read with Acquire above.
                     break;
                 }
                 return None;
@@ -326,6 +332,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             // until the next loop iteration.
             let lhead_ref = unsafe { lhead.as_ref() }.expect("the head is never null");
             let lnext = sh.next.protect(guard, &lhead_ref.next, Some(lhead));
+            // ORDER: head re-validation; pairs with the AcqRel head swing.
             if lhead.as_raw() != self.head.load(Ordering::Acquire) {
                 continue;
             }
@@ -344,7 +351,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         // SAFETY: ownership argument above — the granted node can only be
         // retired by this thread, at the start of its *next* dequeue.
         let my_node =
-            unsafe { Protected::from_unlinked(self.deqhelp[tid].load(Ordering::Acquire)) };
+            unsafe { Protected::from_unlinked(self.deqhelp[tid].load(Ordering::Acquire)) }; // ORDER: pairs with the helper's AcqRel grant that closed our request.
         debug_assert!(
             my_node.as_raw() != my_req,
             "request still open after bounded help"
@@ -357,12 +364,13 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         let lhead_next = unsafe { lhead.as_ref() }
             .expect("the head is never null")
             .next
-            .load(Ordering::Acquire);
+            .load(Ordering::Acquire); // ORDER: pairs with the AcqRel append of the successor.
+                                      // ORDER: head re-validation; pairs with the AcqRel head swing.
         if lhead.as_raw() == self.head.load(Ordering::Acquire) && my_node.as_raw() == lhead_next {
             let _ = self.head.compare_exchange(
                 lhead.as_raw(),
                 my_node.as_raw(),
-                Ordering::AcqRel,
+                Ordering::AcqRel, // ORDER: success publishes the new head; failure observes the winning swing.
                 Ordering::Acquire,
             );
         }
@@ -390,28 +398,29 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         let turn = unsafe { lhead.as_ref() }
             .expect("the head is never null")
             .deq_tid
-            .load(Ordering::Acquire);
-        // SAFETY: the caller protects `lnext` through `sh.next` and does not
-        // re-protect it while this call runs.
+            .load(Ordering::Acquire); // ORDER: pairs with the AcqRel claim recorded in the departing head.
+                                      // SAFETY: the caller protects `lnext` through `sh.next` and does not
+                                      // re-protect it while this call runs.
         let lnext_ref = unsafe { lnext.as_ref() }.expect("caller checked lnext is non-null");
         for idx in (turn + 1)..(turn + 1 + max_threads as i64) {
             let id_deq = idx as usize % max_threads;
-            if self.deqself[id_deq].load(Ordering::Acquire)
+            if self.deqself[id_deq].load(Ordering::Acquire) // ORDER: open-request check; pairs with the SeqCst open and AcqRel grants.
                 != self.deqhelp[id_deq].load(Ordering::Acquire)
             {
                 continue; // Closed request.
             }
+            // ORDER: claim check; pairs with the AcqRel claim CAS.
             if lnext_ref.deq_tid.load(Ordering::Acquire) == IDX_NONE {
                 let _ = lnext_ref.deq_tid.compare_exchange(
                     IDX_NONE,
                     id_deq as i64,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the claim; failure observes the winning claim.
                     Ordering::Acquire,
                 );
             }
             break;
         }
-        lnext_ref.deq_tid.load(Ordering::Acquire)
+        lnext_ref.deq_tid.load(Ordering::Acquire) // ORDER: returns the claim; pairs with the AcqRel claim CAS.
     }
 
     /// Grants `lnext` to the request it was claimed for, then swings the
@@ -429,23 +438,24 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         let ldeq_tid = unsafe { lnext.as_ref() }
             .expect("caller checked lnext is non-null")
             .deq_tid
-            .load(Ordering::Acquire);
+            .load(Ordering::Acquire); // ORDER: pairs with the AcqRel claim of `lnext`.
         debug_assert!(ldeq_tid >= 0, "granting an unclaimed node");
         let ldeq_tid = ldeq_tid as usize;
         if ldeq_tid == tid {
             // Our own request: no other thread stores anything else here.
-            self.deqhelp[ldeq_tid].store(lnext.as_raw(), Ordering::Release);
+            self.deqhelp[ldeq_tid].store(lnext.as_raw(), Ordering::Release); // ORDER: publishes the grant; pairs with Acquire reads of `deqhelp`.
         } else {
             // Helping another thread: pin its current marker so the CAS
             // cannot ABA over a recycled node, and re-validate the head.
             let ldeqhelp = sh.deq.protect(guard, &self.deqhelp[ldeq_tid], None);
             if ldeqhelp.as_raw() != lnext.as_raw()
+                // ORDER: head re-validation; pairs with the AcqRel head swing.
                 && lhead.as_raw() == self.head.load(Ordering::Acquire)
             {
                 let _ = self.deqhelp[ldeq_tid].compare_exchange(
                     ldeqhelp.as_raw(),
                     lnext.as_raw(),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the grant; failure observes the winning grant.
                     Ordering::Acquire,
                 );
             }
@@ -453,7 +463,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         let _ = self.head.compare_exchange(
             lhead.as_raw(),
             lnext.as_raw(),
-            Ordering::AcqRel,
+            Ordering::AcqRel, // ORDER: success publishes the new head; failure observes the winning swing.
             Ordering::Acquire,
         );
     }
@@ -471,8 +481,9 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         tid: usize,
     ) {
         let lhead = sh.first.protect(guard, &self.head, None);
-        if self.deqhelp[tid].load(Ordering::Acquire) != my_req
+        if self.deqhelp[tid].load(Ordering::Acquire) != my_req // ORDER: pairs with a helper's AcqRel grant.
             || lhead.as_raw() == self.tail.load(Ordering::Acquire)
+        // ORDER: empty re-check; pairs with the AcqRel tail swing.
         {
             return;
         }
@@ -480,6 +491,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
         // are re-protected below.
         let lhead_ref = unsafe { lhead.as_ref() }.expect("the head is never null");
         let lnext = sh.next.protect(guard, &lhead_ref.next, Some(lhead));
+        // ORDER: head re-validation; pairs with the AcqRel head swing.
         if lhead.as_raw() != self.head.load(Ordering::Acquire) || lnext.is_null() {
             return;
         }
@@ -489,6 +501,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
             let _ = unsafe { lnext.as_ref() }
                 .expect("checked non-null above")
                 .deq_tid
+                // ORDER: success publishes the claim; failure observes the winner.
                 .compare_exchange(IDX_NONE, tid as i64, Ordering::AcqRel, Ordering::Acquire);
         }
         self.cas_deq_and_head(guard, sh, lhead, lnext, tid);
@@ -496,7 +509,7 @@ impl<T: Copy, R: Reclaimer> CrTurnQueue<T, R> {
 
     /// Returns `true` if the queue appeared empty at the moment of the call.
     pub fn is_empty(&self) -> bool {
-        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire)
+        self.head.load(Ordering::Acquire) == self.tail.load(Ordering::Acquire) // ORDER: emptiness snapshot; pairs with the AcqRel head/tail swings.
     }
 
     /// Test hook: publishes an enqueue request and returns *without helping*,
@@ -537,11 +550,11 @@ impl<T, R: Reclaimer> Drop for CrTurnQueue<T, R> {
         // the current sentinel (and, after an abandoned stalled enqueue, a
         // node parked in `enqueuers`) can also be named by a request array.
         let mut freed = std::collections::HashSet::new();
-        let mut cur = self.head.load(Ordering::Relaxed);
+        let mut cur = self.head.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
         while !cur.is_null() {
             // SAFETY: `Drop` has exclusive access; every reachable node is
             // valid until deallocated below.
-            let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) };
+            let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) }; // ORDER: Drop has exclusive access.
             if freed.insert(cur) {
                 // SAFETY: the `freed` set guarantees each node (the sentinel
                 // may be named twice) is freed exactly once.
@@ -551,7 +564,7 @@ impl<T, R: Reclaimer> Drop for CrTurnQueue<T, R> {
         }
         for array in [&self.enqueuers, &self.deqself, &self.deqhelp] {
             for slot in array.iter() {
-                let node = slot.load(Ordering::Relaxed);
+                let node = slot.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
                 if !node.is_null() && freed.insert(node) {
                     // SAFETY: as above — deduplicated, exclusive access.
                     unsafe { Linked::dealloc(node) };
@@ -582,8 +595,8 @@ impl<R: Reclaimer> ConcurrentQueue<R> for CrTurnQueue<u64, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
     use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, ReclaimerConfig};
+    use wfe_sync::atomic::{AtomicU64, Ordering::SeqCst};
 
     fn small_config(threads: usize) -> ReclaimerConfig {
         ReclaimerConfig {

@@ -169,7 +169,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         match self.state[tid].compare_exchange(
             old.as_raw(),
             new,
-            Ordering::AcqRel,
+            Ordering::AcqRel, // ORDER: success publishes the descriptor swap; failure observes the winner.
             Ordering::Acquire,
         ) {
             Ok(_) => {
@@ -234,7 +234,8 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
             // go through `sh.desc`/`sh.desc_aux`, so `last_ref` stays pinned
             // until the next loop iteration.
             let last_ref = unsafe { last.as_ref() }.expect("the tail is never null");
-            let next = last_ref.next.load(Ordering::Acquire);
+            let next = last_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel append of the successor.
+                                                              // ORDER: tail re-validation; pairs with the AcqRel tail swing.
             if last.as_raw() != self.tail.load(Ordering::Acquire) {
                 continue;
             }
@@ -255,7 +256,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                         .compare_exchange(
                             ptr::null_mut(),
                             node,
-                            Ordering::AcqRel,
+                            Ordering::AcqRel, // ORDER: success publishes the appended node; failure observes the winning append.
                             Ordering::Acquire,
                         )
                         .is_ok()
@@ -282,6 +283,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         };
         let enq_tid = next_ref.enq_tid;
         let cur_desc = sh.desc.protect(guard, &self.state[enq_tid], None);
+        // ORDER: tail re-validation; pairs with the AcqRel tail swing.
         if last.as_raw() != self.tail.load(Ordering::Acquire) {
             return;
         }
@@ -304,7 +306,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         let _ = self.tail.compare_exchange(
             last.as_raw(),
             next.as_raw(),
-            Ordering::AcqRel,
+            Ordering::AcqRel, // ORDER: success publishes the new tail; failure observes the winning swing.
             Ordering::Acquire,
         );
     }
@@ -324,8 +326,9 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
             // (`help_finish_enq`/`help_finish_deq`) run after `first_ref`'s
             // last use.
             let first_ref = unsafe { first.as_ref() }.expect("the head is never null");
-            let last = self.tail.load(Ordering::Acquire);
+            let last = self.tail.load(Ordering::Acquire); // ORDER: pairs with the AcqRel tail swing.
             let next = sh.next.protect(guard, &first_ref.next, Some(first));
+            // ORDER: head re-validation; pairs with the AcqRel head swing.
             if first.as_raw() != self.head.load(Ordering::Acquire) {
                 continue;
             }
@@ -333,6 +336,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                 if next.is_null() {
                     // Queue looks empty: finalise with an empty result.
                     let cur_desc = sh.desc.protect(guard, &self.state[tid], None);
+                    // ORDER: tail re-check; pairs with the AcqRel tail swing.
                     if last != self.tail.load(Ordering::Acquire) {
                         continue;
                     }
@@ -366,6 +370,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                 if !(cur_pending && cur_phase <= phase) {
                     break;
                 }
+                // ORDER: head re-validation; pairs with the AcqRel head swing.
                 if first.as_raw() != self.head.load(Ordering::Acquire) {
                     continue;
                 }
@@ -386,7 +391,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
                 let _ = first_ref.deq_tid.compare_exchange(
                     -1,
                     tid as i64,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the claim; failure observes the winning claim.
                     Ordering::Acquire,
                 );
                 self.help_finish_deq(guard, sh);
@@ -400,12 +405,13 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         // `sh.next`), neither re-protected for the rest of this function.
         let first_ref = unsafe { first.as_ref() }.expect("the head is never null");
         let next = sh.next.protect(guard, &first_ref.next, Some(first));
-        let deq_tid = first_ref.deq_tid.load(Ordering::Acquire);
+        let deq_tid = first_ref.deq_tid.load(Ordering::Acquire); // ORDER: pairs with the AcqRel claim CAS on `deq_tid`.
         if deq_tid < 0 {
             return;
         }
         let tid = deq_tid as usize;
         let cur_desc = sh.desc.protect(guard, &self.state[tid], None);
+        // ORDER: head re-validation; pairs with the AcqRel head swing.
         if first.as_raw() != self.head.load(Ordering::Acquire) {
             return;
         }
@@ -435,7 +441,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         let _ = self.head.compare_exchange(
             first.as_raw(),
             next.as_raw(),
-            Ordering::AcqRel,
+            Ordering::AcqRel, // ORDER: success publishes the new head; failure observes the winning swing.
             Ordering::Acquire,
         );
     }
@@ -514,7 +520,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         loop {
             let old = sh.desc.protect(guard, &self.state[tid], None);
             if self.state[tid]
-                .compare_exchange(old.as_raw(), desc, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(old.as_raw(), desc, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the descriptor; failure retries against the current one.
                 .is_ok()
             {
                 // SAFETY: our CAS unlinked `old` from the descriptor slot; it
@@ -541,7 +547,7 @@ impl<T: Copy, R: Reclaimer> KoganPetrankQueue<T, R> {
         unsafe { head.as_ref() }
             .expect("the head is never null")
             .next
-            .load(Ordering::Acquire)
+            .load(Ordering::Acquire) // ORDER: pairs with the AcqRel append of the successor.
             .is_null()
     }
 }
@@ -550,17 +556,17 @@ impl<T, R: Reclaimer> Drop for KoganPetrankQueue<T, R> {
     fn drop(&mut self) {
         // Exclusive access: free the nodes still in the queue and the final
         // descriptor of every thread slot.
-        let mut cur = self.head.load(Ordering::Relaxed);
+        let mut cur = self.head.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
         while !cur.is_null() {
             // SAFETY: `Drop` has exclusive access; every queued node is
             // valid and freed exactly once.
-            let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) };
-            // SAFETY: as above — exclusive access, freed exactly once.
+            let next = unsafe { (*cur).value.next.load(Ordering::Relaxed) }; // ORDER: Drop has exclusive access.
+                                                                             // SAFETY: as above — exclusive access, freed exactly once.
             unsafe { Linked::dealloc(cur) };
             cur = next;
         }
         for slot in self.state.iter() {
-            let desc = slot.load(Ordering::Relaxed);
+            let desc = slot.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
             if !desc.is_null() {
                 // SAFETY: the final descriptor of each slot is owned by the
                 // queue alone once no operation is in flight.
@@ -591,8 +597,8 @@ impl<R: Reclaimer> ConcurrentQueue<R> for KoganPetrankQueue<u64, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
     use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, ReclaimerConfig};
+    use wfe_sync::atomic::{AtomicU64, Ordering::SeqCst};
 
     fn small_config(threads: usize) -> ReclaimerConfig {
         ReclaimerConfig {

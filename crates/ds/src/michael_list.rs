@@ -119,14 +119,14 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 // window (the other shield covers `prev`), so the reference
                 // stays pinned while it is used.
                 let curr_ref = unsafe { curr.as_ref() }.expect("non-null protected node");
-                let next_raw = curr_ref.next.load(Ordering::Acquire);
+                let next_raw = curr_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel link and mark writes on `next`.
                 if tag::tag_of(next_raw) == MARK {
                     // `curr` is logically deleted: unlink it and retire it.
                     let next = tag::untagged(next_raw);
                     match prev_src.compare_exchange(
                         curr.as_raw(),
                         next,
-                        Ordering::AcqRel,
+                        Ordering::AcqRel, // ORDER: success publishes the unlink; failure observes the winner.
                         Ordering::Acquire,
                     ) {
                         Ok(_) => {
@@ -143,6 +143,7 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 // Validate that `curr` is still linked after we protected it;
                 // if not, the key we just read may belong to a node that was
                 // removed and the window would be stale.
+                // ORDER: window re-validation; pairs with AcqRel link/unlink CASes.
                 if prev_src.load(Ordering::Acquire) != curr.as_raw() {
                     continue 'retry;
                 }
@@ -188,14 +189,14 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 (*node)
                     .value
                     .next
-                    .store(window.curr.as_raw(), Ordering::Release)
+                    .store(window.curr.as_raw(), Ordering::Release) // ORDER: publishes the node's link before the CAS publishes the node.
             };
             if window
                 .prev_src
                 .compare_exchange(
                     window.curr.as_raw(),
                     node,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the node; failure observes the winning link.
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -219,7 +220,7 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
             // `find` returning and the last use of this reference (the
             // unlink-failure `find` below runs after it).
             let curr_ref = unsafe { curr.as_ref() }.expect("found window has a node");
-            let next_raw = curr_ref.next.load(Ordering::Acquire);
+            let next_raw = curr_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel mark/link writes on `next`.
             if tag::tag_of(next_raw) == MARK {
                 // Another remover got here first; retry to settle who wins.
                 continue;
@@ -230,7 +231,7 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 .compare_exchange(
                     next_raw,
                     tag::with_tag(next_raw, MARK),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the logical delete; failure observes the winner.
                     Ordering::Acquire,
                 )
                 .is_err()
@@ -243,7 +244,7 @@ impl<V, R: Reclaimer> MichaelList<V, R> {
                 .compare_exchange(
                     curr.as_raw(),
                     tag::untagged(next_raw),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the unlink; failure defers to a later `find`.
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -285,12 +286,12 @@ impl<V: Clone, R: Reclaimer> MichaelList<V, R> {
 impl<V, R: Reclaimer> Drop for MichaelList<V, R> {
     fn drop(&mut self) {
         // Exclusive access: walk the list and free every node directly.
-        let mut cur = tag::untagged(self.head.load(Ordering::Relaxed));
+        let mut cur = tag::untagged(self.head.load(Ordering::Relaxed)); // ORDER: Drop has exclusive access.
         while !cur.is_null() {
             // SAFETY: `Drop` has exclusive access; every reachable node is
             // valid and freed exactly once.
-            let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) });
-            // SAFETY: as above — exclusive access, freed exactly once.
+            let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) }); // ORDER: Drop has exclusive access.
+                                                                                            // SAFETY: as above — exclusive access, freed exactly once.
             unsafe { Linked::dealloc(cur) };
             cur = next;
         }

@@ -89,18 +89,18 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
             // at the top of the next loop iteration, after this reference's
             // last use.
             let tail_ref = unsafe { tail.as_ref() }.expect("the tail is never null");
-            let next = tail_ref.next.load(Ordering::Acquire);
+            let next = tail_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel append of the successor.
             if next.is_null() {
                 if tail_ref
                     .next
-                    .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire)
+                    .compare_exchange(ptr::null_mut(), node, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the appended node; failure observes the winning append.
                     .is_ok()
                 {
                     // Swing the tail; failure means someone already did it.
                     let _ = self.tail.compare_exchange(
                         tail.as_raw(),
                         node,
-                        Ordering::AcqRel,
+                        Ordering::AcqRel, // ORDER: success publishes the new tail; failure means someone already swung it.
                         Ordering::Acquire,
                     );
                     break;
@@ -110,7 +110,7 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
                 let _ = self.tail.compare_exchange(
                     tail.as_raw(),
                     next,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: helping CAS; success publishes the tail, failure observes the winner.
                     Ordering::Acquire,
                 );
             }
@@ -130,8 +130,9 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
             // (head_shield / next_shield), re-protected only at the top of
             // the next iteration — after the last use of both references.
             let head_ref = unsafe { head.as_ref() }.expect("the head is never null");
-            let tail = self.tail.load(Ordering::Acquire);
+            let tail = self.tail.load(Ordering::Acquire); // ORDER: snapshot for the lag check; pairs with the AcqRel tail swing.
             let next = next_shield.protect(&guard, &head_ref.next, Some(head));
+            // ORDER: head re-validation; pairs with the AcqRel head swing.
             if head.as_raw() != self.head.load(Ordering::Acquire) {
                 backoff.spin();
                 continue;
@@ -146,7 +147,7 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
                 let _ = self.tail.compare_exchange(
                     tail,
                     next.as_raw(),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: helping CAS; success publishes the tail, failure observes the winner.
                     Ordering::Acquire,
                 );
                 continue;
@@ -156,7 +157,7 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
                 .compare_exchange(
                     head.as_raw(),
                     next.as_raw(),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the new head; failure observes the winning swing.
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -188,7 +189,7 @@ impl<T, R: Reclaimer> MichaelScottQueue<T, R> {
         unsafe { head.as_ref() }
             .expect("the head is never null")
             .next
-            .load(Ordering::Acquire)
+            .load(Ordering::Acquire) // ORDER: pairs with the AcqRel append of the successor.
             .is_null()
     }
 }
@@ -197,12 +198,12 @@ impl<T, R: Reclaimer> Drop for MichaelScottQueue<T, R> {
     fn drop(&mut self) {
         // Exclusive access: free the sentinel and every queued node, dropping
         // the values still owned by the queue.
-        let mut cur = self.head.load(Ordering::Relaxed);
+        let mut cur = self.head.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
         while !cur.is_null() {
             // SAFETY: `Drop` has exclusive access; every reachable node is
             // freed exactly once, dropping any value it still owns.
             unsafe {
-                let next = (*cur).value.next.load(Ordering::Relaxed);
+                let next = (*cur).value.next.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
                 if let Some(value) = (*cur).value.value.as_mut() {
                     ManuallyDrop::drop(value);
                 }
@@ -234,8 +235,8 @@ impl<R: Reclaimer> ConcurrentQueue<R> for MichaelScottQueue<u64, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering::SeqCst};
     use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, ReclaimerConfig};
+    use wfe_sync::atomic::{AtomicU64, Ordering::SeqCst};
 
     fn fifo_single_threaded<R: Reclaimer>() {
         let domain = R::new_default();

@@ -158,6 +158,7 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         let root_ref = unsafe { root.as_ref() }.expect("the super-root always exists");
         // SAFETY: S, the sentinel below R, is likewise never retired.
         let s: Protected<'g, Node<V>> = unsafe {
+            // ORDER: pairs with the AcqRel edge CASes below S (sentinel edges).
             Protected::from_unlinked(tag::untagged(root_ref.left.load(Ordering::Acquire)))
         };
         // SAFETY: S is immortal (see above).
@@ -251,9 +252,9 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         } else {
             (&parent_ref.right, &parent_ref.left)
         };
-        let child_val = child_edge.load(Ordering::Acquire);
-        // The flagged edge points to the leaf being deleted. If it is not the
-        // edge on our search path, we are helping a deletion of the sibling.
+        let child_val = child_edge.load(Ordering::Acquire); // ORDER: pairs with the AcqRel flag/tag edge CASes.
+                                                            // The flagged edge points to the leaf being deleted. If it is not the
+                                                            // edge on our search path, we are helping a deletion of the sibling.
         let (flagged_edge, promote_edge) = if tag::tag_of(child_val) & FLAG != 0 {
             (child_edge, sibling_edge)
         } else {
@@ -261,9 +262,9 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
         };
 
         // Freeze the edge that will be promoted so no insert can slip below it.
-        promote_edge.fetch_or_tag(TAG, Ordering::AcqRel);
-        let promote_val = promote_edge.load(Ordering::Acquire);
-        let flagged_val = flagged_edge.load(Ordering::Acquire);
+        promote_edge.fetch_or_tag(TAG, Ordering::AcqRel); // ORDER: freezes the edge; publishes the tag and observes the current child.
+        let promote_val = promote_edge.load(Ordering::Acquire); // ORDER: re-read after the freeze; pairs with the AcqRel tag RMW above.
+        let flagged_val = flagged_edge.load(Ordering::Acquire); // ORDER: pairs with the AcqRel flag CAS that started this deletion.
 
         // Promote the sibling subtree into the ancestor, preserving a FLAG the
         // sibling edge may itself carry (a pending deletion of the sibling).
@@ -275,7 +276,7 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
             .compare_exchange(
                 record.successor.as_raw(),
                 promoted,
-                Ordering::AcqRel,
+                Ordering::AcqRel, // ORDER: success publishes the promotion; failure means another helper won.
                 Ordering::Acquire,
             )
             .is_ok();
@@ -335,7 +336,7 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
             match parent_edge.compare_exchange(
                 leaf.as_raw(),
                 new_internal,
-                Ordering::AcqRel,
+                Ordering::AcqRel, // ORDER: success publishes the new internal node; failure observes the winner.
                 Ordering::Acquire,
             ) {
                 Ok(_) => return true,
@@ -383,7 +384,7 @@ impl<V, R: Reclaimer> NatarajanBst<V, R> {
                 match parent_edge.compare_exchange(
                     leaf.as_raw(),
                     leaf.with_tag(FLAG).as_raw(),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the deletion flag; failure observes the competing edit.
                     Ordering::Acquire,
                 ) {
                     Ok(_) => {
@@ -456,8 +457,8 @@ impl<V, R: Reclaimer> Drop for NatarajanBst<V, R> {
             // SAFETY: `Drop` has exclusive access; every reachable node is
             // visited and freed exactly once.
             unsafe {
-                stack.push((*node).value.left.load(Ordering::Relaxed));
-                stack.push((*node).value.right.load(Ordering::Relaxed));
+                stack.push((*node).value.left.load(Ordering::Relaxed)); // ORDER: Drop has exclusive access.
+                stack.push((*node).value.right.load(Ordering::Relaxed)); // ORDER: Drop has exclusive access.
                 Linked::dealloc(node);
             }
         }

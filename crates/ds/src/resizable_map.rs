@@ -212,7 +212,7 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
     /// Number of data entries currently in the map (racy but monotonic
     /// between quiescent points).
     pub fn len(&self) -> usize {
-        self.len.load(Ordering::Acquire)
+        self.len.load(Ordering::Acquire) // ORDER: advisory size read; pairs with the AcqRel len updates.
     }
 
     /// `true` when [`len`](Self::len) is zero.
@@ -222,7 +222,7 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
 
     /// Current directory size (bucket count).
     pub fn buckets(&self) -> usize {
-        self.buckets.load(Ordering::Acquire)
+        self.buckets.load(Ordering::Acquire) // ORDER: pairs with the Release store after a directory publish.
     }
 
     /// Service statistics: current load factor, completed resizes, and
@@ -231,8 +231,8 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
         let buckets = self.buckets().max(1);
         MapServiceStats {
             load_factor: self.len() as f64 / buckets as f64,
-            resizes: self.resizes.load(Ordering::Relaxed),
-            migrated_buckets: self.migrated.load(Ordering::Relaxed),
+            resizes: self.resizes.load(Ordering::Relaxed), // ORDER: statistics counter only.
+            migrated_buckets: self.migrated.load(Ordering::Relaxed), // ORDER: statistics counter only.
         }
     }
 
@@ -322,14 +322,14 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
                 // window (the other shield covers `prev`), so the reference
                 // stays pinned while it is used.
                 let curr_ref = unsafe { curr.as_ref() }.expect("non-null protected node");
-                let next_raw = curr_ref.next.load(Ordering::Acquire);
+                let next_raw = curr_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel link and mark writes on `next`.
                 if tag::tag_of(next_raw) == MARK {
                     // `curr` is logically deleted: unlink it and retire it.
                     let next = tag::untagged(next_raw);
                     match prev_src.compare_exchange(
                         curr.as_raw(),
                         next,
-                        Ordering::AcqRel,
+                        Ordering::AcqRel, // ORDER: success publishes the unlink; failure observes the winner.
                         Ordering::Acquire,
                     ) {
                         Ok(_) => {
@@ -346,6 +346,7 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
                 // Validate that `curr` is still linked after we protected
                 // it; if not, the keys we just read may belong to a node
                 // that was removed and the window would be stale.
+                // ORDER: window re-validation; pairs with AcqRel link/unlink CASes.
                 if prev_src.load(Ordering::Acquire) != curr.as_raw() {
                     continue 'retry;
                 }
@@ -383,7 +384,7 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
         bucket: usize,
     ) -> *mut Linked<Node<V>> {
         let slot = &dir.slots[bucket];
-        let cached = slot.load(Ordering::Acquire);
+        let cached = slot.load(Ordering::Acquire); // ORDER: pairs with the AcqRel cache fill of this slot.
         if !cached.is_null() {
             return cached;
         }
@@ -391,11 +392,11 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
             // Slot 0 of a replacement directory could only be null if the
             // copy raced construction, which cannot happen (the head is
             // cached before the map is shared); recover regardless.
-            let head = self.head.load(Ordering::Relaxed);
+            let head = self.head.load(Ordering::Relaxed); // ORDER: the head is fixed at construction; no ordering needed.
             let _ = slot.compare_exchange(
                 core::ptr::null_mut(),
                 head,
-                Ordering::AcqRel,
+                Ordering::AcqRel, // ORDER: success publishes the cached head; failure means another thread cached it.
                 Ordering::Acquire,
             );
             return head;
@@ -427,14 +428,14 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
                 (*node)
                     .value
                     .next
-                    .store(window.curr.as_raw(), Ordering::Release)
+                    .store(window.curr.as_raw(), Ordering::Release) // ORDER: publishes the node's link before the CAS publishes the node.
             };
             if window
                 .prev_src
                 .compare_exchange(
                     window.curr.as_raw(),
                     node,
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the node; failure observes the winning link.
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -447,7 +448,7 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
         let _ = slot.compare_exchange(
             core::ptr::null_mut(),
             dummy,
-            Ordering::AcqRel,
+            Ordering::AcqRel, // ORDER: success caches the dummy; a failure cached the same pointer.
             Ordering::Acquire,
         );
         dummy
@@ -485,14 +486,14 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
                     (*node)
                         .value
                         .next
-                        .store(window.curr.as_raw(), Ordering::Release)
+                        .store(window.curr.as_raw(), Ordering::Release) // ORDER: publishes the node's link before the CAS publishes the node.
                 };
                 if window
                     .prev_src
                     .compare_exchange(
                         window.curr.as_raw(),
                         node,
-                        Ordering::AcqRel,
+                        Ordering::AcqRel, // ORDER: success publishes the node; failure observes the winning link.
                         Ordering::Acquire,
                     )
                     .is_ok()
@@ -502,11 +503,11 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
             }
         };
         if inserted {
-            let len = self.len.fetch_add(1, Ordering::AcqRel) + 1;
+            let len = self.len.fetch_add(1, Ordering::AcqRel) + 1; // ORDER: advisory size counter driving the resize trigger.
             if len
                 >= self
                     .buckets
-                    .load(Ordering::Acquire)
+                    .load(Ordering::Acquire) // ORDER: pairs with the Release store after a directory publish.
                     .saturating_mul(Self::RESIZE_AVG)
             {
                 self.try_resize(handle);
@@ -534,7 +535,7 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
             // `find_from` returning and the last use of this reference (the
             // unlink-failure `find_from` below runs after it).
             let curr_ref = unsafe { curr.as_ref() }.expect("found window has a node");
-            let next_raw = curr_ref.next.load(Ordering::Acquire);
+            let next_raw = curr_ref.next.load(Ordering::Acquire); // ORDER: pairs with the AcqRel mark/link writes on `next`.
             if tag::tag_of(next_raw) == MARK {
                 // Another remover got here first; retry to settle who wins.
                 continue;
@@ -545,22 +546,22 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
                 .compare_exchange(
                     next_raw,
                     tag::with_tag(next_raw, MARK),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the logical delete; failure observes the winner.
                     Ordering::Acquire,
                 )
                 .is_err()
             {
                 continue;
             }
-            self.len.fetch_sub(1, Ordering::AcqRel);
-            // Physical deletion: unlink it ourselves or let a later find do
-            // it.
+            self.len.fetch_sub(1, Ordering::AcqRel); // ORDER: advisory size counter (resize trigger and stats).
+                                                     // Physical deletion: unlink it ourselves or let a later find do
+                                                     // it.
             if window
                 .prev_src
                 .compare_exchange(
                     curr.as_raw(),
                     tag::untagged(next_raw),
-                    Ordering::AcqRel,
+                    Ordering::AcqRel, // ORDER: success publishes the unlink; failure defers to a later find.
                     Ordering::Acquire,
                 )
                 .is_ok()
@@ -618,32 +619,35 @@ impl<V, R: Reclaimer> ResizableHashMap<V, R> {
         let slots: Box<[Atomic<Node<V>>]> = (0..new_size)
             .map(|bucket| {
                 if bucket < old_size {
-                    Atomic::new(old_ref.slots[bucket].load(Ordering::Acquire))
+                    Atomic::new(old_ref.slots[bucket].load(Ordering::Acquire)) // ORDER: pairs with the AcqRel cache fill in the old directory.
                 } else {
                     Atomic::null()
                 }
             })
             .collect();
         let new_dir = guard.alloc(Directory { slots });
+        // ORDER: test-hook flag, set before the map is shared.
         let won = if self.racy_publish.load(Ordering::Relaxed) {
             // MUTANT (test hook): de-fenced publish — a plain load/check/
             // store instead of one atomic CAS. Two resizers can both pass
             // the check and both believe they unlinked the same array.
+            // ORDER: test-mutant path: the missing fence is the defect under test.
             if self.dir.load(Ordering::Acquire) == old.as_raw() {
-                self.dir.store(new_dir, Ordering::Release);
+                self.dir.store(new_dir, Ordering::Release); // ORDER: test-mutant path: deliberately a plain store, not a CAS.
                 true
             } else {
                 false
             }
         } else {
             self.dir
-                .compare_exchange(old.as_raw(), new_dir, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(old.as_raw(), new_dir, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the new directory; failure observes the winner.
                 .is_ok()
         };
         if won {
-            self.buckets.store(new_size, Ordering::Release);
-            self.resizes.fetch_add(1, Ordering::Relaxed);
-            self.migrated.fetch_add(old_size as u64, Ordering::Relaxed);
+            self.buckets.store(new_size, Ordering::Release); // ORDER: pairs with Acquire reads of the bucket count.
+            self.resizes.fetch_add(1, Ordering::Relaxed); // ORDER: statistics counter only.
+            self.migrated.fetch_add(old_size as u64, Ordering::Relaxed); // ORDER: statistics counter only.
+                                                                         // ORDER: test-hook flag, set before the map is shared.
             if !self.racy_publish.load(Ordering::Relaxed) {
                 // SAFETY: we won the publish CAS, so the old array is
                 // unreachable from `self.dir` and ours to retire exactly
@@ -711,17 +715,17 @@ impl<V, R: Reclaimer> Drop for ResizableHashMap<V, R> {
         // data nodes alike) and free every node directly, then the current
         // directory. Superseded directories were retired through the domain
         // and are freed by its own teardown.
-        let mut cur = tag::untagged(self.head.load(Ordering::Relaxed));
+        let mut cur = tag::untagged(self.head.load(Ordering::Relaxed)); // ORDER: Drop has exclusive access.
         while !cur.is_null() {
             // SAFETY: `Drop` has exclusive access; every reachable node is
             // valid and freed exactly once.
-            let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) });
-            // SAFETY: as above — exclusive access, freed exactly once.
+            let next = tag::untagged(unsafe { (*cur).value.next.load(Ordering::Relaxed) }); // ORDER: Drop has exclusive access.
+                                                                                            // SAFETY: as above — exclusive access, freed exactly once.
             unsafe { Linked::dealloc(cur) };
             cur = next;
         }
-        let dir = self.dir.load(Ordering::Relaxed);
-        // SAFETY: exclusive access; the current directory is freed once.
+        let dir = self.dir.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
+                                                    // SAFETY: exclusive access; the current directory is freed once.
         unsafe { Linked::dealloc(dir) };
     }
 }

@@ -74,12 +74,12 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
         });
         let mut backoff = Backoff::new();
         loop {
-            let head = self.head.load(Ordering::Acquire);
-            // SAFETY: `node` is owned and unpublished until the CAS succeeds.
+            let head = self.head.load(Ordering::Acquire); // ORDER: pairs with the AcqRel push/pop CASes on `head`.
+                                                          // SAFETY: `node` is owned and unpublished until the CAS succeeds.
             unsafe { (*node).value.next = head };
             if self
                 .head
-                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the node (and its `next` write); failure observes the winner.
                 .is_ok()
             {
                 return;
@@ -102,7 +102,7 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
             let next = node_ref.next;
             if self
                 .head
-                .compare_exchange(node.as_raw(), next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(node.as_raw(), next, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the unlink; failure observes the winning pop/push.
                 .is_ok()
             {
                 // We won the CAS, so we own the value; the node itself stays
@@ -120,7 +120,7 @@ impl<T, R: Reclaimer> TreiberStack<T, R> {
 
     /// Returns `true` if the stack appeared empty at the moment of the call.
     pub fn is_empty(&self) -> bool {
-        self.head.load(Ordering::Acquire).is_null()
+        self.head.load(Ordering::Acquire).is_null() // ORDER: emptiness snapshot; pairs with the AcqRel head CASes.
     }
 }
 
@@ -128,7 +128,7 @@ impl<T, R: Reclaimer> Drop for TreiberStack<T, R> {
     fn drop(&mut self) {
         // Exclusive access: free the remaining nodes directly, dropping the
         // values they still own.
-        let mut cur = self.head.load(Ordering::Relaxed);
+        let mut cur = self.head.load(Ordering::Relaxed); // ORDER: Drop has exclusive access.
         while !cur.is_null() {
             // SAFETY: `Drop` has exclusive access; every remaining node is
             // freed exactly once and still owns its value.
@@ -145,8 +145,8 @@ impl<T, R: Reclaimer> Drop for TreiberStack<T, R> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
     use wfe_reclaim::{Ebr, He, Hp, Ibr2Ge, Leak, ReclaimerConfig};
+    use wfe_sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
     fn lifo_single_threaded<R: Reclaimer>() {
         let domain = R::new_default();

@@ -63,13 +63,13 @@ impl BlockHeader {
     /// Reads the allocation era.
     #[inline]
     pub fn alloc_era(&self) -> u64 {
-        self.alloc_era.load(Ordering::Acquire)
+        self.alloc_era.load(Ordering::Acquire) // ORDER: pairs with the Release era stamps at allocation/retirement.
     }
 
     /// Reads the retirement era.
     #[inline]
     pub fn retire_era(&self) -> u64 {
-        self.retire_era.load(Ordering::Acquire)
+        self.retire_era.load(Ordering::Acquire) // ORDER: pairs with the Release era stamps at allocation/retirement.
     }
 }
 
@@ -234,8 +234,8 @@ pub(crate) unsafe fn free_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
     use std::sync::Arc;
+    use wfe_sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
     #[test]
     fn header_is_at_offset_zero() {

@@ -105,7 +105,9 @@ impl SizeClass {
 /// Debug-build balance of class allocations minus class deallocations, used
 /// by leak tests to prove every cached block is returned to the allocator.
 /// Deliberately a core atomic, not a `wfe_sync` one: pure observability, so
-/// it must not add interleaving points to model schedules.
+/// it must not add interleaving points to model schedules (and the sync
+/// layer exports no `AtomicIsize` for the same reason).
+// wfe-analyze: allow(raw-atomic): debug-only accounting, not synchronization.
 #[cfg(debug_assertions)]
 static OUTSTANDING: core::sync::atomic::AtomicIsize = core::sync::atomic::AtomicIsize::new(0);
 
@@ -224,10 +226,11 @@ impl ShardCache {
         // Optimistic reservation: count first, undo on overflow. `len` may
         // transiently exceed the true list length, which only makes the
         // bound slightly conservative.
+        // ORDER: optimistic capacity reservation; only the counter itself is ordered.
         if slot.len.fetch_add(1, Ordering::AcqRel) >= self.per_class_capacity {
-            slot.len.fetch_sub(1, Ordering::AcqRel);
-            // SAFETY: `push` owns `block`; it came from `alloc_class` with
-            // this class (the free path's contract) and is freed once here.
+            slot.len.fetch_sub(1, Ordering::AcqRel); // ORDER: undoes the optimistic reservation above.
+                                                     // SAFETY: `push` owns `block`; it came from `alloc_class` with
+                                                     // this class (the free path's contract) and is freed once here.
             unsafe { dealloc_class(class, block) };
             return false;
         }
@@ -242,12 +245,12 @@ impl ShardCache {
         let slot = &self.classes[class.index()];
         match slot.list.pop() {
             Some(addr) => {
-                slot.len.fetch_sub(1, Ordering::AcqRel);
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                slot.len.fetch_sub(1, Ordering::AcqRel); // ORDER: keeps the gauge ordered with the freelist pop it mirrors.
+                self.hits.fetch_add(1, Ordering::Relaxed); // ORDER: cache statistics counter only.
                 Some(addr as *mut u8)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add(1, Ordering::Relaxed); // ORDER: cache statistics counter only.
                 None
             }
         }
@@ -255,12 +258,12 @@ impl ShardCache {
 
     /// Allocations served from this cache.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.load(Ordering::Relaxed) // ORDER: cache statistics counter only.
     }
 
     /// Cacheable allocations that fell through to the allocator.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.load(Ordering::Relaxed) // ORDER: cache statistics counter only.
     }
 
     /// Bytes currently parked on this shard's freelists.
@@ -268,7 +271,7 @@ impl ShardCache {
         self.classes
             .iter()
             .enumerate()
-            .map(|(index, slot)| slot.len.load(Ordering::Acquire) * CLASS_SIZES[index] as u64)
+            .map(|(index, slot)| slot.len.load(Ordering::Acquire) * CLASS_SIZES[index] as u64) // ORDER: advisory byte gauge; pairs with the AcqRel len updates.
             .sum()
     }
 }
@@ -280,7 +283,7 @@ impl ShardCache {
     pub(crate) fn pop_raw(&self, class: SizeClass) -> Option<*mut u8> {
         let slot = &self.classes[class.index()];
         let addr = slot.list.pop()?;
-        slot.len.fetch_sub(1, Ordering::AcqRel);
+        slot.len.fetch_sub(1, Ordering::AcqRel); // ORDER: keeps the gauge ordered with the freelist pop it mirrors.
         Some(addr as *mut u8)
     }
 
@@ -288,10 +291,10 @@ impl ShardCache {
     /// counters (called by [`LocalBlockCache::flush_stats`]).
     pub(crate) fn add_counts(&self, hits: u64, misses: u64) {
         if hits > 0 {
-            self.hits.fetch_add(hits, Ordering::Relaxed);
+            self.hits.fetch_add(hits, Ordering::Relaxed); // ORDER: cache statistics counter only.
         }
         if misses > 0 {
-            self.misses.fetch_add(misses, Ordering::Relaxed);
+            self.misses.fetch_add(misses, Ordering::Relaxed); // ORDER: cache statistics counter only.
         }
     }
 }

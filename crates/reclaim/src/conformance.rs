@@ -67,12 +67,12 @@ impl MiniStack {
             _drops: drops,
         });
         loop {
-            let head = self.head.load(Ordering::Acquire);
-            // SAFETY: `node` is owned and unpublished until the CAS succeeds.
+            let head = self.head.load(Ordering::Acquire); // ORDER: pairs with the AcqRel push/pop CASes on `head`.
+                                                          // SAFETY: `node` is owned and unpublished until the CAS succeeds.
             unsafe { (*node).value.next = head };
             if self
                 .head
-                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange_weak(head, node, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the node (and its `next` write); failure observes the winner.
                 .is_ok()
             {
                 return;
@@ -92,7 +92,7 @@ impl MiniStack {
             let next = unsafe { (*node).value.next };
             if self
                 .head
-                .compare_exchange(node, next, Ordering::AcqRel, Ordering::Acquire)
+                .compare_exchange(node, next, Ordering::AcqRel, Ordering::Acquire) // ORDER: success publishes the unlink; failure observes the winning pop/push.
                 .is_ok()
             {
                 // SAFETY: we won the unlink CAS; the node stays valid until retired readers
@@ -110,8 +110,8 @@ impl MiniStack {
     /// Frees every node still in the stack (no concurrency allowed).
     pub fn drain(&self) -> usize {
         let mut count = 0;
-        let mut cur = self.head.load(Ordering::Acquire);
-        self.head.store(ptr::null_mut(), Ordering::Release);
+        let mut cur = self.head.load(Ordering::Acquire); // ORDER: `drain` requires no concurrency; Acquire is more than enough.
+        self.head.store(ptr::null_mut(), Ordering::Release); // ORDER: `drain` requires no concurrency; Release is more than enough.
         while !cur.is_null() {
             // SAFETY: `drain` requires no concurrency; every node is exclusively owned.
             let next = unsafe { (*cur).value.next };
@@ -281,10 +281,10 @@ pub fn concurrent_stack_stress<R: Reclaimer>(threads: usize, ops_per_thread: usi
                         let value = t * ops_per_thread + i + 1;
                         if i % 2 == 0 {
                             stack.push(&mut handle, value, Some(DropCounter::new(&drops)));
-                            pushed_sum.fetch_add(value, Ordering::Relaxed);
-                            allocated.fetch_add(1, Ordering::Relaxed);
+                            pushed_sum.fetch_add(value, Ordering::Relaxed); // ORDER: oracle counter, checked after the threads join.
+                            allocated.fetch_add(1, Ordering::Relaxed); // ORDER: oracle counter, checked after the threads join.
                         } else if let Some(v) = stack.pop(&mut handle) {
-                            popped_sum.fetch_add(v, Ordering::Relaxed);
+                            popped_sum.fetch_add(v, Ordering::Relaxed); // ORDER: oracle counter, checked after the threads join.
                         }
                     }
                 });
@@ -293,7 +293,7 @@ pub fn concurrent_stack_stress<R: Reclaimer>(threads: usize, ops_per_thread: usi
         let in_stack: usize = {
             // Count and sum what's left before dropping everything.
             let mut sum = 0usize;
-            let mut cur = stack.head.load(Ordering::Acquire);
+            let mut cur = stack.head.load(Ordering::Acquire); // ORDER: all workers joined; the stack is exclusively owned here.
             while !cur.is_null() {
                 // SAFETY: all workers have joined; the stack is exclusively owned here.
                 sum += unsafe { (*cur).value.value };
@@ -303,8 +303,8 @@ pub fn concurrent_stack_stress<R: Reclaimer>(threads: usize, ops_per_thread: usi
             sum
         };
         assert_eq!(
-            pushed_sum.load(Ordering::Relaxed),
-            popped_sum.load(Ordering::Relaxed) + in_stack,
+            pushed_sum.load(Ordering::Relaxed), // ORDER: oracle counter, checked after the threads join.
+            popped_sum.load(Ordering::Relaxed) + in_stack, // ORDER: oracle counter, checked after the threads join.
             "every pushed value is either popped or still in the stack"
         );
         drop(stack);

@@ -42,7 +42,7 @@ impl Ebr {
     /// Current value of the global epoch clock.
     #[inline]
     pub fn epoch(&self) -> u64 {
-        self.global_epoch.load(Ordering::Acquire)
+        self.global_epoch.load(Ordering::Acquire) // ORDER: epoch clock read; pairs with the AcqRel epoch advances.
     }
 
     /// The domain's epoch clock (injectable in model tests; see [`EraSource`]).
@@ -58,6 +58,7 @@ impl Ebr {
         snapshot.clear();
         for range in self.registry.occupied_ranges() {
             for thread in range {
+                // ORDER: snapshot load; pairs with the Release epoch withdrawal (see scan.rs safety argument).
                 snapshot.insert(self.reservations.get(thread, 0).load(Ordering::Acquire));
             }
         }
@@ -212,7 +213,7 @@ unsafe impl RawHandle for EbrHandle {
         self.domain
             .reservations
             .get(self.tid, 0)
-            .store(ERA_INF, Ordering::Release);
+            .store(ERA_INF, Ordering::Release); // ORDER: withdraws the epoch; pairs with the snapshot's Acquire loads.
     }
 
     fn protect_raw(
@@ -226,16 +227,18 @@ unsafe impl RawHandle for EbrHandle {
         // `begin_op`), but a stray one is still a caller bug: check it
         // uniformly so misuse fails the same way under every scheme.
         debug_assert_slot_index(index, self.slots());
-        src.load(Ordering::Acquire)
+        src.load(Ordering::Acquire) // ORDER: pairs with the Release publish of the pointer being protected.
     }
 
+    // SAFETY: contract inherited from the trait declaration (`# Safety`
+    // on `RawHandle::retire_raw`); the obligations are the caller's.
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let epoch = self.domain.epoch();
         // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
         // unreachable block retired exactly once — covers both the header
         // stamp and the batch push.
         unsafe {
-            (*block).retire_era.store(epoch, Ordering::Release);
+            (*block).retire_era.store(epoch, Ordering::Release); // ORDER: stamps the header before the push that makes it scannable.
             self.retired.push(block);
         }
         self.domain.counters.on_retire();
@@ -243,7 +246,7 @@ unsafe impl RawHandle for EbrHandle {
         if self.since_cleanup >= self.domain.config.cleanup_freq {
             // SAFETY: same contract — the header is valid for the whole call.
             if unsafe { (*block).retire_era() } == self.domain.epoch() {
-                self.domain.global_epoch.advance(Ordering::AcqRel);
+                self.domain.global_epoch.advance(Ordering::AcqRel); // ORDER: epoch advance; orders the clock with the retires it brackets.
             }
             self.cleanup();
         }
@@ -258,13 +261,13 @@ unsafe impl RawHandle for EbrHandle {
         self.domain.counters.on_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter % self.domain.config.era_freq == 0 {
-            self.domain.global_epoch.advance(Ordering::AcqRel);
+            self.domain.global_epoch.advance(Ordering::AcqRel); // ORDER: epoch advance; orders the clock with the allocations it brackets.
         }
         self.domain.epoch()
     }
 
     fn force_cleanup(&mut self) {
-        self.domain.global_epoch.advance(Ordering::AcqRel);
+        self.domain.global_epoch.advance(Ordering::AcqRel); // ORDER: epoch advance; orders the clock with the forced cleanup that follows.
         self.cleanup();
     }
 

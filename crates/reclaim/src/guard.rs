@@ -132,12 +132,12 @@ impl ShieldSlots {
 
     /// Number of slots currently leased.
     pub fn leased(&self) -> usize {
-        self.bitmap.load(Ordering::Acquire).count_ones() as usize
+        self.bitmap.load(Ordering::Acquire).count_ones() as usize // ORDER: pairs with the AcqRel lease/release RMWs on the bitmap.
     }
 
     /// Leases the lowest free slot, or `None` when all are taken.
     fn lease(&self) -> Option<usize> {
-        let mut current = self.bitmap.load(Ordering::Relaxed);
+        let mut current = self.bitmap.load(Ordering::Relaxed); // ORDER: optimistic first read; the CAS below re-validates it.
         loop {
             let slot = (!current).trailing_zeros() as usize;
             if slot >= self.slots {
@@ -146,7 +146,7 @@ impl ShieldSlots {
             match self.bitmap.compare_exchange_weak(
                 current,
                 current | (1 << slot),
-                Ordering::AcqRel,
+                Ordering::AcqRel, // ORDER: success publishes the lease; a failed read is retried with the observed value.
                 Ordering::Relaxed,
             ) {
                 Ok(_) => return Some(slot),
@@ -157,7 +157,7 @@ impl ShieldSlots {
 
     /// Returns a leased slot (called by `Shield::drop`).
     fn release(&self, slot: usize) {
-        let prev = self.bitmap.fetch_and(!(1 << slot), Ordering::AcqRel);
+        let prev = self.bitmap.fetch_and(!(1 << slot), Ordering::AcqRel); // ORDER: pairs with the Acquire reads of the bitmap; the slot contents are not transferred through it.
         debug_assert!(prev & (1 << slot) != 0, "releasing a slot never leased");
     }
 
@@ -458,8 +458,8 @@ impl<T, H: RawHandle> Shield<T, H> {
         #[cfg(debug_assertions)]
         let stamp = {
             let cell = guard.generation_cell(self.slot);
-            let gen = cell.load(Ordering::Relaxed).wrapping_add(1);
-            cell.store(gen, Ordering::Relaxed);
+            let gen = cell.load(Ordering::Relaxed).wrapping_add(1); // ORDER: debug-only generation stamp; same-thread accesses.
+            cell.store(gen, Ordering::Relaxed); // ORDER: debug-only generation stamp; same-thread accesses.
             SlotStamp { cell, gen }
         };
         #[cfg_attr(not(debug_assertions), allow(unused_mut))]
@@ -650,7 +650,7 @@ impl<'g, T> Protected<'g, T> {
         #[cfg(debug_assertions)]
         if let Some(stamp) = self.stamp {
             assert!(
-                stamp.cell.load(Ordering::Relaxed) == stamp.gen,
+                stamp.cell.load(Ordering::Relaxed) == stamp.gen, // ORDER: debug-only generation stamp; same-thread accesses.
                 "stale Protected: its Shield re-protected (or its slot was \
                  re-leased and re-protected) after this value was returned, \
                  which ended its reservation — lease one Shield per \

@@ -43,7 +43,7 @@ impl He {
     /// Current value of the global era clock.
     #[inline]
     pub fn era(&self) -> u64 {
-        self.global_era.load(Ordering::Acquire)
+        self.global_era.load(Ordering::Acquire) // ORDER: era clock read; pairs with the AcqRel era advances.
     }
 
     /// The domain's era clock. Exposed so deterministic model tests can pin
@@ -55,7 +55,7 @@ impl He {
 
     #[inline]
     fn advance_era(&self) {
-        self.global_era.advance(Ordering::AcqRel);
+        self.global_era.advance(Ordering::AcqRel); // ORDER: era advance; orders the clock with the operations it brackets.
     }
 
     /// Snapshots every published era once per cleanup pass, sorted so the
@@ -68,6 +68,7 @@ impl He {
         for range in self.registry.occupied_ranges() {
             for thread in range {
                 for slot in 0..self.reservations.slots() {
+                    // ORDER: snapshot load; pairs with the Release era withdrawal (see scan.rs safety argument).
                     snapshot.insert(self.reservations.get(thread, slot).load(Ordering::Acquire));
                 }
             }
@@ -225,9 +226,9 @@ unsafe impl RawHandle for HeHandle {
     ) -> usize {
         debug_assert_slot_index(index, self.slots());
         let reservation = self.domain.reservations.get(self.tid, index);
-        let mut prev_era = reservation.load(Ordering::Relaxed);
+        let mut prev_era = reservation.load(Ordering::Relaxed); // ORDER: own slot re-read; the publish that matters is the SeqCst store in the loop.
         loop {
-            let value = src.load(Ordering::Acquire);
+            let value = src.load(Ordering::Acquire); // ORDER: pairs with the Release publish of the pointer being protected.
             let new_era = self.domain.era();
             if prev_era == new_era {
                 return value;
@@ -240,13 +241,15 @@ unsafe impl RawHandle for HeHandle {
         }
     }
 
+    // SAFETY: contract inherited from the trait declaration (`# Safety`
+    // on `RawHandle::retire_raw`); the obligations are the caller's.
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let era = self.domain.era();
         // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
         // unreachable block retired exactly once — covers both the header
         // stamp and the batch push.
         unsafe {
-            (*block).retire_era.store(era, Ordering::Release);
+            (*block).retire_era.store(era, Ordering::Release); // ORDER: stamps the header before the push that makes it scannable.
             self.retired.push(block);
         }
         self.domain.counters.on_retire();
@@ -265,7 +268,7 @@ unsafe impl RawHandle for HeHandle {
     fn clear(&mut self) {
         self.domain
             .reservations
-            .fill_row(self.tid, ERA_INF, Ordering::Release);
+            .fill_row(self.tid, ERA_INF, Ordering::Release); // ORDER: withdraws the eras; pairs with the snapshot's Acquire loads.
     }
 
     fn pre_alloc(&mut self) -> u64 {

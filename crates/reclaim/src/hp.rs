@@ -47,6 +47,7 @@ impl Hp {
         for range in self.registry.occupied_ranges() {
             for thread in range {
                 for slot in 0..self.hazards.slots() {
+                    // ORDER: snapshot load; pairs with the Release hazard clear (see scan.rs safety argument).
                     snapshot.insert(self.hazards.get(thread, slot).load(Ordering::Acquire));
                 }
             }
@@ -97,7 +98,7 @@ impl Reclaimer for Hp {
     fn stats(&self) -> SmrStats {
         let mut stats = self
             .counters
-            .snapshot(self.op_clock.load(Ordering::Relaxed));
+            .snapshot(self.op_clock.load(Ordering::Relaxed)); // ORDER: advisory op clock for stats only.
         self.caches.merge_into(&mut stats);
         stats
     }
@@ -199,13 +200,13 @@ unsafe impl RawHandle for HpHandle {
     ) -> usize {
         debug_assert_slot_index(index, self.slots());
         let slot = self.domain.hazards.get(self.tid, index);
-        let mut value = src.load(Ordering::Acquire);
+        let mut value = src.load(Ordering::Acquire); // ORDER: first read is optimistic; the SeqCst publish + re-read below validate it.
         loop {
             // Publish the (untagged) address, then validate that the source
             // still holds the same value: if it does, the block cannot have
             // been retired-and-scanned before our publication became visible.
             slot.store(value & mask, Ordering::SeqCst);
-            let again = src.load(Ordering::Acquire);
+            let again = src.load(Ordering::Acquire); // ORDER: re-validation read; pairs with the Release publish of the pointer.
             if again == value {
                 return value;
             }
@@ -213,16 +214,18 @@ unsafe impl RawHandle for HpHandle {
         }
     }
 
+    // SAFETY: contract inherited from the trait declaration (`# Safety`
+    // on `RawHandle::retire_raw`); the obligations are the caller's.
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
         // unreachable block retired exactly once — covers both the header
         // stamp and the batch push.
         unsafe {
-            (*block).retire_era.store(0, Ordering::Relaxed);
+            (*block).retire_era.store(0, Ordering::Relaxed); // ORDER: HP ignores eras; the stamp is never read for ordering.
             self.retired.push(block);
         }
         self.domain.counters.on_retire();
-        self.domain.op_clock.fetch_add(1, Ordering::Relaxed);
+        self.domain.op_clock.fetch_add(1, Ordering::Relaxed); // ORDER: advisory op clock for stats only.
         self.since_cleanup += 1;
         if self.since_cleanup >= self.domain.config.cleanup_freq {
             self.cleanup();
@@ -230,7 +233,7 @@ unsafe impl RawHandle for HpHandle {
     }
 
     fn clear(&mut self) {
-        self.domain.hazards.fill_row(self.tid, 0, Ordering::Release);
+        self.domain.hazards.fill_row(self.tid, 0, Ordering::Release); // ORDER: withdraws the hazards; pairs with the snapshot's Acquire loads.
     }
 
     fn pre_alloc(&mut self) -> u64 {

@@ -47,7 +47,7 @@ impl Ibr2Ge {
     /// Current value of the global era clock.
     #[inline]
     pub fn era(&self) -> u64 {
-        self.global_era.load(Ordering::Acquire)
+        self.global_era.load(Ordering::Acquire) // ORDER: era clock read; pairs with the AcqRel era advances.
     }
 
     /// The domain's era clock (injectable in model tests; see [`EraSource`]).
@@ -63,11 +63,11 @@ impl Ibr2Ge {
         snapshot.clear();
         for range in self.registry.occupied_ranges() {
             for thread in range {
-                let lower = self.reservations.get(thread, LOWER).load(Ordering::Acquire);
+                let lower = self.reservations.get(thread, LOWER).load(Ordering::Acquire); // ORDER: snapshot load; pairs with the Release interval withdrawal (see scan.rs safety argument).
                 if lower == ERA_INF {
                     continue;
                 }
-                let upper = self.reservations.get(thread, UPPER).load(Ordering::Acquire);
+                let upper = self.reservations.get(thread, UPPER).load(Ordering::Acquire); // ORDER: snapshot load; pairs with the Release interval withdrawal.
                 snapshot.insert(lower, upper);
             }
         }
@@ -218,8 +218,8 @@ unsafe impl RawHandle for IbrHandle {
 
     fn end_op(&mut self) {
         let res = &self.domain.reservations;
-        res.get(self.tid, LOWER).store(ERA_INF, Ordering::Release);
-        res.get(self.tid, UPPER).store(ERA_INF, Ordering::Release);
+        res.get(self.tid, LOWER).store(ERA_INF, Ordering::Release); // ORDER: withdraws the interval; pairs with the snapshot's Acquire loads.
+        res.get(self.tid, UPPER).store(ERA_INF, Ordering::Release); // ORDER: withdraws the interval; pairs with the snapshot's Acquire loads.
     }
 
     fn protect_raw(
@@ -233,9 +233,9 @@ unsafe impl RawHandle for IbrHandle {
         // cells), but a stray one is still a caller bug: check it uniformly.
         debug_assert_slot_index(index, self.slots());
         let upper = self.domain.reservations.get(self.tid, UPPER);
-        let mut prev_era = upper.load(Ordering::Relaxed);
+        let mut prev_era = upper.load(Ordering::Relaxed); // ORDER: own slot re-read; the publish that matters is the SeqCst store below.
         loop {
-            let value = src.load(Ordering::Acquire);
+            let value = src.load(Ordering::Acquire); // ORDER: pairs with the Release publish of the pointer being protected.
             let new_era = self.domain.era();
             if prev_era == new_era {
                 return value;
@@ -245,13 +245,15 @@ unsafe impl RawHandle for IbrHandle {
         }
     }
 
+    // SAFETY: contract inherited from the trait declaration (`# Safety`
+    // on `RawHandle::retire_raw`); the obligations are the caller's.
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let era = self.domain.era();
         // SAFETY: the caller's `retire_raw` contract — `block` is a valid,
         // unreachable block retired exactly once — covers both the header
         // stamp and the batch push.
         unsafe {
-            (*block).retire_era.store(era, Ordering::Release);
+            (*block).retire_era.store(era, Ordering::Release); // ORDER: stamps the header before the push that makes it scannable.
             self.retired.push(block);
         }
         self.domain.counters.on_retire();
@@ -259,7 +261,7 @@ unsafe impl RawHandle for IbrHandle {
         if self.since_cleanup >= self.domain.config.cleanup_freq {
             // SAFETY: same contract — the header is valid for the whole call.
             if unsafe { (*block).retire_era() } == self.domain.era() {
-                self.domain.global_era.advance(Ordering::AcqRel);
+                self.domain.global_era.advance(Ordering::AcqRel); // ORDER: era advance; orders the clock with the retires it brackets.
             }
             self.cleanup();
         }
@@ -273,13 +275,13 @@ unsafe impl RawHandle for IbrHandle {
         self.domain.counters.on_alloc();
         self.alloc_counter += 1;
         if self.alloc_counter % self.domain.config.era_freq == 0 {
-            self.domain.global_era.advance(Ordering::AcqRel);
+            self.domain.global_era.advance(Ordering::AcqRel); // ORDER: era advance; orders the clock with the allocations it brackets.
         }
         self.domain.era()
     }
 
     fn force_cleanup(&mut self) {
-        self.domain.global_era.advance(Ordering::AcqRel);
+        self.domain.global_era.advance(Ordering::AcqRel); // ORDER: era advance; orders the clock with the forced cleanup that follows.
         self.cleanup();
     }
 

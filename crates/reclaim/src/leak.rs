@@ -127,9 +127,11 @@ unsafe impl RawHandle for LeakHandle {
         // Nothing is ever reclaimed, so no reservation is needed — but a
         // stray index is still a caller bug: check it uniformly.
         debug_assert_slot_index(index, self.slots());
-        src.load(Ordering::Acquire)
+        src.load(Ordering::Acquire) // ORDER: pairs with the Release publish of the pointer being protected.
     }
 
+    // SAFETY: contract inherited from the trait declaration (`# Safety`
+    // on `RawHandle::retire_raw`); the obligations are the caller's.
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         // SAFETY: forwarded `retire_raw` contract — `block` is valid,
         // unreachable and retired exactly once.

@@ -118,7 +118,7 @@ impl<R: Reclaimer> HandlePool<R> {
     pub fn check_out(self: &Arc<Self>) -> Option<PooledHandle<R>> {
         let handle = match self.take_parked(true) {
             Some(handle) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add(1, Ordering::Relaxed); // ORDER: pool statistics counter only.
                 handle
             }
             None => match self.domain.try_register() {
@@ -128,17 +128,17 @@ impl<R: Reclaimer> HandlePool<R> {
                 // opportunistic counter gate before giving up.
                 None => match self.take_parked(false) {
                     Some(handle) => {
-                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        self.hits.fetch_add(1, Ordering::Relaxed); // ORDER: pool statistics counter only.
                         handle
                     }
                     None => {
-                        self.exhausted.fetch_add(1, Ordering::Relaxed);
+                        self.exhausted.fetch_add(1, Ordering::Relaxed); // ORDER: pool statistics counter only.
                         return None;
                     }
                 },
             },
         };
-        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        self.checkouts.fetch_add(1, Ordering::Relaxed); // ORDER: pool statistics counter only.
         Some(PooledHandle {
             handle: ManuallyDrop::new(handle),
             pool: Arc::clone(self),
@@ -168,25 +168,25 @@ impl<R: Reclaimer> HandlePool<R> {
     /// traffic — e.g. after a [`prewarm`](Self::prewarm) or warm-up phase.
     /// The `parked` gauge is live state and is not touched.
     pub fn reset_stats(&self) {
-        self.checkouts.store(0, Ordering::Relaxed);
-        self.hits.store(0, Ordering::Relaxed);
-        self.exhausted.store(0, Ordering::Relaxed);
+        self.checkouts.store(0, Ordering::Relaxed); // ORDER: pool statistics counter only.
+        self.hits.store(0, Ordering::Relaxed); // ORDER: pool statistics counter only.
+        self.exhausted.store(0, Ordering::Relaxed); // ORDER: pool statistics counter only.
     }
 
     /// Number of handles currently parked.
     pub fn parked(&self) -> usize {
-        self.parked.load(Ordering::Acquire)
+        self.parked.load(Ordering::Acquire) // ORDER: gauge read; pairs with the AcqRel park/unpark updates.
     }
 
     /// Snapshot of the pool counters.
     pub fn stats(&self) -> PoolStats {
-        let checkouts = self.checkouts.load(Ordering::Relaxed);
-        let hits = self.hits.load(Ordering::Relaxed);
+        let checkouts = self.checkouts.load(Ordering::Relaxed); // ORDER: pool statistics counter only.
+        let hits = self.hits.load(Ordering::Relaxed); // ORDER: pool statistics counter only.
         PoolStats {
             checkouts,
             hits,
             misses: checkouts.saturating_sub(hits),
-            exhausted: self.exhausted.load(Ordering::Relaxed),
+            exhausted: self.exhausted.load(Ordering::Relaxed), // ORDER: pool statistics counter only.
             parked: self.parked() as u64,
         }
     }
@@ -195,11 +195,12 @@ impl<R: Reclaimer> HandlePool<R> {
     /// check skips the wide-CAS on the common empty-pool path (a handle
     /// whose park is in flight may be missed).
     fn take_parked(&self, gate: bool) -> Option<R::Handle> {
+        // ORDER: opportunistic empty-pool gate; a stale zero only skips the pop attempt.
         if gate && self.parked.load(Ordering::Acquire) == 0 {
             return None;
         }
         let handle = self.stack.pop()?;
-        self.parked.fetch_sub(1, Ordering::AcqRel);
+        self.parked.fetch_sub(1, Ordering::AcqRel); // ORDER: keeps the gauge ordered with the stack pop it mirrors.
         Some(handle)
     }
 
@@ -209,7 +210,7 @@ impl<R: Reclaimer> HandlePool<R> {
         // pin memory: `end_op` drops every protection in every scheme
         // (era/interval withdrawal for EBR/2GEIBR, row clear for the rest).
         handle.end_op();
-        self.parked.fetch_add(1, Ordering::AcqRel);
+        self.parked.fetch_add(1, Ordering::AcqRel); // ORDER: keeps the gauge ordered with the stack push it mirrors.
         self.stack.push(handle);
     }
 }

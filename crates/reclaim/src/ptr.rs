@@ -109,7 +109,7 @@ impl<T> Default for Atomic<T> {
 
 impl<T> core::fmt::Debug for Atomic<T> {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Atomic({:p})", self.load(Ordering::Relaxed))
+        write!(f, "Atomic({:p})", self.load(Ordering::Relaxed)) // ORDER: Debug formatting only.
     }
 }
 

@@ -71,7 +71,7 @@ fn thread_ordinal() -> usize {
     ORDINAL.with(|ordinal| match ordinal.get() {
         Some(value) => value,
         None => {
-            let value = NEXT.fetch_add(1, Ordering::Relaxed);
+            let value = NEXT.fetch_add(1, Ordering::Relaxed); // ORDER: process-wide ordinal; only uniqueness matters.
             ordinal.set(Some(value));
             value
         }
@@ -191,16 +191,17 @@ impl ThreadRegistry {
         let shard = &self.shards[shard_idx];
         let len = shard.slots.len();
         // Fast skip of full shards without touching their slot lines.
+        // ORDER: full-shard fast skip; a stale value only misroutes the probe.
         if shard.occupancy.load(Ordering::Relaxed) >= len {
             return None;
         }
-        let start = shard.hint.fetch_add(1, Ordering::Relaxed) % len;
+        let start = shard.hint.fetch_add(1, Ordering::Relaxed) % len; // ORDER: rotation hint only; no data is ordered by it.
         for probe in 0..len {
             let offset = (start + probe) % len;
             let slot = &shard.slots[offset];
-            if !slot.load(Ordering::Relaxed)
+            if !slot.load(Ordering::Relaxed) // ORDER: optimistic pre-check; the CAS below decides.
                 && slot
-                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                    .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed) // ORDER: success publishes the slot claim; failure just probes on.
                     .is_ok()
             {
                 // SeqCst so a concurrent scan that misses this increment
@@ -265,7 +266,7 @@ impl ThreadRegistry {
         // exactly as it would against the pre-shard registry). Scan safety is
         // unaffected — the reservation rows were cleared before this call.
         shard.occupancy.fetch_sub(1, Ordering::SeqCst);
-        let was = shard.slots[idx % self.shard_size].swap(false, Ordering::AcqRel);
+        let was = shard.slots[idx % self.shard_size].swap(false, Ordering::AcqRel); // ORDER: pairs with the AcqRel claim CAS; the SeqCst occupancy store above carries scan safety.
         debug_assert!(was, "releasing a slot that was not acquired");
     }
 

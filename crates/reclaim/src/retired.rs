@@ -272,7 +272,7 @@ impl OrphanStack {
 
     /// Number of orphaned blocks currently parked.
     pub fn len(&self) -> usize {
-        self.blocks.load(Ordering::Acquire) as usize
+        self.blocks.load(Ordering::Acquire) as usize // ORDER: gauge read; pairs with the AcqRel park/adopt updates.
     }
 
     /// Whether no blocks are parked.
@@ -285,7 +285,7 @@ impl OrphanStack {
         if batch.is_empty() {
             return;
         }
-        self.blocks.fetch_add(batch.len() as u64, Ordering::AcqRel);
+        self.blocks.fetch_add(batch.len() as u64, Ordering::AcqRel); // ORDER: keeps the gauge ordered with the batch push it mirrors.
         self.stack.push(batch);
     }
 
@@ -299,11 +299,12 @@ impl OrphanStack {
         // not pay a wide-CAS RMW on the shared head line. A batch whose push
         // is in flight may be missed — adoption is opportunistic, the next
         // pass will see it.
+        // ORDER: opportunistic empty check; a missed in-flight push is adopted next pass.
         if self.blocks.load(Ordering::Acquire) == 0 {
             return None;
         }
         let batch = self.stack.pop()?;
-        self.blocks.fetch_sub(batch.len() as u64, Ordering::AcqRel);
+        self.blocks.fetch_sub(batch.len() as u64, Ordering::AcqRel); // ORDER: keeps the gauge ordered with the batch pop it mirrors.
         Some(batch)
     }
 
@@ -354,8 +355,8 @@ mod tests {
     use super::*;
     use crate::block::Linked;
     use crate::scan::HazardSnapshot;
-    use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
     use std::sync::Arc;
+    use wfe_sync::atomic::{AtomicUsize, Ordering::SeqCst};
 
     struct Canary(Arc<AtomicUsize>);
     impl Drop for Canary {

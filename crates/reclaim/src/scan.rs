@@ -248,7 +248,7 @@ mod tests {
             (*ptr)
                 .header
                 .retire_era
-                .store(retire_era, core::sync::atomic::Ordering::Relaxed);
+                .store(retire_era, wfe_sync::atomic::Ordering::Relaxed);
         }
         ptr
     }

@@ -39,20 +39,20 @@ impl Counters {
     /// Records one `alloc_block` call.
     #[inline]
     pub fn on_alloc(&self) {
-        self.allocated.fetch_add(1, Ordering::Relaxed);
+        self.allocated.fetch_add(1, Ordering::Relaxed); // ORDER: statistics counter only.
     }
 
     /// Records one `retire` call.
     #[inline]
     pub fn on_retire(&self) {
-        self.retired.fetch_add(1, Ordering::Relaxed);
+        self.retired.fetch_add(1, Ordering::Relaxed); // ORDER: statistics counter only.
     }
 
     /// Records `n` blocks freed by a cleanup scan.
     #[inline]
     pub fn on_free(&self, n: u64) {
         if n != 0 {
-            self.freed.fetch_add(n, Ordering::Relaxed);
+            self.freed.fetch_add(n, Ordering::Relaxed); // ORDER: statistics counter only.
         }
     }
 
@@ -61,37 +61,37 @@ impl Counters {
     /// [`on_free`](Self::on_free) so `unreclaimed` stays consistent).
     #[inline]
     pub fn on_adoption(&self, freed: u64) {
-        self.adopted_batches.fetch_add(1, Ordering::Relaxed);
+        self.adopted_batches.fetch_add(1, Ordering::Relaxed); // ORDER: statistics counter only.
         if freed != 0 {
-            self.freed_via_adoption.fetch_add(freed, Ordering::Relaxed);
+            self.freed_via_adoption.fetch_add(freed, Ordering::Relaxed); // ORDER: statistics counter only.
         }
     }
 
     /// Records one slow-path entry (used by `wfe-core`).
     #[inline]
     pub fn on_slow_path(&self) {
-        self.slow_path.fetch_add(1, Ordering::Relaxed);
+        self.slow_path.fetch_add(1, Ordering::Relaxed); // ORDER: statistics counter only.
     }
 
     /// Records one helping attempt (used by `wfe-core`).
     #[inline]
     pub fn on_help(&self) {
-        self.helps.fetch_add(1, Ordering::Relaxed);
+        self.helps.fetch_add(1, Ordering::Relaxed); // ORDER: statistics counter only.
     }
 
     /// Takes a consistent-enough snapshot for reporting.
     pub fn snapshot(&self, current_era: u64) -> SmrStats {
-        let retired = self.retired.load(Ordering::Relaxed);
-        let freed = self.freed.load(Ordering::Relaxed);
+        let retired = self.retired.load(Ordering::Relaxed); // ORDER: statistics counter only.
+        let freed = self.freed.load(Ordering::Relaxed); // ORDER: statistics counter only.
         SmrStats {
-            allocated: self.allocated.load(Ordering::Relaxed),
+            allocated: self.allocated.load(Ordering::Relaxed), // ORDER: statistics counter only.
             retired,
             freed,
             unreclaimed: retired.saturating_sub(freed),
-            adopted_batches: self.adopted_batches.load(Ordering::Relaxed),
-            freed_via_adoption: self.freed_via_adoption.load(Ordering::Relaxed),
-            slow_path: self.slow_path.load(Ordering::Relaxed),
-            helps: self.helps.load(Ordering::Relaxed),
+            adopted_batches: self.adopted_batches.load(Ordering::Relaxed), // ORDER: statistics counter only.
+            freed_via_adoption: self.freed_via_adoption.load(Ordering::Relaxed), // ORDER: statistics counter only.
+            slow_path: self.slow_path.load(Ordering::Relaxed), // ORDER: statistics counter only.
+            helps: self.helps.load(Ordering::Relaxed),         // ORDER: statistics counter only.
             // The cache counters live on the per-shard caches, not here; the
             // owning domain merges them in (`BlockCaches::merge_into`).
             cache_hits: 0,

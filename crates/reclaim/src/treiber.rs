@@ -72,7 +72,7 @@ impl<T> TypeStableStack<T> {
             // SAFETY: nodes are never deallocated while the stack lives, so
             // the read is sound even if `node` was concurrently popped; the
             // versioned CAS below fails in that case and we retry.
-            let next = unsafe { (*node).next.load(Ordering::Relaxed) };
+            let next = unsafe { (*node).next.load(Ordering::Relaxed) }; // ORDER: the versioned WCAS below carries all ordering; a stale read just retries.
             if list
                 .compare_exchange((head, version), (next as u64, version + 1))
                 .is_ok()
@@ -88,7 +88,7 @@ impl<T> TypeStableStack<T> {
             let (head, version) = list.load();
             // SAFETY: type-stable nodes are never deallocated while the stack lives;
             // the store is atomic, so racing readers see either value.
-            unsafe { (*node).next.store(head as usize, Ordering::Relaxed) };
+            unsafe { (*node).next.store(head as usize, Ordering::Relaxed) }; // ORDER: the node is unpublished until the versioned WCAS below succeeds and orders it.
             if list
                 .compare_exchange((head, version), (node as u64, version + 1))
                 .is_ok()
@@ -148,9 +148,9 @@ impl<T> Drop for TypeStableStack<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
-    use std::sync::atomic::Ordering::SeqCst;
     use std::sync::Arc;
+    use wfe_sync::atomic::AtomicUsize as SyncAtomicUsize;
+    use wfe_sync::atomic::Ordering::SeqCst;
 
     #[test]
     fn push_pop_is_lifo_and_recycles_nodes() {
@@ -167,13 +167,13 @@ mod tests {
 
     #[test]
     fn dropping_the_stack_drops_parked_payloads() {
-        struct Canary(Arc<StdAtomicUsize>);
+        struct Canary(Arc<SyncAtomicUsize>);
         impl Drop for Canary {
             fn drop(&mut self) {
                 self.0.fetch_add(1, SeqCst);
             }
         }
-        let drops = Arc::new(StdAtomicUsize::new(0));
+        let drops = Arc::new(SyncAtomicUsize::new(0));
         {
             let stack = TypeStableStack::new();
             stack.push(Canary(Arc::clone(&drops)));
@@ -189,7 +189,7 @@ mod tests {
         const THREADS: usize = 4;
         const ROUNDS: usize = 2_000;
         let stack = Arc::new(TypeStableStack::new());
-        let popped = Arc::new(StdAtomicUsize::new(0));
+        let popped = Arc::new(SyncAtomicUsize::new(0));
         std::thread::scope(|scope| {
             for t in 0..THREADS {
                 let stack = Arc::clone(&stack);

@@ -59,7 +59,7 @@ impl EraSource {
 impl fmt::Debug for EraSource {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_tuple("EraSource")
-            .field(&self.load(Ordering::Relaxed))
+            .field(&self.load(Ordering::Relaxed)) // ORDER: Debug formatting only.
             .finish()
     }
 }

@@ -17,8 +17,10 @@ pub struct CachePadded<T> {
     value: T,
 }
 
-// Padding does not change thread-safety of the payload.
+// SAFETY: padding adds no shared state — `CachePadded<T>` is exactly a `T`
+// at a stricter alignment, so it is Send/Sync precisely when `T` is.
 unsafe impl<T: Send> Send for CachePadded<T> {}
+// SAFETY: as above — alignment does not change thread-safety of the payload.
 unsafe impl<T: Sync> Sync for CachePadded<T> {}
 
 impl<T> CachePadded<T> {

@@ -46,18 +46,19 @@ static NATIVE_WCAS: core::sync::atomic::AtomicU8 = core::sync::atomic::AtomicU8:
 
 #[inline]
 fn native_wcas_available() -> bool {
+    // ORDER: feature-detection memo; any thread recomputes the same value.
     match NATIVE_WCAS.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
         _ => {
             let avail = detect_native_wcas();
-            NATIVE_WCAS.store(if avail { 1 } else { 2 }, Ordering::Relaxed);
+            NATIVE_WCAS.store(if avail { 1 } else { 2 }, Ordering::Relaxed); // ORDER: feature-detection memo; any thread recomputes the same value.
             avail
         }
     }
 }
 
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(any(miri, wfe_portable_wcas))))]
 fn detect_native_wcas() -> bool {
     std::is_x86_feature_detected!("cmpxchg16b")
 }
@@ -69,7 +70,13 @@ fn detect_native_wcas() -> bool {
 /// such targets keep WFE *correct* while forfeiting the wait-freedom bound
 /// (the paper's remark about platforms without WCAS). An AArch64 `casp` fast
 /// path would slot in here behind another `target_arch` gate.
-#[cfg(not(target_arch = "x86_64"))]
+///
+/// The same stub also serves two portable configurations on x86_64 itself:
+/// under Miri (whose interpreter has no inline assembly) and under
+/// `--cfg wfe_portable_wcas` (a build-time switch so the fallback can be
+/// exercised — and model-checked — on hardware that would normally take the
+/// native path).
+#[cfg(any(not(target_arch = "x86_64"), miri, wfe_portable_wcas))]
 fn detect_native_wcas() -> bool {
     false
 }
@@ -84,7 +91,7 @@ fn detect_native_wcas() -> bool {
 /// not be called from production code.
 #[doc(hidden)]
 pub fn force_lock_fallback_for_tests() {
-    NATIVE_WCAS.store(2, Ordering::Relaxed);
+    NATIVE_WCAS.store(2, Ordering::Relaxed); // ORDER: feature-detection memo; the test forces a fixed value before sharing.
 }
 
 // ---------------------------------------------------------------------------
@@ -163,6 +170,8 @@ impl AtomicPair {
             // `cmpxchg16b`. Using (0, 0) as both expected and new value makes
             // a "successful" exchange write back the value that was already
             // there.
+            // SAFETY: `self.as_ptr()` is 16-byte aligned (repr(C, align(16)))
+            // and `native_wcas_available()` verified cmpxchg16b support.
             unsafe { cmpxchg16b(self.as_ptr(), (0, 0), (0, 0)).0 }
         } else {
             let _guard = stripe_lock(self as *const _ as usize);
@@ -200,6 +209,8 @@ impl AtomicPair {
     pub fn compare_exchange(&self, current: Pair, new: Pair) -> Result<Pair, Pair> {
         if native_wcas_available() {
             crate::point(); // see `load`: the asm path needs its own point
+                            // SAFETY: `self.as_ptr()` is 16-byte aligned (repr(C, align(16)))
+                            // and `native_wcas_available()` verified cmpxchg16b support.
             let (observed, ok) = unsafe { cmpxchg16b(self.as_ptr(), current, new) };
             if ok {
                 Ok(observed)
@@ -266,7 +277,7 @@ impl fmt::Debug for AtomicPair {
 /// `dst` must be valid for reads and writes, 16-byte aligned, and only ever
 /// accessed through atomic operations. The caller must have verified that the
 /// CPU supports `cmpxchg16b` (see [`native_wcas_available`]).
-#[cfg(target_arch = "x86_64")]
+#[cfg(all(target_arch = "x86_64", not(any(miri, wfe_portable_wcas))))]
 #[inline]
 unsafe fn cmpxchg16b(dst: *mut Pair, current: Pair, new: Pair) -> (Pair, bool) {
     debug_assert!(
@@ -307,10 +318,13 @@ unsafe fn cmpxchg16b(dst: *mut Pair, current: Pair, new: Pair) -> (Pair, bool) {
     ((prev_lo, prev_hi), ok != 0)
 }
 
-#[cfg(not(target_arch = "x86_64"))]
+#[cfg(any(not(target_arch = "x86_64"), miri, wfe_portable_wcas))]
 #[inline]
+// SAFETY: never called — `native_wcas_available()` reports false in every
+// configuration that compiles this stub, so it exists purely to satisfy
+// name resolution.
 unsafe fn cmpxchg16b(_dst: *mut Pair, _current: Pair, _new: Pair) -> (Pair, bool) {
-    unreachable!("native WCAS is only reported as available on x86_64")
+    unreachable!("native WCAS is never reported as available in portable builds")
 }
 
 // ---------------------------------------------------------------------------
@@ -332,7 +346,7 @@ struct StripeGuard {
 
 impl Drop for StripeGuard {
     fn drop(&mut self) {
-        self.lock.store(false, Ordering::Release);
+        self.lock.store(false, Ordering::Release); // ORDER: releases the stripe; pairs with the Acquire lock acquisition.
     }
 }
 
@@ -343,7 +357,7 @@ fn stripe_lock(addr: usize) -> StripeGuard {
     let stripe = (addr >> 4) % STRIPES;
     let lock = &STRIPE_LOCKS[stripe].0;
     while lock
-        .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed)
+        .compare_exchange_weak(false, true, Ordering::Acquire, Ordering::Relaxed) // ORDER: success acquires the stripe (pairs with the Release unlock); failure just spins.
         .is_err()
     {
         crate::hint::spin_loop();
@@ -362,8 +376,13 @@ mod tests {
 
     #[test]
     fn native_wcas_is_available_on_x86_64() {
-        if cfg!(target_arch = "x86_64") {
+        if cfg!(all(
+            target_arch = "x86_64",
+            not(any(miri, wfe_portable_wcas))
+        )) {
             assert!(wcas_is_lock_free());
+        } else {
+            assert!(!wcas_is_lock_free());
         }
     }
 

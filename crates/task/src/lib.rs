@@ -332,11 +332,12 @@ mod tests {
         assert_eq!(domain.stats().unreclaimed, 0);
     }
 
-    // The data-structure tests use SeqCst through the facade's sync layer;
-    // here a plain std ordering suffices (the crate itself has no wfe-sync
-    // dependency — orderings come from the caller).
-    fn wfe_sync_ordering() -> core::sync::atomic::Ordering {
-        core::sync::atomic::Ordering::SeqCst
+    // The shipped crate stays ordering-agnostic (orderings come from the
+    // caller), so only the tests pull in wfe-sync — as a dev-dependency —
+    // to source their orderings from the interposition layer like every
+    // other atomic in the workspace.
+    fn wfe_sync_ordering() -> wfe_sync::atomic::Ordering {
+        wfe_sync::atomic::Ordering::SeqCst
     }
 
     #[test]

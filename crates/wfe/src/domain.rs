@@ -57,7 +57,7 @@ impl Wfe {
     /// Current value of the global era clock.
     #[inline]
     pub fn era(&self) -> u64 {
-        self.global_era.load(Ordering::Acquire)
+        self.global_era.load(Ordering::Acquire) // ORDER: era clock read; pairs with the AcqRel era advances.
     }
 
     /// The domain's era clock. Exposed so deterministic model tests can pin
@@ -98,7 +98,7 @@ impl Wfe {
                     snapshot.insert(
                         self.reservations
                             .get(thread, slot)
-                            .load_first(Ordering::Acquire),
+                            .load_first(Ordering::Acquire), // ORDER: snapshot load; pairs with the Release era withdrawal (see scan.rs safety argument).
                     );
                 }
             }
@@ -169,11 +169,11 @@ impl Wfe {
             return;
         }
         // Pin the parent block before touching anything else (Lemma 4).
-        let parent_era = state.era.load(Ordering::Acquire);
+        let parent_era = state.era.load(Ordering::Acquire); // ORDER: pairs with the requester's SeqCst publish of the slow-path state.
         let parent_pin = self.reservations.get(helper_tid, self.parent_slot());
         parent_pin.store_first(parent_era, Ordering::SeqCst);
 
-        let location = state.pointer.load(Ordering::Acquire);
+        let location = state.pointer.load(Ordering::Acquire); // ORDER: pairs with the requester's SeqCst publish of the slow-path state.
         let tag = self
             .reservations
             .get(requester, slot)
@@ -190,7 +190,7 @@ impl Wfe {
                 // the parent block (or a data-structure root). The tag matched
                 // after the parent pin was published, so by Lemma 4 the parent
                 // cannot have been reclaimed and the location is still valid.
-                let value = unsafe { (*(location as *const AtomicUsize)).load(Ordering::Acquire) };
+                let value = unsafe { (*(location as *const AtomicUsize)).load(Ordering::Acquire) }; // ORDER: pairs with the Release publish of the pointer being protected.
                 let new_era = self.era();
                 if prev_era == new_era {
                     if state
@@ -319,8 +319,8 @@ impl Reclaimer for Wfe {
 
 impl Drop for Wfe {
     fn drop(&mut self) {
-        // No handles remain (they hold an Arc), so orphaned blocks are
-        // unreachable and unprotected.
+        // SAFETY: no handles remain (they hold an Arc), so orphaned blocks
+        // are unreachable and unprotected — freeing them cannot race a reader.
         unsafe {
             self.orphans.free_all();
         }
@@ -331,8 +331,8 @@ impl core::fmt::Debug for Wfe {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("Wfe")
             .field("era", &self.era())
-            .field("counter_start", &self.counter_start.load(Ordering::Relaxed))
-            .field("counter_end", &self.counter_end.load(Ordering::Relaxed))
+            .field("counter_start", &self.counter_start.load(Ordering::Relaxed)) // ORDER: Debug formatting only.
+            .field("counter_end", &self.counter_end.load(Ordering::Relaxed)) // ORDER: Debug formatting only.
             .field("stats", &self.stats())
             .finish()
     }
@@ -415,6 +415,7 @@ mod tests {
 
         // Finish the staged cycle the way get_protected would.
         domain.counter_end.fetch_add(1, Ordering::SeqCst);
+        // SAFETY: test-owned block, unlinked and freed exactly once.
         unsafe { Linked::dealloc(node) };
     }
 

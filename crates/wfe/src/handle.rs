@@ -59,6 +59,10 @@ impl WfeHandle {
         self.since_cleanup = 0;
         let domain = &self.domain;
         let shard = domain.caches.shard(self.cache_shard);
+        // SAFETY: every block in `self.retired` was retired by this handle
+        // after being unlinked, and the snapshot closure reads the domain's
+        // own reservation array — the batch-scan safety argument in
+        // `wfe_reclaim::retired::cleanup_pass` applies verbatim.
         unsafe {
             wfe_reclaim::retired::cleanup_pass(
                 &mut self.retired,
@@ -93,6 +97,9 @@ impl WfeHandle {
         let parent_alloc_era = if parent.is_null() {
             ERA_INF
         } else {
+            // SAFETY: non-null `parent` is the caller-protected block
+            // that contains the hazardous location, so it is live for the
+            // whole slow-path call.
             unsafe { (*parent).alloc_era() }
         };
 
@@ -114,7 +121,7 @@ impl WfeHandle {
         let result_value;
         let result_era;
         loop {
-            let value = src.load(Ordering::Acquire);
+            let value = src.load(Ordering::Acquire); // ORDER: pairs with the Release publish of the pointer being protected.
             let new_era = domain.era();
             if prev_era == new_era
                 && state
@@ -151,6 +158,9 @@ impl WfeHandle {
     }
 }
 
+// SAFETY: `thread_id` is unique per live handle (allocated by the domain's
+// slot bitmap and released on drop), and `protect`/`protect_fast` only return
+// a pointer after validating it against a published reservation.
 unsafe impl RawHandle for WfeHandle {
     fn thread_id(&self) -> usize {
         self.tid
@@ -180,13 +190,13 @@ unsafe impl RawHandle for WfeHandle {
         debug_assert_slot_index(index, self.slots());
         let domain = &self.domain;
         let reservation = domain.reservations.get(self.tid, index);
-        let mut prev_era = reservation.load_first(Ordering::Relaxed);
+        let mut prev_era = reservation.load_first(Ordering::Relaxed); // ORDER: own slot re-read; the publish that matters is the SeqCst store in the loop.
 
         // Fast path (lines 15-24): identical to Hazard Eras, but bounded.
         let mut attempts = domain.config.fast_path_attempts;
         while attempts > 0 {
             attempts -= 1;
-            let value = src.load(Ordering::Acquire);
+            let value = src.load(Ordering::Acquire); // ORDER: pairs with the Release publish of the pointer being protected.
             let new_era = domain.era();
             if prev_era == new_era {
                 return value;
@@ -199,6 +209,8 @@ unsafe impl RawHandle for WfeHandle {
         self.protect_slow(src, index, parent, prev_era)
     }
 
+    // SAFETY: contract inherited from the trait declaration (`# Safety`
+    // on `RawHandle::retire_raw`); the obligations are the caller's.
     unsafe fn retire_raw(&mut self, block: *mut BlockHeader) {
         let domain = &self.domain;
         let era = domain.era();
@@ -206,7 +218,7 @@ unsafe impl RawHandle for WfeHandle {
         // unreachable block retired exactly once — covers both the header
         // stamp and the batch push.
         unsafe {
-            (*block).retire_era.store(era, Ordering::Release);
+            (*block).retire_era.store(era, Ordering::Release); // ORDER: stamps the header before the push that makes it scannable.
             self.retired.push(block);
         }
         domain.counters.on_retire();
@@ -230,7 +242,7 @@ unsafe impl RawHandle for WfeHandle {
             self.domain
                 .reservations
                 .get(self.tid, slot)
-                .store_first(ERA_INF, Ordering::Release);
+                .store_first(ERA_INF, Ordering::Release); // ORDER: withdraws the era reservations; pairs with the snapshot's Acquire loads.
         }
     }
 
@@ -275,11 +287,11 @@ impl Drop for WfeHandle {
 mod tests {
     use super::*;
     use core::ptr;
-    use std::sync::atomic::AtomicBool;
     use std::sync::Arc as StdArc;
     use wfe_reclaim::api::{Progress, Reclaimer, ReclaimerConfig};
     use wfe_reclaim::conformance;
     use wfe_reclaim::{Atomic, Handle, Linked};
+    use wfe_sync::atomic::AtomicBool;
 
     #[test]
     fn naming_and_progress() {
@@ -326,6 +338,7 @@ mod tests {
         let seen = handle.protect(&root, 0, ptr::null_mut());
         assert_eq!(seen, node);
         assert_eq!(domain.stats().slow_path, 0);
+        // SAFETY: test-owned block, unlinked and freed exactly once.
         unsafe { Linked::dealloc(node) };
     }
 
@@ -366,6 +379,7 @@ mod tests {
             .get(handle.thread_id(), 0)
             .load_second(Ordering::SeqCst);
         assert_eq!(tag_after, tag_before + 1, "tag advanced after the cycle");
+        // SAFETY: test-owned block, unlinked and freed exactly once.
         unsafe { Linked::dealloc(node) };
     }
 
@@ -394,6 +408,8 @@ mod tests {
                     let mut handle = domain.register();
                     while !stop.load(Ordering::Relaxed) {
                         let ptr = handle.alloc(0u64);
+                        // SAFETY: `ptr` was just allocated by this handle and never
+                        // published, so retiring it here is its only retire.
                         unsafe { handle.retire(ptr) };
                     }
                 });

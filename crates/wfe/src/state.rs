@@ -41,7 +41,7 @@ impl State {
     /// Whether the record currently advertises a pending request.
     #[inline]
     pub(crate) fn is_pending(&self) -> bool {
-        self.result.load_first(Ordering::Acquire) == INVPTR
+        self.result.load_first(Ordering::Acquire) == INVPTR // ORDER: pairs with the SeqCst publish/close of the slow-path result.
     }
 }
 

@@ -46,11 +46,8 @@ fn main() {
         let value = shield.protect(&guard, &root, None);
         // SAFETY: `shield` does not re-protect while `value` is in use —
         // the one obligation the typed deref carries.
-        assert_eq!(
-            unsafe { value.as_ref() },
-            Some(&7),
-            "one shield, one pointer"
-        );
+        let seen = unsafe { value.as_ref() };
+        assert_eq!(seen, Some(&7), "one shield, one pointer");
     }
     root.store(core::ptr::null_mut(), std::sync::atomic::Ordering::SeqCst);
     {

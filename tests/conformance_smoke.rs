@@ -86,7 +86,7 @@ fn crturn_conserves_elements_under<R: Reclaimer>() {
         ..ReclaimerConfig::with_max_threads(3)
     });
     let queue = CrTurnQueue::<u64, R>::new(Arc::clone(&domain));
-    let consumed = std::sync::atomic::AtomicU64::new(0);
+    let consumed = wfe_sync::atomic::AtomicU64::new(0);
     std::thread::scope(|scope| {
         for t in 0..2u64 {
             let queue = &queue;
@@ -98,7 +98,7 @@ fn crturn_conserves_elements_under<R: Reclaimer>() {
                     queue.enqueue(&mut handle, t * PER_THREAD + i);
                     if i % 2 == 0 {
                         if let Some(v) = queue.dequeue(&mut handle) {
-                            consumed.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+                            consumed.fetch_add(v, wfe_sync::atomic::Ordering::Relaxed);
                         }
                     }
                 }
@@ -107,13 +107,10 @@ fn crturn_conserves_elements_under<R: Reclaimer>() {
     });
     let mut handle = domain.register();
     while let Some(v) = queue.dequeue(&mut handle) {
-        consumed.fetch_add(v, std::sync::atomic::Ordering::Relaxed);
+        consumed.fetch_add(v, wfe_sync::atomic::Ordering::Relaxed);
     }
     let expected: u64 = (1..=2 * PER_THREAD).sum();
-    assert_eq!(
-        consumed.load(std::sync::atomic::Ordering::Relaxed),
-        expected
-    );
+    assert_eq!(consumed.load(wfe_sync::atomic::Ordering::Relaxed), expected);
 }
 
 macro_rules! crturn_smoke {

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: every data structure under every
 //! reclamation scheme, exercised through the public `wfe-suite` API.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use wfe_sync::atomic::{AtomicU64, Ordering};
 
 use wfe_suite::{
     Atomic, ConcurrentMap, ConcurrentQueue, CrTurnQueue, DomainConfig, Ebr, Handle, HandlePool, He,
@@ -488,6 +488,7 @@ fn exercise_cross_shard_protection<R: Reclaimer>() {
         // Unlink and retire while the cross-shard reservation is live: the
         // writer's scan must visit the reader's shard and keep the block.
         root.store(core::ptr::null_mut(), Ordering::SeqCst);
+        // SAFETY: `node` was unlinked from `root` above and retired once.
         unsafe { writer.retire(node) };
         writer.force_cleanup();
         assert_eq!(

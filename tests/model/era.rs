@@ -1,6 +1,8 @@
 //! Model tests for the era clock: protection vs concurrent retire/cleanup,
 //! and direct injection through the `EraSource` handle the schemes expose.
 
+// wfe-analyze: allow(raw-atomic): model-test oracle state — deliberately a std
+// atomic so the checker never schedules an interleaving point on bookkeeping.
 use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
 use std::sync::Arc;
 

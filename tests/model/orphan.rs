@@ -4,6 +4,8 @@
 //! against adoption (in the survivor's scan) — no interleaving may leak a
 //! block or free one twice.
 
+// wfe-analyze: allow(raw-atomic): model-test oracle state — deliberately a std
+// atomic so the checker never schedules an interleaving point on bookkeeping.
 use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 

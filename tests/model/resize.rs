@@ -19,6 +19,8 @@
 //! resulting double-retire within the PCT budget, with byte-identical seed
 //! replay.
 
+// wfe-analyze: allow(raw-atomic): model-test oracle state — deliberately a std
+// atomic so the checker never schedules an interleaving point on bookkeeping.
 use std::sync::atomic::{AtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 

@@ -9,6 +9,8 @@
 //! schedule-dependent — so the slow-path entry is asserted on every
 //! schedule, while helping is accumulated across the whole seeded batch.
 
+// wfe-analyze: allow(raw-atomic): model-test oracle state — deliberately a std
+// atomic so the checker never schedules an interleaving point on bookkeeping.
 use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering::SeqCst};
 use std::sync::Arc;
 

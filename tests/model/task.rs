@@ -9,6 +9,8 @@
 //! `acquire` loops `check_out`, and dropping the handle at task end is
 //! `release`.
 
+// wfe-analyze: allow(raw-atomic): model-test oracle state — deliberately a std
+// atomic so the checker never schedules an interleaving point on bookkeeping.
 use std::sync::atomic::{AtomicUsize as StdAtomicUsize, Ordering::SeqCst};
 use std::sync::Arc;
 

@@ -291,6 +291,7 @@ fn check_shield_lease_churn<R: Reclaimer>(steps: &[ShieldStep]) {
     prop_assert_eq!(handle.shield_slots().leased(), 0, "all slots returned");
     drop(handle);
     // SAFETY: the block was never retired and nothing references it any more.
+    // SAFETY: test-owned block, never retired; freed exactly once.
     unsafe { Linked::dealloc(node) };
 }
 
@@ -346,6 +347,8 @@ fn check_retirement_pipeline<R: Reclaimer>(steps: &[SmrStep]) {
                     if let Some(handle) = handles[slot].as_mut() {
                         let block = handle.alloc(DropCounter::new(&drops));
                         allocated += 1;
+                        // SAFETY: block just allocated by this handle, never published —
+                        // this is its only retire.
                         unsafe { handle.retire(block) };
                     }
                 }
@@ -409,6 +412,8 @@ fn check_retirement_pipeline_with_cache<R: Reclaimer>(steps: &[SmrStep], cache: 
                     if let Some(handle) = handles[slot].as_mut() {
                         let block = handle.alloc(DropCounter::new(&drops));
                         allocated += 1;
+                        // SAFETY: block just allocated by this handle, never published —
+                        // this is its only retire.
                         unsafe { handle.retire(block) };
                     }
                 }
@@ -497,6 +502,8 @@ fn check_handle_pool<R: Reclaimer>(steps: &[PoolStep]) {
                     if let Some(guard) = guards[slot].as_mut() {
                         let block = guard.alloc(DropCounter::new(&drops));
                         allocated += 1;
+                        // SAFETY: block just allocated through this guard, never published —
+                        // this is its only retire.
                         unsafe { guard.retire(block) };
                     }
                 }
@@ -811,6 +818,7 @@ proptest! {
         let tagged = tag::with_tag(node, tag_bits);
         prop_assert_eq!(tag::untagged(tagged), node);
         prop_assert_eq!(tag::tag_of(tagged), tag_bits);
+        // SAFETY: test-owned block, never retired; freed exactly once.
         unsafe { Linked::dealloc(node) };
     }
 }

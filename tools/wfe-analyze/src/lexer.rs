@@ -1,0 +1,364 @@
+//! A hand-rolled Rust lexer, just deep enough for the analyzer's rules.
+//!
+//! The analyzer needs two views of a source file:
+//!
+//! * a **token stream** with comments, strings and character literals
+//!   stripped, so path matches like `core::sync::atomic` or keyword scans
+//!   like `unsafe {` cannot be fooled by mentions inside comments or string
+//!   literals, and
+//! * a **per-line map** of the comments that were stripped, so the rules can
+//!   ask "does the comment attached to this line carry a `// SAFETY:` /
+//!   `// ORDER:` / allow-marker tag?".
+//!
+//! The lexer handles the constructs that matter for not mis-tokenizing real
+//! Rust: nested block comments, doc comments, string/raw-string/byte-string
+//! literals, character literals vs. lifetimes, raw identifiers, and numeric
+//! literals (so `0..n` does not glue into a malformed float). It does **not**
+//! attempt full fidelity — operators are emitted one character at a time and
+//! numbers are kept as text — because the rules only ever match identifier /
+//! punctuation sequences.
+
+/// What a token is, as far as the rules care.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`unsafe`, `Ordering`, `core`, ...).
+    Ident,
+    /// A single punctuation character (`:`, `{`, `.`, `#`, ...).
+    Punct,
+    /// A numeric literal, kept as text (`4`, `0x10`, `1_000usize`).
+    Number,
+    /// Anything else that occupies source text (string literals, chars,
+    /// lifetimes). The rules skip these, but they must exist as tokens so
+    /// that brace matching stays aligned with the source.
+    Other,
+}
+
+/// One token: kind, source text, and the 0-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification used by the rules.
+    pub kind: TokKind,
+    /// The token's text. For [`TokKind::Other`] this is a placeholder.
+    pub text: String,
+    /// 0-based source line of the token's first character.
+    pub line: usize,
+}
+
+/// Comment/code facts about one source line.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// The concatenated text of every comment that touches this line
+    /// (line comments, doc comments, and each line a block comment spans).
+    pub comment: Option<String>,
+    /// Whether any code token starts on this line.
+    pub has_code: bool,
+    /// The last character of the last code token on this line, used to
+    /// decide whether the line *ends a statement* (`;`, `{`, `}`) when the
+    /// rules walk upward looking for an attached comment.
+    pub last_code_char: Option<char>,
+}
+
+impl LineInfo {
+    /// True when the line holds neither code nor comment (blank line).
+    pub fn is_blank(&self) -> bool {
+        !self.has_code && self.comment.is_none()
+    }
+
+    /// True when the line's last code character terminates a statement or
+    /// opens/closes a block — the boundaries at which an attached-comment
+    /// search stops walking upward.
+    pub fn ends_statement(&self) -> bool {
+        matches!(self.last_code_char, Some(';' | '{' | '}'))
+    }
+
+    fn push_comment(&mut self, text: &str) {
+        match &mut self.comment {
+            Some(existing) => {
+                existing.push('\n');
+                existing.push_str(text);
+            }
+            None => self.comment = Some(text.to_string()),
+        }
+    }
+}
+
+/// The result of lexing one file.
+pub struct Lexed {
+    /// Code tokens in source order, comments and literals stripped/opaque.
+    pub toks: Vec<Tok>,
+    /// Per-line comment/code facts, indexed by 0-based line number.
+    pub lines: Vec<LineInfo>,
+}
+
+/// Lexes `src` into tokens plus per-line comment information.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let line_count = src.lines().count().max(1);
+    let mut lines = vec![LineInfo::default(); line_count + 1];
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line = 0;
+
+    // Records a code token and updates the line map.
+    macro_rules! push_tok {
+        ($kind:expr, $text:expr, $line:expr, $last:expr) => {{
+            let l: usize = $line;
+            lines[l].has_code = true;
+            lines[l].last_code_char = $last;
+            toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: l,
+            });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                // Line comment (includes `///` and `//!` doc comments).
+                let start = i;
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                lines[line].push_comment(&text);
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                let mut seg_start = i;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else if chars[i] == '\n' {
+                        let text: String = chars[seg_start..i].iter().collect();
+                        lines[line].push_comment(&text);
+                        line += 1;
+                        i += 1;
+                        seg_start = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text: String = chars[seg_start..i].iter().collect();
+                lines[line].push_comment(&text);
+            }
+            '"' => {
+                i = skip_string(&chars, i, &mut line);
+                push_tok!(TokKind::Other, String::from("\"..\""), line, Some('"'));
+            }
+            'r' | 'b' | 'c' if starts_prefixed_literal(&chars, i) => {
+                let (next, is_string) = skip_prefixed_literal(&chars, i, &mut line);
+                if is_string {
+                    i = next;
+                    push_tok!(TokKind::Other, String::from("\"..\""), line, Some('"'));
+                } else {
+                    // `r#ident` raw identifier: lex the ident after `r#`.
+                    let start = i + 2;
+                    let mut j = start;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    let text: String = chars[start..j].iter().collect();
+                    let last = text.chars().last();
+                    push_tok!(TokKind::Ident, text, line, last);
+                    i = j;
+                }
+            }
+            '\'' => {
+                // Lifetime (`'a`) or character literal (`'x'`, `'\n'`).
+                if is_lifetime(&chars, i) {
+                    let mut j = i + 1;
+                    while j < chars.len() && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    push_tok!(TokKind::Other, String::from("'_"), line, Some('_'));
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    while j < chars.len() && chars[j] != '\'' {
+                        if chars[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    push_tok!(TokKind::Other, String::from("'c'"), line, Some('\''));
+                    i = (j + 1).min(chars.len());
+                }
+            }
+            c if is_ident_start(c) => {
+                let start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let last = text.chars().last();
+                push_tok!(TokKind::Ident, text, line, last);
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.'
+                        && chars.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && chars
+                            .get(i.wrapping_sub(1))
+                            .is_some_and(|p| p.is_ascii_digit())
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                let last = text.chars().last();
+                push_tok!(TokKind::Number, text, line, last);
+            }
+            c => {
+                push_tok!(TokKind::Punct, c.to_string(), line, Some(c));
+                i += 1;
+            }
+        }
+    }
+
+    Lexed { toks, lines }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// True when `'` at `i` begins a lifetime rather than a char literal: the
+/// next character starts an identifier and the character after the
+/// identifier-run is not a closing quote (`'a'` is a char, `'a,` a lifetime).
+fn is_lifetime(chars: &[char], i: usize) -> bool {
+    let Some(&next) = chars.get(i + 1) else {
+        return false;
+    };
+    if !is_ident_start(next) {
+        return false;
+    }
+    let mut j = i + 1;
+    while j < chars.len() && is_ident_continue(chars[j]) {
+        j += 1;
+    }
+    chars.get(j) != Some(&'\'')
+}
+
+/// True when `r`/`b`/`c` at `i` prefixes a literal (`r"`, `r#"`, `b"`, `b'`,
+/// `br"`, `r#ident`, ...) rather than starting a plain identifier.
+fn starts_prefixed_literal(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    // Up to two prefix letters (`br`, `rb` does not exist but harmless).
+    while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') && j - i < 2 {
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('"') => true,
+        Some('\'') => chars[i] == 'b', // byte char literal b'x'
+        Some('#') => {
+            // `r#"..."#` raw string or `r#ident` raw identifier — both are
+            // handled by `skip_prefixed_literal`, which reports which.
+            chars[i] == 'r' || chars[i] == 'b' || chars[i] == 'c'
+        }
+        _ => false,
+    }
+}
+
+/// Skips the literal starting at `i`. Returns the index after it and whether
+/// it really was a literal (`false` means: raw identifier, caller lexes it).
+fn skip_prefixed_literal(chars: &[char], i: usize, line: &mut usize) -> (usize, bool) {
+    let mut j = i;
+    while j < chars.len() && matches!(chars[j], 'r' | 'b' | 'c') && j - i < 2 {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    match chars.get(j) {
+        Some('"') if hashes > 0 || chars[i..j].contains(&'r') => {
+            // Raw string: ends at `"` followed by `hashes` hashes.
+            j += 1;
+            loop {
+                match chars.get(j) {
+                    None => return (j, true),
+                    Some('\n') => {
+                        *line += 1;
+                        j += 1;
+                    }
+                    Some('"') => {
+                        let mut k = 0;
+                        while k < hashes && chars.get(j + 1 + k) == Some(&'#') {
+                            k += 1;
+                        }
+                        j += 1 + k;
+                        if k == hashes {
+                            return (j, true);
+                        }
+                    }
+                    Some(_) => j += 1,
+                }
+            }
+        }
+        Some('"') => (skip_string(chars, j, line), true),
+        Some('\'') => {
+            // Byte char literal b'x' / b'\n'.
+            j += 1;
+            while j < chars.len() && chars[j] != '\'' {
+                if chars[j] == '\\' {
+                    j += 1;
+                }
+                j += 1;
+            }
+            ((j + 1).min(chars.len()), true)
+        }
+        _ => (i, false), // raw identifier `r#ident`
+    }
+}
+
+/// Skips a `"..."` string starting at the opening quote at `i`; returns the
+/// index just past the closing quote and advances `line` across embedded
+/// newlines.
+fn skip_string(chars: &[char], i: usize, line: &mut usize) -> usize {
+    let mut j = i + 1;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => {
+                // A `\<newline>` line-continuation still advances the line.
+                if chars.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}

@@ -1,0 +1,204 @@
+//! Test-code spans and attached-comment lookups.
+//!
+//! Two cross-cutting questions every rule asks:
+//!
+//! * is this token inside `#[cfg(test)]` / `#[test]` code?
+//! * does the comment *attached* to this line carry some tag
+//!   (`SAFETY:`, `ORDER:`, `wfe-analyze: allow(...)`)?
+//!
+//! "Attached" mirrors what a human reader considers the comment for a
+//! statement: the trailing comment on the line itself, a trailing comment on
+//! an earlier line of the same multi-line statement, or the contiguous run
+//! of comment-only lines directly above the statement (attributes are
+//! transparent, blank lines break the attachment).
+
+use crate::lexer::{LineInfo, Tok, TokKind};
+
+/// Token-index ranges (inclusive) that belong to test-only code.
+pub struct TestSpans(Vec<(usize, usize)>);
+
+impl TestSpans {
+    /// True when token `idx` falls inside any test span.
+    pub fn contains(&self, idx: usize) -> bool {
+        self.0.iter().any(|&(a, b)| a <= idx && idx <= b)
+    }
+}
+
+/// Computes the token ranges covered by `#[cfg(test)]` (including
+/// `#[cfg(all(test, ...))]` and friends) and `#[test]` attributes. The span
+/// of such an attribute is the item that follows it: everything up to the
+/// matching `}` of its first brace, or up to `;` for brace-less items.
+pub fn test_spans(toks: &[Tok]) -> TestSpans {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Punct
+            && toks[i].text == "#"
+            && toks.get(i + 1).is_some_and(|t| t.text == "[")
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let attr_start = i;
+            let mut depth = 0;
+            let mut j = i + 1;
+            let mut is_test_attr = false;
+            let mut attr_head: Option<&str> = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                match (t.kind.clone(), t.text.as_str()) {
+                    (TokKind::Punct, "[") => depth += 1,
+                    (TokKind::Punct, "]") => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (TokKind::Ident, name) => {
+                        if attr_head.is_none() {
+                            attr_head = Some(t.text.as_str());
+                            // `#[test]` or tool attributes like
+                            // `#[cfg(test)]`: decided below.
+                            if name == "test" {
+                                is_test_attr = true;
+                            }
+                        } else if attr_head == Some("cfg") && name == "test" {
+                            // `test` anywhere inside `cfg(...)` — covers
+                            // `cfg(test)`, `cfg(all(test, ...))`, etc.
+                            is_test_attr = true;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            if is_test_attr {
+                // The attribute covers the following item: skip any further
+                // attributes, then span to the matching `}` of the first `{`
+                // (or to `;` for items like `#[cfg(test)] use ...;`).
+                let mut k = j + 1;
+                while k < toks.len()
+                    && toks[k].text == "#"
+                    && toks.get(k + 1).is_some_and(|t| t.text == "[")
+                {
+                    let mut d = 0;
+                    k += 1;
+                    while k < toks.len() {
+                        if toks[k].text == "[" {
+                            d += 1;
+                        } else if toks[k].text == "]" {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        k += 1;
+                    }
+                    k += 1;
+                }
+                let mut brace = 0i32;
+                let mut end = k;
+                while end < toks.len() {
+                    match toks[end].text.as_str() {
+                        "{" => brace += 1,
+                        "}" => {
+                            brace -= 1;
+                            if brace == 0 {
+                                break;
+                            }
+                        }
+                        ";" if brace == 0 => break,
+                        _ => {}
+                    }
+                    end += 1;
+                }
+                spans.push((attr_start, end.min(toks.len().saturating_sub(1))));
+                i = j + 1;
+                continue;
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    TestSpans(spans)
+}
+
+/// Maximum number of lines an attached-comment search walks upward. Bounds
+/// pathological files; real statements and comment runs are far shorter.
+const MAX_WALK: usize = 40;
+
+/// True when a comment attached to 0-based `line` contains `needle`.
+///
+/// Searched, in order: the line's own (trailing) comment; trailing comments
+/// on earlier lines of the same statement (a line belongs to the statement
+/// above it while that line does not end in `;`/`{`/`}`); and the contiguous
+/// run of comment-only lines directly above the statement. Blank lines break
+/// the attachment, attribute lines do not.
+pub fn has_tag(lines: &[LineInfo], line: usize, needle: &str) -> bool {
+    tag_text(lines, line, needle).is_some()
+}
+
+/// Like [`has_tag`], but returns the text that follows `needle` in the
+/// attached comment (trimmed, up to the end of the comment line) — e.g. the
+/// justification after `ORDER:`. Returns an empty string when the tag exists
+/// with no trailing text.
+pub fn tag_text(lines: &[LineInfo], line: usize, needle: &str) -> Option<String> {
+    let extract = |l: usize| -> Option<String> {
+        let comment = lines.get(l)?.comment.as_deref()?;
+        let pos = comment.find(needle)?;
+        let rest = &comment[pos + needle.len()..];
+        let rest = rest.lines().next().unwrap_or("");
+        Some(rest.trim().trim_end_matches("*/").trim().to_string())
+    };
+    if let Some(t) = extract(line) {
+        return Some(t);
+    }
+    let mut l = line;
+    let mut in_statement = true;
+    for _ in 0..MAX_WALK {
+        if l == 0 {
+            return None;
+        }
+        l -= 1;
+        let info = lines.get(l)?;
+        if in_statement {
+            if info.has_code {
+                if info.ends_statement() {
+                    // `l` ends the *previous* statement; its trailing
+                    // comment (if any) belongs to that statement, not ours.
+                    return None;
+                }
+                // Earlier line of the same statement: its trailing comment
+                // counts, and the walk continues.
+                if let Some(t) = extract(l) {
+                    return Some(t);
+                }
+            } else if info.is_blank() {
+                return None;
+            } else {
+                // Comment-only line directly above (part of) the statement:
+                // we are now in the comment run.
+                in_statement = false;
+                if let Some(t) = extract(l) {
+                    return Some(t);
+                }
+            }
+        } else if info.has_code || info.is_blank() {
+            return None;
+        } else if let Some(t) = extract(l) {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// The allow-marker grammar: `// wfe-analyze: allow(<rule>)`, attached to
+/// the offending line like any other tag. Returns the marker text for
+/// `rule`, e.g. `wfe-analyze: allow(raw-atomic)`.
+pub fn marker(rule: &str) -> String {
+    format!("wfe-analyze: allow({rule})")
+}
+
+/// True when the line carries the allow-marker for `rule`.
+pub fn allowed(lines: &[LineInfo], line: usize, rule: &str) -> bool {
+    has_tag(lines, line, &marker(rule))
+}

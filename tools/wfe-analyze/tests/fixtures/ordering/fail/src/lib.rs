@@ -1,0 +1,12 @@
+//! One naked weak ordering and one marker-allowed shim.
+
+use wfe_sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn read(counter: &AtomicUsize) -> usize {
+    // wfe-analyze: allow(unjustified-ordering): migration shim; its ledger row stays unjustified.
+    counter.load(Ordering::Relaxed)
+}

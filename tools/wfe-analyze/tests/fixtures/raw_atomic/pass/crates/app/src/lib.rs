@@ -1,0 +1,10 @@
+//! Shipped code goes through the interposition layer.
+
+use wfe_sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(counter: &AtomicUsize) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+// wfe-analyze: allow(raw-atomic): an FFI signature must name the std type.
+pub type RawCounter = std::sync::atomic::AtomicU64;

@@ -1,0 +1,3 @@
+//! The interposition layer itself — the one subtree allowed raw atomics.
+
+pub use core::sync::atomic::{AtomicUsize, Ordering};

@@ -1,0 +1,13 @@
+//! Undocumented unsafe in every position the rule distinguishes.
+
+pub struct Token(pub u64);
+
+pub unsafe fn grab() -> Token {
+    Token(0)
+}
+
+pub fn peek(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}
+
+unsafe impl Sync for Token {}

@@ -1,0 +1,18 @@
+//! Every unsafe site carries its obligation, one per documentation style.
+
+pub struct Node(pub u64);
+
+/// Reads through `ptr`.
+///
+/// # Safety
+///
+/// `ptr` must point to a live `Node`.
+pub unsafe fn read(ptr: *const Node) -> u64 {
+    // SAFETY: caller upholds the `# Safety` contract: `ptr` is live.
+    unsafe { (*ptr).0 }
+}
+
+// SAFETY: Node is plain data; no thread affinity.
+unsafe impl Send for Node {}
+
+pub unsafe fn exempt() {} // wfe-analyze: allow(undocumented-unsafe): the marker itself is under test.

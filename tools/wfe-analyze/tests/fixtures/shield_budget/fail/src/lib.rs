@@ -1,0 +1,8 @@
+//! The declared budget undercounts the widest operation.
+
+pub const REQUIRED_SLOTS: usize = 1;
+
+pub fn swap_pair(handle: &mut Handle) {
+    let _first = handle.shield::<u64>().unwrap();
+    let _second = handle.shield::<u64>().unwrap();
+}

@@ -1,0 +1,25 @@
+//! REQUIRED_SLOTS matches the widest operation across every counting mode:
+//! direct leases, a same-file helper, and a lease-closure called twice.
+
+pub const REQUIRED_SLOTS: usize = 3;
+
+pub struct Map;
+
+impl Map {
+    pub fn get(&self, handle: &mut Handle) -> bool {
+        let _a = handle.shield::<u64>().unwrap();
+        let _b = handle.shield::<u64>().unwrap();
+        helper(handle)
+    }
+
+    pub fn insert(&self, handle: &mut Handle) {
+        let lease = || handle.shield::<u64>().unwrap();
+        let _a = lease();
+        let _b = lease();
+    }
+}
+
+fn helper(handle: &mut Handle) -> bool {
+    let _c = handle.shield::<u64>().unwrap();
+    true
+}
